@@ -1,0 +1,76 @@
+//! Corpus-side throughput: synthetic generation, quantity parsing, and
+//! full dataset construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_corpus::synth::{generate, SynthConfig};
+use rheotex_corpus::units::parse_quantity;
+use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb};
+use rheotex_textures::TextureDictionary;
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let db = IngredientDb::builtin();
+    let mut group = c.benchmark_group("synth_generate");
+    group.sample_size(20);
+    for n in [500usize, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(11);
+                generate(&mut rng, &SynthConfig::small(n), black_box(&db)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_quantity(c: &mut Criterion) {
+    let samples = [
+        "200g",
+        "200cc",
+        "1/2 cup",
+        "oosaji 2",
+        "kosaji 1/2",
+        "1 1/2 cup",
+        "about 30 g",
+        "3 sheets",
+    ];
+    c.bench_function("parse_quantity_mixed", |b| {
+        b.iter(|| {
+            for s in &samples {
+                let _ = parse_quantity(black_box(s)).unwrap();
+            }
+        });
+    });
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let db = IngredientDb::builtin();
+    let dict = TextureDictionary::comprehensive();
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let corpus = generate(&mut rng, &SynthConfig::small(1000), &db).unwrap();
+    let mut group = c.benchmark_group("dataset_build_1000");
+    group.sample_size(20);
+    group.bench_function("parse_extract_filter", |b| {
+        b.iter(|| {
+            Dataset::build(
+                black_box(&corpus.recipes),
+                &corpus.labels,
+                &db,
+                &dict,
+                DatasetFilter::default(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_parse_quantity,
+    bench_dataset_build
+);
+criterion_main!(benches);

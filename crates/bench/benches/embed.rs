@@ -1,0 +1,63 @@
+//! Word2vec training and query throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_corpus::synth::{generate, SynthConfig};
+use rheotex_corpus::IngredientDb;
+use rheotex_embed::{SgnsConfig, Word2Vec};
+use rheotex_textures::tokenize;
+use std::hint::black_box;
+
+fn sentences(n_recipes: usize) -> Vec<Vec<String>> {
+    let db = IngredientDb::builtin();
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let corpus = generate(&mut rng, &SynthConfig::small(n_recipes), &db).unwrap();
+    corpus
+        .recipes
+        .iter()
+        .map(|r| tokenize(&r.description))
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgns_train_1_epoch");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let sents = sentences(n);
+        let config = SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            min_count: 2,
+            ..SgnsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sents, |b, sents| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(22);
+                Word2Vec::train(&mut rng, black_box(sents), &config)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_most_similar(c: &mut Criterion) {
+    let sents = sentences(1000);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let model = Word2Vec::train(
+        &mut rng,
+        &sents,
+        &SgnsConfig {
+            dim: 32,
+            epochs: 2,
+            min_count: 2,
+            ..SgnsConfig::default()
+        },
+    );
+    c.bench_function("most_similar_top8", |b| {
+        b.iter(|| model.most_similar(black_box("purupuru"), 8));
+    });
+}
+
+criterion_group!(benches, bench_train, bench_most_similar);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Gibbs sweep throughput of the joint topic model, as a function of
+//! corpus size and topic count — the cost driver of Table II(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_corpus::features::gel_info_vector;
+use rheotex_linalg::Vector;
+use std::hint::black_box;
+
+fn synth_docs(n: usize) -> Vec<ModelDoc> {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            use rand::Rng;
+            let band = i % 4;
+            let conc = 0.005 * (band + 1) as f64 * rng.gen_range(0.9..1.1);
+            let gels = [conc, 0.0, 0.0];
+            let terms: Vec<usize> = (0..3).map(|t| (band * 3 + t) % 12).collect();
+            ModelDoc::new(
+                i as u64,
+                terms,
+                gel_info_vector(&gels),
+                Vector::full(6, 9.2),
+            )
+        })
+        .collect()
+}
+
+fn config(k: usize, sweeps: usize) -> JointConfig {
+    JointConfig {
+        n_topics: k,
+        sweeps,
+        burn_in: sweeps / 2,
+        ..JointConfig::paper_default(12)
+    }
+}
+
+fn bench_fit_by_docs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_fit_10_sweeps_by_docs");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let docs = synth_docs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            let model = JointTopicModel::new(config(8, 10)).unwrap();
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(6);
+                model.fit(&mut rng, black_box(docs)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_by_topics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_fit_10_sweeps_by_topics");
+    group.sample_size(10);
+    let docs = synth_docs(400);
+    for k in [4usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let model = JointTopicModel::new(config(k, 10)).unwrap();
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                model.fit(&mut rng, black_box(&docs)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_by_docs, bench_fit_by_topics);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks for the numerical substrate: the operations a single
+//! Gibbs sweep performs thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_linalg::dist::{GaussianStats, NormalWishart};
+use rheotex_linalg::{Cholesky, Matrix, Vector};
+use std::hint::black_box;
+
+fn spd(dim: usize) -> Matrix {
+    // A^T A + I is SPD.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut a = Matrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            a[(i, j)] = rheotex_linalg::dist::sample_std_normal(&mut rng);
+        }
+    }
+    let mut s = a.matmul(&a.transpose()).unwrap();
+    for i in 0..dim {
+        s[(i, i)] += dim as f64;
+    }
+    s
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor");
+    for dim in [3usize, 6, 9] {
+        let m = spd(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &m, |b, m| {
+            b.iter(|| Cholesky::factor(black_box(m)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gaussian_logpdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_log_pdf");
+    for dim in [3usize, 6] {
+        let prec = spd(dim);
+        let g = rheotex_linalg::dist::GaussianPrecision::new(Vector::zeros(dim), prec).unwrap();
+        let x = Vector::full(dim, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &g, |b, g| {
+            b.iter(|| g.log_pdf(black_box(&x)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_nw_posterior_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nw_posterior_and_sample");
+    for dim in [3usize, 6] {
+        let prior = NormalWishart::vague(Vector::zeros(dim), 0.5, 0.5).unwrap();
+        let mut stats = GaussianStats::new(dim);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..300 {
+            let x: Vector = (0..dim)
+                .map(|_| rheotex_linalg::dist::sample_std_normal(&mut rng))
+                .collect();
+            stats.add(&x).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dim),
+            &(prior, stats),
+            |b, (prior, stats)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                b.iter(|| {
+                    prior
+                        .posterior(black_box(stats))
+                        .unwrap()
+                        .sample(&mut rng)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats_add_remove(c: &mut Criterion) {
+    let mut stats = GaussianStats::new(6);
+    let x = Vector::full(6, 1.5);
+    stats.add(&x).unwrap();
+    c.bench_function("gaussian_stats_add_remove_6d", |b| {
+        b.iter(|| {
+            stats.add(black_box(&x)).unwrap();
+            stats.remove(black_box(&x)).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_gaussian_logpdf,
+    bench_nw_posterior_sample,
+    bench_stats_add_remove
+);
+criterion_main!(benches);

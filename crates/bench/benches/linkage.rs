@@ -1,0 +1,64 @@
+//! Linkage throughput: KL topic assignment and the emulsion-KL recipe
+//! ranking behind Fig. 3 / Fig. 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::{FittedJointModel, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_corpus::features::gel_info_vector;
+use rheotex_linalg::kl::{kl_discrete, kl_gaussian};
+use rheotex_linalg::{Matrix, Vector};
+use rheotex_linkage::assign::assign_setting;
+use std::hint::black_box;
+
+fn fitted_model() -> FittedJointModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let docs: Vec<ModelDoc> = (0..300)
+        .map(|i| {
+            use rand::Rng;
+            let band = i % 5;
+            let conc = 0.004 * (band + 1) as f64 * rng.gen_range(0.9..1.1);
+            ModelDoc::new(
+                i as u64,
+                vec![band, (band + 1) % 5],
+                gel_info_vector(&[conc, 0.0, 0.0]),
+                Vector::full(6, 9.2),
+            )
+        })
+        .collect();
+    let config = JointConfig {
+        sweeps: 30,
+        burn_in: 15,
+        ..JointConfig::quick(10, 5)
+    };
+    JointTopicModel::new(config)
+        .unwrap()
+        .fit(&mut rng, &docs)
+        .unwrap()
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let model = fitted_model();
+    c.bench_function("assign_setting_10_topics", |b| {
+        b.iter(|| assign_setting(black_box(&model), 1, [0.02, 0.0, 0.0]).unwrap());
+    });
+}
+
+fn bench_kl_primitives(c: &mut Criterion) {
+    let mu0 = Vector::zeros(3);
+    let mu1 = Vector::full(3, 0.5);
+    let c0 = Matrix::from_diag(&[0.2, 0.3, 0.4]);
+    let c1 = Matrix::from_diag(&[0.5, 0.2, 0.3]);
+    c.bench_function("kl_gaussian_3d", |b| {
+        b.iter(|| kl_gaussian(black_box(&mu0), &c0, &mu1, &c1).unwrap());
+    });
+
+    let p = Vector::new(vec![0.0, 0.0, 0.08, 0.2, 0.4, 0.0]);
+    let q = Vector::new(vec![0.032, 0.0, 0.0, 0.0, 0.787, 0.0]);
+    c.bench_function("kl_discrete_emulsion_6d", |b| {
+        b.iter(|| kl_discrete(black_box(&p), &q, 1e-3).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_assign, bench_kl_primitives);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! TPA rheometer simulation throughput: curve synthesis and attribute
+//! extraction across concentration sweeps (the Table I regeneration
+//! workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rheotex_rheology::table1::table1;
+use rheotex_rheology::tpa::{GelMechanics, TpaConfig, TpaCurve};
+use std::hint::black_box;
+
+fn bench_curve(c: &mut Criterion) {
+    let mech = GelMechanics::from_gel_concentrations([0.025, 0.0, 0.0]);
+    let mut group = c.benchmark_group("tpa_simulate_extract");
+    for steps in [100usize, 250, 1000] {
+        let config = TpaConfig {
+            steps_per_stroke: steps,
+            ..TpaConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &config, |b, cfg| {
+            b.iter(|| {
+                let curve = TpaCurve::simulate(black_box(&mech), cfg);
+                curve.extract()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_sweep(c: &mut Criterion) {
+    let rows = table1();
+    c.bench_function("table1_full_regeneration", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|r| {
+                    GelMechanics::from_gel_concentrations(black_box(r.gels)).predicted_attributes()
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+fn bench_mechanics_only(c: &mut Criterion) {
+    c.bench_function("gel_mechanics_from_concentrations", |b| {
+        b.iter(|| GelMechanics::from_gel_concentrations(black_box([0.02, 0.01, 0.005])));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_curve,
+    bench_table1_sweep,
+    bench_mechanics_only
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E2 — regenerates **Fig. 2**: the two-bite rheometer force
+//! curve with its annotated quantities (F1, areas a/b/c), rendered as an
+//! ASCII time series.
+
+use rheotex::rheology::tpa::{GelMechanics, TpaConfig, TpaCurve};
+use rheotex_bench::{fmt, rule};
+
+fn main() {
+    // A 2.5 % gelatin sample (Table I row 3) — visibly adhesive, clearly
+    // two-peaked.
+    let mech = GelMechanics::from_gel_concentrations([0.025, 0.0, 0.0]);
+    let config = TpaConfig {
+        steps_per_stroke: 40, // coarse sampling renders nicely in ASCII
+        ..TpaConfig::default()
+    };
+    let curve = TpaCurve::simulate(&mech, &config);
+    let attrs = curve.extract();
+
+    rule("Fig. 2: TPA force curve, 2.5% gelatin (force in RU over time)");
+    let max_f = curve.force.iter().cloned().fold(0.0f64, f64::max);
+    let min_f = curve.force.iter().cloned().fold(0.0f64, f64::min);
+    let span = (max_f - min_f).max(1e-9);
+    let height = 19;
+    // Render rows from max force down to min force.
+    for row in 0..=height {
+        let level = max_f - span * row as f64 / height as f64;
+        let mut line = String::new();
+        for &f in &curve.force {
+            let cell = if (f - level).abs() <= span / (2 * height) as f64 {
+                '*'
+            } else if level.abs() <= span / (2 * height) as f64 {
+                '-' // zero axis
+            } else {
+                ' '
+            };
+            line.push(cell);
+        }
+        println!("{:>7} |{line}", fmt(level));
+    }
+    println!("{:>7} +{}", "", "-".repeat(curve.force.len()));
+    println!(
+        "{:>7}  {:^40}{:^40}{:^40}{:^40}",
+        "", "bite 1 down", "bite 1 up (area b < 0)", "bite 2 down", "bite 2 up"
+    );
+
+    rule("extracted attributes");
+    println!("hardness (F1 peak)        = {} RU", fmt(attrs.hardness));
+    println!("cohesiveness (c/a)        = {}", fmt(attrs.cohesiveness));
+    println!(
+        "adhesiveness (area b)     = {} RU.s",
+        fmt(attrs.adhesiveness)
+    );
+    println!("paper Table I row 3       =  H 0.72, C 0.17, A 0.57 (same gel, same shape)");
+}

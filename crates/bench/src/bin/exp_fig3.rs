@@ -1,0 +1,106 @@
+//! Experiment E5 — regenerates **Fig. 3**: within the dish's assigned
+//! topic, recipes are ordered by KL divergence of emulsion concentrations
+//! to the dish; bins near the dish should skew to hardness terms for both
+//! dishes (a), and to elastic terms for Bavarois but not milk jelly (b).
+
+use rheotex::pipeline::run_pipeline;
+use rheotex::rheology::dishes::{bavarois, milk_jelly};
+use rheotex_bench::{bar, rule, Scale};
+use rheotex_linkage::assign::assign_setting;
+use rheotex_linkage::dish::fig3_histogram;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let config = scale.fig34_pipeline_config();
+    eprintln!(
+        "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
+        config.synth.n_recipes, config.sweeps
+    );
+    let out = run_pipeline(&config).expect("pipeline");
+
+    for dish in [bavarois(), milk_jelly()] {
+        let assignment = assign_setting(&out.model, 0, dish.gels).expect("assign");
+        let topic = assignment.topic;
+        let bins = fig3_histogram(
+            &out.model,
+            &out.dataset.features,
+            &out.dict,
+            topic,
+            &dish.emulsions,
+            8,
+        )
+        .expect("fig3");
+        if bins.is_empty() {
+            println!("topic {topic} holds no recipes at this scale; rerun with --paper");
+            continue;
+        }
+
+        rule(&format!(
+            "Fig. 3 for {} (topic {topic}; bin 0 = most similar emulsions)",
+            dish.name
+        ));
+        let max = bins
+            .iter()
+            .map(|b| {
+                b.hardness_terms
+                    .max(b.softness_terms)
+                    .max(b.elastic_terms)
+                    .max(b.cohesive_terms)
+            })
+            .max()
+            .unwrap_or(1) as f64;
+        println!("(a) hardness vs softness");
+        for b in &bins {
+            println!(
+                "bin {:>2} [KL {:>6.3}..{:>6.3}] n={:<4} hard {:>3} {:<24} soft {:>3} {}",
+                b.bin,
+                b.kl_range.0,
+                b.kl_range.1,
+                b.n_recipes,
+                b.hardness_terms,
+                bar(b.hardness_terms as f64, max, 24),
+                b.softness_terms,
+                bar(b.softness_terms as f64, max, 24),
+            );
+        }
+        println!("(b) elastic vs cohesive");
+        for b in &bins {
+            println!(
+                "bin {:>2} [KL {:>6.3}..{:>6.3}] n={:<4} elas {:>3} {:<24} coh  {:>3} {}",
+                b.bin,
+                b.kl_range.0,
+                b.kl_range.1,
+                b.n_recipes,
+                b.elastic_terms,
+                bar(b.elastic_terms as f64, max, 24),
+                b.cohesive_terms,
+                bar(b.cohesive_terms as f64, max, 24),
+            );
+        }
+        // Headline statistic: hardness share in the nearest vs farthest
+        // third of bins.
+        let third = (bins.len() / 3).max(1);
+        let share = |bs: &[rheotex_linkage::Fig3Bin]| {
+            let hard: usize = bs.iter().map(|b| b.hardness_terms).sum();
+            let soft: usize = bs.iter().map(|b| b.softness_terms).sum();
+            hard as f64 / (hard + soft).max(1) as f64
+        };
+        println!(
+            "hardness share: nearest third {:.2} vs farthest third {:.2}",
+            share(&bins[..third]),
+            share(&bins[bins.len() - third..]),
+        );
+        // Rate of elastic terms per term occurrence (the paper's Fig. 3b
+        // contrast: a gradient for Bavarois, none for milk jelly).
+        let erate = |bs: &[rheotex_linkage::Fig3Bin]| {
+            let e: usize = bs.iter().map(|b| b.elastic_terms).sum();
+            let t: usize = bs.iter().map(|b| b.total_terms).sum();
+            e as f64 / t.max(1) as f64
+        };
+        println!(
+            "elastic rate:   nearest third {:.2} vs farthest third {:.2}",
+            erate(&bins[..third]),
+            erate(&bins[bins.len() - third..]),
+        );
+    }
+}

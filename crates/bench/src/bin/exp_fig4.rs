@@ -1,0 +1,103 @@
+//! Experiment E6 — regenerates **Fig. 4**: recipes of the assigned topic
+//! on the consolidated hardness (x) / cohesiveness (y) axes, colored by
+//! emulsion-KL to the dish, with the topic-centroid star. Rendered as an
+//! ASCII scatter with three KL shades.
+
+use rheotex::pipeline::run_pipeline;
+use rheotex::rheology::dishes::{bavarois, milk_jelly};
+use rheotex_bench::{rule, Scale};
+use rheotex_linkage::assign::assign_setting;
+use rheotex_linkage::dish::fig4_scatter;
+
+const W: usize = 61;
+const H: usize = 21;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let config = scale.fig34_pipeline_config();
+    eprintln!(
+        "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
+        config.synth.n_recipes, config.sweeps
+    );
+    let out = run_pipeline(&config).expect("pipeline");
+
+    for dish in [bavarois(), milk_jelly()] {
+        let topic = assign_setting(&out.model, 0, dish.gels)
+            .expect("assign")
+            .topic;
+        let scatter = fig4_scatter(
+            &out.model,
+            &out.dataset.features,
+            &out.dict,
+            topic,
+            &dish.emulsions,
+        )
+        .expect("fig4");
+        rule(&format!(
+            "Fig. 4 for {} (topic {topic}; @=nearest KL third, o=middle, .=farthest, *=topic)",
+            dish.name
+        ));
+        let n = scatter.points.len();
+        let mut grid = vec![vec![' '; W]; H];
+        // Points are sorted by ascending KL; thirds become shades.
+        for (i, p) in scatter.points.iter().enumerate() {
+            let x = (((p.hardness + 1.0) / 2.0) * (W - 1) as f64).round() as usize;
+            let y = ((1.0 - (p.cohesiveness + 1.0) / 2.0) * (H - 1) as f64).round() as usize;
+            let shade = if i < n / 3 {
+                '@'
+            } else if i < 2 * n / 3 {
+                'o'
+            } else {
+                '.'
+            };
+            let cell = &mut grid[y.min(H - 1)][x.min(W - 1)];
+            // Nearest shade wins overlaps.
+            if *cell == ' ' || *cell == '.' || (*cell == 'o' && shade == '@') {
+                *cell = shade;
+            }
+        }
+        let sx = (((scatter.star_hardness + 1.0) / 2.0) * (W - 1) as f64).round() as usize;
+        let sy =
+            ((1.0 - (scatter.star_cohesiveness + 1.0) / 2.0) * (H - 1) as f64).round() as usize;
+        grid[sy.min(H - 1)][sx.min(W - 1)] = '*';
+
+        println!("cohesiveness (+1 top, -1 bottom) vs hardness (-1 left, +1 right)");
+        for (y, row) in grid.iter().enumerate() {
+            let label = if y == 0 {
+                "+1"
+            } else if y == H - 1 {
+                "-1"
+            } else if y == H / 2 {
+                " 0"
+            } else {
+                "  "
+            };
+            println!("{label} |{}|", row.iter().collect::<String>());
+        }
+        println!("   -1{}+1", " ".repeat(W - 4));
+
+        // Headline statistic: mean hardness of the nearest vs farthest third.
+        let mean = |ps: &[rheotex_linkage::Fig4Point],
+                    f: fn(&rheotex_linkage::Fig4Point) -> f64| {
+            if ps.is_empty() {
+                0.0
+            } else {
+                ps.iter().map(f).sum::<f64>() / ps.len() as f64
+            }
+        };
+        let near = &scatter.points[..n / 3];
+        let far = &scatter.points[2 * n / 3..];
+        println!(
+            "mean hardness:     near {:+.2}  far {:+.2}   (star {:+.2})",
+            mean(near, |p| p.hardness),
+            mean(far, |p| p.hardness),
+            scatter.star_hardness
+        );
+        println!(
+            "mean cohesiveness: near {:+.2}  far {:+.2}   (star {:+.2})",
+            mean(near, |p| p.cohesiveness),
+            mean(far, |p| p.cohesiveness),
+            scatter.star_cohesiveness
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment E7 (extension) — ground-truth recovery ablation: the joint
+//! topic model vs an LDA baseline (terms only) vs a GMM baseline
+//! (concentrations only), scored as clusterings of recipes against the
+//! generator's archetype labels.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex::core::gmm::{GmmConfig, GmmModel};
+use rheotex::core::lda::{LdaConfig, LdaModel};
+use rheotex::pipeline::run_pipeline;
+use rheotex_bench::{rule, Scale};
+use rheotex_linkage::encode::dataset_to_docs;
+use rheotex_linkage::{adjusted_rand_index, normalized_mutual_information, purity};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let config = scale.pipeline_config();
+    eprintln!(
+        "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
+        config.synth.n_recipes, config.sweeps
+    );
+    let out = run_pipeline(&config).expect("pipeline");
+    let truth = &out.dataset.labels;
+    let docs = dataset_to_docs(&out.dataset);
+    let k = out.model.n_topics();
+
+    // Joint model assignment (dominant topic).
+    let joint: Vec<usize> = (0..out.model.n_docs())
+        .map(|d| out.model.dominant_topic(d))
+        .collect();
+
+    // LDA baseline on the same docs.
+    let lda_cfg = LdaConfig {
+        n_topics: k,
+        vocab_size: out.dict.len(),
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: config.sweeps,
+        burn_in: config.burn_in,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD);
+    let lda_fit = LdaModel::new(lda_cfg)
+        .expect("lda config")
+        .fit(&mut rng, &docs)
+        .expect("lda fit");
+    let lda: Vec<usize> = (0..docs.len()).map(|d| lda_fit.dominant_topic(d)).collect();
+
+    // GMM baseline on the same docs.
+    let mut gmm_cfg = GmmConfig::new(k);
+    gmm_cfg.sweeps = config.sweeps.min(120);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xDCBA);
+    let gmm_fit = GmmModel::new(gmm_cfg)
+        .expect("gmm config")
+        .fit(&mut rng, &docs)
+        .expect("gmm fit");
+
+    rule("recovery of generator archetypes (higher is better)");
+    println!("{:<24} {:>8} {:>8} {:>8}", "model", "purity", "NMI", "ARI");
+    for (name, pred) in [
+        ("joint (paper)", &joint),
+        ("LDA (terms only)", &lda),
+        ("GMM (vectors only)", &gmm_fit.assignments),
+    ] {
+        println!(
+            "{:<24} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            purity(pred, truth),
+            normalized_mutual_information(pred, truth),
+            adjusted_rand_index(pred, truth)
+        );
+    }
+    println!(
+        "\n(Expected shape: joint clearly beats LDA — words alone cannot tell the four\n\
+         furufuru concentration bands apart. The GMM is a strong competitor on *pure\n\
+         recovery* here because the synthetic concentration channel is highly\n\
+         separable, and shared vocabulary actively pulls the joint model's soft bands\n\
+         together; what the GMM cannot do at any score is describe its clusters —\n\
+         the joint model's topics carry the texture vocabulary that the paper's\n\
+         rheology linkage and Fig. 3/4 analyses require.)"
+    );
+}

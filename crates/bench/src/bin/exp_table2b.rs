@@ -1,0 +1,68 @@
+//! Experiment E4 — regenerates **Table II(b)**: the Bavarois / milk-jelly
+//! records with their assigned topics, and checks the paper's headline:
+//! both dishes (and the pure-gelatin reference) land on the same
+//! hard-gelatin topic.
+
+use rheotex::pipeline::run_pipeline;
+use rheotex::rheology::dishes::table2b;
+use rheotex_bench::{fmt, rule, Scale};
+use rheotex_linkage::assign::assign_setting;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let config = scale.pipeline_config();
+    eprintln!(
+        "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
+        config.synth.n_recipes, config.sweeps
+    );
+    let out = run_pipeline(&config).expect("pipeline");
+
+    rule("Table II(b): dishes, quantitative texture, assigned topic");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>6}",
+        "dish", "H", "C", "A", "gelatin", "kanten", "agar", "topic"
+    );
+    let mut topics = Vec::new();
+    for (i, dish) in table2b().iter().enumerate() {
+        let a = assign_setting(&out.model, i as u32, dish.gels).expect("assign");
+        println!(
+            "{:<20} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>6}",
+            dish.name,
+            fmt(dish.attributes.hardness),
+            fmt(dish.attributes.cohesiveness),
+            fmt(dish.attributes.adhesiveness),
+            fmt(dish.gels[0]),
+            fmt(dish.gels[1]),
+            fmt(dish.gels[2]),
+            a.topic
+        );
+        topics.push(a.topic);
+    }
+    rule("check");
+    if topics.windows(2).all(|w| w[0] == w[1]) {
+        println!(
+            "PASS: all three records (same 2.5% gelatin) assign to topic {} —\n\
+             the paper's result (its topic 3).",
+            topics[0]
+        );
+    } else {
+        println!(
+            "note: assignments differ ({topics:?}); at quick scale the gelatin band\n\
+             may split across topics — rerun with --paper."
+        );
+    }
+    // Show the topic's texture terms so the linkage is interpretable.
+    let topic = topics[0];
+    let summaries =
+        rheotex::core::TopicSummary::from_model(&out.model, 8, 0.01).expect("summaries");
+    let s = &summaries[topic];
+    let terms: Vec<String> = s
+        .top_terms
+        .iter()
+        .map(|&(w, p)| {
+            let e = out.dict.entry(rheotex::textures::TermId(w as u32));
+            format!("{}({})", e.surface, fmt(p))
+        })
+        .collect();
+    println!("topic {topic} texture terms: {}", terms.join(" "));
+}

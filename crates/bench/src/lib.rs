@@ -1,0 +1,141 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every paper table/figure has a binary in `src/bin/` (`exp_table1`,
+//! `exp_fig2`, …) that regenerates it. Binaries run at **quick** scale by
+//! default (seconds, for CI and smoke tests) and at **paper** scale with
+//! `--paper` or `RHEOTEX_SCALE=paper` (the corpus size and sweep counts of
+//! the paper).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use rheotex::pipeline::PipelineConfig;
+
+/// Scale at which an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpus, short chains — seconds.
+    Quick,
+    /// The paper's dimensions — minutes.
+    Paper,
+}
+
+impl Scale {
+    /// Resolves the scale from CLI args (`--paper`) or the
+    /// `RHEOTEX_SCALE` environment variable.
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let arg_paper = std::env::args().any(|a| a == "--paper");
+        let env_paper = std::env::var("RHEOTEX_SCALE")
+            .map(|v| v.eq_ignore_ascii_case("paper"))
+            .unwrap_or(false);
+        if arg_paper || env_paper {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Pipeline configuration for this scale.
+    #[must_use]
+    pub fn pipeline_config(self) -> PipelineConfig {
+        match self {
+            Scale::Paper => PipelineConfig::paper_scale(),
+            Scale::Quick => {
+                let mut c = PipelineConfig::small(1200);
+                c.sweeps = 150;
+                c.burn_in = 75;
+                c
+            }
+        }
+    }
+
+    /// Pipeline configuration for the within-topic dish analyses (E5 Fig. 3
+    /// and E6 Fig. 4). The paper's hard-gelatin topic holds only 38
+    /// recipes — too few for per-bin histograms on a sampled corpus — so
+    /// this config boosts the hard archetype's sampling weight to give the
+    /// within-topic gradients statistical power. The *shape* claims being
+    /// tested are unaffected: they live inside the topic.
+    #[must_use]
+    pub fn fig34_pipeline_config(self) -> PipelineConfig {
+        let mut c = self.pipeline_config();
+        for a in &mut c.synth.archetypes {
+            if a.name.starts_with("gelatin-hard") {
+                a.weight *= 12.0;
+            }
+        }
+        c
+    }
+}
+
+/// Prints a section rule with a title.
+pub fn rule(title: &str) {
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
+}
+
+/// Formats a float compactly: 3 significant-ish decimals, trailing zeros
+/// trimmed.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let s = if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    };
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Renders a horizontal ASCII bar of width proportional to
+/// `value / max` (max width `width` chars).
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_trims() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.025), "0.025");
+        assert_eq!(fmt(2.50), "2.5");
+        assert_eq!(fmt(123.45), "123.5"); // rounded at 1 decimal
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+    }
+
+    #[test]
+    fn default_scale_is_quick() {
+        // No --paper arg in the test harness.
+        if std::env::var("RHEOTEX_SCALE").is_err() {
+            assert_eq!(Scale::from_env_and_args(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn configs_differ_by_scale() {
+        let q = Scale::Quick.pipeline_config();
+        let p = Scale::Paper.pipeline_config();
+        assert!(p.synth.n_recipes > q.synth.n_recipes);
+        assert!(p.sweeps > q.sweeps);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal hand-rolled flag parser (the workspace's dependency policy
+//! excludes clap; the surface here is small enough not to miss it).
+//!
+//! Supports `--flag value` and `--flag` (boolean) forms. Positional
+//! arguments are collected in order. Known limitation (acceptable for
+//! this CLI, which takes no positionals after flags): a boolean flag
+//! followed by a bare token greedily consumes it as a value.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: the subcommand, its flags, and
+/// positionals.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First non-flag token (the subcommand).
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    #[must_use]
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                // Value-taking if the next token exists and is not a flag.
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.flags.insert(name.to_string(), value);
+                    }
+                    _ => out.bools.push(name.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Parses from the process environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String flag value.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Typed flag with default; exits with a message on parse failure.
+    #[must_use]
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{name} expects a {}", std::any::type_name::<T>());
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name) || self.flags.contains_key(name)
+    }
+
+    /// Required string flag; exits with a message when missing.
+    #[must_use]
+    pub fn require(&self, name: &str) -> &str {
+        self.get(name).unwrap_or_else(|| {
+            eprintln!("error: missing required flag --{name}");
+            std::process::exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn subcommand_flags_positionals() {
+        let a = parse("fit extra --corpus c.jsonl --topics 10 --paper");
+        assert_eq!(a.command.as_deref(), Some("fit"));
+        assert_eq!(a.get("corpus"), Some("c.jsonl"));
+        assert_eq!(a.get_parsed_or("topics", 0usize), 10);
+        assert!(a.has("paper"));
+        assert_eq!(a.positional, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn boolean_flag_greedily_takes_following_token() {
+        // Documented limitation: `--paper extra` parses as paper="extra".
+        let a = parse("fit --paper extra");
+        assert!(a.has("paper"));
+        assert_eq!(a.get("paper"), Some("extra"));
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn boolean_at_end() {
+        let a = parse("generate --seed 7 --verbose");
+        assert_eq!(a.get_parsed_or("seed", 0u64), 7);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("topics");
+        assert_eq!(a.get_parsed_or("top", 5usize), 5);
+        assert!(a.get("model").is_none());
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let a = parse("assign --gelatin 2.5 --kanten 0");
+        assert!((a.get_parsed_or("gelatin", 0.0f64) - 2.5).abs() < 1e-12);
+        assert_eq!(a.get_parsed_or("kanten", 1.0f64), 0.0);
+    }
+}

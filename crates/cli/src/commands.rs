@@ -1,0 +1,253 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex::core::{FittedJointModel, TopicSummary};
+use rheotex::corpus::io::{load_corpus, save_corpus};
+use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
+use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
+use rheotex::pipeline::{fit_recipes, PipelineConfig};
+use rheotex::rheology::tpa::GelMechanics;
+use rheotex::textures::{TermId, TextureDictionary};
+use rheotex_linkage::assign::assign_setting;
+use rheotex_linkage::rules::mine_term_rules;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rheotex — sensory texture topics with rheological linkage
+
+USAGE:
+  rheotex generate  --recipes N [--seed S] --out corpus.jsonl
+  rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
+                    --out-model model.json --out-dict dict.json
+  rheotex topics    --model model.json --dict dict.json [--top N] [--json]
+  rheotex assign    --model model.json --dict dict.json --gelatin PCT
+                    [--kanten PCT] [--agar PCT]
+  rheotex rheometer --gelatin PCT [--kanten PCT] [--agar PCT]
+                    [--milk PCT] [--cream PCT] [--yolk PCT] [--sugar PCT]
+                    [--albumen PCT] [--yogurt PCT]
+  rheotex rules     --corpus corpus.jsonl [--min-support N]
+  rheotex help
+";
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+/// `generate`: draw a synthetic corpus and write it as JSONL.
+pub fn generate(args: &Args) -> i32 {
+    let n = args.get_parsed_or("recipes", 3600usize);
+    let seed = args.get_parsed_or("seed", 2022u64);
+    let out = args.require("out");
+    let db = IngredientDb::builtin();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let corpus = match synth_generate(&mut rng, &SynthConfig::small(n), &db) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = save_corpus(Path::new(out), &corpus) {
+        return fail(e);
+    }
+    println!("wrote {n} recipes to {out} (seed {seed})");
+    0
+}
+
+/// `fit`: load recipes, run stages 2–4, save model and dictionary.
+pub fn fit(args: &Args) -> i32 {
+    let corpus_path = args.require("corpus");
+    let out_model = args.require("out-model");
+    let out_dict = args.require("out-dict");
+    let (recipes, labels) = match load_corpus(Path::new(corpus_path)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let mut config = PipelineConfig::paper_scale();
+    config.n_topics = args.get_parsed_or("topics", config.n_topics);
+    config.sweeps = args.get_parsed_or("sweeps", config.sweeps);
+    config.burn_in = config.sweeps / 2;
+    config.seed = args.get_parsed_or("seed", config.seed);
+
+    eprintln!(
+        "fitting K={} over {} recipes ({} sweeps)…",
+        config.n_topics,
+        recipes.len(),
+        config.sweeps
+    );
+    let fit = match fit_recipes(&config, &recipes, &labels) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let excluded: Vec<&str> = fit
+        .filter_outcomes
+        .iter()
+        .filter(|o| !o.keep)
+        .map(|o| o.term.as_str())
+        .collect();
+    eprintln!(
+        "kept {} recipes, {} terms (excluded: {excluded:?})",
+        fit.dataset.len(),
+        fit.dict.len()
+    );
+    if let Err(e) = std::fs::write(
+        out_model,
+        serde_json::to_string(&fit.model).expect("model serializes"),
+    ) {
+        return fail(e);
+    }
+    if let Err(e) = std::fs::write(
+        out_dict,
+        serde_json::to_string(&fit.dict).expect("dict serializes"),
+    ) {
+        return fail(e);
+    }
+    println!("wrote {out_model} and {out_dict}");
+    0
+}
+
+fn load_model_and_dict(args: &Args) -> Result<(FittedJointModel, TextureDictionary), String> {
+    let model_path = args.require("model");
+    let dict_path = args.require("dict");
+    let model: FittedJointModel = serde_json::from_str(
+        &std::fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parse {model_path}: {e}"))?;
+    let mut dict: TextureDictionary = serde_json::from_str(
+        &std::fs::read_to_string(dict_path).map_err(|e| format!("{dict_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parse {dict_path}: {e}"))?;
+    dict.rebuild_index();
+    Ok((model, dict))
+}
+
+/// `topics`: print a fitted model's topics (`--json` for machine-readable
+/// output).
+pub fn topics(args: &Args) -> i32 {
+    let (model, dict) = match load_model_and_dict(args) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let top = args.get_parsed_or("top", 6usize);
+    let summaries = match TopicSummary::from_model(&model, top, 0.01) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summaries).expect("summaries serialize")
+        );
+        return 0;
+    }
+    let gel_names = ["gelatin", "kanten", "agar"];
+    let mut order: Vec<usize> = (0..summaries.len()).collect();
+    order.sort_by_key(|&k| std::cmp::Reverse(summaries[k].n_recipes));
+    for &k in &order {
+        let s = &summaries[k];
+        if s.n_recipes == 0 {
+            continue;
+        }
+        let gels: Vec<String> = s
+            .gel_concentration
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0015)
+            .map(|(i, &c)| format!("{}:{:.2}%", gel_names[i], c * 100.0))
+            .collect();
+        let terms: Vec<String> = s
+            .top_terms
+            .iter()
+            .map(|&(w, p)| format!("{}({p:.2})", dict.entry(TermId(w as u32)).surface))
+            .collect();
+        println!(
+            "topic {k:>2} | {:<26} | {:>5} recipes | {}",
+            gels.join(" "),
+            s.n_recipes,
+            terms.join(" ")
+        );
+    }
+    0
+}
+
+/// `assign`: map a gel setting to its most similar topic.
+pub fn assign(args: &Args) -> i32 {
+    let (model, dict) = match load_model_and_dict(args) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let gels = [
+        args.get_parsed_or("gelatin", 0.0f64) / 100.0,
+        args.get_parsed_or("kanten", 0.0f64) / 100.0,
+        args.get_parsed_or("agar", 0.0f64) / 100.0,
+    ];
+    let a = match assign_setting(&model, 0, gels) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    println!("topic {} (KL {:.3})", a.topic, a.kl);
+    for (w, p) in model.top_terms(a.topic, 6) {
+        if p < 0.02 {
+            continue;
+        }
+        let e = dict.entry(TermId(w as u32));
+        println!("  {:<14} {:<48} p={p:.2}", e.surface, e.gloss);
+    }
+    0
+}
+
+/// `rheometer`: simulate the TPA instrument for a composition.
+pub fn rheometer(args: &Args) -> i32 {
+    let gels = [
+        args.get_parsed_or("gelatin", 0.0f64) / 100.0,
+        args.get_parsed_or("kanten", 0.0f64) / 100.0,
+        args.get_parsed_or("agar", 0.0f64) / 100.0,
+    ];
+    let emulsions = [
+        args.get_parsed_or("sugar", 0.0f64) / 100.0,
+        args.get_parsed_or("albumen", 0.0f64) / 100.0,
+        args.get_parsed_or("yolk", 0.0f64) / 100.0,
+        args.get_parsed_or("cream", 0.0f64) / 100.0,
+        args.get_parsed_or("milk", 0.0f64) / 100.0,
+        args.get_parsed_or("yogurt", 0.0f64) / 100.0,
+    ];
+    let attrs = GelMechanics::from_composition(gels, emulsions).predicted_attributes();
+    println!("hardness     = {:.3} RU", attrs.hardness);
+    println!("cohesiveness = {:.3}", attrs.cohesiveness);
+    println!("adhesiveness = {:.3} RU.s", attrs.adhesiveness);
+    0
+}
+
+/// `rules`: mine term → concentration association rules from a corpus.
+pub fn rules(args: &Args) -> i32 {
+    let corpus_path = args.require("corpus");
+    let min_support = args.get_parsed_or("min-support", 10usize);
+    let (recipes, labels) = match load_corpus(Path::new(corpus_path)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let db = IngredientDb::builtin();
+    let dict = TextureDictionary::comprehensive();
+    let dataset = match Dataset::build(&recipes, &labels, &db, &dict, DatasetFilter::default()) {
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+    let gel_names = ["gelatin", "kanten", "agar"];
+    let mined = mine_term_rules(&dataset.features, &dict, min_support);
+    println!(
+        "{:>14} {:>8} {:>10} {:>16} {:>6}",
+        "term", "support", "lift", "dominant gel", "conc%"
+    );
+    for r in mined.iter().take(20) {
+        println!(
+            "{:>14} {:>8} {:>10.2} {:>16} {:>6.2}",
+            r.surface,
+            r.support,
+            r.lift,
+            gel_names[r.dominant_gel.0],
+            r.dominant_gel.1 * 100.0
+        );
+    }
+    0
+}

@@ -1,0 +1,39 @@
+//! `rheotex` — command-line interface to the texture-topic pipeline.
+//!
+//! ```text
+//! rheotex generate  --recipes 3600 --seed 2022 --out corpus.jsonl
+//! rheotex fit       --corpus corpus.jsonl --topics 10 --sweeps 400
+//!                   --out-model model.json --out-dict dict.json
+//! rheotex topics    --model model.json --dict dict.json [--top 8]
+//! rheotex assign    --model model.json --dict dict.json
+//!                   --gelatin 2.5 [--kanten 0] [--agar 0]
+//! rheotex rheometer --gelatin 2.5 [--kanten 0] [--agar 0]
+//!                   [--milk 78.7] [--cream 0] [--yolk 0] [--sugar 0]
+//! rheotex rules     --corpus corpus.jsonl [--min-support 10]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let code = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("fit") => commands::fit(&args),
+        Some("topics") => commands::topics(&args),
+        Some("assign") => commands::assign(&args),
+        Some("rheometer") => commands::rheometer(&args),
+        Some("rules") => commands::rules(&args),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,184 @@
+//! Integration tests driving the compiled `rheotex` binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rheotex"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rheotex_cli_{name}"));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("rheotex fit"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn missing_required_flag_exits_2() {
+    let out = bin().args(["generate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn rheometer_prints_attributes() {
+    let out = bin()
+        .args(["rheometer", "--gelatin", "2.5", "--milk", "78.7"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hardness"), "{text}");
+    assert!(text.contains("cohesiveness"));
+    assert!(text.contains("adhesiveness"));
+}
+
+#[test]
+fn generate_fit_topics_assign_workflow() {
+    let dir = tmpdir("workflow");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let dict = dir.join("dict.json");
+
+    // generate
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "350",
+            "--seed",
+            "7",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(corpus.exists());
+
+    // fit (short chain for test speed)
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "8",
+            "--sweeps",
+            "40",
+            "--out-model",
+            model.to_str().unwrap(),
+            "--out-dict",
+            dict.to_str().unwrap(),
+        ])
+        .output()
+        .expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists() && dict.exists());
+
+    // topics (human and JSON forms)
+    let out = bin()
+        .args([
+            "topics",
+            "--model",
+            model.to_str().unwrap(),
+            "--dict",
+            dict.to_str().unwrap(),
+        ])
+        .output()
+        .expect("topics");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("topic"), "{text}");
+    assert!(text.contains("recipes"));
+
+    let out = bin()
+        .args([
+            "topics",
+            "--model",
+            model.to_str().unwrap(),
+            "--dict",
+            dict.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("topics json");
+    assert!(out.status.success());
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(parsed.as_array().is_some_and(|a| a.len() == 8));
+
+    // assign
+    let out = bin()
+        .args([
+            "assign",
+            "--model",
+            model.to_str().unwrap(),
+            "--dict",
+            dict.to_str().unwrap(),
+            "--gelatin",
+            "0.9",
+        ])
+        .output()
+        .expect("assign");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("topic"));
+
+    // rules over the same corpus
+    let out = bin()
+        .args([
+            "rules",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--min-support",
+            "5",
+        ])
+        .output()
+        .expect("rules");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lift"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fit_rejects_missing_corpus() {
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            "/nonexistent/x.jsonl",
+            "--out-model",
+            "/tmp/m",
+            "--out-dict",
+            "/tmp/d",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

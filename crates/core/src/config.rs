@@ -1,0 +1,232 @@
+//! Model configuration and hyperparameters.
+
+use crate::error::ModelError;
+use rheotex_linalg::dist::NormalWishart;
+use rheotex_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Normal-Wishart hyperparameters in a user-friendly form.
+///
+/// `mean` may be `None`, in which case the fitter centres the prior on the
+/// empirical mean of the corpus (the usual vague choice). `prior_std` sets
+/// the scale matrix so the prior expected covariance is roughly
+/// `prior_std² · I`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NwHyper {
+    /// Prior mean `μ₀`; `None` = empirical mean of the data.
+    pub mean: Option<Vec<f64>>,
+    /// Mean-precision coupling `β` (pseudo-observations for the mean).
+    pub beta: f64,
+    /// Degrees of freedom `ν`; `None` = `dim + 2` (weakest proper choice).
+    pub nu: Option<f64>,
+    /// Prior covariance scale (standard deviation per dimension).
+    pub prior_std: f64,
+}
+
+impl Default for NwHyper {
+    fn default() -> Self {
+        Self {
+            mean: None,
+            beta: 0.5,
+            nu: None,
+            // Within-topic spread of −ln(concentration) features is ~0.1–0.5
+            // (log-normal concentration jitter); a broader prior would
+            // dominate the scatter of realistic topic sizes and stop the
+            // Gaussian components from tightening onto concentration bands.
+            prior_std: 0.5,
+        }
+    }
+}
+
+impl NwHyper {
+    /// Materializes the Normal-Wishart prior for dimension `dim`, filling
+    /// in data-driven defaults from `empirical_mean`.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] for inconsistent dimensions or
+    /// non-positive parameters.
+    pub fn materialize(
+        &self,
+        dim: usize,
+        empirical_mean: &Vector,
+    ) -> Result<NormalWishart, ModelError> {
+        let mu0 = match &self.mean {
+            Some(m) => {
+                if m.len() != dim {
+                    return Err(ModelError::InvalidConfig {
+                        what: format!("NW mean has dim {}, expected {dim}", m.len()),
+                    });
+                }
+                Vector::new(m.clone())
+            }
+            None => empirical_mean.clone(),
+        };
+        let nu = self.nu.unwrap_or(dim as f64 + 2.0);
+        if self.prior_std <= 0.0 {
+            return Err(ModelError::InvalidConfig {
+                what: format!("prior_std {} must be positive", self.prior_std),
+            });
+        }
+        // Scale matrix with E[Λ]⁻¹ ≈ prior_std² I: S⁻¹ = ν σ² I.
+        let scale_inv = Matrix::scaled_identity(dim, nu * self.prior_std * self.prior_std);
+        NormalWishart::new(mu0, self.beta, nu, scale_inv).map_err(|e| ModelError::InvalidConfig {
+            what: format!("bad NW hyperparameters: {e}"),
+        })
+    }
+}
+
+/// Full configuration of the joint topic model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointConfig {
+    /// Number of topics `K` (the paper uses 10).
+    pub n_topics: usize,
+    /// Vocabulary size `V` (the paper's filtered corpus has 41).
+    pub vocab_size: usize,
+    /// Gel vector dimension (paper: 3).
+    pub gel_dim: usize,
+    /// Emulsion vector dimension (paper: 6).
+    pub emulsion_dim: usize,
+    /// Symmetric document-topic Dirichlet concentration `α`.
+    pub alpha: f64,
+    /// Symmetric topic-term Dirichlet concentration `γ`.
+    pub gamma: f64,
+    /// Gel Normal-Wishart hyperparameters.
+    pub gel_prior: NwHyper,
+    /// Emulsion Normal-Wishart hyperparameters.
+    pub emulsion_prior: NwHyper,
+    /// Total Gibbs sweeps.
+    pub sweeps: usize,
+    /// Sweeps discarded before collecting posterior estimates.
+    pub burn_in: usize,
+}
+
+impl JointConfig {
+    /// Paper-shaped defaults for a given vocabulary size: `K = 10`,
+    /// 3-dimensional gels, 6-dimensional emulsions.
+    #[must_use]
+    pub fn paper_default(vocab_size: usize) -> Self {
+        Self {
+            n_topics: 10,
+            vocab_size,
+            gel_dim: 3,
+            emulsion_dim: 6,
+            alpha: 0.2,
+            gamma: 0.1,
+            gel_prior: NwHyper::default(),
+            emulsion_prior: NwHyper::default(),
+            sweeps: 400,
+            burn_in: 200,
+        }
+    }
+
+    /// Fast configuration for tests.
+    #[must_use]
+    pub fn quick(n_topics: usize, vocab_size: usize) -> Self {
+        Self {
+            n_topics,
+            vocab_size,
+            sweeps: 60,
+            burn_in: 30,
+            ..Self::paper_default(vocab_size)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let bad = |what: String| Err(ModelError::InvalidConfig { what });
+        if self.n_topics == 0 {
+            return bad("n_topics must be at least 1".into());
+        }
+        if self.vocab_size == 0 {
+            return bad("vocab_size must be at least 1".into());
+        }
+        if self.gel_dim == 0 || self.emulsion_dim == 0 {
+            return bad("feature dimensions must be positive".into());
+        }
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return bad(format!("alpha {} must be positive", self.alpha));
+        }
+        if !(self.gamma.is_finite() && self.gamma > 0.0) {
+            return bad(format!("gamma {} must be positive", self.gamma));
+        }
+        if self.sweeps == 0 {
+            return bad("sweeps must be at least 1".into());
+        }
+        if self.burn_in >= self.sweeps {
+            return bad(format!(
+                "burn_in {} must be below sweeps {}",
+                self.burn_in, self.sweeps
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(JointConfig::paper_default(41).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = JointConfig::paper_default(41);
+        let mut c = base.clone();
+        c.n_topics = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.vocab_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.gamma = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.burn_in = c.sweeps;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hyper_materialize_uses_empirical_mean() {
+        let h = NwHyper::default();
+        let emp = Vector::new(vec![5.0, 6.0, 7.0]);
+        let nw = h.materialize(3, &emp).unwrap();
+        assert_eq!(nw.mu0().as_slice(), emp.as_slice());
+        assert_eq!(nw.nu(), 5.0); // dim + 2
+    }
+
+    #[test]
+    fn hyper_materialize_explicit_mean_and_nu() {
+        let h = NwHyper {
+            mean: Some(vec![1.0, 2.0]),
+            beta: 1.0,
+            nu: Some(10.0),
+            prior_std: 0.5,
+        };
+        let nw = h.materialize(2, &Vector::zeros(2)).unwrap();
+        assert_eq!(nw.mu0().as_slice(), &[1.0, 2.0]);
+        assert_eq!(nw.nu(), 10.0);
+    }
+
+    #[test]
+    fn hyper_materialize_rejects_bad_input() {
+        let h = NwHyper {
+            mean: Some(vec![1.0]),
+            ..NwHyper::default()
+        };
+        assert!(h.materialize(2, &Vector::zeros(2)).is_err());
+        let h = NwHyper {
+            prior_std: 0.0,
+            ..NwHyper::default()
+        };
+        assert!(h.materialize(2, &Vector::zeros(2)).is_err());
+    }
+}

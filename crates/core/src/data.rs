@@ -1,0 +1,140 @@
+//! Model input: one document per recipe.
+
+use crate::error::ModelError;
+use rheotex_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// One recipe as the model sees it: a texture-term sequence plus the two
+/// concentration vectors (in information-quantity space, `−ln x`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDoc {
+    /// External id (recipe id) carried through for reporting.
+    pub id: u64,
+    /// Texture terms as vocabulary indices, in order of occurrence.
+    pub terms: Vec<usize>,
+    /// Gel concentration vector (paper: 3-dimensional).
+    pub gel: Vector,
+    /// Emulsion concentration vector (paper: 6-dimensional).
+    pub emulsion: Vector,
+}
+
+impl ModelDoc {
+    /// Constructor.
+    #[must_use]
+    pub fn new(id: u64, terms: Vec<usize>, gel: Vector, emulsion: Vector) -> Self {
+        Self {
+            id,
+            terms,
+            gel,
+            emulsion,
+        }
+    }
+
+    /// Number of texture tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the doc has no texture tokens (legal: the gel vector still
+    /// informs `y_d`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Validates a corpus against expected dimensions.
+///
+/// # Errors
+/// [`ModelError::InvalidData`] for an empty corpus, out-of-vocabulary
+/// term indices, or dimension mismatches.
+pub fn validate_docs(
+    docs: &[ModelDoc],
+    vocab_size: usize,
+    gel_dim: usize,
+    emulsion_dim: usize,
+) -> Result<(), ModelError> {
+    if docs.is_empty() {
+        return Err(ModelError::InvalidData {
+            what: "corpus is empty".into(),
+        });
+    }
+    for d in docs {
+        if let Some(&t) = d.terms.iter().find(|&&t| t >= vocab_size) {
+            return Err(ModelError::InvalidData {
+                what: format!("doc {}: term index {t} >= vocab size {vocab_size}", d.id),
+            });
+        }
+        if d.gel.len() != gel_dim {
+            return Err(ModelError::InvalidData {
+                what: format!(
+                    "doc {}: gel dim {} != expected {gel_dim}",
+                    d.id,
+                    d.gel.len()
+                ),
+            });
+        }
+        if d.emulsion.len() != emulsion_dim {
+            return Err(ModelError::InvalidData {
+                what: format!(
+                    "doc {}: emulsion dim {} != expected {emulsion_dim}",
+                    d.id,
+                    d.emulsion.len()
+                ),
+            });
+        }
+        if d.gel.iter().any(|v| !v.is_finite()) || d.emulsion.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::InvalidData {
+                what: format!("doc {}: non-finite concentration feature", d.id),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(terms: Vec<usize>) -> ModelDoc {
+        ModelDoc::new(0, terms, Vector::zeros(3), Vector::zeros(6))
+    }
+
+    #[test]
+    fn valid_corpus_passes() {
+        let docs = vec![doc(vec![0, 1, 2]), doc(vec![])];
+        assert!(validate_docs(&docs, 3, 3, 6).is_ok());
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(validate_docs(&[], 3, 3, 6).is_err());
+    }
+
+    #[test]
+    fn oov_term_rejected() {
+        let docs = vec![doc(vec![0, 5])];
+        let err = validate_docs(&docs, 3, 3, 6).unwrap_err();
+        assert!(err.to_string().contains("term index 5"));
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let docs = vec![ModelDoc::new(7, vec![], Vector::zeros(2), Vector::zeros(6))];
+        assert!(validate_docs(&docs, 3, 3, 6).is_err());
+        let docs = vec![ModelDoc::new(7, vec![], Vector::zeros(3), Vector::zeros(5))];
+        assert!(validate_docs(&docs, 3, 3, 6).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let docs = vec![ModelDoc::new(
+            1,
+            vec![],
+            Vector::new(vec![1.0, f64::NAN, 0.0]),
+            Vector::zeros(6),
+        )];
+        assert!(validate_docs(&docs, 3, 3, 6).is_err());
+    }
+}

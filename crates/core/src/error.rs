@@ -1,0 +1,61 @@
+//! Error type for model configuration and inference.
+
+use std::fmt;
+
+/// Errors from model construction and fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Bad configuration (zero topics, non-positive hyperparameters …).
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// Bad input data (term id out of vocabulary, wrong vector dimension,
+    /// empty corpus …).
+    InvalidData {
+        /// What was wrong.
+        what: String,
+    },
+    /// A numerical routine failed during inference.
+    Numerical(rheotex_linalg::LinalgError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { what } => write!(f, "invalid model config: {what}"),
+            Self::InvalidData { what } => write!(f, "invalid model input: {what}"),
+            Self::Numerical(e) => write!(f, "numerical failure during inference: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rheotex_linalg::LinalgError> for ModelError {
+    fn from(e: rheotex_linalg::LinalgError) -> Self {
+        Self::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_source() {
+        let inner = rheotex_linalg::LinalgError::Singular { pivot: 0 };
+        let e: ModelError = inner.clone().into();
+        assert!(matches!(e, ModelError::Numerical(_)));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+}

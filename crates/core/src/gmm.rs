@@ -1,0 +1,243 @@
+//! Bayesian Gaussian-mixture baseline: concentrations only, no terms.
+//!
+//! The complement of [`crate::lda`]: clusters recipes purely in
+//! concentration space (gel and emulsion vectors concatenated or gel
+//! only) using a Dirichlet-multinomial over assignments and collapsed
+//! Normal-Wishart components (Student-t predictives). In the E7 ablation
+//! it shows how much of the joint model's recovery the concentration
+//! channel alone achieves — and that, unlike the joint model, it cannot
+//! produce texture-term descriptions for its clusters.
+
+use crate::config::NwHyper;
+use crate::data::ModelDoc;
+use crate::error::ModelError;
+use crate::Result;
+use rand::Rng;
+use rheotex_linalg::dist::{sample_categorical_log, GaussianStats};
+use rheotex_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Which feature channels the mixture clusters on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GmmFeatures {
+    /// Gel concentration vector only (the paper's linkage channel).
+    GelOnly,
+    /// Gel and emulsion vectors concatenated.
+    GelAndEmulsion,
+}
+
+/// Configuration for the GMM baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub n_components: usize,
+    /// Dirichlet concentration over component assignments.
+    pub alpha: f64,
+    /// Normal-Wishart hyperparameters of each component.
+    pub prior: NwHyper,
+    /// Feature channels.
+    pub features: GmmFeatures,
+    /// Gibbs sweeps.
+    pub sweeps: usize,
+}
+
+impl GmmConfig {
+    /// Reasonable defaults for `k` components.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            n_components: k,
+            alpha: 0.5,
+            prior: NwHyper::default(),
+            features: GmmFeatures::GelAndEmulsion,
+            sweeps: 80,
+        }
+    }
+}
+
+/// A fitted mixture: hard assignments plus per-component posteriors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedGmm {
+    /// Component assignment per document.
+    pub assignments: Vec<usize>,
+    /// Posterior component means (feature space).
+    pub means: Vec<Vector>,
+    /// Documents per component.
+    pub counts: Vec<usize>,
+    /// Log-likelihood trace per sweep.
+    pub ll_trace: Vec<f64>,
+}
+
+/// Collapsed-Gibbs Bayesian GMM.
+#[derive(Debug, Clone)]
+pub struct GmmModel {
+    config: GmmConfig,
+}
+
+impl GmmModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] for degenerate parameters.
+    pub fn new(config: GmmConfig) -> Result<Self> {
+        if config.n_components == 0 || config.alpha <= 0.0 || config.sweeps == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: format!("{config:?}"),
+            });
+        }
+        Ok(Self { config })
+    }
+
+    fn features_of(&self, doc: &ModelDoc) -> Vector {
+        match self.config.features {
+            GmmFeatures::GelOnly => doc.gel.clone(),
+            GmmFeatures::GelAndEmulsion => {
+                let mut v = doc.gel.clone().into_vec();
+                v.extend(doc.emulsion.iter().copied());
+                Vector::new(v)
+            }
+        }
+    }
+
+    /// Fits the mixture by collapsed Gibbs.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidData`] for empty input;
+    /// [`ModelError::Numerical`] on degenerate updates.
+    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedGmm> {
+        if docs.is_empty() {
+            return Err(ModelError::InvalidData {
+                what: "corpus is empty".into(),
+            });
+        }
+        let xs: Vec<Vector> = docs.iter().map(|d| self.features_of(d)).collect();
+        let dim = xs[0].len();
+        if xs.iter().any(|x| x.len() != dim) {
+            return Err(ModelError::InvalidData {
+                what: "inconsistent feature dimensions".into(),
+            });
+        }
+        let mut mean = Vector::zeros(dim);
+        let inv = 1.0 / xs.len() as f64;
+        for x in &xs {
+            mean.axpy(inv, x)?;
+        }
+        let prior = self.config.prior.materialize(dim, &mean)?;
+
+        let k = self.config.n_components;
+        let mut assignments: Vec<usize> = Vec::with_capacity(xs.len());
+        let mut stats: Vec<GaussianStats> = (0..k).map(|_| GaussianStats::new(dim)).collect();
+        let mut counts = vec![0usize; k];
+        let seeds = crate::init::kmeanspp_assignments(rng, &xs, k);
+        for (x, &c) in xs.iter().zip(&seeds) {
+            assignments.push(c);
+            stats[c].add(x)?;
+            counts[c] += 1;
+        }
+
+        let mut ll_trace = Vec::with_capacity(self.config.sweeps);
+        let mut log_weights = vec![0.0f64; k];
+        for _sweep in 0..self.config.sweeps {
+            let mut ll = 0.0;
+            for (i, x) in xs.iter().enumerate() {
+                let old = assignments[i];
+                stats[old].remove(x)?;
+                counts[old] -= 1;
+                for (c, lw) in log_weights.iter_mut().enumerate() {
+                    let pred = prior.posterior(&stats[c])?.posterior_predictive()?;
+                    *lw = (counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
+                }
+                let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
+                ll += log_weights[new];
+                assignments[i] = new;
+                stats[new].add(x)?;
+                counts[new] += 1;
+            }
+            ll_trace.push(ll);
+        }
+
+        let means = stats
+            .iter()
+            .map(|s| prior.posterior(s).map(|p| p.mu0().clone()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+
+        Ok(FittedGmm {
+            assignments,
+            means,
+            counts,
+            ll_trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(61)
+    }
+
+    fn blob_docs(n_per: usize) -> Vec<ModelDoc> {
+        let mut r = ChaCha8Rng::seed_from_u64(62);
+        (0..2 * n_per)
+            .map(|i| {
+                let c = i % 2;
+                let jitter = |r: &mut ChaCha8Rng| r.gen_range(-0.3..0.3);
+                let gel = if c == 0 {
+                    Vector::new(vec![2.0 + jitter(&mut r), 9.0, 9.0])
+                } else {
+                    Vector::new(vec![9.0, 3.0 + jitter(&mut r), 9.0])
+                };
+                ModelDoc::new(i as u64, vec![], gel, Vector::full(6, 9.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_blobs_gel_only() {
+        let docs = blob_docs(40);
+        let mut cfg = GmmConfig::new(2);
+        cfg.features = GmmFeatures::GelOnly;
+        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        let c0 = fit.assignments[0];
+        let agree = (0..docs.len())
+            .filter(|&d| (fit.assignments[d] == c0) == (d % 2 == 0))
+            .count();
+        assert!(agree as f64 / docs.len() as f64 > 0.95, "agree {agree}");
+    }
+
+    #[test]
+    fn concatenated_features_have_right_dim() {
+        let docs = blob_docs(10);
+        let cfg = GmmConfig::new(2);
+        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        assert_eq!(fit.means[0].len(), 9); // 3 gel + 6 emulsion
+        assert_eq!(fit.counts.iter().sum::<usize>(), docs.len());
+    }
+
+    #[test]
+    fn component_means_near_blob_centers() {
+        let docs = blob_docs(50);
+        let mut cfg = GmmConfig::new(2);
+        cfg.features = GmmFeatures::GelOnly;
+        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        // One mean near gelatin=2, the other near gelatin=9.
+        let mut g: Vec<f64> = fit.means.iter().map(|m| m[0]).collect();
+        g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((g[0] - 2.0).abs() < 0.5, "means {g:?}");
+        assert!((g[1] - 9.0).abs() < 0.5, "means {g:?}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GmmModel::new(GmmConfig::new(0)).is_err());
+        let mut c = GmmConfig::new(2);
+        c.sweeps = 0;
+        assert!(GmmModel::new(c).is_err());
+        let m = GmmModel::new(GmmConfig::new(2)).unwrap();
+        assert!(m.fit(&mut rng(), &[]).is_err());
+    }
+}

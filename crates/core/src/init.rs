@@ -1,0 +1,154 @@
+//! Cluster initialization for the Gibbs samplers.
+//!
+//! Collapsed mixture samplers started from uniform-random assignments can
+//! fall into a one-big-cluster trap: the `(n_k + α)` rich-get-richer
+//! factor outweighs the likelihood gradient long enough for components to
+//! die. The standard remedy is a k-means++-style seeding — pick `K`
+//! well-spread documents as seeds (probability proportional to squared
+//! distance from the nearest previous seed) and assign every document to
+//! its nearest seed. The samplers then refine from a separated state
+//! instead of having to discover separation against the count prior.
+
+use rand::Rng;
+use rheotex_linalg::Vector;
+
+/// Squared Euclidean distance.
+fn dist_sq(a: &Vector, b: &Vector) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++-style initial hard assignments of `features` into `k`
+/// clusters. Always returns one assignment per feature vector; with fewer
+/// distinct points than `k`, surplus clusters simply start empty.
+///
+/// # Panics
+/// Panics if `k == 0` or `features` is empty (callers validate first).
+pub fn kmeanspp_assignments<R: Rng + ?Sized>(
+    rng: &mut R,
+    features: &[Vector],
+    k: usize,
+) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    assert!(!features.is_empty(), "features must be non-empty");
+    let n = features.len();
+
+    // Seed selection.
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    seeds.push(rng.gen_range(0..n));
+    let mut nearest_sq: Vec<f64> = features
+        .iter()
+        .map(|f| dist_sq(f, &features[seeds[0]]))
+        .collect();
+    while seeds.len() < k {
+        let total: f64 = nearest_sq.iter().sum();
+        let next = if total <= 1e-12 {
+            // All remaining points coincide with a seed; pick arbitrarily.
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in nearest_sq.iter().enumerate() {
+                u -= d;
+                if u <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        seeds.push(next);
+        for (i, f) in features.iter().enumerate() {
+            nearest_sq[i] = nearest_sq[i].min(dist_sq(f, &features[next]));
+        }
+    }
+
+    // Nearest-seed assignment.
+    features
+        .iter()
+        .map(|f| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &s) in seeds.iter().enumerate() {
+                let d = dist_sq(f, &features[s]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Concatenates a doc's gel and emulsion vectors — the feature space used
+/// to seed the joint model's `y` assignments.
+#[must_use]
+pub fn concat_features(gel: &Vector, emulsion: &Vector) -> Vector {
+    let mut v = gel.as_slice().to_vec();
+    v.extend_from_slice(emulsion.as_slice());
+    Vector::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(87)
+    }
+
+    fn blobs() -> Vec<Vector> {
+        let mut fs = Vec::new();
+        for i in 0..40 {
+            let c = i % 2;
+            let base = if c == 0 { 0.0 } else { 10.0 };
+            fs.push(Vector::new(vec![base + (i % 5) as f64 * 0.05, 1.0]));
+        }
+        fs
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let fs = blobs();
+        let assign = kmeanspp_assignments(&mut rng(), &fs, 2);
+        assert_eq!(assign.len(), fs.len());
+        let a0 = assign[0];
+        for (i, &a) in assign.iter().enumerate() {
+            let expect_same = i % 2 == 0;
+            assert_eq!(a == a0, expect_same, "point {i}");
+        }
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_fine() {
+        let fs = vec![Vector::new(vec![1.0]), Vector::new(vec![2.0])];
+        let assign = kmeanspp_assignments(&mut rng(), &fs, 5);
+        assert_eq!(assign.len(), 2);
+        assert!(assign.iter().all(|&a| a < 5));
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let fs = vec![Vector::new(vec![3.0, 3.0]); 10];
+        let assign = kmeanspp_assignments(&mut rng(), &fs, 3);
+        assert_eq!(assign.len(), 10);
+    }
+
+    #[test]
+    fn concat_features_orders_gel_first() {
+        let v = concat_features(
+            &Vector::new(vec![1.0, 2.0]),
+            &Vector::new(vec![3.0, 4.0, 5.0]),
+        );
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let fs = vec![Vector::new(vec![1.0])];
+        let _ = kmeanspp_assignments(&mut rng(), &fs, 0);
+    }
+}

@@ -1,0 +1,701 @@
+//! The semi-collapsed Gibbs sampler of the paper (Eq. 2–4).
+//!
+//! `θ` and `φ` are collapsed into count ratios; the Gaussian topic
+//! parameters `(μ_k, Λ_k)` and `(m_k, L_k)` are kept explicit and
+//! resampled from their Normal-Wishart posteriors after every sweep —
+//! exactly the scheme of the paper's Section III-C.
+//!
+//! One sweep:
+//! 1. **Eq. (2)** — for every texture token, resample
+//!    `z_dn ∝ (N_dk^{-dn} + M_dk + α) · (N_kw^{-dn} + γ)/(N_k^{-dn} + γV)`,
+//!    where `M_dk = [y_d = k]` (each recipe carries exactly one gel
+//!    vector).
+//! 2. **Eq. (3)** — for every recipe, resample
+//!    `y_d ∝ (N_dk + α) · N(g_d|μ_k, Λ_k) · N(e_d|m_k, L_k)` in log space.
+//! 3. **Eq. (4)** — resample `(μ_k, Λ_k)` and `(m_k, L_k)` from the
+//!    conjugate Normal-Wishart posteriors of the vectors currently
+//!    assigned to topic `k`.
+//!
+//! After burn-in, `φ` and `θ` are averaged across sweeps using the
+//! paper's Eq. (5) estimators, and the Gaussian components are reported
+//! through their final Normal-Wishart posteriors (Rao-Blackwellized).
+
+use crate::config::JointConfig;
+use crate::data::{validate_docs, ModelDoc};
+use crate::error::ModelError;
+use crate::Result;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use rheotex_linalg::dist::{
+    sample_categorical, sample_categorical_log, GaussianPrecision, GaussianStats, NormalWishart,
+};
+use rheotex_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// The joint topic model, ready to fit.
+///
+/// # Examples
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+/// use rheotex_linalg::Vector;
+///
+/// // Two tiny concentration bands with distinct vocabularies.
+/// let docs: Vec<ModelDoc> = (0..20u64)
+///     .map(|i| {
+///         let band = (i % 2) as usize;
+///         let gel = Vector::new(vec![3.0 + 2.0 * band as f64, 9.2, 9.2]);
+///         ModelDoc::new(i, vec![band], gel, Vector::full(6, 9.2))
+///     })
+///     .collect();
+/// let model = JointTopicModel::new(JointConfig::quick(2, 2)).unwrap();
+/// let fit = model.fit(&mut ChaCha8Rng::seed_from_u64(1), &docs).unwrap();
+/// assert_eq!(fit.n_topics(), 2);
+/// assert_ne!(fit.dominant_topic(0), fit.dominant_topic(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JointTopicModel {
+    config: JointConfig,
+}
+
+/// A fitted model: posterior point estimates plus the final assignment
+/// state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedJointModel {
+    /// The configuration used.
+    pub config: JointConfig,
+    /// Topic-term distributions `φ` (K × V), averaged post-burn-in.
+    pub phi: Vec<Vec<f64>>,
+    /// Document-topic distributions `θ` (D × K), averaged post-burn-in.
+    pub theta: Vec<Vec<f64>>,
+    /// Per-topic Normal-Wishart posteriors of the gel component.
+    pub gel_posteriors: Vec<NormalWishart>,
+    /// Per-topic Normal-Wishart posteriors of the emulsion component.
+    pub emulsion_posteriors: Vec<NormalWishart>,
+    /// Final `y_d` assignments.
+    pub y: Vec<usize>,
+    /// Document ids aligned with `theta` / `y`.
+    pub doc_ids: Vec<u64>,
+    /// Conditional log-likelihood trace, one entry per sweep.
+    pub ll_trace: Vec<f64>,
+}
+
+/// Mutable Gibbs state.
+struct State {
+    k: usize,
+    v: usize,
+    z: Vec<Vec<usize>>,
+    y: Vec<usize>,
+    /// Texture-token topic counts per doc, flattened D×K.
+    n_dk: Vec<u32>,
+    /// Term-topic counts, flattened K×V.
+    n_kw: Vec<u32>,
+    /// Tokens per topic.
+    n_k: Vec<u32>,
+    gel_stats: Vec<GaussianStats>,
+    emu_stats: Vec<GaussianStats>,
+    gel_params: Vec<GaussianPrecision>,
+    emu_params: Vec<GaussianPrecision>,
+}
+
+impl State {
+    #[inline]
+    fn n_dk(&self, d: usize, k: usize) -> u32 {
+        self.n_dk[d * self.k + k]
+    }
+    #[inline]
+    fn n_kw(&self, k: usize, w: usize) -> u32 {
+        self.n_kw[k * self.v + w]
+    }
+}
+
+impl JointTopicModel {
+    /// Creates a model from a validated configuration.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] from [`JointConfig::validate`].
+    pub fn new(config: JointConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &JointConfig {
+        &self.config
+    }
+
+    /// Fits the model by Gibbs sampling.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidData`] for malformed docs;
+    /// [`ModelError::Numerical`] if a Gaussian update degenerates (cannot
+    /// happen with proper priors and finite data).
+    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedJointModel> {
+        let cfg = &self.config;
+        validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
+
+        let (gel_prior, emu_prior) = self.materialize_priors(docs)?;
+        let mut state = self.init_state(rng, docs, &gel_prior, &emu_prior)?;
+
+        let d_count = docs.len();
+        let k = cfg.n_topics;
+        let mut phi_acc = vec![0.0f64; k * cfg.vocab_size];
+        let mut theta_acc = vec![0.0f64; d_count * k];
+        let mut n_samples = 0usize;
+        let mut ll_trace = Vec::with_capacity(cfg.sweeps);
+
+        for sweep in 0..cfg.sweeps {
+            self.sweep_z(rng, docs, &mut state);
+            self.sweep_y(rng, docs, &mut state)?;
+            self.resample_params(rng, &mut state, &gel_prior, &emu_prior)?;
+            ll_trace.push(self.conditional_ll(docs, &state));
+
+            if sweep >= cfg.burn_in {
+                self.accumulate_estimates(docs, &state, &mut phi_acc, &mut theta_acc);
+                n_samples += 1;
+            }
+        }
+
+        // Finalize point estimates.
+        let norm = 1.0 / n_samples.max(1) as f64;
+        let phi = (0..k)
+            .map(|kk| {
+                (0..cfg.vocab_size)
+                    .map(|w| phi_acc[kk * cfg.vocab_size + w] * norm)
+                    .collect()
+            })
+            .collect();
+        let theta = (0..d_count)
+            .map(|d| (0..k).map(|kk| theta_acc[d * k + kk] * norm).collect())
+            .collect();
+        let gel_posteriors = state
+            .gel_stats
+            .iter()
+            .map(|s| gel_prior.posterior(s))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let emulsion_posteriors = state
+            .emu_stats
+            .iter()
+            .map(|s| emu_prior.posterior(s))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+
+        Ok(FittedJointModel {
+            config: cfg.clone(),
+            phi,
+            theta,
+            gel_posteriors,
+            emulsion_posteriors,
+            y: state.y,
+            doc_ids: docs.iter().map(|d| d.id).collect(),
+            ll_trace,
+        })
+    }
+
+    /// Fits `n_chains` independent chains in parallel (distinct seeds
+    /// derived from `seed`) and returns the chain with the highest final
+    /// conditional log-likelihood.
+    ///
+    /// # Errors
+    /// Propagates the first chain error encountered.
+    pub fn fit_multi_chain(
+        &self,
+        seed: u64,
+        docs: &[ModelDoc],
+        n_chains: usize,
+    ) -> Result<FittedJointModel> {
+        if n_chains == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: "n_chains must be at least 1".into(),
+            });
+        }
+        let fits: Vec<Result<FittedJointModel>> = (0..n_chains)
+            .into_par_iter()
+            .map(|c| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(c as u64));
+                self.fit(&mut rng, docs)
+            })
+            .collect();
+        let mut best: Option<FittedJointModel> = None;
+        for fit in fits {
+            let fit = fit?;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    fit.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
+                        > b.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
+                }
+            };
+            if better {
+                best = Some(fit);
+            }
+        }
+        Ok(best.expect("n_chains >= 1"))
+    }
+
+    fn materialize_priors(&self, docs: &[ModelDoc]) -> Result<(NormalWishart, NormalWishart)> {
+        let cfg = &self.config;
+        let mut gel_mean = Vector::zeros(cfg.gel_dim);
+        let mut emu_mean = Vector::zeros(cfg.emulsion_dim);
+        let inv = 1.0 / docs.len() as f64;
+        for d in docs {
+            gel_mean.axpy(inv, &d.gel)?;
+            emu_mean.axpy(inv, &d.emulsion)?;
+        }
+        Ok((
+            cfg.gel_prior.materialize(cfg.gel_dim, &gel_mean)?,
+            cfg.emulsion_prior
+                .materialize(cfg.emulsion_dim, &emu_mean)?,
+        ))
+    }
+
+    fn init_state<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+    ) -> Result<State> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let d_count = docs.len();
+        let mut state = State {
+            k,
+            v,
+            z: Vec::with_capacity(d_count),
+            y: Vec::with_capacity(d_count),
+            n_dk: vec![0; d_count * k],
+            n_kw: vec![0; k * v],
+            n_k: vec![0; k],
+            gel_stats: (0..k).map(|_| GaussianStats::new(cfg.gel_dim)).collect(),
+            emu_stats: (0..k)
+                .map(|_| GaussianStats::new(cfg.emulsion_dim))
+                .collect(),
+            gel_params: Vec::new(),
+            emu_params: Vec::new(),
+        };
+        // Seed y with k-means++ over the concatenated concentration
+        // features (see crate::init); z tokens start at their doc's seed
+        // topic so words and vectors begin aligned.
+        let features: Vec<Vector> = docs
+            .iter()
+            .map(|d| crate::init::concat_features(&d.gel, &d.emulsion))
+            .collect();
+        let seeds = crate::init::kmeanspp_assignments(rng, &features, k);
+        for (d, doc) in docs.iter().enumerate() {
+            let topic = seeds[d];
+            let zs: Vec<usize> = doc
+                .terms
+                .iter()
+                .map(|&w| {
+                    state.n_dk[d * k + topic] += 1;
+                    state.n_kw[topic * v + w] += 1;
+                    state.n_k[topic] += 1;
+                    topic
+                })
+                .collect();
+            state.z.push(zs);
+            state.y.push(topic);
+            state.gel_stats[topic].add(&doc.gel)?;
+            state.emu_stats[topic].add(&doc.emulsion)?;
+        }
+        self.resample_params(rng, &mut state, gel_prior, emu_prior)?;
+        Ok(state)
+    }
+
+    /// Eq. (2): resample every token's topic.
+    fn sweep_z<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc], state: &mut State) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size as f64;
+        let mut weights = vec![0.0f64; k];
+        for (d, doc) in docs.iter().enumerate() {
+            let y_d = state.y[d];
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let old = state.z[d][n];
+                state.n_dk[d * k + old] -= 1;
+                state.n_kw[old * state.v + w] -= 1;
+                state.n_k[old] -= 1;
+
+                for (kk, weight) in weights.iter_mut().enumerate() {
+                    let m_dk = u32::from(y_d == kk);
+                    let doc_part = f64::from(state.n_dk(d, kk) + m_dk) + cfg.alpha;
+                    let term_part = (f64::from(state.n_kw(kk, w)) + cfg.gamma)
+                        / (f64::from(state.n_k[kk]) + cfg.gamma * v);
+                    *weight = doc_part * term_part;
+                }
+                let new = sample_categorical(rng, &weights)
+                    .expect("weights are positive by construction");
+                state.z[d][n] = new;
+                state.n_dk[d * k + new] += 1;
+                state.n_kw[new * state.v + w] += 1;
+                state.n_k[new] += 1;
+            }
+        }
+    }
+
+    /// Eq. (3): resample every recipe's gel topic (both Gaussian factors —
+    /// see the crate-level notation fix).
+    fn sweep_y<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        state: &mut State,
+    ) -> Result<()> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let mut log_weights = vec![0.0f64; k];
+        for (d, doc) in docs.iter().enumerate() {
+            let old = state.y[d];
+            state.gel_stats[old].remove(&doc.gel)?;
+            state.emu_stats[old].remove(&doc.emulsion)?;
+
+            for (kk, lw) in log_weights.iter_mut().enumerate() {
+                let doc_part = (f64::from(state.n_dk(d, kk)) + cfg.alpha).ln();
+                let gel_part = state.gel_params[kk].log_pdf(&doc.gel)?;
+                let emu_part = state.emu_params[kk].log_pdf(&doc.emulsion)?;
+                *lw = doc_part + gel_part + emu_part;
+            }
+            let new = sample_categorical_log(rng, &log_weights)
+                .expect("finite log-weights by construction");
+            state.y[d] = new;
+            state.gel_stats[new].add(&doc.gel)?;
+            state.emu_stats[new].add(&doc.emulsion)?;
+        }
+        Ok(())
+    }
+
+    /// Eq. (4): resample the Gaussian topic parameters from their
+    /// Normal-Wishart posteriors.
+    fn resample_params<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        state: &mut State,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+    ) -> Result<()> {
+        let k = self.config.n_topics;
+        let mut gel_params = Vec::with_capacity(k);
+        let mut emu_params = Vec::with_capacity(k);
+        for kk in 0..k {
+            gel_params.push(gel_prior.posterior(&state.gel_stats[kk])?.sample(rng)?);
+            emu_params.push(emu_prior.posterior(&state.emu_stats[kk])?.sample(rng)?);
+        }
+        state.gel_params = gel_params;
+        state.emu_params = emu_params;
+        Ok(())
+    }
+
+    /// Conditional log-likelihood of the data given the current state —
+    /// the convergence trace.
+    fn conditional_ll(&self, docs: &[ModelDoc], state: &State) -> f64 {
+        let cfg = &self.config;
+        let v = cfg.vocab_size as f64;
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let kk = state.z[d][n];
+                ll += ((f64::from(state.n_kw(kk, w)) + cfg.gamma)
+                    / (f64::from(state.n_k[kk]) + cfg.gamma * v))
+                    .ln();
+            }
+            let y = state.y[d];
+            ll += state.gel_params[y]
+                .log_pdf(&doc.gel)
+                .expect("dims validated");
+            ll += state.emu_params[y]
+                .log_pdf(&doc.emulsion)
+                .expect("dims validated");
+        }
+        ll
+    }
+
+    /// Eq. (5) estimators accumulated across post-burn-in sweeps.
+    fn accumulate_estimates(
+        &self,
+        docs: &[ModelDoc],
+        state: &State,
+        phi_acc: &mut [f64],
+        theta_acc: &mut [f64],
+    ) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        for kk in 0..k {
+            let denom = f64::from(state.n_k[kk]) + cfg.gamma * v as f64;
+            for w in 0..v {
+                phi_acc[kk * v + w] += (f64::from(state.n_kw(kk, w)) + cfg.gamma) / denom;
+            }
+        }
+        let alpha_sum = cfg.alpha * k as f64;
+        for (d, doc) in docs.iter().enumerate() {
+            // M_d = 1: every recipe carries exactly one gel vector.
+            let denom = doc.terms.len() as f64 + 1.0 + alpha_sum;
+            for kk in 0..k {
+                let m_dk = u32::from(state.y[d] == kk);
+                theta_acc[d * k + kk] += (f64::from(state.n_dk(d, kk) + m_dk) + cfg.alpha) / denom;
+            }
+        }
+    }
+}
+
+impl FittedJointModel {
+    /// Number of topics.
+    #[must_use]
+    pub fn n_topics(&self) -> usize {
+        self.config.n_topics
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn n_docs(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Expected gel Gaussian of topic `k` (Rao-Blackwellized point
+    /// estimate `(E[μ], E[Λ])`).
+    ///
+    /// # Errors
+    /// Numerical failure factorizing the posterior scale (should not occur
+    /// for fitted models).
+    pub fn gel_gaussian(&self, k: usize) -> Result<GaussianPrecision> {
+        Ok(self.gel_posteriors[k].expected_gaussian()?)
+    }
+
+    /// Expected emulsion Gaussian of topic `k`.
+    ///
+    /// # Errors
+    /// As [`Self::gel_gaussian`].
+    pub fn emulsion_gaussian(&self, k: usize) -> Result<GaussianPrecision> {
+        Ok(self.emulsion_posteriors[k].expected_gaussian()?)
+    }
+
+    /// The dominant topic of document `d` (argmax of `θ_d`), the paper's
+    /// rule for assigning recipes to topics.
+    #[must_use]
+    pub fn dominant_topic(&self, d: usize) -> usize {
+        let row = &self.theta[d];
+        let mut best = 0;
+        for (k, &p) in row.iter().enumerate() {
+            if p > row[best] {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Documents per topic by dominant-topic assignment (the "# Recipes"
+    /// column of Table II(a)).
+    #[must_use]
+    pub fn topic_doc_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_topics()];
+        for d in 0..self.n_docs() {
+            counts[self.dominant_topic(d)] += 1;
+        }
+        counts
+    }
+
+    /// Top `n` terms of topic `k` as `(term index, probability)`,
+    /// descending.
+    #[must_use]
+    pub fn top_terms(&self, k: usize, n: usize) -> Vec<(usize, f64)> {
+        let mut terms: Vec<(usize, f64)> = self.phi[k].iter().copied().enumerate().collect();
+        terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        terms.truncate(n);
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JointConfig;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(31)
+    }
+
+    /// Two well-separated synthetic clusters:
+    /// cluster A uses terms {0,1}, gel near (2,9,9); cluster B uses terms
+    /// {2,3}, gel near (9,4,9).
+    fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+        let mut docs = Vec::new();
+        let mut r = ChaCha8Rng::seed_from_u64(77);
+        for i in 0..(2 * n_per) {
+            let cluster = i % 2;
+            let terms: Vec<usize> = (0..4).map(|j| 2 * cluster + (j % 2)).collect();
+            let jitter = |r: &mut ChaCha8Rng| r.gen_range(-0.2..0.2);
+            let gel = if cluster == 0 {
+                Vector::new(vec![2.0 + jitter(&mut r), 9.0 + jitter(&mut r), 9.0])
+            } else {
+                Vector::new(vec![9.0 + jitter(&mut r), 4.0 + jitter(&mut r), 9.0])
+            };
+            let emulsion = if cluster == 0 {
+                Vector::new(vec![1.0, 9.0, 9.0, 9.0, 0.5 + jitter(&mut r), 9.0])
+            } else {
+                Vector::new(vec![3.0, 9.0, 9.0, 1.0 + jitter(&mut r), 9.0, 9.0])
+            };
+            docs.push(ModelDoc::new(i as u64, terms, gel, emulsion));
+        }
+        docs
+    }
+
+    fn quick_model(k: usize) -> JointTopicModel {
+        JointTopicModel::new(JointConfig::quick(k, 4)).unwrap()
+    }
+
+    #[test]
+    fn fit_recovers_two_clusters() {
+        let docs = two_cluster_docs(40);
+        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        // Every even doc shares a topic; every odd doc shares the other.
+        let t0 = fit.dominant_topic(0);
+        let t1 = fit.dominant_topic(1);
+        assert_ne!(t0, t1, "clusters must separate");
+        let mut correct = 0;
+        for d in 0..docs.len() {
+            let expect = if d % 2 == 0 { t0 } else { t1 };
+            if fit.dominant_topic(d) == expect {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / docs.len() as f64 > 0.95,
+            "recovered {correct}/{}",
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn topic_terms_separate() {
+        let docs = two_cluster_docs(40);
+        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let t0 = fit.dominant_topic(0); // cluster A topic
+        let top: Vec<usize> = fit.top_terms(t0, 2).iter().map(|&(w, _)| w).collect();
+        assert!(
+            top.contains(&0) && top.contains(&1),
+            "topic for cluster A should rank terms 0,1 first, got {top:?}"
+        );
+    }
+
+    #[test]
+    fn gel_means_land_on_cluster_centers() {
+        let docs = two_cluster_docs(40);
+        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let t0 = fit.dominant_topic(0);
+        let g = fit.gel_gaussian(t0).unwrap();
+        assert!(
+            (g.mean()[0] - 2.0).abs() < 0.5,
+            "cluster A gel mean {:?}",
+            g.mean().as_slice()
+        );
+        let t1 = fit.dominant_topic(1);
+        let g1 = fit.gel_gaussian(t1).unwrap();
+        assert!((g1.mean()[0] - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn ll_trace_improves_from_start() {
+        let docs = two_cluster_docs(30);
+        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let first = fit.ll_trace[0];
+        let last = *fit.ll_trace.last().unwrap();
+        assert!(
+            last > first,
+            "log-likelihood should improve: {first} -> {last}"
+        );
+        assert_eq!(fit.ll_trace.len(), fit.config.sweeps);
+    }
+
+    #[test]
+    fn phi_and_theta_are_distributions() {
+        let docs = two_cluster_docs(20);
+        let fit = quick_model(3).fit(&mut rng(), &docs).unwrap();
+        for row in &fit.phi {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi row sums to {s}");
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+        for row in &fit.theta {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn topic_doc_counts_total() {
+        let docs = two_cluster_docs(25);
+        let fit = quick_model(4).fit(&mut rng(), &docs).unwrap();
+        let counts = fit.topic_doc_counts();
+        assert_eq!(counts.iter().sum::<usize>(), docs.len());
+    }
+
+    #[test]
+    fn docs_without_terms_are_clustered_by_gel_alone() {
+        let mut docs = two_cluster_docs(30);
+        for d in &mut docs {
+            d.terms.clear();
+        }
+        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        // y assignments should still split the clusters.
+        let y0 = fit.y[0];
+        let agree = (0..docs.len())
+            .filter(|&d| (fit.y[d] == y0) == (d % 2 == 0))
+            .count();
+        assert!(
+            agree as f64 / docs.len() as f64 > 0.9,
+            "gel-only clustering recovered {agree}/{}",
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn fit_multi_chain_picks_a_chain() {
+        let docs = two_cluster_docs(15);
+        let model = JointTopicModel::new(JointConfig {
+            sweeps: 20,
+            burn_in: 10,
+            ..JointConfig::quick(2, 4)
+        })
+        .unwrap();
+        let fit = model.fit_multi_chain(1234, &docs, 3).unwrap();
+        assert_eq!(fit.n_docs(), docs.len());
+        assert!(model.fit_multi_chain(1, &docs, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let docs = two_cluster_docs(10);
+        let model = quick_model(2);
+        let a = model.fit(&mut rng(), &docs).unwrap();
+        let b = model.fit(&mut rng(), &docs).unwrap();
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.ll_trace, b.ll_trace);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let model = quick_model(2);
+        assert!(model.fit(&mut rng(), &[]).is_err());
+        // OOV term.
+        let bad = vec![ModelDoc::new(
+            0,
+            vec![99],
+            Vector::zeros(3),
+            Vector::zeros(6),
+        )];
+        assert!(model.fit(&mut rng(), &bad).is_err());
+    }
+
+    #[test]
+    fn single_topic_degenerate_case() {
+        let docs = two_cluster_docs(10);
+        let fit = quick_model(1).fit(&mut rng(), &docs).unwrap();
+        assert!(fit.theta.iter().all(|row| (row[0] - 1.0).abs() < 1e-9));
+        assert_eq!(fit.topic_doc_counts()[0], docs.len());
+    }
+}

@@ -1,0 +1,290 @@
+//! Plain LDA baseline: texture terms only, no concentration channels.
+//!
+//! This is what "conventional LDA" means in the paper's Section III — a
+//! single-modality topic model. The recovery ablation (E7) uses it to show
+//! what the joint model's concentration coupling buys: LDA can group
+//! recipes that *talk* alike but cannot place topics in concentration
+//! space, so it cannot be linked to rheology at all and separates
+//! concentration bands only insofar as they use different words.
+
+use crate::config::JointConfig;
+use crate::data::{validate_docs, ModelDoc};
+use crate::Result;
+use rand::Rng;
+use rheotex_linalg::dist::sample_categorical;
+use serde::{Deserialize, Serialize};
+
+/// LDA configuration (a subset of [`JointConfig`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of topics.
+    pub n_topics: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Symmetric document-topic prior.
+    pub alpha: f64,
+    /// Symmetric topic-term prior.
+    pub gamma: f64,
+    /// Gibbs sweeps.
+    pub sweeps: usize,
+    /// Burn-in sweeps.
+    pub burn_in: usize,
+}
+
+impl From<&JointConfig> for LdaConfig {
+    fn from(c: &JointConfig) -> Self {
+        Self {
+            n_topics: c.n_topics,
+            vocab_size: c.vocab_size,
+            alpha: c.alpha,
+            gamma: c.gamma,
+            sweeps: c.sweeps,
+            burn_in: c.burn_in,
+        }
+    }
+}
+
+/// A fitted LDA baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedLda {
+    /// Topic-term distributions (K × V).
+    pub phi: Vec<Vec<f64>>,
+    /// Document-topic distributions (D × K).
+    pub theta: Vec<Vec<f64>>,
+    /// Log-likelihood trace per sweep.
+    pub ll_trace: Vec<f64>,
+}
+
+impl FittedLda {
+    /// Dominant topic per document (argmax θ).
+    #[must_use]
+    pub fn dominant_topic(&self, d: usize) -> usize {
+        let row = &self.theta[d];
+        let mut best = 0;
+        for (k, &p) in row.iter().enumerate() {
+            if p > row[best] {
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+/// Collapsed-Gibbs LDA.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    config: LdaConfig,
+}
+
+impl LdaModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// [`crate::ModelError::InvalidConfig`] for degenerate parameters.
+    pub fn new(config: LdaConfig) -> Result<Self> {
+        if config.n_topics == 0
+            || config.vocab_size == 0
+            || config.alpha <= 0.0
+            || config.gamma <= 0.0
+            || config.sweeps == 0
+            || config.burn_in >= config.sweeps
+        {
+            return Err(crate::ModelError::InvalidConfig {
+                what: format!("{config:?}"),
+            });
+        }
+        Ok(Self { config })
+    }
+
+    /// Fits by collapsed Gibbs. Docs' concentration vectors are ignored;
+    /// docs without terms get a uniform θ row.
+    ///
+    /// # Errors
+    /// [`crate::ModelError::InvalidData`] for malformed docs.
+    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedLda> {
+        let cfg = &self.config;
+        // Vector dims are irrelevant here; validate terms only by passing
+        // the docs' own dims through.
+        if docs.is_empty() {
+            return Err(crate::ModelError::InvalidData {
+                what: "corpus is empty".into(),
+            });
+        }
+        let gd = docs[0].gel.len();
+        let ed = docs[0].emulsion.len();
+        validate_docs(docs, cfg.vocab_size, gd, ed)?;
+
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let d_count = docs.len();
+        let mut z: Vec<Vec<usize>> = Vec::with_capacity(d_count);
+        let mut n_dk = vec![0u32; d_count * k];
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            let zs: Vec<usize> = doc
+                .terms
+                .iter()
+                .map(|&w| {
+                    let t = rng.gen_range(0..k);
+                    n_dk[d * k + t] += 1;
+                    n_kw[t * v + w] += 1;
+                    n_k[t] += 1;
+                    t
+                })
+                .collect();
+            z.push(zs);
+        }
+
+        let mut phi_acc = vec![0.0f64; k * v];
+        let mut theta_acc = vec![0.0f64; d_count * k];
+        let mut samples = 0usize;
+        let mut ll_trace = Vec::with_capacity(cfg.sweeps);
+        let mut weights = vec![0.0f64; k];
+
+        for sweep in 0..cfg.sweeps {
+            let mut ll = 0.0;
+            for (d, doc) in docs.iter().enumerate() {
+                for (n, &w) in doc.terms.iter().enumerate() {
+                    let old = z[d][n];
+                    n_dk[d * k + old] -= 1;
+                    n_kw[old * v + w] -= 1;
+                    n_k[old] -= 1;
+                    for (kk, weight) in weights.iter_mut().enumerate() {
+                        *weight = (f64::from(n_dk[d * k + kk]) + cfg.alpha)
+                            * (f64::from(n_kw[kk * v + w]) + cfg.gamma)
+                            / (f64::from(n_k[kk]) + cfg.gamma * v as f64);
+                    }
+                    let new = sample_categorical(rng, &weights).expect("positive weights");
+                    z[d][n] = new;
+                    n_dk[d * k + new] += 1;
+                    n_kw[new * v + w] += 1;
+                    n_k[new] += 1;
+                    ll += ((f64::from(n_kw[new * v + w]) + cfg.gamma)
+                        / (f64::from(n_k[new]) + cfg.gamma * v as f64))
+                        .ln();
+                }
+            }
+            ll_trace.push(ll);
+            if sweep >= cfg.burn_in {
+                for kk in 0..k {
+                    let denom = f64::from(n_k[kk]) + cfg.gamma * v as f64;
+                    for w in 0..v {
+                        phi_acc[kk * v + w] += (f64::from(n_kw[kk * v + w]) + cfg.gamma) / denom;
+                    }
+                }
+                let alpha_sum = cfg.alpha * k as f64;
+                for (d, doc) in docs.iter().enumerate() {
+                    let denom = doc.terms.len() as f64 + alpha_sum;
+                    for kk in 0..k {
+                        theta_acc[d * k + kk] += (f64::from(n_dk[d * k + kk]) + cfg.alpha) / denom;
+                    }
+                }
+                samples += 1;
+            }
+        }
+
+        let norm = 1.0 / samples.max(1) as f64;
+        Ok(FittedLda {
+            phi: (0..k)
+                .map(|kk| (0..v).map(|w| phi_acc[kk * v + w] * norm).collect())
+                .collect(),
+            theta: (0..d_count)
+                .map(|d| (0..k).map(|kk| theta_acc[d * k + kk] * norm).collect())
+                .collect(),
+            ll_trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_linalg::Vector;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(53)
+    }
+
+    fn docs_two_vocab_clusters(n_per: usize) -> Vec<ModelDoc> {
+        (0..2 * n_per)
+            .map(|i| {
+                let c = i % 2;
+                ModelDoc::new(
+                    i as u64,
+                    vec![2 * c, 2 * c + 1, 2 * c, 2 * c + 1],
+                    Vector::zeros(3),
+                    Vector::zeros(6),
+                )
+            })
+            .collect()
+    }
+
+    fn quick() -> LdaConfig {
+        LdaConfig {
+            n_topics: 2,
+            vocab_size: 4,
+            alpha: 0.5,
+            gamma: 0.1,
+            sweeps: 60,
+            burn_in: 30,
+        }
+    }
+
+    #[test]
+    fn separates_vocabulary_clusters() {
+        let docs = docs_two_vocab_clusters(30);
+        let fit = LdaModel::new(quick())
+            .unwrap()
+            .fit(&mut rng(), &docs)
+            .unwrap();
+        let t0 = fit.dominant_topic(0);
+        let t1 = fit.dominant_topic(1);
+        assert_ne!(t0, t1);
+        let agree = (0..docs.len())
+            .filter(|&d| fit.dominant_topic(d) == if d % 2 == 0 { t0 } else { t1 })
+            .count();
+        assert!(agree as f64 / docs.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let docs = docs_two_vocab_clusters(10);
+        let fit = LdaModel::new(quick())
+            .unwrap()
+            .fit(&mut rng(), &docs)
+            .unwrap();
+        for row in &fit.phi {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = quick();
+        c.n_topics = 0;
+        assert!(LdaModel::new(c).is_err());
+        let mut c = quick();
+        c.burn_in = c.sweeps;
+        assert!(LdaModel::new(c).is_err());
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(LdaModel::new(quick())
+            .unwrap()
+            .fit(&mut rng(), &[])
+            .is_err());
+    }
+
+    #[test]
+    fn from_joint_config() {
+        let jc = JointConfig::quick(5, 41);
+        let lc = LdaConfig::from(&jc);
+        assert_eq!(lc.n_topics, 5);
+        assert_eq!(lc.vocab_size, 41);
+        assert_eq!(lc.sweeps, jc.sweeps);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's primary contribution: a **joint topic model** coupling a
+//! categorical distribution over sensory texture terms with Gaussian
+//! components over gel and emulsion concentration vectors, inferred by
+//! collapsed Gibbs sampling (paper Section III, Eq. 1–5).
+//!
+//! Model, per topic `k ∈ 1..K`:
+//!
+//! * `φ_k ~ Dir(γ)` — texture-term distribution;
+//! * `(μ_k, Λ_k) ~ NW(μ₀ᵍ, βᵍ, νᵍ, Sᵍ)` — gel-concentration Gaussian;
+//! * `(m_k, L_k) ~ NW(m₀, βᵉ, νᵉ, Sᵉ)` — emulsion Gaussian.
+//!
+//! Per recipe `d`: `θ_d ~ Dir(α)`; each texture token draws
+//! `z_dn ~ Mult(θ_d)`, `w_dn ~ Mult(φ_{z_dn})`; one topic
+//! `y_d ~ Mult(θ_d)` generates both concentration vectors
+//! `g_d ~ N(μ_{y_d}, Λ_{y_d}⁻¹)` and `e_d ~ N(m_{y_d}, L_{y_d}⁻¹)`.
+//! Because `z` and `y` share `θ_d`, the texture words and the gel
+//! composition of a recipe pull each other toward the same topics — the
+//! mechanism that bridges sensory vocabulary and rheology.
+//!
+//! Notation fix (documented deviation): the paper's Eq. (3) prints only one
+//! Gaussian factor and mislabels its arguments; consistent with the
+//! generative model (Fig. 1 / Eq. 1), our `y_d` conditional uses **both**
+//! `N(g_d|μ_k,Λ_k)` and `N(e_d|m_k,L_k)`.
+//!
+//! Three inference engines share the [`data::ModelDoc`] input:
+//!
+//! * [`joint::JointTopicModel`] — the paper's semi-collapsed sampler:
+//!   `θ, φ` collapsed, Gaussian topic parameters explicitly resampled from
+//!   their Normal-Wishart posteriors each sweep (Eq. 2–4);
+//! * [`collapsed::CollapsedJointModel`] — a fully-collapsed variant where
+//!   the Gaussians are integrated out into Student-t predictives
+//!   (extension / ablation E8);
+//! * baselines: [`lda::LdaModel`] (terms only) and [`gmm::GmmModel`]
+//!   (concentrations only), used by the recovery ablation E7.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod collapsed;
+pub mod config;
+pub mod data;
+pub mod diagnostics;
+pub mod error;
+pub mod gmm;
+pub mod init;
+pub mod joint;
+pub mod lda;
+pub mod model_selection;
+pub mod summary;
+
+pub use config::{JointConfig, NwHyper};
+pub use data::ModelDoc;
+pub use error::ModelError;
+pub use joint::{FittedJointModel, JointTopicModel};
+pub use summary::TopicSummary;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,237 @@
+//! Model selection: choosing the number of topics `K`.
+//!
+//! The paper fixes `K = 10` without justification (one of its evaluation
+//! gaps). This module provides the standard remedy: fit a sweep of `K`
+//! values on a train split, score each on held-out data
+//! ([`crate::diagnostics::held_out_score`]), and report the curve. It also
+//! provides the Gelman-Rubin potential scale reduction factor (R̂) over
+//! multi-chain log-likelihood traces as a convergence check.
+
+use crate::config::JointConfig;
+use crate::data::ModelDoc;
+use crate::diagnostics::{held_out_score, HeldOutScore};
+use crate::joint::JointTopicModel;
+use crate::Result;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One point on the model-selection curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KScore {
+    /// Number of topics fitted.
+    pub k: usize,
+    /// Held-out score of the fitted model.
+    pub held_out_log_likelihood: f64,
+    /// Held-out token perplexity.
+    pub perplexity: f64,
+    /// Final train conditional log-likelihood.
+    pub train_log_likelihood: f64,
+}
+
+/// Deterministically splits documents into train/test by index stride:
+/// every `holdout_every`-th document is held out.
+///
+/// # Panics
+/// Panics if `holdout_every < 2` (would hold out everything).
+#[must_use]
+pub fn split_docs(docs: &[ModelDoc], holdout_every: usize) -> (Vec<ModelDoc>, Vec<ModelDoc>) {
+    assert!(holdout_every >= 2, "holdout_every must be >= 2");
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, d) in docs.iter().enumerate() {
+        if i % holdout_every == 0 {
+            test.push(d.clone());
+        } else {
+            train.push(d.clone());
+        }
+    }
+    (train, test)
+}
+
+/// Fits the joint model for each `K` in `ks` (in parallel) and scores it
+/// on the held-out split. `base` supplies every other hyperparameter.
+///
+/// # Errors
+/// Propagates the first fit/score failure.
+pub fn sweep_topics(
+    seed: u64,
+    base: &JointConfig,
+    ks: &[usize],
+    train: &[ModelDoc],
+    test: &[ModelDoc],
+) -> Result<Vec<KScore>> {
+    let results: Vec<Result<KScore>> = ks
+        .par_iter()
+        .map(|&k| {
+            let config = JointConfig {
+                n_topics: k,
+                ..base.clone()
+            };
+            let model = JointTopicModel::new(config)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(k as u64));
+            let fit = model.fit(&mut rng, train)?;
+            let score: HeldOutScore = held_out_score(&fit, test)?;
+            Ok(KScore {
+                k,
+                held_out_log_likelihood: score.log_likelihood,
+                perplexity: score.perplexity,
+                train_log_likelihood: fit.ll_trace.last().copied().unwrap_or(f64::NAN),
+            })
+        })
+        .collect();
+    results.into_iter().collect()
+}
+
+/// The `K` with the best held-out log-likelihood from a sweep.
+#[must_use]
+pub fn best_k(scores: &[KScore]) -> Option<usize> {
+    scores
+        .iter()
+        .max_by(|a, b| {
+            a.held_out_log_likelihood
+                .partial_cmp(&b.held_out_log_likelihood)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|s| s.k)
+}
+
+/// Gelman-Rubin potential scale reduction factor (R̂) over the *second
+/// halves* of several chains' scalar traces. Values near 1 indicate the
+/// chains agree; > 1.1 is the usual "not converged" flag.
+///
+/// Returns `None` with fewer than 2 chains or fewer than 4 samples per
+/// chain.
+#[must_use]
+pub fn potential_scale_reduction(traces: &[Vec<f64>]) -> Option<f64> {
+    if traces.len() < 2 {
+        return None;
+    }
+    let n = traces.iter().map(Vec::len).min()? / 2;
+    if n < 2 {
+        return None;
+    }
+    let m = traces.len() as f64;
+    // Use the last n samples of each chain.
+    let halves: Vec<&[f64]> = traces.iter().map(|t| &t[t.len() - n..]).collect();
+    let chain_means: Vec<f64> = halves
+        .iter()
+        .map(|h| h.iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand_mean = chain_means.iter().sum::<f64>() / m;
+    let b = n as f64 / (m - 1.0)
+        * chain_means
+            .iter()
+            .map(|&cm| (cm - grand_mean).powi(2))
+            .sum::<f64>();
+    let w = halves
+        .iter()
+        .zip(&chain_means)
+        .map(|(h, &cm)| h.iter().map(|&x| (x - cm).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .sum::<f64>()
+        / m;
+    if w <= 0.0 {
+        // Zero within-chain variance: identical chains => converged.
+        return Some(1.0);
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    Some((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rheotex_linalg::Vector;
+
+    fn banded_docs(n: usize) -> Vec<ModelDoc> {
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        (0..n)
+            .map(|i| {
+                let band = i % 3;
+                // Non-informative dimensions need spread comparable to
+                // the NW prior_std (0.5): when real variance is far below
+                // the prior, larger clusters always look sharper (their
+                // posterior out-trains the prior), which would reward K=1
+                // regardless of structure — a genuine sensitivity of
+                // held-out comparisons worth keeping visible here.
+                let mut j = |scale: f64| rng.gen_range(-scale..scale);
+                let gel = Vector::new(vec![3.0 + band as f64 + j(0.1), 9.2 + j(0.5), 9.2 + j(0.5)]);
+                let emulsion: Vector = (0..6).map(|_| 9.2 + j(0.5)).collect();
+                ModelDoc::new(i as u64, vec![band * 2, band * 2 + 1], gel, emulsion)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_is_deterministic_and_complete() {
+        let docs = banded_docs(30);
+        let (train, test) = split_docs(&docs, 5);
+        assert_eq!(train.len() + test.len(), 30);
+        assert_eq!(test.len(), 6);
+        // Stable under repetition.
+        let (train2, _) = split_docs(&docs, 5);
+        assert_eq!(train.len(), train2.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout_every")]
+    fn split_rejects_degenerate_stride() {
+        let docs = banded_docs(4);
+        let _ = split_docs(&docs, 1);
+    }
+
+    #[test]
+    fn sweep_prefers_enough_topics() {
+        let docs = banded_docs(120);
+        let (train, test) = split_docs(&docs, 5);
+        let base = JointConfig {
+            sweeps: 40,
+            burn_in: 20,
+            ..JointConfig::quick(3, 6)
+        };
+        let scores = sweep_topics(7, &base, &[1, 3, 6], &train, &test).unwrap();
+        assert_eq!(scores.len(), 3);
+        let k1 = scores.iter().find(|s| s.k == 1).unwrap();
+        let k3 = scores.iter().find(|s| s.k == 3).unwrap();
+        // Three true bands: K=3 must beat K=1 on held-out data.
+        assert!(
+            k3.held_out_log_likelihood > k1.held_out_log_likelihood,
+            "K=3 {} vs K=1 {}",
+            k3.held_out_log_likelihood,
+            k1.held_out_log_likelihood
+        );
+        let best = best_k(&scores).unwrap();
+        assert!(best >= 3, "best K = {best}");
+    }
+
+    #[test]
+    fn rhat_near_one_for_agreeing_chains() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let rhat = potential_scale_reduction(&chains).unwrap();
+        assert!(rhat < 1.15, "rhat {rhat}");
+    }
+
+    #[test]
+    fn rhat_large_for_disagreeing_chains() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a: Vec<f64> = (0..100).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..100).map(|_| 50.0 + rng.gen_range(-1.0..1.0)).collect();
+        let rhat = potential_scale_reduction(&[a, b]).unwrap();
+        assert!(rhat > 2.0, "rhat {rhat}");
+    }
+
+    #[test]
+    fn rhat_degenerate_inputs() {
+        assert!(potential_scale_reduction(&[]).is_none());
+        assert!(potential_scale_reduction(&[vec![1.0, 2.0, 3.0]]).is_none());
+        assert!(potential_scale_reduction(&[vec![1.0], vec![1.0]]).is_none());
+        // Identical constant chains converge by definition.
+        let c = vec![vec![2.0; 20], vec![2.0; 20]];
+        assert_eq!(potential_scale_reduction(&c), Some(1.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Human-readable topic summaries — the rows of Table II(a).
+
+use crate::joint::FittedJointModel;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One topic, summarized the way the paper's Table II(a) presents it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicSummary {
+    /// Topic index.
+    pub topic: usize,
+    /// Gel means in *information-quantity* space (as the model sees them).
+    pub gel_info_mean: Vec<f64>,
+    /// Gel means converted back to concentrations `exp(−v)` — the
+    /// "gels:concentration" column.
+    pub gel_concentration: Vec<f64>,
+    /// Emulsion means converted back to concentrations.
+    pub emulsion_concentration: Vec<f64>,
+    /// Top terms as `(term index, probability)`, descending.
+    pub top_terms: Vec<(usize, f64)>,
+    /// Number of recipes whose dominant topic this is ("# Recipes").
+    pub n_recipes: usize,
+}
+
+impl TopicSummary {
+    /// Builds summaries for all topics of a fitted model. `top_n` bounds
+    /// the reported terms per topic; terms below `min_prob` are dropped
+    /// (the paper lists only the non-negligible ones).
+    ///
+    /// # Errors
+    /// Numerical failure extracting topic Gaussians.
+    pub fn from_model(model: &FittedJointModel, top_n: usize, min_prob: f64) -> Result<Vec<Self>> {
+        let counts = model.topic_doc_counts();
+        let mut out = Vec::with_capacity(model.n_topics());
+        #[allow(clippy::needless_range_loop)] // k indexes three parallel sources
+        for k in 0..model.n_topics() {
+            let gel = model.gel_gaussian(k)?;
+            let emu = model.emulsion_gaussian(k)?;
+            let gel_info_mean = gel.mean().as_slice().to_vec();
+            let gel_concentration = gel_info_mean.iter().map(|&v| (-v).exp()).collect();
+            let emulsion_concentration = emu.mean().iter().map(|&v| (-v).exp()).collect();
+            let top_terms = model
+                .top_terms(k, top_n)
+                .into_iter()
+                .filter(|&(_, p)| p >= min_prob)
+                .collect();
+            out.push(Self {
+                topic: k,
+                gel_info_mean,
+                gel_concentration,
+                emulsion_concentration,
+                top_terms,
+                n_recipes: counts[k],
+            });
+        }
+        Ok(out)
+    }
+
+    /// The gel with the highest mean concentration, as
+    /// `(index, concentration)`.
+    #[must_use]
+    pub fn dominant_gel(&self) -> (usize, f64) {
+        let mut best = 0;
+        for (i, &c) in self.gel_concentration.iter().enumerate() {
+            if c > self.gel_concentration[best] {
+                best = i;
+            }
+        }
+        (best, self.gel_concentration[best])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JointConfig;
+    use crate::data::ModelDoc;
+    use crate::joint::JointTopicModel;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_linalg::Vector;
+
+    fn fit() -> FittedJointModel {
+        let mut r = ChaCha8Rng::seed_from_u64(71);
+        let docs: Vec<ModelDoc> = (0..60)
+            .map(|i| {
+                let c = i % 2;
+                let jitter = r.gen_range(-0.1..0.1);
+                // -ln(0.02) ≈ 3.91 vs -ln(0.005) ≈ 5.30
+                let gel = if c == 0 {
+                    Vector::new(vec![3.91 + jitter, 9.2, 9.2])
+                } else {
+                    Vector::new(vec![5.30 + jitter, 9.2, 9.2])
+                };
+                ModelDoc::new(i as u64, vec![2 * c, 2 * c + 1], gel, Vector::full(6, 9.2))
+            })
+            .collect();
+        JointTopicModel::new(JointConfig::quick(2, 4))
+            .unwrap()
+            .fit(&mut ChaCha8Rng::seed_from_u64(72), &docs)
+            .unwrap()
+    }
+
+    #[test]
+    fn summaries_cover_all_topics() {
+        let model = fit();
+        let sums = TopicSummary::from_model(&model, 5, 0.0).unwrap();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(
+            sums.iter().map(|s| s.n_recipes).sum::<usize>(),
+            model.n_docs()
+        );
+    }
+
+    #[test]
+    fn concentrations_are_exp_of_info_means() {
+        let model = fit();
+        let sums = TopicSummary::from_model(&model, 5, 0.0).unwrap();
+        for s in &sums {
+            for (v, c) in s.gel_info_mean.iter().zip(&s.gel_concentration) {
+                assert!((c - (-v).exp()).abs() < 1e-12);
+            }
+        }
+        // One topic near 2% gelatin, the other near 0.5%.
+        let mut gels: Vec<f64> = sums.iter().map(|s| s.gel_concentration[0]).collect();
+        gels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((gels[0] - 0.005).abs() < 0.002, "{gels:?}");
+        assert!((gels[1] - 0.02).abs() < 0.005, "{gels:?}");
+    }
+
+    #[test]
+    fn min_prob_prunes_terms() {
+        let model = fit();
+        let all = TopicSummary::from_model(&model, 4, 0.0).unwrap();
+        let pruned = TopicSummary::from_model(&model, 4, 0.2).unwrap();
+        for (a, p) in all.iter().zip(&pruned) {
+            assert!(p.top_terms.len() <= a.top_terms.len());
+            assert!(p.top_terms.iter().all(|&(_, prob)| prob >= 0.2));
+        }
+    }
+
+    #[test]
+    fn dominant_gel_is_gelatin_here() {
+        let model = fit();
+        for s in TopicSummary::from_model(&model, 4, 0.0).unwrap() {
+            assert_eq!(s.dominant_gel().0, 0);
+        }
+    }
+}

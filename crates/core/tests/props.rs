@@ -1,0 +1,112 @@
+//! Property-based tests for the inference engines: whatever the corpus
+//! shape, fitted models must produce valid probability objects.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::collapsed::CollapsedJointModel;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_linalg::Vector;
+
+/// Strategy: a small random corpus with valid dimensions. Terms ∈ [0, 6),
+/// gel dim 3, emulsion dim 6, values in the info-quantity range.
+fn corpus() -> impl Strategy<Value = Vec<ModelDoc>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..6, 0..6),
+            proptest::collection::vec(1.0..9.5f64, 3),
+            proptest::collection::vec(1.0..9.5f64, 6),
+        ),
+        3..25,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (terms, gel, emu))| {
+                ModelDoc::new(i as u64, terms, Vector::new(gel), Vector::new(emu))
+            })
+            .collect()
+    })
+}
+
+fn assert_simplex(rows: &[Vec<f64>]) -> Result<(), TestCaseError> {
+    for row in rows {
+        let s: f64 = row.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-6, "row sums to {s}");
+        prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The joint sampler never produces invalid distributions, whatever
+    /// the (dimension-valid) corpus.
+    #[test]
+    fn joint_fit_always_valid(docs in corpus(), seed in 0u64..100, k in 1usize..6) {
+        let config = JointConfig {
+            sweeps: 12,
+            burn_in: 6,
+            ..JointConfig::quick(k, 6)
+        };
+        let model = JointTopicModel::new(config).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fit = model.fit(&mut rng, &docs).unwrap();
+        assert_simplex(&fit.phi)?;
+        assert_simplex(&fit.theta)?;
+        prop_assert_eq!(fit.y.len(), docs.len());
+        prop_assert!(fit.y.iter().all(|&y| y < k));
+        prop_assert!(fit.ll_trace.iter().all(|l| l.is_finite()));
+        prop_assert_eq!(fit.topic_doc_counts().iter().sum::<usize>(), docs.len());
+        // Topic Gaussians are extractable (SPD posteriors) for every topic.
+        for t in 0..k {
+            prop_assert!(fit.gel_gaussian(t).is_ok());
+            prop_assert!(fit.emulsion_gaussian(t).is_ok());
+        }
+    }
+
+    /// The collapsed variant upholds the same contract.
+    #[test]
+    fn collapsed_fit_always_valid(docs in corpus(), seed in 0u64..50) {
+        let config = JointConfig {
+            sweeps: 8,
+            burn_in: 4,
+            ..JointConfig::quick(3, 6)
+        };
+        let model = CollapsedJointModel::new(config).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fit = model.fit(&mut rng, &docs).unwrap();
+        assert_simplex(&fit.phi)?;
+        assert_simplex(&fit.theta)?;
+        prop_assert!(fit.ll_trace.iter().all(|l| l.is_finite()));
+    }
+
+    /// Baselines too.
+    #[test]
+    fn baselines_always_valid(docs in corpus(), seed in 0u64..50) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lda = LdaModel::new(LdaConfig {
+            n_topics: 3,
+            vocab_size: 6,
+            alpha: 0.5,
+            gamma: 0.1,
+            sweeps: 10,
+            burn_in: 5,
+        })
+        .unwrap()
+        .fit(&mut rng, &docs)
+        .unwrap();
+        assert_simplex(&lda.phi)?;
+        assert_simplex(&lda.theta)?;
+
+        let mut cfg = GmmConfig::new(3);
+        cfg.sweeps = 10;
+        let gmm = GmmModel::new(cfg).unwrap().fit(&mut rng, &docs).unwrap();
+        prop_assert_eq!(gmm.assignments.len(), docs.len());
+        prop_assert_eq!(gmm.counts.iter().sum::<usize>(), docs.len());
+        prop_assert!(gmm.assignments.iter().all(|&a| a < 3));
+    }
+}

@@ -1,0 +1,280 @@
+//! Corpus assembly and filtering into a model-ready dataset.
+//!
+//! Mirrors the paper's Section IV-A pipeline: parse every posted recipe,
+//! extract features, then keep only recipes that (a) contain at least one
+//! dictionary texture term, (b) contain a gel, and (c) devote less than
+//! 10 % of their weight to unrelated ingredients.
+
+use crate::error::CorpusError;
+use crate::features::RecipeFeatures;
+use crate::ingredient::IngredientDb;
+use crate::recipe::Recipe;
+use rheotex_textures::TextureDictionary;
+use serde::{Deserialize, Serialize};
+
+/// Filtering thresholds of the dataset-construction step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetFilter {
+    /// Maximum allowed unrelated-ingredient weight fraction (paper: 0.10).
+    pub max_unrelated_fraction: f64,
+    /// Require at least one texture term in the description.
+    pub require_terms: bool,
+    /// Require at least one gel ingredient.
+    pub require_gel: bool,
+}
+
+impl Default for DatasetFilter {
+    fn default() -> Self {
+        Self {
+            max_unrelated_fraction: 0.10,
+            require_terms: true,
+            require_gel: true,
+        }
+    }
+}
+
+/// Why a recipe was excluded during dataset construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Parsing failed (unknown ingredient, bad quantity, zero weight).
+    ParseFailure(String),
+    /// No texture terms in the description.
+    NoTerms,
+    /// No gel ingredient.
+    NoGel,
+    /// Unrelated fraction exceeded the threshold.
+    TooManyUnrelated(f64),
+}
+
+/// A model-ready dataset: filtered features with provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Features of retained recipes.
+    pub features: Vec<RecipeFeatures>,
+    /// Ground-truth labels aligned with `features` (when the corpus came
+    /// from the synthetic generator; empty otherwise).
+    pub labels: Vec<usize>,
+    /// Per-recipe exclusion records `(recipe id, reason)`.
+    pub exclusions: Vec<(u64, Exclusion)>,
+    /// The filter that was applied.
+    pub filter: DatasetFilter,
+}
+
+impl Dataset {
+    /// Builds a dataset from posted recipes.
+    ///
+    /// `labels` must be empty or aligned with `recipes`.
+    ///
+    /// # Errors
+    /// [`CorpusError::InvalidConfig`] if labels are misaligned. Individual
+    /// recipe parse failures are *not* errors — they are recorded as
+    /// exclusions, as a scraping pipeline would do.
+    pub fn build(
+        recipes: &[Recipe],
+        labels: &[usize],
+        db: &IngredientDb,
+        dict: &TextureDictionary,
+        filter: DatasetFilter,
+    ) -> Result<Self, CorpusError> {
+        if !labels.is_empty() && labels.len() != recipes.len() {
+            return Err(CorpusError::InvalidConfig {
+                what: format!("{} labels for {} recipes", labels.len(), recipes.len()),
+            });
+        }
+        let mut features = Vec::new();
+        let mut kept_labels = Vec::new();
+        let mut exclusions = Vec::new();
+
+        for (i, recipe) in recipes.iter().enumerate() {
+            let parsed = match recipe.parse(db) {
+                Ok(p) => p,
+                Err(e) => {
+                    exclusions.push((recipe.id, Exclusion::ParseFailure(e.to_string())));
+                    continue;
+                }
+            };
+            let Some(f) = RecipeFeatures::from_parsed(&parsed, dict) else {
+                exclusions.push((
+                    recipe.id,
+                    Exclusion::ParseFailure("zero total weight".into()),
+                ));
+                continue;
+            };
+            if filter.require_terms && f.terms.is_empty() {
+                exclusions.push((recipe.id, Exclusion::NoTerms));
+                continue;
+            }
+            if filter.require_gel && !f.has_gel() {
+                exclusions.push((recipe.id, Exclusion::NoGel));
+                continue;
+            }
+            if f.unrelated_fraction > filter.max_unrelated_fraction {
+                exclusions.push((recipe.id, Exclusion::TooManyUnrelated(f.unrelated_fraction)));
+                continue;
+            }
+            features.push(f);
+            if !labels.is_empty() {
+                kept_labels.push(labels[i]);
+            }
+        }
+
+        Ok(Self {
+            features,
+            labels: kept_labels,
+            exclusions,
+            filter,
+        })
+    }
+
+    /// Number of retained recipes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether nothing survived filtering.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of distinct texture terms that occur in the retained
+    /// recipes (the paper reports 41 of 288 here).
+    #[must_use]
+    pub fn active_vocabulary(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for f in &self.features {
+            seen.extend(f.terms.iter().copied());
+        }
+        seen.len()
+    }
+
+    /// Re-extracts term sequences against a (possibly restricted)
+    /// dictionary — used after the word2vec filter drops gel-unrelated
+    /// terms. Recipes whose term list becomes empty are dropped (with
+    /// their labels).
+    #[must_use]
+    pub fn remap_terms(&self, old_dict: &TextureDictionary, new_dict: &TextureDictionary) -> Self {
+        let mut features = Vec::with_capacity(self.features.len());
+        let mut labels = Vec::new();
+        let mut exclusions = self.exclusions.clone();
+        for (i, f) in self.features.iter().enumerate() {
+            let terms: Vec<_> = f
+                .terms
+                .iter()
+                .filter_map(|&id| old_dict.get(id).and_then(|e| new_dict.lookup(&e.surface)))
+                .collect();
+            if terms.is_empty() && self.filter.require_terms {
+                exclusions.push((f.id, Exclusion::NoTerms));
+                continue;
+            }
+            let mut nf = f.clone();
+            nf.terms = terms;
+            features.push(nf);
+            if !self.labels.is_empty() {
+                labels.push(self.labels[i]);
+            }
+        }
+        Self {
+            features,
+            labels,
+            exclusions,
+            filter: self.filter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build_small(n: usize) -> Dataset {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let corpus = generate(&mut rng, &SynthConfig::small(n), &db).unwrap();
+        Dataset::build(
+            &corpus.recipes,
+            &corpus.labels,
+            &db,
+            &dict,
+            DatasetFilter::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filtering_excludes_some_but_not_most() {
+        let ds = build_small(600);
+        assert!(!ds.is_empty());
+        assert!(ds.len() < 600, "the 10% filter should drop some recipes");
+        assert!(
+            ds.len() > 400,
+            "most recipes should survive, kept {}",
+            ds.len()
+        );
+        assert_eq!(ds.labels.len(), ds.len());
+        // Every exclusion has a recorded reason.
+        assert_eq!(ds.exclusions.len() + ds.len(), 600);
+    }
+
+    #[test]
+    fn retained_recipes_satisfy_filter() {
+        let ds = build_small(400);
+        for f in &ds.features {
+            assert!(!f.terms.is_empty());
+            assert!(f.has_gel());
+            assert!(f.unrelated_fraction <= 0.10 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unrelated_exclusions_recorded_with_fraction() {
+        let ds = build_small(600);
+        let too_many: Vec<_> = ds
+            .exclusions
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Exclusion::TooManyUnrelated(frac) => Some(*frac),
+                _ => None,
+            })
+            .collect();
+        assert!(!too_many.is_empty());
+        assert!(too_many.iter().all(|&f| f > 0.10));
+    }
+
+    #[test]
+    fn active_vocabulary_is_subset_of_gel_terms_plus_confounders() {
+        let ds = build_small(600);
+        let v = ds.active_vocabulary();
+        assert!(v > 10, "vocabulary {v}");
+        assert!(v <= 46, "vocabulary {v} (41 gel terms + 5 confounders)");
+    }
+
+    #[test]
+    fn label_misalignment_rejected() {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let err = Dataset::build(&[], &[1], &db, &dict, DatasetFilter::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn remap_terms_drops_confounder_terms() {
+        let comprehensive = TextureDictionary::comprehensive();
+        let gel_only = TextureDictionary::gel_active();
+        let ds = build_small(600);
+        let remapped = ds.remap_terms(&comprehensive, &gel_only);
+        assert!(remapped.len() <= ds.len());
+        assert!(remapped.active_vocabulary() <= 41);
+        for f in &remapped.features {
+            for &t in &f.terms {
+                assert!(gel_only.get(t).unwrap().gel_related);
+            }
+        }
+        assert_eq!(remapped.labels.len(), remapped.len());
+    }
+}

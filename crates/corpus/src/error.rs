@@ -1,0 +1,76 @@
+//! Error type for corpus construction and parsing.
+
+use std::fmt;
+
+/// Errors from quantity parsing, recipe parsing, and dataset assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// A quantity string could not be parsed.
+    UnparsableQuantity {
+        /// The offending text.
+        text: String,
+    },
+    /// A quantity used a count unit (piece/sheet/stick) for an ingredient
+    /// with no known per-count weight.
+    NoCountWeight {
+        /// Ingredient name.
+        ingredient: String,
+        /// The unit that required a count weight.
+        unit: &'static str,
+    },
+    /// An ingredient name was not found in the database.
+    UnknownIngredient {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A recipe produced no usable features (zero total weight).
+    EmptyRecipe {
+        /// Recipe identifier.
+        id: u64,
+    },
+    /// Invalid generator configuration.
+    InvalidConfig {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnparsableQuantity { text } => {
+                write!(f, "cannot parse quantity from {text:?}")
+            }
+            Self::NoCountWeight { ingredient, unit } => write!(
+                f,
+                "ingredient {ingredient:?} has no per-{unit} weight defined"
+            ),
+            Self::UnknownIngredient { name } => {
+                write!(f, "unknown ingredient {name:?}")
+            }
+            Self::EmptyRecipe { id } => {
+                write!(f, "recipe {id} has zero total weight")
+            }
+            Self::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_inputs() {
+        let e = CorpusError::UnparsableQuantity {
+            text: "mucho".into(),
+        };
+        assert!(e.to_string().contains("mucho"));
+        let e = CorpusError::UnknownIngredient {
+            name: "unobtainium".into(),
+        };
+        assert!(e.to_string().contains("unobtainium"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Model-facing recipe features.
+//!
+//! Each recipe becomes three things (paper Section IV-A):
+//!
+//! 1. a **sequence of texture terms** extracted from its description;
+//! 2. a **gel concentration vector** over (gelatin, kanten, agar);
+//! 3. an **emulsion concentration vector** over the six emulsion types.
+//!
+//! Concentrations are weight ratios against the recipe's total weight and
+//! are mapped to *information quantity* `−ln(x)` — the paper's transform,
+//! chosen because small concentration differences drive large texture
+//! differences. Absent ingredients have concentration 0; we floor all
+//! concentrations at [`MIN_CONCENTRATION`] so the transform stays finite
+//! (an absent gel maps to a far-away but finite point, ≈ 9.2). The floor
+//! is a substitution decision documented in DESIGN.md — the paper does not
+//! state its handling of zeros.
+
+use crate::ingredient::{GelType, IngredientKind};
+use crate::recipe::ParsedRecipe;
+use rheotex_linalg::Vector;
+use rheotex_textures::{extract_terms, TermId, TextureDictionary};
+use serde::{Deserialize, Serialize};
+
+/// Concentration floor: ratios below this (including exact zeros for
+/// absent ingredients) are clamped before the `−ln` transform.
+pub const MIN_CONCENTRATION: f64 = 1e-4;
+
+/// Information quantity `−ln(max(x, MIN_CONCENTRATION))`.
+#[must_use]
+pub fn info_quantity(x: f64) -> f64 {
+    -(x.max(MIN_CONCENTRATION)).ln()
+}
+
+/// Inverse of [`info_quantity`]: recovers the (floored) concentration.
+#[must_use]
+pub fn concentration_from_info(v: f64) -> f64 {
+    (-v).exp()
+}
+
+/// The features of one recipe, ready for the joint topic model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecipeFeatures {
+    /// Source recipe id.
+    pub id: u64,
+    /// Texture terms in order of occurrence in the description.
+    pub terms: Vec<TermId>,
+    /// Gel information-quantity vector, length 3 (gelatin, kanten, agar).
+    pub gel: Vector,
+    /// Emulsion information-quantity vector, length 6.
+    pub emulsion: Vector,
+    /// Raw gel concentrations (weight ratios, unfloored).
+    pub gel_concentrations: [f64; 3],
+    /// Raw emulsion concentrations (weight ratios, unfloored).
+    pub emulsion_concentrations: [f64; 6],
+    /// Fraction of total weight from `Unrelated` ingredients — the ≥10 %
+    /// exclusion filter's statistic.
+    pub unrelated_fraction: f64,
+}
+
+impl RecipeFeatures {
+    /// Computes features from a parsed recipe.
+    ///
+    /// Returns `None` when the recipe has zero total weight (cannot form
+    /// ratios) — callers filter such recipes out.
+    #[must_use]
+    pub fn from_parsed(parsed: &ParsedRecipe, dict: &TextureDictionary) -> Option<Self> {
+        let total = parsed.total_grams();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut gel_conc = [0.0f64; 3];
+        let mut emu_conc = [0.0f64; 6];
+        let mut unrelated = 0.0f64;
+        for ing in &parsed.ingredients {
+            match ing.kind {
+                IngredientKind::Gel(g) => gel_conc[g.index()] += ing.grams,
+                IngredientKind::Emulsion(e) => emu_conc[e.index()] += ing.grams,
+                IngredientKind::Unrelated => unrelated += ing.grams,
+                IngredientKind::Neutral => {}
+            }
+        }
+        for c in &mut gel_conc {
+            *c /= total;
+        }
+        for c in &mut emu_conc {
+            *c /= total;
+        }
+        Some(Self {
+            id: parsed.id,
+            terms: extract_terms(dict, &parsed.description),
+            gel: gel_info_vector(&gel_conc),
+            emulsion: emulsion_info_vector(&emu_conc),
+            gel_concentrations: gel_conc,
+            emulsion_concentrations: emu_conc,
+            unrelated_fraction: unrelated / total,
+        })
+    }
+
+    /// Number of texture terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the recipe contains any gel at all (raw concentrations).
+    #[must_use]
+    pub fn has_gel(&self) -> bool {
+        self.gel_concentrations.iter().any(|&c| c > 0.0)
+    }
+
+    /// The gel type with the highest concentration, if any gel is present.
+    #[must_use]
+    pub fn dominant_gel(&self) -> Option<GelType> {
+        if !self.has_gel() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..3 {
+            if self.gel_concentrations[i] > self.gel_concentrations[best] {
+                best = i;
+            }
+        }
+        Some(GelType::ALL[best])
+    }
+
+    /// Emulsion concentrations as a `Vector` of raw ratios (for
+    /// the discrete-KL recipe ranking of Fig. 3).
+    #[must_use]
+    pub fn emulsion_profile(&self) -> Vector {
+        Vector::new(self.emulsion_concentrations.to_vec())
+    }
+}
+
+/// Maps raw gel concentrations to the 3-vector of information quantities.
+#[must_use]
+pub fn gel_info_vector(conc: &[f64; 3]) -> Vector {
+    Vector::new(conc.iter().map(|&c| info_quantity(c)).collect())
+}
+
+/// Maps raw emulsion concentrations to the 6-vector of information
+/// quantities.
+#[must_use]
+pub fn emulsion_info_vector(conc: &[f64; 6]) -> Vector {
+    Vector::new(conc.iter().map(|&c| info_quantity(c)).collect())
+}
+
+/// Convenience: builds the gel info vector from per-gel named values
+/// (used to encode Table I settings).
+#[must_use]
+pub fn gel_info_from_named(gelatin: f64, kanten: f64, agar: f64) -> Vector {
+    gel_info_vector(&[gelatin, kanten, agar])
+}
+
+/// Convenience: emulsion info vector from named values in feature order
+/// (sugar, egg albumen, egg yolk, raw cream, milk, yogurt).
+#[must_use]
+pub fn emulsion_info_from_named(values: [f64; 6]) -> Vector {
+    emulsion_info_vector(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingredient::IngredientDb;
+    use crate::recipe::{IngredientLine, Recipe};
+    use rheotex_textures::TextureDictionary;
+
+    fn features(recipe: &Recipe) -> RecipeFeatures {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::gel_active();
+        RecipeFeatures::from_parsed(&recipe.parse(&db).unwrap(), &dict).unwrap()
+    }
+
+    fn jelly() -> Recipe {
+        Recipe {
+            id: 1,
+            title: "jelly".into(),
+            description: "purupuru and a bit katai".into(),
+            ingredients: vec![
+                IngredientLine::new("gelatin", "5g"),
+                IngredientLine::new("water", "195 ml"),
+            ],
+        }
+    }
+
+    #[test]
+    fn info_quantity_transform() {
+        assert!((info_quantity(1.0) - 0.0).abs() < 1e-12);
+        assert!((info_quantity(0.025) + (0.025f64).ln()).abs() < 1e-12);
+        // Zero is floored, not infinite.
+        assert!(info_quantity(0.0).is_finite());
+        assert!((info_quantity(0.0) - (-(MIN_CONCENTRATION).ln())).abs() < 1e-12);
+        // Inverse roundtrip above the floor.
+        let x = 0.0123;
+        assert!((concentration_from_info(info_quantity(x)) - x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrations_are_weight_ratios() {
+        let f = features(&jelly());
+        assert!((f.gel_concentrations[0] - 0.025).abs() < 1e-12);
+        assert_eq!(f.gel_concentrations[1], 0.0);
+        assert_eq!(f.gel_concentrations[2], 0.0);
+        assert_eq!(f.unrelated_fraction, 0.0);
+    }
+
+    #[test]
+    fn info_vectors_match_transform() {
+        let f = features(&jelly());
+        assert!((f.gel[0] - info_quantity(0.025)).abs() < 1e-12);
+        assert!((f.gel[1] - info_quantity(0.0)).abs() < 1e-12);
+        assert_eq!(f.gel.len(), 3);
+        assert_eq!(f.emulsion.len(), 6);
+    }
+
+    #[test]
+    fn terms_extracted_in_order() {
+        let f = features(&jelly());
+        let dict = TextureDictionary::gel_active();
+        assert_eq!(f.term_count(), 2);
+        assert_eq!(dict.entry(f.terms[0]).surface, "purupuru");
+        assert_eq!(dict.entry(f.terms[1]).surface, "katai");
+    }
+
+    #[test]
+    fn unrelated_fraction_counts_fruit() {
+        let r = Recipe {
+            id: 3,
+            title: "fruit jelly".into(),
+            description: "purupuru".into(),
+            ingredients: vec![
+                IngredientLine::new("gelatin", "5g"),
+                IngredientLine::new("water", "155 ml"),
+                IngredientLine::new("strawberry", "40 g"),
+            ],
+        };
+        let f = features(&r);
+        assert!((f.unrelated_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_gel_detection() {
+        let f = features(&jelly());
+        assert_eq!(f.dominant_gel(), Some(GelType::Gelatin));
+        assert!(f.has_gel());
+
+        let r = Recipe {
+            id: 4,
+            title: "water".into(),
+            description: String::new(),
+            ingredients: vec![IngredientLine::new("water", "100 ml")],
+        };
+        let f = features(&r);
+        assert!(!f.has_gel());
+        assert_eq!(f.dominant_gel(), None);
+    }
+
+    #[test]
+    fn mixed_gels_sum_by_type() {
+        let r = Recipe {
+            id: 5,
+            title: "mixed".into(),
+            description: String::new(),
+            ingredients: vec![
+                IngredientLine::new("gelatin", "3g"),
+                IngredientLine::new("gelatine", "2g"), // alias, same type
+                IngredientLine::new("agar", "1g"),
+                IngredientLine::new("water", "94 ml"),
+            ],
+        };
+        let f = features(&r);
+        assert!((f.gel_concentrations[0] - 0.05).abs() < 1e-12);
+        assert!((f.gel_concentrations[2] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_builders_match_index_order() {
+        let v = gel_info_from_named(0.02, 0.0, 0.01);
+        assert!((v[0] - info_quantity(0.02)).abs() < 1e-12);
+        assert!((v[2] - info_quantity(0.01)).abs() < 1e-12);
+        let e = emulsion_info_from_named([0.1, 0.0, 0.0, 0.0, 0.5, 0.0]);
+        assert!((e[0] - info_quantity(0.1)).abs() < 1e-12);
+        assert!((e[4] - info_quantity(0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,475 @@
+//! Ingredient knowledge: gel and emulsion taxonomies plus a database with
+//! the physical constants unit conversion needs.
+//!
+//! Specific gravities and per-piece weights follow the standard Japanese
+//! cooking-measure tables (the national standards the paper cites for
+//! measuring spoons: teaspoon 5 mL, tablespoon 15 mL, cup 200 mL, with
+//! per-ingredient gram equivalents).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three gel types the paper models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GelType {
+    /// Animal-collagen gelatin (powder or sheets).
+    Gelatin,
+    /// Kanten — Japanese agar from red algae (powder or sticks).
+    Kanten,
+    /// Agar(-agar) in the narrow sense used by the paper.
+    Agar,
+}
+
+impl GelType {
+    /// All gel types in the fixed feature order (gelatin, kanten, agar) —
+    /// the order of the paper's gel concentration vectors.
+    pub const ALL: [GelType; 3] = [GelType::Gelatin, GelType::Kanten, GelType::Agar];
+
+    /// Index in the gel concentration vector.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            GelType::Gelatin => 0,
+            GelType::Kanten => 1,
+            GelType::Agar => 2,
+        }
+    }
+
+    /// Canonical ingredient-name string.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GelType::Gelatin => "gelatin",
+            GelType::Kanten => "kanten",
+            GelType::Agar => "agar",
+        }
+    }
+}
+
+impl fmt::Display for GelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The six emulsion types the paper models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmulsionType {
+    /// Granulated sugar.
+    Sugar,
+    /// Egg white.
+    EggAlbumen,
+    /// Egg yolk.
+    EggYolk,
+    /// Fresh (raw) cream.
+    RawCream,
+    /// Milk.
+    Milk,
+    /// Yogurt.
+    Yogurt,
+}
+
+impl EmulsionType {
+    /// All emulsion types in the fixed feature order used by Table II(b).
+    pub const ALL: [EmulsionType; 6] = [
+        EmulsionType::Sugar,
+        EmulsionType::EggAlbumen,
+        EmulsionType::EggYolk,
+        EmulsionType::RawCream,
+        EmulsionType::Milk,
+        EmulsionType::Yogurt,
+    ];
+
+    /// Index in the emulsion concentration vector.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            EmulsionType::Sugar => 0,
+            EmulsionType::EggAlbumen => 1,
+            EmulsionType::EggYolk => 2,
+            EmulsionType::RawCream => 3,
+            EmulsionType::Milk => 4,
+            EmulsionType::Yogurt => 5,
+        }
+    }
+
+    /// Canonical ingredient-name string.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EmulsionType::Sugar => "sugar",
+            EmulsionType::EggAlbumen => "egg albumen",
+            EmulsionType::EggYolk => "egg yolk",
+            EmulsionType::RawCream => "raw cream",
+            EmulsionType::Milk => "milk",
+            EmulsionType::Yogurt => "yogurt",
+        }
+    }
+}
+
+impl fmt::Display for EmulsionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Model-relevant classification of an ingredient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IngredientKind {
+    /// A gelling agent.
+    Gel(GelType),
+    /// One of the six modeled emulsions.
+    Emulsion(EmulsionType),
+    /// Water and other liquids that carry weight but no concentration
+    /// feature of their own (they enter the denominator only).
+    Neutral,
+    /// Everything else — fruit, nuts, cookies … counted toward the
+    /// unrelated-ingredient fraction of the ≥10 % filter.
+    Unrelated,
+}
+
+/// Physical constants of one ingredient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngredientInfo {
+    /// Canonical lowercase name.
+    pub name: String,
+    /// Classification.
+    pub kind: IngredientKind,
+    /// Specific gravity in g/mL for volume-unit conversion. For powders
+    /// this is the *bulk* packing density of the Japanese measure tables
+    /// (e.g. sugar: 1 teaspoon = 3 g ⇒ 0.6 g/mL).
+    pub specific_gravity: f64,
+    /// Weight in grams of one piece/unit, when count units make sense
+    /// (an egg yolk, a strawberry, a sheet of gelatin).
+    pub piece_weight_g: Option<f64>,
+}
+
+/// In-memory ingredient database with alias-aware lookup.
+#[derive(Debug, Clone)]
+pub struct IngredientDb {
+    infos: Vec<IngredientInfo>,
+    by_name: HashMap<String, usize>,
+}
+
+/// `(name, aliases, kind, specific gravity, piece weight)` rows of the
+/// built-in database.
+type DbRow = (
+    &'static str,
+    &'static [&'static str],
+    IngredientKind,
+    f64,
+    Option<f64>,
+);
+
+const BUILTIN: &[DbRow] = &[
+    // --- gels (bulk densities of the powder; sheet/stick weights) ---
+    (
+        "gelatin",
+        &["gelatine", "zerachin", "gelatin powder", "gelatin sheet"],
+        IngredientKind::Gel(GelType::Gelatin),
+        0.6,
+        Some(1.5),
+    ),
+    (
+        "kanten",
+        &["kanten powder", "bou kanten", "ito kanten"],
+        IngredientKind::Gel(GelType::Kanten),
+        0.5,
+        Some(8.0),
+    ),
+    (
+        "agar",
+        &["agar agar", "aga-ru", "agar powder"],
+        IngredientKind::Gel(GelType::Agar),
+        0.5,
+        None,
+    ),
+    // --- emulsions (Japanese measure-table densities) ---
+    (
+        "sugar",
+        &["granulated sugar", "caster sugar", "satou"],
+        IngredientKind::Emulsion(EmulsionType::Sugar),
+        0.6,
+        None,
+    ),
+    (
+        "egg albumen",
+        &["egg white", "albumen", "shiromi"],
+        IngredientKind::Emulsion(EmulsionType::EggAlbumen),
+        1.0,
+        Some(35.0),
+    ),
+    (
+        "egg yolk",
+        &["yolk", "kimi"],
+        IngredientKind::Emulsion(EmulsionType::EggYolk),
+        1.0,
+        Some(18.0),
+    ),
+    (
+        "raw cream",
+        &["fresh cream", "cream", "heavy cream", "nama cream"],
+        IngredientKind::Emulsion(EmulsionType::RawCream),
+        1.0,
+        None,
+    ),
+    (
+        "milk",
+        &["whole milk", "gyunyu"],
+        IngredientKind::Emulsion(EmulsionType::Milk),
+        1.03,
+        None,
+    ),
+    (
+        "yogurt",
+        &["plain yogurt", "yoghurt"],
+        IngredientKind::Emulsion(EmulsionType::Yogurt),
+        1.03,
+        None,
+    ),
+    // --- neutral carriers ---
+    (
+        "water",
+        &["hot water", "oyu", "mizu"],
+        IngredientKind::Neutral,
+        1.0,
+        None,
+    ),
+    (
+        "juice",
+        &["fruit juice", "orange juice", "apple juice"],
+        IngredientKind::Neutral,
+        1.04,
+        None,
+    ),
+    (
+        "coffee",
+        &["black coffee"],
+        IngredientKind::Neutral,
+        1.0,
+        None,
+    ),
+    (
+        "wine",
+        &["white wine", "red wine"],
+        IngredientKind::Neutral,
+        0.99,
+        None,
+    ),
+    // --- unrelated (the ≥10 % filter and the word2vec confounders) ---
+    (
+        "strawberry",
+        &["ichigo", "strawberries"],
+        IngredientKind::Unrelated,
+        0.95,
+        Some(15.0),
+    ),
+    (
+        "orange",
+        &["mikan", "mandarin"],
+        IngredientKind::Unrelated,
+        0.95,
+        Some(100.0),
+    ),
+    (
+        "peach",
+        &["momo", "canned peach"],
+        IngredientKind::Unrelated,
+        0.96,
+        Some(150.0),
+    ),
+    (
+        "banana",
+        &["bananas"],
+        IngredientKind::Unrelated,
+        0.94,
+        Some(100.0),
+    ),
+    (
+        "almond",
+        &["almonds", "nuts", "walnut", "mixed nuts"],
+        IngredientKind::Unrelated,
+        0.64,
+        Some(1.2),
+    ),
+    (
+        "cookie",
+        &["biscuit", "cookies", "crumbled cookie"],
+        IngredientKind::Unrelated,
+        0.5,
+        Some(8.0),
+    ),
+    (
+        "granola",
+        &["cereal", "cornflake", "cornflakes"],
+        IngredientKind::Unrelated,
+        0.35,
+        None,
+    ),
+    (
+        "chocolate",
+        &["choco", "chocolate chips"],
+        IngredientKind::Unrelated,
+        0.65,
+        Some(5.0),
+    ),
+    (
+        "red bean paste",
+        &["anko", "azuki paste"],
+        IngredientKind::Unrelated,
+        1.1,
+        None,
+    ),
+    (
+        "matcha",
+        &["green tea powder"],
+        IngredientKind::Unrelated,
+        0.4,
+        None,
+    ),
+    (
+        "cocoa",
+        &["cocoa powder"],
+        IngredientKind::Unrelated,
+        0.4,
+        None,
+    ),
+    (
+        "lemon",
+        &["lemon juice", "remon"],
+        IngredientKind::Unrelated,
+        1.02,
+        Some(100.0),
+    ),
+];
+
+impl IngredientDb {
+    /// The built-in database of gels, emulsions, carriers, and unrelated
+    /// ingredients.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut infos = Vec::with_capacity(BUILTIN.len());
+        let mut by_name = HashMap::new();
+        for (name, aliases, kind, sg, piece) in BUILTIN {
+            let idx = infos.len();
+            infos.push(IngredientInfo {
+                name: (*name).to_string(),
+                kind: *kind,
+                specific_gravity: *sg,
+                piece_weight_g: *piece,
+            });
+            by_name.insert((*name).to_string(), idx);
+            for alias in *aliases {
+                by_name.insert((*alias).to_string(), idx);
+            }
+        }
+        Self { infos, by_name }
+    }
+
+    /// Number of distinct ingredients (not counting aliases).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Looks an ingredient up by name or alias (case-insensitive,
+    /// whitespace-trimmed).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&IngredientInfo> {
+        let key = name.trim().to_lowercase();
+        self.by_name.get(&key).map(|&i| &self.infos[i])
+    }
+
+    /// Iterates over distinct ingredients.
+    pub fn iter(&self) -> impl Iterator<Item = &IngredientInfo> {
+        self.infos.iter()
+    }
+
+    /// Canonical info for a gel type.
+    #[must_use]
+    pub fn gel(&self, gel: GelType) -> &IngredientInfo {
+        self.lookup(gel.name())
+            .expect("built-in gels always present")
+    }
+
+    /// Canonical info for an emulsion type.
+    #[must_use]
+    pub fn emulsion(&self, emulsion: EmulsionType) -> &IngredientInfo {
+        self.lookup(emulsion.name())
+            .expect("built-in emulsions always present")
+    }
+}
+
+impl Default for IngredientDb {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_orders_are_stable() {
+        assert_eq!(GelType::Gelatin.index(), 0);
+        assert_eq!(GelType::Kanten.index(), 1);
+        assert_eq!(GelType::Agar.index(), 2);
+        for (i, e) in EmulsionType::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn builtin_covers_all_gels_and_emulsions() {
+        let db = IngredientDb::builtin();
+        for g in GelType::ALL {
+            assert_eq!(db.gel(g).kind, IngredientKind::Gel(g));
+        }
+        for e in EmulsionType::ALL {
+            assert_eq!(db.emulsion(e).kind, IngredientKind::Emulsion(e));
+        }
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let db = IngredientDb::builtin();
+        assert_eq!(db.lookup("gelatine").unwrap().name, "gelatin");
+        assert_eq!(db.lookup("  Egg White ").unwrap().name, "egg albumen");
+        assert_eq!(db.lookup("nuts").unwrap().name, "almond");
+        assert!(db.lookup("plutonium").is_none());
+    }
+
+    #[test]
+    fn physical_constants_sane() {
+        let db = IngredientDb::builtin();
+        for info in db.iter() {
+            assert!(
+                info.specific_gravity > 0.1 && info.specific_gravity < 2.0,
+                "{}: sg {}",
+                info.name,
+                info.specific_gravity
+            );
+            if let Some(w) = info.piece_weight_g {
+                assert!(w > 0.0, "{}", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_ingredients_present_for_filter() {
+        let db = IngredientDb::builtin();
+        let unrelated = db
+            .iter()
+            .filter(|i| i.kind == IngredientKind::Unrelated)
+            .count();
+        assert!(unrelated >= 5, "need confounders for the 10% filter");
+    }
+}

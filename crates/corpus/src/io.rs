@@ -1,0 +1,211 @@
+//! Corpus persistence: JSON-lines recipes.
+//!
+//! The synthetic generator stands in for closed data, but the pipeline is
+//! built to run on *real* scraped recipes too. This module defines the
+//! interchange format: one JSON recipe per line, with an optional
+//! ground-truth label for synthetic corpora.
+//!
+//! ```json
+//! {"id":1,"title":"milk jelly","description":"purupuru ...",
+//!  "ingredients":[{"name":"gelatin","quantity_text":"5g"}],"label":3}
+//! ```
+
+use crate::error::CorpusError;
+use crate::recipe::Recipe;
+use crate::synth::SynthCorpus;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// One JSONL record: a recipe plus an optional generator label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecipeRecord {
+    /// The recipe.
+    #[serde(flatten)]
+    pub recipe: Recipe,
+    /// Ground-truth archetype label, when known.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub label: Option<usize>,
+}
+
+/// Writes recipes (and labels, if given) as JSON lines.
+///
+/// # Errors
+/// [`CorpusError::InvalidConfig`] on label misalignment; I/O errors are
+/// wrapped into [`CorpusError::InvalidConfig`] with the message.
+pub fn write_jsonl<W: Write>(
+    writer: W,
+    recipes: &[Recipe],
+    labels: &[usize],
+) -> Result<(), CorpusError> {
+    if !labels.is_empty() && labels.len() != recipes.len() {
+        return Err(CorpusError::InvalidConfig {
+            what: format!("{} labels for {} recipes", labels.len(), recipes.len()),
+        });
+    }
+    let mut w = BufWriter::new(writer);
+    for (i, recipe) in recipes.iter().enumerate() {
+        let record = RecipeRecord {
+            recipe: recipe.clone(),
+            label: labels.get(i).copied(),
+        };
+        let line = serde_json::to_string(&record).map_err(|e| CorpusError::InvalidConfig {
+            what: format!("serialize recipe {}: {e}", recipe.id),
+        })?;
+        writeln!(w, "{line}").map_err(|e| CorpusError::InvalidConfig {
+            what: format!("write: {e}"),
+        })?;
+    }
+    w.flush().map_err(|e| CorpusError::InvalidConfig {
+        what: format!("flush: {e}"),
+    })
+}
+
+/// Reads recipes (and labels where present) from JSON lines. Empty lines
+/// are skipped. Labels are returned only if *every* record carries one.
+///
+/// # Errors
+/// [`CorpusError::InvalidConfig`] naming the offending line on parse
+/// failure.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<(Vec<Recipe>, Vec<usize>), CorpusError> {
+    let mut recipes = Vec::new();
+    let mut labels = Vec::new();
+    let mut all_labeled = true;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| CorpusError::InvalidConfig {
+            what: format!("read line {}: {e}", lineno + 1),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: RecipeRecord =
+            serde_json::from_str(&line).map_err(|e| CorpusError::InvalidConfig {
+                what: format!("parse line {}: {e}", lineno + 1),
+            })?;
+        match record.label {
+            Some(l) if all_labeled => labels.push(l),
+            Some(_) => {}
+            None => {
+                all_labeled = false;
+                labels.clear();
+            }
+        }
+        recipes.push(record.recipe);
+    }
+    Ok((recipes, if all_labeled { labels } else { Vec::new() }))
+}
+
+/// Convenience: writes a [`SynthCorpus`] to a file.
+///
+/// # Errors
+/// File-creation and serialization failures as [`CorpusError`].
+pub fn save_corpus(path: &std::path::Path, corpus: &SynthCorpus) -> Result<(), CorpusError> {
+    let file = std::fs::File::create(path).map_err(|e| CorpusError::InvalidConfig {
+        what: format!("create {}: {e}", path.display()),
+    })?;
+    write_jsonl(file, &corpus.recipes, &corpus.labels)
+}
+
+/// Convenience: reads recipes and labels from a file.
+///
+/// # Errors
+/// File-open and parse failures as [`CorpusError`].
+pub fn load_corpus(path: &std::path::Path) -> Result<(Vec<Recipe>, Vec<usize>), CorpusError> {
+    let file = std::fs::File::open(path).map_err(|e| CorpusError::InvalidConfig {
+        what: format!("open {}: {e}", path.display()),
+    })?;
+    read_jsonl(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::IngredientLine;
+
+    fn sample_recipes() -> Vec<Recipe> {
+        vec![
+            Recipe {
+                id: 1,
+                title: "jelly".into(),
+                description: "purupuru".into(),
+                ingredients: vec![IngredientLine::new("gelatin", "5g")],
+            },
+            Recipe {
+                id: 2,
+                title: "kanten".into(),
+                description: "dossiri".into(),
+                ingredients: vec![
+                    IngredientLine::new("kanten", "4g"),
+                    IngredientLine::new("water", "200cc"),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let recipes = sample_recipes();
+        let labels = vec![3, 7];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recipes, &labels).unwrap();
+        let (r, l) = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(r, recipes);
+        assert_eq!(l, labels);
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let recipes = sample_recipes();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recipes, &[]).unwrap();
+        let (r, l) = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(r, recipes);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn mixed_labels_drop_all() {
+        // Hand-build lines where only the first record is labeled.
+        let lines = concat!(
+            r#"{"id":1,"title":"a","description":"d","ingredients":[],"label":2}"#,
+            "\n",
+            r#"{"id":2,"title":"b","description":"d","ingredients":[]}"#,
+            "\n"
+        );
+        let (r, l) = read_jsonl(lines.as_bytes()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(l.is_empty(), "partial labels must not be returned");
+    }
+
+    #[test]
+    fn empty_lines_skipped_and_errors_name_lines() {
+        let lines = "\n\n{\"id\":1,\"title\":\"a\",\"description\":\"d\",\"ingredients\":[]}\n\n";
+        let (r, _) = read_jsonl(lines.as_bytes()).unwrap();
+        assert_eq!(r.len(), 1);
+
+        let bad = "{\"id\":1}\nnot json\n";
+        let err = read_jsonl(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn label_misalignment_rejected_on_write() {
+        let recipes = sample_recipes();
+        let mut buf = Vec::new();
+        assert!(write_jsonl(&mut buf, &recipes, &[1]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_via_synth_corpus() {
+        use crate::synth::{generate, SynthConfig};
+        use rand::SeedableRng;
+        let db = crate::ingredient::IngredientDb::builtin();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let corpus = generate(&mut rng, &SynthConfig::small(20), &db).unwrap();
+        let path = std::env::temp_dir().join("rheotex_io_test.jsonl");
+        save_corpus(&path, &corpus).unwrap();
+        let (recipes, labels) = load_corpus(&path).unwrap();
+        assert_eq!(recipes, corpus.recipes);
+        assert_eq!(labels, corpus.labels);
+        let _ = std::fs::remove_file(&path);
+    }
+}

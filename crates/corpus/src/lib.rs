@@ -1,0 +1,48 @@
+//! Recipe corpus substrate: ingredient knowledge, quantity normalization,
+//! concentration features, and a synthetic Cookpad-like generator.
+//!
+//! The paper's corpus — 63,000 gel recipes from Cookpad, of which ~10,000
+//! carry texture terms and ~3,000 survive filtering — is closed data. This
+//! crate rebuilds the entire data path against a synthetic stand-in with
+//! *known* latent structure:
+//!
+//! * [`ingredient`] — the ingredient database: gel types (gelatin, kanten,
+//!   agar), the six emulsion types the paper models (sugar, egg albumen,
+//!   egg yolk, raw cream, milk, yogurt), and unrelated ingredients, each
+//!   with specific gravity and per-piece weights for unit conversion.
+//! * [`units`] — quantity parsing ("200cc", "1/2 cup", "oosaji 2", "2
+//!   sheets") and conversion to grams using Japanese standard measures
+//!   (teaspoon 5 mL, tablespoon 15 mL, cup 200 mL).
+//! * [`recipe`] — raw recipes (title, free-text ingredient lines,
+//!   description) and their parsed form.
+//! * [`features`] — the model's view of a recipe: texture-term sequence,
+//!   3-vector of gel concentrations and 6-vector of emulsion
+//!   concentrations as information quantity `−log(x)`, plus the
+//!   unrelated-ingredient fraction used by the ≥10 % filter.
+//! * [`synth`] — the generator: ten ground-truth *archetypes* mirroring
+//!   the paper's Table II(a) topics emit recipes with realistic quantity
+//!   strings and descriptions that mix texture terms, noise words, and
+//!   gel-unrelated confounders (for the word2vec filter to catch).
+//! * [`dataset`] — corpus assembly and filtering into the model-ready
+//!   [`dataset::Dataset`], retaining ground-truth labels for recovery
+//!   scoring.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dataset;
+pub mod error;
+pub mod features;
+pub mod ingredient;
+pub mod io;
+pub mod recipe;
+pub mod synth;
+pub mod units;
+
+pub use dataset::{Dataset, DatasetFilter};
+pub use error::CorpusError;
+pub use features::RecipeFeatures;
+pub use ingredient::{EmulsionType, GelType, IngredientDb, IngredientKind};
+pub use recipe::{IngredientLine, ParsedRecipe, Recipe};
+pub use synth::{Archetype, SynthConfig, SynthCorpus};
+pub use units::{parse_quantity, Quantity, Unit};

@@ -1,0 +1,211 @@
+//! Recipe data model: the raw posted form and its parsed, gram-normalized
+//! form.
+
+use crate::error::CorpusError;
+use crate::ingredient::{IngredientDb, IngredientKind};
+use crate::units::parse_quantity;
+use serde::{Deserialize, Serialize};
+
+/// One free-text ingredient line of a posted recipe, e.g.
+/// `("gelatin", "5g")` or `("milk", "1 cup")`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngredientLine {
+    /// Ingredient name as written (resolved against the database's
+    /// aliases at parse time).
+    pub name: String,
+    /// Free-text quantity ("200cc", "oosaji 2", "1/2 cup" …).
+    pub quantity_text: String,
+}
+
+impl IngredientLine {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, quantity_text: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            quantity_text: quantity_text.to_string(),
+        }
+    }
+}
+
+/// A posted recipe as it would appear on a sharing site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Stable recipe id.
+    pub id: u64,
+    /// Title, e.g. "purupuru milk jelly".
+    pub title: String,
+    /// Free-text description/steps; the texture-term source.
+    pub description: String,
+    /// Ingredient list with free-text quantities.
+    pub ingredients: Vec<IngredientLine>,
+}
+
+/// One ingredient resolved to grams and classified.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedIngredient {
+    /// Canonical database name.
+    pub name: String,
+    /// Classification (gel / emulsion / neutral / unrelated).
+    pub kind: IngredientKind,
+    /// Weight in grams.
+    pub grams: f64,
+}
+
+/// A recipe with every ingredient normalized to grams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedRecipe {
+    /// Id of the source recipe.
+    pub id: u64,
+    /// Description carried through for term extraction.
+    pub description: String,
+    /// Gram-normalized ingredients.
+    pub ingredients: Vec<ParsedIngredient>,
+}
+
+impl ParsedRecipe {
+    /// Total weight of the recipe in grams.
+    #[must_use]
+    pub fn total_grams(&self) -> f64 {
+        self.ingredients.iter().map(|i| i.grams).sum()
+    }
+
+    /// Total grams of ingredients with the given classification predicate.
+    #[must_use]
+    pub fn grams_where(&self, pred: impl Fn(IngredientKind) -> bool) -> f64 {
+        self.ingredients
+            .iter()
+            .filter(|i| pred(i.kind))
+            .map(|i| i.grams)
+            .sum()
+    }
+}
+
+impl Recipe {
+    /// Parses the recipe against an ingredient database: every line's
+    /// quantity is converted to grams.
+    ///
+    /// # Errors
+    /// * [`CorpusError::UnknownIngredient`] for names missing from the db;
+    /// * [`CorpusError::UnparsableQuantity`] / [`CorpusError::NoCountWeight`]
+    ///   from quantity conversion;
+    /// * [`CorpusError::EmptyRecipe`] when nothing contributes weight.
+    pub fn parse(&self, db: &IngredientDb) -> Result<ParsedRecipe, CorpusError> {
+        let mut ingredients = Vec::with_capacity(self.ingredients.len());
+        for line in &self.ingredients {
+            let info = db
+                .lookup(&line.name)
+                .ok_or_else(|| CorpusError::UnknownIngredient {
+                    name: line.name.clone(),
+                })?;
+            let quantity = parse_quantity(&line.quantity_text)?;
+            let grams = quantity.to_grams(info)?;
+            ingredients.push(ParsedIngredient {
+                name: info.name.clone(),
+                kind: info.kind,
+                grams,
+            });
+        }
+        let parsed = ParsedRecipe {
+            id: self.id,
+            description: self.description.clone(),
+            ingredients,
+        };
+        if parsed.total_grams() <= 0.0 {
+            return Err(CorpusError::EmptyRecipe { id: self.id });
+        }
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingredient::{EmulsionType, GelType};
+
+    fn milk_jelly() -> Recipe {
+        Recipe {
+            id: 1,
+            title: "milk jelly".into(),
+            description: "purupuru milk jelly, very easy".into(),
+            ingredients: vec![
+                IngredientLine::new("gelatin", "5g"),
+                IngredientLine::new("milk", "200cc"),
+                IngredientLine::new("sugar", "oosaji 2"),
+                IngredientLine::new("water", "50 ml"),
+            ],
+        }
+    }
+
+    #[test]
+    fn parse_converts_all_lines() {
+        let db = IngredientDb::builtin();
+        let parsed = milk_jelly().parse(&db).unwrap();
+        assert_eq!(parsed.ingredients.len(), 4);
+        // gelatin 5g + milk 206g + sugar 18g + water 50g
+        let expect = 5.0 + 200.0 * 1.03 + 2.0 * 15.0 * 0.6 + 50.0;
+        assert!((parsed.total_grams() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grams_where_classifies() {
+        let db = IngredientDb::builtin();
+        let parsed = milk_jelly().parse(&db).unwrap();
+        let gels = parsed.grams_where(|k| matches!(k, IngredientKind::Gel(GelType::Gelatin)));
+        assert!((gels - 5.0).abs() < 1e-9);
+        let milk =
+            parsed.grams_where(|k| matches!(k, IngredientKind::Emulsion(EmulsionType::Milk)));
+        assert!((milk - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_ingredient_rejected() {
+        let db = IngredientDb::builtin();
+        let mut r = milk_jelly();
+        r.ingredients.push(IngredientLine::new("unobtainium", "5g"));
+        assert!(matches!(
+            r.parse(&db),
+            Err(CorpusError::UnknownIngredient { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_quantity_rejected() {
+        let db = IngredientDb::builtin();
+        let mut r = milk_jelly();
+        r.ingredients[0].quantity_text = "to taste".into();
+        assert!(matches!(
+            r.parse(&db),
+            Err(CorpusError::UnparsableQuantity { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_recipe_rejected() {
+        let db = IngredientDb::builtin();
+        let r = Recipe {
+            id: 9,
+            title: "nothing".into(),
+            description: String::new(),
+            ingredients: vec![IngredientLine::new("water", "0 ml")],
+        };
+        assert!(matches!(
+            r.parse(&db),
+            Err(CorpusError::EmptyRecipe { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical_names() {
+        let db = IngredientDb::builtin();
+        let r = Recipe {
+            id: 2,
+            title: "test".into(),
+            description: String::new(),
+            ingredients: vec![IngredientLine::new("gelatine", "3 sheets")],
+        };
+        let parsed = r.parse(&db).unwrap();
+        assert_eq!(parsed.ingredients[0].name, "gelatin");
+        assert!((parsed.ingredients[0].grams - 4.5).abs() < 1e-9);
+    }
+}

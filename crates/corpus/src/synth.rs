@@ -1,0 +1,777 @@
+//! Synthetic Cookpad-like corpus generator with ground-truth archetypes.
+//!
+//! The paper's corpus is closed, so experiments run against recipes drawn
+//! from ten *archetypes* that mirror the structure the paper reports in
+//! Table II(a): four soft-gelatin bands (the paper's topics 7/4/0/8, all
+//! dominated by *furufuru* at increasing gelatin concentration), the hard
+//! gelatin topic (3), the agar+gelatin mix (5), the agar topic (2), the
+//! foam topic (6), and the low/high kanten topics (1/9). Archetype gel
+//! concentrations are the paper's own topic concentrations; term
+//! distributions are the paper's reported per-topic term probabilities.
+//!
+//! Each generated recipe goes through the *full* posted-recipe surface
+//! form: ingredient quantities are rendered in randomly chosen unit styles
+//! ("5g", "200cc", "oosaji 2", "2 sheets") that the parser must re-convert
+//! to grams, and descriptions interleave texture terms with noise words
+//! and ingredient mentions — including gel-unrelated confounder toppings
+//! whose crispy-family terms the word2vec filter is expected to reject.
+
+use crate::error::CorpusError;
+use crate::ingredient::{EmulsionType, GelType, IngredientDb, IngredientInfo};
+use crate::recipe::{IngredientLine, Recipe};
+use rand::Rng;
+use rheotex_rheology::GelMechanics;
+use rheotex_textures::TextureDictionary;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth generator archetype: one latent "texture style".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Archetype {
+    /// Human-readable name (used in experiment reports).
+    pub name: String,
+    /// Mean raw gel concentrations (gelatin, kanten, agar).
+    pub gel_mean: [f64; 3],
+    /// Log-normal sigma of gel concentrations (relative spread).
+    pub gel_sigma: f64,
+    /// Mean raw emulsion concentrations (feature order).
+    pub emulsion_mean: [f64; 6],
+    /// Log-normal sigma of emulsion concentrations.
+    pub emulsion_sigma: f64,
+    /// Texture-term distribution: `(surface, weight)`; weights need not
+    /// be normalized.
+    pub term_weights: Vec<(String, f64)>,
+    /// Probability that a recipe gains an unrelated topping (with its
+    /// confounder texture term in the description).
+    pub confounder_prob: f64,
+    /// Mean number of texture-term occurrences per description.
+    pub mean_terms: f64,
+    /// Relative sampling weight of this archetype (proportional to the
+    /// paper's per-topic recipe counts).
+    pub weight: f64,
+    /// Strength of the emulsion → texture-term coupling: recipes whose
+    /// drawn emulsions stiffen the gel (per the TPA mechanics) shift
+    /// their term distribution toward hard/elastic terms, watery draws
+    /// toward soft/crumbly ones. 0 disables. This plants the
+    /// within-topic structure the paper's Fig. 3 / Fig. 4 measure.
+    pub texture_coupling: f64,
+}
+
+impl Archetype {
+    /// Surface forms of this archetype's texture terms.
+    #[must_use]
+    pub fn term_surfaces(&self) -> Vec<&str> {
+        self.term_weights.iter().map(|(s, _)| s.as_str()).collect()
+    }
+}
+
+/// Configuration of a synthetic corpus draw.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of recipes to generate (before any filtering).
+    pub n_recipes: usize,
+    /// The archetype inventory.
+    pub archetypes: Vec<Archetype>,
+}
+
+impl SynthConfig {
+    /// Paper-scale configuration: the ten Table II(a) archetypes, sized so
+    /// that after the ≥10 % unrelated filter roughly the paper's ~3,000
+    /// recipes remain.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            n_recipes: 3600,
+            archetypes: default_archetypes(),
+        }
+    }
+
+    /// Smaller configuration for tests and quick examples.
+    #[must_use]
+    pub fn small(n_recipes: usize) -> Self {
+        Self {
+            n_recipes,
+            archetypes: default_archetypes(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`CorpusError::InvalidConfig`] for empty archetypes, non-positive
+    /// weights, or empty term lists.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        if self.archetypes.is_empty() {
+            return Err(CorpusError::InvalidConfig {
+                what: "no archetypes".into(),
+            });
+        }
+        for a in &self.archetypes {
+            if a.weight <= 0.0 {
+                return Err(CorpusError::InvalidConfig {
+                    what: format!("archetype {} has non-positive weight", a.name),
+                });
+            }
+            if a.term_weights.is_empty() {
+                return Err(CorpusError::InvalidConfig {
+                    what: format!("archetype {} has no terms", a.name),
+                });
+            }
+            let total_term_weight: f64 = a.term_weights.iter().map(|(_, w)| w).sum();
+            if !(total_term_weight.is_finite() && total_term_weight > 0.0)
+                || a.term_weights.iter().any(|(_, w)| *w < 0.0)
+            {
+                return Err(CorpusError::InvalidConfig {
+                    what: format!(
+                        "archetype {} term weights must be non-negative with a positive sum",
+                        a.name
+                    ),
+                });
+            }
+            if !(0.0..=100.0).contains(&a.mean_terms) {
+                return Err(CorpusError::InvalidConfig {
+                    what: format!(
+                        "archetype {} mean_terms {} out of range (Knuth Poisson \
+                         sampling underflows for large rates)",
+                        a.name, a.mean_terms
+                    ),
+                });
+            }
+            if !(0.0..=1.0).contains(&a.confounder_prob) {
+                return Err(CorpusError::InvalidConfig {
+                    what: format!("archetype {} confounder_prob out of range", a.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A generated corpus with its ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthCorpus {
+    /// The posted recipes.
+    pub recipes: Vec<Recipe>,
+    /// Ground-truth archetype index per recipe (aligned with `recipes`).
+    pub labels: Vec<usize>,
+    /// The archetype inventory used.
+    pub archetypes: Vec<Archetype>,
+}
+
+/// The ten archetypes mirroring the paper's Table II(a).
+///
+/// `(gel concentrations, top terms)` are the paper's; emulsion profiles
+/// are plausible per dish family (milk-jelly-like for soft gelatin,
+/// bavarois-like for hard gelatin, mousse-like for the foam topic,
+/// mizu-yokan-like for kanten) since the paper reports emulsions only for
+/// the two validation dishes.
+#[must_use]
+pub fn default_archetypes() -> Vec<Archetype> {
+    let soft_gelatin = |name: &str, conc: f64, weight: f64| Archetype {
+        name: name.into(),
+        gel_mean: [conc, 0.0, 0.0],
+        gel_sigma: 0.10,
+        emulsion_mean: [0.06, 0.0, 0.0, 0.0, 0.55, 0.0],
+        emulsion_sigma: 0.25,
+        term_weights: vec![
+            ("furufuru".into(), 1.0),
+            ("tapuntapun".into(), 0.06),
+            ("funyafunya".into(), 0.04),
+            ("torotoro".into(), 0.05),
+        ],
+        confounder_prob: 0.18,
+        mean_terms: 2.2,
+        weight,
+        texture_coupling: 0.8,
+    };
+    vec![
+        // Topics 7, 4, 0, 8: soft gelatin bands.
+        soft_gelatin("gelatin-0.005", 0.005, 73.0),
+        soft_gelatin("gelatin-0.007", 0.007, 74.0),
+        soft_gelatin("gelatin-0.012", 0.012, 152.0),
+        soft_gelatin("gelatin-0.014", 0.014, 14.0),
+        // Topic 3: hard gelatin (bavarois/milk-jelly band).
+        Archetype {
+            name: "gelatin-hard-0.048".into(),
+            gel_mean: [0.048, 0.0, 0.0],
+            // Wide band: the paper's topic 3 absorbs everything from the
+            // 2.5% dishes up to stiff 7% gels.
+            gel_sigma: 0.35,
+            // Heterogeneous emulsions with a large spread: most real
+            // gelatin desserts are watery fruit jellies, with milky
+            // (milk-jelly-like) and creamy (bavarois-like) minorities —
+            // the within-topic variation Fig. 3 / Fig. 4 rank over.
+            emulsion_mean: [0.05, 0.0, 0.015, 0.05, 0.25, 0.0],
+            emulsion_sigma: 0.9,
+            term_weights: vec![
+                ("katai".into(), 0.307),
+                ("muchimuchi".into(), 0.245),
+                ("gucha".into(), 0.129),
+                ("potteri".into(), 0.089),
+                ("burunburun".into(), 0.062),
+                ("bosoboso".into(), 0.060),
+                ("botet".into(), 0.055),
+                ("shakusyaku".into(), 0.029),
+                ("buruburu".into(), 0.022),
+            ],
+            confounder_prob: 0.15,
+            mean_terms: 3.2,
+            weight: 38.0,
+            // Strong coupling: this is the band the paper's Fig. 3/4
+            // dishes (Bavarois, milk jelly) live in.
+            texture_coupling: 3.5,
+        },
+        // Topic 5: agar + gelatin mix.
+        Archetype {
+            name: "agar-gelatin-mix-0.009".into(),
+            gel_mean: [0.009, 0.0, 0.009],
+            gel_sigma: 0.12,
+            emulsion_mean: [0.08, 0.0, 0.0, 0.05, 0.35, 0.03],
+            emulsion_sigma: 0.30,
+            term_weights: vec![
+                ("purupuru".into(), 1.0),
+                ("punipuni".into(), 0.05),
+                ("tsurutsuru".into(), 0.04),
+            ],
+            confounder_prob: 0.18,
+            mean_terms: 2.0,
+            weight: 1046.0,
+            texture_coupling: 0.8,
+        },
+        // Topic 2: agar.
+        Archetype {
+            name: "agar-0.016".into(),
+            gel_mean: [0.0, 0.0, 0.016],
+            gel_sigma: 0.15,
+            emulsion_mean: [0.12, 0.0, 0.0, 0.0, 0.25, 0.0],
+            emulsion_sigma: 0.35,
+            term_weights: vec![
+                ("nettori".into(), 0.445),
+                ("purit".into(), 0.255),
+                ("mottari".into(), 0.210),
+                ("horohoro".into(), 0.080),
+                ("necchiri".into(), 0.010),
+            ],
+            confounder_prob: 0.15,
+            mean_terms: 2.6,
+            weight: 371.0,
+            texture_coupling: 0.8,
+        },
+        // Topic 6: foam/mousse (traces of gelatin + kanten).
+        Archetype {
+            name: "foam-gelatin-0.003".into(),
+            gel_mean: [0.003, 0.002, 0.0],
+            gel_sigma: 0.20,
+            emulsion_mean: [0.10, 0.08, 0.02, 0.28, 0.15, 0.0],
+            emulsion_sigma: 0.35,
+            term_weights: vec![
+                ("fuwafuwa".into(), 1.0),
+                ("sarasara".into(), 0.04),
+                ("torori".into(), 0.05),
+            ],
+            confounder_prob: 0.25,
+            mean_terms: 2.0,
+            weight: 1200.0,
+            texture_coupling: 0.6,
+        },
+        // Topic 1: low kanten.
+        Archetype {
+            name: "kanten-low-0.004".into(),
+            gel_mean: [0.0, 0.004, 0.0],
+            gel_sigma: 0.15,
+            emulsion_mean: [0.10, 0.0, 0.0, 0.0, 0.10, 0.02],
+            emulsion_sigma: 0.35,
+            term_weights: vec![
+                ("yuruyuru".into(), 0.487),
+                ("bechat".into(), 0.432),
+                ("fukahuka".into(), 0.027),
+                ("burit".into(), 0.027),
+            ],
+            confounder_prob: 0.15,
+            mean_terms: 2.4,
+            weight: 60.0,
+            texture_coupling: 0.8,
+        },
+        // Topic 9: high kanten.
+        Archetype {
+            name: "kanten-high-0.021".into(),
+            gel_mean: [0.0, 0.021, 0.0],
+            gel_sigma: 0.15,
+            emulsion_mean: [0.16, 0.0, 0.0, 0.0, 0.05, 0.0],
+            emulsion_sigma: 0.40,
+            term_weights: vec![
+                ("dossiri".into(), 0.270),
+                ("churuchuru".into(), 0.165),
+                ("punipuni".into(), 0.100),
+                ("kutat".into(), 0.074),
+                ("burinburin".into(), 0.069),
+                ("korit".into(), 0.064),
+                ("daradara".into(), 0.057),
+                ("karat".into(), 0.055),
+                ("hajikeru".into(), 0.055),
+                ("omoi".into(), 0.054),
+            ],
+            confounder_prob: 0.12,
+            mean_terms: 3.0,
+            weight: 55.0,
+            texture_coupling: 0.8,
+        },
+    ]
+}
+
+/// Noise vocabulary for descriptions (transliterated cooking chatter).
+const NOISE_WORDS: &[&str] = &[
+    "oishii",
+    "kantan",
+    "dessert",
+    "reizouko",
+    "hiyasu",
+    "kodomo",
+    "ninki",
+    "osusume",
+    "teiban",
+    "natsu",
+    "hinyari",
+    "kansei",
+    "mazeru",
+    "katamaru",
+    "dekiagari",
+    "shokkan",
+    "amai",
+    "sappari",
+];
+
+/// Unrelated toppings paired with the confounder texture term each evokes.
+const CONFOUNDER_TOPPINGS: &[(&str, &str)] = &[
+    ("almond", "karikari"),
+    ("cookie", "sakusaku"),
+    ("granola", "zakuzaku"),
+    ("cornflakes", "paripari"),
+    ("chocolate", "poripori"),
+];
+
+fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // Log-normal with median `mean`: mean * exp(sigma * z).
+    let z = rheotex_linalg::dist::sample_std_normal(rng);
+    mean * (sigma * z).exp()
+}
+
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    // Knuth's method — fine for the small λ (2–4) used here. λ is bounded
+    // by SynthConfig::validate (≤ 100), far below the exp(-λ) underflow
+    // that would make this loop never terminate.
+    debug_assert!(lambda <= 700.0, "Knuth sampler underflows for λ {lambda}");
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn weighted_choice<'a, R: Rng + ?Sized>(rng: &mut R, items: &'a [(String, f64)]) -> &'a str {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (s, w) in items {
+        u -= w;
+        if u <= 0.0 {
+            return s;
+        }
+    }
+    &items[items.len() - 1].0
+}
+
+/// Renders `grams` of `info` as a plausible free-text quantity string in a
+/// randomly chosen unit style. The rendering rounds like a human would, so
+/// re-parsing recovers the weight only approximately — exactly the noise
+/// the real pipeline faces.
+fn render_quantity<R: Rng + ?Sized>(rng: &mut R, info: &IngredientInfo, grams: f64) -> String {
+    let style = rng.gen_range(0..4u8);
+    match style {
+        // Plain grams, rounded to 0.5 g.
+        0 => format!("{}g", round_to(grams, 0.5)),
+        // Volume in cc (via specific gravity), rounded to 5 cc.
+        1 => {
+            let cc = grams / info.specific_gravity;
+            format!("{}cc", round_to(cc.max(1.0), 5.0))
+        }
+        // Spoons (tsp for small, tbsp for medium amounts) or cups for large.
+        2 => {
+            let ml = grams / info.specific_gravity;
+            if ml <= 12.0 {
+                let n = round_to(ml / 5.0, 0.5).max(0.5);
+                format!("kosaji {n}")
+            } else if ml <= 60.0 {
+                let n = round_to(ml / 15.0, 0.5).max(0.5);
+                format!("oosaji {n}")
+            } else {
+                let n = round_to(ml / 200.0, 0.25).max(0.25);
+                format!("{n} cup")
+            }
+        }
+        // Pieces when the ingredient supports them, else grams.
+        _ => match info.piece_weight_g {
+            Some(w) if grams >= w * 0.5 => {
+                let n = (grams / w).round().max(1.0);
+                format!("{n} pieces")
+            }
+            _ => format!("{}g", round_to(grams, 0.5)),
+        },
+    }
+}
+
+fn round_to(x: f64, step: f64) -> f64 {
+    (x / step).round() * step
+}
+
+/// Reweights an archetype's term distribution by the recipe's simulated
+/// mechanics relative to the archetype's baseline: stiffer-than-typical
+/// draws (log-hardness deviation `z_h`) boost hard terms, higher
+/// cohesiveness (`z_c`) boosts elastic terms. The mechanics come from the
+/// same TPA calibration the evaluation uses, so the corpus encodes the
+/// food-science relationship the paper's Fig. 3 / Fig. 4 measure.
+fn couple_term_weights(
+    dict: &TextureDictionary,
+    base: &[(String, f64)],
+    coupling: f64,
+    z_hardness: f64,
+    z_cohesiveness: f64,
+) -> Vec<(String, f64)> {
+    if coupling == 0.0 {
+        return base.to_vec();
+    }
+    base.iter()
+        .map(|(surface, w)| {
+            let (h, c) = dict
+                .lookup(surface)
+                .map(|id| {
+                    let e = dict.entry(id);
+                    (e.hardness, e.cohesiveness)
+                })
+                .unwrap_or((0.0, 0.0));
+            let boost = (coupling * (z_hardness * h + 3.0 * z_cohesiveness * c)).exp();
+            (surface.clone(), w * boost)
+        })
+        .collect()
+}
+
+/// Builds the description: texture terms interleaved with noise words and
+/// ingredient mentions (gel terms adjacent to gel names — the
+/// co-occurrence signal word2vec learns).
+fn render_description<R: Rng + ?Sized>(
+    rng: &mut R,
+    term_weights: &[(String, f64)],
+    gel_names: &[&str],
+    confounder: Option<(&str, &str)>,
+    n_terms: usize,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())].to_string());
+    for _ in 0..n_terms {
+        let term = weighted_choice(rng, term_weights);
+        // Anchor the texture term next to a gel mention half the time.
+        if !gel_names.is_empty() && rng.gen_bool(0.5) {
+            let gel = gel_names[rng.gen_range(0..gel_names.len())];
+            parts.push(format!("{gel} {term}"));
+        } else {
+            parts.push(term.to_string());
+        }
+        if rng.gen_bool(0.6) {
+            parts.push(NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())].to_string());
+        }
+    }
+    if let Some((topping, term)) = confounder {
+        // Confounder term placed adjacent to the unrelated ingredient.
+        parts.push(format!("{topping} {term} topping"));
+    }
+    parts.push("dekiagari".to_string());
+    parts.join(" ")
+}
+
+/// Generates a corpus from the configuration, deterministically given the
+/// RNG state.
+///
+/// # Errors
+/// [`CorpusError::InvalidConfig`] from [`SynthConfig::validate`].
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &SynthConfig,
+    db: &IngredientDb,
+) -> Result<SynthCorpus, CorpusError> {
+    config.validate()?;
+    let dict = &TextureDictionary::comprehensive();
+    let weights: Vec<f64> = config.archetypes.iter().map(|a| a.weight).collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut recipes = Vec::with_capacity(config.n_recipes);
+    let mut labels = Vec::with_capacity(config.n_recipes);
+
+    for id in 0..config.n_recipes {
+        // Archetype choice.
+        let mut u = rng.gen_range(0.0..total_weight);
+        let mut arch_idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                arch_idx = i;
+                break;
+            }
+        }
+        let arch = &config.archetypes[arch_idx];
+
+        let total_grams = rng.gen_range(250.0..600.0);
+        let mut lines = Vec::new();
+        let mut used_fraction = 0.0;
+        let mut gel_names: Vec<&str> = Vec::new();
+        let mut gel_conc = [0.0f64; 3];
+        let mut emu_conc = [0.0f64; 6];
+
+        for g in GelType::ALL {
+            let mean = arch.gel_mean[g.index()];
+            if mean <= 0.0 {
+                continue;
+            }
+            let conc = sample_lognormal(rng, mean, arch.gel_sigma);
+            gel_conc[g.index()] = conc;
+            let info = db.gel(g);
+            lines.push(IngredientLine::new(
+                &info.name,
+                &render_quantity(rng, info, conc * total_grams),
+            ));
+            used_fraction += conc;
+            gel_names.push(g.name());
+        }
+        for e in EmulsionType::ALL {
+            let mean = arch.emulsion_mean[e.index()];
+            if mean <= 0.0 {
+                continue;
+            }
+            let conc = sample_lognormal(rng, mean, arch.emulsion_sigma).min(0.85);
+            emu_conc[e.index()] = conc;
+            let info = db.emulsion(e);
+            lines.push(IngredientLine::new(
+                &info.name,
+                &render_quantity(rng, info, conc * total_grams),
+            ));
+            used_fraction += conc;
+        }
+
+        // Optional unrelated topping (0.02–0.25 of total weight: some
+        // recipes will exceed the 10% filter, exercising the exclusion).
+        let confounder = if rng.gen_bool(arch.confounder_prob) {
+            let (topping, term) = CONFOUNDER_TOPPINGS[rng.gen_range(0..CONFOUNDER_TOPPINGS.len())];
+            let frac = rng.gen_range(0.02..0.25);
+            let info = db
+                .lookup(topping)
+                .expect("confounder toppings are in the builtin db");
+            lines.push(IngredientLine::new(
+                &info.name,
+                &render_quantity(rng, info, frac * total_grams),
+            ));
+            used_fraction += frac;
+            Some((topping, term))
+        } else {
+            None
+        };
+
+        // Water fills the remainder.
+        let water_fraction = (1.0 - used_fraction).max(0.05);
+        lines.push(IngredientLine::new(
+            "water",
+            &format!("{}cc", round_to(water_fraction * total_grams, 5.0)),
+        ));
+
+        // Emulsion → texture coupling: deviation of this draw's simulated
+        // mechanics from the archetype's baseline. The gel concentration is
+        // held at the archetype mean so the deviation isolates the
+        // *emulsion* contribution — the within-topic axis Fig. 3 / Fig. 4
+        // rank over (the gel effect is the topic itself, and its c⁵
+        // hardness law would otherwise swamp the emulsion signal).
+        let mech = GelMechanics::from_composition(arch.gel_mean, emu_conc);
+        let baseline = GelMechanics::from_composition(arch.gel_mean, arch.emulsion_mean);
+        let z_hardness = (mech.hardness.max(1e-9) / baseline.hardness.max(1e-9)).ln();
+        let z_cohesiveness = mech.cohesiveness - baseline.cohesiveness;
+        let term_weights = couple_term_weights(
+            dict,
+            &arch.term_weights,
+            arch.texture_coupling,
+            z_hardness,
+            z_cohesiveness,
+        );
+
+        let n_terms = sample_poisson(rng, arch.mean_terms).max(1);
+        let description = render_description(rng, &term_weights, &gel_names, confounder, n_terms);
+
+        recipes.push(Recipe {
+            id: id as u64,
+            title: format!("{} recipe {id}", arch.name),
+            description,
+            ingredients: lines,
+        });
+        labels.push(arch_idx);
+    }
+
+    Ok(SynthCorpus {
+        recipes,
+        labels,
+        archetypes: config.archetypes.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn archetypes_match_paper_structure() {
+        let archs = default_archetypes();
+        assert_eq!(archs.len(), 10);
+        // Hard gelatin topic at 0.054 with katai as top term.
+        let hard = archs
+            .iter()
+            .find(|a| a.name == "gelatin-hard-0.048")
+            .unwrap();
+        assert!((hard.gel_mean[0] - 0.048).abs() < 1e-12);
+        assert_eq!(hard.term_weights[0].0, "katai");
+        // High kanten topic with dossiri as top term.
+        let kanten = archs
+            .iter()
+            .find(|a| a.name == "kanten-high-0.021")
+            .unwrap();
+        assert!((kanten.gel_mean[1] - 0.021).abs() < 1e-12);
+        assert_eq!(kanten.term_weights[0].0, "dossiri");
+    }
+
+    #[test]
+    fn generated_corpus_has_requested_size_and_labels() {
+        let db = IngredientDb::builtin();
+        let corpus = generate(&mut rng(), &SynthConfig::small(200), &db).unwrap();
+        assert_eq!(corpus.recipes.len(), 200);
+        assert_eq!(corpus.labels.len(), 200);
+        assert!(corpus.labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn every_generated_recipe_parses() {
+        let db = IngredientDb::builtin();
+        let corpus = generate(&mut rng(), &SynthConfig::small(300), &db).unwrap();
+        for r in &corpus.recipes {
+            let parsed = r.parse(&db).unwrap_or_else(|e| {
+                panic!("recipe {} failed to parse: {e}\n{:?}", r.id, r.ingredients)
+            });
+            assert!(parsed.total_grams() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gel_concentrations_center_on_archetype_means() {
+        use crate::features::RecipeFeatures;
+        use rheotex_textures::TextureDictionary;
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let corpus = generate(&mut rng(), &SynthConfig::small(800), &db).unwrap();
+        // Average gelatin concentration of hard-gelatin recipes ≈ 0.054.
+        let hard_idx = corpus
+            .archetypes
+            .iter()
+            .position(|a| a.name == "gelatin-hard-0.048")
+            .unwrap();
+        let mut sum = 0.0;
+        let mut n = 0;
+        for (r, &l) in corpus.recipes.iter().zip(&corpus.labels) {
+            if l != hard_idx {
+                continue;
+            }
+            let f = RecipeFeatures::from_parsed(&r.parse(&db).unwrap(), &dict).unwrap();
+            sum += f.gel_concentrations[0];
+            n += 1;
+        }
+        assert!(n > 0, "hard archetype should appear at 800 recipes");
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 0.048).abs() < 0.02,
+            "mean gelatin concentration {mean} (n={n})"
+        );
+    }
+
+    #[test]
+    fn descriptions_contain_archetype_terms() {
+        let db = IngredientDb::builtin();
+        let corpus = generate(&mut rng(), &SynthConfig::small(100), &db).unwrap();
+        for (r, &l) in corpus.recipes.iter().zip(&corpus.labels) {
+            let arch = &corpus.archetypes[l];
+            let surfaces = arch.term_surfaces();
+            let found = surfaces.iter().any(|s| r.description.contains(s));
+            assert!(
+                found,
+                "recipe {} lacks its archetype terms: {}",
+                r.id, r.description
+            );
+        }
+    }
+
+    #[test]
+    fn some_recipes_gain_confounder_toppings() {
+        let db = IngredientDb::builtin();
+        let corpus = generate(&mut rng(), &SynthConfig::small(500), &db).unwrap();
+        let with_topping = corpus
+            .recipes
+            .iter()
+            .filter(|r| {
+                CONFOUNDER_TOPPINGS
+                    .iter()
+                    .any(|(t, _)| r.description.contains(t))
+            })
+            .count();
+        assert!(
+            with_topping > 30,
+            "expected a healthy confounder rate, got {with_topping}/500"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = IngredientDb::builtin();
+        let a = generate(&mut rng(), &SynthConfig::small(50), &db).unwrap();
+        let b = generate(&mut rng(), &SynthConfig::small(50), &db).unwrap();
+        assert_eq!(a.recipes, b.recipes);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = SynthConfig::small(10);
+        c.archetypes.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small(10);
+        c.archetypes[0].weight = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small(10);
+        c.archetypes[0].term_weights.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = SynthConfig::small(10);
+        c.archetypes[0].confounder_prob = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn poisson_mean_roughly_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_poisson(&mut r, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+}

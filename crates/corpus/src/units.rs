@@ -1,0 +1,472 @@
+//! Quantity parsing and conversion to grams.
+//!
+//! Posted recipes describe amounts in heterogeneous ways — "5g", "200cc",
+//! "1/2 cup", "oosaji 2" (two Japanese tablespoons), "2 sheets". The paper
+//! normalizes all of them to grams using the national standard measures
+//! (teaspoon 5 mL, tablespoon 15 mL, cup 200 mL in Japan) and
+//! per-ingredient specific gravities. This module implements that
+//! normalization.
+
+use crate::error::CorpusError;
+use crate::ingredient::IngredientInfo;
+use serde::{Deserialize, Serialize};
+
+/// A measurement unit appearing in recipe text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Grams (weight — no conversion needed).
+    Gram,
+    /// Kilograms.
+    Kilogram,
+    /// Milliliters / cc (volume).
+    Milliliter,
+    /// Liters.
+    Liter,
+    /// Japanese teaspoon, 5 mL ("kosaji").
+    TeaspoonJp,
+    /// Japanese tablespoon, 15 mL ("oosaji").
+    TablespoonJp,
+    /// Japanese measuring cup, 200 mL.
+    CupJp,
+    /// A counted piece (egg, strawberry …); needs a per-piece weight.
+    Piece,
+}
+
+impl Unit {
+    /// Volume in milliliters of one unit, for volume units.
+    #[must_use]
+    pub fn milliliters(self) -> Option<f64> {
+        match self {
+            Unit::Milliliter => Some(1.0),
+            Unit::Liter => Some(1000.0),
+            Unit::TeaspoonJp => Some(5.0),
+            Unit::TablespoonJp => Some(15.0),
+            Unit::CupJp => Some(200.0),
+            Unit::Gram | Unit::Kilogram | Unit::Piece => None,
+        }
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Gram => "g",
+            Unit::Kilogram => "kg",
+            Unit::Milliliter => "ml",
+            Unit::Liter => "l",
+            Unit::TeaspoonJp => "tsp",
+            Unit::TablespoonJp => "tbsp",
+            Unit::CupJp => "cup",
+            Unit::Piece => "piece",
+        }
+    }
+}
+
+/// A parsed quantity: a numeric value and its unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantity {
+    /// Numeric amount.
+    pub value: f64,
+    /// Measurement unit.
+    pub unit: Unit,
+}
+
+impl Quantity {
+    /// Converts to grams for the given ingredient.
+    ///
+    /// Weight units convert directly; volume units use the ingredient's
+    /// specific gravity; count units use the per-piece weight.
+    ///
+    /// # Errors
+    /// [`CorpusError::NoCountWeight`] when a count unit is used for an
+    /// ingredient with no per-piece weight.
+    pub fn to_grams(self, ingredient: &IngredientInfo) -> Result<f64, CorpusError> {
+        match self.unit {
+            Unit::Gram => Ok(self.value),
+            Unit::Kilogram => Ok(self.value * 1000.0),
+            Unit::Piece => ingredient
+                .piece_weight_g
+                .map(|w| self.value * w)
+                .ok_or_else(|| CorpusError::NoCountWeight {
+                    ingredient: ingredient.name.clone(),
+                    unit: "piece",
+                }),
+            volume => {
+                let ml = volume.milliliters().expect("volume unit");
+                Ok(self.value * ml * ingredient.specific_gravity)
+            }
+        }
+    }
+}
+
+fn unit_from_token(tok: &str) -> Option<Unit> {
+    Some(match tok {
+        "g" | "gram" | "grams" | "guramu" => Unit::Gram,
+        "kg" | "kilogram" | "kilograms" => Unit::Kilogram,
+        "ml" | "cc" | "milliliter" | "milliliters" => Unit::Milliliter,
+        "l" | "liter" | "liters" | "litre" | "litres" => Unit::Liter,
+        "tsp" | "teaspoon" | "teaspoons" | "kosaji" => Unit::TeaspoonJp,
+        "tbsp" | "tablespoon" | "tablespoons" | "oosaji" | "osaji" => Unit::TablespoonJp,
+        "cup" | "cups" => Unit::CupJp,
+        "piece" | "pieces" | "ko" | "sheet" | "sheets" | "mai" | "stick" | "sticks" | "hon"
+        | "egg" | "eggs" => Unit::Piece,
+        _ => return None,
+    })
+}
+
+/// Maps a unicode vulgar-fraction character to its value.
+fn vulgar_fraction(c: char) -> Option<f64> {
+    Some(match c {
+        '½' => 0.5,
+        '⅓' => 1.0 / 3.0,
+        '⅔' => 2.0 / 3.0,
+        '¼' => 0.25,
+        '¾' => 0.75,
+        '⅕' => 0.2,
+        '⅛' => 0.125,
+        _ => return None,
+    })
+}
+
+/// Parses a numeric token: integer ("2"), decimal ("0.5"), fraction
+/// ("1/2"), unicode vulgar fraction ("½", "1½"), or range ("2-3",
+/// averaged — posted recipes often give tolerant amounts).
+fn number_from_token(tok: &str) -> Option<f64> {
+    // Range "a-b": take the midpoint. Guard against minus signs by
+    // requiring both sides to parse as plain non-negative numbers.
+    if let Some((a, b)) = tok.split_once('-') {
+        if !a.is_empty() && !b.is_empty() {
+            if let (Some(x), Some(y)) = (number_from_token(a), number_from_token(b)) {
+                if x >= 0.0 && y >= x {
+                    return Some((x + y) / 2.0);
+                }
+            }
+        }
+        return None;
+    }
+    // Trailing unicode fraction, optionally after an integer part: "1½".
+    if let Some(last) = tok.chars().last() {
+        if let Some(frac) = vulgar_fraction(last) {
+            let head = &tok[..tok.len() - last.len_utf8()];
+            if head.is_empty() {
+                return Some(frac);
+            }
+            let whole: f64 = head.parse().ok()?;
+            return Some(whole + frac);
+        }
+    }
+    if let Some((num, den)) = tok.split_once('/') {
+        let n: f64 = num.trim().parse().ok()?;
+        let d: f64 = den.trim().parse().ok()?;
+        if d == 0.0 {
+            return None;
+        }
+        return Some(n / d);
+    }
+    tok.parse().ok()
+}
+
+/// Splits tokens like `"200g"` or `"1.5l"` into a numeric prefix and a
+/// unit suffix.
+fn split_attached(tok: &str) -> Option<(f64, Unit)> {
+    let split_at = tok
+        .char_indices()
+        .find(|(_, c)| c.is_alphabetic())
+        .map(|(i, _)| i)?;
+    if split_at == 0 {
+        return None;
+    }
+    let value = number_from_token(&tok[..split_at])?;
+    let unit = unit_from_token(&tok[split_at..])?;
+    Some((value, unit))
+}
+
+/// Parses a free-text quantity string into a [`Quantity`].
+///
+/// Accepted forms (case-insensitive):
+/// * attached: `"200g"`, `"0.5l"`, `"200cc"`
+/// * separated: `"2 cups"`, `"1/2 tbsp"`, `"1 1/2 cup"` (mixed numbers)
+/// * Japanese spoon style with trailing count: `"oosaji 2"`, `"kosaji 1/2"`
+/// * bare number: `"2"` — interpreted as [`Unit::Piece`]
+///
+/// # Examples
+/// ```
+/// use rheotex_corpus::units::{parse_quantity, Unit};
+///
+/// let q = parse_quantity("oosaji 2").unwrap();
+/// assert_eq!(q.unit, Unit::TablespoonJp);
+/// assert_eq!(q.value, 2.0);
+/// assert_eq!(parse_quantity("1½ cup").unwrap().value, 1.5);
+/// assert!(parse_quantity("to taste").is_err());
+/// ```
+///
+/// # Errors
+/// [`CorpusError::UnparsableQuantity`] when no value can be extracted.
+pub fn parse_quantity(text: &str) -> Result<Quantity, CorpusError> {
+    let lower = text.trim().to_lowercase();
+    let tokens: Vec<&str> = lower
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.is_empty() {
+        return Err(CorpusError::UnparsableQuantity { text: text.into() });
+    }
+
+    let mut value: Option<f64> = None;
+    let mut unit: Option<Unit> = None;
+
+    for tok in &tokens {
+        if let Some((v, u)) = split_attached(tok) {
+            value = Some(value.unwrap_or(0.0) + v);
+            unit.get_or_insert(u);
+        } else if let Some(v) = number_from_token(tok) {
+            // Mixed numbers accumulate: "1 1/2" → 1.5.
+            value = Some(value.unwrap_or(0.0) + v);
+        } else if let Some(u) = unit_from_token(tok) {
+            unit.get_or_insert(u);
+        }
+        // Unknown words ("about", "heaping") are ignored.
+    }
+
+    match value {
+        Some(v) if v >= 0.0 => Ok(Quantity {
+            value: v,
+            unit: unit.unwrap_or(Unit::Piece),
+        }),
+        _ => Err(CorpusError::UnparsableQuantity { text: text.into() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingredient::IngredientDb;
+
+    fn q(text: &str) -> Quantity {
+        parse_quantity(text).unwrap()
+    }
+
+    #[test]
+    fn attached_units() {
+        assert_eq!(
+            q("200g"),
+            Quantity {
+                value: 200.0,
+                unit: Unit::Gram
+            }
+        );
+        assert_eq!(
+            q("200cc"),
+            Quantity {
+                value: 200.0,
+                unit: Unit::Milliliter
+            }
+        );
+        assert_eq!(
+            q("0.5l"),
+            Quantity {
+                value: 0.5,
+                unit: Unit::Liter
+            }
+        );
+        assert_eq!(
+            q("1.5kg"),
+            Quantity {
+                value: 1.5,
+                unit: Unit::Kilogram
+            }
+        );
+    }
+
+    #[test]
+    fn separated_units_and_fractions() {
+        assert_eq!(
+            q("2 cups"),
+            Quantity {
+                value: 2.0,
+                unit: Unit::CupJp
+            }
+        );
+        assert_eq!(
+            q("1/2 tbsp"),
+            Quantity {
+                value: 0.5,
+                unit: Unit::TablespoonJp
+            }
+        );
+        assert_eq!(
+            q("1 1/2 cup"),
+            Quantity {
+                value: 1.5,
+                unit: Unit::CupJp
+            }
+        );
+    }
+
+    #[test]
+    fn japanese_spoon_style() {
+        assert_eq!(
+            q("oosaji 2"),
+            Quantity {
+                value: 2.0,
+                unit: Unit::TablespoonJp
+            }
+        );
+        assert_eq!(
+            q("kosaji 1/2"),
+            Quantity {
+                value: 0.5,
+                unit: Unit::TeaspoonJp
+            }
+        );
+    }
+
+    #[test]
+    fn bare_number_is_pieces() {
+        assert_eq!(
+            q("3"),
+            Quantity {
+                value: 3.0,
+                unit: Unit::Piece
+            }
+        );
+        assert_eq!(
+            q("2 sheets"),
+            Quantity {
+                value: 2.0,
+                unit: Unit::Piece
+            }
+        );
+        assert_eq!(
+            q("1 egg"),
+            Quantity {
+                value: 1.0,
+                unit: Unit::Piece
+            }
+        );
+    }
+
+    #[test]
+    fn noise_words_ignored() {
+        assert_eq!(
+            q("about 200 g"),
+            Quantity {
+                value: 200.0,
+                unit: Unit::Gram
+            }
+        );
+        assert_eq!(
+            q("heaping oosaji 1"),
+            Quantity {
+                value: 1.0,
+                unit: Unit::TablespoonJp
+            }
+        );
+    }
+
+    #[test]
+    fn unicode_fractions() {
+        assert_eq!(
+            q("½ cup"),
+            Quantity {
+                value: 0.5,
+                unit: Unit::CupJp
+            }
+        );
+        assert_eq!(
+            q("1½ cup"),
+            Quantity {
+                value: 1.5,
+                unit: Unit::CupJp
+            }
+        );
+        assert_eq!(
+            q("¾ tsp"),
+            Quantity {
+                value: 0.75,
+                unit: Unit::TeaspoonJp
+            }
+        );
+        let v = q("⅓ cup").value;
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranges_take_the_midpoint() {
+        assert_eq!(
+            q("2-3 pieces"),
+            Quantity {
+                value: 2.5,
+                unit: Unit::Piece
+            }
+        );
+        assert_eq!(
+            q("100-200 g"),
+            Quantity {
+                value: 150.0,
+                unit: Unit::Gram
+            }
+        );
+        // Reversed or negative ranges are rejected rather than guessed.
+        assert!(parse_quantity("3-2 g").is_err());
+    }
+
+    #[test]
+    fn unparsable_inputs_error() {
+        assert!(parse_quantity("").is_err());
+        assert!(parse_quantity("to taste").is_err());
+        assert!(parse_quantity("1/0 cup").is_err());
+    }
+
+    #[test]
+    fn gram_conversion_weight_units() {
+        let db = IngredientDb::builtin();
+        let sugar = db.lookup("sugar").unwrap();
+        assert_eq!(q("30g").to_grams(sugar).unwrap(), 30.0);
+        assert_eq!(q("1kg").to_grams(sugar).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn gram_conversion_volume_uses_specific_gravity() {
+        let db = IngredientDb::builtin();
+        // Japanese standard: sugar (sg 0.6) — 1 tbsp = 15 mL → 9 g.
+        let sugar = db.lookup("sugar").unwrap();
+        assert!((q("oosaji 1").to_grams(sugar).unwrap() - 9.0).abs() < 1e-9);
+        // Milk (sg 1.03): 200 mL cup → 206 g.
+        let milk = db.lookup("milk").unwrap();
+        assert!((q("1 cup").to_grams(milk).unwrap() - 206.0).abs() < 1e-9);
+        // 5 mL teaspoon of water = 5 g.
+        let water = db.lookup("water").unwrap();
+        assert!((q("kosaji 1").to_grams(water).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gram_conversion_pieces() {
+        let db = IngredientDb::builtin();
+        let yolk = db.lookup("egg yolk").unwrap();
+        assert!((q("2").to_grams(yolk).unwrap() - 36.0).abs() < 1e-9);
+        let gelatin = db.lookup("gelatin").unwrap();
+        assert!((q("3 sheets").to_grams(gelatin).unwrap() - 4.5).abs() < 1e-9);
+        // Cream has no piece weight: count units must fail loudly.
+        let cream = db.lookup("raw cream").unwrap();
+        assert!(matches!(
+            q("2 pieces").to_grams(cream),
+            Err(CorpusError::NoCountWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_names_roundtrip() {
+        for u in [
+            Unit::Gram,
+            Unit::Kilogram,
+            Unit::Milliliter,
+            Unit::Liter,
+            Unit::TeaspoonJp,
+            Unit::TablespoonJp,
+            Unit::CupJp,
+        ] {
+            assert_eq!(unit_from_token(u.name()), Some(u), "{:?}", u);
+        }
+    }
+}

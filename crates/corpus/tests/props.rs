@@ -1,0 +1,109 @@
+//! Property-based tests for the corpus substrate — most importantly, the
+//! quantity parser must never panic on arbitrary input (it faces scraped
+//! free text in the real-data path).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_corpus::features::RecipeFeatures;
+use rheotex_corpus::synth::{generate, SynthConfig};
+use rheotex_corpus::units::parse_quantity;
+use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb};
+use rheotex_textures::TextureDictionary;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser is total: any string either parses or returns an error —
+    /// never panics, never yields NaN/negative amounts.
+    #[test]
+    fn parse_quantity_is_total(text in ".{0,40}") {
+        match parse_quantity(&text) {
+            Ok(q) => {
+                prop_assert!(q.value.is_finite());
+                prop_assert!(q.value >= 0.0);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Same with inputs biased toward quantity-looking strings.
+    #[test]
+    fn parse_quantity_quantity_like(
+        n in 0.0..10000.0f64,
+        unit in prop_oneof![
+            Just("g"), Just("kg"), Just("cc"), Just("ml"), Just("cup"),
+            Just("cups"), Just("tbsp"), Just("tsp"), Just("pieces"),
+            Just("oosaji"), Just("kosaji"), Just(""),
+        ],
+        spaced in proptest::bool::ANY,
+    ) {
+        let text = if spaced {
+            format!("{n} {unit}")
+        } else {
+            format!("{n}{unit}")
+        };
+        let q = parse_quantity(&text);
+        prop_assert!(q.is_ok(), "failed on {text:?}: {q:?}");
+        let q = q.unwrap();
+        prop_assert!((q.value - n).abs() < 1e-9 * n.max(1.0), "{text:?} -> {q:?}");
+    }
+
+    /// Grams conversion is monotone in the amount, for every ingredient
+    /// and weight/volume unit.
+    #[test]
+    fn to_grams_monotone(a in 0.0..500.0f64, b in 0.0..500.0f64) {
+        prop_assume!(a < b);
+        let db = IngredientDb::builtin();
+        for name in ["gelatin", "milk", "sugar", "water"] {
+            let info = db.lookup(name).unwrap();
+            for unit_text in ["g", "cc", "cup"] {
+                let qa = parse_quantity(&format!("{a} {unit_text}")).unwrap();
+                let qb = parse_quantity(&format!("{b} {unit_text}")).unwrap();
+                prop_assert!(
+                    qa.to_grams(info).unwrap() <= qb.to_grams(info).unwrap(),
+                    "{name} {unit_text}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Corpus-level generation is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the seed and size, every generated recipe parses, its
+    /// features are finite, and concentrations are proper ratios.
+    #[test]
+    fn generated_recipes_always_yield_valid_features(seed in 0u64..50, n in 20usize..120) {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let corpus = generate(&mut rng, &SynthConfig::small(n), &db).unwrap();
+        for r in &corpus.recipes {
+            let parsed = r.parse(&db).unwrap();
+            let f = RecipeFeatures::from_parsed(&parsed, &dict).unwrap();
+            prop_assert!(f.gel.iter().all(|v| v.is_finite()));
+            prop_assert!(f.emulsion.iter().all(|v| v.is_finite()));
+            let total: f64 = f.gel_concentrations.iter().sum::<f64>()
+                + f.emulsion_concentrations.iter().sum::<f64>()
+                + f.unrelated_fraction;
+            prop_assert!(total <= 1.0 + 1e-9, "fractions exceed 1: {total}");
+            prop_assert!((0.0..=1.0).contains(&f.unrelated_fraction));
+        }
+    }
+
+    /// Dataset accounting is exact: kept + excluded = generated.
+    #[test]
+    fn dataset_accounting_is_exact(seed in 0u64..30) {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let corpus = generate(&mut rng, &SynthConfig::small(80), &db).unwrap();
+        let ds = Dataset::build(&corpus.recipes, &corpus.labels, &db, &dict,
+                                DatasetFilter::default()).unwrap();
+        prop_assert_eq!(ds.len() + ds.exclusions.len(), 80);
+        prop_assert_eq!(ds.labels.len(), ds.len());
+    }
+}

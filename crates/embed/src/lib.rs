@@ -1,0 +1,29 @@
+//! Word embeddings for the gel-relatedness filter.
+//!
+//! The paper trains word2vec on all recipe descriptions and drops texture
+//! terms whose nearest neighbours include ingredients *unrelated to gel*
+//! (the "crispy near nuts" case). This crate implements that from scratch:
+//!
+//! * [`vocab`] — vocabulary construction with minimum-count pruning,
+//!   frequency-based subsampling, and the `f^0.75` unigram table for
+//!   negative sampling;
+//! * [`model`] — skip-gram with negative sampling (SGNS), plain SGD with
+//!   linear learning-rate decay, deterministic given a seeded RNG;
+//! * [`filter`] — the relatedness decision: a texture term is kept only if
+//!   its top-k neighbourhood is not dominated by unrelated-ingredient
+//!   tokens.
+//!
+//! Embeddings are `f32` (standard for word2vec; the downstream model never
+//! consumes them numerically — only the filter decision crosses the crate
+//! boundary).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod filter;
+pub mod model;
+pub mod vocab;
+
+pub use filter::{FilterConfig, FilterOutcome, GelRelatednessFilter};
+pub use model::{SgnsConfig, Word2Vec};
+pub use vocab::Vocab;

@@ -1,0 +1,373 @@
+//! Skip-gram with negative sampling (SGNS).
+//!
+//! A faithful, dependency-free implementation of the word2vec training
+//! objective: for each (center, context) pair within a dynamic window,
+//! maximize `log σ(v_c · u_o) + Σ_neg log σ(−v_c · u_n)` by SGD with a
+//! linearly decaying learning rate. Deterministic given the RNG seed.
+
+use crate::vocab::Vocab;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Maximum (dynamic) context window radius.
+    pub window: usize,
+    /// Number of negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate (linearly decayed to 1e-4 of itself).
+    pub learning_rate: f64,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Subsampling threshold `t` (see [`Vocab::build`]); `INFINITY`
+    /// disables subsampling.
+    pub subsample_t: f64,
+    /// Minimum word count for vocabulary inclusion.
+    pub min_count: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            learning_rate: 0.05,
+            epochs: 8,
+            subsample_t: 1e-3,
+            min_count: 3,
+        }
+    }
+}
+
+/// A trained word2vec model: vocabulary plus input/output embedding
+/// matrices (row-major, `vocab_len × dim`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Word2Vec {
+    vocab: Vocab,
+    dim: usize,
+    input: Vec<f32>,
+    output: Vec<f32>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    // Clamp like word2vec's MAX_EXP table: gradients saturate anyway.
+    let x = x.clamp(-8.0, 8.0);
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Word2Vec {
+    /// Trains a model on tokenized sentences.
+    ///
+    /// # Panics
+    /// Panics if `config.dim == 0` (programming error).
+    pub fn train<R: Rng + ?Sized>(
+        rng: &mut R,
+        sentences: &[Vec<String>],
+        config: &SgnsConfig,
+    ) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        let vocab = Vocab::build(sentences, config.min_count, config.subsample_t);
+        let n = vocab.len();
+        let dim = config.dim;
+
+        // word2vec init: input uniform in ±0.5/dim, output zero.
+        let mut input = vec![0.0f32; n * dim];
+        for w in &mut input {
+            *w = ((rng.gen_range(0.0..1.0) - 0.5) / dim as f64) as f32;
+        }
+        let output = vec![0.0f32; n * dim];
+
+        let mut model = Self {
+            vocab,
+            dim,
+            input,
+            output,
+        };
+        if n == 0 {
+            return model;
+        }
+
+        // Pre-map sentences to vocabulary ids once.
+        let id_sentences: Vec<Vec<usize>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|t| model.vocab.lookup(t)).collect())
+            .collect();
+
+        let total_pairs_estimate: u64 =
+            (id_sentences.iter().map(Vec::len).sum::<usize>() as u64).max(1) * config.epochs as u64;
+        let mut processed: u64 = 0;
+        let mut grad_buf = vec![0.0f32; dim];
+
+        for _epoch in 0..config.epochs {
+            for sent in &id_sentences {
+                // Subsample per epoch (fresh randomness each pass).
+                let kept: Vec<usize> = sent
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        let p = model.vocab.keep_prob(w);
+                        p >= 1.0 || rng.gen_range(0.0..1.0) < p
+                    })
+                    .collect();
+                for (pos, &center) in kept.iter().enumerate() {
+                    processed += 1;
+                    let progress = processed as f64 / total_pairs_estimate as f64;
+                    let lr =
+                        (config.learning_rate * (1.0 - progress)).max(config.learning_rate * 1e-4);
+                    let b = rng.gen_range(0..config.window.max(1));
+                    let lo = pos.saturating_sub(config.window - b);
+                    let hi = (pos + config.window - b + 1).min(kept.len());
+                    for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        model.train_pair(rng, center, context, config.negatives, lr, &mut grad_buf);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// One positive pair plus `negatives` negative samples.
+    fn train_pair<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        center: usize,
+        context: usize,
+        negatives: usize,
+        lr: f64,
+        grad: &mut [f32],
+    ) {
+        let dim = self.dim;
+        grad.fill(0.0);
+        let c_off = center * dim;
+        // Positive sample (label 1) then negatives (label 0).
+        for k in 0..=negatives {
+            let (target, label) = if k == 0 {
+                (context, 1.0)
+            } else {
+                let neg = self.vocab.negative_sample(rng.gen_range(0.0..1.0));
+                if neg == context {
+                    continue;
+                }
+                (neg, 0.0)
+            };
+            let t_off = target * dim;
+            let mut dot = 0.0f64;
+            for d in 0..dim {
+                dot += f64::from(self.input[c_off + d]) * f64::from(self.output[t_off + d]);
+            }
+            let g = (label - sigmoid(dot)) * lr;
+            let gf = g as f32;
+            for (d, gslot) in grad.iter_mut().enumerate().take(dim) {
+                *gslot += gf * self.output[t_off + d];
+                self.output[t_off + d] += gf * self.input[c_off + d];
+            }
+        }
+        for (d, &gval) in grad.iter().enumerate().take(dim) {
+            self.input[c_off + d] += gval;
+        }
+    }
+
+    /// The vocabulary.
+    #[must_use]
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Embedding dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Input embedding of word `i` (the standard "word vector").
+    #[must_use]
+    pub fn embedding(&self, i: usize) -> &[f32] {
+        &self.input[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mean input embedding over the vocabulary. Small corpora leave a
+    /// large common component in every vector (raw cosines all ≈ 1);
+    /// similarity queries subtract it — the standard "all-but-the-top"
+    /// correction (Mu & Viswanath 2018, component 0 only).
+    #[must_use]
+    pub fn mean_embedding(&self) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.dim];
+        let n = self.vocab.len();
+        if n == 0 {
+            return mean;
+        }
+        for i in 0..n {
+            for (m, &v) in mean.iter_mut().zip(self.embedding(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        mean
+    }
+
+    fn centered(&self, i: usize, mean: &[f32]) -> Vec<f32> {
+        self.embedding(i)
+            .iter()
+            .zip(mean)
+            .map(|(&v, &m)| v - m)
+            .collect()
+    }
+
+    /// Cosine similarity between two vocabulary words on mean-centered
+    /// vectors, `None` if either is out of vocabulary.
+    #[must_use]
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = self.vocab.lookup(a)?;
+        let ib = self.vocab.lookup(b)?;
+        let mean = self.mean_embedding();
+        Some(cosine(&self.centered(ia, &mean), &self.centered(ib, &mean)))
+    }
+
+    /// The `k` nearest vocabulary words to `word` by mean-centered cosine
+    /// similarity (excluding the word itself), best first.
+    #[must_use]
+    pub fn most_similar(&self, word: &str, k: usize) -> Vec<(String, f64)> {
+        let Some(i) = self.vocab.lookup(word) else {
+            return Vec::new();
+        };
+        let mean = self.mean_embedding();
+        let target = self.centered(i, &mean);
+        let mut sims: Vec<(usize, f64)> = (0..self.vocab.len())
+            .filter(|&j| j != i)
+            .map(|j| (j, cosine(&target, &self.centered(j, &mean))))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(k);
+        sims.into_iter()
+            .map(|(j, s)| (self.vocab.word(j).to_string(), s))
+            .collect()
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(13)
+    }
+
+    /// Two disjoint "themes" of words: after training, words within a
+    /// theme must be closer to each other than across themes.
+    fn themed_corpus() -> Vec<Vec<String>> {
+        let mut sents = Vec::new();
+        let theme_a = ["gelatin", "purupuru", "milk", "jelly"];
+        let theme_b = ["almond", "karikari", "cookie", "crunch"];
+        for i in 0..300 {
+            let theme: &[&str] = if i % 2 == 0 { &theme_a } else { &theme_b };
+            // Rotate word order for variety.
+            let mut s: Vec<String> = theme.iter().map(|w| (*w).to_string()).collect();
+            s.rotate_left(i % theme.len());
+            sents.push(s);
+        }
+        sents
+    }
+
+    fn quick_config() -> SgnsConfig {
+        SgnsConfig {
+            dim: 16,
+            window: 3,
+            negatives: 4,
+            learning_rate: 0.05,
+            epochs: 12,
+            subsample_t: f64::INFINITY,
+            min_count: 1,
+        }
+    }
+
+    #[test]
+    fn learns_theme_structure() {
+        let model = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        let within = model.similarity("gelatin", "purupuru").unwrap();
+        let across = model.similarity("gelatin", "karikari").unwrap();
+        assert!(
+            within > across + 0.2,
+            "within {within:.3} vs across {across:.3}"
+        );
+    }
+
+    #[test]
+    fn most_similar_surfaces_theme_words() {
+        let model = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        let neighbours = model.most_similar("karikari", 3);
+        assert_eq!(neighbours.len(), 3);
+        let names: Vec<&str> = neighbours.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(
+            names.contains(&"almond") || names.contains(&"cookie") || names.contains(&"crunch"),
+            "neighbours of karikari: {names:?}"
+        );
+        // Results are sorted best-first.
+        assert!(neighbours[0].1 >= neighbours[1].1);
+    }
+
+    #[test]
+    fn oov_queries_return_empty() {
+        let model = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        assert!(model.most_similar("notaword", 5).is_empty());
+        assert!(model.similarity("notaword", "gelatin").is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        let b = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn empty_corpus_trains_trivially() {
+        let model = Word2Vec::train(&mut rng(), &[], &quick_config());
+        assert_eq!(model.vocab().len(), 0);
+        assert!(model.most_similar("anything", 3).is_empty());
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let model = Word2Vec::train(&mut rng(), &themed_corpus(), &quick_config());
+        for w in ["gelatin", "almond", "milk"] {
+            for (_, s) in model.most_similar(w, 10) {
+                assert!((-1.0..=1.0).contains(&s), "similarity {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_sane() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+}

@@ -1,0 +1,267 @@
+//! Vocabulary construction, subsampling, and the negative-sampling table.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Size of the pre-computed unigram table for negative sampling. Word2vec
+/// uses 1e8; our vocabularies are tiny (hundreds of words), so a much
+/// smaller table gives the same distribution.
+const UNIGRAM_TABLE_SIZE: usize = 1 << 16;
+
+/// A fixed vocabulary with word counts, subsampling probabilities, and a
+/// `count^0.75` unigram table for negative sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    words: Vec<String>,
+    counts: Vec<u64>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+    /// Probability of *keeping* each word under frequency subsampling.
+    keep_prob: Vec<f64>,
+    /// Negative-sampling table: word indices proportional to count^0.75.
+    #[serde(skip)]
+    unigram_table: Vec<u32>,
+    total_tokens: u64,
+}
+
+impl Vocab {
+    /// Builds the vocabulary from tokenized sentences, keeping words with
+    /// at least `min_count` occurrences. `subsample_t` is word2vec's `t`
+    /// parameter (typically `1e-3`–`1e-5`); pass `f64::INFINITY` to
+    /// disable subsampling.
+    #[must_use]
+    pub fn build(sentences: &[Vec<String>], min_count: u64, subsample_t: f64) -> Self {
+        let mut raw_counts: HashMap<&str, u64> = HashMap::new();
+        for sent in sentences {
+            for tok in sent {
+                *raw_counts.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut pairs: Vec<(&str, u64)> = raw_counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        // Deterministic order: by descending count, then lexicographic.
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+        let words: Vec<String> = pairs.iter().map(|(w, _)| (*w).to_string()).collect();
+        let counts: Vec<u64> = pairs.iter().map(|(_, c)| *c).collect();
+        let total_tokens: u64 = counts.iter().sum();
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+
+        // Subsampling keep probability (word2vec formula):
+        // p_keep = sqrt(t/f) + t/f, clamped to 1.
+        let keep_prob = counts
+            .iter()
+            .map(|&c| {
+                if !subsample_t.is_finite() || total_tokens == 0 {
+                    return 1.0;
+                }
+                let f = c as f64 / total_tokens as f64;
+                ((subsample_t / f).sqrt() + subsample_t / f).min(1.0)
+            })
+            .collect();
+
+        let unigram_table = build_unigram_table(&counts);
+
+        Self {
+            words,
+            counts,
+            index,
+            keep_prob,
+            unigram_table,
+            total_tokens,
+        }
+    }
+
+    /// Number of vocabulary words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total token count over kept words.
+    #[must_use]
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Word by index.
+    #[must_use]
+    pub fn word(&self, i: usize) -> &str {
+        &self.words[i]
+    }
+
+    /// Count of word `i`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Index of a word.
+    #[must_use]
+    pub fn lookup(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Keep-probability of word `i` under subsampling.
+    #[must_use]
+    pub fn keep_prob(&self, i: usize) -> f64 {
+        self.keep_prob[i]
+    }
+
+    /// Draws a negative sample index from the `count^0.75` distribution
+    /// given a uniform `u ∈ [0, 1)`.
+    #[must_use]
+    pub fn negative_sample(&self, u: f64) -> usize {
+        debug_assert!(!self.unigram_table.is_empty());
+        let idx =
+            ((u * self.unigram_table.len() as f64) as usize).min(self.unigram_table.len() - 1);
+        self.unigram_table[idx] as usize
+    }
+
+    /// Rebuilds the derived tables after deserialization.
+    pub fn rebuild(&mut self) {
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        self.unigram_table = build_unigram_table(&self.counts);
+    }
+}
+
+fn build_unigram_table(counts: &[u64]) -> Vec<u32> {
+    if counts.is_empty() {
+        return Vec::new();
+    }
+    let powered: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = powered.iter().sum();
+    let mut table = Vec::with_capacity(UNIGRAM_TABLE_SIZE);
+    let mut cum = 0.0;
+    let mut word = 0usize;
+    for i in 0..UNIGRAM_TABLE_SIZE {
+        let target = (i as f64 + 0.5) / UNIGRAM_TABLE_SIZE as f64 * total;
+        while cum + powered[word] < target && word + 1 < counts.len() {
+            cum += powered[word];
+            word += 1;
+        }
+        table.push(word as u32);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sentences() -> Vec<Vec<String>> {
+        let corpus = [
+            "gelatin purupuru dessert milk",
+            "gelatin purupuru milk sugar",
+            "almond karikari topping dessert",
+            "gelatin milk dessert",
+            "rare word here",
+        ];
+        corpus
+            .iter()
+            .map(|s| s.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn min_count_prunes() {
+        let v = Vocab::build(&sentences(), 2, f64::INFINITY);
+        assert!(v.lookup("gelatin").is_some());
+        assert!(v.lookup("milk").is_some());
+        assert!(v.lookup("rare").is_none(), "count-1 words pruned");
+        let v1 = Vocab::build(&sentences(), 1, f64::INFINITY);
+        assert!(v1.lookup("rare").is_some());
+        assert!(v1.len() > v.len());
+    }
+
+    #[test]
+    fn order_is_count_then_lexicographic() {
+        let v = Vocab::build(&sentences(), 1, f64::INFINITY);
+        for i in 1..v.len() {
+            let (c_prev, c) = (v.count(i - 1), v.count(i));
+            assert!(
+                c_prev > c || (c_prev == c && v.word(i - 1) < v.word(i)),
+                "order violated at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_match_corpus() {
+        let v = Vocab::build(&sentences(), 1, f64::INFINITY);
+        let g = v.lookup("gelatin").unwrap();
+        assert_eq!(v.count(g), 3);
+        let d = v.lookup("dessert").unwrap();
+        assert_eq!(v.count(d), 3);
+    }
+
+    #[test]
+    fn subsampling_disabled_keeps_everything() {
+        let v = Vocab::build(&sentences(), 1, f64::INFINITY);
+        for i in 0..v.len() {
+            assert_eq!(v.keep_prob(i), 1.0);
+        }
+    }
+
+    #[test]
+    fn subsampling_penalizes_frequent_words() {
+        // With aggressive t, the most frequent word gets the lowest keep
+        // probability.
+        let v = Vocab::build(&sentences(), 1, 1e-2);
+        let most = 0; // sorted by count
+        let least = v.len() - 1;
+        assert!(v.keep_prob(most) <= v.keep_prob(least));
+        assert!(v.keep_prob(most) > 0.0);
+    }
+
+    #[test]
+    fn negative_sampling_follows_powered_counts() {
+        let v = Vocab::build(&sentences(), 1, f64::INFINITY);
+        let n = 200_000;
+        let mut counts = vec![0u64; v.len()];
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            counts[v.negative_sample(u)] += 1;
+        }
+        // Empirical ratio between the most frequent (count 3) and a
+        // count-1 word should be near (3/1)^0.75 ≈ 2.28.
+        let g = v.lookup("gelatin").unwrap();
+        let rare = v.lookup("rare").unwrap();
+        let ratio = counts[g] as f64 / counts[rare] as f64;
+        assert!((ratio - 3.0f64.powf(0.75)).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = Vocab::build(&[], 1, f64::INFINITY);
+        assert!(v.is_empty());
+        assert_eq!(v.total_tokens(), 0);
+    }
+
+    #[test]
+    fn rebuild_restores_lookup() {
+        let mut v = Vocab::build(&sentences(), 1, f64::INFINITY);
+        let before = v.lookup("gelatin");
+        v.index.clear();
+        v.rebuild();
+        assert_eq!(v.lookup("gelatin"), before);
+        assert!(!v.unigram_table.is_empty());
+    }
+}

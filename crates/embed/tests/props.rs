@@ -1,0 +1,81 @@
+//! Property-based tests for the embedding substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_embed::{SgnsConfig, Vocab, Word2Vec};
+
+fn sentences_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec("[a-e]{1,3}", 0..8), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Vocabulary counts always sum to the number of kept tokens, and
+    /// every word respects min_count.
+    #[test]
+    fn vocab_counts_consistent(sents in sentences_strategy(), min_count in 1u64..4) {
+        let v = Vocab::build(&sents, min_count, f64::INFINITY);
+        let mut total = 0;
+        for i in 0..v.len() {
+            prop_assert!(v.count(i) >= min_count);
+            prop_assert_eq!(v.lookup(v.word(i)), Some(i));
+            total += v.count(i);
+        }
+        prop_assert_eq!(total, v.total_tokens());
+    }
+
+    /// Keep probabilities are valid probabilities and monotone in
+    /// frequency (more frequent → no higher keep probability).
+    #[test]
+    fn subsampling_probabilities_valid(sents in sentences_strategy(), t in 1e-5..1e-1f64) {
+        let v = Vocab::build(&sents, 1, t);
+        for i in 0..v.len() {
+            let p = v.keep_prob(i);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        // Words are sorted by descending count, so keep_prob is
+        // non-decreasing along the index order.
+        for i in 1..v.len() {
+            if v.count(i - 1) > v.count(i) {
+                prop_assert!(v.keep_prob(i - 1) <= v.keep_prob(i) + 1e-12);
+            }
+        }
+    }
+
+    /// Negative sampling always returns a valid index for u ∈ [0, 1).
+    #[test]
+    fn negative_sampling_in_range(sents in sentences_strategy(), u in 0.0..1.0f64) {
+        let v = Vocab::build(&sents, 1, f64::INFINITY);
+        prop_assume!(!v.is_empty());
+        prop_assert!(v.negative_sample(u) < v.len());
+    }
+
+    /// Training never panics and produces finite embeddings, whatever the
+    /// (small) corpus.
+    #[test]
+    fn training_is_total(sents in sentences_strategy(), seed in 0u64..50) {
+        let config = SgnsConfig {
+            dim: 8,
+            window: 2,
+            negatives: 2,
+            epochs: 2,
+            min_count: 1,
+            subsample_t: f64::INFINITY,
+            ..SgnsConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = Word2Vec::train(&mut rng, &sents, &config);
+        for i in 0..model.vocab().len() {
+            prop_assert!(model.embedding(i).iter().all(|v| v.is_finite()));
+        }
+        // Similarity queries stay bounded.
+        if model.vocab().len() >= 2 {
+            let a = model.vocab().word(0).to_string();
+            for (_, s) in model.most_similar(&a, 5) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+            }
+        }
+    }
+}

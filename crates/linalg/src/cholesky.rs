@@ -1,0 +1,266 @@
+//! Cholesky factorization `A = L L^T` for symmetric positive definite
+//! matrices.
+//!
+//! Every multivariate-normal density evaluation and every Wishart draw in
+//! the Gibbs sampler goes through this factorization, so it exposes the
+//! primitives those need directly: triangular solves, log-determinant, full
+//! inverse, and access to `L` for the Bartlett construction.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Cholesky factor of a symmetric positive-definite matrix.
+///
+/// # Examples
+/// ```
+/// use rheotex_linalg::{Cholesky, Matrix, Vector};
+///
+/// let a = Matrix::from_rows_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+/// let ch = Cholesky::factor(&a).unwrap();
+/// let x = ch.solve(&Vector::new(vec![1.0, 2.0])).unwrap();
+/// let back = a.matvec(&x).unwrap();
+/// assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper triangle is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a` (which must be square and symmetric positive
+    /// definite). Only the lower triangle of `a` is read, so callers may
+    /// pass matrices with slight rounding asymmetry.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        a.require_square()?;
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Log-determinant of the original matrix:
+    /// `log|A| = 2 * sum_i log L_ii`.
+    #[must_use]
+    pub fn log_det(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim`.
+    pub fn solve_lower(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `L^T x = y` (back substitution).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `y.len() != dim`.
+    pub fn solve_upper(&self, y: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Squared Mahalanobis norm `b^T A^{-1} b = ||L^{-1} b||²` — the inner
+    /// term of every Gaussian log-density.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim`.
+    pub fn mahalanobis_sq(&self, b: &Vector) -> Result<f64> {
+        let y = self.solve_lower(b)?;
+        Ok(y.iter().map(|v| v * v).sum())
+    }
+
+    /// Full inverse `A^{-1}` (solves against each basis vector). Prefer
+    /// [`Self::solve`] / [`Self::mahalanobis_sq`] when possible; the explicit
+    /// inverse is needed for Normal-Wishart scale-matrix updates.
+    #[must_use]
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            // A is SPD so solve cannot fail once the factorization exists.
+            let col = self.solve(&e).expect("dimension verified");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        // Inverse of SPD is SPD; enforce exact symmetry against rounding.
+        inv.symmetrize().expect("square by construction");
+        inv
+    }
+
+    /// Reconstructs `A = L L^T` (mainly for tests and diagnostics).
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul(&self.l.transpose())
+            .expect("square by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd3() -> Matrix {
+        // Constructed as B B^T + I, so definitely SPD.
+        Matrix::from_rows_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let r = ch.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(r[(i, j)], a[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Vector::new(vec![1.0, -2.0, 0.5]);
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!(approx_eq(ax[i], b[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(approx_eq(ch.log_det(), (24.0_f64).ln(), 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        let i3 = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(prod[(i, j)], i3[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn mahalanobis_matches_quadratic_form() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let v = Vector::new(vec![0.3, -1.1, 2.0]);
+        let direct = ch.inverse().quadratic_form(&v).unwrap();
+        assert!(approx_eq(ch.mahalanobis_sq(&v).unwrap(), direct, 1e-9));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_diag(&[9.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(approx_eq(ch.l()[(0, 0)], 3.0, 1e-12));
+        assert!(approx_eq(ch.log_det(), (9.0_f64).ln(), 1e-12));
+    }
+}

@@ -1,0 +1,296 @@
+//! Discrete distributions: categorical draws and the Dirichlet.
+//!
+//! The Gibbs sweep samples a topic per texture token (`z_dn`) and per
+//! recipe (`y_d`) from *unnormalized* weights, so [`sample_categorical`]
+//! accepts unnormalized non-negative weights directly, and
+//! [`sample_categorical_log`] takes unnormalized log-weights (the `y_d`
+//! conditional multiplies Gaussian densities, which must stay in log
+//! space to avoid underflow).
+
+use crate::special::ln_gamma;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+use rand::Rng;
+
+use super::scalar::sample_gamma;
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Errors
+/// [`LinalgError::Empty`] for no weights; [`LinalgError::InvalidParameter`]
+/// if any weight is negative/non-finite or all are zero.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Result<usize> {
+    if weights.is_empty() {
+        return Err(LinalgError::Empty {
+            op: "sample_categorical",
+        });
+    }
+    let mut total = 0.0;
+    for &w in weights {
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("categorical weight {w} must be finite and non-negative"),
+            });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            what: "categorical weights sum to zero".to_string(),
+        });
+    }
+    let u: f64 = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return Ok(i);
+        }
+    }
+    // Rounding can leave u == total; return the last positive-weight index.
+    Ok(weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("total > 0 implies a positive weight"))
+}
+
+/// Samples an index from unnormalized log-weights by exponentiating
+/// relative to the maximum (numerically safe for very negative values).
+///
+/// # Errors
+/// [`LinalgError::Empty`] for no weights; [`LinalgError::InvalidParameter`]
+/// if all weights are `-inf` or any is `NaN`/`+inf`.
+pub fn sample_categorical_log<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> Result<usize> {
+    if log_weights.is_empty() {
+        return Err(LinalgError::Empty {
+            op: "sample_categorical_log",
+        });
+    }
+    let mut max = f64::NEG_INFINITY;
+    for &lw in log_weights {
+        if lw.is_nan() || lw == f64::INFINITY {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("log-weight {lw} is not a valid log-probability"),
+            });
+        }
+        max = max.max(lw);
+    }
+    if max == f64::NEG_INFINITY {
+        return Err(LinalgError::InvalidParameter {
+            what: "all categorical log-weights are -inf".to_string(),
+        });
+    }
+    let weights: Vec<f64> = log_weights.iter().map(|&lw| (lw - max).exp()).collect();
+    sample_categorical(rng, &weights)
+}
+
+/// Samples a point on the simplex from `Dirichlet(alphas)` by normalizing
+/// independent gamma draws.
+///
+/// # Errors
+/// [`LinalgError::Empty`] / [`LinalgError::InvalidParameter`] for empty or
+/// non-positive concentration parameters.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Result<Vector> {
+    if alphas.is_empty() {
+        return Err(LinalgError::Empty {
+            op: "sample_dirichlet",
+        });
+    }
+    for &a in alphas {
+        if !(a.is_finite() && a > 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("Dirichlet concentration {a} must be positive"),
+            });
+        }
+    }
+    let draws: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a, 1.0)).collect();
+    Vector::new(draws).normalized()
+}
+
+/// Dirichlet distribution with per-component concentrations.
+#[derive(Debug, Clone)]
+pub struct Dirichlet {
+    alphas: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet with the given concentration vector.
+    ///
+    /// # Errors
+    /// [`LinalgError::Empty`] / [`LinalgError::InvalidParameter`] for empty
+    /// or non-positive concentrations.
+    pub fn new(alphas: Vec<f64>) -> Result<Self> {
+        if alphas.is_empty() {
+            return Err(LinalgError::Empty {
+                op: "Dirichlet::new",
+            });
+        }
+        for &a in &alphas {
+            if !(a.is_finite() && a > 0.0) {
+                return Err(LinalgError::InvalidParameter {
+                    what: format!("Dirichlet concentration {a} must be positive"),
+                });
+            }
+        }
+        Ok(Self { alphas })
+    }
+
+    /// Symmetric Dirichlet with `k` components at concentration `alpha`.
+    ///
+    /// # Errors
+    /// Same validation as [`Self::new`].
+    pub fn symmetric(k: usize, alpha: f64) -> Result<Self> {
+        Self::new(vec![alpha; k])
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// Concentration parameters.
+    #[must_use]
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Mean of the distribution (normalized concentrations).
+    #[must_use]
+    pub fn mean(&self) -> Vector {
+        let s: f64 = self.alphas.iter().sum();
+        self.alphas.iter().map(|a| a / s).collect()
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        sample_dirichlet(rng, &self.alphas).expect("validated at construction")
+    }
+
+    /// Log-density at a simplex point `p` (must be positive and sum ≈ 1).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension;
+    /// [`LinalgError::InvalidParameter`] for off-simplex points.
+    pub fn log_pdf(&self, p: &Vector) -> Result<f64> {
+        if p.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "dirichlet_log_pdf",
+                lhs: (self.dim(), 1),
+                rhs: (p.len(), 1),
+            });
+        }
+        let sum = p.sum();
+        if (sum - 1.0).abs() > 1e-6 || p.iter().any(|&x| x <= 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("point is not strictly inside the simplex (sum {sum})"),
+            });
+        }
+        let alpha0: f64 = self.alphas.iter().sum();
+        let mut lp = ln_gamma(alpha0);
+        for (&a, &x) in self.alphas.iter().zip(p.iter()) {
+            lp -= ln_gamma(a);
+            lp += (a - 1.0) * x.ln();
+        }
+        Ok(lp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut r = rng();
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[sample_categorical(&mut r, &w).unwrap()] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            let got = c as f64 / total as f64;
+            assert!((got - expect).abs() < 0.01, "i={i} got={got}");
+        }
+    }
+
+    #[test]
+    fn categorical_skips_zero_weights() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let i = sample_categorical(&mut r, &[0.0, 1.0, 0.0]).unwrap();
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn categorical_rejects_bad_input() {
+        let mut r = rng();
+        assert!(sample_categorical(&mut r, &[]).is_err());
+        assert!(sample_categorical(&mut r, &[0.0, 0.0]).is_err());
+        assert!(sample_categorical(&mut r, &[-1.0, 2.0]).is_err());
+        assert!(sample_categorical(&mut r, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn categorical_log_matches_linear() {
+        let mut r = rng();
+        // Very negative log-weights must not underflow to all-zeros.
+        let lw = [-1000.0, -1000.0 + (3.0_f64).ln()];
+        let mut counts = [0usize; 2];
+        for _ in 0..40_000 {
+            counts[sample_categorical_log(&mut r, &lw).unwrap()] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn categorical_log_rejects_all_neg_inf() {
+        let mut r = rng();
+        assert!(sample_categorical_log(&mut r, &[f64::NEG_INFINITY]).is_err());
+    }
+
+    #[test]
+    fn dirichlet_sample_on_simplex_with_correct_mean() {
+        let mut r = rng();
+        let d = Dirichlet::new(vec![2.0, 5.0, 3.0]).unwrap();
+        let mut acc = Vector::zeros(3);
+        let n = 20_000;
+        for _ in 0..n {
+            let s = d.sample(&mut r);
+            assert!(approx_eq(s.sum(), 1.0, 1e-9));
+            acc.axpy(1.0 / n as f64, &s).unwrap();
+        }
+        let mean = d.mean();
+        for i in 0..3 {
+            assert!((acc[i] - mean[i]).abs() < 0.01, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_log_pdf_uniform_case() {
+        // Dirichlet(1,1,1) is uniform over the 2-simplex with density 2.
+        let d = Dirichlet::symmetric(3, 1.0).unwrap();
+        let p = Vector::new(vec![0.2, 0.3, 0.5]);
+        assert!(approx_eq(d.log_pdf(&p).unwrap(), (2.0_f64).ln(), 1e-10));
+    }
+
+    #[test]
+    fn dirichlet_validates() {
+        assert!(Dirichlet::new(vec![]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        let d = Dirichlet::symmetric(2, 1.0).unwrap();
+        assert!(d.log_pdf(&Vector::new(vec![0.5, 0.2])).is_err());
+        assert!(d.log_pdf(&Vector::new(vec![0.2, 0.3, 0.5])).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Multivariate normal distributions, parameterized either by covariance
+//! or by precision.
+//!
+//! The joint topic model alternates between the two forms: Wishart draws
+//! produce a *precision* matrix `Λ_k` used to score recipes
+//! (`N(g_d | μ_k, Λ_k)`), while sampling the topic mean needs a draw from
+//! `N(μ_c, (β Λ)^{-1})`, i.e. a *covariance*-parameterized Gaussian whose
+//! covariance is only available through the precision's Cholesky factor.
+//! Both structs pre-factor at construction so repeated density evaluations
+//! (thousands per Gibbs sweep) cost one triangular solve each.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+use rand::Rng;
+
+use super::scalar::sample_std_normal;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5; // ln(2π)
+
+/// Multivariate normal parameterized by its covariance matrix.
+#[derive(Debug, Clone)]
+pub struct GaussianCov {
+    mean: Vector,
+    chol: Cholesky, // factor of the covariance
+}
+
+impl GaussianCov {
+    /// Creates the distribution; `cov` must be SPD.
+    ///
+    /// # Errors
+    /// Shape or positive-definiteness failures from the Cholesky factor.
+    pub fn new(mean: Vector, cov: &Matrix) -> Result<Self> {
+        if cov.nrows() != mean.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "GaussianCov::new",
+                lhs: (mean.len(), 1),
+                rhs: cov.shape(),
+            });
+        }
+        Ok(Self {
+            mean,
+            chol: Cholesky::factor(cov)?,
+        })
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    #[must_use]
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Draws a sample `x = μ + L z` where `Σ = L L^T` and `z ~ N(0, I)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let n = self.dim();
+        let z: Vector = (0..n).map(|_| sample_std_normal(rng)).collect();
+        let mut x = self.mean.clone();
+        let l = self.chol.l();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in 0..=i {
+                acc += l[(i, k)] * z[k];
+            }
+            x[i] += acc;
+        }
+        x
+    }
+
+    /// Log-density at `x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn log_pdf(&self, x: &Vector) -> Result<f64> {
+        let diff = x.sub(&self.mean)?;
+        let maha = self.chol.mahalanobis_sq(&diff)?;
+        Ok(-0.5 * (self.dim() as f64 * LN_2PI + self.chol.log_det() + maha))
+    }
+}
+
+/// Multivariate normal parameterized by its precision matrix `Λ = Σ^{-1}`.
+#[derive(Debug, Clone)]
+pub struct GaussianPrecision {
+    mean: Vector,
+    precision: Matrix,
+    chol: Cholesky, // factor of the precision
+}
+
+impl GaussianPrecision {
+    /// Creates the distribution; `precision` must be SPD.
+    ///
+    /// # Errors
+    /// Shape or positive-definiteness failures from the Cholesky factor.
+    pub fn new(mean: Vector, precision: Matrix) -> Result<Self> {
+        if precision.nrows() != mean.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "GaussianPrecision::new",
+                lhs: (mean.len(), 1),
+                rhs: precision.shape(),
+            });
+        }
+        let chol = Cholesky::factor(&precision)?;
+        Ok(Self {
+            mean,
+            precision,
+            chol,
+        })
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    #[must_use]
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// The precision matrix `Λ`.
+    #[must_use]
+    pub fn precision(&self) -> &Matrix {
+        &self.precision
+    }
+
+    /// Log-density at `x`:
+    /// `½ ln|Λ| − D/2 ln 2π − ½ (x−μ)^T Λ (x−μ)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn log_pdf(&self, x: &Vector) -> Result<f64> {
+        let diff = x.sub(&self.mean)?;
+        let quad = self.precision.quadratic_form(&diff)?;
+        Ok(0.5 * (self.chol.log_det() - self.dim() as f64 * LN_2PI - quad))
+    }
+
+    /// Draws a sample: with `Λ = L L^T`, `x = μ + L^{-T} z` has covariance
+    /// `L^{-T} L^{-1} = Λ^{-1}` as required.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let n = self.dim();
+        let z: Vector = (0..n).map(|_| sample_std_normal(rng)).collect();
+        let shift = self.chol.solve_upper(&z).expect("dimension verified");
+        self.mean.add(&shift).expect("dimension verified")
+    }
+
+    /// Covariance matrix `Λ^{-1}` (explicit inverse; prefer
+    /// [`Self::log_pdf`] / [`Self::sample`] which avoid it).
+    #[must_use]
+    pub fn covariance(&self) -> Matrix {
+        self.chol.inverse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    fn cov2() -> Matrix {
+        Matrix::from_rows_vec(2, 2, vec![2.0, 0.6, 0.6, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn cov_log_pdf_standard_normal_at_origin() {
+        let g = GaussianCov::new(Vector::zeros(2), &Matrix::identity(2)).unwrap();
+        let lp = g.log_pdf(&Vector::zeros(2)).unwrap();
+        assert!(approx_eq(lp, -LN_2PI, 1e-12));
+    }
+
+    #[test]
+    fn precision_and_cov_forms_agree() {
+        let mean = Vector::new(vec![0.5, -1.0]);
+        let cov = cov2();
+        let prec = Cholesky::factor(&cov).unwrap().inverse();
+        let gc = GaussianCov::new(mean.clone(), &cov).unwrap();
+        let gp = GaussianPrecision::new(mean, prec).unwrap();
+        for &pt in &[[0.0, 0.0], [1.0, 2.0], [-3.0, 0.7]] {
+            let x = Vector::new(pt.to_vec());
+            assert!(approx_eq(
+                gc.log_pdf(&x).unwrap(),
+                gp.log_pdf(&x).unwrap(),
+                1e-9
+            ));
+        }
+    }
+
+    #[test]
+    fn cov_samples_recover_moments() {
+        let mut r = rng();
+        let mean = Vector::new(vec![1.0, -2.0]);
+        let cov = cov2();
+        let g = GaussianCov::new(mean.clone(), &cov).unwrap();
+        let n = 40_000;
+        let mut sum = Vector::zeros(2);
+        let mut sum_sq = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let x = g.sample(&mut r);
+            sum.axpy(1.0, &x).unwrap();
+            sum_sq.rank1_update(1.0, &x).unwrap();
+        }
+        let m = sum.scale(1.0 / n as f64);
+        for i in 0..2 {
+            assert!((m[i] - mean[i]).abs() < 0.03, "mean[{i}]={}", m[i]);
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                let c = sum_sq[(i, j)] / n as f64 - m[i] * m[j];
+                assert!((c - cov[(i, j)]).abs() < 0.05, "cov[{i},{j}]={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn precision_samples_recover_covariance() {
+        let mut r = rng();
+        let cov = cov2();
+        let prec = Cholesky::factor(&cov).unwrap().inverse();
+        let g = GaussianPrecision::new(Vector::zeros(2), prec).unwrap();
+        let n = 40_000;
+        let mut sum_sq = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let x = g.sample(&mut r);
+            sum_sq.rank1_update(1.0 / n as f64, &x).unwrap();
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((sum_sq[(i, j)] - cov[(i, j)]).abs() < 0.05, "cov[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_inverts_precision() {
+        let cov = cov2();
+        let prec = Cholesky::factor(&cov).unwrap().inverse();
+        let g = GaussianPrecision::new(Vector::zeros(2), prec).unwrap();
+        let back = g.covariance();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(back[(i, j)], cov[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(GaussianCov::new(Vector::zeros(3), &Matrix::identity(2)).is_err());
+        let g = GaussianCov::new(Vector::zeros(2), &Matrix::identity(2)).unwrap();
+        assert!(g.log_pdf(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn log_pdf_integrates_to_one_grid() {
+        // Coarse 2-D grid integration of exp(log_pdf) ≈ 1.
+        let g = GaussianCov::new(Vector::zeros(2), &cov2()).unwrap();
+        let step = 0.1;
+        let mut total = 0.0;
+        let mut x = -8.0;
+        while x < 8.0 {
+            let mut y = -8.0;
+            while y < 8.0 {
+                let p = g.log_pdf(&Vector::new(vec![x, y])).unwrap().exp();
+                total += p * step * step;
+                y += step;
+            }
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral={total}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Probability distributions: samplers and (log-)densities.
+//!
+//! Everything the joint topic model's Gibbs sweep touches lives here:
+//!
+//! * scalar building blocks — standard normal, gamma, chi-square
+//!   ([`scalar`]);
+//! * discrete draws — categorical (linear and log-space/Gumbel forms) and
+//!   Dirichlet ([`discrete`]);
+//! * multivariate normals parameterized by covariance or by precision
+//!   ([`gaussian`]), matching how the model alternates between the two
+//!   (sampling topic means needs covariance, density evaluation of
+//!   recipes needs the sampled precision);
+//! * the Wishart distribution via the Bartlett decomposition ([`wishart`]);
+//! * the Normal-Wishart conjugate prior with closed-form posterior updates
+//!   and its Student-t posterior predictive ([`normal_wishart`],
+//!   [`student_t`]) — Eq. (4) of the paper and the fully-collapsed variant.
+//!
+//! All samplers take `&mut impl Rng` so experiments can inject a seeded
+//! `ChaCha8Rng` and be bit-for-bit reproducible.
+
+pub mod discrete;
+pub mod gaussian;
+pub mod normal_wishart;
+pub mod scalar;
+pub mod student_t;
+pub mod wishart;
+
+pub use discrete::{sample_categorical, sample_categorical_log, sample_dirichlet, Dirichlet};
+pub use gaussian::{GaussianCov, GaussianPrecision};
+pub use normal_wishart::{GaussianStats, NormalWishart};
+pub use scalar::{sample_chi_square, sample_gamma, sample_std_normal};
+pub use student_t::MultivariateT;
+pub use wishart::Wishart;

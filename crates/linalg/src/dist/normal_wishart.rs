@@ -1,0 +1,488 @@
+//! The Normal-Wishart conjugate prior and its sufficient statistics.
+//!
+//! This is Eq. (4) of the paper. Each Gaussian topic component `(μ_k, Λ_k)`
+//! carries a `NW(μ₀, β, ν, S)` prior; during a Gibbs sweep the recipes
+//! currently assigned to topic `k` form a [`GaussianStats`] accumulator, the
+//! conjugate [`NormalWishart::posterior`] is computed in closed form, and
+//! new topic parameters are drawn with [`NormalWishart::sample`]:
+//!
+//! ```text
+//! ν_c = ν + n,   β_c = β + n,   μ_c = (β μ₀ + n x̄) / (β + n)
+//! S_c⁻¹ = S⁻¹ + Σ (x−x̄)(x−x̄)ᵀ + (nβ)/(n+β) (x̄−μ₀)(x̄−μ₀)ᵀ
+//! Λ_k ~ W(ν_c, S_c),   μ_k ~ N(μ_c, (β_c Λ_k)⁻¹)
+//! ```
+//!
+//! The prior is stored via `S⁻¹` (the *inverse* scale) so the update above
+//! is purely additive. [`NormalWishart::posterior_predictive`] produces the
+//! multivariate Student-t used by the fully-collapsed sampler variant.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::gaussian::GaussianPrecision;
+use super::student_t::MultivariateT;
+use super::wishart::Wishart;
+
+/// Exactly reversible sufficient statistics of a set of vectors: count,
+/// running sum, and raw scatter `Σ x xᵀ`.
+///
+/// Gibbs sampling constantly moves one recipe between topics, so the
+/// accumulator supports [`GaussianStats::remove`] as the exact inverse of
+/// [`GaussianStats::add`]. The raw-moment representation (rather than the
+/// centered Welford form) makes removal exact up to floating-point
+/// commutativity; concentrations enter as `-log(x)` values of magnitude
+/// 1–10, far from the cancellation regime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianStats {
+    n: usize,
+    sum: Vector,
+    raw_scatter: Matrix,
+}
+
+impl GaussianStats {
+    /// Empty accumulator for `dim`-dimensional observations.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            n: 0,
+            sum: Vector::zeros(dim),
+            raw_scatter: Matrix::zeros(dim, dim),
+        }
+    }
+
+    /// Dimension of the observations.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Number of accumulated observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn add(&mut self, x: &Vector) -> Result<()> {
+        self.sum.axpy(1.0, x)?;
+        self.raw_scatter.rank1_update(1.0, x)?;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Removes a previously added observation (exact inverse of `add`).
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] if the accumulator is empty;
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn remove(&mut self, x: &Vector) -> Result<()> {
+        if self.n == 0 {
+            return Err(LinalgError::InvalidParameter {
+                what: "remove from empty GaussianStats".to_string(),
+            });
+        }
+        self.sum.axpy(-1.0, x)?;
+        self.raw_scatter.rank1_update(-1.0, x)?;
+        self.n -= 1;
+        Ok(())
+    }
+
+    /// Sample mean `x̄`, or the zero vector when empty.
+    #[must_use]
+    pub fn mean(&self) -> Vector {
+        if self.n == 0 {
+            Vector::zeros(self.dim())
+        } else {
+            self.sum.scale(1.0 / self.n as f64)
+        }
+    }
+
+    /// Centered scatter `Σ (x − x̄)(x − x̄)ᵀ = Σ x xᵀ − n x̄ x̄ᵀ`.
+    #[must_use]
+    pub fn centered_scatter(&self) -> Matrix {
+        let mut s = self.raw_scatter.clone();
+        if self.n > 0 {
+            let mean = self.mean();
+            s.rank1_update(-(self.n as f64), &mean)
+                .expect("square by construction");
+        }
+        s.symmetrize().expect("square by construction");
+        s
+    }
+
+    /// Resets to the empty state.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.sum = Vector::zeros(self.dim());
+        self.raw_scatter = Matrix::zeros(self.dim(), self.dim());
+    }
+}
+
+/// Normal-Wishart distribution `NW(μ₀, β, ν, S)`; `S` is stored through its
+/// inverse for additive posterior updates.
+///
+/// # Examples
+/// ```
+/// use rheotex_linalg::dist::{GaussianStats, NormalWishart};
+/// use rheotex_linalg::Vector;
+///
+/// let prior = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+/// let mut stats = GaussianStats::new(2);
+/// stats.add(&Vector::new(vec![3.0, -1.0])).unwrap();
+/// stats.add(&Vector::new(vec![3.2, -0.8])).unwrap();
+/// let post = prior.posterior(&stats).unwrap();
+/// assert_eq!(post.nu(), prior.nu() + 2.0);
+/// // The posterior mean moves toward the data.
+/// assert!(post.mu0()[0] > 1.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NormalWishart {
+    mu0: Vector,
+    beta: f64,
+    nu: f64,
+    scale_inv: Matrix,
+}
+
+impl NormalWishart {
+    /// Creates the prior. Requires `beta > 0`, `nu > dim − 1`, and
+    /// `scale_inv` SPD of matching dimension.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] / shape / definiteness failures.
+    pub fn new(mu0: Vector, beta: f64, nu: f64, scale_inv: Matrix) -> Result<Self> {
+        let d = mu0.len();
+        if scale_inv.shape() != (d, d) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "NormalWishart::new",
+                lhs: (d, 1),
+                rhs: scale_inv.shape(),
+            });
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("NW beta {beta} must be positive"),
+            });
+        }
+        if nu <= d as f64 - 1.0 {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("NW nu {nu} must exceed dim-1 = {}", d - 1),
+            });
+        }
+        // Validate SPD up front so sampling cannot fail later.
+        Cholesky::factor(&scale_inv)?;
+        Ok(Self {
+            mu0,
+            beta,
+            nu,
+            scale_inv,
+        })
+    }
+
+    /// A weakly-informative prior centred at `mu0`: `β`, `ν = dim + 2`, and
+    /// inverse scale `ν·s²·I` so that `E[Λ]⁻¹ ≈ s² I` (prior covariance
+    /// scale `s`).
+    ///
+    /// # Errors
+    /// Propagates [`Self::new`] validation.
+    pub fn vague(mu0: Vector, beta: f64, prior_std: f64) -> Result<Self> {
+        let d = mu0.len();
+        let nu = d as f64 + 2.0;
+        let scale_inv = Matrix::scaled_identity(d, nu * prior_std * prior_std);
+        Self::new(mu0, beta, nu, scale_inv)
+    }
+
+    /// Dimension `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mu0.len()
+    }
+
+    /// Prior mean `μ₀`.
+    #[must_use]
+    pub fn mu0(&self) -> &Vector {
+        &self.mu0
+    }
+
+    /// Mean-precision scaling `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Degrees of freedom `ν`.
+    #[must_use]
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Inverse scale matrix `S⁻¹`.
+    #[must_use]
+    pub fn scale_inv(&self) -> &Matrix {
+        &self.scale_inv
+    }
+
+    /// Conjugate posterior after observing the data summarized in `stats`
+    /// (Eq. (4) of the paper).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if dimensions disagree.
+    pub fn posterior(&self, stats: &GaussianStats) -> Result<Self> {
+        if stats.dim() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "nw_posterior",
+                lhs: (self.dim(), 1),
+                rhs: (stats.dim(), 1),
+            });
+        }
+        let n = stats.count() as f64;
+        if stats.count() == 0 {
+            return Ok(self.clone());
+        }
+        let xbar = stats.mean();
+        let beta_c = self.beta + n;
+        let nu_c = self.nu + n;
+        // μ_c = (β μ₀ + n x̄) / (β + n)
+        let mut mu_c = self.mu0.scale(self.beta);
+        mu_c.axpy(n, &xbar)?;
+        mu_c.scale_mut(1.0 / beta_c);
+        // S_c⁻¹ = S⁻¹ + centered scatter + (nβ)/(n+β)(x̄−μ₀)(x̄−μ₀)ᵀ
+        let mut scale_inv_c = self.scale_inv.add(&stats.centered_scatter())?;
+        let dev = xbar.sub(&self.mu0)?;
+        scale_inv_c.rank1_update(n * self.beta / (n + self.beta), &dev)?;
+        scale_inv_c.symmetrize()?;
+        Ok(Self {
+            mu0: mu_c,
+            beta: beta_c,
+            nu: nu_c,
+            scale_inv: scale_inv_c,
+        })
+    }
+
+    /// Draws topic parameters `(μ, Λ)`: `Λ ~ W(ν, S)` then
+    /// `μ ~ N(μ₀, (β Λ)⁻¹)`. Returns them packaged as a
+    /// [`GaussianPrecision`] ready to score observations.
+    ///
+    /// # Errors
+    /// Propagates factorization failures (cannot occur for a validated
+    /// distribution with finite data).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<GaussianPrecision> {
+        let scale = Cholesky::factor(&self.scale_inv)?.inverse();
+        let wishart = Wishart::new(&scale, self.nu)?;
+        let lambda = wishart.sample(rng);
+        let mean_prec = lambda.scale(self.beta);
+        let mean_dist = GaussianPrecision::new(self.mu0.clone(), mean_prec)?;
+        let mu = mean_dist.sample(rng);
+        GaussianPrecision::new(mu, lambda)
+    }
+
+    /// Expected topic parameters `(E[μ], E[Λ]) = (μ₀, ν S)` as a
+    /// [`GaussianPrecision`] — the Rao-Blackwellized point estimate used for
+    /// reporting topics after convergence.
+    ///
+    /// # Errors
+    /// Propagates factorization failures.
+    pub fn expected_gaussian(&self) -> Result<GaussianPrecision> {
+        let scale = Cholesky::factor(&self.scale_inv)?.inverse();
+        GaussianPrecision::new(self.mu0.clone(), scale.scale(self.nu))
+    }
+
+    /// Posterior-predictive distribution of a new observation with the
+    /// Gaussian parameters integrated out:
+    /// `t_{ν−D+1}(μ₀, S⁻¹ (β+1)/(β (ν−D+1)))`.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] when `ν − D + 1 ≤ 0`.
+    pub fn posterior_predictive(&self) -> Result<MultivariateT> {
+        let d = self.dim() as f64;
+        let dof = self.nu - d + 1.0;
+        if dof <= 0.0 {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("predictive dof {dof} must be positive"),
+            });
+        }
+        let factor = (self.beta + 1.0) / (self.beta * dof);
+        let shape = self.scale_inv.scale(factor);
+        MultivariateT::new(self.mu0.clone(), &shape, dof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    fn obs() -> Vec<Vector> {
+        vec![
+            Vector::new(vec![1.0, 2.0]),
+            Vector::new(vec![1.5, 1.0]),
+            Vector::new(vec![0.5, 2.5]),
+            Vector::new(vec![2.0, 3.0]),
+        ]
+    }
+
+    #[test]
+    fn stats_add_remove_roundtrip() {
+        let mut s = GaussianStats::new(2);
+        for x in obs() {
+            s.add(&x).unwrap();
+        }
+        let mean_before = s.mean();
+        let scatter_before = s.centered_scatter();
+
+        let extra = Vector::new(vec![-3.0, 7.0]);
+        s.add(&extra).unwrap();
+        s.remove(&extra).unwrap();
+
+        assert_eq!(s.count(), 4);
+        for i in 0..2 {
+            assert!(approx_eq(s.mean()[i], mean_before[i], 1e-10));
+            for j in 0..2 {
+                assert!(approx_eq(
+                    s.centered_scatter()[(i, j)],
+                    scatter_before[(i, j)],
+                    1e-9
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_mean_and_scatter_match_direct() {
+        let mut s = GaussianStats::new(2);
+        let data = obs();
+        for x in &data {
+            s.add(x).unwrap();
+        }
+        // Direct mean
+        let n = data.len() as f64;
+        let mut mean = Vector::zeros(2);
+        for x in &data {
+            mean.axpy(1.0 / n, x).unwrap();
+        }
+        for i in 0..2 {
+            assert!(approx_eq(s.mean()[i], mean[i], 1e-12));
+        }
+        // Direct centered scatter
+        let mut scatter = Matrix::zeros(2, 2);
+        for x in &data {
+            let d = x.sub(&mean).unwrap();
+            scatter.rank1_update(1.0, &d).unwrap();
+        }
+        let got = s.centered_scatter();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(got[(i, j)], scatter[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_remove_from_empty_errors() {
+        let mut s = GaussianStats::new(2);
+        assert!(s.remove(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn posterior_with_no_data_is_prior() {
+        let prior = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+        let post = prior.posterior(&GaussianStats::new(2)).unwrap();
+        assert_eq!(post.beta(), prior.beta());
+        assert_eq!(post.nu(), prior.nu());
+    }
+
+    #[test]
+    fn posterior_updates_follow_formulas() {
+        let prior = NormalWishart::vague(Vector::zeros(2), 2.0, 1.0).unwrap();
+        let mut s = GaussianStats::new(2);
+        for x in obs() {
+            s.add(&x).unwrap();
+        }
+        let post = prior.posterior(&s).unwrap();
+        assert_eq!(post.beta(), 6.0); // 2 + 4
+        assert_eq!(post.nu(), prior.nu() + 4.0);
+        // μ_c = (2·0 + 4·x̄)/6 = (2/3) x̄
+        let xbar = s.mean();
+        for i in 0..2 {
+            assert!(approx_eq(post.mu0()[i], 4.0 * xbar[i] / 6.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn posterior_mean_concentrates_on_truth() {
+        // Feed many samples from a known Gaussian; the posterior expected
+        // mean must approach the true mean and E[Λ]⁻¹ the true covariance.
+        let mut r = rng();
+        let truth_mean = Vector::new(vec![3.0, -1.0]);
+        let truth_cov = Matrix::from_rows_vec(2, 2, vec![0.5, 0.2, 0.2, 0.8]).unwrap();
+        let g = super::super::gaussian::GaussianCov::new(truth_mean.clone(), &truth_cov).unwrap();
+        let prior = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+        let mut s = GaussianStats::new(2);
+        for _ in 0..5000 {
+            s.add(&g.sample(&mut r)).unwrap();
+        }
+        let post = prior.posterior(&s).unwrap();
+        let expected = post.expected_gaussian().unwrap();
+        for i in 0..2 {
+            assert!(
+                (expected.mean()[i] - truth_mean[i]).abs() < 0.05,
+                "mean[{i}]"
+            );
+        }
+        let cov = expected.covariance();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (cov[(i, j)] - truth_cov[(i, j)]).abs() < 0.06,
+                    "cov[{i},{j}]: {} vs {}",
+                    cov[(i, j)],
+                    truth_cov[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_parameters_concentrate_with_data() {
+        let mut r = rng();
+        let prior = NormalWishart::vague(Vector::zeros(1), 1.0, 1.0).unwrap();
+        let mut s = GaussianStats::new(1);
+        for _ in 0..2000 {
+            // Data from N(5, 0.25)
+            let x = 5.0 + 0.5 * super::super::scalar::sample_std_normal(&mut r);
+            s.add(&Vector::new(vec![x])).unwrap();
+        }
+        let post = prior.posterior(&s).unwrap();
+        let draw = post.sample(&mut r).unwrap();
+        assert!((draw.mean()[0] - 5.0).abs() < 0.2);
+        // Precision should be near 1/0.25 = 4.
+        assert!((draw.precision()[(0, 0)] - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn predictive_is_proper_student_t() {
+        let prior = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+        let t = prior.posterior_predictive().unwrap();
+        assert_eq!(t.dim(), 2);
+        assert!(approx_eq(t.dof(), prior.nu() - 2.0 + 1.0, 1e-12));
+    }
+
+    #[test]
+    fn validation_rejects_bad_hyperparameters() {
+        assert!(NormalWishart::new(Vector::zeros(2), 0.0, 4.0, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), 1.0, 0.5, Matrix::identity(2)).is_err());
+        assert!(NormalWishart::new(Vector::zeros(2), 1.0, 4.0, Matrix::identity(3)).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Scalar samplers: standard normal, gamma, and chi-square.
+//!
+//! Implemented from scratch so the workspace depends only on `rand`'s
+//! uniform source: normal via Marsaglia's polar method, gamma via
+//! Marsaglia–Tsang squeeze (with the Johnk-style boost for shape < 1),
+//! chi-square as a gamma special case.
+
+use rand::Rng;
+
+/// Draws a standard normal `N(0, 1)` variate (Marsaglia polar method).
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws from `Gamma(shape, scale)` with mean `shape * scale`.
+///
+/// Uses Marsaglia–Tsang (2000) for `shape >= 1` and the standard boost
+/// `Gamma(a) = Gamma(a+1) * U^{1/a}` for `shape < 1`.
+///
+/// # Panics
+/// Panics if `shape` or `scale` is not positive (programming error — the
+/// model guarantees positive hyperparameters).
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive: shape={shape}, scale={scale}"
+    );
+    if shape < 1.0 {
+        // Boost: if X ~ Gamma(shape + 1) and U ~ Uniform(0,1),
+        // then X * U^(1/shape) ~ Gamma(shape).
+        let x = sample_gamma(rng, shape + 1.0, 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return scale * x * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x2 = x * x;
+        // Squeeze check first (cheap), then the full log check.
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return scale * d * v3;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v3 + v3.ln()) {
+            return scale * d * v3;
+        }
+    }
+}
+
+/// Draws from a chi-square distribution with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics if `df` is not positive.
+pub fn sample_chi_square<R: Rng + ?Sized>(rng: &mut R, df: f64) -> f64 {
+    sample_gamma(rng, df / 2.0, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    fn mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+        (m, v)
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| sample_std_normal(&mut r)).collect();
+        let (m, v) = mean_var(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_large_shape() {
+        let mut r = rng();
+        let (shape, scale) = (4.5, 2.0);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| sample_gamma(&mut r, shape, scale))
+            .collect();
+        let (m, v) = mean_var(&xs);
+        assert!((m - shape * scale).abs() < 0.1, "mean {m}");
+        assert!((v - shape * scale * scale).abs() < 0.6, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_small_shape() {
+        let mut r = rng();
+        let (shape, scale) = (0.3, 1.5);
+        let xs: Vec<f64> = (0..80_000)
+            .map(|_| sample_gamma(&mut r, shape, scale))
+            .collect();
+        let (m, _) = mean_var(&xs);
+        assert!((m - shape * scale).abs() < 0.02, "mean {m}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn chi_square_mean_is_df() {
+        let mut r = rng();
+        let df = 7.0;
+        let xs: Vec<f64> = (0..50_000).map(|_| sample_chi_square(&mut r, df)).collect();
+        let (m, v) = mean_var(&xs);
+        assert!((m - df).abs() < 0.1, "mean {m}");
+        assert!((v - 2.0 * df).abs() < 0.5, "var {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma parameters must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut r = rng();
+        let _ = sample_gamma(&mut r, 0.0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(sample_std_normal(&mut a), sample_std_normal(&mut b));
+        }
+    }
+}

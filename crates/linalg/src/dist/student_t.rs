@@ -1,0 +1,174 @@
+//! Multivariate Student-t distribution.
+//!
+//! This is the posterior predictive of the Normal-Wishart model: when the
+//! Gaussian topic parameters are integrated out rather than sampled (the
+//! fully-collapsed Gibbs variant), each recipe's concentration vector is
+//! scored under `t_ν(μ, Σ)` with parameters produced by
+//! [`super::NormalWishart::posterior_predictive`].
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::special::ln_gamma;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Multivariate Student-t with location `μ`, scale (shape) matrix `Σ`, and
+/// degrees of freedom `ν > 0`. For `ν > 2` the covariance is
+/// `Σ ν / (ν − 2)`.
+#[derive(Debug, Clone)]
+pub struct MultivariateT {
+    location: Vector,
+    chol_scale: Cholesky,
+    dof: f64,
+    /// Pre-computed log normalizer (everything not depending on x).
+    log_norm: f64,
+}
+
+impl MultivariateT {
+    /// Creates the distribution; `scale` must be SPD and `dof > 0`.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] for non-positive `dof`; shape or
+    /// definiteness errors from the factorization.
+    pub fn new(location: Vector, scale: &Matrix, dof: f64) -> Result<Self> {
+        if !(dof.is_finite() && dof > 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("Student-t dof {dof} must be positive"),
+            });
+        }
+        if scale.nrows() != location.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "MultivariateT::new",
+                lhs: (location.len(), 1),
+                rhs: scale.shape(),
+            });
+        }
+        let chol_scale = Cholesky::factor(scale)?;
+        let d = location.len() as f64;
+        let log_norm = ln_gamma((dof + d) / 2.0)
+            - ln_gamma(dof / 2.0)
+            - 0.5 * d * (dof * std::f64::consts::PI).ln()
+            - 0.5 * chol_scale.log_det();
+        Ok(Self {
+            location,
+            chol_scale,
+            dof,
+            log_norm,
+        })
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.location.len()
+    }
+
+    /// Degrees of freedom.
+    #[must_use]
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Location vector (the mode; also the mean when `ν > 1`).
+    #[must_use]
+    pub fn location(&self) -> &Vector {
+        &self.location
+    }
+
+    /// Log-density at `x`:
+    /// `log_norm − ((ν+D)/2) ln(1 + Δ²/ν)` with `Δ²` the Mahalanobis
+    /// distance under the scale matrix.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn log_pdf(&self, x: &Vector) -> Result<f64> {
+        let diff = x.sub(&self.location)?;
+        let maha = self.chol_scale.mahalanobis_sq(&diff)?;
+        let d = self.dim() as f64;
+        Ok(self.log_norm - 0.5 * (self.dof + d) * (1.0 + maha / self.dof).ln_1p_exact())
+    }
+}
+
+/// `ln(1 + x)` but for values where `x` may be large; plain `ln` is fine,
+/// the trait exists so the formula above reads close to the math. (For
+/// small Mahalanobis distances `ln_1p` is the accurate form.)
+trait Ln1pExact {
+    fn ln_1p_exact(self) -> f64;
+}
+
+impl Ln1pExact for f64 {
+    #[inline]
+    fn ln_1p_exact(self) -> f64 {
+        // self = 1 + maha/ν  (≥ 1); compute ln via ln_1p on the excess for
+        // accuracy near 1.
+        (self - 1.0).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn univariate_matches_standard_t_density() {
+        // Standard t with ν=3 at x=0: Γ(2)/(Γ(1.5)·sqrt(3π)) = 1/(Γ(1.5)√(3π))
+        let t = MultivariateT::new(Vector::zeros(1), &Matrix::identity(1), 3.0).unwrap();
+        let at0 = t.log_pdf(&Vector::zeros(1)).unwrap();
+        let expect = ln_gamma(2.0) - ln_gamma(1.5) - 0.5 * (3.0 * std::f64::consts::PI).ln();
+        assert!(approx_eq(at0, expect, 1e-12));
+    }
+
+    #[test]
+    fn symmetric_around_location() {
+        let loc = Vector::new(vec![1.0, -2.0]);
+        let t = MultivariateT::new(loc.clone(), &Matrix::identity(2), 5.0).unwrap();
+        let a = t.log_pdf(&Vector::new(vec![1.5, -2.5])).unwrap();
+        let b = t.log_pdf(&Vector::new(vec![0.5, -1.5])).unwrap();
+        assert!(approx_eq(a, b, 1e-12));
+    }
+
+    #[test]
+    fn heavier_tails_than_gaussian() {
+        use super::super::gaussian::GaussianCov;
+        let t = MultivariateT::new(Vector::zeros(2), &Matrix::identity(2), 3.0).unwrap();
+        let g = GaussianCov::new(Vector::zeros(2), &Matrix::identity(2)).unwrap();
+        let far = Vector::new(vec![6.0, 6.0]);
+        assert!(t.log_pdf(&far).unwrap() > g.log_pdf(&far).unwrap());
+    }
+
+    #[test]
+    fn converges_to_gaussian_for_large_dof() {
+        use super::super::gaussian::GaussianCov;
+        let t = MultivariateT::new(Vector::zeros(2), &Matrix::identity(2), 1e7).unwrap();
+        let g = GaussianCov::new(Vector::zeros(2), &Matrix::identity(2)).unwrap();
+        for &pt in &[[0.0, 0.0], [1.0, 1.0], [2.0, -1.0]] {
+            let x = Vector::new(pt.to_vec());
+            assert!(
+                (t.log_pdf(&x).unwrap() - g.log_pdf(&x).unwrap()).abs() < 1e-4,
+                "point {pt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn integrates_to_one_univariate() {
+        let t = MultivariateT::new(Vector::zeros(1), &Matrix::identity(1), 4.0).unwrap();
+        let step = 0.01;
+        let mut total = 0.0;
+        let mut x = -60.0;
+        while x < 60.0 {
+            total += t.log_pdf(&Vector::new(vec![x])).unwrap().exp() * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral={total}");
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(MultivariateT::new(Vector::zeros(2), &Matrix::identity(2), 0.0).is_err());
+        assert!(MultivariateT::new(Vector::zeros(3), &Matrix::identity(2), 2.0).is_err());
+        let t = MultivariateT::new(Vector::zeros(2), &Matrix::identity(2), 2.0).unwrap();
+        assert!(t.log_pdf(&Vector::zeros(3)).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The Wishart distribution `W(Λ | S, ν)` over symmetric positive-definite
+//! precision matrices.
+//!
+//! Convention: `S` is the **scale matrix** and `ν ≥ D` the degrees of
+//! freedom, with `E[Λ] = ν S`. This matches the parameterization in Eq. (4)
+//! of the paper, where the topic precision is drawn as
+//! `Λ_k ~ W(ν_c, S_c)` after the conjugate update.
+//!
+//! Sampling uses the Bartlett decomposition: with `S = L L^T`, draw a lower
+//! triangular `A` with `A_ii = sqrt(χ²(ν − i))` and `A_ij ~ N(0,1)` below
+//! the diagonal, then `Λ = (L A)(L A)^T ~ W(S, ν)`.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::special::ln_multigamma;
+use crate::{LinalgError, Result};
+use rand::Rng;
+
+use super::scalar::{sample_chi_square, sample_std_normal};
+
+/// Wishart distribution with scale matrix `S` and degrees of freedom `ν`.
+#[derive(Debug, Clone)]
+pub struct Wishart {
+    dof: f64,
+    chol_scale: Cholesky,
+    dim: usize,
+}
+
+impl Wishart {
+    /// Creates the distribution. Requires `scale` SPD and `dof > dim - 1`.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] for insufficient degrees of
+    /// freedom; factorization errors for non-SPD scale.
+    pub fn new(scale: &Matrix, dof: f64) -> Result<Self> {
+        let chol_scale = Cholesky::factor(scale)?;
+        let dim = chol_scale.dim();
+        if dof <= dim as f64 - 1.0 {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("Wishart dof {dof} must exceed dim-1 = {}", dim - 1),
+            });
+        }
+        Ok(Self {
+            dof,
+            chol_scale,
+            dim,
+        })
+    }
+
+    /// Matrix dimension `D`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Degrees of freedom `ν`.
+    #[must_use]
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Expected value `E[Λ] = ν S`.
+    #[must_use]
+    pub fn mean(&self) -> Matrix {
+        self.chol_scale.reconstruct().scale(self.dof)
+    }
+
+    /// Draws a precision matrix via the Bartlett decomposition.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Matrix {
+        let d = self.dim;
+        let mut a = Matrix::zeros(d, d);
+        for i in 0..d {
+            a[(i, i)] = sample_chi_square(rng, self.dof - i as f64).sqrt();
+            for j in 0..i {
+                a[(i, j)] = sample_std_normal(rng);
+            }
+        }
+        let la = self
+            .chol_scale
+            .l()
+            .matmul(&a)
+            .expect("square by construction");
+        let mut w = la.matmul(&la.transpose()).expect("square by construction");
+        w.symmetrize().expect("square by construction");
+        w
+    }
+
+    /// Log-density at an SPD matrix `x`:
+    ///
+    /// `((ν−D−1)/2) ln|X| − tr(S^{-1} X)/2 − (νD/2) ln 2 − (ν/2) ln|S| − ln Γ_D(ν/2)`.
+    ///
+    /// # Errors
+    /// Factorization errors if `x` is not SPD or shapes mismatch.
+    pub fn log_pdf(&self, x: &Matrix) -> Result<f64> {
+        if x.shape() != (self.dim, self.dim) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "wishart_log_pdf",
+                lhs: (self.dim, self.dim),
+                rhs: x.shape(),
+            });
+        }
+        let chol_x = Cholesky::factor(x)?;
+        let d = self.dim as f64;
+        let nu = self.dof;
+        // tr(S^{-1} X) via solves: sum_j (S^{-1} X)_{jj}.
+        let s_inv = self.chol_scale.inverse();
+        let tr = s_inv.matmul(x)?.trace()?;
+        Ok(0.5 * (nu - d - 1.0) * chol_x.log_det()
+            - 0.5 * tr
+            - 0.5 * nu * d * std::f64::consts::LN_2
+            - 0.5 * nu * self.chol_scale.log_det()
+            - ln_multigamma(self.dim, nu / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn sample_mean_matches_nu_s() {
+        let mut r = rng();
+        let scale = Matrix::from_rows_vec(2, 2, vec![0.5, 0.1, 0.1, 0.3]).unwrap();
+        let w = Wishart::new(&scale, 5.0).unwrap();
+        let n = 20_000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            acc.axpy(1.0 / n as f64, &w.sample(&mut r)).unwrap();
+        }
+        let mean = w.mean();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (acc[(i, j)] - mean[(i, j)]).abs() < 0.05,
+                    "({i},{j}): got {} want {}",
+                    acc[(i, j)],
+                    mean[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_spd() {
+        let mut r = rng();
+        let w = Wishart::new(&Matrix::identity(3), 4.0).unwrap();
+        for _ in 0..100 {
+            let s = w.sample(&mut r);
+            assert!(Cholesky::factor(&s).is_ok());
+            assert!(s.asymmetry().unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_dim_reduces_to_gamma() {
+        // W(λ | s, ν) in 1-D is Gamma(shape ν/2, scale 2s).
+        let mut r = rng();
+        let s = 0.7;
+        let nu = 6.0;
+        let w = Wishart::new(&Matrix::from_diag(&[s]), nu).unwrap();
+        let n = 40_000;
+        let mut mean = 0.0;
+        for _ in 0..n {
+            mean += w.sample(&mut r)[(0, 0)] / n as f64;
+        }
+        assert!((mean - nu * s).abs() < 0.06, "mean={mean}");
+    }
+
+    #[test]
+    fn log_pdf_one_dim_matches_gamma_density() {
+        // Cross-check the normalizer against the 1-D gamma density.
+        let s = 0.5;
+        let nu = 5.0;
+        let w = Wishart::new(&Matrix::from_diag(&[s]), nu).unwrap();
+        let x = 2.3;
+        let lp = w.log_pdf(&Matrix::from_diag(&[x])).unwrap();
+        // Gamma(shape=ν/2, scale=2s) log-density:
+        let shape = nu / 2.0;
+        let scale = 2.0 * s;
+        let expect = (shape - 1.0) * x.ln()
+            - x / scale
+            - shape * scale.ln()
+            - crate::special::ln_gamma(shape);
+        assert!(approx_eq(lp, expect, 1e-10), "lp={lp} expect={expect}");
+    }
+
+    #[test]
+    fn insufficient_dof_rejected() {
+        let scale = Matrix::identity(3);
+        assert!(Wishart::new(&scale, 1.5).is_err());
+        assert!(Wishart::new(&scale, 2.5).is_ok());
+    }
+
+    #[test]
+    fn log_pdf_shape_mismatch() {
+        let w = Wishart::new(&Matrix::identity(2), 3.0).unwrap();
+        assert!(w.log_pdf(&Matrix::identity(3)).is_err());
+    }
+}

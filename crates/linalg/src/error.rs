@@ -1,0 +1,99 @@
+//! Error type shared by all numerical routines in this crate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra and sampling routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operands have incompatible shapes, e.g. multiplying a `3×2` by a `4×4`.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not (numerically)
+    /// symmetric positive definite. Carries the pivot index where the
+    /// factorization broke down.
+    NotPositiveDefinite {
+        /// Index of the leading minor that is not positive.
+        pivot: usize,
+    },
+    /// LU factorization hit an (effectively) zero pivot: the matrix is
+    /// singular to working precision.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// A parameter was outside its mathematical domain (e.g. a Wishart with
+    /// fewer degrees of freedom than dimensions, a Dirichlet with a
+    /// non-positive concentration).
+    InvalidParameter {
+        /// What was wrong.
+        what: String,
+    },
+    /// An empty input where at least one element was required.
+    Empty {
+        /// The operation that required non-empty input.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Self::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            Self::NotPositiveDefinite { pivot } => write!(
+                f,
+                "matrix is not positive definite (failure at pivot {pivot})"
+            ),
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            Self::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            Self::Empty { op } => write!(f, "empty input to {op}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (3, 2),
+            rhs: (4, 4),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("3x2"));
+        assert!(s.contains("4x4"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Singular { pivot: 1 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Kullback-Leibler divergences used by the topic ↔ rheology linkage.
+//!
+//! The paper links each empirical food-science setting (a point in gel
+//! concentration space) to its most similar topic (a Gaussian) and ranks
+//! recipes within a topic by the divergence of their emulsion concentration
+//! profiles. Three forms are needed:
+//!
+//! * [`kl_gaussian`] — closed-form KL between two multivariate normals;
+//! * [`kl_point_gaussian`] — KL from a narrow "measurement" Gaussian
+//!   centred on an empirical setting to a topic Gaussian, the form used for
+//!   Table II(a)'s last column (equivalently, a regularized Mahalanobis
+//!   score);
+//! * [`kl_discrete`] — smoothed discrete KL between normalized
+//!   concentration profiles, used to rank recipes by emulsion similarity
+//!   (Fig. 3 / Fig. 4).
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// KL divergence `KL(N₀ ‖ N₁)` between multivariate normals given by
+/// `(μ₀, Σ₀)` and `(μ₁, Σ₁)`:
+///
+/// `½ [ tr(Σ₁⁻¹ Σ₀) + (μ₁−μ₀)ᵀ Σ₁⁻¹ (μ₁−μ₀) − D + ln(|Σ₁|/|Σ₀|) ]`.
+///
+/// # Errors
+/// Shape mismatches or non-SPD covariances.
+pub fn kl_gaussian(mu0: &Vector, cov0: &Matrix, mu1: &Vector, cov1: &Matrix) -> Result<f64> {
+    let d = mu0.len();
+    if mu1.len() != d || cov0.shape() != (d, d) || cov1.shape() != (d, d) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "kl_gaussian",
+            lhs: (d, 1),
+            rhs: (mu1.len(), 1),
+        });
+    }
+    let ch0 = Cholesky::factor(cov0)?;
+    let ch1 = Cholesky::factor(cov1)?;
+    let cov1_inv = ch1.inverse();
+    let tr = cov1_inv.matmul(cov0)?.trace()?;
+    let diff = mu1.sub(mu0)?;
+    let maha = ch1.mahalanobis_sq(&diff)?;
+    Ok(0.5 * (tr + maha - d as f64 + ch1.log_det() - ch0.log_det()))
+}
+
+/// KL from a narrow measurement Gaussian `N(x, ε²I)` at a point `x` to the
+/// topic Gaussian `N(μ, Σ)`. As `ε → 0` this is dominated by
+/// `½ (x−μ)ᵀ Σ⁻¹ (x−μ) + ½ ln|Σ|` (up to constants shared across topics),
+/// so ranking by this score ranks topics by likelihood of the setting.
+///
+/// # Errors
+/// Shape mismatches or a non-SPD covariance.
+pub fn kl_point_gaussian(x: &Vector, mu: &Vector, cov: &Matrix, eps: f64) -> Result<f64> {
+    if eps <= 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            what: format!("measurement width eps {eps} must be positive"),
+        });
+    }
+    let d = x.len();
+    let point_cov = Matrix::scaled_identity(d, eps * eps);
+    kl_gaussian(x, &point_cov, mu, cov)
+}
+
+/// Smoothed discrete KL divergence between two non-negative profiles.
+///
+/// # Examples
+/// ```
+/// use rheotex_linalg::{kl::kl_discrete, Vector};
+///
+/// let p = Vector::new(vec![0.5, 0.5]);
+/// let q = Vector::new(vec![0.9, 0.1]);
+/// assert!(kl_discrete(&p, &q, 0.0).unwrap() > 0.0);
+/// assert!(kl_discrete(&p, &p, 0.0).unwrap().abs() < 1e-12);
+/// ```
+///
+/// Both inputs are normalized to the simplex after adding `smoothing` to
+/// every component (so zero components — e.g. a recipe using no yogurt —
+/// contribute finitely). This is how recipes are ranked by emulsion
+/// similarity to a reference dish.
+///
+/// # Errors
+/// [`LinalgError::ShapeMismatch`] for different lengths;
+/// [`LinalgError::InvalidParameter`] for negative entries or non-positive
+/// smoothing with zero entries present.
+pub fn kl_discrete(p: &Vector, q: &Vector, smoothing: f64) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "kl_discrete",
+            lhs: (p.len(), 1),
+            rhs: (q.len(), 1),
+        });
+    }
+    if smoothing < 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            what: format!("smoothing {smoothing} must be non-negative"),
+        });
+    }
+    if p.iter().any(|&x| x < 0.0) || q.iter().any(|&x| x < 0.0) {
+        return Err(LinalgError::InvalidParameter {
+            what: "profiles must be non-negative".to_string(),
+        });
+    }
+    let ps = p.map(|x| x + smoothing).normalized()?;
+    let qs = q.map(|x| x + smoothing).normalized()?;
+    let mut kl = 0.0;
+    for (pi, qi) in ps.iter().zip(qs.iter()) {
+        if *pi > 0.0 {
+            if *qi <= 0.0 {
+                return Err(LinalgError::InvalidParameter {
+                    what: "q has a zero where p is positive; use smoothing > 0".to_string(),
+                });
+            }
+            kl += pi * (pi / qi).ln();
+        }
+    }
+    // Rounding can produce tiny negative values for near-identical inputs.
+    Ok(kl.max(0.0))
+}
+
+/// Symmetrized Jensen–Shannon divergence between two non-negative profiles
+/// (smoothed as in [`kl_discrete`]). Bounded by `ln 2`.
+///
+/// # Errors
+/// Same conditions as [`kl_discrete`].
+pub fn js_divergence(p: &Vector, q: &Vector, smoothing: f64) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "js_divergence",
+            lhs: (p.len(), 1),
+            rhs: (q.len(), 1),
+        });
+    }
+    let ps = p.map(|x| x + smoothing).normalized()?;
+    let qs = q.map(|x| x + smoothing).normalized()?;
+    let m = ps.add(&qs)?.scale(0.5);
+    Ok(0.5 * kl_discrete(&ps, &m, 0.0)? + 0.5 * kl_discrete(&qs, &m, 0.0)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn gaussian_kl_is_zero_for_identical() {
+        let mu = Vector::new(vec![1.0, 2.0]);
+        let cov = Matrix::from_rows_vec(2, 2, vec![2.0, 0.3, 0.3, 1.0]).unwrap();
+        let kl = kl_gaussian(&mu, &cov, &mu, &cov).unwrap();
+        assert!(kl.abs() < 1e-10, "kl={kl}");
+    }
+
+    #[test]
+    fn gaussian_kl_univariate_closed_form() {
+        // KL(N(m0,s0²) || N(m1,s1²)) = ln(s1/s0) + (s0² + (m0−m1)²)/(2 s1²) − ½
+        let (m0, s0, m1, s1) = (1.0_f64, 2.0_f64, 3.0_f64, 1.5_f64);
+        let kl = kl_gaussian(
+            &Vector::new(vec![m0]),
+            &Matrix::from_diag(&[s0 * s0]),
+            &Vector::new(vec![m1]),
+            &Matrix::from_diag(&[s1 * s1]),
+        )
+        .unwrap();
+        let expect = (s1 / s0).ln() + (s0 * s0 + (m0 - m1) * (m0 - m1)) / (2.0 * s1 * s1) - 0.5;
+        assert!(approx_eq(kl, expect, 1e-10));
+    }
+
+    #[test]
+    fn gaussian_kl_nonnegative_and_asymmetric() {
+        let mu0 = Vector::new(vec![0.0, 0.0]);
+        let mu1 = Vector::new(vec![1.0, -1.0]);
+        let c0 = Matrix::from_diag(&[1.0, 1.0]);
+        let c1 = Matrix::from_diag(&[0.5, 2.0]);
+        let ab = kl_gaussian(&mu0, &c0, &mu1, &c1).unwrap();
+        let ba = kl_gaussian(&mu1, &c1, &mu0, &c0).unwrap();
+        assert!(ab > 0.0 && ba > 0.0);
+        assert!((ab - ba).abs() > 1e-6, "KL should be asymmetric here");
+    }
+
+    #[test]
+    fn point_gaussian_ranks_by_proximity() {
+        let cov = Matrix::from_diag(&[1.0, 1.0]);
+        let near = Vector::new(vec![0.1, 0.0]);
+        let far = Vector::new(vec![3.0, 3.0]);
+        let mu = Vector::zeros(2);
+        let kn = kl_point_gaussian(&near, &mu, &cov, 1e-3).unwrap();
+        let kf = kl_point_gaussian(&far, &mu, &cov, 1e-3).unwrap();
+        assert!(kn < kf);
+        assert!(kl_point_gaussian(&near, &mu, &cov, 0.0).is_err());
+    }
+
+    #[test]
+    fn discrete_kl_zero_for_identical() {
+        let p = Vector::new(vec![0.2, 0.3, 0.5]);
+        assert!(kl_discrete(&p, &p, 0.0).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_kl_known_value() {
+        let p = Vector::new(vec![0.5, 0.5]);
+        let q = Vector::new(vec![0.9, 0.1]);
+        let expect = 0.5 * (0.5_f64 / 0.9).ln() + 0.5 * (0.5_f64 / 0.1).ln();
+        assert!(approx_eq(kl_discrete(&p, &q, 0.0).unwrap(), expect, 1e-12));
+    }
+
+    #[test]
+    fn discrete_kl_smoothing_handles_zeros() {
+        let p = Vector::new(vec![1.0, 0.0]);
+        let q = Vector::new(vec![0.0, 1.0]);
+        assert!(kl_discrete(&p, &q, 0.0).is_err());
+        let kl = kl_discrete(&p, &q, 1e-6).unwrap();
+        assert!(kl.is_finite() && kl > 0.0);
+    }
+
+    #[test]
+    fn discrete_kl_accepts_unnormalized() {
+        // Scaling both profiles must not change the divergence.
+        let p = Vector::new(vec![2.0, 3.0, 5.0]);
+        let q = Vector::new(vec![1.0, 1.0, 1.0]);
+        let a = kl_discrete(&p, &q, 0.0).unwrap();
+        let b = kl_discrete(&p.scale(7.0), &q.scale(0.1), 0.0).unwrap();
+        assert!(approx_eq(a, b, 1e-12));
+    }
+
+    #[test]
+    fn js_bounded_and_symmetric() {
+        let p = Vector::new(vec![1.0, 0.0]);
+        let q = Vector::new(vec![0.0, 1.0]);
+        let js = js_divergence(&p, &q, 1e-9).unwrap();
+        assert!(js <= std::f64::consts::LN_2 + 1e-9);
+        let js_rev = js_divergence(&q, &p, 1e-9).unwrap();
+        assert!(approx_eq(js, js_rev, 1e-12));
+    }
+
+    #[test]
+    fn rejects_negative_profiles() {
+        let p = Vector::new(vec![-0.1, 1.1]);
+        let q = Vector::new(vec![0.5, 0.5]);
+        assert!(kl_discrete(&p, &q, 0.0).is_err());
+    }
+}

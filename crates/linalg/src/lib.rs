@@ -1,0 +1,79 @@
+//! Small dense linear algebra and probability toolkit for `rheotex`.
+//!
+//! The joint topic model of the paper works with low-dimensional Gaussian
+//! components (3-dimensional gel concentration vectors, 6-dimensional
+//! emulsion concentration vectors), Dirichlet-multinomial word components,
+//! and Normal-Wishart conjugate priors. This crate provides exactly the
+//! numerical substrate those require, implemented from scratch:
+//!
+//! * [`Matrix`] / [`Vector`] — dense row-major matrices and vectors with the
+//!   usual arithmetic, sized for the D ≤ 16 regime the model lives in.
+//! * [`Cholesky`] and [`Lu`] — factorizations with solve / inverse /
+//!   (log-)determinant, the workhorses of every Gaussian density evaluation.
+//! * [`special`] — log-gamma, digamma, and the multivariate log-gamma
+//!   function needed by Wishart and Student-t normalizing constants.
+//! * [`dist`] — samplers (gamma, chi-square, Dirichlet, categorical,
+//!   multivariate normal, Wishart via the Bartlett decomposition) and
+//!   densities (multivariate normal and multivariate Student-t), plus the
+//!   [`dist::NormalWishart`] conjugate prior with closed-form posterior
+//!   updates used by Gibbs sweeps.
+//! * [`kl`] — Kullback-Leibler divergences (Gaussian/Gaussian, point/Gaussian
+//!   and discrete) used for the topic ↔ rheology linkage.
+//! * [`moments`] — numerically stable running mean / covariance
+//!   accumulators (Welford) used to maintain per-topic sufficient statistics.
+//!
+//! Everything is deterministic given an RNG seed; the crate takes `rand::Rng`
+//! generically so callers can drive it with `rand_chacha::ChaCha8Rng` for
+//! reproducible experiments.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cholesky;
+pub mod dist;
+pub mod error;
+pub mod kl;
+pub mod lu;
+pub mod matrix;
+pub mod moments;
+pub mod special;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Relative tolerance used by approximate comparisons in tests and
+/// convergence checks. Chosen loose enough for accumulated f64 rounding over
+/// the small (D ≤ 16) systems this crate targets.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are within `tol` of each other, relative to
+/// the larger magnitude (absolute near zero).
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-6, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.001e12, 1e-9));
+    }
+}

@@ -1,0 +1,227 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for determinants and inverses of general (not necessarily
+//! positive-definite) square matrices — e.g. validating scatter-matrix
+//! updates and computing signed determinants in diagnostics. SPD paths
+//! should prefer [`crate::Cholesky`], which is roughly twice as fast and
+//! numerically safer.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Pivot threshold below which a matrix is declared singular.
+const PIVOT_EPS: f64 = 1e-13;
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part is `L` (unit diagonal implied),
+    /// upper part including diagonal is `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the source row of output row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1), for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::Singular`] if a pivot underflows `PIVOT_EPS` (1e-13) relative
+    /// to the matrix scale.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        a.require_square()?;
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1.0);
+
+        for col in 0..n {
+            // Find pivot row.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS * scale {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let inv_pivot = 1.0 / lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] * inv_pivot;
+                lu[(r, col)] = factor;
+                for j in (col + 1)..n {
+                    let sub = factor * lu[(col, j)];
+                    lu[(r, j)] -= sub;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Determinant of the original matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Natural log of `|det|` together with its sign (`+1.0` / `-1.0`).
+    #[must_use]
+    pub fn log_abs_det(&self) -> (f64, f64) {
+        let mut log = 0.0;
+        let mut sign = self.sign;
+        for i in 0..self.dim() {
+            let d = self.lu[(i, i)];
+            log += d.abs().ln();
+            if d < 0.0 {
+                sign = -sign;
+            }
+        }
+        (log, sign)
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
+        for i in 0..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Full inverse of the original matrix.
+    #[must_use]
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            let col = self.solve(&e).expect("dimension verified");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn det_of_known_matrix() {
+        // det = 1*(4*6-5*5) - 2*(2*6-5*3) + 3*(2*5-4*3) = -1 - 2*(-3) + 3*(-2) = -1
+        let a =
+            Matrix::from_rows_vec(3, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 5.0, 3.0, 5.0, 6.0]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!(approx_eq(lu.det(), -1.0, 1e-10));
+        let (log, sign) = lu.log_abs_det();
+        assert!(approx_eq(log, 0.0, 1e-10));
+        assert_eq!(sign, -1.0);
+    }
+
+    #[test]
+    fn solve_matches() {
+        let a = Matrix::from_rows_vec(2, 2, vec![0.0, 2.0, 3.0, 1.0]).unwrap();
+        // Requires pivoting (zero leading entry).
+        let lu = Lu::factor(&a).unwrap();
+        let b = Vector::new(vec![4.0, 5.0]);
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!(approx_eq(ax[0], 4.0, 1e-12));
+        assert!(approx_eq(ax[1], 5.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a =
+            Matrix::from_rows_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]).unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], expect, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn permutation_sign_counted() {
+        // A permutation matrix swapping two rows has det -1.
+        let a = Matrix::from_rows_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(approx_eq(Lu::factor(&a).unwrap().det(), -1.0, 1e-12));
+    }
+}

@@ -1,0 +1,510 @@
+//! Dense row-major `f64` matrices.
+//!
+//! Sized and tuned for the small systems of the joint topic model (gel
+//! covariances are 3×3, emulsion covariances 6×6), so all algorithms are
+//! straightforward O(n³) textbook implementations without blocking — at
+//! these dimensions that is both the simplest and the fastest choice.
+
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_rows_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_rows_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if rows have unequal lengths
+    /// and [`LinalgError::Empty`] if there are no rows.
+    pub fn from_nested(rows: &[&[f64]]) -> Result<Self> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(LinalgError::Empty { op: "from_nested" });
+        }
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_nested",
+                    lhs: (r, c),
+                    rhs: (1, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from the given diagonal entries.
+    #[must_use]
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Scaled identity `alpha * I` of size `n`.
+    #[must_use]
+    pub fn scaled_identity(n: usize, alpha: f64) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = alpha;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != ncols`.
+    pub fn matvec(&self, v: &Vector) -> Result<Vector> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for (a, b) in self.row(i).iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Quadratic form `v^T * self * v`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::ShapeMismatch`].
+    pub fn quadratic_form(&self, v: &Vector) -> Result<f64> {
+        self.require_square()?;
+        let mv = self.matvec(v)?;
+        v.dot(&mv)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.check_same_shape(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// `self += alpha * other` in place.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Self) -> Result<()> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    #[must_use]
+    pub fn scale(&self, alpha: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * alpha).collect(),
+        }
+    }
+
+    /// Outer product `u * v^T`.
+    #[must_use]
+    pub fn outer(u: &Vector, v: &Vector) -> Self {
+        let mut m = Self::zeros(u.len(), v.len());
+        for i in 0..u.len() {
+            let ui = u[i];
+            for j in 0..v.len() {
+                m[(i, j)] = ui * v[j];
+            }
+        }
+        m
+    }
+
+    /// Adds `alpha * v v^T` to `self` in place (symmetric rank-1 update).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] / [`LinalgError::ShapeMismatch`].
+    pub fn rank1_update(&mut self, alpha: f64, v: &Vector) -> Result<()> {
+        self.require_square()?;
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank1_update",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        for i in 0..self.rows {
+            let vi = alpha * v[i];
+            for j in 0..self.cols {
+                self[(i, j)] += vi * v[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn trace(&self) -> Result<f64> {
+        self.require_square()?;
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Diagonal as a vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn diag(&self) -> Result<Vector> {
+        self.require_square()?;
+        Ok((0..self.rows).map(|i| self[(i, i)]).collect())
+    }
+
+    /// Maximum absolute deviation from symmetry, `max |A - A^T|`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn asymmetry(&self) -> Result<f64> {
+        self.require_square()?;
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Replaces `self` with `(self + self^T) / 2`, forcing exact symmetry.
+    /// Used after accumulating scatter matrices to kill rounding drift.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn symmetrize(&mut self) -> Result<()> {
+        self.require_square()?;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let m = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    pub(crate) fn require_square(&self) -> Result<()> {
+        if self.is_square() {
+            Ok(())
+        } else {
+            Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            })
+        }
+    }
+
+    fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.shape() == other.shape() {
+            Ok(())
+        } else {
+            Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            })
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_rows_vec(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_and_quadratic_form() {
+        let a = m2(2.0, 0.0, 0.0, 3.0);
+        let v = Vector::new(vec![1.0, 2.0]);
+        let av = a.matvec(&v).unwrap();
+        assert_eq!(av.as_slice(), &[2.0, 6.0]);
+        assert!(approx_eq(a.quadratic_form(&v).unwrap(), 14.0, 1e-12));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn outer_and_rank1() {
+        let u = Vector::new(vec![1.0, 2.0]);
+        let v = Vector::new(vec![3.0, 4.0]);
+        let o = Matrix::outer(&u, &v);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+
+        let mut m = Matrix::identity(2);
+        m.rank1_update(2.0, &u).unwrap();
+        assert_eq!(m.as_slice(), &[3.0, 4.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn trace_diag_symmetry() {
+        let a = m2(1.0, 2.0, 2.0, 5.0);
+        assert!(approx_eq(a.trace().unwrap(), 6.0, 1e-12));
+        assert_eq!(a.diag().unwrap().as_slice(), &[1.0, 5.0]);
+        assert_eq!(a.asymmetry().unwrap(), 0.0);
+
+        let mut b = m2(1.0, 2.0, 4.0, 5.0);
+        assert!(b.asymmetry().unwrap() > 0.0);
+        b.symmetrize().unwrap();
+        assert_eq!(b.asymmetry().unwrap(), 0.0);
+        assert_eq!(b[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn from_nested_validates() {
+        assert!(Matrix::from_nested(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert!(Matrix::from_nested(&[]).is_err());
+        let m = Matrix::from_nested(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn square_checks() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(rect.trace().is_err());
+        assert!(rect.diag().is_err());
+        assert!(rect.clone().symmetrize().is_err());
+    }
+
+    #[test]
+    fn from_diag_scaled_identity() {
+        let d = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(d.as_slice(), &[2.0, 0.0, 0.0, 3.0]);
+        let s = Matrix::scaled_identity(2, 7.0);
+        assert_eq!(s.as_slice(), &[7.0, 0.0, 0.0, 7.0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Numerically stable running moments.
+//!
+//! [`RunningMoments`] (scalar, Welford) backs convergence diagnostics of
+//! the Gibbs chains; [`RunningVectorMoments`] summarizes posterior samples
+//! of topic means collected across sweeps.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Welford accumulator for scalar mean and variance.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Running mean and covariance of vector observations (Welford-style).
+#[derive(Debug, Clone)]
+pub struct RunningVectorMoments {
+    n: u64,
+    mean: Vector,
+    /// Sum of outer products of deviations, `Σ (x−μ_t)(x−μ_{t-1})ᵀ`.
+    m2: Matrix,
+}
+
+impl RunningVectorMoments {
+    /// Empty accumulator for `dim`-dimensional observations.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            n: 0,
+            mean: Vector::zeros(dim),
+            m2: Matrix::zeros(dim, dim),
+        }
+    }
+
+    /// Dimension of the observations.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] for wrong dimension.
+    pub fn add(&mut self, x: &Vector) -> Result<()> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "running_vector_add",
+                lhs: (self.dim(), 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        self.n += 1;
+        let delta_pre = x.sub(&self.mean)?;
+        self.mean.axpy(1.0 / self.n as f64, &delta_pre)?;
+        let delta_post = x.sub(&self.mean)?;
+        // m2 += delta_pre * delta_post^T (made symmetric below on read)
+        for i in 0..self.dim() {
+            for j in 0..self.dim() {
+                self.m2[(i, j)] += delta_pre[i] * delta_post[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// Current mean.
+    #[must_use]
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Unbiased sample covariance (zero matrix with fewer than two
+    /// observations).
+    #[must_use]
+    pub fn covariance(&self) -> Matrix {
+        if self.n < 2 {
+            return Matrix::zeros(self.dim(), self.dim());
+        }
+        let mut cov = self.m2.scale(1.0 / (self.n - 1) as f64);
+        cov.symmetrize().expect("square by construction");
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn scalar_moments_match_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.add(x);
+        }
+        assert!(approx_eq(m.mean(), 5.0, 1e-12));
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!(approx_eq(m.variance(), 32.0 / 7.0, 1e-12));
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn scalar_merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, -4.0, 0.5];
+        let mut all = RunningMoments::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &xs[..3] {
+            a.add(x);
+        }
+        for &x in &xs[3..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert!(approx_eq(a.mean(), all.mean(), 1e-12));
+        assert!(approx_eq(a.variance(), all.variance(), 1e-12));
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningMoments::new();
+        a.add(1.0);
+        a.add(3.0);
+        let before = (a.mean(), a.variance());
+        a.merge(&RunningMoments::new());
+        assert_eq!((a.mean(), a.variance()), before);
+
+        let mut empty = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        b.add(5.0);
+        empty.merge(&b);
+        assert_eq!(empty.mean(), 5.0);
+    }
+
+    #[test]
+    fn vector_moments_match_direct() {
+        let data = [
+            Vector::new(vec![1.0, 2.0]),
+            Vector::new(vec![3.0, 0.0]),
+            Vector::new(vec![2.0, 4.0]),
+            Vector::new(vec![0.0, 2.0]),
+        ];
+        let mut m = RunningVectorMoments::new(2);
+        for x in &data {
+            m.add(x).unwrap();
+        }
+        assert!(approx_eq(m.mean()[0], 1.5, 1e-12));
+        assert!(approx_eq(m.mean()[1], 2.0, 1e-12));
+        // Direct covariance
+        let cov = m.covariance();
+        // var(x) = ((1-1.5)²+(3-1.5)²+(2-1.5)²+(0-1.5)²)/3 = (0.25+2.25+0.25+2.25)/3
+        assert!(approx_eq(cov[(0, 0)], 5.0 / 3.0, 1e-12));
+        // var(y) = (0+4+4+0)/3
+        assert!(approx_eq(cov[(1, 1)], 8.0 / 3.0, 1e-12));
+        assert!(approx_eq(cov[(0, 1)], cov[(1, 0)], 1e-15));
+    }
+
+    #[test]
+    fn vector_moments_dimension_check() {
+        let mut m = RunningVectorMoments::new(2);
+        assert!(m.add(&Vector::zeros(3)).is_err());
+        assert_eq!(m.covariance().shape(), (2, 2));
+    }
+}

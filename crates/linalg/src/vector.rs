@@ -1,0 +1,340 @@
+//! Dense `f64` vectors.
+//!
+//! [`Vector`] is a thin newtype over `Vec<f64>` with the arithmetic the
+//! topic model needs: dot products, axpy updates, norms, and element-wise
+//! transforms. Operations that combine two vectors check lengths and return
+//! [`LinalgError::ShapeMismatch`] rather than panicking, because mismatches
+//! in model code are data bugs we want surfaced as errors.
+
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense vector of `f64`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Creates a vector from raw data.
+    #[must_use]
+    pub fn new(data: Vec<f64>) -> Self {
+        Self(data)
+    }
+
+    /// Creates a zero vector of length `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self(vec![0.0; n])
+    }
+
+    /// Creates a vector of length `n` filled with `value`.
+    #[must_use]
+    pub fn full(n: usize, value: f64) -> Self {
+        Self(vec![value; n])
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+
+    /// Dot product `self · other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Self) -> Result<f64> {
+        self.check_same_len(other, "dot")?;
+        Ok(self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum())
+    }
+
+    /// `self += alpha * other` (the BLAS `axpy` update).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Self) -> Result<()> {
+        self.check_same_len(other, "axpy")?;
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.check_same_len(other, "add")?;
+        Ok(Self(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        ))
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.check_same_len(other, "sub")?;
+        Ok(Self(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        ))
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    #[must_use]
+    pub fn scale(&self, alpha: f64) -> Self {
+        Self(self.0.iter().map(|a| a * alpha).collect())
+    }
+
+    /// Scales in place by `alpha`.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for a in &mut self.0 {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Euclidean (L2) norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    #[must_use]
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|a| a.abs()).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty vector.
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        self.0.iter().fold(0.0_f64, |m, a| m.max(a.abs()))
+    }
+
+    /// Applies `f` element-wise, returning a new vector.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self(self.0.iter().map(|&a| f(a)).collect())
+    }
+
+    /// Index of the maximum element. Ties break to the first occurrence.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Empty`] for an empty vector.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.0.is_empty() {
+            return Err(LinalgError::Empty { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, &v) in self.0.iter().enumerate() {
+            if v > self.0[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Normalizes the vector to sum to 1 (probability simplex projection for
+    /// non-negative inputs).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidParameter`] if the sum is not positive
+    /// and finite.
+    pub fn normalized(&self) -> Result<Self> {
+        let s = self.sum();
+        if !(s.is_finite() && s > 0.0) {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("cannot normalize vector with sum {s}"),
+            });
+        }
+        Ok(self.scale(1.0 / s))
+    }
+
+    /// Cosine similarity with `other`, in `[-1, 1]`. Returns 0 when either
+    /// vector has zero norm.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if lengths differ.
+    pub fn cosine(&self, other: &Self) -> Result<f64> {
+        let d = self.dot(other)?;
+        let n = self.norm() * other.norm();
+        if n == 0.0 {
+            Ok(0.0)
+        } else {
+            Ok((d / n).clamp(-1.0, 1.0))
+        }
+    }
+
+    fn check_same_len(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.len() == other.len() {
+            Ok(())
+        } else {
+            Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: (self.len(), 1),
+                rhs: (other.len(), 1),
+            })
+        }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Self(v)
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Self(v.to_vec())
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::new(vec![1.0, 2.0, 3.0]);
+        let b = Vector::new(vec![4.0, -5.0, 6.0]);
+        assert!(approx_eq(a.dot(&b).unwrap(), 12.0, 1e-12));
+    }
+
+    #[test]
+    fn dot_shape_mismatch() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(4);
+        assert!(matches!(
+            a.dot(&b),
+            Err(LinalgError::ShapeMismatch { op: "dot", .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Vector::new(vec![1.0, 1.0]);
+        let b = Vector::new(vec![2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::new(vec![3.0, -4.0]);
+        assert!(approx_eq(v.norm(), 5.0, 1e-12));
+        assert!(approx_eq(v.norm_l1(), 7.0, 1e-12));
+        assert!(approx_eq(v.norm_inf(), 4.0, 1e-12));
+    }
+
+    #[test]
+    fn argmax_ties_break_first() {
+        let v = Vector::new(vec![1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(v.argmax().unwrap(), 1);
+        assert!(matches!(
+            Vector::zeros(0).argmax(),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let v = Vector::new(vec![2.0, 6.0]);
+        let p = v.normalized().unwrap();
+        assert!(approx_eq(p.sum(), 1.0, 1e-12));
+        assert!(approx_eq(p[0], 0.25, 1e-12));
+    }
+
+    #[test]
+    fn normalized_rejects_zero_sum() {
+        assert!(Vector::zeros(3).normalized().is_err());
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero_norm() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![1.0, 0.0]);
+        assert!(approx_eq(a.cosine(&b).unwrap(), 1.0, 1e-12));
+        let z = Vector::zeros(2);
+        assert_eq!(a.cosine(&z).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let v = Vector::new(vec![1.0, 4.0]);
+        assert_eq!(v.map(f64::sqrt).as_slice(), &[1.0, 2.0]);
+        assert_eq!(v.scale(2.0).as_slice(), &[2.0, 8.0]);
+    }
+}

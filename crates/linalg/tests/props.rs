@@ -1,0 +1,138 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_linalg::dist::{
+    sample_categorical, sample_categorical_log, sample_dirichlet, GaussianStats, NormalWishart,
+};
+use rheotex_linalg::special::{ln_gamma, log_sum_exp};
+use rheotex_linalg::{Cholesky, Lu, Matrix, Vector};
+
+/// Strategy: a random SPD matrix of dimension `dim` built as `L Lᵀ + εI`.
+fn spd(dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0..2.0f64, dim * dim).prop_map(move |data| {
+        let a = Matrix::from_rows_vec(dim, dim, data).unwrap();
+        let mut s = a.matmul(&a.transpose()).unwrap();
+        for i in 0..dim {
+            s[(i, i)] += 0.5 + dim as f64 * 0.1;
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_solve_is_inverse_of_matvec(m in spd(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+        let ch = Cholesky::factor(&m).unwrap();
+        let b = Vector::new(b);
+        let x = ch.solve(&b).unwrap();
+        let back = m.matvec(&x).unwrap();
+        for i in 0..4 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-7, "i={i}: {} vs {}", back[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn cholesky_and_lu_agree_on_log_det(m in spd(3)) {
+        let ch = Cholesky::factor(&m).unwrap();
+        let lu = Lu::factor(&m).unwrap();
+        let (lu_log, sign) = lu.log_abs_det();
+        prop_assert_eq!(sign, 1.0);
+        prop_assert!((ch.log_det() - lu_log).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mahalanobis_is_nonnegative(m in spd(3), v in proptest::collection::vec(-5.0..5.0f64, 3)) {
+        let ch = Cholesky::factor(&m).unwrap();
+        let v = Vector::new(v);
+        prop_assert!(ch.mahalanobis_sq(&v).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn categorical_respects_support(weights in proptest::collection::vec(0.0..10.0f64, 1..12), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let i = sample_categorical(&mut rng, &weights).unwrap();
+        prop_assert!(i < weights.len());
+        prop_assert!(weights[i] > 0.0, "sampled a zero-weight index");
+    }
+
+    #[test]
+    fn categorical_log_matches_support(logits in proptest::collection::vec(-50.0..50.0f64, 1..12), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let i = sample_categorical_log(&mut rng, &logits).unwrap();
+        prop_assert!(i < logits.len());
+    }
+
+    #[test]
+    fn dirichlet_samples_live_on_simplex(alphas in proptest::collection::vec(0.05..8.0f64, 2..8), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = sample_dirichlet(&mut rng, &alphas).unwrap();
+        prop_assert!((p.sum() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn log_sum_exp_dominates_max(xs in proptest::collection::vec(-400.0..400.0f64, 1..10)) {
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn nw_posterior_is_valid_distribution(
+        data in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 2), 0..20),
+        beta in 0.1..5.0f64,
+    ) {
+        let prior = NormalWishart::vague(Vector::zeros(2), beta, 1.0).unwrap();
+        let mut stats = GaussianStats::new(2);
+        for x in &data {
+            stats.add(&Vector::new(x.clone())).unwrap();
+        }
+        let post = prior.posterior(&stats).unwrap();
+        // Posterior parameters remain in their domains whatever the data.
+        prop_assert!(post.beta() > 0.0);
+        prop_assert!(post.nu() > 1.0);
+        // And sampling from it still works (SPD posterior scale).
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = post.sample(&mut rng).unwrap();
+        prop_assert!(g.log_pdf(&Vector::zeros(2)).unwrap().is_finite());
+    }
+
+    #[test]
+    fn stats_mean_is_translation_equivariant(
+        data in proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, 2), 1..15),
+        shift in -10.0..10.0f64,
+    ) {
+        let mut a = GaussianStats::new(2);
+        let mut b = GaussianStats::new(2);
+        for x in &data {
+            a.add(&Vector::new(x.clone())).unwrap();
+            b.add(&Vector::new(x.iter().map(|v| v + shift).collect())).unwrap();
+        }
+        for i in 0..2 {
+            prop_assert!((b.mean()[i] - a.mean()[i] - shift).abs() < 1e-9);
+        }
+        // Centered scatter is translation-invariant.
+        let sa = a.centered_scatter();
+        let sb = b.centered_scatter();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((sa[(i, j)] - sb[(i, j)]).abs() < 1e-6,
+                    "scatter changed under translation");
+            }
+        }
+    }
+}

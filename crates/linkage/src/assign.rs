@@ -1,0 +1,202 @@
+//! Assigning empirical gel settings to topics by KL divergence.
+//!
+//! Paper, Section III-C-4: *"Kullback-Leibler divergence is applied for
+//! deriving most similar topic to the settings of the research. … only
+//! the gel ingredient concentrations are used for the comparison."*
+//!
+//! Each setting (a point in gel-concentration space) is encoded with the
+//! same `−ln` transform the recipes use, wrapped in a narrow measurement
+//! Gaussian, and compared against every topic's gel Gaussian with
+//! [`rheotex_linalg::kl::kl_point_gaussian`]; the topic with the smallest
+//! divergence wins. The same machinery assigns the Table II(b) dishes.
+
+use rheotex_core::FittedJointModel;
+use rheotex_corpus::features::gel_info_vector;
+use rheotex_linalg::kl::kl_point_gaussian;
+use rheotex_linalg::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Width of the measurement Gaussian around an empirical setting
+/// (information-quantity units). Small relative to topic spreads so the
+/// ranking is dominated by the topic Gaussian's likelihood of the setting.
+pub const MEASUREMENT_EPS: f64 = 0.05;
+
+/// The linkage result for one empirical setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettingAssignment {
+    /// Caller-supplied id (Table I row id, or a dish index).
+    pub setting_id: u32,
+    /// Best topic.
+    pub topic: usize,
+    /// KL divergence to the best topic.
+    pub kl: f64,
+    /// KL divergence to every topic (index = topic).
+    pub all_kl: Vec<f64>,
+}
+
+impl SettingAssignment {
+    /// Topics sorted by ascending divergence (best first).
+    #[must_use]
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.all_kl.iter().copied().enumerate().collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+/// Assigns one gel setting (raw concentrations) to its most similar topic.
+///
+/// # Errors
+/// Numerical failures extracting topic Gaussians (should not occur for a
+/// fitted model).
+pub fn assign_setting(
+    model: &FittedJointModel,
+    setting_id: u32,
+    gels: [f64; 3],
+) -> rheotex_core::Result<SettingAssignment> {
+    let x = gel_info_vector(&gels);
+    assign_vector(model, setting_id, &x)
+}
+
+/// Assigns a pre-encoded information-quantity vector to a topic.
+///
+/// # Errors
+/// As [`assign_setting`].
+pub fn assign_vector(
+    model: &FittedJointModel,
+    setting_id: u32,
+    x: &Vector,
+) -> rheotex_core::Result<SettingAssignment> {
+    let k = model.n_topics();
+    let mut all_kl = Vec::with_capacity(k);
+    for kk in 0..k {
+        let g = model.gel_gaussian(kk)?;
+        let cov = g.covariance();
+        let kl = kl_point_gaussian(x, g.mean(), &cov, MEASUREMENT_EPS)
+            .map_err(rheotex_core::ModelError::from)?;
+        all_kl.push(kl);
+    }
+    let (topic, &kl) = all_kl
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("n_topics >= 1");
+    Ok(SettingAssignment {
+        setting_id,
+        topic,
+        kl,
+        all_kl,
+    })
+}
+
+/// Assigns a batch of settings, e.g. all 13 Table I rows.
+///
+/// # Errors
+/// As [`assign_setting`].
+pub fn assign_settings(
+    model: &FittedJointModel,
+    settings: &[(u32, [f64; 3])],
+) -> rheotex_core::Result<Vec<SettingAssignment>> {
+    settings
+        .iter()
+        .map(|&(id, gels)| assign_setting(model, id, gels))
+        .collect()
+}
+
+/// Inverts a batch of assignments into per-topic lists — the "Table I"
+/// column of Table II(a): which empirical rows each topic explains.
+#[must_use]
+pub fn rows_per_topic(assignments: &[SettingAssignment], n_topics: usize) -> Vec<Vec<u32>> {
+    let mut per_topic = vec![Vec::new(); n_topics];
+    for a in assignments {
+        per_topic[a.topic].push(a.setting_id);
+    }
+    per_topic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+    use rheotex_corpus::features::gel_info_vector;
+
+    /// Fits a tiny model with two gel bands: ~2% gelatin and ~1% kanten.
+    fn fitted() -> FittedJointModel {
+        let mut r = ChaCha8Rng::seed_from_u64(19);
+        let docs: Vec<ModelDoc> = (0..80)
+            .map(|i| {
+                let c = i % 2;
+                let jitter = 1.0 + r.gen_range(-0.1..0.1);
+                let gels = if c == 0 {
+                    [0.02 * jitter, 0.0, 0.0]
+                } else {
+                    [0.0, 0.01 * jitter, 0.0]
+                };
+                ModelDoc::new(
+                    i as u64,
+                    vec![c],
+                    gel_info_vector(&gels),
+                    Vector::full(6, 9.2),
+                )
+            })
+            .collect();
+        JointTopicModel::new(JointConfig::quick(2, 2))
+            .unwrap()
+            .fit(&mut ChaCha8Rng::seed_from_u64(20), &docs)
+            .unwrap()
+    }
+
+    #[test]
+    fn settings_map_to_matching_gel_band() {
+        let model = fitted();
+        // A gelatin setting near 2% must pick the gelatin topic; a kanten
+        // setting near 1% the kanten topic.
+        let a = assign_setting(&model, 1, [0.02, 0.0, 0.0]).unwrap();
+        let b = assign_setting(&model, 2, [0.0, 0.01, 0.0]).unwrap();
+        assert_ne!(a.topic, b.topic);
+        // And they should be *strongly* separated.
+        assert!(a.all_kl[b.topic] > a.kl * 2.0);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let model = fitted();
+        let a = assign_setting(&model, 1, [0.02, 0.0, 0.0]).unwrap();
+        let r = a.ranking();
+        assert_eq!(r.len(), 2);
+        assert!(r[0].1 <= r[1].1);
+        assert_eq!(r[0].0, a.topic);
+    }
+
+    #[test]
+    fn batch_assignment_and_inversion() {
+        let model = fitted();
+        let settings = vec![
+            (1, [0.018, 0.0, 0.0]),
+            (2, [0.022, 0.0, 0.0]),
+            (3, [0.0, 0.009, 0.0]),
+        ];
+        let assignments = assign_settings(&model, &settings).unwrap();
+        assert_eq!(assignments.len(), 3);
+        // Rows 1 and 2 (gelatin) share a topic; row 3 (kanten) differs.
+        assert_eq!(assignments[0].topic, assignments[1].topic);
+        assert_ne!(assignments[0].topic, assignments[2].topic);
+
+        let per_topic = rows_per_topic(&assignments, model.n_topics());
+        assert_eq!(per_topic[assignments[0].topic], vec![1, 2]);
+        assert_eq!(per_topic[assignments[2].topic], vec![3]);
+    }
+
+    #[test]
+    fn nearer_settings_have_smaller_kl() {
+        let model = fitted();
+        let near = assign_setting(&model, 1, [0.02, 0.0, 0.0]).unwrap();
+        let far = assign_setting(&model, 2, [0.05, 0.0, 0.0]).unwrap();
+        // Both pick the gelatin topic, but the near one with smaller KL.
+        assert_eq!(near.topic, far.topic);
+        assert!(near.kl < far.kl);
+    }
+}

@@ -1,0 +1,75 @@
+//! Bridging the corpus dataset into model documents.
+
+use rheotex_core::ModelDoc;
+use rheotex_corpus::Dataset;
+
+/// Converts a filtered dataset into model documents: term ids become
+/// vocabulary indices (they already are — the dataset's dictionary is
+/// compact), and the information-quantity vectors pass through.
+#[must_use]
+pub fn dataset_to_docs(dataset: &Dataset) -> Vec<ModelDoc> {
+    dataset
+        .features
+        .iter()
+        .map(|f| {
+            ModelDoc::new(
+                f.id,
+                f.terms.iter().map(|t| t.index()).collect(),
+                f.gel.clone(),
+                f.emulsion.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Returns `(docs, labels)` pairs for recovery scoring; labels are empty
+/// when the dataset has no ground truth.
+#[must_use]
+pub fn docs_with_labels(dataset: &Dataset) -> (Vec<ModelDoc>, Vec<usize>) {
+    (dataset_to_docs(dataset), dataset.labels.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_corpus::synth::{generate, SynthConfig};
+    use rheotex_corpus::{DatasetFilter, IngredientDb};
+    use rheotex_textures::TextureDictionary;
+
+    fn dataset() -> Dataset {
+        let db = IngredientDb::builtin();
+        let dict = TextureDictionary::comprehensive();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let corpus = generate(&mut rng, &SynthConfig::small(150), &db).unwrap();
+        Dataset::build(
+            &corpus.recipes,
+            &corpus.labels,
+            &db,
+            &dict,
+            DatasetFilter::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn docs_align_with_features() {
+        let ds = dataset();
+        let docs = dataset_to_docs(&ds);
+        assert_eq!(docs.len(), ds.len());
+        for (doc, f) in docs.iter().zip(&ds.features) {
+            assert_eq!(doc.id, f.id);
+            assert_eq!(doc.terms.len(), f.terms.len());
+            assert_eq!(doc.gel.len(), 3);
+            assert_eq!(doc.emulsion.len(), 6);
+        }
+    }
+
+    #[test]
+    fn labels_stay_aligned() {
+        let ds = dataset();
+        let (docs, labels) = docs_with_labels(&ds);
+        assert_eq!(docs.len(), labels.len());
+    }
+}

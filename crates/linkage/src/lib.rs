@@ -1,0 +1,36 @@
+//! Topic ↔ rheology linkage (paper Section III-C-4 and Section V).
+//!
+//! Once the joint model has produced topics that pair texture-term
+//! distributions with gel-concentration Gaussians, this crate closes the
+//! loop to quantitative texture:
+//!
+//! * [`encode`] — bridges the corpus crate's [`rheotex_corpus::Dataset`]
+//!   into the model crate's [`rheotex_core::ModelDoc`]s.
+//! * [`assign`] — links each empirical food-science setting (Table I
+//!   rows, Table II(b) dishes) to its most similar topic by KL divergence
+//!   between a narrow measurement Gaussian at the setting and the topic's
+//!   gel Gaussian. This regenerates the last column of Table II(a) and
+//!   the "Assigned topic" column of Table II(b).
+//! * [`dish`] — the within-topic analyses of Section V-B: recipes of the
+//!   assigned topic ranked by discrete KL divergence of emulsion
+//!   concentration profiles against a reference dish, aggregated into the
+//!   Fig. 3 category histograms and the Fig. 4 hardness/cohesiveness
+//!   scatter (with the topic-centroid star).
+//! * [`metrics`] — purity, NMI, and adjusted Rand index against the
+//!   synthetic generator's ground-truth archetypes (extension E7; the
+//!   paper had no ground truth to score against).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod assign;
+pub mod dish;
+pub mod encode;
+pub mod metrics;
+pub mod rules;
+
+pub use assign::{assign_settings, SettingAssignment};
+pub use dish::{fig3_histogram, fig4_scatter, Fig3Bin, Fig4Point, Fig4Scatter};
+pub use encode::{dataset_to_docs, docs_with_labels};
+pub use metrics::{adjusted_rand_index, normalized_mutual_information, purity};
+pub use rules::{mine_term_rules, TermRule};

@@ -1,0 +1,186 @@
+//! Clustering-recovery metrics against ground-truth labels.
+//!
+//! The synthetic corpus knows which archetype generated each recipe, so —
+//! unlike the paper — we can score how well each inference engine recovers
+//! the latent structure. Standard external clustering metrics:
+//!
+//! * [`purity`] — fraction of documents whose cluster's majority truth
+//!   label matches theirs; easy to read, biased toward many clusters.
+//! * [`normalized_mutual_information`] — information-theoretic agreement
+//!   in `[0, 1]`.
+//! * [`adjusted_rand_index`] — pair-counting agreement corrected for
+//!   chance; 0 ≈ random, 1 = perfect.
+
+use std::collections::HashMap;
+
+fn contingency(pred: &[usize], truth: &[usize]) -> HashMap<(usize, usize), usize> {
+    let mut table = HashMap::new();
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        *table.entry((p, t)).or_insert(0) += 1;
+    }
+    table
+}
+
+fn counts(labels: &[usize]) -> HashMap<usize, usize> {
+    let mut c = HashMap::new();
+    for &l in labels {
+        *c.entry(l).or_insert(0) += 1;
+    }
+    c
+}
+
+/// Purity of `pred` against `truth`. Returns 0 for empty input.
+///
+/// # Panics
+/// Panics if the slices have different lengths (caller bug).
+#[must_use]
+pub fn purity(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let table = contingency(pred, truth);
+    let mut best_per_cluster: HashMap<usize, usize> = HashMap::new();
+    for (&(p, _), &n) in &table {
+        let e = best_per_cluster.entry(p).or_insert(0);
+        *e = (*e).max(n);
+    }
+    best_per_cluster.values().sum::<usize>() as f64 / pred.len() as f64
+}
+
+/// Normalized mutual information (arithmetic-mean normalization),
+/// in `[0, 1]`. Returns 0 when either partition has a single class with
+/// zero entropy against a multi-class other; 1 when both are single-class
+/// and identical in structure (degenerate but consistent).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn normalized_mutual_information(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    let n = pred.len() as f64;
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let table = contingency(pred, truth);
+    let cp = counts(pred);
+    let ct = counts(truth);
+    let mut mi = 0.0;
+    for (&(p, t), &npt) in &table {
+        let npt = npt as f64;
+        let np = cp[&p] as f64;
+        let nt = ct[&t] as f64;
+        mi += npt / n * ((npt * n) / (np * nt)).ln();
+    }
+    let entropy = |c: &HashMap<usize, usize>| -> f64 {
+        c.values()
+            .map(|&v| {
+                let f = v as f64 / n;
+                -f * f.ln()
+            })
+            .sum()
+    };
+    let hp = entropy(&cp);
+    let ht = entropy(&ct);
+    let denom = 0.5 * (hp + ht);
+    if denom <= 0.0 {
+        // Both partitions are single-class: identical by construction.
+        return 1.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index. 0 ≈ chance agreement, 1 = identical partitions
+/// (up to relabeling); can be negative for worse-than-chance.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label slices must align");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let table = contingency(pred, truth);
+    let sum_pairs: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_p: f64 = counts(pred).values().map(|&v| choose2(v)).sum();
+    let sum_t: f64 = counts(truth).values().map(|&v| choose2(v)).sum();
+    let total = choose2(n);
+    let expected = sum_p * sum_t / total;
+    let max_index = 0.5 * (sum_p + sum_t);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both partitions degenerate and equal
+    }
+    (sum_pairs - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery_up_to_relabeling() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1]; // same partition, renamed
+        assert_eq!(purity(&pred, &truth), 1.0);
+        assert!((normalized_mutual_information(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_assignment_scores_low() {
+        // Alternating pred vs block truth: no information.
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&pred, &truth).abs() < 0.3);
+        assert!(normalized_mutual_information(&pred, &truth) < 0.1);
+        assert!((purity(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_is_intermediate() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 1, 1]; // one point misplaced
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari > 0.3 && ari < 1.0, "ari {ari}");
+        let nmi = normalized_mutual_information(&pred, &truth);
+        assert!(nmi > 0.3 && nmi < 1.0, "nmi {nmi}");
+        assert!((purity(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_prediction() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert_eq!(purity(&pred, &truth), 0.5);
+        assert!(normalized_mutual_information(&pred, &truth) < 1e-12);
+        assert!(adjusted_rand_index(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_clustering_inflates_purity_but_not_ari() {
+        // Every point its own cluster: purity 1, ARI ≈ 0.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 2, 3];
+        assert_eq!(purity(&pred, &truth), 1.0);
+        assert!(adjusted_rand_index(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        // Both single-class.
+        assert_eq!(normalized_mutual_information(&[0, 0], &[1, 1]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0, 0], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label slices must align")]
+    fn mismatched_lengths_panic() {
+        let _ = purity(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Term ↔ concentration association rules (the paper's stated future
+//! work: "detect rules bridging between recipe information including
+//! ingredient concentrations … and sensory textures").
+//!
+//! For each texture term, this module aggregates the gel compositions of
+//! the recipes that use it and summarizes the association as a rule:
+//! *"katai ⇒ gelatin ≈ 4.7 % (lift 3.2, support 41)"*. Lift compares the
+//! term's probability inside the concentration band against its corpus
+//! base rate — the standard association-rule quality measure.
+
+use rheotex_corpus::RecipeFeatures;
+use rheotex_textures::{TermId, TextureDictionary};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One mined rule: a texture term and the gel composition it signals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TermRule {
+    /// The texture term.
+    pub term: TermId,
+    /// Surface form (for reporting).
+    pub surface: String,
+    /// Number of recipes using the term (support).
+    pub support: usize,
+    /// Mean gel concentrations (gelatin, kanten, agar) over supporting
+    /// recipes.
+    pub mean_gels: [f64; 3],
+    /// The dominant gel index and its mean concentration.
+    pub dominant_gel: (usize, f64),
+    /// Lift of the term inside its dominant gel's concentration band
+    /// (± one band half-width around the mean) vs the corpus base rate.
+    pub lift: f64,
+}
+
+/// Half-width of the concentration band used for lift computation,
+/// relative to the rule's mean concentration.
+const BAND_RELATIVE_HALF_WIDTH: f64 = 0.5;
+
+/// Mines per-term rules from recipe features. Terms with support below
+/// `min_support` are skipped.
+#[must_use]
+pub fn mine_term_rules(
+    recipes: &[RecipeFeatures],
+    dict: &TextureDictionary,
+    min_support: usize,
+) -> Vec<TermRule> {
+    if recipes.is_empty() {
+        return Vec::new();
+    }
+    // Support and gel sums per term (counting each recipe once per term).
+    let mut per_term: HashMap<TermId, (usize, [f64; 3])> = HashMap::new();
+    for f in recipes {
+        let mut seen = std::collections::HashSet::new();
+        for &t in &f.terms {
+            if seen.insert(t) {
+                let e = per_term.entry(t).or_insert((0, [0.0; 3]));
+                e.0 += 1;
+                for (acc, &c) in e.1.iter_mut().zip(&f.gel_concentrations) {
+                    *acc += c;
+                }
+            }
+        }
+    }
+
+    let n_total = recipes.len() as f64;
+    let mut rules: Vec<TermRule> = per_term
+        .into_iter()
+        .filter(|(_, (support, _))| *support >= min_support.max(1))
+        .filter_map(|(term, (support, sums))| {
+            let entry = dict.get(term)?;
+            let mean_gels = [
+                sums[0] / support as f64,
+                sums[1] / support as f64,
+                sums[2] / support as f64,
+            ];
+            let mut dom = 0;
+            for g in 1..3 {
+                if mean_gels[g] > mean_gels[dom] {
+                    dom = g;
+                }
+            }
+            let center = mean_gels[dom];
+            if center <= 0.0 {
+                return None;
+            }
+            // Band membership.
+            let lo = center * (1.0 - BAND_RELATIVE_HALF_WIDTH);
+            let hi = center * (1.0 + BAND_RELATIVE_HALF_WIDTH);
+            let in_band = |f: &RecipeFeatures| {
+                let c = f.gel_concentrations[dom];
+                c >= lo && c <= hi
+            };
+            let band_total = recipes.iter().filter(|f| in_band(f)).count();
+            let band_with_term = recipes
+                .iter()
+                .filter(|f| in_band(f) && f.terms.contains(&term))
+                .count();
+            let p_term = support as f64 / n_total;
+            let lift = if band_total == 0 || p_term <= 0.0 {
+                // A bimodal term whose mean lands between its own modes
+                // has no band evidence: no association either way.
+                1.0
+            } else {
+                (band_with_term as f64 / band_total as f64) / p_term
+            };
+            Some(TermRule {
+                term,
+                surface: entry.surface.clone(),
+                support,
+                mean_gels,
+                dominant_gel: (dom, center),
+                lift,
+            })
+        })
+        .collect();
+    rules.sort_by(|a, b| {
+        b.lift
+            .partial_cmp(&a.lift)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.support.cmp(&a.support))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheotex_corpus::features::{emulsion_info_vector, gel_info_vector};
+    use rheotex_textures::TextureDictionary;
+
+    /// 60 recipes: "katai" only in high-gelatin recipes, "furufuru" only
+    /// in low-gelatin ones, "omoi" everywhere (no association).
+    fn recipes(dict: &TextureDictionary) -> Vec<RecipeFeatures> {
+        let katai = dict.lookup("katai").unwrap();
+        let furu = dict.lookup("furufuru").unwrap();
+        let omoi = dict.lookup("omoi").unwrap();
+        (0..60u64)
+            .map(|i| {
+                let high = i % 2 == 0;
+                let gel = if high { 0.05 } else { 0.008 };
+                let gel_conc = [gel, 0.0, 0.0];
+                RecipeFeatures {
+                    id: i,
+                    terms: if high {
+                        vec![katai, omoi]
+                    } else {
+                        vec![furu, omoi]
+                    },
+                    gel: gel_info_vector(&gel_conc),
+                    emulsion: emulsion_info_vector(&[0.0; 6]),
+                    gel_concentrations: gel_conc,
+                    emulsion_concentrations: [0.0; 6],
+                    unrelated_fraction: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mined_rules_recover_planted_associations() {
+        let dict = TextureDictionary::gel_active();
+        let rules = mine_term_rules(&recipes(&dict), &dict, 5);
+        let find = |s: &str| rules.iter().find(|r| r.surface == s).unwrap();
+
+        let katai = find("katai");
+        assert_eq!(katai.support, 30);
+        assert!((katai.dominant_gel.1 - 0.05).abs() < 1e-9);
+        // katai appears in every high-band recipe but only half the
+        // corpus: lift 2.
+        assert!((katai.lift - 2.0).abs() < 1e-9, "lift {}", katai.lift);
+
+        let furu = find("furufuru");
+        assert!((furu.dominant_gel.1 - 0.008).abs() < 1e-9);
+        assert!((furu.lift - 2.0).abs() < 1e-9);
+
+        // The ubiquitous term has no lift.
+        let omoi = find("omoi");
+        assert!((omoi.lift - 1.0).abs() < 0.2, "lift {}", omoi.lift);
+    }
+
+    #[test]
+    fn rules_sorted_by_lift() {
+        let dict = TextureDictionary::gel_active();
+        let rules = mine_term_rules(&recipes(&dict), &dict, 5);
+        for w in rules.windows(2) {
+            assert!(w[0].lift >= w[1].lift - 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let dict = TextureDictionary::gel_active();
+        let rules = mine_term_rules(&recipes(&dict), &dict, 31);
+        // Only "omoi" (support 60) survives.
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].surface, "omoi");
+    }
+
+    #[test]
+    fn empty_input() {
+        let dict = TextureDictionary::gel_active();
+        assert!(mine_term_rules(&[], &dict, 1).is_empty());
+    }
+}

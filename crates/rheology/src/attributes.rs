@@ -1,0 +1,134 @@
+//! The three instrumental texture attributes and their units.
+//!
+//! Rheometer products do not share a standardized unit; the paper converts
+//! all source measurements to **RU** (rheological unit), the unit of the
+//! original Texturometer (Friedman, Whitney & Szczesniak 1963) that the
+//! related literature predominantly uses. We adopt the conventional
+//! equivalence 1 RU ≈ 9.8 N (1 kgf) for force-like readings.
+
+use serde::{Deserialize, Serialize};
+
+/// Force-like measurement units appearing in the source literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RheoUnit {
+    /// Rheological unit of the Texturometer (the paper's target unit).
+    Ru,
+    /// Newtons.
+    Newton,
+    /// Kilogram-force (kgf); numerically equal to RU under our convention.
+    KilogramForce,
+    /// Gram-force.
+    GramForce,
+}
+
+impl RheoUnit {
+    /// Conversion factor to RU (multiply a value in `self` by this).
+    #[must_use]
+    pub fn to_ru_factor(self) -> f64 {
+        match self {
+            RheoUnit::Ru | RheoUnit::KilogramForce => 1.0,
+            RheoUnit::Newton => 1.0 / 9.8,
+            RheoUnit::GramForce => 1.0e-3,
+        }
+    }
+
+    /// Converts a value in this unit to RU.
+    #[must_use]
+    pub fn to_ru(self, value: f64) -> f64 {
+        value * self.to_ru_factor()
+    }
+}
+
+/// Quantitative texture of one sample, in RU where applicable.
+///
+/// * `hardness` — peak force of the first compression (F1), RU.
+/// * `cohesiveness` — area ratio of second to first compression (c/a),
+///   dimensionless in `[0, 1]`-ish range.
+/// * `adhesiveness` — cumulative negative force during the first
+///   ascending action (area b), RU·s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextureAttributes {
+    /// Peak first-bite force, RU.
+    pub hardness: f64,
+    /// Second/first compression work ratio, dimensionless.
+    pub cohesiveness: f64,
+    /// Negative (pull-off) work during first withdrawal, RU·s.
+    pub adhesiveness: f64,
+}
+
+impl TextureAttributes {
+    /// Constructor.
+    #[must_use]
+    pub fn new(hardness: f64, cohesiveness: f64, adhesiveness: f64) -> Self {
+        Self {
+            hardness,
+            cohesiveness,
+            adhesiveness,
+        }
+    }
+
+    /// Converts force-like components measured in `unit` into RU.
+    /// Cohesiveness is a ratio and passes through unchanged.
+    #[must_use]
+    pub fn converted_from(self, unit: RheoUnit) -> Self {
+        let f = unit.to_ru_factor();
+        Self {
+            hardness: self.hardness * f,
+            cohesiveness: self.cohesiveness,
+            adhesiveness: self.adhesiveness * f,
+        }
+    }
+
+    /// Relative difference against another measurement, as the max over
+    /// the three attributes of `|a−b| / max(|a|, |b|, floor)`. Used by
+    /// experiment harnesses to report paper-vs-simulated agreement.
+    #[must_use]
+    pub fn relative_gap(&self, other: &Self, floor: f64) -> f64 {
+        let gap = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(floor);
+        gap(self.hardness, other.hardness)
+            .max(gap(self.cohesiveness, other.cohesiveness))
+            .max(gap(self.adhesiveness, other.adhesiveness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(RheoUnit::Ru.to_ru(2.5), 2.5);
+        assert_eq!(RheoUnit::KilogramForce.to_ru(2.5), 2.5);
+        assert!((RheoUnit::Newton.to_ru(9.8) - 1.0).abs() < 1e-12);
+        assert!((RheoUnit::GramForce.to_ru(1000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_leaves_cohesiveness_alone() {
+        let a = TextureAttributes::new(9.8, 0.5, 19.6).converted_from(RheoUnit::Newton);
+        assert!((a.hardness - 1.0).abs() < 1e-12);
+        assert_eq!(a.cohesiveness, 0.5);
+        assert!((a.adhesiveness - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_gap_zero_for_identical() {
+        let a = TextureAttributes::new(1.0, 0.5, 0.2);
+        assert_eq!(a.relative_gap(&a, 0.1), 0.0);
+    }
+
+    #[test]
+    fn relative_gap_uses_worst_attribute() {
+        let a = TextureAttributes::new(1.0, 0.5, 0.0);
+        let b = TextureAttributes::new(1.0, 0.25, 0.0);
+        // cohesiveness differs by factor 2 → gap 0.5
+        assert!((a.relative_gap(&b, 0.1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_gap_floor_prevents_blowup_near_zero() {
+        let a = TextureAttributes::new(0.0, 0.0, 0.0);
+        let b = TextureAttributes::new(0.0, 0.0, 0.01);
+        assert!(a.relative_gap(&b, 0.5) <= 0.02);
+    }
+}

@@ -1,0 +1,98 @@
+//! Table II(b): the two gel + emulsion validation dishes from the
+//! food-science literature — Bavarois (Kawabata & Sawayama 1974) and milk
+//! jelly (Motegi 1975) — plus the pure-gelatin reference row.
+
+use crate::attributes::TextureAttributes;
+use serde::{Deserialize, Serialize};
+
+/// A measured dish: quantitative texture plus full concentration vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DishRecord {
+    /// Dish name as in the paper.
+    pub name: String,
+    /// Measured texture in RU.
+    pub attributes: TextureAttributes,
+    /// Gel concentrations (gelatin, kanten, agar).
+    pub gels: [f64; 3],
+    /// Emulsion concentrations in feature order
+    /// (sugar, egg albumen, egg yolk, raw cream, milk, yogurt).
+    pub emulsions: [f64; 6],
+}
+
+/// Bavarois (Table II(b) row 1).
+#[must_use]
+pub fn bavarois() -> DishRecord {
+    DishRecord {
+        name: "Bavarois".into(),
+        attributes: TextureAttributes::new(3.860, 0.809, 0.095),
+        gels: [0.025, 0.0, 0.0],
+        emulsions: [0.0, 0.0, 0.08, 0.2, 0.4, 0.0],
+    }
+}
+
+/// Milk jelly (Table II(b) row 2).
+#[must_use]
+pub fn milk_jelly() -> DishRecord {
+    DishRecord {
+        name: "Milk jelly".into(),
+        attributes: TextureAttributes::new(1.83, 0.27, 0.44),
+        gels: [0.025, 0.0, 0.0],
+        emulsions: [0.032, 0.0, 0.0, 0.0, 0.787, 0.0],
+    }
+}
+
+/// The pure-gelatin reference (Table I row 3, repeated in Table II(b)).
+#[must_use]
+pub fn pure_gelatin_reference() -> DishRecord {
+    DishRecord {
+        name: "Data 3 in Table I".into(),
+        attributes: TextureAttributes::new(0.72, 0.17, 0.57),
+        gels: [0.025, 0.0, 0.0],
+        emulsions: [0.0; 6],
+    }
+}
+
+/// All Table II(b) rows in paper order.
+#[must_use]
+pub fn table2b() -> Vec<DishRecord> {
+    vec![bavarois(), milk_jelly(), pure_gelatin_reference()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_gel_concentration_different_texture() {
+        // The paper's point: identical 2.5% gelatin, very different texture
+        // due to emulsions.
+        let b = bavarois();
+        let m = milk_jelly();
+        let r = pure_gelatin_reference();
+        assert_eq!(b.gels, m.gels);
+        assert_eq!(b.gels, r.gels);
+        assert!(b.attributes.hardness > m.attributes.hardness);
+        assert!(m.attributes.hardness > r.attributes.hardness);
+        assert!(b.attributes.cohesiveness > m.attributes.cohesiveness);
+    }
+
+    #[test]
+    fn emulsion_profiles_match_paper() {
+        let b = bavarois();
+        assert_eq!(b.emulsions[2], 0.08); // egg yolk
+        assert_eq!(b.emulsions[3], 0.2); // raw cream
+        assert_eq!(b.emulsions[4], 0.4); // milk
+        let m = milk_jelly();
+        assert_eq!(m.emulsions[0], 0.032); // sugar
+        assert_eq!(m.emulsions[4], 0.787); // milk
+        assert!(pure_gelatin_reference().emulsions.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn table2b_order() {
+        let t = table2b();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].name, "Bavarois");
+        assert_eq!(t[1].name, "Milk jelly");
+    }
+}

@@ -1,0 +1,33 @@
+//! Rheology substrate: quantitative texture measurement.
+//!
+//! Three pieces:
+//!
+//! * [`attributes`] — the three instrumental texture attributes the paper
+//!   uses (hardness, cohesiveness, adhesiveness) in **RU** (rheological
+//!   units), with conversions from the heterogeneous units of the source
+//!   literature.
+//! * [`mod@table1`] / [`dishes`] — the open empirical data printed in the
+//!   paper: the 13 gel settings of Table I and the Bavarois / milk-jelly
+//!   records of Table II(b).
+//! * [`tpa`] — a two-bite Texture Profile Analysis rheometer simulator.
+//!   The paper's measurements come from physical rheometers (Fig. 2);
+//!   we reproduce the instrument: per-gel mechanics calibrated against the
+//!   food-science literature drive a simulated force-time curve (descend /
+//!   ascend twice), and the attribute *extraction* — peak force F1, area
+//!   ratio c/a, negative area b — runs numerically on the sampled curve
+//!   exactly as a rheometer's software would.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod attributes;
+pub mod dishes;
+pub mod sweep;
+pub mod table1;
+pub mod tpa;
+
+pub use attributes::{RheoUnit, TextureAttributes};
+pub use dishes::{bavarois, milk_jelly, DishRecord};
+pub use sweep::{hardness_crossover, sweep_gel, FirmnessClass, SweepPoint};
+pub use table1::{table1, EmpiricalSetting};
+pub use tpa::{GelMechanics, TpaConfig, TpaCurve};

@@ -1,0 +1,198 @@
+//! Concentration sweeps and derived analyses over the TPA model.
+//!
+//! These are the "master curve" utilities an experimentalist builds from
+//! an instrument: attribute-vs-concentration tables for one gel,
+//! crossover finding between two gels (at what concentration does kanten
+//! overtake gelatin in hardness?), and a coarse perceptual firmness
+//! classification of a sample.
+
+use crate::attributes::TextureAttributes;
+use crate::tpa::GelMechanics;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a concentration sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Concentration (weight ratio).
+    pub concentration: f64,
+    /// Predicted attributes at this concentration.
+    pub attributes: TextureAttributes,
+}
+
+/// Sweeps one gel (by index: 0 gelatin, 1 kanten, 2 agar) over `steps`
+/// evenly spaced concentrations in `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `gel > 2`, `steps < 2`, or the range is empty/invalid.
+#[must_use]
+pub fn sweep_gel(gel: usize, lo: f64, hi: f64, steps: usize) -> Vec<SweepPoint> {
+    assert!(gel < 3, "gel index {gel} out of range");
+    assert!(steps >= 2, "need at least 2 steps");
+    assert!(lo >= 0.0 && hi > lo, "invalid range [{lo}, {hi}]");
+    (0..steps)
+        .map(|i| {
+            let c = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+            let mut gels = [0.0; 3];
+            gels[gel] = c;
+            SweepPoint {
+                concentration: c,
+                attributes: GelMechanics::from_gel_concentrations(gels).predicted_attributes(),
+            }
+        })
+        .collect()
+}
+
+/// Finds the concentration at which gel `a` and gel `b` have equal
+/// hardness, by bisection on `hardness_a(c) − hardness_b(c)` over
+/// `[lo, hi]`. Returns `None` when the difference does not change sign on
+/// the interval.
+#[must_use]
+pub fn hardness_crossover(a: usize, b: usize, lo: f64, hi: f64) -> Option<f64> {
+    assert!(a < 3 && b < 3, "gel indices out of range");
+    let diff = |c: f64| {
+        let mut ga = [0.0; 3];
+        ga[a] = c;
+        let mut gb = [0.0; 3];
+        gb[b] = c;
+        GelMechanics::from_gel_concentrations(ga).hardness
+            - GelMechanics::from_gel_concentrations(gb).hardness
+    };
+    let (mut x0, mut x1) = (lo, hi);
+    let (mut f0, f1) = (diff(x0), diff(x1));
+    if f0 == 0.0 && f1 == 0.0 {
+        // Identically equal (e.g. a gel against itself): nothing crosses.
+        return None;
+    }
+    if f0 == 0.0 {
+        return Some(x0);
+    }
+    if f1 == 0.0 {
+        return Some(x1);
+    }
+    if f0.signum() == f1.signum() {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (x0 + x1);
+        let fm = diff(mid);
+        if fm == 0.0 || (x1 - x0) < 1e-9 {
+            return Some(mid);
+        }
+        if fm.signum() == f0.signum() {
+            x0 = mid;
+            f0 = fm;
+        } else {
+            x1 = mid;
+        }
+    }
+    Some(0.5 * (x0 + x1))
+}
+
+/// Coarse perceptual firmness bands over the hardness attribute (RU).
+/// Thresholds follow the Table I spread: gelatin desserts live below 1,
+/// firm kanten sweets above 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirmnessClass {
+    /// Barely self-supporting (< 0.3 RU).
+    VerySoft,
+    /// Spoon-soft desserts (0.3–1 RU).
+    Soft,
+    /// Sliceable gels (1–3 RU).
+    Medium,
+    /// Firm confections (≥ 3 RU).
+    Firm,
+}
+
+impl FirmnessClass {
+    /// Classifies a hardness reading.
+    #[must_use]
+    pub fn from_hardness(h: f64) -> Self {
+        if h < 0.3 {
+            FirmnessClass::VerySoft
+        } else if h < 1.0 {
+            FirmnessClass::Soft
+        } else if h < 3.0 {
+            FirmnessClass::Medium
+        } else {
+            FirmnessClass::Firm
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FirmnessClass::VerySoft => "very soft",
+            FirmnessClass::Soft => "soft",
+            FirmnessClass::Medium => "medium",
+            FirmnessClass::Firm => "firm",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone_in_hardness() {
+        let points = sweep_gel(0, 0.005, 0.04, 12);
+        assert_eq!(points.len(), 12);
+        for w in points.windows(2) {
+            assert!(w[1].attributes.hardness >= w[0].attributes.hardness);
+            assert!(w[1].concentration > w[0].concentration);
+        }
+        assert!((points[0].concentration - 0.005).abs() < 1e-12);
+        assert!((points[11].concentration - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kanten_gelatin_crossover_exists_and_flips() {
+        // At low concentration kanten is far harder than gelatin (Table I:
+        // 0.8% kanten ≈ 2.2 RU vs 2% gelatin ≈ 0.3 RU); gelatin's c⁵ law
+        // overtakes somewhere below 4%.
+        let c = hardness_crossover(0, 1, 0.005, 0.06).expect("crossover");
+        assert!(c > 0.01 && c < 0.06, "crossover at {c}");
+        let h = |gel: usize, conc: f64| {
+            let mut g = [0.0; 3];
+            g[gel] = conc;
+            GelMechanics::from_gel_concentrations(g).hardness
+        };
+        // Kanten harder below, gelatin harder above.
+        assert!(h(1, c * 0.7) > h(0, c * 0.7));
+        assert!(h(0, c * 1.3) > h(1, c * 1.3));
+        // At the crossover itself the difference is tiny.
+        assert!((h(0, c) - h(1, c)).abs() < 1e-3 * h(0, c).max(1.0));
+    }
+
+    #[test]
+    fn no_crossover_returns_none() {
+        // Gelatin vs itself never changes sign.
+        assert!(hardness_crossover(0, 0, 0.005, 0.05).is_none());
+    }
+
+    #[test]
+    fn firmness_classification_bands() {
+        assert_eq!(FirmnessClass::from_hardness(0.1), FirmnessClass::VerySoft);
+        assert_eq!(FirmnessClass::from_hardness(0.5), FirmnessClass::Soft);
+        assert_eq!(FirmnessClass::from_hardness(2.0), FirmnessClass::Medium);
+        assert_eq!(FirmnessClass::from_hardness(5.0), FirmnessClass::Firm);
+        // Table I anchors: 1.8% gelatin is very soft, 2% kanten is firm.
+        let soft = GelMechanics::from_gel_concentrations([0.018, 0.0, 0.0]);
+        assert_eq!(
+            FirmnessClass::from_hardness(soft.hardness),
+            FirmnessClass::VerySoft
+        );
+        let firm = GelMechanics::from_gel_concentrations([0.0, 0.02, 0.0]);
+        assert_eq!(
+            FirmnessClass::from_hardness(firm.hardness),
+            FirmnessClass::Firm
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gel index")]
+    fn sweep_rejects_bad_gel() {
+        let _ = sweep_gel(3, 0.01, 0.02, 3);
+    }
+}

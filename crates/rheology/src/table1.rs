@@ -1,0 +1,144 @@
+//! Table I of the paper: empirical gel settings and measured texture from
+//! six food-science studies (paper refs \[3\]–\[5\], \[15\]–\[17\]), already converted
+//! to RU.
+//!
+//! This is open data printed in the paper, embedded verbatim. (The paper's
+//! table numbers its rows 1–13 with a typo duplicating "8"; we number them
+//! 1–13.)
+
+use crate::attributes::TextureAttributes;
+use serde::{Deserialize, Serialize};
+
+/// One empirical setting: gel concentrations and measured texture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalSetting {
+    /// Row id (1-based, as in the paper).
+    pub id: u32,
+    /// Gel concentrations as weight ratios: (gelatin, kanten, agar).
+    pub gels: [f64; 3],
+    /// Measured texture in RU.
+    pub attributes: TextureAttributes,
+}
+
+impl EmpiricalSetting {
+    /// Gelatin concentration.
+    #[must_use]
+    pub fn gelatin(&self) -> f64 {
+        self.gels[0]
+    }
+    /// Kanten concentration.
+    #[must_use]
+    pub fn kanten(&self) -> f64 {
+        self.gels[1]
+    }
+    /// Agar concentration.
+    #[must_use]
+    pub fn agar(&self) -> f64 {
+        self.gels[2]
+    }
+
+    /// Which gels are present (non-zero concentration).
+    #[must_use]
+    pub fn present_gels(&self) -> Vec<usize> {
+        self.gels
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The 13 rows of Table I.
+#[must_use]
+pub fn table1() -> Vec<EmpiricalSetting> {
+    let rows: [(u32, [f64; 3], [f64; 3]); 13] = [
+        (1, [0.018, 0.0, 0.0], [0.20, 0.60, 0.10]),
+        (2, [0.020, 0.0, 0.0], [0.30, 0.59, 0.04]),
+        (3, [0.025, 0.0, 0.0], [0.72, 0.17, 0.57]),
+        (4, [0.030, 0.0, 0.0], [2.78, 0.31, 0.42]),
+        (5, [0.030, 0.0, 0.03], [3.01, 0.35, 12.60]),
+        (6, [0.0, 0.008, 0.0], [2.20, 0.12, 0.0]),
+        (7, [0.0, 0.010, 0.0], [3.50, 0.10, 0.0]),
+        (8, [0.0, 0.012, 0.0], [5.00, 0.80, 0.0]),
+        (9, [0.0, 0.020, 0.0], [5.67, 0.03, 0.0]),
+        (10, [0.0, 0.0, 0.008], [1.00, 0.48, 0.0]),
+        (11, [0.0, 0.0, 0.010], [1.50, 0.33, 0.01]),
+        (12, [0.0, 0.0, 0.012], [2.70, 0.28, 0.02]),
+        (13, [0.0, 0.0, 0.030], [2.21, 0.20, 1.95]),
+    ];
+    rows.iter()
+        .map(|&(id, gels, [h, c, a])| EmpiricalSetting {
+            id,
+            gels,
+            attributes: TextureAttributes::new(h, c, a),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_with_sequential_ids() {
+        let t = table1();
+        assert_eq!(t.len(), 13);
+        for (i, row) in t.iter().enumerate() {
+            assert_eq!(row.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn row_groups_by_gel_type() {
+        let t = table1();
+        // Rows 1–4: pure gelatin.
+        for row in &t[0..4] {
+            assert!(row.gelatin() > 0.0 && row.kanten() == 0.0 && row.agar() == 0.0);
+        }
+        // Row 5: gelatin + agar mix.
+        assert_eq!(t[4].present_gels(), vec![0, 2]);
+        // Rows 6–9: pure kanten.
+        for row in &t[5..9] {
+            assert_eq!(row.present_gels(), vec![1]);
+        }
+        // Rows 10–13: pure agar.
+        for row in &t[9..13] {
+            assert_eq!(row.present_gels(), vec![2]);
+        }
+    }
+
+    #[test]
+    fn known_values_spot_check() {
+        let t = table1();
+        assert!((t[2].gelatin() - 0.025).abs() < 1e-12);
+        assert!((t[2].attributes.hardness - 0.72).abs() < 1e-12);
+        assert!((t[4].attributes.adhesiveness - 12.6).abs() < 1e-12);
+        assert!((t[8].attributes.cohesiveness - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardness_increases_with_concentration_per_pure_gel() {
+        let t = table1();
+        // Gelatin rows 1–4.
+        for w in t[0..4].windows(2) {
+            assert!(w[1].attributes.hardness > w[0].attributes.hardness);
+        }
+        // Kanten rows 6–9.
+        for w in t[5..9].windows(2) {
+            assert!(w[1].attributes.hardness > w[0].attributes.hardness);
+        }
+        // Agar rows 10–12 (13 is the noisy high-concentration outlier).
+        for w in t[9..12].windows(2) {
+            assert!(w[1].attributes.hardness > w[0].attributes.hardness);
+        }
+    }
+
+    #[test]
+    fn kanten_has_no_adhesiveness() {
+        let t = table1();
+        for row in &t[5..9] {
+            assert_eq!(row.attributes.adhesiveness, 0.0);
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! Built-in reconstruction of the 288-entry texture-term dictionary.
+//!
+//! Three layers:
+//!
+//! 1. [`GEL_TERMS`] — the 41 gel-active terms that occur in the paper's
+//!    filtered corpus. The first 31 are verbatim from Table II(a) with the
+//!    paper's glosses; the remaining 10 are standard Japanese gel-texture
+//!    mimetics from the texture-term literature (Hayakawa et al. 2013)
+//!    included so the synthetic corpus has the same vocabulary size the
+//!    paper reports.
+//! 2. [`CONFOUNDER_TERMS`] — real gel-*unrelated* mimetics (crispy,
+//!    crunchy, floury families). These play the role the paper gives to
+//!    terms like "crispy" near nut toppings: present in descriptions but to
+//!    be excluded by the word2vec relatedness filter.
+//! 3. Generated sokuon / reduplication / `-ri` / `-n` variants of mimetic
+//!    stems, filling the dictionary to exactly
+//!    [`COMPREHENSIVE_SIZE`] = 288 entries — the size of the NARO
+//!    *Comprehensive Japanese Texture Terms* subset the paper uses. These
+//!    stand in for the 247 dictionary terms that never occur in the
+//!    corpus.
+
+use crate::category::Category;
+use crate::term::TermEntry;
+use std::collections::HashSet;
+
+/// Total size of the reconstructed dictionary (matches the paper).
+pub const COMPREHENSIVE_SIZE: usize = 288;
+
+/// Number of gel-active terms (matches the paper's "41 texture terms out
+/// of 288").
+pub const GEL_ACTIVE_COUNT: usize = 41;
+
+type Row = (
+    &'static str,
+    &'static str,
+    &'static [Category],
+    f64,
+    f64,
+    f64,
+);
+
+use Category::*;
+
+/// Gel-active terms: `(surface, gloss, categories, hardness, cohesiveness,
+/// adhesiveness)`. Axis scores are signed per the crate-level conventions.
+pub const GEL_TERMS: &[Row] = &[
+    // --- verbatim from Table II(a), in order of appearance ---
+    (
+        "furufuru",
+        "soft and slightly wobbly, easy to break",
+        &[Softness, Elasticity],
+        -0.8,
+        0.3,
+        0.1,
+    ),
+    (
+        "katai",
+        "hard, firm, stiff, tough, rigid",
+        &[Hardness],
+        1.0,
+        0.2,
+        0.0,
+    ),
+    (
+        "muchimuchi",
+        "resilient, firm and slightly sticky",
+        &[Hardness, Elasticity, Adhesiveness],
+        0.7,
+        0.8,
+        0.4,
+    ),
+    (
+        "gucha",
+        "mushy; having lost its original shape",
+        &[Softness, Viscosity],
+        -0.7,
+        -0.6,
+        0.3,
+    ),
+    (
+        "potteri",
+        "thick, resistant to flow",
+        &[Viscosity],
+        0.1,
+        0.2,
+        0.3,
+    ),
+    (
+        "burunburun",
+        "elastic and slightly wobbly",
+        &[Elasticity],
+        0.2,
+        0.9,
+        0.0,
+    ),
+    (
+        "bosoboso",
+        "dry, crumbly and not compact",
+        &[Dryness, Cohesiveness],
+        0.3,
+        -0.9,
+        0.0,
+    ),
+    (
+        "botet",
+        "thick and heavy, resistant to flow",
+        &[Viscosity, Heaviness],
+        0.2,
+        0.1,
+        0.3,
+    ),
+    (
+        "shakusyaku",
+        "crisp; material is cut off or shear off easily",
+        &[Crispness, Hardness],
+        0.5,
+        -0.7,
+        0.0,
+    ),
+    (
+        "buruburu",
+        "elastic and slightly wobbly",
+        &[Elasticity],
+        0.1,
+        0.8,
+        0.0,
+    ),
+    (
+        "purupuru",
+        "soft elastic and slightly sticky, slightly wobbly",
+        &[Softness, Elasticity, Adhesiveness],
+        -0.5,
+        0.7,
+        0.3,
+    ),
+    (
+        "nettori",
+        "sticky, viscous and thick",
+        &[Adhesiveness, Viscosity],
+        0.1,
+        0.3,
+        0.9,
+    ),
+    (
+        "purit",
+        "crispy, sound emitted by biting slightly hard foods",
+        &[Hardness, Elasticity],
+        0.5,
+        0.6,
+        0.0,
+    ),
+    (
+        "mottari",
+        "thick and viscous, resistant to flow",
+        &[Viscosity],
+        0.0,
+        0.2,
+        0.3,
+    ),
+    (
+        "horohoro",
+        "crumbly and soft",
+        &[Softness, Dryness, Cohesiveness],
+        -0.6,
+        -0.8,
+        0.0,
+    ),
+    (
+        "necchiri",
+        "very sticky and viscous",
+        &[Adhesiveness, Viscosity],
+        0.2,
+        0.4,
+        1.0,
+    ),
+    (
+        "fuwafuwa",
+        "soft and fluffy",
+        &[Softness, Airiness],
+        -0.9,
+        -0.2,
+        0.0,
+    ),
+    (
+        "yuruyuru",
+        "thin, loose, easy to deform",
+        &[Softness],
+        -0.9,
+        -0.3,
+        0.1,
+    ),
+    (
+        "bechat",
+        "sticky, viscous and watery",
+        &[Adhesiveness, Softness],
+        -0.6,
+        -0.2,
+        0.8,
+    ),
+    (
+        "fukahuka",
+        "soft, swollen and somewhat elastic",
+        &[Softness, Airiness, Elasticity],
+        -0.7,
+        0.3,
+        0.0,
+    ),
+    (
+        "burit",
+        "firm and resilient",
+        &[Hardness, Elasticity],
+        0.6,
+        0.7,
+        0.0,
+    ),
+    (
+        "dossiri",
+        "heavy, dense",
+        &[Heaviness, Hardness],
+        0.8,
+        0.1,
+        0.0,
+    ),
+    (
+        "churuchuru",
+        "slippery, smooth and wet surface",
+        &[Smoothness],
+        -0.2,
+        0.1,
+        0.1,
+    ),
+    (
+        "punipuni",
+        "soft elastic and slightly sticky",
+        &[Softness, Elasticity, Adhesiveness],
+        -0.4,
+        0.6,
+        0.3,
+    ),
+    ("kutat", "soft, not taut", &[Softness], -0.7, -0.2, 0.0),
+    (
+        "burinburin",
+        "firm and resilient",
+        &[Hardness, Elasticity],
+        0.7,
+        0.8,
+        0.0,
+    ),
+    ("korit", "crunchy", &[Hardness, Crispness], 0.8, -0.3, 0.0),
+    (
+        "daradara",
+        "thick, heavy, slowly flowing",
+        &[Viscosity],
+        -0.3,
+        -0.1,
+        0.2,
+    ),
+    (
+        "karat",
+        "dry and crispy",
+        &[Dryness, Crispness],
+        0.4,
+        -0.6,
+        0.0,
+    ),
+    (
+        "hajikeru",
+        "cracking open, fizzy",
+        &[Crispness, Elasticity],
+        0.3,
+        0.2,
+        0.0,
+    ),
+    ("omoi", "heavy", &[Heaviness], 0.5, 0.0, 0.0),
+    // --- additional gel-texture mimetics from the texture-term literature ---
+    (
+        "torotoro",
+        "thick, melty, soft-flowing",
+        &[Softness, Viscosity],
+        -0.6,
+        0.1,
+        0.4,
+    ),
+    (
+        "tsurutsuru",
+        "slippery and smooth",
+        &[Smoothness],
+        -0.3,
+        0.2,
+        0.1,
+    ),
+    (
+        "mochimochi",
+        "springy and chewy",
+        &[Elasticity, Cohesiveness],
+        0.4,
+        0.9,
+        0.3,
+    ),
+    (
+        "shikoshiko",
+        "firm and pleasantly chewy",
+        &[Hardness, Elasticity],
+        0.6,
+        0.6,
+        0.0,
+    ),
+    (
+        "nebaneba",
+        "sticky and stringy",
+        &[Adhesiveness, Viscosity],
+        0.0,
+        0.5,
+        1.0,
+    ),
+    (
+        "sarasara",
+        "thin, watery, smooth",
+        &[Smoothness, Softness],
+        -0.8,
+        -0.4,
+        0.0,
+    ),
+    (
+        "kochikochi",
+        "rock hard, stiffened",
+        &[Hardness],
+        1.0,
+        -0.1,
+        0.0,
+    ),
+    ("funyafunya", "limp, flabby", &[Softness], -0.8, -0.3, 0.0),
+    (
+        "tapuntapun",
+        "jiggly, brimming",
+        &[Softness, Elasticity],
+        -0.6,
+        0.4,
+        0.0,
+    ),
+    (
+        "torori",
+        "smoothly melting, thickly dripping",
+        &[Softness, Viscosity, Smoothness],
+        -0.5,
+        0.0,
+        0.2,
+    ),
+];
+
+/// Gel-unrelated confounder terms that the word2vec filter must reject
+/// when they co-occur with non-gel ingredients (nuts, cookies, toppings).
+pub const CONFOUNDER_TERMS: &[Row] = &[
+    (
+        "sakusaku",
+        "light and crispy (baked goods)",
+        &[Crispness],
+        0.4,
+        -0.7,
+        0.0,
+    ),
+    (
+        "karikari",
+        "hard and crunchy (fried/toasted)",
+        &[Crispness, Hardness],
+        0.7,
+        -0.8,
+        0.0,
+    ),
+    (
+        "paripari",
+        "thin and crisp (wafers, nori)",
+        &[Crispness],
+        0.5,
+        -0.8,
+        0.0,
+    ),
+    (
+        "baribari",
+        "loudly crunchy, rigid",
+        &[Crispness, Hardness],
+        0.8,
+        -0.7,
+        0.0,
+    ),
+    (
+        "korikori",
+        "crunchy with bite (cartilage, nuts)",
+        &[Crispness, Hardness],
+        0.7,
+        -0.4,
+        0.0,
+    ),
+    ("poripori", "quietly crunchy", &[Crispness], 0.5, -0.5, 0.0),
+    (
+        "zakuzaku",
+        "coarsely crunchy (granola, crumble)",
+        &[Crispness],
+        0.6,
+        -0.7,
+        0.0,
+    ),
+    (
+        "garigari",
+        "very hard, scraping crunch (ice)",
+        &[Crispness, Hardness],
+        0.9,
+        -0.6,
+        0.0,
+    ),
+    (
+        "shakishaki",
+        "crisp and juicy (fresh vegetables)",
+        &[Crispness],
+        0.4,
+        -0.5,
+        0.0,
+    ),
+    (
+        "pasapasa",
+        "dry and powdery, moistureless",
+        &[Dryness],
+        0.2,
+        -0.8,
+        0.0,
+    ),
+    (
+        "hokuhoku",
+        "floury and warm (potato, pumpkin)",
+        &[Dryness, Airiness],
+        0.0,
+        -0.5,
+        0.0,
+    ),
+    (
+        "zarazara",
+        "grainy, rough surface",
+        &[Dryness],
+        0.2,
+        -0.4,
+        0.0,
+    ),
+    ("gorigori", "hard and fibrous", &[Hardness], 0.8, -0.3, 0.0),
+    (
+        "kishikishi",
+        "squeaky between the teeth",
+        &[Hardness],
+        0.4,
+        -0.2,
+        0.0,
+    ),
+    (
+        "mosomoso",
+        "dry and mealy, hard to swallow",
+        &[Dryness],
+        0.1,
+        -0.6,
+        0.0,
+    ),
+    (
+        "kurisupi",
+        "crispy (loanword)",
+        &[Crispness],
+        0.5,
+        -0.7,
+        0.0,
+    ),
+    (
+        "karifuwa",
+        "crisp outside, fluffy inside",
+        &[Crispness, Airiness],
+        0.2,
+        -0.4,
+        0.0,
+    ),
+    (
+        "jukushi",
+        "over-ripe, squashy (fruit)",
+        &[Softness],
+        -0.7,
+        -0.5,
+        0.2,
+    ),
+    (
+        "shittori",
+        "moist and settled (cakes)",
+        &[Smoothness, Softness],
+        -0.4,
+        0.1,
+        0.2,
+    ),
+    (
+        "puchipuchi",
+        "popping beads (roe, tapioca)",
+        &[Crispness, Elasticity],
+        0.2,
+        0.3,
+        0.0,
+    ),
+];
+
+/// Mimetic stems used to generate filler dictionary entries (the 247 NARO
+/// terms that never occur in the corpus). Combined with four
+/// morphological templates each; generation skips collisions with the
+/// hand-annotated tables above.
+const VARIANT_STEMS: &[&str] = &[
+    "pachi", "pichi", "pochi", "peta", "pita", "beta", "bita", "guni", "gunya", "gunyo", "funi",
+    "funya", "muni", "munyu", "nuru", "nume", "nuta", "doro", "dero", "toro", "tsubu", "tsubo",
+    "shari", "shori", "shuwa", "jori", "jari", "zuru", "churu", "nyuru", "gishi", "kishi", "kushu",
+    "gushu", "fuka", "howa", "hoko", "saku", "shaki", "kari", "pari", "bari", "gari", "kori",
+    "pori", "zaku", "boso", "pasa", "mochi", "neba", "buyo", "puyo", "tapu", "chapu", "yawa",
+    "kata", "gowa", "zara", "tsuru", "suru", "nicha", "pecha", "bicha", "gucho", "becho", "guzu",
+    "fuwa", "puru", "buru", "puri", "buri", "gumi",
+];
+
+/// Morphological templates for generated entries, with the category family
+/// each template leans toward. `{s}` is the stem.
+const VARIANT_FAMILIES: &[(&str, &[Category], f64, f64, f64)] = &[
+    // reduplication: continuous texture impression
+    ("{s}{s}", &[Viscosity], 0.0, 0.0, 0.2),
+    // sokuon (-t): single sharp bite event
+    ("{s}t", &[Crispness], 0.3, -0.3, 0.0),
+    // -ri: settled state
+    ("{s}ri", &[Smoothness], -0.1, 0.1, 0.1),
+    // -n: resonant, springy
+    ("{s}n", &[Elasticity], 0.0, 0.4, 0.0),
+];
+
+fn rows_to_entries(rows: &[Row], gel_related: bool) -> Vec<TermEntry> {
+    rows.iter()
+        .map(|(surface, gloss, cats, h, c, a)| {
+            TermEntry::new(surface, gloss, cats, *h, *c, *a, gel_related)
+        })
+        .collect()
+}
+
+/// The 41 gel-active entries.
+#[must_use]
+pub fn gel_entries() -> Vec<TermEntry> {
+    rows_to_entries(GEL_TERMS, true)
+}
+
+/// The hand-annotated gel-unrelated confounder entries.
+#[must_use]
+pub fn confounder_entries() -> Vec<TermEntry> {
+    rows_to_entries(CONFOUNDER_TERMS, false)
+}
+
+/// The full 288-entry dictionary: gel terms, confounders, then generated
+/// variants until [`COMPREHENSIVE_SIZE`] is reached. Deterministic — the
+/// same list on every call.
+#[must_use]
+pub fn comprehensive_entries() -> Vec<TermEntry> {
+    let mut entries = gel_entries();
+    entries.extend(confounder_entries());
+    let mut seen: HashSet<String> = entries.iter().map(|e| e.surface.clone()).collect();
+
+    'outer: for (fi, (template, cats, h, c, a)) in VARIANT_FAMILIES.iter().enumerate() {
+        for stem in VARIANT_STEMS {
+            if entries.len() >= COMPREHENSIVE_SIZE {
+                break 'outer;
+            }
+            let surface = template.replace("{s}", stem);
+            if !seen.insert(surface.clone()) {
+                continue;
+            }
+            let gloss = format!("texture mimetic ({} family variant)", cats[0]);
+            // Small deterministic jitter so generated entries are not all
+            // identical: offset by stem length parity and family index.
+            let jitter = ((stem.len() % 3) as f64 - 1.0) * 0.05 + fi as f64 * 0.01;
+            entries.push(TermEntry::new(
+                &surface,
+                &gloss,
+                cats,
+                (h + jitter).clamp(-1.0, 1.0),
+                (c + jitter).clamp(-1.0, 1.0),
+                (a + jitter.abs()).clamp(0.0, 1.0),
+                false,
+            ));
+        }
+    }
+    assert_eq!(
+        entries.len(),
+        COMPREHENSIVE_SIZE,
+        "stem/template inventory must cover the full dictionary"
+    );
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gel_term_count_matches_paper() {
+        assert_eq!(GEL_TERMS.len(), GEL_ACTIVE_COUNT);
+        assert_eq!(gel_entries().len(), GEL_ACTIVE_COUNT);
+    }
+
+    #[test]
+    fn comprehensive_has_exactly_288_unique_surfaces() {
+        let entries = comprehensive_entries();
+        assert_eq!(entries.len(), COMPREHENSIVE_SIZE);
+        let surfaces: HashSet<&str> = entries.iter().map(|e| e.surface.as_str()).collect();
+        assert_eq!(surfaces.len(), COMPREHENSIVE_SIZE, "duplicate surfaces");
+    }
+
+    #[test]
+    fn gel_entries_are_flagged_and_confounders_not() {
+        assert!(gel_entries().iter().all(|e| e.gel_related));
+        assert!(confounder_entries().iter().all(|e| !e.gel_related));
+    }
+
+    #[test]
+    fn paper_terms_present_with_expected_polarity() {
+        let entries = gel_entries();
+        let find = |s: &str| entries.iter().find(|e| e.surface == s).unwrap();
+        assert!(find("katai").hardness > 0.9);
+        assert!(find("furufuru").hardness < 0.0);
+        assert!(find("purupuru").cohesiveness > 0.5);
+        assert!(find("bosoboso").cohesiveness < -0.5);
+        assert!(find("nettori").adhesiveness > 0.8);
+        assert!(find("dossiri").has_category(Category::Heaviness));
+    }
+
+    #[test]
+    fn axis_scores_within_bounds() {
+        for e in comprehensive_entries() {
+            assert!((-1.0..=1.0).contains(&e.hardness), "{}", e.surface);
+            assert!((-1.0..=1.0).contains(&e.cohesiveness), "{}", e.surface);
+            assert!((0.0..=1.0).contains(&e.adhesiveness), "{}", e.surface);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = comprehensive_entries();
+        let b = comprehensive_entries();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surfaces_are_lowercase_tokens() {
+        for e in comprehensive_entries() {
+            assert!(
+                e.surface
+                    .chars()
+                    .all(|ch| ch.is_ascii_lowercase() || !ch.is_ascii()),
+                "surface {:?} must be a lowercase token",
+                e.surface
+            );
+            assert!(!e.surface.contains(' '));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Rheological category annotations and the consolidated analysis axes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Quantitative-texture category a term is annotated with in the
+/// dictionary.
+///
+/// The first three (`Hardness`, `Cohesiveness`, `Adhesiveness`) are the
+/// instrumental attributes the paper compares against (Table I). The
+/// remainder are perceptual families present in the Japanese texture-term
+/// literature that the analyses need: `Softness` and `Elasticity` are the
+/// opposing poles used by Fig. 3's histograms, and the crisp/smooth/airy
+/// families mark gel-*unrelated* textures the word2vec step filters out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Firm, resistant to deformation (rheometer attribute F1).
+    Hardness,
+    /// Yielding, weak gels; the perceptual negative of hardness.
+    Softness,
+    /// Holds together over repeated bites (rheometer attribute c/a).
+    Cohesiveness,
+    /// Springy, recovers shape — drives *high* instrumental cohesiveness.
+    Elasticity,
+    /// Sticky, clings to palate (rheometer attribute: negative force area).
+    Adhesiveness,
+    /// Thick, resistant to flow.
+    Viscosity,
+    /// Brittle fracture, crunchy/crispy families (gel-unrelated).
+    Crispness,
+    /// Slippery, even surface feel.
+    Smoothness,
+    /// Light, porous, whipped textures.
+    Airiness,
+    /// Dense, weighty impressions.
+    Heaviness,
+    /// Dry, powdery, crumbly impressions.
+    Dryness,
+}
+
+impl Category {
+    /// All category values, in declaration order.
+    pub const ALL: [Category; 11] = [
+        Category::Hardness,
+        Category::Softness,
+        Category::Cohesiveness,
+        Category::Elasticity,
+        Category::Adhesiveness,
+        Category::Viscosity,
+        Category::Crispness,
+        Category::Smoothness,
+        Category::Airiness,
+        Category::Heaviness,
+        Category::Dryness,
+    ];
+
+    /// The three instrumental categories used to build the dictionary
+    /// subset in the paper (Section III-A).
+    pub const INSTRUMENTAL: [Category; 3] = [
+        Category::Hardness,
+        Category::Cohesiveness,
+        Category::Adhesiveness,
+    ];
+
+    /// Short machine-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Hardness => "hardness",
+            Category::Softness => "softness",
+            Category::Cohesiveness => "cohesiveness",
+            Category::Elasticity => "elasticity",
+            Category::Adhesiveness => "adhesiveness",
+            Category::Viscosity => "viscosity",
+            Category::Crispness => "crispness",
+            Category::Smoothness => "smoothness",
+            Category::Airiness => "airiness",
+            Category::Heaviness => "heaviness",
+            Category::Dryness => "dryness",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The two consolidated axes of the Fig. 4 scatter plot.
+///
+/// Per the paper: "softness is negative hardness"; and following the
+/// physics stated with Fig. 3 ("strong elasticity leads to large value of
+/// cohesiveness"), elastic terms score positive and crumbly terms negative
+/// on the cohesiveness axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Hard (+) ↔ soft (−).
+    Hardness,
+    /// Cohesive/elastic (+) ↔ crumbly/short (−).
+    Cohesiveness,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Hardness => f.write_str("hardness"),
+            Axis::Cohesiveness => f.write_str("cohesiveness"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_variant_once() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn instrumental_is_subset_of_all() {
+        for c in Category::INSTRUMENTAL {
+            assert!(Category::ALL.contains(&c));
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Category::Hardness.to_string(), "hardness");
+        assert_eq!(Axis::Cohesiveness.to_string(), "cohesiveness");
+    }
+
+    #[test]
+    fn categories_are_ordered_for_btreeset_use() {
+        assert!(Category::Hardness < Category::Softness);
+    }
+}

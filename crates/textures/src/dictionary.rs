@@ -1,0 +1,217 @@
+//! The texture-term dictionary: term table plus surface-form index.
+
+use crate::builtin;
+use crate::category::Category;
+use crate::term::{TermEntry, TermId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable dictionary of texture terms with O(1) surface lookup.
+///
+/// # Examples
+/// ```
+/// use rheotex_textures::{extract_terms, TextureDictionary};
+///
+/// let dict = TextureDictionary::comprehensive();
+/// assert_eq!(dict.len(), 288);
+/// let terms = extract_terms(&dict, "totemo purupuru de oishii");
+/// assert_eq!(terms.len(), 1);
+/// assert_eq!(dict.entry(terms[0]).surface, "purupuru");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextureDictionary {
+    entries: Vec<TermEntry>,
+    #[serde(skip)]
+    index: HashMap<String, TermId>,
+}
+
+impl TextureDictionary {
+    /// Builds a dictionary from entries. Later duplicates of a surface form
+    /// are dropped (first entry wins), mirroring how a curated dictionary
+    /// would be de-duplicated.
+    #[must_use]
+    pub fn from_entries(entries: Vec<TermEntry>) -> Self {
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut index = HashMap::with_capacity(entries.len());
+        for e in entries {
+            let id = TermId(kept.len() as u32);
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(e.surface.clone())
+            {
+                slot.insert(id);
+                kept.push(e);
+            }
+        }
+        Self {
+            entries: kept,
+            index,
+        }
+    }
+
+    /// The full 288-entry reconstruction of the paper's dictionary
+    /// (see [`crate::builtin`]).
+    #[must_use]
+    pub fn comprehensive() -> Self {
+        Self::from_entries(builtin::comprehensive_entries())
+    }
+
+    /// Just the 41 gel-active terms (the vocabulary that survives the
+    /// paper's corpus filtering).
+    #[must_use]
+    pub fn gel_active() -> Self {
+        Self::from_entries(builtin::gel_entries())
+    }
+
+    /// Number of terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this dictionary.
+    #[must_use]
+    pub fn entry(&self, id: TermId) -> &TermEntry {
+        &self.entries[id.index()]
+    }
+
+    /// Entry by id, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, id: TermId) -> Option<&TermEntry> {
+        self.entries.get(id.index())
+    }
+
+    /// Looks up a surface form (exact, case-sensitive — callers lowercase
+    /// during tokenization).
+    #[must_use]
+    pub fn lookup(&self, surface: &str) -> Option<TermId> {
+        self.index.get(surface).copied()
+    }
+
+    /// Iterates `(TermId, &TermEntry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &TermEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (TermId(i as u32), e))
+    }
+
+    /// Ids of all entries annotated with `category`.
+    #[must_use]
+    pub fn ids_with_category(&self, category: Category) -> Vec<TermId> {
+        self.iter()
+            .filter(|(_, e)| e.has_category(category))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all gel-related entries.
+    #[must_use]
+    pub fn gel_related_ids(&self) -> Vec<TermId> {
+        self.iter()
+            .filter(|(_, e)| e.gel_related)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Restricts the dictionary to the given ids, producing a compact
+    /// re-indexed dictionary (used after the word2vec filter drops
+    /// gel-unrelated terms). Unknown ids are ignored.
+    #[must_use]
+    pub fn restrict(&self, ids: &[TermId]) -> Self {
+        let entries = ids.iter().filter_map(|id| self.get(*id)).cloned().collect();
+        Self::from_entries(entries)
+    }
+
+    /// Rebuilds the surface index (needed after deserialization, since the
+    /// index is not serialized).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.surface.clone(), TermId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{COMPREHENSIVE_SIZE, GEL_ACTIVE_COUNT};
+
+    #[test]
+    fn comprehensive_size() {
+        let d = TextureDictionary::comprehensive();
+        assert_eq!(d.len(), COMPREHENSIVE_SIZE);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn gel_active_size_and_flags() {
+        let d = TextureDictionary::gel_active();
+        assert_eq!(d.len(), GEL_ACTIVE_COUNT);
+        assert_eq!(d.gel_related_ids().len(), GEL_ACTIVE_COUNT);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let d = TextureDictionary::comprehensive();
+        let id = d.lookup("purupuru").expect("purupuru in dictionary");
+        assert_eq!(d.entry(id).surface, "purupuru");
+        assert!(d.lookup("not-a-term").is_none());
+    }
+
+    #[test]
+    fn duplicates_first_wins() {
+        let mut entries = crate::builtin::gel_entries();
+        let mut dup = entries[0].clone();
+        dup.gloss = "duplicate".into();
+        entries.push(dup);
+        let d = TextureDictionary::from_entries(entries);
+        assert_eq!(d.len(), GEL_ACTIVE_COUNT);
+        let id = d.lookup("furufuru").unwrap();
+        assert_ne!(d.entry(id).gloss, "duplicate");
+    }
+
+    #[test]
+    fn category_query() {
+        let d = TextureDictionary::gel_active();
+        let hard = d.ids_with_category(Category::Hardness);
+        assert!(hard.iter().any(|&id| d.entry(id).surface == "katai"));
+        assert!(!hard.iter().any(|&id| d.entry(id).surface == "fuwafuwa"));
+    }
+
+    #[test]
+    fn restrict_reindexes() {
+        let d = TextureDictionary::gel_active();
+        let keep: Vec<_> = d
+            .iter()
+            .filter(|(_, e)| e.surface == "katai" || e.surface == "purupuru")
+            .map(|(id, _)| id)
+            .collect();
+        let r = d.restrict(&keep);
+        assert_eq!(r.len(), 2);
+        assert!(r.lookup("katai").is_some());
+        assert!(r.lookup("furufuru").is_none());
+        // Ids are compact again.
+        assert_eq!(r.lookup("katai").unwrap().index() < 2, true);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let d = TextureDictionary::gel_active();
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: TextureDictionary = serde_json::from_str(&json).unwrap();
+        assert!(back.lookup("katai").is_none(), "index is skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.lookup("katai"), d.lookup("katai"));
+    }
+}

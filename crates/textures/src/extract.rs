@@ -1,0 +1,94 @@
+//! Tokenization and texture-term extraction from recipe descriptions.
+//!
+//! Descriptions in the synthetic corpus are romanized, so tokenization is
+//! simple: split on anything that is not a letter or digit and lowercase.
+//! Extraction then looks every token up in the dictionary and returns the
+//! matches **in order of occurrence** — the joint topic model consumes the
+//! term *sequence* (term frequency falls out of it).
+
+use crate::dictionary::TextureDictionary;
+use crate::term::TermId;
+use std::collections::HashMap;
+
+/// Splits text into lowercase alphanumeric tokens.
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Extracts dictionary texture terms from `text`, in order of occurrence.
+#[must_use]
+pub fn extract_terms(dict: &TextureDictionary, text: &str) -> Vec<TermId> {
+    tokenize(text)
+        .iter()
+        .filter_map(|tok| dict.lookup(tok))
+        .collect()
+}
+
+/// Extracts terms and aggregates them into a frequency map.
+#[must_use]
+pub fn extract_term_counts(dict: &TextureDictionary, text: &str) -> HashMap<TermId, usize> {
+    let mut counts = HashMap::new();
+    for id in extract_terms(dict, text) {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        let toks = tokenize("Purupuru! no gelatin-mousse,  2co bun.");
+        assert_eq!(
+            toks,
+            vec!["purupuru", "no", "gelatin", "mousse", "2co", "bun"]
+        );
+    }
+
+    #[test]
+    fn tokenize_empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ---").is_empty());
+    }
+
+    #[test]
+    fn extract_preserves_order_and_repeats() {
+        let d = TextureDictionary::gel_active();
+        let ids = extract_terms(&d, "totemo purupuru de katai, demo purupuru");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(d.entry(ids[0]).surface, "purupuru");
+        assert_eq!(d.entry(ids[1]).surface, "katai");
+        assert_eq!(d.entry(ids[2]).surface, "purupuru");
+    }
+
+    #[test]
+    fn extract_ignores_unknown_tokens() {
+        let d = TextureDictionary::gel_active();
+        let ids = extract_terms(&d, "oishii gelatin dessert recipe");
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let d = TextureDictionary::gel_active();
+        let counts = extract_term_counts(&d, "purupuru purupuru katai");
+        let puru = d.lookup("purupuru").unwrap();
+        let katai = d.lookup("katai").unwrap();
+        assert_eq!(counts[&puru], 2);
+        assert_eq!(counts[&katai], 1);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let d = TextureDictionary::gel_active();
+        let ids = extract_terms(&d, "PURUPURU Katai");
+        assert_eq!(ids.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Japanese sensory texture terms with rheological category annotations.
+//!
+//! The paper builds its vocabulary from the *Comprehensive Japanese Texture
+//! Terms* dictionary (NARO), extracting the 288 terms annotated with the
+//! rheological categories **hardness**, **cohesiveness**, and
+//! **adhesiveness**; 41 of those terms actually occur in the filtered
+//! Cookpad corpus. That dictionary is a closed web resource, so this crate
+//! reconstructs it:
+//!
+//! * the 41 operative terms are taken **verbatim from the paper's
+//!   Table II(a)** (romanized mimetics like *furufuru*, *katai*,
+//!   *purupuru*), with the paper's own English glosses;
+//! * the remaining entries are real Japanese texture mimetics from the
+//!   broader texture-term literature (crispy/crunchy families etc. — these
+//!   double as the gel-*unrelated* confounders the word2vec filter must
+//!   reject) plus systematic sokuon/reduplication variants, bringing the
+//!   total to the paper's 288.
+//!
+//! Each [`term::TermEntry`] carries:
+//! * a set of [`category::Category`] annotations (the dictionary metadata
+//!   used to validate topic ↔ rheology linkages and to build the Fig. 3
+//!   histograms), and
+//! * signed axis scores on the **hardness** and **cohesiveness** axes used
+//!   by the Fig. 4 scatter (`softness` is negative hardness; following the
+//!   physics stated alongside Fig. 3 — elastic gels recover for the second
+//!   bite, so elastic terms score *positive* cohesiveness; the crumbly
+//!   family scores negative).
+//!
+//! [`dictionary::TextureDictionary`] provides lookup and text extraction;
+//! [`profile::TextureProfile`] aggregates extracted terms into category
+//! histograms and axis scores.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builtin;
+pub mod category;
+pub mod dictionary;
+pub mod extract;
+pub mod profile;
+pub mod term;
+
+pub use category::{Axis, Category};
+pub use dictionary::TextureDictionary;
+pub use extract::{extract_terms, tokenize};
+pub use profile::TextureProfile;
+pub use term::{TermEntry, TermId};

@@ -1,0 +1,190 @@
+//! Aggregation of extracted texture terms into category histograms and
+//! axis scores — the measurement behind Fig. 3 and Fig. 4.
+
+use crate::category::{Axis, Category};
+use crate::dictionary::TextureDictionary;
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Category histogram and consolidated axis scores of a bag of texture
+/// terms (e.g. all terms of one recipe, or of one KL-divergence bin).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TextureProfile {
+    /// Term occurrences per category. A term annotated with several
+    /// categories contributes to each of them (matching how the paper
+    /// counts Fig. 3 bins from the dictionary's category annotations).
+    pub category_counts: BTreeMap<Category, usize>,
+    /// Total number of term occurrences aggregated.
+    pub total_terms: usize,
+    /// Occurrence-weighted mean hardness score in `[-1, 1]`.
+    pub hardness_score: f64,
+    /// Occurrence-weighted mean cohesiveness score in `[-1, 1]`.
+    pub cohesiveness_score: f64,
+    /// Occurrence-weighted mean adhesiveness score in `[0, 1]`.
+    pub adhesiveness_score: f64,
+}
+
+impl TextureProfile {
+    /// Builds a profile from term occurrences (repeats allowed; each
+    /// occurrence counts).
+    #[must_use]
+    pub fn from_term_ids(dict: &TextureDictionary, ids: &[TermId]) -> Self {
+        let mut profile = Self::default();
+        if ids.is_empty() {
+            return profile;
+        }
+        let mut h = 0.0;
+        let mut c = 0.0;
+        let mut a = 0.0;
+        for &id in ids {
+            let Some(entry) = dict.get(id) else { continue };
+            profile.total_terms += 1;
+            h += entry.hardness;
+            c += entry.cohesiveness;
+            a += entry.adhesiveness;
+            for &cat in &entry.categories {
+                *profile.category_counts.entry(cat).or_insert(0) += 1;
+            }
+        }
+        if profile.total_terms > 0 {
+            let n = profile.total_terms as f64;
+            profile.hardness_score = h / n;
+            profile.cohesiveness_score = c / n;
+            profile.adhesiveness_score = a / n;
+        }
+        profile
+    }
+
+    /// Count for one category (0 when absent).
+    #[must_use]
+    pub fn count(&self, category: Category) -> usize {
+        self.category_counts.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Score on a consolidated axis.
+    #[must_use]
+    pub fn axis_score(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::Hardness => self.hardness_score,
+            Axis::Cohesiveness => self.cohesiveness_score,
+        }
+    }
+
+    /// The category with the highest count, if any terms were aggregated.
+    /// Ties break to the smaller category (declaration order).
+    #[must_use]
+    pub fn dominant_category(&self) -> Option<Category> {
+        self.category_counts
+            .iter()
+            .max_by(|(ca, na), (cb, nb)| na.cmp(nb).then(cb.cmp(ca)))
+            .map(|(c, _)| *c)
+    }
+
+    /// Merges another profile into this one, recomputing weighted scores.
+    pub fn merge(&mut self, other: &Self) {
+        if other.total_terms == 0 {
+            return;
+        }
+        let n1 = self.total_terms as f64;
+        let n2 = other.total_terms as f64;
+        let total = n1 + n2;
+        self.hardness_score = (self.hardness_score * n1 + other.hardness_score * n2) / total;
+        self.cohesiveness_score =
+            (self.cohesiveness_score * n1 + other.cohesiveness_score * n2) / total;
+        self.adhesiveness_score =
+            (self.adhesiveness_score * n1 + other.adhesiveness_score * n2) / total;
+        self.total_terms += other.total_terms;
+        for (&cat, &n) in &other.category_counts {
+            *self.category_counts.entry(cat).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_terms;
+
+    fn dict() -> TextureDictionary {
+        TextureDictionary::gel_active()
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = TextureProfile::from_term_ids(&dict(), &[]);
+        assert_eq!(p.total_terms, 0);
+        assert_eq!(p.hardness_score, 0.0);
+        assert!(p.dominant_category().is_none());
+    }
+
+    #[test]
+    fn hard_terms_push_hardness_positive() {
+        let d = dict();
+        let ids = extract_terms(&d, "katai kochikochi dossiri");
+        let p = TextureProfile::from_term_ids(&d, &ids);
+        assert_eq!(p.total_terms, 3);
+        assert!(p.hardness_score > 0.7, "score {}", p.hardness_score);
+        assert!(p.count(Category::Hardness) >= 2);
+    }
+
+    #[test]
+    fn soft_terms_push_hardness_negative() {
+        let d = dict();
+        let ids = extract_terms(&d, "furufuru fuwafuwa yuruyuru");
+        let p = TextureProfile::from_term_ids(&d, &ids);
+        assert!(p.hardness_score < -0.5);
+        assert_eq!(p.dominant_category(), Some(Category::Softness));
+    }
+
+    #[test]
+    fn elastic_terms_push_cohesiveness_positive() {
+        let d = dict();
+        let ids = extract_terms(&d, "burunburun mochimochi buruburu");
+        let p = TextureProfile::from_term_ids(&d, &ids);
+        assert!(p.cohesiveness_score > 0.5);
+    }
+
+    #[test]
+    fn crumbly_terms_push_cohesiveness_negative() {
+        let d = dict();
+        let ids = extract_terms(&d, "bosoboso horohoro");
+        let p = TextureProfile::from_term_ids(&d, &ids);
+        assert!(p.cohesiveness_score < -0.5);
+    }
+
+    #[test]
+    fn repeats_weight_scores() {
+        let d = dict();
+        let katai = d.lookup("katai").unwrap();
+        let furu = d.lookup("furufuru").unwrap();
+        let p = TextureProfile::from_term_ids(&d, &[katai, katai, katai, furu]);
+        // 3×(+1.0) + 1×(−0.8) over 4 terms
+        assert!((p.hardness_score - (3.0 - 0.8) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_joint_construction() {
+        let d = dict();
+        let ids_a = extract_terms(&d, "katai muchimuchi");
+        let ids_b = extract_terms(&d, "furufuru purupuru fuwafuwa");
+        let mut merged = TextureProfile::from_term_ids(&d, &ids_a);
+        merged.merge(&TextureProfile::from_term_ids(&d, &ids_b));
+        let all: Vec<_> = ids_a.iter().chain(ids_b.iter()).copied().collect();
+        let joint = TextureProfile::from_term_ids(&d, &all);
+        assert_eq!(merged.total_terms, joint.total_terms);
+        assert!((merged.hardness_score - joint.hardness_score).abs() < 1e-12);
+        assert_eq!(merged.category_counts, joint.category_counts);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let d = dict();
+        let ids = extract_terms(&d, "katai");
+        let mut p = TextureProfile::from_term_ids(&d, &ids);
+        let before = p.clone();
+        p.merge(&TextureProfile::default());
+        assert_eq!(p.total_terms, before.total_terms);
+        assert_eq!(p.hardness_score, before.hardness_score);
+    }
+}

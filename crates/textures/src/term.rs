@@ -1,0 +1,160 @@
+//! A single dictionary entry: one texture term with its annotations.
+
+use crate::category::{Axis, Category};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Stable identifier of a term inside a [`crate::TextureDictionary`]
+/// (its index in the dictionary's term table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The index as `usize` for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One texture term with its dictionary annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TermEntry {
+    /// Romanized surface form as it appears in recipe text (e.g.
+    /// `"purupuru"`). Lowercase ASCII; matching is exact on tokens.
+    pub surface: String,
+    /// English gloss (the paper's own gloss where available).
+    pub gloss: String,
+    /// Dictionary category annotations.
+    pub categories: BTreeSet<Category>,
+    /// Signed score on the hardness axis in `[-1, 1]`
+    /// (hard positive, soft negative).
+    pub hardness: f64,
+    /// Signed score on the cohesiveness axis in `[-1, 1]`
+    /// (elastic/cohesive positive, crumbly negative).
+    pub cohesiveness: f64,
+    /// Signed adhesiveness score in `[0, 1]` (sticky positive).
+    pub adhesiveness: f64,
+    /// Whether the term describes a texture gels can realize. Terms with
+    /// `false` (the crispy/crunchy families) are what the word2vec filter
+    /// is expected to exclude from gel recipes.
+    pub gel_related: bool,
+}
+
+impl TermEntry {
+    /// Builder-style constructor from the annotation tuple used by the
+    /// built-in tables.
+    #[must_use]
+    pub fn new(
+        surface: &str,
+        gloss: &str,
+        categories: &[Category],
+        hardness: f64,
+        cohesiveness: f64,
+        adhesiveness: f64,
+        gel_related: bool,
+    ) -> Self {
+        debug_assert!((-1.0..=1.0).contains(&hardness), "hardness {hardness}");
+        debug_assert!(
+            (-1.0..=1.0).contains(&cohesiveness),
+            "cohesiveness {cohesiveness}"
+        );
+        debug_assert!(
+            (0.0..=1.0).contains(&adhesiveness),
+            "adhesiveness {adhesiveness}"
+        );
+        Self {
+            surface: surface.to_string(),
+            gloss: gloss.to_string(),
+            categories: categories.iter().copied().collect(),
+            hardness,
+            cohesiveness,
+            adhesiveness,
+            gel_related,
+        }
+    }
+
+    /// Signed score of this term on a consolidated analysis axis.
+    #[must_use]
+    pub fn axis_score(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::Hardness => self.hardness,
+            Axis::Cohesiveness => self.cohesiveness,
+        }
+    }
+
+    /// Whether the entry is annotated with the given category.
+    #[must_use]
+    pub fn has_category(&self, category: Category) -> bool {
+        self.categories.contains(&category)
+    }
+
+    /// Whether the entry carries at least one of the three instrumental
+    /// categories (the paper's dictionary-construction criterion).
+    #[must_use]
+    pub fn is_instrumental(&self) -> bool {
+        Category::INSTRUMENTAL
+            .iter()
+            .any(|c| self.categories.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TermEntry {
+        TermEntry::new(
+            "katai",
+            "hard, firm, stiff",
+            &[Category::Hardness],
+            1.0,
+            0.2,
+            0.0,
+            true,
+        )
+    }
+
+    #[test]
+    fn axis_scores() {
+        let t = sample();
+        assert_eq!(t.axis_score(Axis::Hardness), 1.0);
+        assert_eq!(t.axis_score(Axis::Cohesiveness), 0.2);
+    }
+
+    #[test]
+    fn category_membership() {
+        let t = sample();
+        assert!(t.has_category(Category::Hardness));
+        assert!(!t.has_category(Category::Softness));
+        assert!(t.is_instrumental());
+    }
+
+    #[test]
+    fn non_instrumental_term() {
+        let t = TermEntry::new(
+            "sakusaku",
+            "light crispy",
+            &[Category::Crispness],
+            0.3,
+            -0.5,
+            0.0,
+            false,
+        );
+        assert!(!t.is_instrumental());
+        assert!(!t.gel_related);
+    }
+
+    #[test]
+    fn term_id_index() {
+        assert_eq!(TermId(7).index(), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TermEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

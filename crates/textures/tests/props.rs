@@ -1,0 +1,87 @@
+//! Property-based tests for the texture dictionary and extraction.
+
+use proptest::prelude::*;
+use rheotex_textures::{extract_terms, tokenize, TermId, TextureDictionary, TextureProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tokenization is total and produces only lowercase alphanumerics.
+    #[test]
+    fn tokenize_is_total(text in ".{0,200}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// Extraction is idempotent under re-joining: extracting from the
+    /// surface forms of extracted terms returns the same terms.
+    #[test]
+    fn extraction_idempotent(text in "[a-z ]{0,120}") {
+        let dict = TextureDictionary::comprehensive();
+        let once = extract_terms(&dict, &text);
+        let rejoined: String = once
+            .iter()
+            .map(|&t| dict.entry(t).surface.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let twice = extract_terms(&dict, &rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Profiles are bounded whatever multiset of terms they aggregate.
+    #[test]
+    fn profiles_are_bounded(ids in proptest::collection::vec(0u32..288, 0..60)) {
+        let dict = TextureDictionary::comprehensive();
+        let ids: Vec<TermId> = ids.into_iter().map(TermId).collect();
+        let p = TextureProfile::from_term_ids(&dict, &ids);
+        prop_assert!((-1.0..=1.0).contains(&p.hardness_score));
+        prop_assert!((-1.0..=1.0).contains(&p.cohesiveness_score));
+        prop_assert!((0.0..=1.0).contains(&p.adhesiveness_score));
+        prop_assert_eq!(p.total_terms, ids.len());
+        // Category counts never exceed total occurrences × categories.
+        for (_, &n) in &p.category_counts {
+            prop_assert!(n <= ids.len() * 3);
+        }
+    }
+
+    /// Restriction preserves entry content and membership.
+    #[test]
+    fn restrict_preserves_entries(keep in proptest::collection::btree_set(0u32..288, 0..50)) {
+        let dict = TextureDictionary::comprehensive();
+        let ids: Vec<TermId> = keep.iter().copied().map(TermId).collect();
+        let small = dict.restrict(&ids);
+        prop_assert_eq!(small.len(), keep.len());
+        for &id in &ids {
+            let original = dict.entry(id);
+            let new_id = small.lookup(&original.surface).expect("kept term");
+            prop_assert_eq!(small.entry(new_id), original);
+        }
+    }
+
+    /// Out-of-range ids are ignored by restrict, never a panic.
+    #[test]
+    fn restrict_ignores_unknown_ids(ids in proptest::collection::vec(0u32..1000, 0..40)) {
+        let dict = TextureDictionary::gel_active();
+        let ids: Vec<TermId> = ids.into_iter().map(TermId).collect();
+        let small = dict.restrict(&ids);
+        prop_assert!(small.len() <= dict.len());
+    }
+
+    /// Profile merge is associative with from_term_ids (any split point).
+    #[test]
+    fn merge_agrees_with_joint(ids in proptest::collection::vec(0u32..41, 0..30), split in 0usize..30) {
+        let dict = TextureDictionary::gel_active();
+        let ids: Vec<TermId> = ids.into_iter().map(TermId).collect();
+        let cut = split.min(ids.len());
+        let mut merged = TextureProfile::from_term_ids(&dict, &ids[..cut]);
+        merged.merge(&TextureProfile::from_term_ids(&dict, &ids[cut..]));
+        let joint = TextureProfile::from_term_ids(&dict, &ids);
+        prop_assert_eq!(merged.total_terms, joint.total_terms);
+        prop_assert!((merged.hardness_score - joint.hardness_score).abs() < 1e-9);
+        prop_assert!((merged.cohesiveness_score - joint.cohesiveness_score).abs() < 1e-9);
+        prop_assert_eq!(merged.category_counts, joint.category_counts);
+    }
+}

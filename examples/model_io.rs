@@ -1,0 +1,72 @@
+//! Model persistence: fit once, save to JSON, reload, and keep using the
+//! fitted model for topic assignment — the workflow of a service that
+//! answers texture queries without refitting.
+//!
+//! ```sh
+//! cargo run --release --example model_io
+//! ```
+
+use rheotex::core::FittedJointModel;
+use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex_linkage::assign::assign_setting;
+
+fn main() {
+    let mut config = PipelineConfig::small(500);
+    config.seed = 11;
+    println!("fitting…");
+    let out = run_pipeline(&config).expect("pipeline");
+
+    // Persist the fitted model and the dictionary it indexes into.
+    let dir = std::env::temp_dir().join("rheotex_model_io");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let model_path = dir.join("model.json");
+    let dict_path = dir.join("dict.json");
+    std::fs::write(
+        &model_path,
+        serde_json::to_string(&out.model).expect("serialize model"),
+    )
+    .expect("write model");
+    std::fs::write(
+        &dict_path,
+        serde_json::to_string(&out.dict).expect("serialize dict"),
+    )
+    .expect("write dict");
+    println!(
+        "saved {} ({} bytes) and {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path).unwrap().len(),
+        dict_path.display(),
+        std::fs::metadata(&dict_path).unwrap().len(),
+    );
+
+    // Reload and use.
+    let loaded: FittedJointModel =
+        serde_json::from_str(&std::fs::read_to_string(&model_path).expect("read model"))
+            .expect("deserialize model");
+    let mut dict: rheotex::textures::TextureDictionary =
+        serde_json::from_str(&std::fs::read_to_string(&dict_path).expect("read dict"))
+            .expect("deserialize dict");
+    dict.rebuild_index(); // the surface index is not serialized
+
+    let query = [0.02, 0.0, 0.0];
+    let a = assign_setting(&loaded, 0, query).expect("assign");
+    println!(
+        "\nreloaded model answers: 2% gelatin -> topic {} (KL {:.2})",
+        a.topic, a.kl
+    );
+    let terms: Vec<&str> = loaded
+        .top_terms(a.topic, 4)
+        .iter()
+        .map(|&(w, _)| {
+            dict.entry(rheotex::textures::TermId(w as u32))
+                .surface
+                .as_str()
+        })
+        .collect();
+    println!("described as: {}", terms.join(", "));
+
+    // Sanity: the reloaded model matches the in-memory one.
+    let b = assign_setting(&out.model, 0, query).expect("assign");
+    assert_eq!(a.topic, b.topic);
+    println!("\nreloaded assignment matches the in-memory model — round-trip OK");
+}

@@ -1,0 +1,100 @@
+//! Rheometer lab: sweep gel concentrations through the TPA simulator and
+//! watch the three instrumental attributes evolve — the food-science side
+//! of the paper, standalone (no topic model involved).
+//!
+//! ```sh
+//! cargo run --release --example rheometer_lab
+//! ```
+
+use rheotex::rheology::tpa::{GelMechanics, TpaConfig, TpaCurve};
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn sweep(name: &str, gel_index: usize, concentrations: &[f64]) {
+    println!("\n--- {name} concentration sweep ---");
+    println!(
+        "{:>6} | {:>8} {:<20} | {:>6} | {:>8}",
+        "conc%", "hardness", "", "coh", "adhesion"
+    );
+    let max_h = concentrations
+        .iter()
+        .map(|&c| {
+            let mut gels = [0.0; 3];
+            gels[gel_index] = c;
+            GelMechanics::from_gel_concentrations(gels).hardness
+        })
+        .fold(0.0f64, f64::max);
+    for &c in concentrations {
+        let mut gels = [0.0; 3];
+        gels[gel_index] = c;
+        let attrs = GelMechanics::from_gel_concentrations(gels).predicted_attributes();
+        println!(
+            "{:>6.2} | {:>8.2} {:<20} | {:>6.2} | {:>8.2}",
+            c * 100.0,
+            attrs.hardness,
+            bar(attrs.hardness, max_h, 20),
+            attrs.cohesiveness,
+            attrs.adhesiveness
+        );
+    }
+}
+
+fn main() {
+    println!("TPA rheometer simulator — the instrument behind the paper's Table I");
+
+    sweep("gelatin", 0, &[0.01, 0.015, 0.018, 0.02, 0.025, 0.03, 0.04]);
+    sweep("kanten", 1, &[0.004, 0.008, 0.01, 0.012, 0.016, 0.02]);
+    sweep("agar", 2, &[0.004, 0.008, 0.01, 0.012, 0.02, 0.03]);
+
+    println!("\n--- gelatin x agar mixture (the Table I row-5 stickiness synergy) ---");
+    for &(g, a) in &[(0.03, 0.0), (0.0, 0.03), (0.03, 0.03)] {
+        let attrs = GelMechanics::from_gel_concentrations([g, 0.0, a]).predicted_attributes();
+        println!(
+            "gelatin {:.0}% + agar {:.0}%: H {:>5.2}  C {:>4.2}  A {:>6.2}",
+            g * 100.0,
+            a * 100.0,
+            attrs.hardness,
+            attrs.cohesiveness,
+            attrs.adhesiveness
+        );
+    }
+
+    println!("\n--- emulsions on a 2.5% gelatin base (the Table II(b) effect) ---");
+    let base = GelMechanics::from_gel_concentrations([0.025, 0.0, 0.0]);
+    let variants: [(&str, [f64; 6]); 3] = [
+        ("plain water jelly", [0.0; 6]),
+        ("milk jelly (79% milk)", [0.032, 0.0, 0.0, 0.0, 0.787, 0.0]),
+        (
+            "bavarois (yolk+cream+milk)",
+            [0.0, 0.0, 0.08, 0.2, 0.4, 0.0],
+        ),
+    ];
+    for (name, emulsions) in variants {
+        let attrs = base.with_emulsions(emulsions).predicted_attributes();
+        println!(
+            "{:<28} H {:>5.2}  C {:>4.2}  A {:>6.3}",
+            name, attrs.hardness, attrs.cohesiveness, attrs.adhesiveness
+        );
+    }
+
+    // One full curve, as numbers (Fig. 2's raw data).
+    println!("\n--- raw force samples of one two-bite run (2.5% gelatin, 12 samples/stroke) ---");
+    let mech = GelMechanics::from_gel_concentrations([0.025, 0.0, 0.0]);
+    let curve = TpaCurve::simulate(
+        &mech,
+        &TpaConfig {
+            steps_per_stroke: 12,
+            ..TpaConfig::default()
+        },
+    );
+    for chunk in curve.force.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|f| format!("{f:+.2}")).collect();
+        println!("  {}", row.join(" "));
+    }
+}

@@ -1,0 +1,80 @@
+//! Texture explorer: "what will my gel recipe feel like?"
+//!
+//! Give it gel concentrations (as percentages) and it answers with both
+//! sides of the paper's bridge:
+//!
+//! * the **rheology side** — simulated instrumental texture from the TPA
+//!   rheometer model (hardness / cohesiveness / adhesiveness in RU);
+//! * the **language side** — the texture words home cooks would use,
+//!   read from the most similar topic of a fitted joint topic model.
+//!
+//! ```sh
+//! cargo run --release --example texture_explorer -- 2.5 0 0
+//! cargo run --release --example texture_explorer -- 0 1.2 0
+//! ```
+//! (arguments: gelatin%, kanten%, agar% — defaults to 2.5 0 0)
+
+use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::rheology::tpa::GelMechanics;
+use rheotex::textures::TermId;
+use rheotex_linkage::assign::assign_setting;
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let gels = [
+        args.first().copied().unwrap_or(2.5) / 100.0,
+        args.get(1).copied().unwrap_or(0.0) / 100.0,
+        args.get(2).copied().unwrap_or(0.0) / 100.0,
+    ];
+    println!(
+        "recipe: gelatin {:.2}%  kanten {:.2}%  agar {:.2}%",
+        gels[0] * 100.0,
+        gels[1] * 100.0,
+        gels[2] * 100.0
+    );
+
+    // Rheology side: simulate the instrument.
+    let attrs = GelMechanics::from_gel_concentrations(gels).predicted_attributes();
+    println!("\nsimulated rheometer reading:");
+    println!("  hardness     = {:.2} RU", attrs.hardness);
+    println!("  cohesiveness = {:.2}", attrs.cohesiveness);
+    println!("  adhesiveness = {:.2} RU.s", attrs.adhesiveness);
+
+    // Language side: fit the model and find the most similar topic.
+    println!("\nfitting the joint topic model on a synthetic corpus…");
+    let mut config = PipelineConfig::small(1000);
+    // Populate the rare hard-gelatin band so mid-range queries have a
+    // well-estimated topic to land on (see DESIGN.md on Fig. 3 power).
+    for a in &mut config.synth.archetypes {
+        if a.name.starts_with("gelatin-hard") {
+            a.weight *= 12.0;
+        }
+    }
+    config.seed = 3;
+    let out = run_pipeline(&config).expect("pipeline");
+    let assignment = assign_setting(&out.model, 0, gels).expect("assignment");
+    println!(
+        "most similar topic: {} (KL divergence {:.2}); runner-up topics: {:?}",
+        assignment.topic,
+        assignment.kl,
+        assignment
+            .ranking()
+            .iter()
+            .skip(1)
+            .take(2)
+            .map(|&(t, kl)| format!("topic {t} (KL {kl:.2})"))
+            .collect::<Vec<_>>()
+    );
+
+    println!("\npeople describe this texture as:");
+    for (w, p) in out.model.top_terms(assignment.topic, 6) {
+        if p < 0.02 {
+            continue;
+        }
+        let e = out.dict.entry(TermId(w as u32));
+        println!("  {:<14} {:<52} (p = {:.2})", e.surface, e.gloss, p);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rheotex
+//!
+//! Reproduction of *"Detecting Sensory Textures with Rheological
+//! Characteristics from Recipe Sharing Sites"* (Uehara & Mochihashi,
+//! ICDE 2022): a joint topic model that bridges sensory texture terms in
+//! recipe text with quantitative rheology via gel and emulsion
+//! concentration features.
+//!
+//! This facade crate re-exports the workspace's public API and provides
+//! [`pipeline`] — the end-to-end paper pipeline from posted recipes to
+//! linked topics:
+//!
+//! ```text
+//! recipes ─ parse units → grams ─ concentrations ─ −ln(x) features ─┐
+//!    │                                                              │
+//!    └ descriptions ─ word2vec ─ gel-relatedness filter ─ terms ────┤
+//!                                                                   ▼
+//!                                              joint topic model (Gibbs)
+//!                                                                   │
+//!                   Table I / dishes ─ KL linkage ◄─ topics ◄───────┘
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rheotex::pipeline::{run_pipeline, PipelineConfig};
+//!
+//! // A miniature corpus so the doctest stays fast; see
+//! // `PipelineConfig::paper_scale()` for the paper's dimensions.
+//! let mut config = PipelineConfig::small(250);
+//! config.seed = 7;
+//! let out = run_pipeline(&config).expect("pipeline runs");
+//! assert!(out.model.n_topics() > 0);
+//! assert_eq!(out.dataset.len(), out.model.n_docs());
+//! ```
+//!
+//! The sub-crates, bottom-up:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`linalg`] | dense matrices, Cholesky, Normal-Wishart, Wishart, Student-t, KL divergences |
+//! | [`textures`] | the 288-term texture dictionary with rheological categories |
+//! | [`corpus`] | quantity parsing, concentration features, synthetic Cookpad generator |
+//! | [`embed`] | word2vec (SGNS) and the gel-relatedness term filter |
+//! | [`rheology`] | TPA rheometer simulator, Table I / Table II(b) data |
+//! | [`core`] | the joint topic model, collapsed variant, LDA / GMM baselines |
+//! | [`linkage`] | KL topic assignment, Fig. 3 / Fig. 4 analyses, recovery metrics |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use rheotex_core as core;
+pub use rheotex_corpus as corpus;
+pub use rheotex_embed as embed;
+pub use rheotex_linalg as linalg;
+pub use rheotex_linkage as linkage;
+pub use rheotex_rheology as rheology;
+pub use rheotex_textures as textures;
+
+pub mod pipeline;

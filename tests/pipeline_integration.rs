@@ -1,0 +1,172 @@
+//! End-to-end integration tests: the full pipeline must reproduce the
+//! paper's qualitative structure (Table II(a)/(b) shape) on a small
+//! corpus, and the joint model must beat its single-modality baselines.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex::core::gmm::{GmmConfig, GmmModel};
+use rheotex::core::lda::{LdaConfig, LdaModel};
+use rheotex::core::TopicSummary;
+use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::rheology::dishes::{bavarois, milk_jelly, pure_gelatin_reference};
+use rheotex::rheology::table1::table1;
+use rheotex_linkage::assign::{assign_setting, assign_settings};
+use rheotex_linkage::encode::dataset_to_docs;
+use rheotex_linkage::{adjusted_rand_index, normalized_mutual_information};
+
+fn fitted() -> rheotex::pipeline::PipelineOutput {
+    let mut config = PipelineConfig::small(1500);
+    config.sweeps = 120;
+    config.burn_in = 60;
+    config.seed = 99;
+    run_pipeline(&config).expect("pipeline")
+}
+
+#[test]
+fn topics_separate_by_gel_type() {
+    let out = fitted();
+    let summaries = TopicSummary::from_model(&out.model, 10, 0.0).expect("summaries");
+
+    // There must be at least one well-populated topic dominated by each
+    // gel type (gelatin, kanten, agar).
+    for gel in 0..3usize {
+        let found = summaries
+            .iter()
+            .any(|s| s.n_recipes >= 10 && s.dominant_gel().0 == gel);
+        assert!(found, "no populated topic dominated by gel {gel}");
+    }
+}
+
+#[test]
+fn table1_rows_assign_to_matching_gel_topics() {
+    let out = fitted();
+    let summaries = TopicSummary::from_model(&out.model, 10, 0.0).expect("summaries");
+    let settings: Vec<(u32, [f64; 3])> = table1().iter().map(|r| (r.id, r.gels)).collect();
+    let assignments = assign_settings(&out.model, &settings).expect("assign");
+
+    // Pure-kanten rows (6-9) must land on kanten-dominant topics; pure
+    // agar rows (10-13) on agar-dominant topics; pure gelatin rows (1-4)
+    // on gelatin-dominant topics.
+    for a in &assignments {
+        let row = &table1()[(a.setting_id - 1) as usize];
+        if a.setting_id == 5 {
+            continue; // the gelatin+agar mix can defensibly go either way
+        }
+        let expected_gel = row
+            .gels
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let got = summaries[a.topic].dominant_gel().0;
+        assert_eq!(
+            got, expected_gel,
+            "row {} ({:?}) assigned to topic {} dominated by gel {got}",
+            a.setting_id, row.gels, a.topic
+        );
+    }
+}
+
+#[test]
+fn kanten_rows_share_topics_and_differ_from_gelatin_rows() {
+    let out = fitted();
+    let settings: Vec<(u32, [f64; 3])> = table1().iter().map(|r| (r.id, r.gels)).collect();
+    let assignments = assign_settings(&out.model, &settings).expect("assign");
+    let topic_of = |row: u32| assignments[(row - 1) as usize].topic;
+
+    // Gelatin rows and kanten rows must not mix.
+    for g in 1..=4u32 {
+        for k in 6..=9u32 {
+            assert_ne!(
+                topic_of(g),
+                topic_of(k),
+                "gelatin row {g} and kanten row {k} share a topic"
+            );
+        }
+    }
+    // Agar rows cluster together (the paper maps all four to one topic).
+    let agar_topics: std::collections::HashSet<usize> = (10..=13).map(topic_of).collect();
+    assert!(
+        agar_topics.len() <= 2,
+        "agar rows scattered over {agar_topics:?}"
+    );
+}
+
+#[test]
+fn dishes_assign_to_one_gelatin_topic() {
+    let out = fitted();
+    let summaries = TopicSummary::from_model(&out.model, 10, 0.0).expect("summaries");
+    let dishes = [bavarois(), milk_jelly(), pure_gelatin_reference()];
+    let topics: Vec<usize> = dishes
+        .iter()
+        .enumerate()
+        .map(|(i, d)| assign_setting(&out.model, i as u32, d.gels).unwrap().topic)
+        .collect();
+    // All three share the 2.5% gelatin composition — one topic for all.
+    assert_eq!(topics[0], topics[1]);
+    assert_eq!(topics[1], topics[2]);
+    assert_eq!(
+        summaries[topics[0]].dominant_gel().0,
+        0,
+        "the dish topic must be gelatin-dominated"
+    );
+}
+
+#[test]
+fn joint_model_recovers_better_than_baselines() {
+    let out = fitted();
+    let truth = &out.dataset.labels;
+    let docs = dataset_to_docs(&out.dataset);
+    let k = out.model.n_topics();
+
+    let joint: Vec<usize> = (0..out.model.n_docs())
+        .map(|d| out.model.dominant_topic(d))
+        .collect();
+    let joint_nmi = normalized_mutual_information(&joint, truth);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let lda_fit = LdaModel::new(LdaConfig {
+        n_topics: k,
+        vocab_size: out.dict.len(),
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: 120,
+        burn_in: 60,
+    })
+    .unwrap()
+    .fit(&mut rng, &docs)
+    .unwrap();
+    let lda: Vec<usize> = (0..docs.len()).map(|d| lda_fit.dominant_topic(d)).collect();
+    let lda_nmi = normalized_mutual_information(&lda, truth);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut gmm_cfg = GmmConfig::new(k);
+    gmm_cfg.sweeps = 60;
+    let gmm_fit = GmmModel::new(gmm_cfg)
+        .unwrap()
+        .fit(&mut rng, &docs)
+        .unwrap();
+    let gmm_nmi = normalized_mutual_information(&gmm_fit.assignments, truth);
+
+    assert!(
+        joint_nmi >= lda_nmi - 0.02,
+        "joint NMI {joint_nmi:.3} < LDA NMI {lda_nmi:.3}"
+    );
+    assert!(
+        joint_nmi >= gmm_nmi - 0.02,
+        "joint NMI {joint_nmi:.3} < GMM NMI {gmm_nmi:.3}"
+    );
+    assert!(joint_nmi > 0.5, "joint NMI {joint_nmi:.3} too low");
+    // ARI should also be solidly above chance.
+    assert!(adjusted_rand_index(&joint, truth) > 0.4);
+}
+
+#[test]
+fn exclusion_accounting_is_complete() {
+    let out = fitted();
+    // Every generated recipe is either kept or has a recorded exclusion
+    // reason (the filter log from the dataset stage plus remap stage).
+    assert!(out.dataset.len() + out.dataset.exclusions.len() >= out.corpus.recipes.len());
+    assert!(!out.dataset.exclusions.is_empty());
+}

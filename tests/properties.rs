@@ -1,0 +1,237 @@
+//! Property-based tests over the core invariants of the system.
+
+use proptest::prelude::*;
+use rheotex::corpus::features::{concentration_from_info, info_quantity, MIN_CONCENTRATION};
+use rheotex::corpus::units::{parse_quantity, Quantity, Unit};
+use rheotex::corpus::IngredientDb;
+use rheotex::linalg::dist::{GaussianStats, NormalWishart};
+use rheotex::linalg::kl::{js_divergence, kl_discrete, kl_gaussian};
+use rheotex::linalg::{Cholesky, Matrix, Vector};
+use rheotex::rheology::tpa::{GelMechanics, TpaConfig, TpaCurve};
+use rheotex::textures::{extract_terms, TextureDictionary};
+use rheotex_linkage::{adjusted_rand_index, normalized_mutual_information, purity};
+
+fn small_conc() -> impl Strategy<Value = f64> {
+    (1e-4..0.2f64).prop_map(|x| x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- units ----
+
+    /// Any quantity rendered as "<v>g" parses back to exactly v grams.
+    #[test]
+    fn gram_quantities_roundtrip(v in 0.1..5000.0f64) {
+        let v = (v * 2.0).round() / 2.0; // generator-style 0.5 g rounding
+        let q = parse_quantity(&format!("{v}g")).unwrap();
+        prop_assert_eq!(q, Quantity { value: v, unit: Unit::Gram });
+        let db = IngredientDb::builtin();
+        let water = db.lookup("water").unwrap();
+        prop_assert!((q.to_grams(water).unwrap() - v).abs() < 1e-9);
+    }
+
+    /// Volume conversions scale linearly with specific gravity.
+    #[test]
+    fn volume_conversion_linear(ml in 1.0..2000.0f64) {
+        let db = IngredientDb::builtin();
+        let milk = db.lookup("milk").unwrap();
+        let q = Quantity { value: ml, unit: Unit::Milliliter };
+        let grams = q.to_grams(milk).unwrap();
+        prop_assert!((grams - ml * milk.specific_gravity).abs() < 1e-9);
+    }
+
+    // ---- features ----
+
+    /// info_quantity is monotone decreasing and inverts above the floor.
+    #[test]
+    fn info_quantity_monotone_and_invertible(a in small_conc(), b in small_conc()) {
+        if a < b {
+            prop_assert!(info_quantity(a) >= info_quantity(b));
+        }
+        if a >= MIN_CONCENTRATION {
+            prop_assert!((concentration_from_info(info_quantity(a)) - a).abs() < 1e-12);
+        }
+    }
+
+    // ---- linalg / KL ----
+
+    /// Gaussian KL is non-negative and zero iff identical parameters.
+    #[test]
+    fn gaussian_kl_nonnegative(
+        m0 in -5.0..5.0f64, m1 in -5.0..5.0f64,
+        v0 in 0.1..4.0f64, v1 in 0.1..4.0f64,
+    ) {
+        let kl = kl_gaussian(
+            &Vector::new(vec![m0]),
+            &Matrix::from_diag(&[v0]),
+            &Vector::new(vec![m1]),
+            &Matrix::from_diag(&[v1]),
+        ).unwrap();
+        prop_assert!(kl >= -1e-12, "kl = {kl}");
+        if (m0 - m1).abs() < 1e-12 && (v0 - v1).abs() < 1e-12 {
+            prop_assert!(kl.abs() < 1e-9);
+        }
+    }
+
+    /// Discrete KL is non-negative; JS is symmetric and bounded by ln 2.
+    #[test]
+    fn discrete_divergences(
+        p in proptest::collection::vec(0.0..1.0f64, 4),
+        q in proptest::collection::vec(0.0..1.0f64, 4),
+    ) {
+        let p = Vector::new(p);
+        let q = Vector::new(q);
+        // Guard: profiles must not be all-zero after smoothing = 1e-6.
+        let kl = kl_discrete(&p, &q, 1e-6).unwrap();
+        prop_assert!(kl >= 0.0);
+        let js_ab = js_divergence(&p, &q, 1e-6).unwrap();
+        let js_ba = js_divergence(&q, &p, 1e-6).unwrap();
+        prop_assert!((js_ab - js_ba).abs() < 1e-9);
+        prop_assert!(js_ab <= std::f64::consts::LN_2 + 1e-9);
+    }
+
+    /// Cholesky factors reconstruct the original SPD matrix.
+    #[test]
+    fn cholesky_reconstructs(
+        a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64,
+    ) {
+        // Build SPD as L L^T + I from arbitrary lower factors.
+        let l = Matrix::from_rows_vec(2, 2, vec![a.abs() + 1.0, 0.0, b, c.abs() + 1.0]).unwrap();
+        let mut spd = l.matmul(&l.transpose()).unwrap();
+        spd[(0, 0)] += 1.0;
+        spd[(1, 1)] += 1.0;
+        let ch = Cholesky::factor(&spd).unwrap();
+        let r = ch.reconstruct();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((r[(i, j)] - spd[(i, j)]).abs() < 1e-9);
+            }
+        }
+        prop_assert!(ch.log_det().is_finite());
+    }
+
+    /// GaussianStats: any add/remove interleaving that ends balanced
+    /// restores the accumulator (up to floating-point noise).
+    #[test]
+    fn stats_add_remove_invariant(
+        xs in proptest::collection::vec(
+            proptest::collection::vec(-10.0..10.0f64, 3), 1..8),
+    ) {
+        let base = Vector::new(vec![1.0, 2.0, 3.0]);
+        let mut stats = GaussianStats::new(3);
+        stats.add(&base).unwrap();
+        let mean_before = stats.mean();
+        for x in &xs {
+            stats.add(&Vector::new(x.clone())).unwrap();
+        }
+        for x in xs.iter().rev() {
+            stats.remove(&Vector::new(x.clone())).unwrap();
+        }
+        prop_assert_eq!(stats.count(), 1);
+        for i in 0..3 {
+            prop_assert!((stats.mean()[i] - mean_before[i]).abs() < 1e-8);
+        }
+    }
+
+    /// NW posterior degrees of freedom and coupling grow exactly with n.
+    #[test]
+    fn nw_posterior_counts(
+        n in 1usize..30,
+    ) {
+        let prior = NormalWishart::vague(Vector::zeros(2), 0.5, 1.0).unwrap();
+        let mut stats = GaussianStats::new(2);
+        for i in 0..n {
+            stats.add(&Vector::new(vec![i as f64, -(i as f64)])).unwrap();
+        }
+        let post = prior.posterior(&stats).unwrap();
+        prop_assert!((post.beta() - (0.5 + n as f64)).abs() < 1e-12);
+        prop_assert!((post.nu() - (prior.nu() + n as f64)).abs() < 1e-12);
+    }
+
+    // ---- rheology ----
+
+    /// TPA extraction recovers the mechanics targets for any reasonable
+    /// parameter combination.
+    #[test]
+    fn tpa_extraction_consistent(
+        h in 0.05..10.0f64,
+        coh in 0.05..0.9f64,
+        adh in 0.0..5.0f64,
+        p in 1.2..3.5f64,
+    ) {
+        let mech = GelMechanics {
+            hardness: h,
+            cohesiveness: coh,
+            adhesiveness: adh,
+            peak_exponent: p,
+        };
+        let attrs = TpaCurve::simulate(&mech, &TpaConfig::default()).extract();
+        prop_assert!((attrs.hardness - h).abs() / h < 0.05, "H {} vs {h}", attrs.hardness);
+        prop_assert!((attrs.cohesiveness - coh).abs() < 0.05, "C {} vs {coh}", attrs.cohesiveness);
+        if adh > 0.01 {
+            prop_assert!((attrs.adhesiveness - adh).abs() / adh < 0.06, "A {} vs {adh}", attrs.adhesiveness);
+        }
+    }
+
+    /// Hardness is monotone in each gel's concentration, whatever the
+    /// other gels are doing.
+    #[test]
+    fn hardness_monotone(
+        base in proptest::collection::vec(0.0..0.02f64, 3),
+        gel in 0usize..3,
+        delta in 0.001..0.02f64,
+    ) {
+        let mut lo = [base[0], base[1], base[2]];
+        let mut hi = lo;
+        hi[gel] += delta;
+        let h_lo = GelMechanics::from_gel_concentrations(lo).hardness;
+        let h_hi = GelMechanics::from_gel_concentrations(hi).hardness;
+        prop_assert!(h_hi >= h_lo - 1e-9, "{lo:?} -> {h_lo}, {hi:?} -> {h_hi}");
+        lo[gel] += 0.0; // silence unused-mut lint path
+    }
+
+    // ---- textures ----
+
+    /// Extraction finds exactly the planted dictionary terms regardless of
+    /// surrounding noise tokens.
+    #[test]
+    fn extraction_finds_planted_terms(
+        noise in proptest::collection::vec("[a-z]{2,8}", 0..6),
+        plant_count in 1usize..5,
+    ) {
+        let dict = TextureDictionary::gel_active();
+        // Noise tokens that happen to be dictionary terms would confound
+        // the count; filter them out.
+        let noise: Vec<String> = noise
+            .into_iter()
+            .filter(|w| dict.lookup(w).is_none())
+            .collect();
+        let mut text = noise.join(" ");
+        for _ in 0..plant_count {
+            text.push_str(" purupuru");
+        }
+        let terms = extract_terms(&dict, &text);
+        prop_assert_eq!(terms.len(), plant_count);
+    }
+
+    // ---- metrics ----
+
+    /// Identical partitions always score perfectly; metrics live in range.
+    #[test]
+    fn metrics_ranges(
+        labels in proptest::collection::vec(0usize..4, 2..40),
+        perm in 0usize..24,
+    ) {
+        // Apply a label permutation: metrics must be invariant.
+        let perms = [
+            [0usize, 1, 2, 3], [1, 0, 2, 3], [2, 1, 0, 3], [3, 1, 2, 0],
+            [0, 2, 1, 3], [0, 3, 2, 1],
+        ];
+        let p = perms[perm % perms.len()];
+        let renamed: Vec<usize> = labels.iter().map(|&l| p[l]).collect();
+        prop_assert_eq!(purity(&renamed, &labels), 1.0);
+        prop_assert!((normalized_mutual_information(&renamed, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!((adjusted_rand_index(&renamed, &labels) - 1.0).abs() < 1e-9);
+    }
+}
