@@ -69,5 +69,51 @@ fn bench_fit_by_topics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit_by_docs, bench_fit_by_topics);
+/// Instrumentation overhead: the same fit driven (a) through the plain
+/// `fit` entry point, (b) through `fit_observed` with a disabled handle
+/// (must be indistinguishable from (a) — the no-op recorder is a null
+/// check), and (c) with a live in-memory sink (the worst realistic case:
+/// every sweep computes stats and records an event).
+fn bench_observer_overhead(c: &mut Criterion) {
+    use rheotex_obs::{MemorySink, Obs};
+
+    let mut group = c.benchmark_group("joint_fit_observer_overhead");
+    group.sample_size(10);
+    let docs = synth_docs(400);
+    let model = JointTopicModel::new(config(8, 10)).unwrap();
+
+    group.bench_function("plain_fit", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            model.fit(&mut rng, black_box(&docs)).unwrap()
+        });
+    });
+    group.bench_function("disabled_obs", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            let mut obs = Obs::disabled();
+            model
+                .fit_observed(&mut rng, black_box(&docs), &mut obs)
+                .unwrap()
+        });
+    });
+    group.bench_function("memory_sink_obs", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            let sink = MemorySink::default();
+            let mut obs = Obs::with_sinks(vec![Box::new(sink)]);
+            model
+                .fit_observed(&mut rng, black_box(&docs), &mut obs)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit_by_docs,
+    bench_fit_by_topics,
+    bench_observer_overhead
+);
 criterion_main!(benches);

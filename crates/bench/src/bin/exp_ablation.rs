@@ -8,7 +8,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex::core::collapsed::CollapsedJointModel;
 use rheotex::core::diagnostics::held_out_score;
 use rheotex::core::{JointConfig, JointTopicModel};
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 
@@ -19,7 +19,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("ablation");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
     let docs = dataset_to_docs(&out.dataset);
 
     // 80/20 train/held-out split (deterministic, by index).

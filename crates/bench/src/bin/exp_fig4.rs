@@ -3,7 +3,7 @@
 //! emulsion-KL to the dish, with the topic-centroid star. Rendered as an
 //! ASCII scatter with three KL shades.
 
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex::rheology::dishes::{bavarois, milk_jelly};
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::assign::assign_setting;
@@ -19,7 +19,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("fig4");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
 
     for dish in [bavarois(), milk_jelly()] {
         let topic = assign_setting(&out.model, 0, dish.gels)

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::gmm::{GmmConfig, GmmModel};
 use rheotex::core::lda::{LdaConfig, LdaModel};
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 use rheotex_linkage::{adjusted_rand_index, normalized_mutual_information, purity};
@@ -19,7 +19,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("recovery");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
     let truth = &out.dataset.labels;
     let docs = dataset_to_docs(&out.dataset);
     let k = out.model.n_topics();

@@ -3,7 +3,7 @@
 //! bridging between recipe information including ingredient
 //! concentrations … and sensory textures").
 
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::rules::mine_term_rules;
 
@@ -14,7 +14,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("rules");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
 
     let min_support = out.dataset.len() / 200 + 3;
     let mined = mine_term_rules(&out.dataset.features, &out.dict, min_support);

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::model_selection::{best_k, potential_scale_reduction, split_docs, sweep_topics};
 use rheotex::core::{JointConfig, JointTopicModel};
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 
@@ -17,7 +17,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("select_k");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
     let docs = dataset_to_docs(&out.dataset);
     let (train, test) = split_docs(&docs, 5);
 

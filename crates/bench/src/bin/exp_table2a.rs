@@ -4,7 +4,7 @@
 //! data of Table I.
 
 use rheotex::core::TopicSummary;
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex::rheology::table1::table1;
 use rheotex_bench::{fmt, rule, Scale};
 use rheotex_linkage::assign::{assign_settings, rows_per_topic};
@@ -16,7 +16,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("table2a");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
 
     let summaries = TopicSummary::from_model(&out.model, 10, 0.01).expect("summaries");
     let settings: Vec<(u32, [f64; 3])> = table1().iter().map(|r| (r.id, r.gels)).collect();

@@ -3,7 +3,7 @@
 //! both dishes (and the pure-gelatin reference) land on the same
 //! hard-gelatin topic.
 
-use rheotex::pipeline::run_pipeline;
+use rheotex::pipeline::run_pipeline_observed;
 use rheotex::rheology::dishes::table2b;
 use rheotex_bench::{fmt, rule, Scale};
 use rheotex_linkage::assign::assign_setting;
@@ -15,7 +15,9 @@ fn main() {
         "running pipeline at {scale:?} scale ({} recipes, {} sweeps)…",
         config.synth.n_recipes, config.sweeps
     );
-    let out = run_pipeline(&config).expect("pipeline");
+    let obs = rheotex_bench::experiment_obs("table2b");
+    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    obs.flush();
 
     rule("Table II(b): dishes, quantitative texture, assigned topic");
     println!(

@@ -10,6 +10,8 @@
 #![warn(clippy::all)]
 
 use rheotex::pipeline::PipelineConfig;
+use rheotex_obs::{JsonlSink, Obs};
+use std::path::PathBuf;
 
 /// Scale at which an experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,31 @@ impl Scale {
             }
         }
         c
+    }
+}
+
+/// Observability handle for an experiment binary: writes the structured
+/// event stream (stage spans, per-sweep statistics — the schema in
+/// README.md § Observability) to `results/BENCH_<name>.jsonl`. The
+/// directory is overridable with `RHEOTEX_METRICS_DIR`. Failure to create
+/// the file degrades to a disabled handle with a stderr warning —
+/// metrics never block an experiment.
+#[must_use]
+pub fn experiment_obs(name: &str) -> Obs {
+    let dir = std::env::var("RHEOTEX_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let path = dir.join(format!("BENCH_{name}.jsonl"));
+    let created = std::fs::create_dir_all(&dir).and_then(|()| JsonlSink::create(&path));
+    match created {
+        Ok(sink) => {
+            eprintln!("writing metrics to {}", path.display());
+            Obs::with_sinks(vec![Box::new(sink)])
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write metrics to {}: {e}", path.display());
+            Obs::disabled()
+        }
     }
 }
 

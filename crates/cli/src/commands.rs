@@ -7,21 +7,24 @@ use rheotex::core::{FittedJointModel, TopicSummary};
 use rheotex::corpus::io::{load_corpus, save_corpus};
 use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
 use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
-use rheotex::pipeline::{fit_recipes, PipelineConfig};
+use rheotex::pipeline::{fit_recipes_observed, PipelineConfig};
 use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::{TermId, TextureDictionary};
 use rheotex_linkage::assign::assign_setting;
 use rheotex_linkage::rules::mine_term_rules;
+use rheotex_obs::{JsonlSink, Obs, ProgressSink, Recorder};
 use std::path::Path;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
 rheotex — sensory texture topics with rheological linkage
 
 USAGE:
-  rheotex generate  --recipes N [--seed S] --out corpus.jsonl
+  rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
                     --out-model model.json --out-dict dict.json
+                    [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
   rheotex topics    --model model.json --dict dict.json [--top N] [--json]
   rheotex assign    --model model.json --dict dict.json --gelatin PCT
                     [--kanten PCT] [--agar PCT]
@@ -30,6 +33,14 @@ USAGE:
                     [--albumen PCT] [--yogurt PCT]
   rheotex rules     --corpus corpus.jsonl [--min-support N]
   rheotex help
+
+FIT OBSERVABILITY:
+  --metrics-out FILE   write the structured event stream (stage spans,
+                       per-sweep statistics) as JSON Lines to FILE
+  --progress-every N   print every Nth sweep to stderr (default: 0 =
+                       time-based, at most every 250ms)
+  --quiet              silence all progress and summary output; only
+                       errors are printed
 ";
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
@@ -51,8 +62,35 @@ pub fn generate(args: &Args) -> i32 {
     if let Err(e) = save_corpus(Path::new(out), &corpus) {
         return fail(e);
     }
-    println!("wrote {n} recipes to {out} (seed {seed})");
+    if !args.has("quiet") {
+        println!("wrote {n} recipes to {out} (seed {seed})");
+    }
     0
+}
+
+/// Builds the fit command's observability pipeline from its flags:
+/// a progress reporter on stderr (unless `--quiet`) and a JSONL metrics
+/// file (when `--metrics-out` is given). With neither, observation is
+/// disabled entirely and the samplers skip all statistics work.
+fn fit_observability(args: &Args) -> Result<Obs, String> {
+    let quiet = args.has("quiet");
+    let mut sinks: Vec<Box<dyn Recorder>> = Vec::new();
+    if !quiet {
+        let every = args.get_parsed_or("progress-every", 0u64);
+        sinks.push(Box::new(ProgressSink::stderr(
+            every,
+            Duration::from_millis(250),
+        )));
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+        sinks.push(Box::new(sink));
+    }
+    Ok(if sinks.is_empty() {
+        Obs::disabled()
+    } else {
+        Obs::with_sinks(sinks)
+    })
 }
 
 /// `fit`: load recipes, run stages 2–4, save model and dictionary.
@@ -60,6 +98,7 @@ pub fn fit(args: &Args) -> i32 {
     let corpus_path = args.require("corpus");
     let out_model = args.require("out-model");
     let out_dict = args.require("out-dict");
+    let quiet = args.has("quiet");
     let (recipes, labels) = match load_corpus(Path::new(corpus_path)) {
         Ok(r) => r,
         Err(e) => return fail(e),
@@ -70,27 +109,35 @@ pub fn fit(args: &Args) -> i32 {
     config.burn_in = config.sweeps / 2;
     config.seed = args.get_parsed_or("seed", config.seed);
 
-    eprintln!(
-        "fitting K={} over {} recipes ({} sweeps)…",
-        config.n_topics,
-        recipes.len(),
-        config.sweeps
-    );
-    let fit = match fit_recipes(&config, &recipes, &labels) {
+    let obs = match fit_observability(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if !quiet {
+        eprintln!(
+            "fitting K={} over {} recipes ({} sweeps)…",
+            config.n_topics,
+            recipes.len(),
+            config.sweeps
+        );
+    }
+    let fit = match fit_recipes_observed(&config, &recipes, &labels, &obs) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
-    let excluded: Vec<&str> = fit
-        .filter_outcomes
-        .iter()
-        .filter(|o| !o.keep)
-        .map(|o| o.term.as_str())
-        .collect();
-    eprintln!(
-        "kept {} recipes, {} terms (excluded: {excluded:?})",
-        fit.dataset.len(),
-        fit.dict.len()
-    );
+    if !quiet {
+        let excluded: Vec<&str> = fit
+            .filter_outcomes
+            .iter()
+            .filter(|o| !o.keep)
+            .map(|o| o.term.as_str())
+            .collect();
+        eprintln!(
+            "kept {} recipes, {} terms (excluded: {excluded:?})",
+            fit.dataset.len(),
+            fit.dict.len()
+        );
+    }
     if let Err(e) = std::fs::write(
         out_model,
         serde_json::to_string(&fit.model).expect("model serializes"),
@@ -103,7 +150,14 @@ pub fn fit(args: &Args) -> i32 {
     ) {
         return fail(e);
     }
-    println!("wrote {out_model} and {out_dict}");
+    obs.flush();
+    if !quiet {
+        let table = obs.summary_table();
+        if !table.is_empty() {
+            eprint!("{table}");
+        }
+        println!("wrote {out_model} and {out_dict}");
+    }
     0
 }
 

@@ -166,6 +166,147 @@ fn generate_fit_topics_assign_workflow() {
 }
 
 #[test]
+fn fit_metrics_out_writes_valid_jsonl_and_quiet_silences_stderr() {
+    let dir = tmpdir("metrics");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let dict = dir.join("dict.json");
+    let metrics = dir.join("metrics.jsonl");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "300",
+            "--seed",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "--quiet generate must print nothing");
+
+    let sweeps = 30usize;
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "6",
+            "--sweeps",
+            &sweeps.to_string(),
+            "--out-model",
+            model.to_str().unwrap(),
+            "--out-dict",
+            dict.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --quiet: nothing but errors on either stream.
+    assert!(
+        out.stderr.is_empty(),
+        "--quiet fit must keep stderr empty, got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "--quiet fit must keep stdout empty");
+
+    // The metrics file is non-empty JSONL where every line parses.
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "metrics file must not be empty");
+    let mut sweep_events = 0usize;
+    let mut stage_spans = 0usize;
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("every line is valid JSON");
+        assert!(v["t_us"].is_u64(), "{line}");
+        assert!(v["kind"].is_string(), "{line}");
+        assert!(v["name"].is_string(), "{line}");
+        if v["kind"] == "sweep" {
+            sweep_events += 1;
+            assert!(v["fields"]["ll"].is_number(), "{line}");
+            assert!(v["fields"]["elapsed_us"].is_u64(), "{line}");
+        }
+        if v["kind"] == "span_end" && v["name"].as_str().unwrap().starts_with("stage.") {
+            stage_spans += 1;
+        }
+    }
+    // Exactly one sweep event per Gibbs sweep; one span per stage 2–4.
+    assert_eq!(sweep_events, sweeps);
+    assert_eq!(stage_spans, 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fit_progress_reports_on_stderr_by_default() {
+    let dir = tmpdir("progress");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let dict = dir.join("dict.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "250",
+            "--seed",
+            "3",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "6",
+            "--sweeps",
+            "20",
+            "--progress-every",
+            "10",
+            "--out-model",
+            model.to_str().unwrap(),
+            "--out-dict",
+            dict.to_str().unwrap(),
+        ])
+        .output()
+        .expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Sweep progress lines and the end-of-run summary table.
+    assert!(err.contains("joint.sweep"), "{err}");
+    assert!(err.contains("stage.fit"), "{err}");
+    assert!(err.contains("timers"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fit_rejects_missing_corpus() {
     let out = bin()
         .args([

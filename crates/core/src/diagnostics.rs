@@ -1,6 +1,7 @@
 //! Convergence and fit-quality diagnostics.
 
 use crate::data::ModelDoc;
+use crate::error::ModelError;
 use crate::joint::FittedJointModel;
 use crate::Result;
 use rheotex_linalg::special::log_sum_exp;
@@ -26,8 +27,15 @@ pub struct HeldOutScore {
 /// same split, which is all the ablation needs.)
 ///
 /// # Errors
-/// Numerical failures factorizing topic posteriors; dimension mismatches.
+/// [`ModelError::InvalidData`] when `docs` is empty or contains no tokens
+/// at all (perplexity would be undefined); numerical failures factorizing
+/// topic posteriors; dimension mismatches.
 pub fn held_out_score(model: &FittedJointModel, docs: &[ModelDoc]) -> Result<HeldOutScore> {
+    if docs.is_empty() {
+        return Err(ModelError::InvalidData {
+            what: "held-out scoring needs at least one document".into(),
+        });
+    }
     let k = model.n_topics();
     // Corpus-level mixing proportions.
     let mut pi = vec![0.0f64; k];
@@ -69,11 +77,12 @@ pub fn held_out_score(model: &FittedJointModel, docs: &[ModelDoc]) -> Result<Hel
         vector_ll += log_sum_exp(&buf);
     }
 
-    let perplexity = if n_tokens > 0 {
-        (-token_ll / n_tokens as f64).exp()
-    } else {
-        f64::NAN
-    };
+    if n_tokens == 0 {
+        return Err(ModelError::InvalidData {
+            what: "held-out documents contain no tokens; perplexity is undefined".into(),
+        });
+    }
+    let perplexity = (-token_ll / n_tokens as f64).exp();
     Ok(HeldOutScore {
         log_likelihood: token_ll + vector_ll,
         token_log_likelihood: token_ll,
@@ -85,9 +94,17 @@ pub fn held_out_score(model: &FittedJointModel, docs: &[ModelDoc]) -> Result<Hel
 /// Heuristic convergence check on a log-likelihood trace: the mean of the
 /// last `window` entries must exceed the mean of the first `window` and
 /// the relative change between the last two windows must be below `tol`.
+///
+/// A trace containing any non-finite entry (NaN or ±∞) has *not*
+/// converged — a sampler that produced one has gone numerically wrong, so
+/// this returns `false` explicitly rather than letting NaN comparisons
+/// decide. Non-finite or non-positive `tol` likewise returns `false`.
 #[must_use]
 pub fn trace_converged(trace: &[f64], window: usize, tol: f64) -> bool {
-    if trace.len() < 3 * window || window == 0 {
+    if trace.len() < 3 * window || window == 0 || !tol.is_finite() || tol <= 0.0 {
+        return false;
+    }
+    if trace.iter().any(|v| !v.is_finite()) {
         return false;
     }
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
@@ -188,5 +205,46 @@ mod tests {
         // Degenerate inputs.
         assert!(!trace_converged(&[1.0, 2.0], 5, 0.01));
         assert!(!trace_converged(&trace, 0, 0.01));
+    }
+
+    #[test]
+    fn trace_convergence_rejects_non_finite() {
+        // A flat, otherwise-converged trace with one poisoned entry.
+        let mut trace = vec![-10.0; 30];
+        assert!(trace_converged(&trace, 5, 0.01));
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            trace[15] = poison;
+            assert!(!trace_converged(&trace, 5, 0.01), "poison {poison}");
+            trace[15] = -10.0;
+        }
+        // Poison anywhere, including inside the compared windows.
+        trace[0] = f64::NAN;
+        assert!(!trace_converged(&trace, 5, 0.01));
+        trace[0] = -10.0;
+        trace[29] = f64::INFINITY;
+        assert!(!trace_converged(&trace, 5, 0.01));
+        trace[29] = -10.0;
+        // Degenerate tolerance.
+        assert!(!trace_converged(&trace, 5, f64::NAN));
+        assert!(!trace_converged(&trace, 5, 0.0));
+        assert!(!trace_converged(&trace, 5, -0.1));
+    }
+
+    #[test]
+    fn held_out_score_rejects_empty_and_tokenless_docs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let train = docs(60, 1);
+        let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+        let fit = model.fit(&mut rng, &train).unwrap();
+
+        let err = held_out_score(&fit, &[]).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidData { .. }), "{err:?}");
+
+        // Documents with concentration vectors but no terms at all.
+        let tokenless: Vec<ModelDoc> = (0..5)
+            .map(|i| ModelDoc::new(i as u64, vec![], Vector::full(3, 5.0), Vector::full(6, 9.0)))
+            .collect();
+        let err = held_out_score(&fit, &tokenless).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidData { .. }), "{err:?}");
     }
 }

@@ -15,7 +15,9 @@ use crate::Result;
 use rand::Rng;
 use rheotex_linalg::dist::{sample_categorical_log, GaussianStats};
 use rheotex_linalg::Vector;
+use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which feature channels the mixture clusters on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,6 +107,23 @@ impl GmmModel {
     /// [`ModelError::InvalidData`] for empty input;
     /// [`ModelError::Numerical`] on degenerate updates.
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedGmm> {
+        self.fit_observed(rng, docs, &mut NullObserver)
+    }
+
+    /// Like [`fit`](Self::fit), but reports one [`SweepStats`] per Gibbs
+    /// sweep to `observer` (engine `"gmm"`, occupancy counted in
+    /// documents). Observation never touches the RNG stream, so results
+    /// match [`fit`](Self::fit) exactly.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidData`] for empty input;
+    /// [`ModelError::Numerical`] on degenerate updates.
+    pub fn fit_observed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+    ) -> Result<FittedGmm> {
         if docs.is_empty() {
             return Err(ModelError::InvalidData {
                 what: "corpus is empty".into(),
@@ -137,7 +156,9 @@ impl GmmModel {
 
         let mut ll_trace = Vec::with_capacity(self.config.sweeps);
         let mut log_weights = vec![0.0f64; k];
-        for _sweep in 0..self.config.sweeps {
+        let observing = observer.enabled();
+        for sweep in 0..self.config.sweeps {
+            let sweep_start = observing.then(Instant::now);
             let mut ll = 0.0;
             for (i, x) in xs.iter().enumerate() {
                 let old = assignments[i];
@@ -154,6 +175,21 @@ impl GmmModel {
                 counts[new] += 1;
             }
             ll_trace.push(ll);
+            if let Some(started) = sweep_start {
+                let (topic_entropy, min_occupancy, max_occupancy) =
+                    SweepStats::occupancy_summary(&counts);
+                observer.on_sweep(&SweepStats {
+                    engine: "gmm",
+                    sweep,
+                    total_sweeps: self.config.sweeps,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    log_likelihood: ll,
+                    topic_entropy,
+                    min_occupancy,
+                    max_occupancy,
+                    nw_draws: 0,
+                });
+            }
         }
 
         let means = stats

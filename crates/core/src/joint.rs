@@ -32,7 +32,9 @@ use rheotex_linalg::dist::{
     sample_categorical, sample_categorical_log, GaussianPrecision, GaussianStats, NormalWishart,
 };
 use rheotex_linalg::Vector;
+use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// The joint topic model, ready to fit.
 ///
@@ -135,6 +137,25 @@ impl JointTopicModel {
     /// [`ModelError::Numerical`] if a Gaussian update degenerates (cannot
     /// happen with proper priors and finite data).
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedJointModel> {
+        self.fit_observed(rng, docs, &mut NullObserver)
+    }
+
+    /// [`Self::fit`] with per-sweep instrumentation: after every sweep the
+    /// observer receives elapsed wall-clock time, the conditional
+    /// log-likelihood, the entropy / min / max of the `y_d` topic
+    /// occupancy, and the Normal-Wishart resample count. With a disabled
+    /// observer (e.g. [`NullObserver`]) no statistics are computed and the
+    /// sampling path is identical to `fit` — observation never perturbs
+    /// the RNG stream, so traces are free.
+    ///
+    /// # Errors
+    /// As [`Self::fit`].
+    pub fn fit_observed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+    ) -> Result<FittedJointModel> {
         let cfg = &self.config;
         validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
 
@@ -147,12 +168,35 @@ impl JointTopicModel {
         let mut theta_acc = vec![0.0f64; d_count * k];
         let mut n_samples = 0usize;
         let mut ll_trace = Vec::with_capacity(cfg.sweeps);
+        let observing = observer.enabled();
 
         for sweep in 0..cfg.sweeps {
+            let sweep_start = observing.then(Instant::now);
             self.sweep_z(rng, docs, &mut state);
             self.sweep_y(rng, docs, &mut state)?;
             self.resample_params(rng, &mut state, &gel_prior, &emu_prior)?;
-            ll_trace.push(self.conditional_ll(docs, &state));
+            let ll = self.conditional_ll(docs, &state);
+            ll_trace.push(ll);
+
+            if let Some(started) = sweep_start {
+                let mut occupancy = vec![0usize; k];
+                for &y in &state.y {
+                    occupancy[y] += 1;
+                }
+                let (topic_entropy, min_occupancy, max_occupancy) =
+                    SweepStats::occupancy_summary(&occupancy);
+                observer.on_sweep(&SweepStats {
+                    engine: "joint",
+                    sweep,
+                    total_sweeps: cfg.sweeps,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    log_likelihood: ll,
+                    topic_entropy,
+                    min_occupancy,
+                    max_occupancy,
+                    nw_draws: 2 * k,
+                });
+            }
 
             if sweep >= cfg.burn_in {
                 self.accumulate_estimates(docs, &state, &mut phi_acc, &mut theta_acc);
@@ -675,6 +719,32 @@ mod tests {
         let b = model.fit(&mut rng(), &docs).unwrap();
         assert_eq!(a.y, b.y);
         assert_eq!(a.ll_trace, b.ll_trace);
+    }
+
+    #[test]
+    fn observer_sees_every_sweep_without_perturbing_sampling() {
+        let docs = two_cluster_docs(10);
+        let model = quick_model(2);
+        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let mut observer = rheotex_obs::VecObserver::default();
+        let observed = model
+            .fit_observed(&mut rng(), &docs, &mut observer)
+            .unwrap();
+        // Observation must not touch the RNG stream.
+        assert_eq!(plain.y, observed.y);
+        assert_eq!(plain.ll_trace, observed.ll_trace);
+        // Exactly one record per sweep, in order, consistent with the trace.
+        assert_eq!(observer.sweeps.len(), observed.config.sweeps);
+        for (i, s) in observer.sweeps.iter().enumerate() {
+            assert_eq!(s.sweep, i);
+            assert_eq!(s.engine, "joint");
+            assert_eq!(s.total_sweeps, observed.config.sweeps);
+            assert_eq!(s.log_likelihood, observed.ll_trace[i]);
+            assert!(s.min_occupancy <= s.max_occupancy);
+            assert!(s.max_occupancy <= docs.len());
+            assert_eq!(s.nw_draws, 2 * observed.config.n_topics);
+            assert!(s.topic_entropy >= 0.0);
+        }
     }
 
     #[test]

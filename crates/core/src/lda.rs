@@ -12,7 +12,9 @@ use crate::data::{validate_docs, ModelDoc};
 use crate::Result;
 use rand::Rng;
 use rheotex_linalg::dist::sample_categorical;
+use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// LDA configuration (a subset of [`JointConfig`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +104,23 @@ impl LdaModel {
     /// # Errors
     /// [`crate::ModelError::InvalidData`] for malformed docs.
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedLda> {
+        self.fit_observed(rng, docs, &mut NullObserver)
+    }
+
+    /// Like [`fit`](Self::fit), but reports one [`SweepStats`] per Gibbs
+    /// sweep to `observer` (engine `"lda"`, occupancy counted in tokens).
+    /// When the observer is disabled no per-sweep statistics are computed
+    /// and the fit is byte-identical to [`fit`](Self::fit); observation
+    /// never touches the RNG stream, so results match either way.
+    ///
+    /// # Errors
+    /// [`crate::ModelError::InvalidData`] for malformed docs.
+    pub fn fit_observed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+    ) -> Result<FittedLda> {
         let cfg = &self.config;
         // Vector dims are irrelevant here; validate terms only by passing
         // the docs' own dims through.
@@ -142,7 +161,9 @@ impl LdaModel {
         let mut ll_trace = Vec::with_capacity(cfg.sweeps);
         let mut weights = vec![0.0f64; k];
 
+        let observing = observer.enabled();
         for sweep in 0..cfg.sweeps {
+            let sweep_start = observing.then(Instant::now);
             let mut ll = 0.0;
             for (d, doc) in docs.iter().enumerate() {
                 for (n, &w) in doc.terms.iter().enumerate() {
@@ -166,6 +187,22 @@ impl LdaModel {
                 }
             }
             ll_trace.push(ll);
+            if let Some(started) = sweep_start {
+                let occupancy: Vec<usize> = n_k.iter().map(|&c| c as usize).collect();
+                let (topic_entropy, min_occupancy, max_occupancy) =
+                    SweepStats::occupancy_summary(&occupancy);
+                observer.on_sweep(&SweepStats {
+                    engine: "lda",
+                    sweep,
+                    total_sweeps: cfg.sweeps,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    log_likelihood: ll,
+                    topic_entropy,
+                    min_occupancy,
+                    max_occupancy,
+                    nw_draws: 0,
+                });
+            }
             if sweep >= cfg.burn_in {
                 for kk in 0..k {
                     let denom = f64::from(n_k[kk]) + cfg.gamma * v as f64;

@@ -32,6 +32,12 @@
 //!   (extension / ablation E8);
 //! * baselines: [`lda::LdaModel`] (terms only) and [`gmm::GmmModel`]
 //!   (concentrations only), used by the recovery ablation E7.
+//!
+//! Every engine exposes a `fit_observed` variant that reports one
+//! [`SweepStats`] per Gibbs sweep to a [`SweepObserver`] (re-exported from
+//! `rheotex-obs`) — elapsed time, conditional log-likelihood, and topic
+//! occupancy — without perturbing the RNG stream; `fit` is simply
+//! `fit_observed` with the no-op observer.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -52,6 +58,7 @@ pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
 pub use joint::{FittedJointModel, JointTopicModel};
+pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, VecObserver};
 pub use summary::TopicSummary;
 
 /// Crate-wide result alias.

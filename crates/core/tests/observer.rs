@@ -1,0 +1,162 @@
+//! End-to-end checks of the sweep-observer wiring: a seeded quick fit
+//! through an [`Obs`] handle with an in-memory sink must emit exactly one
+//! sweep event per Gibbs sweep, in order, with monotone timestamps and the
+//! fields the JSONL schema promises (README.md § Observability).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_linalg::Vector;
+use rheotex_obs::{EventKind, MemorySink, Obs};
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(17)
+}
+
+fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+    (0..2 * n_per)
+        .map(|i| {
+            let c = i % 2;
+            let gel = if c == 0 {
+                Vector::new(vec![2.0, 9.0, 9.0])
+            } else {
+                Vector::new(vec![9.0, 4.0, 9.0])
+            };
+            ModelDoc::new(i as u64, vec![2 * c, 2 * c + 1], gel, Vector::full(6, 9.0))
+        })
+        .collect()
+}
+
+fn obs_with_memory() -> (Obs, MemorySink) {
+    let sink = MemorySink::default();
+    let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+    (obs, sink)
+}
+
+/// The required fields of a sweep event, per the stable schema.
+const SWEEP_FIELDS: [&str; 8] = [
+    "sweep",
+    "total_sweeps",
+    "elapsed_us",
+    "ll",
+    "topic_entropy",
+    "min_occupancy",
+    "max_occupancy",
+    "nw_draws",
+];
+
+fn assert_sweep_stream(sink: &MemorySink, name: &str, expected_sweeps: usize) {
+    let events = sink.events_of(EventKind::Sweep);
+    assert_eq!(
+        events.len(),
+        expected_sweeps,
+        "one sweep event per Gibbs sweep"
+    );
+    let mut last_t = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.name, name);
+        assert!(
+            e.t_us >= last_t,
+            "timestamps must be monotonically non-decreasing: {} < {last_t} at sweep {i}",
+            e.t_us
+        );
+        last_t = e.t_us;
+        for key in SWEEP_FIELDS {
+            assert!(e.field(key).is_some(), "sweep event missing field {key}");
+        }
+        assert_eq!(e.field_f64("sweep"), Some(i as f64));
+        assert_eq!(e.field_f64("total_sweeps"), Some(expected_sweeps as f64));
+        let ll = e.field_f64("ll").expect("ll present");
+        assert!(ll.is_finite(), "ll must be finite, got {ll}");
+    }
+}
+
+#[test]
+fn joint_fit_emits_one_sweep_event_per_sweep() {
+    let docs = two_cluster_docs(10);
+    let config = JointConfig::quick(2, 4);
+    let sweeps = config.sweeps;
+    let model = JointTopicModel::new(config).unwrap();
+    let (obs, sink) = obs_with_memory();
+    let mut observer = obs.clone();
+    let fit = model
+        .fit_observed(&mut rng(), &docs, &mut observer)
+        .unwrap();
+    assert_sweep_stream(&sink, "joint.sweep", sweeps);
+    // The event stream's ll values are exactly the fitted trace.
+    let lls: Vec<f64> = sink
+        .events_of(EventKind::Sweep)
+        .iter()
+        .map(|e| e.field_f64("ll").unwrap())
+        .collect();
+    assert_eq!(lls, fit.ll_trace);
+}
+
+#[test]
+fn lda_fit_emits_one_sweep_event_per_sweep() {
+    let docs = two_cluster_docs(10);
+    let config = LdaConfig::from(&JointConfig::quick(2, 4));
+    let sweeps = config.sweeps;
+    let model = LdaModel::new(config).unwrap();
+    let (obs, sink) = obs_with_memory();
+    let mut observer = obs.clone();
+    model
+        .fit_observed(&mut rng(), &docs, &mut observer)
+        .unwrap();
+    assert_sweep_stream(&sink, "lda.sweep", sweeps);
+}
+
+#[test]
+fn gmm_fit_emits_one_sweep_event_per_sweep() {
+    let docs = two_cluster_docs(10);
+    let config = GmmConfig::new(2);
+    let sweeps = config.sweeps;
+    let model = GmmModel::new(config).unwrap();
+    let (obs, sink) = obs_with_memory();
+    let mut observer = obs.clone();
+    model
+        .fit_observed(&mut rng(), &docs, &mut observer)
+        .unwrap();
+    assert_sweep_stream(&sink, "gmm.sweep", sweeps);
+}
+
+#[test]
+fn disabled_obs_emits_nothing_and_matches_plain_fit() {
+    let docs = two_cluster_docs(10);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let plain = model.fit(&mut rng(), &docs).unwrap();
+    let mut disabled = Obs::disabled();
+    let observed = model
+        .fit_observed(&mut rng(), &docs, &mut disabled)
+        .unwrap();
+    assert_eq!(plain.y, observed.y);
+    assert_eq!(plain.ll_trace, observed.ll_trace);
+    assert!(!disabled.is_enabled());
+}
+
+#[test]
+fn every_sweep_event_serializes_to_valid_jsonl_shape() {
+    let docs = two_cluster_docs(5);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let (obs, sink) = obs_with_memory();
+    let mut observer = obs.clone();
+    model
+        .fit_observed(&mut rng(), &docs, &mut observer)
+        .unwrap();
+    for e in sink.events() {
+        let line = e.to_json_line();
+        let parsed: serde_json::Value = serde_json::from_str(&line).expect("valid JSON line");
+        assert!(parsed["t_us"].is_u64());
+        assert!(parsed["kind"].is_string());
+        assert!(parsed["name"].is_string());
+        assert!(parsed["fields"].is_object());
+    }
+    for e in sink.events_of(EventKind::Sweep) {
+        let parsed: serde_json::Value = serde_json::from_str(&e.to_json_line()).unwrap();
+        assert_eq!(parsed["kind"], "sweep");
+        assert_eq!(parsed["name"], "joint.sweep");
+        assert!(parsed["fields"]["ll"].is_number());
+    }
+}

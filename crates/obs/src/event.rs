@@ -1,0 +1,293 @@
+//! The event vocabulary: everything a [`crate::Recorder`] ever sees.
+//!
+//! Events are plain data — a monotonic timestamp, a kind, a name, and a
+//! flat list of key/value fields — so sinks can render them without
+//! knowing who emitted them. The JSONL serialization here is the stable
+//! machine interface documented in README.md § Observability; sinks and
+//! downstream tooling parse that, not the Rust types.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// A field value. Non-finite floats serialize as JSON `null` so every
+/// emitted line stays valid JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, durations in µs).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (log-likelihoods, entropies, rates).
+    F64(f64),
+    /// String (stage names, engine labels).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v}"),
+            Self::Str(v) => write!(f, "{v}"),
+            Self::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A named field attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field key (snake_case by convention).
+    pub key: Cow<'static, str>,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field.
+    pub fn new(key: impl Into<Cow<'static, str>>, value: impl Into<Value>) -> Self {
+        Self {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// What kind of measurement an event carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span (timed region) opened.
+    SpanStart,
+    /// A span closed; carries `duration_us` plus user fields.
+    SpanEnd,
+    /// A monotonic counter increment; carries `value`.
+    Counter,
+    /// A point-in-time gauge; carries `value`.
+    Gauge,
+    /// A histogram observation; carries `value`.
+    Observe,
+    /// One Gibbs sweep of a sampler; carries the sweep statistics.
+    Sweep,
+}
+
+impl EventKind {
+    /// The stable wire name used in the JSONL `kind` field.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::SpanStart => "span_start",
+            Self::SpanEnd => "span_end",
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Observe => "observe",
+            Self::Sweep => "sweep",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the owning [`crate::Obs`] was created
+    /// (monotonic clock).
+    pub t_us: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name, e.g. `stage.fit` or `joint.sweep`.
+    pub name: Cow<'static, str>,
+    /// Payload fields.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Convenience accessor: the value of field `key`, if present.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+
+    /// Convenience accessor: field `key` as `f64` (integers widen).
+    #[must_use]
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline):
+    /// `{"t_us":N,"kind":"...","name":"...","fields":{...}}`.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96 + 24 * self.fields.len());
+        let _ = write!(out, "{{\"t_us\":{},\"kind\":\"", self.t_us);
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        write_json_string(&mut out, &self.name);
+        out.push_str(",\"fields\":{");
+        for (i, f) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, &f.key);
+            out.push(':');
+            write_json_value(&mut out, &f.value);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testjson::{parse_json, Json};
+
+    fn event() -> Event {
+        Event {
+            t_us: 42,
+            kind: EventKind::SpanEnd,
+            name: "stage.fit".into(),
+            fields: vec![
+                Field::new("duration_us", 17u64),
+                Field::new("ll", -12.5),
+                Field::new("label", "a\"b\\c\nd"),
+                Field::new("ok", true),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_line_is_valid_json() {
+        let line = event().to_json_line();
+        let v = parse_json(&line).expect("valid JSON");
+        assert_eq!(v.get("t_us").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("span_end"));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("stage.fit"));
+        let fields = v.get("fields").expect("fields object");
+        assert_eq!(fields.get("duration_us").and_then(Json::as_f64), Some(17.0));
+        assert_eq!(fields.get("ll").and_then(Json::as_f64), Some(-12.5));
+        assert_eq!(
+            fields.get("label").and_then(Json::as_str),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(fields.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut e = event();
+        e.fields = vec![
+            Field::new("bad", f64::NAN),
+            Field::new("inf", f64::INFINITY),
+        ];
+        let v = parse_json(&e.to_json_line()).expect("valid JSON");
+        let fields = v.get("fields").expect("fields object");
+        assert_eq!(fields.get("bad"), Some(&Json::Null));
+        assert_eq!(fields.get("inf"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn field_accessors() {
+        let e = event();
+        assert_eq!(e.field_f64("duration_us"), Some(17.0));
+        assert_eq!(e.field_f64("ll"), Some(-12.5));
+        assert!(e.field("missing").is_none());
+        assert!(e.field_f64("label").is_none());
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut e = event();
+        e.fields = vec![Field::new("ctl", "\u{1}x")];
+        let line = e.to_json_line();
+        assert!(line.contains("\\u0001"), "{line}");
+        let v = parse_json(&line).expect("valid JSON");
+        let fields = v.get("fields").expect("fields object");
+        assert_eq!(fields.get("ctl").and_then(Json::as_str), Some("\u{1}x"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are defined by a fixed, sorted list of upper bounds; an
+//! implicit overflow bucket catches everything above the last bound.
+//! Fixed buckets keep recording O(log B) with zero allocation, which is
+//! what lets the per-sweep hot path observe durations without showing up
+//! in profiles.
+
+/// Default bucket upper bounds for microsecond durations: 10 µs … 100 s,
+/// one decade apart with a 3× midpoint (roughly log-uniform coverage).
+pub const DEFAULT_TIME_BOUNDS_US: [f64; 15] = [
+    10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
+];
+
+/// A fixed-bucket histogram with count/sum/min/max side statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts[i]` counts observations `<= bounds[i]`; the final slot is
+    /// the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given sorted upper bounds.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram with [`DEFAULT_TIME_BOUNDS_US`].
+    #[must_use]
+    pub fn for_time_us() -> Self {
+        Self::new(&DEFAULT_TIME_BOUNDS_US)
+    }
+
+    /// Records one observation. Non-finite values are counted but only in
+    /// `count` (they would poison `sum`/bucket search).
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if !value.is_finite() {
+            return;
+        }
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations (including non-finite ones).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite observations, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let finite: u64 = self.counts.iter().sum();
+        (finite > 0).then(|| self.sum / finite as f64)
+    }
+
+    /// Minimum finite observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Maximum finite observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` from the bucket boundaries: the
+    /// upper bound of the bucket containing the `q`-th observation.
+    /// Coarse by construction — for progress reporting, not statistics.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let finite: u64 = self.counts.iter().sum();
+        if finite == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * finite as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Bucket `(upper_bound, count)` pairs, overflow last with bound
+    /// `f64::INFINITY`.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 2));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3], (f64::INFINITY, 1));
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(500.0));
+        assert!((h.mean().unwrap() - 112.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_values_go_to_lower_bucket() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        h.record(10.0);
+        assert_eq!(h.buckets()[0].1, 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounds() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..99 {
+            h.record(5.0);
+        }
+        h.record(50.0);
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn empty_and_non_finite() {
+        let mut h = Histogram::for_time_us();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), None);
+        h.record(2.0);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+}

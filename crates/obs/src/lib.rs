@@ -1,0 +1,59 @@
+//! # rheotex-obs
+//!
+//! Dependency-free structured tracing and metrics for the rheotex
+//! workspace: the measurement substrate that every scaling / performance
+//! PR reports through.
+//!
+//! Three layers:
+//!
+//! * **Events** ([`Event`], [`EventKind`], [`Field`], [`Value`]) — plain
+//!   data with a monotonic µs timestamp. Spans (timed regions),
+//!   counters, gauges, fixed-bucket histogram observations, and Gibbs
+//!   sweep records all share this one shape, and all serialize to the
+//!   stable JSONL wire format (`Event::to_json_line`).
+//! * **The [`Obs`] handle and [`Recorder`] sinks** — `Obs` stamps and
+//!   fans events out to any number of sinks and simultaneously folds
+//!   them into a [`Summary`] for the end-of-run table. A *disabled*
+//!   `Obs` is a null pointer: every call short-circuits, so
+//!   instrumentation can stay in hot paths permanently. Built-in sinks:
+//!   [`ProgressSink`] (rate-limited human lines on stderr),
+//!   [`JsonlSink`] (machine-readable JSONL), [`MemorySink`] (tests).
+//! * **The sampler hook** ([`SweepObserver`], [`SweepStats`]) — Gibbs
+//!   engines report per-sweep log-likelihood, timing, and
+//!   topic-occupancy shape through one tiny trait. `Obs` implements it,
+//!   bridging sweeps into the event stream; [`NullObserver`] keeps
+//!   un-instrumented fits free of any overhead.
+//!
+//! ```
+//! use rheotex_obs::{MemorySink, Obs};
+//!
+//! let sink = MemorySink::default();
+//! let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+//! {
+//!     let mut span = obs.span("stage.demo");
+//!     span.set("docs", 42u64);
+//! } // span closes on drop
+//! obs.counter("docs_kept", 42);
+//! assert_eq!(sink.events().len(), 3); // span_start, span_end, counter
+//! assert!(obs.summary_table().contains("stage.demo"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+pub mod sinks;
+pub mod summary;
+pub mod sweep;
+
+#[cfg(test)]
+pub(crate) mod testjson;
+
+pub use event::{Event, EventKind, Field, Value};
+pub use histogram::Histogram;
+pub use recorder::{Obs, Recorder, Span};
+pub use sinks::{JsonlSink, MemorySink, ProgressSink};
+pub use summary::{Summary, TimerStat};
+pub use sweep::{NullObserver, SweepObserver, SweepStats, VecObserver};

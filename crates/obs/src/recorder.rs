@@ -1,0 +1,305 @@
+//! The [`Recorder`] trait, the user-facing [`Obs`] handle, and the
+//! [`Span`] guard.
+//!
+//! `Obs` is a cheap clonable handle (an `Option<Arc<…>>`). A *disabled*
+//! handle is `None` inside: every emit method is a branch on a null
+//! pointer and returns immediately, so instrumented hot paths cost
+//! nothing when nobody is listening. An *enabled* handle stamps events
+//! with a monotonic timestamp, folds them into a [`Summary`], and fans
+//! them out to every attached sink.
+
+use crate::event::{Event, EventKind, Field, Value};
+use crate::summary::Summary;
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A destination for events. Implementations must be cheap and must not
+/// panic: they sit on sampling hot paths.
+pub trait Recorder: Send + Sync {
+    /// Handles one event. The event is borrowed so multi-sink fan-out
+    /// needs no cloning; sinks that buffer (e.g. the in-memory sink)
+    /// clone what they keep.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (files, stderr). Default: no-op.
+    fn flush(&self) {}
+}
+
+struct Inner {
+    start: Instant,
+    sinks: Vec<Box<dyn Recorder>>,
+    summary: Mutex<Summary>,
+}
+
+/// Handle to an observability pipeline. Clone freely; all clones share
+/// the same clock, summary, and sinks.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(inner) => write!(f, "Obs({} sinks)", inner.sinks.len()),
+        }
+    }
+}
+
+impl Obs {
+    /// A disabled handle: every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle fanning out to `sinks` (possibly empty — the
+    /// summary still aggregates).
+    #[must_use]
+    pub fn with_sinks(sinks: Vec<Box<dyn Recorder>>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                sinks,
+                summary: Mutex::new(Summary::default()),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Callers may use this to skip
+    /// computing expensive event payloads.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since this handle (family) was created; 0 when
+    /// disabled.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.start.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Emits a fully-formed event to the summary and all sinks.
+    pub fn emit(&self, kind: EventKind, name: impl Into<Cow<'static, str>>, fields: Vec<Field>) {
+        let Some(inner) = &self.inner else { return };
+        let event = Event {
+            t_us: inner.start.elapsed().as_micros() as u64,
+            kind,
+            name: name.into(),
+            fields,
+        };
+        if let Ok(mut summary) = inner.summary.lock() {
+            summary.observe(&event);
+        }
+        for sink in &inner.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Increments counter `name` by `value`.
+    pub fn counter(&self, name: impl Into<Cow<'static, str>>, value: u64) {
+        if self.is_enabled() {
+            self.emit(EventKind::Counter, name, vec![Field::new("value", value)]);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&self, name: impl Into<Cow<'static, str>>, value: f64) {
+        if self.is_enabled() {
+            self.emit(EventKind::Gauge, name, vec![Field::new("value", value)]);
+        }
+    }
+
+    /// Records `value` into histogram `name` (default time buckets).
+    pub fn observe(&self, name: impl Into<Cow<'static, str>>, value: f64) {
+        if self.is_enabled() {
+            self.emit(EventKind::Observe, name, vec![Field::new("value", value)]);
+        }
+    }
+
+    /// Opens a timed span. The span emits `span_start` now and
+    /// `span_end` (with `duration_us` and any attached fields) when
+    /// finished or dropped.
+    #[must_use]
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> Span {
+        let name = name.into();
+        let start = if self.is_enabled() {
+            self.emit(EventKind::SpanStart, name.clone(), Vec::new());
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            obs: self.clone(),
+            name,
+            start,
+            fields: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+
+    /// A snapshot of the aggregated summary (empty when disabled).
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        match &self.inner {
+            Some(inner) => inner.summary.lock().map(|s| s.clone()).unwrap_or_default(),
+            None => Summary::default(),
+        }
+    }
+
+    /// Renders the end-of-run summary table (empty string when disabled
+    /// or nothing was recorded).
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        self.summary().render_table()
+    }
+}
+
+/// Guard for a timed region opened by [`Obs::span`].
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    name: Cow<'static, str>,
+    start: Option<Instant>,
+    fields: Vec<Field>,
+    done: bool,
+}
+
+impl Span {
+    /// Attaches a field to be emitted with the closing `span_end` event.
+    pub fn set(&mut self, key: impl Into<Cow<'static, str>>, value: impl Into<Value>) {
+        if self.start.is_some() {
+            self.fields.push(Field::new(key, value));
+        }
+    }
+
+    /// Builder-style [`Self::set`].
+    #[must_use]
+    pub fn with(mut self, key: impl Into<Cow<'static, str>>, value: impl Into<Value>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Closes the span now (otherwise it closes on drop).
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let Some(start) = self.start else { return };
+        let mut fields = Vec::with_capacity(self.fields.len() + 1);
+        fields.push(Field::new(
+            "duration_us",
+            start.elapsed().as_micros() as u64,
+        ));
+        fields.append(&mut self.fields);
+        self.obs.emit(EventKind::SpanEnd, self.name.clone(), fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::MemorySink;
+
+    fn obs_with_memory() -> (Obs, MemorySink) {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        (obs, sink)
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.counter("c", 1);
+        obs.gauge("g", 1.0);
+        obs.observe("h", 1.0);
+        let mut span = obs.span("s");
+        span.set("k", 1u64);
+        span.finish();
+        assert!(obs.summary().is_empty());
+        assert_eq!(obs.summary_table(), "");
+        assert_eq!(obs.now_us(), 0);
+    }
+
+    #[test]
+    fn span_emits_start_and_end_with_fields() {
+        let (obs, sink) = obs_with_memory();
+        {
+            let mut span = obs.span("stage.demo");
+            span.set("docs", 12u64);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[1].kind, EventKind::SpanEnd);
+        assert_eq!(events[1].name, "stage.demo");
+        assert!(events[1].field_f64("duration_us").is_some());
+        assert_eq!(events[1].field_f64("docs"), Some(12.0));
+    }
+
+    #[test]
+    fn explicit_finish_does_not_double_emit() {
+        let (obs, sink) = obs_with_memory();
+        let span = obs.span("s").with("k", 3u64);
+        span.finish();
+        assert_eq!(sink.events().len(), 2);
+    }
+
+    #[test]
+    fn counters_aggregate_into_summary() {
+        let (obs, _sink) = obs_with_memory();
+        obs.counter("docs", 3);
+        obs.counter("docs", 4);
+        obs.gauge("ll", -10.0);
+        let summary = obs.summary();
+        assert_eq!(summary.counters["docs"], 7);
+        assert_eq!(summary.gauges["ll"], -10.0);
+        assert!(obs.summary_table().contains("docs"));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let (obs, sink) = obs_with_memory();
+        for i in 0..50u64 {
+            obs.counter("tick", i);
+        }
+        let events = sink.events();
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (obs, sink) = obs_with_memory();
+        let clone = obs.clone();
+        clone.counter("shared", 2);
+        assert_eq!(obs.summary().counters["shared"], 2);
+        assert_eq!(sink.events().len(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! The three built-in sinks: a rate-limited human progress reporter, a
+//! machine-readable JSONL writer, and an in-memory buffer for tests.
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+use crate::summary::fmt_duration_us;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Progress sink
+// ---------------------------------------------------------------------
+
+/// Human progress reporting on a writer (stderr by default).
+///
+/// Span ends print unconditionally (there are only a handful per run);
+/// sweep events are rate-limited: the first and last sweep always print,
+/// other sweeps print when `every > 0` and the sweep index is a multiple
+/// of `every`, or — with `every == 0` — when at least `min_interval` has
+/// passed since the previous line.
+pub struct ProgressSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    every: u64,
+    min_interval: Duration,
+    last_print: Mutex<Option<Instant>>,
+}
+
+impl ProgressSink {
+    /// Progress on stderr: explicit stride `every` (0 = time-based) and
+    /// minimum interval between sweep lines.
+    #[must_use]
+    pub fn stderr(every: u64, min_interval: Duration) -> Self {
+        Self::to_writer(Box::new(std::io::stderr()), every, min_interval)
+    }
+
+    /// Progress to an arbitrary writer (tests).
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>, every: u64, min_interval: Duration) -> Self {
+        Self {
+            out: Mutex::new(out),
+            every,
+            min_interval,
+            last_print: Mutex::new(None),
+        }
+    }
+
+    fn should_print_sweep(&self, sweep: u64, total: u64) -> bool {
+        let forced = sweep == 0 || (total > 0 && sweep + 1 == total);
+        if self.every > 0 {
+            return forced || sweep % self.every == 0;
+        }
+        let Ok(mut last) = self.last_print.lock() else {
+            return false;
+        };
+        let due = match *last {
+            None => true,
+            Some(at) => at.elapsed() >= self.min_interval,
+        };
+        if forced || due {
+            *last = Some(Instant::now());
+            return true;
+        }
+        false
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+impl Recorder for ProgressSink {
+    fn record(&self, event: &Event) {
+        match event.kind {
+            EventKind::SpanEnd => {
+                let duration = event.field_f64("duration_us").unwrap_or(0.0);
+                let mut extras = String::new();
+                for f in &event.fields {
+                    if f.key == "duration_us" {
+                        continue;
+                    }
+                    if !extras.is_empty() {
+                        extras.push_str(", ");
+                    }
+                    extras.push_str(&format!("{}={}", f.key, f.value));
+                }
+                if extras.is_empty() {
+                    self.write_line(&format!("{}: {}", event.name, fmt_duration_us(duration)));
+                } else {
+                    self.write_line(&format!(
+                        "{}: {} ({extras})",
+                        event.name,
+                        fmt_duration_us(duration)
+                    ));
+                }
+            }
+            EventKind::Sweep => {
+                let sweep = event.field_f64("sweep").unwrap_or(0.0) as u64;
+                let total = event.field_f64("total_sweeps").unwrap_or(0.0) as u64;
+                if !self.should_print_sweep(sweep, total) {
+                    return;
+                }
+                let ll = event.field_f64("ll").unwrap_or(f64::NAN);
+                let entropy = event.field_f64("topic_entropy").unwrap_or(f64::NAN);
+                let elapsed = event.field_f64("elapsed_us").unwrap_or(0.0);
+                self.write_line(&format!(
+                    "{} {}/{total} ll={ll:.1} entropy={entropy:.3} ({}/sweep)",
+                    event.name,
+                    sweep + 1,
+                    fmt_duration_us(elapsed),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL sink
+// ---------------------------------------------------------------------
+
+/// Machine-readable sink: one JSON object per line (the schema in
+/// README.md § Observability). Write errors disable the sink after
+/// reporting once on stderr, so a full disk cannot crash a fit.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    broken: AtomicBool,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and writes JSONL to it, buffered.
+    ///
+    /// # Errors
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// JSONL to an arbitrary writer.
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+            broken: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: &Event) {
+        if self.broken.load(Ordering::Relaxed) {
+            return;
+        }
+        let line = event.to_json_line();
+        if let Ok(mut out) = self.out.lock() {
+            if writeln!(out, "{line}").is_err() && !self.broken.swap(true, Ordering::Relaxed) {
+                eprintln!("rheotex-obs: metrics sink write failed; disabling sink");
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory sink
+// ---------------------------------------------------------------------
+
+/// Buffers every event in memory; the test harness's window into an
+/// instrumented run. Clones share the buffer.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// A snapshot of all recorded events, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Recorded events of one kind.
+    #[must_use]
+    pub fn events_of(&self, kind: EventKind) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect()
+    }
+
+    /// Drains and returns the buffer.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .map(|mut e| std::mem::take(&mut *e))
+            .unwrap_or_default()
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: &Event) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Field;
+    use crate::testjson::parse_json;
+    use crate::Obs;
+
+    /// A `Write` handle over a shared buffer, so tests can read back what
+    /// a sink wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sweep_event(sweep: u64, total: u64) -> Event {
+        Event {
+            t_us: sweep,
+            kind: EventKind::Sweep,
+            name: "joint.sweep".into(),
+            fields: vec![
+                Field::new("sweep", sweep),
+                Field::new("total_sweeps", total),
+                Field::new("elapsed_us", 100u64),
+                Field::new("ll", -5.0),
+                Field::new("topic_entropy", 1.5),
+            ],
+        }
+    }
+
+    #[test]
+    fn progress_stride_rate_limits_sweeps() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), 10, Duration::ZERO);
+        for sweep in 0..40 {
+            sink.record(&sweep_event(sweep, 40));
+        }
+        sink.flush();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().map(str::trim).collect();
+        // Sweeps 0, 10, 20, 30 (stride) and 39 (final).
+        assert_eq!(lines.len(), 5, "{lines:?}");
+        assert!(lines[0].contains("1/40"), "{lines:?}");
+        assert!(lines[4].contains("40/40"), "{lines:?}");
+    }
+
+    #[test]
+    fn progress_time_limit_suppresses_middle_sweeps() {
+        let buf = SharedBuf::default();
+        // Huge interval: only first and last sweep may print.
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), 0, Duration::from_secs(3600));
+        for sweep in 0..20 {
+            sink.record(&sweep_event(sweep, 20));
+        }
+        let lines: Vec<String> = buf.contents().lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+    }
+
+    #[test]
+    fn progress_prints_span_ends() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), 0, Duration::ZERO);
+        sink.record(&Event {
+            t_us: 1,
+            kind: EventKind::SpanEnd,
+            name: "stage.fit".into(),
+            fields: vec![
+                Field::new("duration_us", 2500u64),
+                Field::new("docs", 120u64),
+            ],
+        });
+        let text = buf.contents();
+        assert!(text.contains("stage.fit"), "{text}");
+        assert!(text.contains("2.50ms"), "{text}");
+        assert!(text.contains("docs=120"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf = SharedBuf::default();
+        let obs = Obs::with_sinks(vec![Box::new(JsonlSink::to_writer(Box::new(buf.clone())))]);
+        obs.counter("docs", 3);
+        obs.span("stage.x").with("n", 1u64).finish();
+        obs.flush();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // counter + span_start + span_end
+        for line in lines {
+            parse_json(line).expect("every line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn memory_sink_keeps_order_and_filters() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        obs.counter("a", 1);
+        obs.gauge("b", 2.0);
+        obs.counter("c", 3);
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.events_of(EventKind::Counter).len(), 2);
+        assert_eq!(sink.take().len(), 3);
+        assert!(sink.events().is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! End-of-run aggregation: every event that flows through an [`crate::Obs`]
+//! also updates this summary, so a single table of counters, timers,
+//! gauges, and histograms can be printed when a command finishes.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate of a timed name: spans (by name) and sweeps (by sampler
+/// name) both land here.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimerStat {
+    /// Completed spans / sweeps.
+    pub count: u64,
+    /// Total time spent, µs.
+    pub total_us: u64,
+}
+
+/// The aggregated view of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span and sweep timings by name.
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name (default time buckets).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Summary {
+    /// Folds one event into the aggregate.
+    pub fn observe(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::SpanStart => {}
+            EventKind::SpanEnd => {
+                let t = self.timers.entry(event.name.to_string()).or_default();
+                t.count += 1;
+                t.total_us += event
+                    .field_f64("duration_us")
+                    .map(|d| d.max(0.0) as u64)
+                    .unwrap_or(0);
+            }
+            EventKind::Counter => {
+                let v = event.field_f64("value").unwrap_or(0.0).max(0.0) as u64;
+                *self.counters.entry(event.name.to_string()).or_insert(0) += v;
+            }
+            EventKind::Gauge => {
+                if let Some(v) = event.field_f64("value") {
+                    self.gauges.insert(event.name.to_string(), v);
+                }
+            }
+            EventKind::Observe => {
+                if let Some(v) = event.field_f64("value") {
+                    self.histograms
+                        .entry(event.name.to_string())
+                        .or_insert_with(Histogram::for_time_us)
+                        .record(v);
+                }
+            }
+            EventKind::Sweep => {
+                let t = self.timers.entry(event.name.to_string()).or_default();
+                t.count += 1;
+                t.total_us += event.field_f64("elapsed_us").unwrap_or(0.0).max(0.0) as u64;
+                if let Some(ll) = event.field_f64("ll") {
+                    self.gauges.insert(format!("{}.last_ll", event.name), ll);
+                }
+            }
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.timers.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Renders the summary as an aligned plain-text table, one metric per
+    /// line, grouped by metric type. Returns an empty string when nothing
+    /// was recorded.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.timers.keys())
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let mut out = String::new();
+        if !self.timers.is_empty() {
+            let _ = writeln!(out, "timers");
+            for (name, t) in &self.timers {
+                let mean_us = if t.count > 0 {
+                    t.total_us as f64 / t.count as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  total {:>10}  count {:>6}  mean {:>10}",
+                    fmt_duration_us(t.total_us as f64),
+                    t.count,
+                    fmt_duration_us(mean_us),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {v:>10}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {v:>14.4}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  count {:>6}  mean {:>10}  min {:>10}  max {:>10}",
+                    h.count(),
+                    fmt_duration_us(h.mean().unwrap_or(0.0)),
+                    fmt_duration_us(h.min().unwrap_or(0.0)),
+                    fmt_duration_us(h.max().unwrap_or(0.0)),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Formats a microsecond quantity with a readable unit (µs / ms / s).
+#[must_use]
+pub fn fmt_duration_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.0}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Field;
+
+    fn ev(kind: EventKind, name: &'static str, fields: Vec<Field>) -> Event {
+        Event {
+            t_us: 0,
+            kind,
+            name: name.into(),
+            fields,
+        }
+    }
+
+    #[test]
+    fn aggregates_each_kind() {
+        let mut s = Summary::default();
+        s.observe(&ev(
+            EventKind::SpanEnd,
+            "stage.fit",
+            vec![Field::new("duration_us", 1500u64)],
+        ));
+        s.observe(&ev(
+            EventKind::Counter,
+            "docs",
+            vec![Field::new("value", 10u64)],
+        ));
+        s.observe(&ev(
+            EventKind::Counter,
+            "docs",
+            vec![Field::new("value", 5u64)],
+        ));
+        s.observe(&ev(EventKind::Gauge, "ll", vec![Field::new("value", -3.5)]));
+        s.observe(&ev(
+            EventKind::Observe,
+            "sweep_us",
+            vec![Field::new("value", 250.0)],
+        ));
+        s.observe(&ev(
+            EventKind::Sweep,
+            "joint.sweep",
+            vec![Field::new("elapsed_us", 400u64), Field::new("ll", -2.25)],
+        ));
+
+        assert_eq!(s.counters["docs"], 15);
+        assert_eq!(s.timers["stage.fit"].total_us, 1500);
+        assert_eq!(s.timers["joint.sweep"].count, 1);
+        assert_eq!(s.gauges["ll"], -3.5);
+        assert_eq!(s.gauges["joint.sweep.last_ll"], -2.25);
+        assert_eq!(s.histograms["sweep_us"].count(), 1);
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let mut s = Summary::default();
+        s.observe(&ev(
+            EventKind::Counter,
+            "dataset.docs_kept",
+            vec![Field::new("value", 7u64)],
+        ));
+        s.observe(&ev(
+            EventKind::SpanEnd,
+            "stage.corpus",
+            vec![Field::new("duration_us", 2_000_000u64)],
+        ));
+        let t = s.render_table();
+        assert!(t.contains("dataset.docs_kept"), "{t}");
+        assert!(t.contains("stage.corpus"), "{t}");
+        assert!(t.contains("2.00s"), "{t}");
+    }
+
+    #[test]
+    fn empty_summary_renders_empty() {
+        assert_eq!(Summary::default().render_table(), "");
+        assert!(Summary::default().is_empty());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_us(900.0), "900µs");
+        assert_eq!(fmt_duration_us(1500.0), "1.50ms");
+        assert_eq!(fmt_duration_us(2_500_000.0), "2.50s");
+    }
+}

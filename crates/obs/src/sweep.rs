@@ -1,0 +1,198 @@
+//! The sampler-facing hook: Gibbs engines report one [`SweepStats`] per
+//! sweep to a [`SweepObserver`].
+//!
+//! The trait is deliberately tiny — one callback plus an `enabled`
+//! predicate — so samplers can skip computing the statistics entirely
+//! when nobody is listening (the common case in tests and benchmarks).
+
+use crate::event::{EventKind, Field};
+use crate::recorder::Obs;
+
+/// Statistics of one Gibbs sweep. Field semantics by engine:
+///
+/// * `joint` — occupancy counts documents per topic (`y_d`); `nw_draws`
+///   counts Normal-Wishart parameter resamples (2 per topic: gel and
+///   emulsion).
+/// * `lda` — occupancy counts tokens per topic; `nw_draws` is 0.
+/// * `gmm` — occupancy counts documents per component; `nw_draws` is 0
+///   (components are collapsed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Engine label: `"joint"`, `"lda"`, or `"gmm"`.
+    pub engine: &'static str,
+    /// Sweep index, 0-based.
+    pub sweep: usize,
+    /// Total sweeps configured.
+    pub total_sweeps: usize,
+    /// Wall-clock time of this sweep, µs.
+    pub elapsed_us: u64,
+    /// Conditional log-likelihood after this sweep.
+    pub log_likelihood: f64,
+    /// Shannon entropy (nats) of the topic-occupancy distribution; high
+    /// means balanced topics, near 0 means collapse onto one topic.
+    pub topic_entropy: f64,
+    /// Smallest topic occupancy.
+    pub min_occupancy: usize,
+    /// Largest topic occupancy.
+    pub max_occupancy: usize,
+    /// Normal-Wishart posterior draws performed this sweep.
+    pub nw_draws: usize,
+}
+
+impl SweepStats {
+    /// Shannon entropy (nats) of an occupancy histogram, plus its
+    /// min/max — the shape summary emitted with every sweep.
+    #[must_use]
+    pub fn occupancy_summary(counts: &[usize]) -> (f64, usize, usize) {
+        let total: usize = counts.iter().sum();
+        let mut entropy = 0.0;
+        if total > 0 {
+            for &c in counts {
+                if c > 0 {
+                    let p = c as f64 / total as f64;
+                    entropy -= p * p.ln();
+                }
+            }
+        }
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let max = counts.iter().copied().max().unwrap_or(0);
+        (entropy, min, max)
+    }
+}
+
+/// Receives per-sweep statistics from a running sampler.
+pub trait SweepObserver {
+    /// Whether the observer wants statistics at all. Samplers must skip
+    /// stat computation (and timing) when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Called once after every completed sweep.
+    fn on_sweep(&mut self, stats: &SweepStats);
+}
+
+/// The do-nothing observer used by un-instrumented `fit` entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SweepObserver for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn on_sweep(&mut self, _stats: &SweepStats) {}
+}
+
+impl SweepObserver for Obs {
+    fn enabled(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn on_sweep(&mut self, stats: &SweepStats) {
+        self.emit(
+            EventKind::Sweep,
+            format!("{}.sweep", stats.engine),
+            vec![
+                Field::new("sweep", stats.sweep),
+                Field::new("total_sweeps", stats.total_sweeps),
+                Field::new("elapsed_us", stats.elapsed_us),
+                Field::new("ll", stats.log_likelihood),
+                Field::new("topic_entropy", stats.topic_entropy),
+                Field::new("min_occupancy", stats.min_occupancy),
+                Field::new("max_occupancy", stats.max_occupancy),
+                Field::new("nw_draws", stats.nw_draws),
+            ],
+        );
+        self.observe(
+            format!("{}.sweep_us", stats.engine),
+            stats.elapsed_us as f64,
+        );
+    }
+}
+
+/// An observer that buffers every [`SweepStats`]; the sampler-level
+/// analogue of [`crate::sinks::MemorySink`].
+#[derive(Debug, Clone, Default)]
+pub struct VecObserver {
+    /// Collected statistics, one per sweep.
+    pub sweeps: Vec<SweepStats>,
+}
+
+impl SweepObserver for VecObserver {
+    fn on_sweep(&mut self, stats: &SweepStats) {
+        self.sweeps.push(stats.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::MemorySink;
+
+    fn stats(sweep: usize) -> SweepStats {
+        SweepStats {
+            engine: "joint",
+            sweep,
+            total_sweeps: 4,
+            elapsed_us: 100 + sweep as u64,
+            log_likelihood: -50.0 + sweep as f64,
+            topic_entropy: 1.0,
+            min_occupancy: 1,
+            max_occupancy: 9,
+            nw_draws: 20,
+        }
+    }
+
+    #[test]
+    fn occupancy_summary_uniform_and_degenerate() {
+        let (entropy, min, max) = SweepStats::occupancy_summary(&[5, 5, 5, 5]);
+        assert!((entropy - 4.0f64.ln()).abs() < 1e-12);
+        assert_eq!((min, max), (5, 5));
+        let (entropy, min, max) = SweepStats::occupancy_summary(&[20, 0, 0]);
+        assert_eq!(entropy, 0.0);
+        assert_eq!((min, max), (0, 20));
+        let (entropy, ..) = SweepStats::occupancy_summary(&[]);
+        assert_eq!(entropy, 0.0);
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let mut o = NullObserver;
+        assert!(!o.enabled());
+        o.on_sweep(&stats(0)); // must not panic
+    }
+
+    #[test]
+    fn obs_observer_emits_sweep_events() {
+        let sink = MemorySink::default();
+        let mut obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        assert!(SweepObserver::enabled(&obs));
+        for sweep in 0..4 {
+            obs.on_sweep(&stats(sweep));
+        }
+        let sweeps = sink.events_of(EventKind::Sweep);
+        assert_eq!(sweeps.len(), 4);
+        assert_eq!(sweeps[0].name, "joint.sweep");
+        assert_eq!(sweeps[3].field_f64("sweep"), Some(3.0));
+        assert_eq!(sweeps[3].field_f64("ll"), Some(-47.0));
+        assert_eq!(sweeps[3].field_f64("nw_draws"), Some(20.0));
+        // The elapsed time also lands in a histogram.
+        assert_eq!(obs.summary().histograms["joint.sweep_us"].count(), 4);
+    }
+
+    #[test]
+    fn disabled_obs_observer_reports_disabled() {
+        let obs = Obs::disabled();
+        assert!(!SweepObserver::enabled(&obs));
+    }
+
+    #[test]
+    fn vec_observer_collects() {
+        let mut o = VecObserver::default();
+        o.on_sweep(&stats(0));
+        o.on_sweep(&stats(1));
+        assert_eq!(o.sweeps.len(), 2);
+        assert_eq!(o.sweeps[1].sweep, 1);
+    }
+}

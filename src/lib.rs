@@ -45,6 +45,27 @@
 //! | [`rheology`] | TPA rheometer simulator, Table I / Table II(b) data |
 //! | [`core`] | the joint topic model, collapsed variant, LDA / GMM baselines |
 //! | [`linkage`] | KL topic assignment, Fig. 3 / Fig. 4 analyses, recovery metrics |
+//! | [`obs`] | structured tracing: spans, counters, sweep events, JSONL metrics |
+//!
+//! ## Observability
+//!
+//! Every pipeline stage and every Gibbs sweep can be traced through an
+//! [`obs::Obs`] handle — see [`pipeline::run_pipeline_observed`] and
+//! README.md § Observability for the stable event schema:
+//!
+//! ```
+//! use rheotex::obs::{EventKind, MemorySink, Obs};
+//! use rheotex::pipeline::{run_pipeline_observed, PipelineConfig};
+//!
+//! let sink = MemorySink::default();
+//! let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+//! let mut config = PipelineConfig::small(250);
+//! config.seed = 7;
+//! run_pipeline_observed(&config, &obs).expect("pipeline runs");
+//! // One span per stage, one sweep event per Gibbs sweep.
+//! assert_eq!(sink.events_of(EventKind::SpanEnd).len(), 4);
+//! assert_eq!(sink.events_of(EventKind::Sweep).len(), config.sweeps);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -54,6 +75,7 @@ pub use rheotex_corpus as corpus;
 pub use rheotex_embed as embed;
 pub use rheotex_linalg as linalg;
 pub use rheotex_linkage as linkage;
+pub use rheotex_obs as obs;
 pub use rheotex_rheology as rheology;
 pub use rheotex_textures as textures;
 

@@ -14,7 +14,11 @@
 //!    concentration vectors.
 //!
 //! Each stage is public so examples and experiments can run them
-//! separately; [`run_pipeline`] chains them.
+//! separately; [`run_pipeline`] chains them. The `_observed` variants
+//! ([`run_pipeline_observed`], [`fit_recipes_observed`]) additionally emit
+//! one `stage.*` span per stage and one sweep event per Gibbs sweep
+//! through a [`rheotex_obs::Obs`] handle (see README.md § Observability
+//! for the span names and fields — they are a stable interface).
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -23,6 +27,7 @@ use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
 use rheotex_embed::{FilterConfig, FilterOutcome, GelRelatednessFilter, SgnsConfig, Word2Vec};
 use rheotex_linkage::encode::dataset_to_docs;
+use rheotex_obs::Obs;
 use rheotex_textures::{tokenize, TextureDictionary};
 use std::fmt;
 
@@ -229,16 +234,45 @@ pub fn fit_recipes(
     recipes: &[rheotex_corpus::Recipe],
     labels: &[usize],
 ) -> Result<FitOutput, PipelineError> {
+    fit_recipes_observed(config, recipes, labels, &Obs::disabled())
+}
+
+fn dataset_tokens(dataset: &Dataset) -> u64 {
+    dataset.features.iter().map(|f| f.terms.len() as u64).sum()
+}
+
+/// [`fit_recipes`] with stage spans and per-sweep events emitted through
+/// `obs`. With a disabled handle this is exactly [`fit_recipes`].
+///
+/// Spans (stable names): `stage.dataset` (recipes_in, docs_kept, tokens),
+/// `stage.word2vec_filter` (candidates, kept, excluded, docs_kept,
+/// tokens), `stage.fit` (docs, vocab, topics, sweeps).
+///
+/// # Errors
+/// [`PipelineError`] naming the failing stage.
+pub fn fit_recipes_observed(
+    config: &PipelineConfig,
+    recipes: &[rheotex_corpus::Recipe],
+    labels: &[usize],
+    obs: &Obs,
+) -> Result<FitOutput, PipelineError> {
     let db = IngredientDb::builtin();
     let comprehensive = TextureDictionary::comprehensive();
 
-    // Stage 2: dataset against the full dictionary.
+    // Stage 2: dataset against the full dictionary (quantity parsing,
+    // −ln concentrations, term extraction, the ≥10 % unrelated rule).
+    let mut span = obs.span("stage.dataset");
+    span.set("recipes_in", recipes.len() as u64);
     let dataset = Dataset::build(recipes, labels, &db, &comprehensive, config.dataset_filter)?;
+    span.set("docs_kept", dataset.len() as u64);
+    span.set("tokens", dataset_tokens(&dataset));
+    span.finish();
     if dataset.is_empty() {
         return Err(PipelineError::EmptyDataset);
     }
 
     // Stage 3: word2vec relatedness filter.
+    let mut span = obs.span("stage.word2vec_filter");
     let (dict, filter_outcomes) = word2vec_filter_stage(
         config.seed,
         recipes,
@@ -249,6 +283,13 @@ pub fn fit_recipes(
         &db,
     );
     let dataset = dataset.remap_terms(&comprehensive, &dict);
+    let excluded = filter_outcomes.iter().filter(|o| !o.keep).count();
+    span.set("candidates", filter_outcomes.len() as u64);
+    span.set("kept", (filter_outcomes.len() - excluded) as u64);
+    span.set("excluded", excluded as u64);
+    span.set("docs_kept", dataset.len() as u64);
+    span.set("tokens", dataset_tokens(&dataset));
+    span.finish();
     if dataset.is_empty() {
         return Err(PipelineError::EmptyDataset);
     }
@@ -261,9 +302,16 @@ pub fn fit_recipes(
         burn_in: config.burn_in,
         ..JointConfig::paper_default(dict.len())
     };
+    let mut span = obs.span("stage.fit");
+    span.set("docs", docs.len() as u64);
+    span.set("vocab", dict.len() as u64);
+    span.set("topics", config.n_topics as u64);
+    span.set("sweeps", config.sweeps as u64);
     let model = JointTopicModel::new(model_config)?;
     let mut fit_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x10D0);
-    let fitted = model.fit(&mut fit_rng, &docs)?;
+    let mut observer = obs.clone();
+    let fitted = model.fit_observed(&mut fit_rng, &docs, &mut observer)?;
+    span.finish();
 
     Ok(FitOutput {
         dataset,
@@ -279,10 +327,28 @@ pub fn fit_recipes(
 /// # Errors
 /// [`PipelineError`] naming the failing stage.
 pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_observed(config, &Obs::disabled())
+}
+
+/// [`run_pipeline`] with stage spans and per-sweep events emitted through
+/// `obs`: a `stage.corpus` span (recipes, labels fields) around generation
+/// plus everything [`fit_recipes_observed`] emits. With a disabled handle
+/// this is exactly [`run_pipeline`].
+///
+/// # Errors
+/// [`PipelineError`] naming the failing stage.
+pub fn run_pipeline_observed(
+    config: &PipelineConfig,
+    obs: &Obs,
+) -> Result<PipelineOutput, PipelineError> {
     let db = IngredientDb::builtin();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut span = obs.span("stage.corpus");
     let corpus = generate(&mut rng, &config.synth, &db)?;
-    let fit = fit_recipes(config, &corpus.recipes, &corpus.labels)?;
+    span.set("recipes", corpus.recipes.len() as u64);
+    span.set("labels", corpus.labels.len() as u64);
+    span.finish();
+    let fit = fit_recipes_observed(config, &corpus.recipes, &corpus.labels, obs)?;
     Ok(PipelineOutput {
         corpus,
         dataset: fit.dataset,
@@ -354,6 +420,48 @@ mod tests {
         let b = run_pipeline(&PipelineConfig::small(150)).unwrap();
         assert_eq!(a.model.y, b.model.y);
         assert_eq!(a.dataset.len(), b.dataset.len());
+    }
+
+    #[test]
+    fn observed_pipeline_emits_stage_spans_and_sweeps() {
+        use rheotex_obs::{EventKind, MemorySink, Obs};
+
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let config = PipelineConfig::small(150);
+        let out = run_pipeline_observed(&config, &obs).unwrap();
+
+        // Exactly one span per stage, in pipeline order.
+        let ends = sink.events_of(EventKind::SpanEnd);
+        let names: Vec<&str> = ends.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            [
+                "stage.corpus",
+                "stage.dataset",
+                "stage.word2vec_filter",
+                "stage.fit"
+            ]
+        );
+        for e in &ends {
+            assert!(e.field_f64("duration_us").is_some(), "{}", e.name);
+        }
+        // Stage fields carry the sizes the run actually saw.
+        let filter_span = &ends[2];
+        assert_eq!(
+            filter_span.field_f64("docs_kept"),
+            Some(out.dataset.len() as f64)
+        );
+        let fit_span = &ends[3];
+        assert_eq!(fit_span.field_f64("docs"), Some(out.model.n_docs() as f64));
+        assert_eq!(fit_span.field_f64("sweeps"), Some(config.sweeps as f64));
+        // One sweep event per Gibbs sweep.
+        let sweeps = sink.events_of(EventKind::Sweep);
+        assert_eq!(sweeps.len(), config.sweeps);
+
+        // Observation must not change the fit.
+        let plain = run_pipeline(&config).unwrap();
+        assert_eq!(plain.model.y, out.model.y);
     }
 
     #[test]
