@@ -31,8 +31,9 @@ impl Args {
                 // Value-taking if the next token exists and is not a flag.
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked");
-                        out.flags.insert(name.to_string(), value);
+                        if let Some(value) = iter.next() {
+                            out.flags.insert(name.to_string(), value);
+                        }
                     }
                     _ => out.bools.push(name.to_string()),
                 }

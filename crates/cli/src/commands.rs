@@ -4,10 +4,13 @@ use crate::args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::{FittedJointModel, TopicSummary};
-use rheotex::corpus::io::{load_corpus, save_corpus};
+use rheotex::corpus::io::{load_corpus, load_corpus_lenient, save_corpus};
 use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
 use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
-use rheotex::pipeline::{fit_recipes_observed, PipelineConfig};
+use rheotex::pipeline::{
+    fit_recipes_checkpointed, fit_recipes_observed, CheckpointOptions, PipelineConfig,
+};
+use rheotex::resilience::CheckpointStore;
 use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::{TermId, TextureDictionary};
 use rheotex_linkage::assign::assign_setting;
@@ -25,6 +28,8 @@ USAGE:
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
                     --out-model model.json --out-dict dict.json
                     [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
+                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                    [--max-bad-ratio R]
   rheotex topics    --model model.json --dict dict.json [--top N] [--json]
   rheotex assign    --model model.json --dict dict.json --gelatin PCT
                     [--kanten PCT] [--agar PCT]
@@ -41,6 +46,22 @@ FIT OBSERVABILITY:
                        time-based, at most every 250ms)
   --quiet              silence all progress and summary output; only
                        errors are printed
+
+FIT RESILIENCE:
+  --checkpoint-dir DIR   keep a crash-consistent snapshot of the sampler
+                         in DIR (single CRC-checked `latest.ckpt` file,
+                         written atomically)
+  --checkpoint-every N   sweeps between snapshots (default: 10; 0
+                         disables snapshot writes, useful with --resume
+                         to finish from an existing checkpoint)
+  --resume               continue bit-identically from DIR's snapshot if
+                         one exists, otherwise start fresh; requires
+                         --checkpoint-dir. Note: place --resume before
+                         another --flag (a bare token after it would be
+                         consumed as its value)
+  --max-bad-ratio R      quarantine unparsable corpus lines instead of
+                         aborting, as long as at most fraction R of
+                         non-empty lines fail (default: 0 = strict)
 ";
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
@@ -99,20 +120,44 @@ pub fn fit(args: &Args) -> i32 {
     let out_model = args.require("out-model");
     let out_dict = args.require("out-dict");
     let quiet = args.has("quiet");
-    let (recipes, labels) = match load_corpus(Path::new(corpus_path)) {
+    let max_bad_ratio = args.get_parsed_or("max-bad-ratio", 0.0f64);
+    let checkpoint_dir = args.get("checkpoint-dir");
+    let checkpoint_every = args.get_parsed_or("checkpoint-every", 10usize);
+    let resume = args.has("resume");
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("error: --resume requires --checkpoint-dir");
+        return 2;
+    }
+
+    // Observability first so corpus-ingest diagnostics reach the sinks.
+    let obs = match fit_observability(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let read = match load_corpus_lenient(Path::new(corpus_path), max_bad_ratio) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
+    if read.report.quarantined() > 0 {
+        obs.counter("corpus.quarantined_lines", read.report.quarantined() as u64);
+        if !quiet {
+            let first = &read.report.lines[0];
+            eprintln!(
+                "quarantined {} of {} corpus lines (first: line {}: {})",
+                read.report.quarantined(),
+                read.report.total_lines,
+                first.lineno,
+                first.reason
+            );
+        }
+    }
+    let (recipes, labels) = (read.recipes, read.labels);
     let mut config = PipelineConfig::paper_scale();
     config.n_topics = args.get_parsed_or("topics", config.n_topics);
     config.sweeps = args.get_parsed_or("sweeps", config.sweeps);
     config.burn_in = config.sweeps / 2;
     config.seed = args.get_parsed_or("seed", config.seed);
 
-    let obs = match fit_observability(args) {
-        Ok(o) => o,
-        Err(e) => return fail(e),
-    };
     if !quiet {
         eprintln!(
             "fitting K={} over {} recipes ({} sweeps)…",
@@ -121,7 +166,20 @@ pub fn fit(args: &Args) -> i32 {
             config.sweeps
         );
     }
-    let fit = match fit_recipes_observed(&config, &recipes, &labels, &obs) {
+    let fit = match checkpoint_dir {
+        Some(dir) => {
+            let mut opts = CheckpointOptions::new(dir, checkpoint_every);
+            if resume {
+                if !quiet && !CheckpointStore::new(dir).exists() {
+                    eprintln!("no checkpoint found in {dir}; starting fresh");
+                }
+                opts = opts.resume();
+            }
+            fit_recipes_checkpointed(&config, &recipes, &labels, &obs, &opts)
+        }
+        None => fit_recipes_observed(&config, &recipes, &labels, &obs),
+    };
+    let fit = match fit {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
@@ -138,16 +196,18 @@ pub fn fit(args: &Args) -> i32 {
             fit.dict.len()
         );
     }
-    if let Err(e) = std::fs::write(
-        out_model,
-        serde_json::to_string(&fit.model).expect("model serializes"),
-    ) {
+    let model_json = match serde_json::to_string(&fit.model) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("serialize model: {e}")),
+    };
+    if let Err(e) = std::fs::write(out_model, model_json) {
         return fail(e);
     }
-    if let Err(e) = std::fs::write(
-        out_dict,
-        serde_json::to_string(&fit.dict).expect("dict serializes"),
-    ) {
+    let dict_json = match serde_json::to_string(&fit.dict) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("serialize dictionary: {e}")),
+    };
+    if let Err(e) = std::fs::write(out_dict, dict_json) {
         return fail(e);
     }
     obs.flush();
@@ -189,10 +249,10 @@ pub fn topics(args: &Args) -> i32 {
         Err(e) => return fail(e),
     };
     if args.has("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&summaries).expect("summaries serialize")
-        );
+        match serde_json::to_string_pretty(&summaries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => return fail(format!("serialize summaries: {e}")),
+        }
         return 0;
     }
     let gel_names = ["gelatin", "kanten", "agar"];

@@ -307,6 +307,199 @@ fn fit_progress_reports_on_stderr_by_default() {
 }
 
 #[test]
+fn fit_checkpoint_and_resume_reproduce_identical_models() {
+    let dir = tmpdir("checkpoint");
+    let corpus = dir.join("corpus.jsonl");
+    let ckpt = dir.join("ckpt");
+    let model_plain = dir.join("model_plain.json");
+    let model_a = dir.join("model_a.json");
+    let model_b = dir.join("model_b.json");
+    let dict = dir.join("dict.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "250",
+            "--seed",
+            "5",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let fit_args = |model: &std::path::Path| {
+        vec![
+            "fit".to_string(),
+            "--corpus".to_string(),
+            corpus.to_str().unwrap().to_string(),
+            "--topics".to_string(),
+            "6".to_string(),
+            "--sweeps".to_string(),
+            "20".to_string(),
+            "--seed".to_string(),
+            "13".to_string(),
+            "--out-model".to_string(),
+            model.to_str().unwrap().to_string(),
+            "--out-dict".to_string(),
+            dict.to_str().unwrap().to_string(),
+        ]
+    };
+
+    // Ground truth: a plain fit with no checkpointing at all.
+    let out = bin().args(fit_args(&model_plain)).output().expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Checkpointed fit with --resume against an empty directory: warns,
+    // starts fresh, and must match the plain fit exactly.
+    let mut args = fit_args(&model_a);
+    args.extend([
+        "--resume".to_string(),
+        "--checkpoint-dir".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+        "--checkpoint-every".to_string(),
+        "5".to_string(),
+    ]);
+    let out = bin().args(&args).output().expect("checkpointed fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no checkpoint found"),
+        "--resume on an empty dir must say it is starting fresh"
+    );
+    assert!(ckpt.join("latest.ckpt").exists());
+    let plain = std::fs::read(&model_plain).expect("plain model");
+    let a = std::fs::read(&model_a).expect("checkpointed model");
+    assert_eq!(plain, a, "checkpointing must not perturb the fit");
+
+    // Resume from the final snapshot (next_sweep == sweeps): only
+    // finalization reruns, so the output must be byte-identical.
+    let mut args = fit_args(&model_b);
+    args.extend([
+        "--resume".to_string(),
+        "--checkpoint-dir".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+        "--checkpoint-every".to_string(),
+        "5".to_string(),
+    ]);
+    let out = bin().args(&args).output().expect("resumed fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let b = std::fs::read(&model_b).expect("resumed model");
+    assert_eq!(a, b, "resume must be bit-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fit_resume_without_checkpoint_dir_exits_2() {
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            "/tmp/whatever.jsonl",
+            "--out-model",
+            "/tmp/m",
+            "--out-dict",
+            "/tmp/d",
+            "--resume",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint-dir"));
+}
+
+#[test]
+fn fit_quarantines_mangled_corpus_lines_within_budget() {
+    let dir = tmpdir("quarantine");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let dict = dir.join("dict.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "250",
+            "--seed",
+            "9",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    // Mangle the corpus with one unparsable record.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&corpus)
+        .expect("open corpus");
+    writeln!(f, "{{{{not json").expect("append garbage");
+    drop(f);
+
+    let fit_args = |extra: &[&str]| {
+        let mut v = vec![
+            "fit".to_string(),
+            "--corpus".to_string(),
+            corpus.to_str().unwrap().to_string(),
+            "--topics".to_string(),
+            "6".to_string(),
+            "--sweeps".to_string(),
+            "10".to_string(),
+            "--out-model".to_string(),
+            model.to_str().unwrap().to_string(),
+            "--out-dict".to_string(),
+            dict.to_str().unwrap().to_string(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // Default budget is zero: one bad line must abort the fit.
+    let out = bin().args(fit_args(&[])).output().expect("strict fit");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unparsable"));
+
+    // With a budget the bad line is quarantined and the fit proceeds.
+    let out = bin()
+        .args(fit_args(&["--max-bad-ratio", "0.05"]))
+        .output()
+        .expect("lenient fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quarantined 1 of"), "{err}");
+    assert!(err.contains("line 251"), "{err}");
+    assert!(model.exists() && dict.exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fit_rejects_missing_corpus() {
     let out = bin()
         .args([

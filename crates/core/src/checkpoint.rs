@@ -1,0 +1,474 @@
+//! Sampler state snapshots and the checkpoint hook samplers call.
+//!
+//! A Gibbs run is a pure function of `(config, docs, rng)`, so resuming
+//! bit-identically only requires capturing the mutable loop state at a
+//! sweep boundary: assignments, counts, sufficient statistics, the
+//! explicit Gaussian topic parameters, the post-burn-in accumulators, the
+//! log-likelihood trace, and the exact RNG position. The structs here are
+//! that capture, taken *after* a sweep completes (trace pushed,
+//! estimates accumulated) with `next_sweep` pointing at the first sweep
+//! still to run.
+//!
+//! Serialization is plain `serde`; durability (framing, CRC, atomic
+//! rename) lives in the `rheotex-resilience` crate, which implements
+//! [`CheckpointSink`] on top of these types. Samplers stay storage-
+//! agnostic: they only decide *when* a snapshot is due and hand it over.
+
+use crate::data::ModelDoc;
+use crate::error::ModelError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_linalg::dist::{GaussianPrecision, GaussianStats};
+use rheotex_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Exact position of a [`ChaCha8Rng`]: seed, stream, and 128-bit word
+/// position (split into two `u64`s so the JSON stays integer-exact).
+///
+/// [`RngState::restore`] rebuilds a generator that produces the same
+/// stream from the captured point onward, bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The 32-byte seed the generator was created from.
+    pub seed: Vec<u8>,
+    /// ChaCha stream id.
+    pub stream: u64,
+    /// Low 64 bits of the word position.
+    pub word_pos_lo: u64,
+    /// High 64 bits of the word position.
+    pub word_pos_hi: u64,
+}
+
+impl RngState {
+    /// Captures the current position of `rng`.
+    #[must_use]
+    pub fn capture(rng: &ChaCha8Rng) -> Self {
+        let word_pos = rng.get_word_pos();
+        Self {
+            seed: rng.get_seed().to_vec(),
+            stream: rng.get_stream(),
+            word_pos_lo: word_pos as u64,
+            word_pos_hi: (word_pos >> 64) as u64,
+        }
+    }
+
+    /// Rebuilds a generator at the captured position.
+    ///
+    /// # Errors
+    /// [`ModelError::ResumeMismatch`] if the seed is not 32 bytes.
+    pub fn restore(&self) -> Result<ChaCha8Rng, ModelError> {
+        if self.seed.len() != 32 {
+            return Err(ModelError::ResumeMismatch {
+                what: format!("rng seed has {} bytes, expected 32", self.seed.len()),
+            });
+        }
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(&self.seed);
+        let mut rng = ChaCha8Rng::from_seed(seed);
+        rng.set_stream(self.stream);
+        rng.set_word_pos(u128::from(self.word_pos_hi) << 64 | u128::from(self.word_pos_lo));
+        Ok(rng)
+    }
+}
+
+/// Serializable form of a [`GaussianPrecision`] topic parameter (which
+/// itself caches a factorization and is not serialized directly).
+/// Restoring re-factorizes the identical precision bits, so the rebuilt
+/// parameter scores observations bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianParamState {
+    /// Component mean `μ`.
+    pub mean: Vector,
+    /// Component precision `Λ`.
+    pub precision: Matrix,
+}
+
+impl GaussianParamState {
+    /// Captures a live parameter.
+    #[must_use]
+    pub fn capture(param: &GaussianPrecision) -> Self {
+        Self {
+            mean: param.mean().clone(),
+            precision: param.precision().clone(),
+        }
+    }
+
+    /// Rebuilds the live parameter (re-validating the precision matrix).
+    ///
+    /// # Errors
+    /// [`ModelError::ResumeMismatch`] if the stored precision is no
+    /// longer a valid SPD matrix for the stored mean.
+    pub fn restore(&self) -> Result<GaussianPrecision, ModelError> {
+        GaussianPrecision::new(self.mean.clone(), self.precision.clone()).map_err(|e| {
+            ModelError::ResumeMismatch {
+                what: format!("stored Gaussian parameter is invalid: {e}"),
+            }
+        })
+    }
+}
+
+/// Snapshot of a joint-model fit at a sweep boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointSnapshot {
+    /// Configuration of the run that wrote the snapshot.
+    pub config: crate::config::JointConfig,
+    /// First sweep still to run (the snapshot was taken after sweep
+    /// `next_sweep − 1` completed).
+    pub next_sweep: usize,
+    /// [`fingerprint_docs`] of the corpus the run was fitted on.
+    pub doc_fingerprint: u64,
+    /// Token topic assignments `z`, one vector per document.
+    pub z: Vec<Vec<usize>>,
+    /// Recipe topic assignments `y`.
+    pub y: Vec<usize>,
+    /// Token-topic counts per document, flattened D×K.
+    pub n_dk: Vec<u32>,
+    /// Term-topic counts, flattened K×V.
+    pub n_kw: Vec<u32>,
+    /// Tokens per topic.
+    pub n_k: Vec<u32>,
+    /// Gel sufficient statistics per topic.
+    pub gel_stats: Vec<GaussianStats>,
+    /// Emulsion sufficient statistics per topic.
+    pub emu_stats: Vec<GaussianStats>,
+    /// Explicit gel topic parameters.
+    pub gel_params: Vec<GaussianParamState>,
+    /// Explicit emulsion topic parameters.
+    pub emu_params: Vec<GaussianParamState>,
+    /// Post-burn-in `φ` accumulator, flattened K×V.
+    pub phi_acc: Vec<f64>,
+    /// Post-burn-in `θ` accumulator, flattened D×K.
+    pub theta_acc: Vec<f64>,
+    /// Post-burn-in sweeps accumulated so far.
+    pub n_samples: usize,
+    /// Log-likelihood trace, one entry per completed sweep.
+    pub ll_trace: Vec<f64>,
+    /// RNG position at the sweep boundary.
+    pub rng: RngState,
+}
+
+/// Snapshot of an LDA baseline fit at a sweep boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaSnapshot {
+    /// Configuration of the run that wrote the snapshot.
+    pub config: crate::lda::LdaConfig,
+    /// First sweep still to run.
+    pub next_sweep: usize,
+    /// [`fingerprint_docs`] of the corpus.
+    pub doc_fingerprint: u64,
+    /// Token topic assignments, one vector per document.
+    pub z: Vec<Vec<usize>>,
+    /// Token-topic counts per document, flattened D×K.
+    pub n_dk: Vec<u32>,
+    /// Term-topic counts, flattened K×V.
+    pub n_kw: Vec<u32>,
+    /// Tokens per topic.
+    pub n_k: Vec<u32>,
+    /// Post-burn-in `φ` accumulator, flattened K×V.
+    pub phi_acc: Vec<f64>,
+    /// Post-burn-in `θ` accumulator, flattened D×K.
+    pub theta_acc: Vec<f64>,
+    /// Post-burn-in sweeps accumulated so far.
+    pub n_samples: usize,
+    /// Log-likelihood trace, one entry per completed sweep.
+    pub ll_trace: Vec<f64>,
+    /// RNG position at the sweep boundary.
+    pub rng: RngState,
+}
+
+/// Snapshot of a GMM baseline fit at a sweep boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GmmSnapshot {
+    /// Configuration of the run that wrote the snapshot.
+    pub config: crate::gmm::GmmConfig,
+    /// First sweep still to run.
+    pub next_sweep: usize,
+    /// [`fingerprint_docs`] of the corpus.
+    pub doc_fingerprint: u64,
+    /// Component assignment per document.
+    pub assignments: Vec<usize>,
+    /// Per-component sufficient statistics.
+    pub stats: Vec<GaussianStats>,
+    /// Documents per component.
+    pub counts: Vec<usize>,
+    /// Log-likelihood trace, one entry per completed sweep.
+    pub ll_trace: Vec<f64>,
+    /// RNG position at the sweep boundary.
+    pub rng: RngState,
+}
+
+/// A snapshot from any of the three Gibbs engines. This is the unit a
+/// [`CheckpointSink`] persists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SamplerSnapshot {
+    /// Joint topic model state.
+    Joint(JointSnapshot),
+    /// LDA baseline state.
+    Lda(LdaSnapshot),
+    /// GMM baseline state.
+    Gmm(GmmSnapshot),
+}
+
+impl SamplerSnapshot {
+    /// Engine label matching [`rheotex_obs::SweepStats::engine`].
+    #[must_use]
+    pub fn engine(&self) -> &'static str {
+        match self {
+            Self::Joint(_) => "joint",
+            Self::Lda(_) => "lda",
+            Self::Gmm(_) => "gmm",
+        }
+    }
+
+    /// First sweep still to run after this snapshot.
+    #[must_use]
+    pub fn next_sweep(&self) -> usize {
+        match self {
+            Self::Joint(s) => s.next_sweep,
+            Self::Lda(s) => s.next_sweep,
+            Self::Gmm(s) => s.next_sweep,
+        }
+    }
+}
+
+/// Destination for periodic snapshots during a checkpointed fit.
+///
+/// The sampler asks [`CheckpointSink::due`] after every completed sweep
+/// and only builds a snapshot (a deep copy of its state) when the sink
+/// says yes, so an idle cadence costs nothing. A save failure is
+/// reported as a `String` and surfaces from the fit as
+/// [`ModelError::Checkpoint`] — a sink that prefers to tolerate write
+/// failures (keep sampling, lose the checkpoint) can swallow the error
+/// itself and return `Ok`.
+pub trait CheckpointSink {
+    /// Whether a snapshot should be taken after `sweep` (0-based)
+    /// completed.
+    fn due(&mut self, sweep: usize) -> bool;
+
+    /// Persists one snapshot.
+    ///
+    /// # Errors
+    /// A human-readable description of the write failure.
+    fn save(&mut self, snapshot: SamplerSnapshot) -> Result<(), String>;
+}
+
+/// The no-op sink: never due, used by the plain `fit` entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCheckpoint;
+
+impl CheckpointSink for NoCheckpoint {
+    fn due(&mut self, _sweep: usize) -> bool {
+        false
+    }
+
+    fn save(&mut self, _snapshot: SamplerSnapshot) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// In-memory sink for tests: keeps every snapshot, and can simulate a
+/// crash by failing after a configured number of successful saves.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryCheckpointSink {
+    /// Save cadence in sweeps (0 disables).
+    pub every: usize,
+    /// Snapshots captured so far, oldest first.
+    pub snapshots: Vec<SamplerSnapshot>,
+    /// When `Some(n)`, the `n+1`-th save fails with an injected error.
+    pub fail_after: Option<usize>,
+}
+
+impl MemoryCheckpointSink {
+    /// A sink saving every `every` sweeps and never failing.
+    #[must_use]
+    pub fn new(every: usize) -> Self {
+        Self {
+            every,
+            snapshots: Vec::new(),
+            fail_after: None,
+        }
+    }
+
+    /// The most recent snapshot, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&SamplerSnapshot> {
+        self.snapshots.last()
+    }
+}
+
+impl CheckpointSink for MemoryCheckpointSink {
+    fn due(&mut self, sweep: usize) -> bool {
+        self.every > 0 && (sweep + 1) % self.every == 0
+    }
+
+    fn save(&mut self, snapshot: SamplerSnapshot) -> Result<(), String> {
+        if self.fail_after == Some(self.snapshots.len()) {
+            return Err("injected checkpoint write failure".to_string());
+        }
+        self.snapshots.push(snapshot);
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit fingerprint of a corpus: ids, term sequences, and the
+/// exact bit patterns of the concentration vectors. Cheap to recompute
+/// on resume and sensitive to any reordering or edit, so a snapshot is
+/// only ever replayed against the corpus it was taken from.
+#[must_use]
+pub fn fingerprint_docs(docs: &[ModelDoc]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(docs.len() as u64).to_le_bytes());
+    for doc in docs {
+        eat(&doc.id.to_le_bytes());
+        eat(&(doc.terms.len() as u64).to_le_bytes());
+        for &t in &doc.terms {
+            eat(&(t as u64).to_le_bytes());
+        }
+        eat(&(doc.gel.len() as u64).to_le_bytes());
+        for &x in doc.gel.iter() {
+            eat(&x.to_bits().to_le_bytes());
+        }
+        eat(&(doc.emulsion.len() as u64).to_le_bytes());
+        for &x in doc.emulsion.iter() {
+            eat(&x.to_bits().to_le_bytes());
+        }
+    }
+    hash
+}
+
+/// Builds the standard [`ModelError::ResumeMismatch`].
+pub(crate) fn mismatch(what: impl Into<String>) -> ModelError {
+    ModelError::ResumeMismatch { what: what.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_state_roundtrip_is_bit_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        rng.set_stream(3);
+        // Advance to a mid-block position so word_pos is nontrivial.
+        for _ in 0..37 {
+            let _: u64 = rng.gen();
+        }
+        let state = RngState::capture(&rng);
+        let mut restored = state.restore().unwrap();
+        for _ in 0..100 {
+            assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn rng_state_rejects_bad_seed_length() {
+        let state = RngState {
+            seed: vec![0u8; 16],
+            stream: 0,
+            word_pos_lo: 0,
+            word_pos_hi: 0,
+        };
+        assert!(matches!(
+            state.restore(),
+            Err(ModelError::ResumeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rng_state_survives_serde() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _: f64 = rng.gen();
+        let state = RngState::capture(&rng);
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RngState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        let mut restored = back.restore().unwrap();
+        assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+    }
+
+    fn docs() -> Vec<ModelDoc> {
+        (0..3u64)
+            .map(|i| {
+                ModelDoc::new(
+                    i,
+                    vec![i as usize, 2],
+                    Vector::new(vec![1.0 + i as f64, 2.0, 3.0]),
+                    Vector::full(6, 0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = docs();
+        let mut b = docs();
+        assert_eq!(fingerprint_docs(&a), fingerprint_docs(&b));
+        b[1].gel[0] += 1e-9;
+        assert_ne!(fingerprint_docs(&a), fingerprint_docs(&b));
+        let mut c = docs();
+        c[2].terms.push(0);
+        assert_ne!(fingerprint_docs(&a), fingerprint_docs(&c));
+        let mut d = docs();
+        d.swap(0, 1);
+        assert_ne!(fingerprint_docs(&a), fingerprint_docs(&d));
+        assert_ne!(fingerprint_docs(&a), fingerprint_docs(&a[..2]));
+    }
+
+    #[test]
+    fn memory_sink_cadence_and_injected_failure() {
+        let mut sink = MemoryCheckpointSink::new(5);
+        assert!(!sink.due(0));
+        assert!(sink.due(4));
+        assert!(sink.due(9));
+        assert!(!sink.due(10));
+        let mut off = MemoryCheckpointSink::new(0);
+        assert!(!off.due(4));
+
+        let snap = SamplerSnapshot::Lda(LdaSnapshot {
+            config: crate::lda::LdaConfig {
+                n_topics: 1,
+                vocab_size: 1,
+                alpha: 0.5,
+                gamma: 0.1,
+                sweeps: 2,
+                burn_in: 1,
+            },
+            next_sweep: 1,
+            doc_fingerprint: 0,
+            z: vec![],
+            n_dk: vec![],
+            n_kw: vec![],
+            n_k: vec![],
+            phi_acc: vec![],
+            theta_acc: vec![],
+            n_samples: 0,
+            ll_trace: vec![0.0],
+            rng: RngState::capture(&ChaCha8Rng::seed_from_u64(0)),
+        });
+        assert_eq!(snap.engine(), "lda");
+        assert_eq!(snap.next_sweep(), 1);
+
+        sink.fail_after = Some(1);
+        sink.save(snap.clone()).unwrap();
+        assert!(sink.save(snap).is_err());
+        assert_eq!(sink.snapshots.len(), 1);
+        assert!(sink.latest().is_some());
+    }
+
+    #[test]
+    fn no_checkpoint_is_inert() {
+        let mut sink = NoCheckpoint;
+        assert!(!sink.due(0));
+        assert!(!sink.due(999));
+    }
+}

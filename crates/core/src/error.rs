@@ -18,6 +18,17 @@ pub enum ModelError {
     },
     /// A numerical routine failed during inference.
     Numerical(rheotex_linalg::LinalgError),
+    /// Writing a checkpoint snapshot failed mid-fit.
+    Checkpoint {
+        /// What went wrong in the checkpoint sink.
+        what: String,
+    },
+    /// A resume snapshot is inconsistent with the requested fit (wrong
+    /// config, different corpus, or internally corrupt state).
+    ResumeMismatch {
+        /// Which invariant the snapshot violated.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -26,6 +37,10 @@ impl fmt::Display for ModelError {
             Self::InvalidConfig { what } => write!(f, "invalid model config: {what}"),
             Self::InvalidData { what } => write!(f, "invalid model input: {what}"),
             Self::Numerical(e) => write!(f, "numerical failure during inference: {e}"),
+            Self::Checkpoint { what } => write!(f, "checkpoint write failed: {what}"),
+            Self::ResumeMismatch { what } => {
+                write!(f, "resume snapshot does not match this fit: {what}")
+            }
         }
     }
 }

@@ -8,13 +8,17 @@
 //! channel alone achieves — and that, unlike the joint model, it cannot
 //! produce texture-term descriptions for its clusters.
 
+use crate::checkpoint::{
+    fingerprint_docs, mismatch, CheckpointSink, GmmSnapshot, RngState, SamplerSnapshot,
+};
 use crate::config::NwHyper;
 use crate::data::ModelDoc;
 use crate::error::ModelError;
 use crate::Result;
 use rand::Rng;
-use rheotex_linalg::dist::{sample_categorical_log, GaussianStats};
-use rheotex_linalg::Vector;
+use rand_chacha::ChaCha8Rng;
+use rheotex_linalg::dist::{sample_categorical_log, GaussianStats, NormalWishart};
+use rheotex_linalg::{LinalgError, Vector};
 use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -124,6 +128,58 @@ impl GmmModel {
         docs: &[ModelDoc],
         observer: &mut dyn SweepObserver,
     ) -> Result<FittedGmm> {
+        let (xs, prior) = self.features_and_prior(docs)?;
+        let mut prog = self.init_progress(rng, &xs)?;
+        for sweep in 0..self.config.sweeps {
+            self.sweep_once(rng, &xs, &prior, &mut prog, sweep, observer)?;
+        }
+        self.finalize(&prior, prog)
+    }
+
+    /// [`Self::fit_observed`] with periodic checkpointing; see
+    /// [`crate::joint::JointTopicModel::fit_checkpointed`] for the
+    /// contract. Checkpointing never perturbs the RNG stream.
+    ///
+    /// # Errors
+    /// As [`Self::fit`], plus [`ModelError::Checkpoint`] when the sink
+    /// reports a write failure.
+    pub fn fit_checkpointed(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedGmm> {
+        let (xs, prior) = self.features_and_prior(docs)?;
+        let mut prog = self.init_progress(rng, &xs)?;
+        self.run_sweeps(rng, docs, &xs, &prior, &mut prog, 0, observer, sink)?;
+        self.finalize(&prior, prog)
+    }
+
+    /// Continues a fit from `snapshot`, bit-identically to the run that
+    /// wrote it; see [`crate::joint::JointTopicModel::resume_observed`]
+    /// for the contract.
+    ///
+    /// # Errors
+    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
+    /// to this `(config, docs)` pair; plus everything
+    /// [`Self::fit_checkpointed`] can return.
+    pub fn resume_observed(
+        &self,
+        docs: &[ModelDoc],
+        snapshot: GmmSnapshot,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedGmm> {
+        let (xs, prior) = self.features_and_prior(docs)?;
+        let (mut rng, mut prog, start) = self.restore(docs, &xs, snapshot)?;
+        self.run_sweeps(
+            &mut rng, docs, &xs, &prior, &mut prog, start, observer, sink,
+        )?;
+        self.finalize(&prior, prog)
+    }
+
+    fn features_and_prior(&self, docs: &[ModelDoc]) -> Result<(Vec<Vector>, NormalWishart)> {
         if docs.is_empty() {
             return Err(ModelError::InvalidData {
                 what: "corpus is empty".into(),
@@ -142,68 +198,199 @@ impl GmmModel {
             mean.axpy(inv, x)?;
         }
         let prior = self.config.prior.materialize(dim, &mean)?;
+        Ok((xs, prior))
+    }
 
+    fn init_progress<R: Rng + ?Sized>(&self, rng: &mut R, xs: &[Vector]) -> Result<GmmProgress> {
         let k = self.config.n_components;
+        let dim = xs[0].len();
         let mut assignments: Vec<usize> = Vec::with_capacity(xs.len());
         let mut stats: Vec<GaussianStats> = (0..k).map(|_| GaussianStats::new(dim)).collect();
         let mut counts = vec![0usize; k];
-        let seeds = crate::init::kmeanspp_assignments(rng, &xs, k);
+        let seeds = crate::init::kmeanspp_assignments(rng, xs, k);
         for (x, &c) in xs.iter().zip(&seeds) {
             assignments.push(c);
             stats[c].add(x)?;
             counts[c] += 1;
         }
+        Ok(GmmProgress {
+            assignments,
+            stats,
+            counts,
+            ll_trace: Vec::with_capacity(self.config.sweeps),
+        })
+    }
 
-        let mut ll_trace = Vec::with_capacity(self.config.sweeps);
-        let mut log_weights = vec![0.0f64; k];
-        let observing = observer.enabled();
-        for sweep in 0..self.config.sweeps {
-            let sweep_start = observing.then(Instant::now);
-            let mut ll = 0.0;
-            for (i, x) in xs.iter().enumerate() {
-                let old = assignments[i];
-                stats[old].remove(x)?;
-                counts[old] -= 1;
-                for (c, lw) in log_weights.iter_mut().enumerate() {
-                    let pred = prior.posterior(&stats[c])?.posterior_predictive()?;
-                    *lw = (counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
-                }
-                let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
-                ll += log_weights[new];
-                assignments[i] = new;
-                stats[new].add(x)?;
-                counts[new] += 1;
-            }
-            ll_trace.push(ll);
-            if let Some(started) = sweep_start {
-                let (topic_entropy, min_occupancy, max_occupancy) =
-                    SweepStats::occupancy_summary(&counts);
-                observer.on_sweep(&SweepStats {
-                    engine: "gmm",
-                    sweep,
-                    total_sweeps: self.config.sweeps,
-                    elapsed_us: started.elapsed().as_micros() as u64,
-                    log_likelihood: ll,
-                    topic_entropy,
-                    min_occupancy,
-                    max_occupancy,
-                    nw_draws: 0,
-                });
+    #[allow(clippy::too_many_arguments)]
+    fn run_sweeps(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        xs: &[Vector],
+        prior: &NormalWishart,
+        prog: &mut GmmProgress,
+        start_sweep: usize,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<()> {
+        for sweep in start_sweep..self.config.sweeps {
+            self.sweep_once(rng, xs, prior, prog, sweep, observer)?;
+            if sink.due(sweep) {
+                let snap = GmmSnapshot {
+                    config: self.config.clone(),
+                    next_sweep: sweep + 1,
+                    doc_fingerprint: fingerprint_docs(docs),
+                    assignments: prog.assignments.clone(),
+                    stats: prog.stats.clone(),
+                    counts: prog.counts.clone(),
+                    ll_trace: prog.ll_trace.clone(),
+                    rng: RngState::capture(rng),
+                };
+                sink.save(SamplerSnapshot::Gmm(snap))
+                    .map_err(|what| ModelError::Checkpoint { what })?;
             }
         }
+        Ok(())
+    }
 
-        let means = stats
+    fn sweep_once<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        xs: &[Vector],
+        prior: &NormalWishart,
+        prog: &mut GmmProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<()> {
+        let k = self.config.n_components;
+        let sweep_start = observer.enabled().then(Instant::now);
+        let mut log_weights = vec![0.0f64; k];
+        let mut ll = 0.0;
+        let mut jitter_retries = 0usize;
+        for (i, x) in xs.iter().enumerate() {
+            let old = prog.assignments[i];
+            prog.stats[old].remove(x)?;
+            prog.counts[old] -= 1;
+            for (c, lw) in log_weights.iter_mut().enumerate() {
+                let post = prior.posterior(&prog.stats[c])?;
+                // Fast path first; fall back to the shared ridge-jitter
+                // policy only when the predictive shape degenerates.
+                let pred = match post.posterior_predictive() {
+                    Ok(pred) => pred,
+                    Err(LinalgError::NotPositiveDefinite { .. }) => {
+                        let (pred, jitter) =
+                            post.posterior_predictive_recovering(crate::JITTER_MAX_ATTEMPTS)?;
+                        jitter_retries += jitter.attempts;
+                        pred
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                *lw = (prog.counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
+            }
+            let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
+            ll += log_weights[new];
+            prog.assignments[i] = new;
+            prog.stats[new].add(x)?;
+            prog.counts[new] += 1;
+        }
+        prog.ll_trace.push(ll);
+        if let Some(started) = sweep_start {
+            let (topic_entropy, min_occupancy, max_occupancy) =
+                SweepStats::occupancy_summary(&prog.counts);
+            observer.on_sweep(&SweepStats {
+                engine: "gmm",
+                sweep,
+                total_sweeps: self.config.sweeps,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                log_likelihood: ll,
+                topic_entropy,
+                min_occupancy,
+                max_occupancy,
+                nw_draws: 0,
+                jitter_retries,
+            });
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, prior: &NormalWishart, prog: GmmProgress) -> Result<FittedGmm> {
+        let means = prog
+            .stats
             .iter()
             .map(|s| prior.posterior(s).map(|p| p.mu0().clone()))
             .collect::<std::result::Result<Vec<_>, _>>()?;
-
         Ok(FittedGmm {
-            assignments,
+            assignments: prog.assignments,
             means,
-            counts,
-            ll_trace,
+            counts: prog.counts,
+            ll_trace: prog.ll_trace,
         })
     }
+
+    fn restore(
+        &self,
+        docs: &[ModelDoc],
+        xs: &[Vector],
+        snap: GmmSnapshot,
+    ) -> Result<(ChaCha8Rng, GmmProgress, usize)> {
+        let cfg = &self.config;
+        let k = cfg.n_components;
+        if snap.config != *cfg {
+            return Err(mismatch("snapshot was written with a different config"));
+        }
+        if snap.doc_fingerprint != fingerprint_docs(docs) {
+            return Err(mismatch("snapshot was written for a different corpus"));
+        }
+        if snap.next_sweep > cfg.sweeps {
+            return Err(mismatch(format!(
+                "snapshot next_sweep {} exceeds configured sweeps {}",
+                snap.next_sweep, cfg.sweeps
+            )));
+        }
+        if snap.ll_trace.len() != snap.next_sweep {
+            return Err(mismatch(format!(
+                "ll_trace has {} entries for {} completed sweeps",
+                snap.ll_trace.len(),
+                snap.next_sweep
+            )));
+        }
+        if snap.assignments.len() != xs.len() {
+            return Err(mismatch("assignment length does not match the corpus"));
+        }
+        if snap.assignments.iter().any(|&c| c >= k) {
+            return Err(mismatch("assignment refers to a component out of range"));
+        }
+        if snap.stats.len() != k || snap.counts.len() != k {
+            return Err(mismatch("per-component arrays have wrong sizes"));
+        }
+        let dim = xs[0].len();
+        if snap.stats.iter().any(|s| s.dim() != dim) {
+            return Err(mismatch("sufficient statistics have wrong dimensions"));
+        }
+        let mut counts = vec![0usize; k];
+        for &c in &snap.assignments {
+            counts[c] += 1;
+        }
+        if counts != snap.counts || snap.stats.iter().map(GaussianStats::count).ne(counts) {
+            return Err(mismatch("counts are inconsistent with assignments"));
+        }
+        let rng = snap.rng.restore()?;
+        let prog = GmmProgress {
+            assignments: snap.assignments,
+            stats: snap.stats,
+            counts: snap.counts,
+            ll_trace: snap.ll_trace,
+        };
+        Ok((rng, prog, snap.next_sweep))
+    }
+}
+
+/// Everything the GMM sweep loop mutates.
+struct GmmProgress {
+    assignments: Vec<usize>,
+    stats: Vec<GaussianStats>,
+    counts: Vec<usize>,
+    ll_trace: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -265,6 +452,49 @@ mod tests {
         g.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((g[0] - 2.0).abs() < 0.5, "means {g:?}");
         assert!((g[1] - 9.0).abs() < 0.5, "means {g:?}");
+    }
+
+    #[test]
+    fn killed_fit_resumes_bit_identically() {
+        let docs = blob_docs(15);
+        let model = GmmModel::new(GmmConfig::new(2)).unwrap();
+        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+
+        let mut sink = crate::MemoryCheckpointSink::new(20);
+        sink.fail_after = Some(1);
+        let err = model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Checkpoint { .. }));
+        let crate::SamplerSnapshot::Gmm(snap) = sink.latest().unwrap().clone() else {
+            panic!("gmm fit must write gmm snapshots");
+        };
+        assert_eq!(snap.next_sweep, 20);
+
+        let resumed = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .unwrap();
+        assert_eq!(resumed.assignments, uninterrupted.assignments);
+        assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
+        assert_eq!(resumed.counts, uninterrupted.counts);
+    }
+
+    #[test]
+    fn resume_rejects_tampered_counts() {
+        let docs = blob_docs(10);
+        let model = GmmModel::new(GmmConfig::new(2)).unwrap();
+        let mut sink = crate::MemoryCheckpointSink::new(40);
+        model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        let crate::SamplerSnapshot::Gmm(mut snap) = sink.latest().unwrap().clone() else {
+            panic!("gmm fit must write gmm snapshots");
+        };
+        snap.counts[0] += 1;
+        let err = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
     }
 
     #[test]

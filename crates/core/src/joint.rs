@@ -20,6 +20,10 @@
 //! paper's Eq. (5) estimators, and the Gaussian components are reported
 //! through their final Normal-Wishart posteriors (Rao-Blackwellized).
 
+use crate::checkpoint::{
+    fingerprint_docs, mismatch, CheckpointSink, GaussianParamState, JointSnapshot, RngState,
+    SamplerSnapshot,
+};
 use crate::config::JointConfig;
 use crate::data::{validate_docs, ModelDoc};
 use crate::error::ModelError;
@@ -114,6 +118,30 @@ impl State {
     }
 }
 
+/// Everything the sweep loop mutates: the Gibbs state plus the
+/// post-burn-in accumulators and the trace. One sweep advances this; a
+/// checkpoint serializes it; a resume rebuilds it.
+struct Progress {
+    state: State,
+    phi_acc: Vec<f64>,
+    theta_acc: Vec<f64>,
+    n_samples: usize,
+    ll_trace: Vec<f64>,
+}
+
+impl Progress {
+    fn fresh(state: State, d_count: usize, cfg: &JointConfig) -> Self {
+        let k = cfg.n_topics;
+        Self {
+            state,
+            phi_acc: vec![0.0f64; k * cfg.vocab_size],
+            theta_acc: vec![0.0f64; d_count * k],
+            n_samples: 0,
+            ll_trace: Vec::with_capacity(cfg.sweeps),
+        }
+    }
+}
+
 impl JointTopicModel {
     /// Creates a model from a validated configuration.
     ///
@@ -158,70 +186,184 @@ impl JointTopicModel {
     ) -> Result<FittedJointModel> {
         let cfg = &self.config;
         validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
-
         let (gel_prior, emu_prior) = self.materialize_priors(docs)?;
-        let mut state = self.init_state(rng, docs, &gel_prior, &emu_prior)?;
-
-        let d_count = docs.len();
-        let k = cfg.n_topics;
-        let mut phi_acc = vec![0.0f64; k * cfg.vocab_size];
-        let mut theta_acc = vec![0.0f64; d_count * k];
-        let mut n_samples = 0usize;
-        let mut ll_trace = Vec::with_capacity(cfg.sweeps);
-        let observing = observer.enabled();
-
+        let state = self.init_state(rng, docs, &gel_prior, &emu_prior)?;
+        let mut prog = Progress::fresh(state, docs.len(), cfg);
         for sweep in 0..cfg.sweeps {
-            let sweep_start = observing.then(Instant::now);
-            self.sweep_z(rng, docs, &mut state);
-            self.sweep_y(rng, docs, &mut state)?;
-            self.resample_params(rng, &mut state, &gel_prior, &emu_prior)?;
-            let ll = self.conditional_ll(docs, &state);
-            ll_trace.push(ll);
+            self.sweep_once(
+                rng, docs, &mut prog, &gel_prior, &emu_prior, sweep, observer,
+            )?;
+        }
+        self.finalize(docs, prog, &gel_prior, &emu_prior)
+    }
 
-            if let Some(started) = sweep_start {
-                let mut occupancy = vec![0usize; k];
-                for &y in &state.y {
-                    occupancy[y] += 1;
-                }
-                let (topic_entropy, min_occupancy, max_occupancy) =
-                    SweepStats::occupancy_summary(&occupancy);
-                observer.on_sweep(&SweepStats {
-                    engine: "joint",
-                    sweep,
-                    total_sweeps: cfg.sweeps,
-                    elapsed_us: started.elapsed().as_micros() as u64,
-                    log_likelihood: ll,
-                    topic_entropy,
-                    min_occupancy,
-                    max_occupancy,
-                    nw_draws: 2 * k,
-                });
-            }
+    /// [`Self::fit_observed`] with periodic checkpointing: after every
+    /// sweep the sink is asked whether a snapshot is due; if so the full
+    /// sampler state (including the RNG position) is captured and handed
+    /// to [`CheckpointSink::save`]. Checkpointing never perturbs the RNG
+    /// stream, so the fitted model is bit-identical to an un-checkpointed
+    /// run with the same seed.
+    ///
+    /// Takes a concrete [`ChaCha8Rng`] because snapshots must capture the
+    /// exact generator position.
+    ///
+    /// # Errors
+    /// As [`Self::fit`], plus [`ModelError::Checkpoint`] when the sink
+    /// reports a write failure.
+    pub fn fit_checkpointed(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedJointModel> {
+        let cfg = &self.config;
+        validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
+        let (gel_prior, emu_prior) = self.materialize_priors(docs)?;
+        let state = self.init_state(rng, docs, &gel_prior, &emu_prior)?;
+        let mut prog = Progress::fresh(state, docs.len(), cfg);
+        self.run_sweeps(
+            rng, docs, &mut prog, &gel_prior, &emu_prior, 0, observer, sink,
+        )?;
+        self.finalize(docs, prog, &gel_prior, &emu_prior)
+    }
 
-            if sweep >= cfg.burn_in {
-                self.accumulate_estimates(docs, &state, &mut phi_acc, &mut theta_acc);
-                n_samples += 1;
+    /// Continues a fit from `snapshot`, bit-identically to the run that
+    /// wrote it: the remaining sweeps consume the same RNG stream and
+    /// produce the same assignments, trace, and estimates as if the
+    /// original run had never stopped. The snapshot is validated against
+    /// this model's configuration and the corpus fingerprint before any
+    /// sampling happens.
+    ///
+    /// A snapshot whose `next_sweep` already equals `sweeps` (written at
+    /// the end of a completed run) is legal: the fit skips straight to
+    /// finalization.
+    ///
+    /// # Errors
+    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
+    /// to this `(config, docs)` pair or is internally inconsistent; plus
+    /// everything [`Self::fit_checkpointed`] can return.
+    pub fn resume_observed(
+        &self,
+        docs: &[ModelDoc],
+        snapshot: JointSnapshot,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedJointModel> {
+        let cfg = &self.config;
+        validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
+        let (gel_prior, emu_prior) = self.materialize_priors(docs)?;
+        let (mut rng, mut prog, start) = self.restore(docs, snapshot)?;
+        self.run_sweeps(
+            &mut rng, docs, &mut prog, &gel_prior, &emu_prior, start, observer, sink,
+        )?;
+        self.finalize(docs, prog, &gel_prior, &emu_prior)
+    }
+
+    /// The checkpointed sweep loop shared by fresh and resumed fits.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sweeps(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &mut Progress,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+        start_sweep: usize,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<()> {
+        for sweep in start_sweep..self.config.sweeps {
+            self.sweep_once(rng, docs, prog, gel_prior, emu_prior, sweep, observer)?;
+            if sink.due(sweep) {
+                let snap = self.snapshot(rng, docs, prog, sweep + 1);
+                sink.save(SamplerSnapshot::Joint(snap))
+                    .map_err(|what| ModelError::Checkpoint { what })?;
             }
         }
+        Ok(())
+    }
 
-        // Finalize point estimates.
-        let norm = 1.0 / n_samples.max(1) as f64;
+    /// One full Gibbs sweep: Eq. (2), Eq. (3), Eq. (4), trace, observer
+    /// report, and post-burn-in accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_once<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        prog: &mut Progress,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<()> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let sweep_start = observer.enabled().then(Instant::now);
+        self.sweep_z(rng, docs, &mut prog.state);
+        self.sweep_y(rng, docs, &mut prog.state)?;
+        let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
+        let ll = self.conditional_ll(docs, &prog.state);
+        prog.ll_trace.push(ll);
+
+        if let Some(started) = sweep_start {
+            let mut occupancy = vec![0usize; k];
+            for &y in &prog.state.y {
+                occupancy[y] += 1;
+            }
+            let (topic_entropy, min_occupancy, max_occupancy) =
+                SweepStats::occupancy_summary(&occupancy);
+            observer.on_sweep(&SweepStats {
+                engine: "joint",
+                sweep,
+                total_sweeps: cfg.sweeps,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                log_likelihood: ll,
+                topic_entropy,
+                min_occupancy,
+                max_occupancy,
+                nw_draws: 2 * k,
+                jitter_retries,
+            });
+        }
+
+        if sweep >= cfg.burn_in {
+            self.accumulate_estimates(docs, &prog.state, &mut prog.phi_acc, &mut prog.theta_acc);
+            prog.n_samples += 1;
+        }
+        Ok(())
+    }
+
+    /// Turns accumulated progress into the fitted model.
+    fn finalize(
+        &self,
+        docs: &[ModelDoc],
+        prog: Progress,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+    ) -> Result<FittedJointModel> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let d_count = docs.len();
+        let norm = 1.0 / prog.n_samples.max(1) as f64;
         let phi = (0..k)
             .map(|kk| {
                 (0..cfg.vocab_size)
-                    .map(|w| phi_acc[kk * cfg.vocab_size + w] * norm)
+                    .map(|w| prog.phi_acc[kk * cfg.vocab_size + w] * norm)
                     .collect()
             })
             .collect();
         let theta = (0..d_count)
-            .map(|d| (0..k).map(|kk| theta_acc[d * k + kk] * norm).collect())
+            .map(|d| (0..k).map(|kk| prog.theta_acc[d * k + kk] * norm).collect())
             .collect();
-        let gel_posteriors = state
+        let gel_posteriors = prog
+            .state
             .gel_stats
             .iter()
             .map(|s| gel_prior.posterior(s))
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        let emulsion_posteriors = state
+        let emulsion_posteriors = prog
+            .state
             .emu_stats
             .iter()
             .map(|s| emu_prior.posterior(s))
@@ -233,10 +375,170 @@ impl JointTopicModel {
             theta,
             gel_posteriors,
             emulsion_posteriors,
-            y: state.y,
+            y: prog.state.y,
             doc_ids: docs.iter().map(|d| d.id).collect(),
-            ll_trace,
+            ll_trace: prog.ll_trace,
         })
+    }
+
+    /// Captures the sweep-boundary state as a serializable snapshot.
+    fn snapshot(
+        &self,
+        rng: &ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &Progress,
+        next_sweep: usize,
+    ) -> JointSnapshot {
+        let state = &prog.state;
+        JointSnapshot {
+            config: self.config.clone(),
+            next_sweep,
+            doc_fingerprint: fingerprint_docs(docs),
+            z: state.z.clone(),
+            y: state.y.clone(),
+            n_dk: state.n_dk.clone(),
+            n_kw: state.n_kw.clone(),
+            n_k: state.n_k.clone(),
+            gel_stats: state.gel_stats.clone(),
+            emu_stats: state.emu_stats.clone(),
+            gel_params: state
+                .gel_params
+                .iter()
+                .map(GaussianParamState::capture)
+                .collect(),
+            emu_params: state
+                .emu_params
+                .iter()
+                .map(GaussianParamState::capture)
+                .collect(),
+            phi_acc: prog.phi_acc.clone(),
+            theta_acc: prog.theta_acc.clone(),
+            n_samples: prog.n_samples,
+            ll_trace: prog.ll_trace.clone(),
+            rng: RngState::capture(rng),
+        }
+    }
+
+    /// Validates a snapshot against `(self.config, docs)` and rebuilds
+    /// the live sampler state.
+    fn restore(
+        &self,
+        docs: &[ModelDoc],
+        snap: JointSnapshot,
+    ) -> Result<(ChaCha8Rng, Progress, usize)> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let d_count = docs.len();
+        if snap.config != *cfg {
+            return Err(mismatch("snapshot was written with a different config"));
+        }
+        if snap.doc_fingerprint != fingerprint_docs(docs) {
+            return Err(mismatch("snapshot was written for a different corpus"));
+        }
+        if snap.next_sweep > cfg.sweeps {
+            return Err(mismatch(format!(
+                "snapshot next_sweep {} exceeds configured sweeps {}",
+                snap.next_sweep, cfg.sweeps
+            )));
+        }
+        if snap.ll_trace.len() != snap.next_sweep {
+            return Err(mismatch(format!(
+                "ll_trace has {} entries for {} completed sweeps",
+                snap.ll_trace.len(),
+                snap.next_sweep
+            )));
+        }
+        let expect_samples = snap.next_sweep.saturating_sub(cfg.burn_in);
+        if snap.n_samples != expect_samples {
+            return Err(mismatch(format!(
+                "n_samples {} does not match {} post-burn-in sweeps",
+                snap.n_samples, expect_samples
+            )));
+        }
+        if snap.z.len() != d_count || snap.y.len() != d_count {
+            return Err(mismatch("assignment lengths do not match the corpus"));
+        }
+        for (d, doc) in docs.iter().enumerate() {
+            if snap.z[d].len() != doc.terms.len() {
+                return Err(mismatch(format!(
+                    "doc {d}: token assignment length mismatch"
+                )));
+            }
+        }
+        if snap.y.iter().any(|&y| y >= k) || snap.z.iter().flatten().any(|&t| t >= k) {
+            return Err(mismatch("assignment refers to a topic out of range"));
+        }
+        if snap.n_dk.len() != d_count * k
+            || snap.n_kw.len() != k * v
+            || snap.n_k.len() != k
+            || snap.phi_acc.len() != k * v
+            || snap.theta_acc.len() != d_count * k
+        {
+            return Err(mismatch("count or accumulator arrays have wrong sizes"));
+        }
+        if snap.gel_stats.len() != k
+            || snap.emu_stats.len() != k
+            || snap.gel_params.len() != k
+            || snap.emu_params.len() != k
+        {
+            return Err(mismatch("per-topic arrays have wrong sizes"));
+        }
+        if snap.gel_stats.iter().any(|s| s.dim() != cfg.gel_dim)
+            || snap.emu_stats.iter().any(|s| s.dim() != cfg.emulsion_dim)
+        {
+            return Err(mismatch("sufficient statistics have wrong dimensions"));
+        }
+        // Integer count consistency: recompute from z. (Float statistics
+        // are deliberately not revalidated — they may carry accumulated
+        // rounding, and the jitter-recovery path absorbs degradation.)
+        let mut n_dk = vec![0u32; d_count * k];
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = snap.z[d][n];
+                n_dk[d * k + t] += 1;
+                n_kw[t * v + w] += 1;
+                n_k[t] += 1;
+            }
+        }
+        if n_dk != snap.n_dk || n_kw != snap.n_kw || n_k != snap.n_k {
+            return Err(mismatch("counts are inconsistent with assignments"));
+        }
+
+        let rng = snap.rng.restore()?;
+        let gel_params = snap
+            .gel_params
+            .iter()
+            .map(GaussianParamState::restore)
+            .collect::<Result<Vec<_>>>()?;
+        let emu_params = snap
+            .emu_params
+            .iter()
+            .map(GaussianParamState::restore)
+            .collect::<Result<Vec<_>>>()?;
+        let state = State {
+            k,
+            v,
+            z: snap.z,
+            y: snap.y,
+            n_dk: snap.n_dk,
+            n_kw: snap.n_kw,
+            n_k: snap.n_k,
+            gel_stats: snap.gel_stats,
+            emu_stats: snap.emu_stats,
+            gel_params,
+            emu_params,
+        };
+        let prog = Progress {
+            state,
+            phi_acc: snap.phi_acc,
+            theta_acc: snap.theta_acc,
+            n_samples: snap.n_samples,
+            ll_trace: snap.ll_trace,
+        };
+        Ok((rng, prog, snap.next_sweep))
     }
 
     /// Fits `n_chains` independent chains in parallel (distinct seeds
@@ -414,24 +716,38 @@ impl JointTopicModel {
     }
 
     /// Eq. (4): resample the Gaussian topic parameters from their
-    /// Normal-Wishart posteriors.
+    /// Normal-Wishart posteriors. A numerically non-positive-definite
+    /// posterior scale (a degraded scatter matrix) is recovered with the
+    /// shared ridge-jitter policy instead of failing the sweep; returns
+    /// the total retries spent, 0 on a healthy sweep. The factorization
+    /// happens before any randomness is drawn, so the healthy path
+    /// consumes exactly the RNG stream the un-jittered sampler would.
     fn resample_params<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         state: &mut State,
         gel_prior: &NormalWishart,
         emu_prior: &NormalWishart,
-    ) -> Result<()> {
+    ) -> Result<usize> {
         let k = self.config.n_topics;
+        let max = crate::JITTER_MAX_ATTEMPTS;
+        let mut retries = 0usize;
         let mut gel_params = Vec::with_capacity(k);
         let mut emu_params = Vec::with_capacity(k);
         for kk in 0..k {
-            gel_params.push(gel_prior.posterior(&state.gel_stats[kk])?.sample(rng)?);
-            emu_params.push(emu_prior.posterior(&state.emu_stats[kk])?.sample(rng)?);
+            let (gel, gj) = gel_prior
+                .posterior(&state.gel_stats[kk])?
+                .sample_recovering(rng, max)?;
+            let (emu, ej) = emu_prior
+                .posterior(&state.emu_stats[kk])?
+                .sample_recovering(rng, max)?;
+            retries += gj.attempts + ej.attempts;
+            gel_params.push(gel);
+            emu_params.push(emu);
         }
         state.gel_params = gel_params;
         state.emu_params = emu_params;
-        Ok(())
+        Ok(retries)
     }
 
     /// Conditional log-likelihood of the data given the current state —
@@ -745,6 +1061,148 @@ mod tests {
             assert_eq!(s.nw_draws, 2 * observed.config.n_topics);
             assert!(s.topic_entropy >= 0.0);
         }
+    }
+
+    #[test]
+    fn checkpointed_fit_matches_plain_fit() {
+        let docs = two_cluster_docs(10);
+        let model = quick_model(2);
+        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let mut sink = crate::MemoryCheckpointSink::new(7);
+        let checkpointed = model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        assert_eq!(plain.y, checkpointed.y);
+        assert_eq!(plain.ll_trace, checkpointed.ll_trace);
+        assert_eq!(plain.phi, checkpointed.phi);
+        assert_eq!(plain.theta, checkpointed.theta);
+        // quick() runs 60 sweeps → saves after sweeps 6, 13, …, 55.
+        assert_eq!(sink.snapshots.len(), 60 / 7);
+        let crate::SamplerSnapshot::Joint(last) = sink.latest().unwrap() else {
+            panic!("joint fit must write joint snapshots");
+        };
+        assert_eq!(last.next_sweep, 56);
+        assert_eq!(last.ll_trace, plain.ll_trace[..56]);
+    }
+
+    #[test]
+    fn killed_fit_resumes_bit_identically() {
+        let docs = two_cluster_docs(10);
+        let model = quick_model(2);
+        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+
+        // Crash injection: the second checkpoint write fails, killing the
+        // fit at sweep 9 with the sweep-5 snapshot safely persisted.
+        let mut sink = crate::MemoryCheckpointSink::new(5);
+        sink.fail_after = Some(1);
+        let err = model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Checkpoint { .. }));
+        let crate::SamplerSnapshot::Joint(snap) = sink.latest().unwrap().clone() else {
+            panic!("joint fit must write joint snapshots");
+        };
+        assert_eq!(snap.next_sweep, 5);
+
+        let mut resume_sink = crate::MemoryCheckpointSink::new(5);
+        let resumed = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut resume_sink)
+            .unwrap();
+        assert_eq!(resumed.y, uninterrupted.y);
+        assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
+        assert_eq!(resumed.phi, uninterrupted.phi);
+        assert_eq!(resumed.theta, uninterrupted.theta);
+        // The resumed run keeps checkpointing from where it left off.
+        assert_eq!(resume_sink.snapshots.len(), 11);
+    }
+
+    #[test]
+    fn resume_from_final_snapshot_only_finalizes() {
+        let docs = two_cluster_docs(8);
+        let model = quick_model(2);
+        let plain = model.fit(&mut rng(), &docs).unwrap();
+        // Cadence 60 → exactly one snapshot, at next_sweep == sweeps.
+        let mut sink = crate::MemoryCheckpointSink::new(60);
+        model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        let crate::SamplerSnapshot::Joint(snap) = sink.latest().unwrap().clone() else {
+            panic!("joint fit must write joint snapshots");
+        };
+        assert_eq!(snap.next_sweep, 60);
+        let resumed = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .unwrap();
+        assert_eq!(resumed.y, plain.y);
+        assert_eq!(resumed.ll_trace, plain.ll_trace);
+        assert_eq!(resumed.phi, plain.phi);
+    }
+
+    #[test]
+    fn resume_survives_serde_roundtrip() {
+        let docs = two_cluster_docs(8);
+        let model = quick_model(2);
+        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let mut sink = crate::MemoryCheckpointSink::new(20);
+        model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        let json = serde_json::to_string(&sink.snapshots[0]).unwrap();
+        let crate::SamplerSnapshot::Joint(snap) = serde_json::from_str(&json).unwrap() else {
+            panic!("snapshot kind survives serde");
+        };
+        let resumed = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .unwrap();
+        assert_eq!(resumed.y, plain.y);
+        assert_eq!(resumed.ll_trace, plain.ll_trace);
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_snapshots() {
+        let docs = two_cluster_docs(8);
+        let model = quick_model(2);
+        let mut sink = crate::MemoryCheckpointSink::new(10);
+        model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        let crate::SamplerSnapshot::Joint(good) = sink.snapshots[0].clone() else {
+            panic!("joint fit must write joint snapshots");
+        };
+        let reject = |snap: crate::JointSnapshot| {
+            let err = model
+                .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+                .unwrap_err();
+            assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
+        };
+
+        let mut other_config = good.clone();
+        other_config.config.alpha += 1.0;
+        reject(other_config);
+
+        let mut other_corpus = good.clone();
+        other_corpus.doc_fingerprint ^= 1;
+        reject(other_corpus);
+
+        let mut bad_counts = good.clone();
+        bad_counts.n_k[0] += 1;
+        reject(bad_counts);
+
+        let mut bad_topic = good.clone();
+        bad_topic.y[0] = 99;
+        reject(bad_topic);
+
+        let mut too_far = good.clone();
+        too_far.next_sweep = 1000;
+        reject(too_far);
+
+        let mut bad_trace = good.clone();
+        bad_trace.ll_trace.pop();
+        reject(bad_trace);
+
+        let mut bad_rng = good;
+        bad_rng.rng.seed.truncate(4);
+        reject(bad_rng);
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! space, so it cannot be linked to rheology at all and separates
 //! concentration bands only insofar as they use different words.
 
+use crate::checkpoint::{
+    fingerprint_docs, mismatch, CheckpointSink, LdaSnapshot, RngState, SamplerSnapshot,
+};
 use crate::config::JointConfig;
 use crate::data::{validate_docs, ModelDoc};
+use crate::error::ModelError;
 use crate::Result;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use rheotex_linalg::dist::sample_categorical;
 use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
@@ -78,6 +83,18 @@ pub struct LdaModel {
     config: LdaConfig,
 }
 
+/// Everything the LDA sweep loop mutates.
+struct LdaProgress {
+    z: Vec<Vec<usize>>,
+    n_dk: Vec<u32>,
+    n_kw: Vec<u32>,
+    n_k: Vec<u32>,
+    phi_acc: Vec<f64>,
+    theta_acc: Vec<f64>,
+    n_samples: usize,
+    ll_trace: Vec<f64>,
+}
+
 impl LdaModel {
     /// Creates the model.
     ///
@@ -121,18 +138,70 @@ impl LdaModel {
         docs: &[ModelDoc],
         observer: &mut dyn SweepObserver,
     ) -> Result<FittedLda> {
-        let cfg = &self.config;
+        self.validate(docs)?;
+        let mut prog = self.init_progress(rng, docs);
+        for sweep in 0..self.config.sweeps {
+            self.sweep_once(rng, docs, &mut prog, sweep, observer);
+        }
+        Ok(self.finalize(docs.len(), prog))
+    }
+
+    /// [`Self::fit_observed`] with periodic checkpointing; see
+    /// [`crate::joint::JointTopicModel::fit_checkpointed`] for the
+    /// contract. Checkpointing never perturbs the RNG stream.
+    ///
+    /// # Errors
+    /// As [`Self::fit`], plus [`ModelError::Checkpoint`] when the sink
+    /// reports a write failure.
+    pub fn fit_checkpointed(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedLda> {
+        self.validate(docs)?;
+        let mut prog = self.init_progress(rng, docs);
+        self.run_sweeps(rng, docs, &mut prog, 0, observer, sink)?;
+        Ok(self.finalize(docs.len(), prog))
+    }
+
+    /// Continues a fit from `snapshot`, bit-identically to the run that
+    /// wrote it; see [`crate::joint::JointTopicModel::resume_observed`]
+    /// for the contract.
+    ///
+    /// # Errors
+    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
+    /// to this `(config, docs)` pair; plus everything
+    /// [`Self::fit_checkpointed`] can return.
+    pub fn resume_observed(
+        &self,
+        docs: &[ModelDoc],
+        snapshot: LdaSnapshot,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedLda> {
+        self.validate(docs)?;
+        let (mut rng, mut prog, start) = self.restore(docs, snapshot)?;
+        self.run_sweeps(&mut rng, docs, &mut prog, start, observer, sink)?;
+        Ok(self.finalize(docs.len(), prog))
+    }
+
+    fn validate(&self, docs: &[ModelDoc]) -> Result<()> {
         // Vector dims are irrelevant here; validate terms only by passing
         // the docs' own dims through.
         if docs.is_empty() {
-            return Err(crate::ModelError::InvalidData {
+            return Err(ModelError::InvalidData {
                 what: "corpus is empty".into(),
             });
         }
         let gd = docs[0].gel.len();
         let ed = docs[0].emulsion.len();
-        validate_docs(docs, cfg.vocab_size, gd, ed)?;
+        validate_docs(docs, self.config.vocab_size, gd, ed)
+    }
 
+    fn init_progress<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> LdaProgress {
+        let cfg = &self.config;
         let k = cfg.n_topics;
         let v = cfg.vocab_size;
         let d_count = docs.len();
@@ -154,83 +223,231 @@ impl LdaModel {
                 .collect();
             z.push(zs);
         }
+        LdaProgress {
+            z,
+            n_dk,
+            n_kw,
+            n_k,
+            phi_acc: vec![0.0f64; k * v],
+            theta_acc: vec![0.0f64; d_count * k],
+            n_samples: 0,
+            ll_trace: Vec::with_capacity(cfg.sweeps),
+        }
+    }
 
-        let mut phi_acc = vec![0.0f64; k * v];
-        let mut theta_acc = vec![0.0f64; d_count * k];
-        let mut samples = 0usize;
-        let mut ll_trace = Vec::with_capacity(cfg.sweeps);
-        let mut weights = vec![0.0f64; k];
-
-        let observing = observer.enabled();
-        for sweep in 0..cfg.sweeps {
-            let sweep_start = observing.then(Instant::now);
-            let mut ll = 0.0;
-            for (d, doc) in docs.iter().enumerate() {
-                for (n, &w) in doc.terms.iter().enumerate() {
-                    let old = z[d][n];
-                    n_dk[d * k + old] -= 1;
-                    n_kw[old * v + w] -= 1;
-                    n_k[old] -= 1;
-                    for (kk, weight) in weights.iter_mut().enumerate() {
-                        *weight = (f64::from(n_dk[d * k + kk]) + cfg.alpha)
-                            * (f64::from(n_kw[kk * v + w]) + cfg.gamma)
-                            / (f64::from(n_k[kk]) + cfg.gamma * v as f64);
-                    }
-                    let new = sample_categorical(rng, &weights).expect("positive weights");
-                    z[d][n] = new;
-                    n_dk[d * k + new] += 1;
-                    n_kw[new * v + w] += 1;
-                    n_k[new] += 1;
-                    ll += ((f64::from(n_kw[new * v + w]) + cfg.gamma)
-                        / (f64::from(n_k[new]) + cfg.gamma * v as f64))
-                        .ln();
-                }
-            }
-            ll_trace.push(ll);
-            if let Some(started) = sweep_start {
-                let occupancy: Vec<usize> = n_k.iter().map(|&c| c as usize).collect();
-                let (topic_entropy, min_occupancy, max_occupancy) =
-                    SweepStats::occupancy_summary(&occupancy);
-                observer.on_sweep(&SweepStats {
-                    engine: "lda",
-                    sweep,
-                    total_sweeps: cfg.sweeps,
-                    elapsed_us: started.elapsed().as_micros() as u64,
-                    log_likelihood: ll,
-                    topic_entropy,
-                    min_occupancy,
-                    max_occupancy,
-                    nw_draws: 0,
-                });
-            }
-            if sweep >= cfg.burn_in {
-                for kk in 0..k {
-                    let denom = f64::from(n_k[kk]) + cfg.gamma * v as f64;
-                    for w in 0..v {
-                        phi_acc[kk * v + w] += (f64::from(n_kw[kk * v + w]) + cfg.gamma) / denom;
-                    }
-                }
-                let alpha_sum = cfg.alpha * k as f64;
-                for (d, doc) in docs.iter().enumerate() {
-                    let denom = doc.terms.len() as f64 + alpha_sum;
-                    for kk in 0..k {
-                        theta_acc[d * k + kk] += (f64::from(n_dk[d * k + kk]) + cfg.alpha) / denom;
-                    }
-                }
-                samples += 1;
+    fn run_sweeps(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        start_sweep: usize,
+        observer: &mut dyn SweepObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<()> {
+        for sweep in start_sweep..self.config.sweeps {
+            self.sweep_once(rng, docs, prog, sweep, observer);
+            if sink.due(sweep) {
+                let snap = self.snapshot(rng, docs, prog, sweep + 1);
+                sink.save(SamplerSnapshot::Lda(snap))
+                    .map_err(|what| ModelError::Checkpoint { what })?;
             }
         }
+        Ok(())
+    }
 
-        let norm = 1.0 / samples.max(1) as f64;
-        Ok(FittedLda {
+    fn sweep_once<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let sweep_start = observer.enabled().then(Instant::now);
+        let mut weights = vec![0.0f64; k];
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let old = prog.z[d][n];
+                prog.n_dk[d * k + old] -= 1;
+                prog.n_kw[old * v + w] -= 1;
+                prog.n_k[old] -= 1;
+                for (kk, weight) in weights.iter_mut().enumerate() {
+                    *weight = (f64::from(prog.n_dk[d * k + kk]) + cfg.alpha)
+                        * (f64::from(prog.n_kw[kk * v + w]) + cfg.gamma)
+                        / (f64::from(prog.n_k[kk]) + cfg.gamma * v as f64);
+                }
+                let new = sample_categorical(rng, &weights).expect("positive weights");
+                prog.z[d][n] = new;
+                prog.n_dk[d * k + new] += 1;
+                prog.n_kw[new * v + w] += 1;
+                prog.n_k[new] += 1;
+                ll += ((f64::from(prog.n_kw[new * v + w]) + cfg.gamma)
+                    / (f64::from(prog.n_k[new]) + cfg.gamma * v as f64))
+                    .ln();
+            }
+        }
+        prog.ll_trace.push(ll);
+        if let Some(started) = sweep_start {
+            let occupancy: Vec<usize> = prog.n_k.iter().map(|&c| c as usize).collect();
+            let (topic_entropy, min_occupancy, max_occupancy) =
+                SweepStats::occupancy_summary(&occupancy);
+            observer.on_sweep(&SweepStats {
+                engine: "lda",
+                sweep,
+                total_sweeps: cfg.sweeps,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                log_likelihood: ll,
+                topic_entropy,
+                min_occupancy,
+                max_occupancy,
+                nw_draws: 0,
+                jitter_retries: 0,
+            });
+        }
+        if sweep >= cfg.burn_in {
+            for kk in 0..k {
+                let denom = f64::from(prog.n_k[kk]) + cfg.gamma * v as f64;
+                for w in 0..v {
+                    prog.phi_acc[kk * v + w] +=
+                        (f64::from(prog.n_kw[kk * v + w]) + cfg.gamma) / denom;
+                }
+            }
+            let alpha_sum = cfg.alpha * k as f64;
+            for (d, doc) in docs.iter().enumerate() {
+                let denom = doc.terms.len() as f64 + alpha_sum;
+                for kk in 0..k {
+                    prog.theta_acc[d * k + kk] +=
+                        (f64::from(prog.n_dk[d * k + kk]) + cfg.alpha) / denom;
+                }
+            }
+            prog.n_samples += 1;
+        }
+    }
+
+    fn finalize(&self, d_count: usize, prog: LdaProgress) -> FittedLda {
+        let k = self.config.n_topics;
+        let v = self.config.vocab_size;
+        let norm = 1.0 / prog.n_samples.max(1) as f64;
+        FittedLda {
             phi: (0..k)
-                .map(|kk| (0..v).map(|w| phi_acc[kk * v + w] * norm).collect())
+                .map(|kk| (0..v).map(|w| prog.phi_acc[kk * v + w] * norm).collect())
                 .collect(),
             theta: (0..d_count)
-                .map(|d| (0..k).map(|kk| theta_acc[d * k + kk] * norm).collect())
+                .map(|d| (0..k).map(|kk| prog.theta_acc[d * k + kk] * norm).collect())
                 .collect(),
-            ll_trace,
-        })
+            ll_trace: prog.ll_trace,
+        }
+    }
+
+    fn snapshot(
+        &self,
+        rng: &ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &LdaProgress,
+        next_sweep: usize,
+    ) -> LdaSnapshot {
+        LdaSnapshot {
+            config: self.config.clone(),
+            next_sweep,
+            doc_fingerprint: fingerprint_docs(docs),
+            z: prog.z.clone(),
+            n_dk: prog.n_dk.clone(),
+            n_kw: prog.n_kw.clone(),
+            n_k: prog.n_k.clone(),
+            phi_acc: prog.phi_acc.clone(),
+            theta_acc: prog.theta_acc.clone(),
+            n_samples: prog.n_samples,
+            ll_trace: prog.ll_trace.clone(),
+            rng: RngState::capture(rng),
+        }
+    }
+
+    fn restore(
+        &self,
+        docs: &[ModelDoc],
+        snap: LdaSnapshot,
+    ) -> Result<(ChaCha8Rng, LdaProgress, usize)> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let d_count = docs.len();
+        if snap.config != *cfg {
+            return Err(mismatch("snapshot was written with a different config"));
+        }
+        if snap.doc_fingerprint != fingerprint_docs(docs) {
+            return Err(mismatch("snapshot was written for a different corpus"));
+        }
+        if snap.next_sweep > cfg.sweeps {
+            return Err(mismatch(format!(
+                "snapshot next_sweep {} exceeds configured sweeps {}",
+                snap.next_sweep, cfg.sweeps
+            )));
+        }
+        if snap.ll_trace.len() != snap.next_sweep {
+            return Err(mismatch(format!(
+                "ll_trace has {} entries for {} completed sweeps",
+                snap.ll_trace.len(),
+                snap.next_sweep
+            )));
+        }
+        let expect_samples = snap.next_sweep.saturating_sub(cfg.burn_in);
+        if snap.n_samples != expect_samples {
+            return Err(mismatch(format!(
+                "n_samples {} does not match {} post-burn-in sweeps",
+                snap.n_samples, expect_samples
+            )));
+        }
+        if snap.z.len() != d_count {
+            return Err(mismatch("assignment lengths do not match the corpus"));
+        }
+        for (d, doc) in docs.iter().enumerate() {
+            if snap.z[d].len() != doc.terms.len() {
+                return Err(mismatch(format!(
+                    "doc {d}: token assignment length mismatch"
+                )));
+            }
+        }
+        if snap.z.iter().flatten().any(|&t| t >= k) {
+            return Err(mismatch("assignment refers to a topic out of range"));
+        }
+        if snap.n_dk.len() != d_count * k
+            || snap.n_kw.len() != k * v
+            || snap.n_k.len() != k
+            || snap.phi_acc.len() != k * v
+            || snap.theta_acc.len() != d_count * k
+        {
+            return Err(mismatch("count or accumulator arrays have wrong sizes"));
+        }
+        let mut n_dk = vec![0u32; d_count * k];
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = snap.z[d][n];
+                n_dk[d * k + t] += 1;
+                n_kw[t * v + w] += 1;
+                n_k[t] += 1;
+            }
+        }
+        if n_dk != snap.n_dk || n_kw != snap.n_kw || n_k != snap.n_k {
+            return Err(mismatch("counts are inconsistent with assignments"));
+        }
+        let rng = snap.rng.restore()?;
+        let prog = LdaProgress {
+            z: snap.z,
+            n_dk: snap.n_dk,
+            n_kw: snap.n_kw,
+            n_k: snap.n_k,
+            phi_acc: snap.phi_acc,
+            theta_acc: snap.theta_acc,
+            n_samples: snap.n_samples,
+            ll_trace: snap.ll_trace,
+        };
+        Ok((rng, prog, snap.next_sweep))
     }
 }
 
@@ -314,6 +531,49 @@ mod tests {
             .unwrap()
             .fit(&mut rng(), &[])
             .is_err());
+    }
+
+    #[test]
+    fn killed_fit_resumes_bit_identically() {
+        let docs = docs_two_vocab_clusters(10);
+        let model = LdaModel::new(quick()).unwrap();
+        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+
+        let mut sink = crate::MemoryCheckpointSink::new(10);
+        sink.fail_after = Some(2);
+        let err = model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Checkpoint { .. }));
+        let crate::SamplerSnapshot::Lda(snap) = sink.latest().unwrap().clone() else {
+            panic!("lda fit must write lda snapshots");
+        };
+        assert_eq!(snap.next_sweep, 20);
+
+        let resumed = model
+            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .unwrap();
+        assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
+        assert_eq!(resumed.phi, uninterrupted.phi);
+        assert_eq!(resumed.theta, uninterrupted.theta);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshot() {
+        let docs = docs_two_vocab_clusters(10);
+        let model = LdaModel::new(quick()).unwrap();
+        let mut sink = crate::MemoryCheckpointSink::new(30);
+        model
+            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .unwrap();
+        let crate::SamplerSnapshot::Lda(mut snap) = sink.latest().unwrap().clone() else {
+            panic!("lda fit must write lda snapshots");
+        };
+        snap.doc_fingerprint ^= 0xdead;
+        assert!(matches!(
+            model.resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint),
+            Err(ModelError::ResumeMismatch { .. })
+        ));
     }
 
     #[test]

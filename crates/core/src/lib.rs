@@ -38,10 +38,17 @@
 //! `rheotex-obs`) — elapsed time, conditional log-likelihood, and topic
 //! occupancy — without perturbing the RNG stream; `fit` is simply
 //! `fit_observed` with the no-op observer.
+//!
+//! For long runs the three Gibbs engines also expose `fit_checkpointed` /
+//! `resume_observed`, which hand periodic [`checkpoint::SamplerSnapshot`]s
+//! to a [`checkpoint::CheckpointSink`] and continue bit-identically from a
+//! snapshot; durable storage for those snapshots lives in the
+//! `rheotex-resilience` crate.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod collapsed;
 pub mod config;
 pub mod data;
@@ -54,6 +61,10 @@ pub mod lda;
 pub mod model_selection;
 pub mod summary;
 
+pub use checkpoint::{
+    fingerprint_docs, CheckpointSink, GmmSnapshot, JointSnapshot, LdaSnapshot,
+    MemoryCheckpointSink, NoCheckpoint, RngState, SamplerSnapshot,
+};
 pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
@@ -63,3 +74,9 @@ pub use summary::TopicSummary;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Maximum ridge-jitter retries the Gibbs engines spend recovering a
+/// numerically non-positive-definite matrix before giving up (see
+/// `rheotex_linalg::Cholesky::factor_with_jitter`). With the ×100
+/// escalation this spans ε from ~1e-10 to ~1e4 times the diagonal scale.
+pub const JITTER_MAX_ATTEMPTS: usize = 8;

@@ -33,6 +33,18 @@ pub enum CorpusError {
         /// What was wrong.
         what: String,
     },
+    /// Lenient JSONL reading quarantined more malformed lines than the
+    /// configured budget allows.
+    TooManyBadLines {
+        /// Number of quarantined lines.
+        bad: usize,
+        /// Total non-empty lines seen.
+        total: usize,
+        /// The maximum tolerated `bad / total` ratio.
+        max_ratio: f64,
+        /// The first quarantined line's diagnosis, for the error message.
+        first: String,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -52,6 +64,15 @@ impl fmt::Display for CorpusError {
                 write!(f, "recipe {id} has zero total weight")
             }
             Self::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            Self::TooManyBadLines {
+                bad,
+                total,
+                max_ratio,
+                first,
+            } => write!(
+                f,
+                "{bad} of {total} lines unparsable (budget {max_ratio}); first: {first}"
+            ),
         }
     }
 }

@@ -94,6 +94,148 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<(Vec<Recipe>, Vec<usize>), Corpu
     Ok((recipes, if all_labeled { labels } else { Vec::new() }))
 }
 
+/// One malformed JSONL line, set aside instead of aborting the read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the input.
+    pub lineno: usize,
+    /// Why the line failed to parse.
+    pub reason: String,
+}
+
+/// What a lenient read quarantined, and out of how much input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuarantineReport {
+    /// The malformed lines, in input order.
+    pub lines: Vec<QuarantinedLine>,
+    /// Total non-empty lines seen (parsed + quarantined).
+    pub total_lines: usize,
+}
+
+impl QuarantineReport {
+    /// Number of quarantined lines.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Fraction of non-empty lines quarantined (0 when the input was
+    /// empty).
+    #[must_use]
+    pub fn bad_ratio(&self) -> f64 {
+        if self.total_lines == 0 {
+            0.0
+        } else {
+            self.lines.len() as f64 / self.total_lines as f64
+        }
+    }
+}
+
+/// A lenient read: everything that parsed, plus the quarantine ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientRead {
+    /// Recipes that parsed cleanly, in input order.
+    pub recipes: Vec<Recipe>,
+    /// Labels, if *every parsed* record carried one (as in
+    /// [`read_jsonl`]).
+    pub labels: Vec<usize>,
+    /// The malformed lines that were set aside.
+    pub report: QuarantineReport,
+}
+
+/// Like [`read_jsonl`], but quarantines unparsable lines instead of
+/// aborting on the first one. Real scraped corpora always contain a few
+/// mangled records; losing the whole ingest to one of them is worse than
+/// skipping it *visibly* — every quarantined line is returned with its
+/// line number and parse error.
+///
+/// `max_bad_ratio` bounds the damage: once the read is complete, if more
+/// than that fraction of non-empty lines failed to parse the whole read
+/// is rejected (a corpus that is mostly garbage is a wrong-file bug, not
+/// noise). `0.0` tolerates nothing (strict except for reporting),
+/// `1.0` tolerates anything.
+///
+/// I/O errors (as opposed to parse errors) still fail immediately: they
+/// indicate a broken source, not a bad record.
+///
+/// # Errors
+/// [`CorpusError::TooManyBadLines`] when the quarantine exceeds the
+/// budget; [`CorpusError::InvalidConfig`] for I/O failures or a
+/// `max_bad_ratio` outside `[0, 1]`.
+pub fn read_jsonl_lenient<R: Read>(
+    reader: R,
+    max_bad_ratio: f64,
+) -> Result<LenientRead, CorpusError> {
+    if !(0.0..=1.0).contains(&max_bad_ratio) {
+        return Err(CorpusError::InvalidConfig {
+            what: format!("max_bad_ratio {max_bad_ratio} outside [0, 1]"),
+        });
+    }
+    let mut recipes = Vec::new();
+    let mut labels = Vec::new();
+    let mut all_labeled = true;
+    let mut report = QuarantineReport::default();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| CorpusError::InvalidConfig {
+            what: format!("read line {}: {e}", lineno + 1),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.total_lines += 1;
+        let record: RecipeRecord = match serde_json::from_str(&line) {
+            Ok(record) => record,
+            Err(e) => {
+                report.lines.push(QuarantinedLine {
+                    lineno: lineno + 1,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        match record.label {
+            Some(l) if all_labeled => labels.push(l),
+            Some(_) => {}
+            None => {
+                all_labeled = false;
+                labels.clear();
+            }
+        }
+        recipes.push(record.recipe);
+    }
+    if report.quarantined() > 0 && report.bad_ratio() > max_bad_ratio {
+        return Err(CorpusError::TooManyBadLines {
+            bad: report.quarantined(),
+            total: report.total_lines,
+            max_ratio: max_bad_ratio,
+            first: {
+                let first = &report.lines[0];
+                format!("line {}: {}", first.lineno, first.reason)
+            },
+        });
+    }
+    Ok(LenientRead {
+        recipes,
+        labels: if all_labeled { labels } else { Vec::new() },
+        report,
+    })
+}
+
+/// Convenience: lenient read from a file. See [`read_jsonl_lenient`].
+///
+/// # Errors
+/// File-open failures as [`CorpusError::InvalidConfig`]; otherwise as
+/// [`read_jsonl_lenient`].
+pub fn load_corpus_lenient(
+    path: &std::path::Path,
+    max_bad_ratio: f64,
+) -> Result<LenientRead, CorpusError> {
+    let file = std::fs::File::open(path).map_err(|e| CorpusError::InvalidConfig {
+        what: format!("open {}: {e}", path.display()),
+    })?;
+    read_jsonl_lenient(file, max_bad_ratio)
+}
+
 /// Convenience: writes a [`SynthCorpus`] to a file.
 ///
 /// # Errors
@@ -185,6 +327,71 @@ mod tests {
         let bad = "{\"id\":1}\nnot json\n";
         let err = read_jsonl(bad.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn lenient_read_quarantines_bad_lines_with_diagnosis() {
+        let lines = concat!(
+            r#"{"id":1,"title":"a","description":"d","ingredients":[]}"#,
+            "\n",
+            "not json at all\n",
+            "\n",
+            r#"{"id":2,"title":"b","description":"d","ingredients":[]}"#,
+            "\n",
+            r#"{"id":3,"broken"#,
+            "\n",
+        );
+        let read = read_jsonl_lenient(lines.as_bytes(), 0.5).unwrap();
+        assert_eq!(read.recipes.len(), 2);
+        assert_eq!(read.recipes[1].id, 2);
+        assert_eq!(read.report.total_lines, 4);
+        assert_eq!(read.report.quarantined(), 2);
+        // Line numbers are 1-based positions in the raw input (the
+        // blank line 3 still counts toward numbering).
+        assert_eq!(read.report.lines[0].lineno, 2);
+        assert_eq!(read.report.lines[1].lineno, 5);
+        assert!(!read.report.lines[0].reason.is_empty());
+        assert!((read.report.bad_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lenient_read_rejects_when_budget_exceeded() {
+        let lines =
+            "garbage\n{\"id\":1,\"title\":\"a\",\"description\":\"d\",\"ingredients\":[]}\n";
+        match read_jsonl_lenient(lines.as_bytes(), 0.25).unwrap_err() {
+            CorpusError::TooManyBadLines {
+                bad, total, first, ..
+            } => {
+                assert_eq!((bad, total), (1, 2));
+                assert!(first.contains("line 1"), "{first}");
+            }
+            other => panic!("expected TooManyBadLines, got {other:?}"),
+        }
+        // Zero tolerance quarantines nothing silently…
+        assert!(read_jsonl_lenient(lines.as_bytes(), 0.0).is_err());
+        // …full tolerance accepts everything that parsed.
+        let read = read_jsonl_lenient(lines.as_bytes(), 1.0).unwrap();
+        assert_eq!(read.recipes.len(), 1);
+        assert_eq!(read.report.quarantined(), 1);
+    }
+
+    #[test]
+    fn lenient_read_matches_strict_on_clean_input() {
+        let recipes = sample_recipes();
+        let labels = vec![3, 7];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recipes, &labels).unwrap();
+        let read = read_jsonl_lenient(buf.as_slice(), 0.0).unwrap();
+        assert_eq!(read.recipes, recipes);
+        assert_eq!(read.labels, labels);
+        assert_eq!(read.report.quarantined(), 0);
+        assert_eq!(read.report.bad_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lenient_read_rejects_silly_ratio() {
+        assert!(read_jsonl_lenient("".as_bytes(), 1.5).is_err());
+        assert!(read_jsonl_lenient("".as_bytes(), -0.1).is_err());
     }
 
     #[test]

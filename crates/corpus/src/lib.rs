@@ -43,6 +43,7 @@ pub use dataset::{Dataset, DatasetFilter};
 pub use error::CorpusError;
 pub use features::RecipeFeatures;
 pub use ingredient::{EmulsionType, GelType, IngredientDb, IngredientKind};
+pub use io::{LenientRead, QuarantineReport, QuarantinedLine};
 pub use recipe::{IngredientLine, ParsedRecipe, Recipe};
 pub use synth::{Archetype, SynthConfig, SynthCorpus};
 pub use units::{parse_quantity, Quantity, Unit};

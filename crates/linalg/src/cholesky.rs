@@ -10,6 +10,20 @@ use crate::matrix::Matrix;
 use crate::vector::Vector;
 use crate::{LinalgError, Result};
 
+/// Outcome of a [`Cholesky::factor_with_jitter`] recovery: how many
+/// retries were spent and the ridge epsilon that finally succeeded.
+///
+/// `attempts == 0` (and `epsilon == 0.0`) means the matrix factored
+/// cleanly on the first try with no perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jitter {
+    /// Number of ridge-perturbed retries consumed (0 for a clean factor).
+    pub attempts: usize,
+    /// Diagonal ridge `ε` added to the matrix that finally factored
+    /// (`0.0` for a clean factor).
+    pub epsilon: f64,
+}
+
 /// Cholesky factor of a symmetric positive-definite matrix.
 ///
 /// # Examples
@@ -57,6 +71,73 @@ impl Cholesky {
             }
         }
         Ok(Self { l })
+    }
+
+    /// Factorizes `a`, recovering from a non-positive-definite failure by
+    /// retrying with an escalating diagonal ridge `a + εI` (bounded by
+    /// `max_attempts` retries). The shared retry policy for every caller
+    /// that must survive a numerically indefinite scatter matrix.
+    ///
+    /// The starting epsilon is `1e-10` times the mean absolute diagonal
+    /// (floored at `1e-10` for a zero diagonal) and escalates by `×100`
+    /// per retry. Returns the factor together with a [`Jitter`] describing
+    /// the recovery; a matrix that factors cleanly reports
+    /// `Jitter { attempts: 0, epsilon: 0.0 }`.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::NotPositiveDefinite`] if the diagonal is non-finite
+    /// (jitter cannot rescue NaN/Inf) or every retry fails.
+    pub fn factor_with_jitter(a: &Matrix, max_attempts: usize) -> Result<(Self, Jitter)> {
+        match Self::factor(a) {
+            Ok(ch) => {
+                return Ok((
+                    ch,
+                    Jitter {
+                        attempts: 0,
+                        epsilon: 0.0,
+                    },
+                ));
+            }
+            Err(err @ LinalgError::NotSquare { .. }) => return Err(err),
+            Err(_) => {}
+        }
+        let n = a.nrows();
+        let mut diag_mean = 0.0;
+        for i in 0..n {
+            let d = a[(i, i)];
+            if !d.is_finite() {
+                // A NaN/Inf diagonal is data corruption, not rounding;
+                // no finite ridge can repair it, so fail fast.
+                return Err(LinalgError::NotPositiveDefinite { pivot: i });
+            }
+            diag_mean += d.abs();
+        }
+        if n > 0 {
+            diag_mean /= n as f64;
+        }
+        let mut epsilon = (1e-10 * diag_mean).max(1e-10);
+        let mut last = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for attempt in 1..=max_attempts {
+            let mut perturbed = a.clone();
+            for i in 0..n {
+                perturbed[(i, i)] += epsilon;
+            }
+            match Self::factor(&perturbed) {
+                Ok(ch) => {
+                    return Ok((
+                        ch,
+                        Jitter {
+                            attempts: attempt,
+                            epsilon,
+                        },
+                    ));
+                }
+                Err(err) => last = err,
+            }
+            epsilon *= 100.0;
+        }
+        Err(last)
     }
 
     /// Dimension of the factored matrix.
@@ -252,6 +333,69 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         assert!(matches!(
             Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_is_noop_for_spd_input() {
+        let a = spd3();
+        let (ch, jitter) = Cholesky::factor_with_jitter(&a, 8).unwrap();
+        assert_eq!(
+            jitter,
+            Jitter {
+                attempts: 0,
+                epsilon: 0.0
+            }
+        );
+        let clean = Cholesky::factor(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(ch.l()[(i, j)], clean.l()[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_rescues_indefinite_matrix() {
+        // Indefinite: eigenvalues 3 and -1. A ridge of slightly more than
+        // 1 restores positive definiteness, which the escalation reaches.
+        let a = Matrix::from_rows_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+        let (ch, jitter) = Cholesky::factor_with_jitter(&a, 8).unwrap();
+        assert!(jitter.attempts > 0);
+        assert!(jitter.epsilon > 1.0);
+        assert_eq!(ch.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_gives_up_after_max_attempts() {
+        let a = Matrix::from_rows_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        // One attempt at ε ≈ 1e-10 cannot fix eigenvalue -1.
+        assert!(matches!(
+            Cholesky::factor_with_jitter(&a, 1),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(matches!(
+            Cholesky::factor_with_jitter(&a, 0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rejects_non_finite_diagonal() {
+        let a = Matrix::from_rows_vec(2, 2, vec![f64::NAN, 0.0, 0.0, 1.0]).unwrap();
+        assert!(matches!(
+            Cholesky::factor_with_jitter(&a, 8),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor_with_jitter(&a, 8),
             Err(LinalgError::NotSquare { .. })
         ));
     }

@@ -16,7 +16,7 @@
 //! is purely additive. [`NormalWishart::posterior_predictive`] produces the
 //! multivariate Student-t used by the fully-collapsed sampler variant.
 
-use crate::cholesky::Cholesky;
+use crate::cholesky::{Cholesky, Jitter};
 use crate::matrix::Matrix;
 use crate::vector::Vector;
 use crate::{LinalgError, Result};
@@ -274,7 +274,38 @@ impl NormalWishart {
     /// distribution with finite data).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<GaussianPrecision> {
         let scale = Cholesky::factor(&self.scale_inv)?.inverse();
-        let wishart = Wishart::new(&scale, self.nu)?;
+        self.sample_with_scale(rng, &scale)
+    }
+
+    /// Like [`Self::sample`], but recovers from a numerically
+    /// non-positive-definite inverse scale (e.g. an accumulated scatter
+    /// matrix degraded by cancellation) via the shared
+    /// [`Cholesky::factor_with_jitter`] ridge-retry policy.
+    ///
+    /// The factorization happens *before* any randomness is consumed, so a
+    /// draw that needs no jitter consumes exactly the same RNG stream as
+    /// [`Self::sample`] — recovery never perturbs a healthy run. Returns
+    /// the draw together with the [`Jitter`] describing the recovery.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotPositiveDefinite`] when every jitter retry fails.
+    pub fn sample_recovering<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_attempts: usize,
+    ) -> Result<(GaussianPrecision, Jitter)> {
+        let (factor, jitter) = Cholesky::factor_with_jitter(&self.scale_inv, max_attempts)?;
+        let draw = self.sample_with_scale(rng, &factor.inverse())?;
+        Ok((draw, jitter))
+    }
+
+    /// Bartlett construction given the already-inverted scale matrix `S`.
+    fn sample_with_scale<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scale: &Matrix,
+    ) -> Result<GaussianPrecision> {
+        let wishart = Wishart::new(scale, self.nu)?;
         let lambda = wishart.sample(rng);
         let mean_prec = lambda.scale(self.beta);
         let mean_dist = GaussianPrecision::new(self.mu0.clone(), mean_prec)?;
@@ -310,6 +341,38 @@ impl NormalWishart {
         let factor = (self.beta + 1.0) / (self.beta * dof);
         let shape = self.scale_inv.scale(factor);
         MultivariateT::new(self.mu0.clone(), &shape, dof)
+    }
+
+    /// Like [`Self::posterior_predictive`], but recovers from a
+    /// numerically non-positive-definite shape matrix via the shared
+    /// [`Cholesky::factor_with_jitter`] ridge-retry policy: the returned
+    /// Student-t is built from the jittered shape `S⁻¹·c + εI` that
+    /// finally factored.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidParameter`] when `ν − D + 1 ≤ 0`;
+    /// [`LinalgError::NotPositiveDefinite`] when every jitter retry fails.
+    pub fn posterior_predictive_recovering(
+        &self,
+        max_attempts: usize,
+    ) -> Result<(MultivariateT, Jitter)> {
+        let d = self.dim() as f64;
+        let dof = self.nu - d + 1.0;
+        if dof <= 0.0 {
+            return Err(LinalgError::InvalidParameter {
+                what: format!("predictive dof {dof} must be positive"),
+            });
+        }
+        let factor = (self.beta + 1.0) / (self.beta * dof);
+        let mut shape = self.scale_inv.scale(factor);
+        let (_, jitter) = Cholesky::factor_with_jitter(&shape, max_attempts)?;
+        if jitter.attempts > 0 {
+            for i in 0..shape.nrows() {
+                shape[(i, i)] += jitter.epsilon;
+            }
+        }
+        let t = MultivariateT::new(self.mu0.clone(), &shape, dof)?;
+        Ok((t, jitter))
     }
 }
 
@@ -477,6 +540,70 @@ mod tests {
         let t = prior.posterior_predictive().unwrap();
         assert_eq!(t.dim(), 2);
         assert!(approx_eq(t.dof(), prior.nu() - 2.0 + 1.0, 1e-12));
+    }
+
+    #[test]
+    fn sample_recovering_matches_sample_on_healthy_prior() {
+        // For an SPD inverse scale the jittered path must consume the same
+        // RNG stream and produce bit-identical parameters.
+        let prior = NormalWishart::vague(Vector::new(vec![1.0, -2.0]), 2.0, 0.7).unwrap();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let clean = prior.sample(&mut r1).unwrap();
+        let (recovered, jitter) = prior.sample_recovering(&mut r2, 8).unwrap();
+        assert_eq!(jitter.attempts, 0);
+        assert_eq!(jitter.epsilon, 0.0);
+        for i in 0..2 {
+            assert_eq!(clean.mean()[i], recovered.mean()[i]);
+            for j in 0..2 {
+                assert_eq!(clean.precision()[(i, j)], recovered.precision()[(i, j)]);
+            }
+        }
+        // And the generators end in the same state.
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    /// Builds a NW whose `scale_inv` is singular (rank-deficient), which
+    /// `new()` would reject: serialize a valid prior and swap the matrix
+    /// in the JSON — exactly the corruption a degraded scatter produces.
+    fn corrupted_nw() -> NormalWishart {
+        let valid = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+        let mut v: serde_json::Value = serde_json::to_value(&valid).unwrap();
+        let singular: serde_json::Value =
+            serde_json::to_value(Matrix::from_rows_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap())
+                .unwrap();
+        v["scale_inv"] = singular;
+        serde_json::from_value(v).unwrap()
+    }
+
+    #[test]
+    fn sample_recovering_rescues_singular_scale() {
+        let nw = corrupted_nw();
+        let mut r = rng();
+        assert!(nw.sample(&mut r).is_err());
+        let (draw, jitter) = nw.sample_recovering(&mut r, 8).unwrap();
+        assert!(jitter.attempts > 0);
+        assert!(jitter.epsilon > 0.0);
+        assert_eq!(draw.mean().len(), 2);
+        // Exhausted attempts still yield the typed error, never a panic.
+        assert!(matches!(
+            nw.sample_recovering(&mut r, 0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn predictive_recovering_matches_clean_path_and_rescues() {
+        let prior = NormalWishart::vague(Vector::zeros(2), 1.0, 1.0).unwrap();
+        let (t, jitter) = prior.posterior_predictive_recovering(8).unwrap();
+        assert_eq!(jitter.attempts, 0);
+        assert_eq!(t.dof(), prior.posterior_predictive().unwrap().dof());
+
+        let nw = corrupted_nw();
+        assert!(nw.posterior_predictive().is_err());
+        let (t, jitter) = nw.posterior_predictive_recovering(8).unwrap();
+        assert!(jitter.attempts > 0);
+        assert_eq!(t.dim(), 2);
     }
 
     #[test]

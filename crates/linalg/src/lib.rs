@@ -39,7 +39,7 @@ pub mod moments;
 pub mod special;
 pub mod vector;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, Jitter};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

@@ -37,6 +37,10 @@ pub struct SweepStats {
     pub max_occupancy: usize,
     /// Normal-Wishart posterior draws performed this sweep.
     pub nw_draws: usize,
+    /// Ridge-jitter retries spent recovering non-positive-definite
+    /// matrices this sweep (0 on a numerically healthy sweep; always 0
+    /// for `lda`, which has no Gaussian components).
+    pub jitter_retries: usize,
 }
 
 impl SweepStats {
@@ -102,6 +106,7 @@ impl SweepObserver for Obs {
                 Field::new("min_occupancy", stats.min_occupancy),
                 Field::new("max_occupancy", stats.max_occupancy),
                 Field::new("nw_draws", stats.nw_draws),
+                Field::new("jitter_retries", stats.jitter_retries),
             ],
         );
         self.observe(
@@ -141,6 +146,7 @@ mod tests {
             min_occupancy: 1,
             max_occupancy: 9,
             nw_draws: 20,
+            jitter_retries: 0,
         }
     }
 
@@ -177,6 +183,7 @@ mod tests {
         assert_eq!(sweeps[3].field_f64("sweep"), Some(3.0));
         assert_eq!(sweeps[3].field_f64("ll"), Some(-47.0));
         assert_eq!(sweeps[3].field_f64("nw_draws"), Some(20.0));
+        assert_eq!(sweeps[3].field_f64("jitter_retries"), Some(0.0));
         // The elapsed time also lands in a histogram.
         assert_eq!(obs.summary().histograms["joint.sweep_us"].count(), 4);
     }

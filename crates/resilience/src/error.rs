@@ -1,0 +1,91 @@
+//! Typed failure modes for checkpoint persistence.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while writing or reading a checkpoint.
+///
+/// Every variant is a *diagnosis*, not a panic: callers decide whether a
+/// bad checkpoint aborts the run (strict mode) or merely costs the
+/// progress since the last good one (tolerant mode / fresh restart).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// An operating-system I/O operation failed (open, write, sync,
+    /// rename, read).
+    Io {
+        /// Which operation failed, with the underlying OS error text.
+        what: String,
+    },
+    /// The file does not start with the `RTEXCKPT` magic — it is not a
+    /// rheotex checkpoint at all.
+    BadMagic,
+    /// The frame was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// The version number found in the frame header.
+        found: u32,
+    },
+    /// The file ends before the header-declared payload does — a torn
+    /// or interrupted write.
+    Truncated,
+    /// The payload bytes do not match the header checksum — bit rot or
+    /// partial overwrite.
+    CrcMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum recomputed over the payload actually on disk.
+        found: u32,
+    },
+    /// The frame is intact but its payload does not deserialize into a
+    /// sampler snapshot.
+    Corrupt {
+        /// The deserialization failure.
+        what: String,
+    },
+    /// No checkpoint exists at the requested location.
+    NoCheckpoint {
+        /// The path that was probed.
+        path: String,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { what } => write!(f, "checkpoint I/O failed: {what}"),
+            Self::BadMagic => write!(f, "not a rheotex checkpoint (bad magic)"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            Self::Truncated => write!(f, "checkpoint file is truncated"),
+            Self::CrcMismatch { expected, found } => write!(
+                f,
+                "checkpoint payload checksum mismatch (header {expected:#010x}, actual {found:#010x})"
+            ),
+            Self::Corrupt { what } => write!(f, "checkpoint payload is corrupt: {what}"),
+            Self::NoCheckpoint { path } => write!(f, "no checkpoint found at {path}"),
+        }
+    }
+}
+
+impl Error for ResilienceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::ResilienceError;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let crc = ResilienceError::CrcMismatch {
+            expected: 0xDEADBEEF,
+            found: 1,
+        };
+        let text = crc.to_string();
+        assert!(text.contains("0xdeadbeef"), "{text}");
+        assert!(ResilienceError::BadMagic.to_string().contains("magic"));
+        assert!(ResilienceError::Truncated.to_string().contains("truncated"));
+        let none = ResilienceError::NoCheckpoint {
+            path: "/tmp/x".into(),
+        };
+        assert!(none.to_string().contains("/tmp/x"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic fault injection (feature `fault-inject`).
+//!
+//! Recovery code that is never executed is recovery code that does not
+//! work. This module lets tests *schedule* failures precisely — "the
+//! 3rd checkpoint write fails", "the 5th is torn mid-frame" — instead of
+//! hoping a race or a flaky disk happens to exercise them. Plans are
+//! pure data plus an atomic counter, so injected runs are exactly
+//! reproducible.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rheotex_linalg::dist::GaussianStats;
+use rheotex_linalg::Vector;
+
+/// What the fault plan has decided about one checkpoint write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write proceeds normally.
+    None,
+    /// The write fails outright (as if the disk returned an error).
+    Fail,
+    /// The write lands but only a torn prefix of the frame reaches disk.
+    Truncate,
+}
+
+/// A deterministic schedule of injected checkpoint-write faults.
+///
+/// Writes are numbered from 0 in the order
+/// [`CheckpointStore::save`](crate::CheckpointStore::save) attempts
+/// them; the sets below pick which occurrences misbehave. `Fail` wins
+/// when a write is listed in both sets.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    writes: AtomicU64,
+    fail_writes: BTreeSet<u64>,
+    truncate_writes: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan that injects nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the `n`-th write (0-based) to fail with an I/O error.
+    pub fn fail_write(mut self, n: u64) -> Self {
+        self.fail_writes.insert(n);
+        self
+    }
+
+    /// Schedules the `n`-th write (0-based) to be torn: only a prefix of
+    /// the frame reaches disk, simulating a crash mid-write.
+    pub fn truncate_write(mut self, n: u64) -> Self {
+        self.truncate_writes.insert(n);
+        self
+    }
+
+    /// Consumes one write slot and reports the fault (if any) scheduled
+    /// for it.
+    pub fn on_write(&self) -> WriteFault {
+        let n = self.writes.fetch_add(1, Ordering::SeqCst);
+        if self.fail_writes.contains(&n) {
+            WriteFault::Fail
+        } else if self.truncate_writes.contains(&n) {
+            WriteFault::Truncate
+        } else {
+            WriteFault::None
+        }
+    }
+
+    /// Number of writes the plan has adjudicated so far.
+    pub fn writes_seen(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+}
+
+/// Corrupts a sufficient-statistics accumulator so that its centered
+/// scatter matrix is indefinite, while leaving its observation count —
+/// the only integer invariant resume validation can recompute — intact.
+///
+/// Adds `(magnitude, 0, …)` and removes `(0, magnitude, 0, …)`: the net
+/// count change is zero, but the raw scatter picks up `-magnitude²` on
+/// one diagonal entry, which drives the Normal–Wishart posterior scale
+/// matrix non-positive-definite. A resumed fit must then survive via the
+/// ridge-jitter retry path rather than a clean Cholesky.
+///
+/// # Panics
+///
+/// Panics if `stats` has fewer than two dimensions (the corruption
+/// needs two distinct axes); test-only code, so this is acceptable.
+pub fn corrupt_scatter(stats: &mut GaussianStats, magnitude: f64) {
+    let d = stats.dim();
+    assert!(d >= 2, "corrupt_scatter needs dim >= 2, got {d}");
+    let mut add = vec![0.0; d];
+    add[0] = magnitude;
+    let mut remove = vec![0.0; d];
+    remove[1] = magnitude;
+    // Dimensions come from `stats` itself and the add precedes the
+    // remove, so neither call can fail.
+    stats.add(&Vector::new(add)).expect("matching dimension");
+    stats
+        .remove(&Vector::new(remove))
+        .expect("non-empty accumulator");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        for _ in 0..10 {
+            assert_eq!(plan.on_write(), WriteFault::None);
+        }
+        assert_eq!(plan.writes_seen(), 10);
+    }
+
+    #[test]
+    fn schedule_fires_on_exact_occurrences() {
+        let plan = FaultPlan::new().fail_write(1).truncate_write(3);
+        let seen: Vec<WriteFault> = (0..5).map(|_| plan.on_write()).collect();
+        assert_eq!(
+            seen,
+            vec![
+                WriteFault::None,
+                WriteFault::Fail,
+                WriteFault::None,
+                WriteFault::Truncate,
+                WriteFault::None,
+            ]
+        );
+    }
+
+    #[test]
+    fn fail_wins_over_truncate_on_the_same_write() {
+        let plan = FaultPlan::new().fail_write(0).truncate_write(0);
+        assert_eq!(plan.on_write(), WriteFault::Fail);
+    }
+
+    #[test]
+    fn corrupt_scatter_preserves_count_but_breaks_the_scatter() {
+        let mut stats = GaussianStats::new(3);
+        for i in 0..6 {
+            let x = f64::from(i);
+            stats.add(&Vector::new(vec![x, x * 0.5, 1.0 - x])).unwrap();
+        }
+        let before = stats.count();
+        corrupt_scatter(&mut stats, 1e3);
+        assert_eq!(stats.count(), before);
+    }
+}

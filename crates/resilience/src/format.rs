@@ -1,0 +1,150 @@
+//! The on-disk checkpoint frame.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  = b"RTEXCKPT"
+//! 8       4     format version (currently 1)
+//! 12      8     payload length in bytes
+//! 20      4     CRC-32/IEEE of the payload
+//! 24      n     payload (JSON-serialized SamplerSnapshot)
+//! ```
+//!
+//! The header is validated front to back, so decoding distinguishes
+//! "not ours" ([`ResilienceError::BadMagic`]), "from the future"
+//! ([`ResilienceError::UnsupportedVersion`]), "torn write"
+//! ([`ResilienceError::Truncated`]) and "bit rot"
+//! ([`ResilienceError::CrcMismatch`]) — each a typed error, never a
+//! panic or a silently wrong snapshot.
+
+use crate::crc32::crc32;
+use crate::error::ResilienceError;
+
+/// Magic bytes identifying a rheotex checkpoint file.
+pub const MAGIC: [u8; 8] = *b"RTEXCKPT";
+
+/// Current checkpoint frame format version.
+pub const VERSION: u32 = 1;
+
+/// Total header size preceding the payload, in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Wraps a serialized snapshot payload in a versioned, checksummed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Validates a frame and returns a view of its payload bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], ResilienceError> {
+    if bytes.len() < MAGIC.len() {
+        // Too short even for the magic: if what *is* there matches a
+        // magic prefix this is a torn header, otherwise a foreign file.
+        if MAGIC.starts_with(bytes) && !bytes.is_empty() {
+            return Err(ResilienceError::Truncated);
+        }
+        return Err(ResilienceError::BadMagic);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(ResilienceError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(ResilienceError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(ResilienceError::UnsupportedVersion { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let expected = u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte slice"));
+    let payload_len = usize::try_from(payload_len).map_err(|_| ResilienceError::Truncated)?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < payload_len {
+        return Err(ResilienceError::Truncated);
+    }
+    let payload = &payload[..payload_len];
+    let found = crc32(payload);
+    if found != expected {
+        return Err(ResilienceError::CrcMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_payload() {
+        let payload = br#"{"engine":"joint","next_sweep":17}"#;
+        let frame = encode_frame(payload);
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        assert_eq!(decode_frame(&frame).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn roundtrips_an_empty_payload() {
+        let frame = encode_frame(b"");
+        assert_eq!(decode_frame(&frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        assert_eq!(
+            decode_frame(b"PNG\r\n\x1a\n garbage"),
+            Err(ResilienceError::BadMagic)
+        );
+        assert_eq!(decode_frame(b""), Err(ResilienceError::BadMagic));
+        assert_eq!(decode_frame(b"ZZ"), Err(ResilienceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let mut frame = encode_frame(b"{}");
+        frame[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame),
+            Err(ResilienceError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let frame = encode_frame(b"{\"k\":3,\"sweep\":12}");
+        // Mid-magic, mid-header, and mid-payload cuts all diagnose as
+        // truncation (a 0-byte file is indistinguishable from foreign).
+        for cut in [4, 10, HEADER_LEN, frame.len() - 1] {
+            assert_eq!(
+                decode_frame(&frame[..cut]),
+                Err(ResilienceError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bit_rot_with_both_checksums() {
+        let mut frame = encode_frame(b"{\"payload\":true}");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        match decode_frame(&frame) {
+            Err(ResilienceError::CrcMismatch { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ignores_trailing_junk_beyond_declared_length() {
+        // Extra bytes after the declared payload (e.g. a longer previous
+        // file partially overwritten) must not corrupt the decode.
+        let mut frame = encode_frame(b"{\"ok\":1}");
+        frame.extend_from_slice(b"stale tail from an older, longer checkpoint");
+        assert_eq!(decode_frame(&frame).unwrap(), b"{\"ok\":1}");
+    }
+}

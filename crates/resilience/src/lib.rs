@@ -1,0 +1,45 @@
+//! Durable checkpointing and fault injection for the rheotex Gibbs
+//! engines.
+//!
+//! `rheotex-core` defines *what* a checkpoint is (a
+//! [`SamplerSnapshot`](rheotex_core::SamplerSnapshot) captured at a sweep
+//! boundary) and *when* one is due (the
+//! [`CheckpointSink`](rheotex_core::CheckpointSink) hook). This crate
+//! supplies the durability half:
+//!
+//! * [`format`] — the on-disk frame: an 8-byte magic (`RTEXCKPT`), a
+//!   format version, the payload length, and a CRC-32 over the payload,
+//!   followed by the JSON-serialized snapshot. Decoding rejects foreign
+//!   files, future versions, truncation, and bit rot with typed errors.
+//! * [`CheckpointStore`] — atomically persists one "latest" snapshot per
+//!   directory (temp file, `sync_all`, rename), so a crash mid-write can
+//!   never destroy the previous good checkpoint.
+//! * [`PeriodicCheckpointer`] — the [`CheckpointSink`] adapter samplers
+//!   plug in: a sweep cadence, strict or tolerant failure handling, and
+//!   `checkpoint.written` / `checkpoint.write_failed` counters through
+//!   `rheotex-obs`.
+//! * [`fault`] *(feature `fault-inject`)* — a deterministic, schedule-
+//!   based [`FaultPlan`](fault::FaultPlan) that makes checkpoint writes
+//!   fail or truncate on chosen occurrences, plus a scatter-matrix
+//!   corruptor, so every recovery path is exercised by tests rather than
+//!   merely claimed.
+//!
+//! [`CheckpointSink`]: rheotex_core::CheckpointSink
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crc32;
+pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod format;
+pub mod periodic;
+pub mod store;
+
+pub use error::ResilienceError;
+pub use periodic::PeriodicCheckpointer;
+pub use store::CheckpointStore;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ResilienceError>;

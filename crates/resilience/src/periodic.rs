@@ -1,0 +1,126 @@
+//! The [`CheckpointSink`] adapter that samplers plug in.
+
+use rheotex_core::{CheckpointSink, SamplerSnapshot};
+use rheotex_obs::Obs;
+
+use crate::store::CheckpointStore;
+
+/// Writes a checkpoint to a [`CheckpointStore`] every `every` sweeps.
+///
+/// Two failure policies:
+///
+/// * **strict** (default) — a failed write aborts the fit with
+///   [`rheotex_core::ModelError::Checkpoint`]. Use when a checkpoint is
+///   a hard requirement (e.g. preemptible infrastructure).
+/// * **tolerant** — a failed write is counted and the fit continues;
+///   the run merely risks losing progress since the last good
+///   checkpoint. Use when checkpoints are best-effort.
+///
+/// Either way, outcomes are observable: `checkpoint.written` and
+/// `checkpoint.write_failed` counters flow through the attached
+/// [`Obs`] recorder, and [`PeriodicCheckpointer::written`] /
+/// [`PeriodicCheckpointer::failed`] expose running totals.
+#[derive(Debug)]
+pub struct PeriodicCheckpointer {
+    store: CheckpointStore,
+    every: usize,
+    strict: bool,
+    obs: Obs,
+    written: usize,
+    failed: usize,
+}
+
+impl PeriodicCheckpointer {
+    /// Checkpoints to `store` every `every` sweeps, strictly.
+    /// `every == 0` disables checkpointing entirely.
+    pub fn new(store: CheckpointStore, every: usize) -> Self {
+        Self {
+            store,
+            every,
+            strict: true,
+            obs: Obs::disabled(),
+            written: 0,
+            failed: 0,
+        }
+    }
+
+    /// Switches to the tolerant policy: failed writes are counted but
+    /// do not abort the fit.
+    #[must_use]
+    pub fn tolerant(mut self) -> Self {
+        self.strict = false;
+        self
+    }
+
+    /// Attaches an observability recorder for the checkpoint counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Checkpoint cadence in sweeps (0 = disabled).
+    pub fn every(&self) -> usize {
+        self.every
+    }
+
+    /// Borrow of the underlying store (e.g. to load for resume).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Number of checkpoints successfully written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Number of checkpoint writes that failed so far.
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+}
+
+impl CheckpointSink for PeriodicCheckpointer {
+    fn due(&mut self, sweep: usize) -> bool {
+        self.every > 0 && (sweep + 1) % self.every == 0
+    }
+
+    fn save(&mut self, snapshot: SamplerSnapshot) -> Result<(), String> {
+        match self.store.save(&snapshot) {
+            Ok(()) => {
+                self.written += 1;
+                self.obs.counter("checkpoint.written", 1);
+                Ok(())
+            }
+            Err(e) => {
+                self.failed += 1;
+                self.obs.counter("checkpoint.write_failed", 1);
+                if self.strict {
+                    Err(e.to_string())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_matches_the_in_core_sink() {
+        let store = CheckpointStore::new("/nonexistent/never-written");
+        let mut ckpt = PeriodicCheckpointer::new(store, 5);
+        let due: Vec<usize> = (0..20).filter(|&s| ckpt.due(s)).collect();
+        assert_eq!(due, vec![4, 9, 14, 19]);
+    }
+
+    #[test]
+    fn zero_cadence_is_never_due() {
+        let store = CheckpointStore::new("/nonexistent/never-written");
+        let mut ckpt = PeriodicCheckpointer::new(store, 0);
+        assert!((0..100).all(|s| !ckpt.due(s)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Atomic on-disk persistence of the latest sampler snapshot.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use rheotex_core::SamplerSnapshot;
+
+use crate::error::ResilienceError;
+use crate::format::{decode_frame, encode_frame};
+use crate::Result;
+
+#[cfg(feature = "fault-inject")]
+use crate::fault::{FaultPlan, WriteFault};
+
+/// File name of the current checkpoint inside a store directory.
+pub const CHECKPOINT_FILE: &str = "latest.ckpt";
+
+/// File name of the in-flight temporary used by atomic replacement.
+const CHECKPOINT_TEMP: &str = "latest.ckpt.tmp";
+
+/// Persists one "latest" checkpoint per directory.
+///
+/// Saving serializes the snapshot, wraps it in the versioned CRC frame
+/// ([`crate::format`]), writes it to a temporary file, `sync_all`s, and
+/// renames over [`CHECKPOINT_FILE`]. Because the rename is the only
+/// mutation of the visible path, a crash at any point leaves either the
+/// previous checkpoint or the new one — never a torn hybrid (a torn
+/// *temp* file is simply overwritten by the next save).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<FaultPlan>,
+}
+
+impl CheckpointStore {
+    /// Creates a store rooted at `dir`. The directory is created lazily
+    /// on the first save.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+
+    /// Attaches a deterministic fault schedule to this store's writes.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the checkpoint file (whether or not it exists yet).
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+
+    /// Whether a checkpoint file is present.
+    pub fn exists(&self) -> bool {
+        self.checkpoint_path().is_file()
+    }
+
+    /// Atomically replaces the stored checkpoint with `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] if any filesystem step fails (including
+    /// injected faults under the `fault-inject` feature), and
+    /// [`ResilienceError::Corrupt`] if the snapshot cannot be
+    /// serialized.
+    pub fn save(&self, snapshot: &SamplerSnapshot) -> Result<()> {
+        let payload = serde_json::to_vec(snapshot).map_err(|e| ResilienceError::Corrupt {
+            what: format!("serialize snapshot: {e}"),
+        })?;
+        let frame = encode_frame(&payload);
+
+        fs::create_dir_all(&self.dir).map_err(|e| ResilienceError::Io {
+            what: format!("create {}: {e}", self.dir.display()),
+        })?;
+
+        let tmp = self.dir.join(CHECKPOINT_TEMP);
+        self.write_frame(&tmp, &frame)?;
+
+        let dst = self.checkpoint_path();
+        fs::rename(&tmp, &dst).map_err(|e| ResilienceError::Io {
+            what: format!("rename {} -> {}: {e}", tmp.display(), dst.display()),
+        })?;
+        Ok(())
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn write_frame(&self, tmp: &Path, frame: &[u8]) -> Result<()> {
+        let fault = self
+            .faults
+            .as_ref()
+            .map_or(WriteFault::None, FaultPlan::on_write);
+        let frame = match fault {
+            WriteFault::Fail => {
+                return Err(ResilienceError::Io {
+                    what: format!("write {}: injected write failure", tmp.display()),
+                });
+            }
+            // A torn write: only half the frame reaches disk. The rename
+            // still happens — this models a crash *after* rename was
+            // queued but before the data blocks were flushed.
+            WriteFault::Truncate => &frame[..frame.len() / 2],
+            WriteFault::None => frame,
+        };
+        write_all_synced(tmp, frame)
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn write_frame(&self, tmp: &Path, frame: &[u8]) -> Result<()> {
+        write_all_synced(tmp, frame)
+    }
+
+    /// Loads and validates the stored checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::NoCheckpoint`] when the file is absent; the
+    /// full range of frame errors ([`ResilienceError::BadMagic`],
+    /// [`ResilienceError::UnsupportedVersion`],
+    /// [`ResilienceError::Truncated`], [`ResilienceError::CrcMismatch`],
+    /// [`ResilienceError::Corrupt`]) when it is present but unusable.
+    pub fn load(&self) -> Result<SamplerSnapshot> {
+        let path = self.checkpoint_path();
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ResilienceError::NoCheckpoint {
+                    path: path.display().to_string(),
+                });
+            }
+            Err(e) => {
+                return Err(ResilienceError::Io {
+                    what: format!("read {}: {e}", path.display()),
+                });
+            }
+        };
+        let payload = decode_frame(&bytes)?;
+        serde_json::from_slice(payload).map_err(|e| ResilienceError::Corrupt {
+            what: format!("deserialize snapshot: {e}"),
+        })
+    }
+}
+
+fn write_all_synced(path: &Path, bytes: &[u8]) -> Result<()> {
+    let io_err = |op: &str, e: std::io::Error| ResilienceError::Io {
+        what: format!("{op} {}: {e}", path.display()),
+    };
+    let mut file = File::create(path).map_err(|e| io_err("create", e))?;
+    file.write_all(bytes).map_err(|e| io_err("write", e))?;
+    file.sync_all().map_err(|e| io_err("sync", e))?;
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Store-level durability: what goes in comes back out, and anything
+//! that *can't* come back out is diagnosed with a typed error — never a
+//! panic, never a silently wrong snapshot.
+
+mod common;
+
+use std::fs;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::{LdaSnapshot, RngState, SamplerSnapshot};
+use rheotex_core::lda::LdaConfig;
+use rheotex_resilience::{CheckpointStore, ResilienceError};
+
+use common::scratch_dir;
+
+fn snapshot(next_sweep: usize) -> SamplerSnapshot {
+    SamplerSnapshot::Lda(LdaSnapshot {
+        config: LdaConfig {
+            n_topics: 2,
+            vocab_size: 4,
+            alpha: 0.5,
+            gamma: 0.1,
+            sweeps: 40,
+            burn_in: 20,
+        },
+        next_sweep,
+        doc_fingerprint: 0xfeed_beef,
+        z: vec![vec![0, 1], vec![1, 0]],
+        n_dk: vec![1, 1, 1, 1],
+        n_kw: vec![1, 0, 0, 1, 0, 1, 1, 0],
+        n_k: vec![2, 2],
+        phi_acc: vec![0.0; 8],
+        theta_acc: vec![0.0; 4],
+        n_samples: 0,
+        ll_trace: vec![-10.0; next_sweep],
+        rng: RngState::capture(&ChaCha8Rng::seed_from_u64(5)),
+    })
+}
+
+#[test]
+fn save_load_roundtrip_preserves_the_snapshot() {
+    let store = CheckpointStore::new(scratch_dir("roundtrip"));
+    assert!(!store.exists());
+    store.save(&snapshot(7)).unwrap();
+    assert!(store.exists());
+
+    let loaded = store.load().unwrap();
+    assert_eq!(loaded.engine(), "lda");
+    assert_eq!(loaded.next_sweep(), 7);
+    let SamplerSnapshot::Lda(lda) = loaded else {
+        panic!("wrong variant")
+    };
+    assert_eq!(lda.doc_fingerprint, 0xfeed_beef);
+    assert_eq!(lda.z, vec![vec![0, 1], vec![1, 0]]);
+    assert_eq!(lda.ll_trace.len(), 7);
+}
+
+#[test]
+fn save_replaces_the_previous_checkpoint() {
+    let store = CheckpointStore::new(scratch_dir("replace"));
+    store.save(&snapshot(5)).unwrap();
+    store.save(&snapshot(10)).unwrap();
+    assert_eq!(store.load().unwrap().next_sweep(), 10);
+}
+
+#[test]
+fn missing_checkpoint_is_a_typed_error() {
+    let store = CheckpointStore::new(scratch_dir("missing"));
+    match store.load() {
+        Err(ResilienceError::NoCheckpoint { path }) => {
+            assert!(path.ends_with("latest.ckpt"), "{path}");
+        }
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_file_is_diagnosed_not_deserialized() {
+    let store = CheckpointStore::new(scratch_dir("truncated"));
+    store.save(&snapshot(5)).unwrap();
+    let path = store.checkpoint_path();
+    let bytes = fs::read(&path).unwrap();
+    // Cut the file at several depths, as a torn write would.
+    for cut in [0, 3, 12, bytes.len() / 2, bytes.len() - 1] {
+        fs::write(&path, &bytes[..cut]).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(
+            matches!(err, ResilienceError::Truncated | ResilienceError::BadMagic),
+            "cut={cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_rot_is_caught_by_the_crc() {
+    let store = CheckpointStore::new(scratch_dir("bitrot"));
+    store.save(&snapshot(5)).unwrap();
+    let path = store.checkpoint_path();
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        store.load(),
+        Err(ResilienceError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn foreign_and_future_files_are_rejected() {
+    let store = CheckpointStore::new(scratch_dir("foreign"));
+    store.save(&snapshot(5)).unwrap();
+    let path = store.checkpoint_path();
+
+    fs::write(&path, b"definitely not a checkpoint file").unwrap();
+    assert_eq!(store.load().unwrap_err(), ResilienceError::BadMagic);
+
+    // Same frame, version field bumped past what we understand.
+    store.save(&snapshot(5)).unwrap();
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    assert_eq!(
+        store.load().unwrap_err(),
+        ResilienceError::UnsupportedVersion { found: 7 }
+    );
+}
+
+#[test]
+fn valid_frame_with_mangled_payload_is_corrupt_not_a_panic() {
+    let store = CheckpointStore::new(scratch_dir("mangled"));
+    // A perfectly framed file whose payload is not a snapshot.
+    let frame = rheotex_resilience::format::encode_frame(b"{\"not\":\"a snapshot\"}");
+    fs::create_dir_all(store.dir()).unwrap();
+    fs::write(store.checkpoint_path(), frame).unwrap();
+    assert!(matches!(store.load(), Err(ResilienceError::Corrupt { .. })));
+}

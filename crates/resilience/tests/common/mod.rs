@@ -1,0 +1,81 @@
+//! Shared fixtures for the resilience integration tests.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::{CheckpointSink, SamplerSnapshot};
+use rheotex_core::ModelDoc;
+use rheotex_linalg::Vector;
+use rheotex_resilience::CheckpointStore;
+
+/// A fresh, empty scratch directory unique to `tag` (tests run in
+/// parallel within one process, so the pid alone is not enough).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rheotex-resilience-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two well-separated synthetic recipe clusters, mirroring the fixture
+/// the core engine tests use: cluster A speaks terms {0,1} with gel near
+/// (2,9,9); cluster B speaks terms {2,3} with gel near (9,4,9).
+pub fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+    let mut r = ChaCha8Rng::seed_from_u64(77);
+    let mut docs = Vec::new();
+    for i in 0..(2 * n_per) {
+        let cluster = i % 2;
+        let terms: Vec<usize> = (0..4).map(|j| 2 * cluster + (j % 2)).collect();
+        let jitter = |r: &mut ChaCha8Rng| r.gen_range(-0.2..0.2);
+        let gel = if cluster == 0 {
+            Vector::new(vec![2.0 + jitter(&mut r), 9.0 + jitter(&mut r), 9.0])
+        } else {
+            Vector::new(vec![9.0 + jitter(&mut r), 4.0 + jitter(&mut r), 9.0])
+        };
+        let emulsion = if cluster == 0 {
+            Vector::new(vec![1.0, 9.0, 9.0, 9.0, 0.5 + jitter(&mut r), 9.0])
+        } else {
+            Vector::new(vec![3.0, 9.0, 9.0, 1.0 + jitter(&mut r), 9.0, 9.0])
+        };
+        docs.push(ModelDoc::new(i as u64, terms, gel, emulsion));
+    }
+    docs
+}
+
+/// A sink that persists to a real [`CheckpointStore`] but simulates a
+/// crash: after `kill_after` successful saves the next save fails, which
+/// strict checkpointing turns into a fit-aborting error. The on-disk
+/// state is exactly what a killed process would leave behind.
+pub struct KillingSink {
+    pub store: CheckpointStore,
+    pub every: usize,
+    pub saves: usize,
+    pub kill_after: usize,
+}
+
+impl KillingSink {
+    pub fn new(store: CheckpointStore, every: usize, kill_after: usize) -> Self {
+        Self {
+            store,
+            every,
+            saves: 0,
+            kill_after,
+        }
+    }
+}
+
+impl CheckpointSink for KillingSink {
+    fn due(&mut self, sweep: usize) -> bool {
+        self.every > 0 && (sweep + 1) % self.every == 0
+    }
+
+    fn save(&mut self, snapshot: SamplerSnapshot) -> Result<(), String> {
+        if self.saves == self.kill_after {
+            return Err("simulated process kill".to_string());
+        }
+        self.store.save(&snapshot).map_err(|e| e.to_string())?;
+        self.saves += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,200 @@
+//! Fault-injected recovery paths (requires `--features fault-inject`).
+//!
+//! Three injected disasters, three demanded recoveries:
+//!
+//! * a checkpoint *write* fails → a tolerant run keeps sampling and the
+//!   failure is counted, a strict run aborts with a typed error;
+//! * a checkpoint write is *torn* (crash mid-write) → loading the torn
+//!   file yields a typed diagnosis, never garbage state;
+//! * a snapshot's scatter matrix is *corrupted* into indefiniteness →
+//!   the resumed fit survives through the ridge-jitter retry path and
+//!   reports how often it had to.
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::{MemoryCheckpointSink, SamplerSnapshot};
+use rheotex_core::{JointConfig, JointTopicModel, ModelError, NullObserver, VecObserver};
+use rheotex_obs::{MemorySink, Obs};
+use rheotex_resilience::fault::{corrupt_scatter, FaultPlan};
+use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer, ResilienceError};
+
+use common::{scratch_dir, two_cluster_docs};
+
+#[test]
+fn tolerant_run_survives_injected_write_failures_and_counts_them() {
+    let docs = two_cluster_docs(20);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let full = model
+        .fit(&mut ChaCha8Rng::seed_from_u64(31), &docs)
+        .unwrap();
+
+    // The second checkpoint write (0-based write 1) fails.
+    let store =
+        CheckpointStore::new(scratch_dir("tolerant")).with_faults(FaultPlan::new().fail_write(1));
+    let sink = MemorySink::default();
+    let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+    let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant().with_obs(obs);
+
+    let fit = model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut ckpt,
+        )
+        .unwrap();
+
+    // The run finished, bit-identical to the unfaulted one…
+    assert_eq!(fit.y, full.y);
+    assert_eq!(fit.ll_trace, full.ll_trace);
+    // …exactly one of the 12 cadence points was lost…
+    assert_eq!(ckpt.failed(), 1);
+    assert_eq!(ckpt.written(), 11);
+    // …the failure is visible in the metrics stream…
+    let failures = sink
+        .events()
+        .iter()
+        .filter(|e| e.name == "checkpoint.write_failed")
+        .count();
+    assert_eq!(failures, 1);
+    // …and the surviving final checkpoint is intact and complete.
+    assert_eq!(ckpt.store().load().unwrap().next_sweep(), 60);
+}
+
+#[test]
+fn strict_run_aborts_on_injected_write_failure() {
+    let docs = two_cluster_docs(10);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let store =
+        CheckpointStore::new(scratch_dir("strict")).with_faults(FaultPlan::new().fail_write(0));
+    let mut ckpt = PeriodicCheckpointer::new(store, 5);
+    let err = model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut ckpt,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
+    assert_eq!(ckpt.failed(), 1);
+    assert!(!ckpt.store().exists());
+}
+
+#[test]
+fn torn_write_is_diagnosed_on_load_and_prior_checkpoint_is_preserved() {
+    let docs = two_cluster_docs(10);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+
+    // Write 0 lands cleanly; write 1 is torn mid-frame.
+    let store =
+        CheckpointStore::new(scratch_dir("torn")).with_faults(FaultPlan::new().truncate_write(1));
+    let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant();
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut ckpt,
+        )
+        .unwrap();
+
+    // The torn write replaced the good checkpoint (its rename still
+    // happened), but later cadence points overwrote it with clean
+    // frames. Tear the final file to observe the load-time diagnosis.
+    let path = ckpt.store().checkpoint_path();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        ckpt.store().load(),
+        Err(ResilienceError::Truncated | ResilienceError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn torn_write_with_no_later_save_leaves_a_typed_load_error() {
+    let docs = two_cluster_docs(10);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+
+    // Only the final cadence point (write 11 of every=5 over 60 sweeps)
+    // is torn, so the file on disk at the end IS the torn frame.
+    let store = CheckpointStore::new(scratch_dir("torn-last"))
+        .with_faults(FaultPlan::new().truncate_write(11));
+    let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant();
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut ckpt,
+        )
+        .unwrap();
+
+    let err = ckpt.store().load().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ResilienceError::Truncated | ResilienceError::CrcMismatch { .. }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn corrupted_scatter_is_recovered_by_jitter_retries_on_resume() {
+    let docs = two_cluster_docs(20);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+
+    // Capture a healthy early snapshot in memory.
+    let mut sink = MemoryCheckpointSink::new(5);
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut sink,
+        )
+        .unwrap();
+    let SamplerSnapshot::Joint(healthy) = sink.snapshots[0].clone() else {
+        panic!("wrong engine")
+    };
+    assert_eq!(healthy.next_sweep, 5);
+
+    // Control: resuming the healthy snapshot needs zero jitter retries.
+    let mut clean_obs = VecObserver::default();
+    let clean = model
+        .resume_observed(
+            &docs,
+            healthy.clone(),
+            &mut clean_obs,
+            &mut MemoryCheckpointSink::new(0),
+        )
+        .unwrap();
+    assert!(clean_obs.sweeps.iter().all(|s| s.jitter_retries == 0));
+
+    // Injected disaster: make topic 0's gel scatter indefinite. The
+    // observation count is untouched, so resume validation accepts the
+    // snapshot — the corruption must be survived numerically instead.
+    let mut corrupted = healthy;
+    corrupt_scatter(&mut corrupted.gel_stats[0], 1e3);
+
+    let mut obs = VecObserver::default();
+    let fit = model
+        .resume_observed(
+            &docs,
+            corrupted,
+            &mut obs,
+            &mut MemoryCheckpointSink::new(0),
+        )
+        .unwrap();
+
+    // The fit completed without panicking and the recovery is visible:
+    // the Normal-Wishart resample needed ridge-jitter retries.
+    let retries: usize = obs.sweeps.iter().map(|s| s.jitter_retries).sum();
+    assert!(retries > 0, "expected jitter retries on corrupted scatter");
+    assert_eq!(fit.ll_trace.len(), clean.ll_trace.len());
+    assert!(fit.ll_trace.iter().all(|ll| ll.is_finite()));
+}

@@ -1,0 +1,148 @@
+//! End-to-end crash/recovery through the real file store: a fit killed
+//! mid-run and resumed from disk must land on exactly the state the
+//! uninterrupted run reaches — bit for bit, not approximately.
+
+mod common;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::SamplerSnapshot;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{JointConfig, JointTopicModel, ModelError, NullObserver};
+use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer};
+
+use common::{scratch_dir, two_cluster_docs, KillingSink};
+
+#[test]
+fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
+    let docs = two_cluster_docs(20);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+
+    // The reference: one uninterrupted run. Checkpointing never touches
+    // the RNG stream, so plain `fit` is the ground truth.
+    let full = model
+        .fit(&mut ChaCha8Rng::seed_from_u64(31), &docs)
+        .unwrap();
+
+    // The victim: same seed, checkpointing to disk every 5 sweeps,
+    // "killed" by a failing save after one checkpoint has landed.
+    let store = CheckpointStore::new(scratch_dir("joint-kill"));
+    let mut killer = KillingSink::new(store, 5, 1);
+    let err = model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut killer,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
+
+    // What the dead process left behind: the sweep-5 checkpoint.
+    let snapshot = killer.store.load().unwrap();
+    assert_eq!(snapshot.next_sweep(), 5);
+    let SamplerSnapshot::Joint(snapshot) = snapshot else {
+        panic!("wrong engine")
+    };
+
+    // Resume, checkpointing onward to the same store.
+    let mut onward = PeriodicCheckpointer::new(killer.store, 5);
+    let resumed = model
+        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .unwrap();
+
+    assert_eq!(resumed.y, full.y);
+    assert_eq!(resumed.ll_trace, full.ll_trace);
+    assert_eq!(resumed.phi, full.phi);
+    assert_eq!(resumed.theta, full.theta);
+
+    // The resumed run kept checkpointing: sweeps 5..60 hit 11 more
+    // cadence points, and the final snapshot covers the whole run.
+    assert_eq!(onward.written(), 11);
+    let last = onward.store().load().unwrap();
+    assert_eq!(last.next_sweep(), 60);
+
+    // Resuming from that final snapshot runs zero sweeps (finalize
+    // only) and reproduces the same fit again.
+    let SamplerSnapshot::Joint(last) = last else {
+        panic!("wrong engine")
+    };
+    let mut sink = PeriodicCheckpointer::new(CheckpointStore::new(scratch_dir("joint-fin")), 0);
+    let again = model
+        .resume_observed(&docs, last, &mut NullObserver, &mut sink)
+        .unwrap();
+    assert_eq!(again.y, full.y);
+    assert_eq!(again.ll_trace, full.ll_trace);
+    assert_eq!(sink.written(), 0);
+}
+
+#[test]
+fn lda_fit_killed_and_resumed_from_disk_is_bit_identical() {
+    let docs = two_cluster_docs(15);
+    let config = LdaConfig {
+        n_topics: 2,
+        vocab_size: 4,
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: 40,
+        burn_in: 20,
+    };
+    let model = LdaModel::new(config).unwrap();
+    let full = model.fit(&mut ChaCha8Rng::seed_from_u64(8), &docs).unwrap();
+
+    let store = CheckpointStore::new(scratch_dir("lda-kill"));
+    let mut killer = KillingSink::new(store, 10, 1);
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(8),
+            &docs,
+            &mut NullObserver,
+            &mut killer,
+        )
+        .unwrap_err();
+
+    let SamplerSnapshot::Lda(snapshot) = killer.store.load().unwrap() else {
+        panic!("wrong engine")
+    };
+    assert_eq!(snapshot.next_sweep, 10);
+    let mut onward = PeriodicCheckpointer::new(killer.store, 10);
+    let resumed = model
+        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .unwrap();
+
+    assert_eq!(resumed.ll_trace, full.ll_trace);
+    assert_eq!(resumed.phi, full.phi);
+    assert_eq!(resumed.theta, full.theta);
+}
+
+#[test]
+fn gmm_fit_killed_and_resumed_from_disk_is_bit_identical() {
+    let docs = two_cluster_docs(15);
+    let model = GmmModel::new(GmmConfig::new(2)).unwrap();
+    let full = model.fit(&mut ChaCha8Rng::seed_from_u64(4), &docs).unwrap();
+
+    let store = CheckpointStore::new(scratch_dir("gmm-kill"));
+    let mut killer = KillingSink::new(store, 20, 1);
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(4),
+            &docs,
+            &mut NullObserver,
+            &mut killer,
+        )
+        .unwrap_err();
+
+    let SamplerSnapshot::Gmm(snapshot) = killer.store.load().unwrap() else {
+        panic!("wrong engine")
+    };
+    assert_eq!(snapshot.next_sweep, 20);
+    let mut onward = PeriodicCheckpointer::new(killer.store, 20);
+    let resumed = model
+        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .unwrap();
+
+    assert_eq!(resumed.assignments, full.assignments);
+    assert_eq!(resumed.ll_trace, full.ll_trace);
+    assert_eq!(resumed.counts, full.counts);
+}

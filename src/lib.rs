@@ -46,6 +46,7 @@
 //! | [`core`] | the joint topic model, collapsed variant, LDA / GMM baselines |
 //! | [`linkage`] | KL topic assignment, Fig. 3 / Fig. 4 analyses, recovery metrics |
 //! | [`obs`] | structured tracing: spans, counters, sweep events, JSONL metrics |
+//! | [`resilience`] | versioned CRC-checked checkpoints, atomic stores, fault injection |
 //!
 //! ## Observability
 //!
@@ -66,6 +67,22 @@
 //! assert_eq!(sink.events_of(EventKind::SpanEnd).len(), 4);
 //! assert_eq!(sink.events_of(EventKind::Sweep).len(), config.sweeps);
 //! ```
+//!
+//! ## Resilience
+//!
+//! Long Gibbs fits can checkpoint their full sampler state to disk and
+//! resume **bit-identically** after a crash — see
+//! [`pipeline::fit_recipes_checkpointed`], [`pipeline::CheckpointOptions`],
+//! and README.md § Resilience for the checkpoint format and the
+//! numerical ridge-jitter recovery policy:
+//!
+//! ```
+//! use rheotex::pipeline::CheckpointOptions;
+//!
+//! let opts = CheckpointOptions::new("/tmp/rheotex-ckpt", 25).resume();
+//! assert_eq!(opts.every, 25);
+//! assert!(opts.resume);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -76,6 +93,7 @@ pub use rheotex_embed as embed;
 pub use rheotex_linalg as linalg;
 pub use rheotex_linkage as linkage;
 pub use rheotex_obs as obs;
+pub use rheotex_resilience as resilience;
 pub use rheotex_rheology as rheology;
 pub use rheotex_textures as textures;
 

@@ -19,17 +19,25 @@
 //! one `stage.*` span per stage and one sweep event per Gibbs sweep
 //! through a [`rheotex_obs::Obs`] handle (see README.md § Observability
 //! for the span names and fields — they are a stable interface).
+//!
+//! Long fits can additionally checkpoint to disk and resume after a
+//! crash via [`fit_recipes_checkpointed`] and [`CheckpointOptions`]
+//! (see README.md § Resilience); a resumed fit is bit-identical to an
+//! uninterrupted one.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex_core::{FittedJointModel, JointConfig, JointTopicModel};
+use rheotex_core::checkpoint::SamplerSnapshot;
+use rheotex_core::{FittedJointModel, JointConfig, JointTopicModel, ModelError};
 use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
 use rheotex_embed::{FilterConfig, FilterOutcome, GelRelatednessFilter, SgnsConfig, Word2Vec};
 use rheotex_linkage::encode::dataset_to_docs;
 use rheotex_obs::Obs;
+use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer, ResilienceError};
 use rheotex_textures::{tokenize, TextureDictionary};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Pipeline-level error: which stage failed and why.
 #[derive(Debug)]
@@ -38,6 +46,8 @@ pub enum PipelineError {
     Corpus(rheotex_corpus::CorpusError),
     /// Model fitting failed.
     Model(rheotex_core::ModelError),
+    /// Checkpoint storage failed (writing, or loading for resume).
+    Checkpoint(ResilienceError),
     /// The dataset became empty (nothing survived filtering).
     EmptyDataset,
 }
@@ -47,6 +57,7 @@ impl fmt::Display for PipelineError {
         match self {
             Self::Corpus(e) => write!(f, "corpus stage failed: {e}"),
             Self::Model(e) => write!(f, "model stage failed: {e}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint stage failed: {e}"),
             Self::EmptyDataset => write!(f, "no recipes survived filtering"),
         }
     }
@@ -62,6 +73,43 @@ impl From<rheotex_corpus::CorpusError> for PipelineError {
 impl From<rheotex_core::ModelError> for PipelineError {
     fn from(e: rheotex_core::ModelError) -> Self {
         Self::Model(e)
+    }
+}
+impl From<ResilienceError> for PipelineError {
+    fn from(e: ResilienceError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// Where and how often the fit stage checkpoints, and whether to resume.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding the single `latest.ckpt` file.
+    pub dir: PathBuf,
+    /// Sweeps between checkpoints (0 disables periodic writes).
+    pub every: usize,
+    /// When `true` and a valid checkpoint exists in `dir`, continue from
+    /// it instead of starting over. Without a checkpoint the fit starts
+    /// fresh; an unreadable checkpoint is an error, not silent loss.
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints into `dir` every `every` sweeps, not resuming.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            dir: dir.into(),
+            every,
+            resume: false,
+        }
+    }
+
+    /// Enables resuming from an existing checkpoint in the directory.
+    #[must_use]
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
     }
 }
 
@@ -256,6 +304,113 @@ pub fn fit_recipes_observed(
     labels: &[usize],
     obs: &Obs,
 ) -> Result<FitOutput, PipelineError> {
+    let (dataset, dict, filter_outcomes) = prepare_dataset(config, recipes, labels, obs)?;
+
+    // Stage 4: joint topic model.
+    let docs = dataset_to_docs(&dataset);
+    let model = JointTopicModel::new(model_config(config, dict.len()))?;
+    let mut span = obs.span("stage.fit");
+    span.set("docs", docs.len() as u64);
+    span.set("vocab", dict.len() as u64);
+    span.set("topics", config.n_topics as u64);
+    span.set("sweeps", config.sweeps as u64);
+    let mut fit_rng = fit_rng(config);
+    let mut observer = obs.clone();
+    let fitted = model.fit_observed(&mut fit_rng, &docs, &mut observer)?;
+    span.finish();
+
+    Ok(FitOutput {
+        dataset,
+        dict,
+        filter_outcomes,
+        model: fitted,
+    })
+}
+
+/// [`fit_recipes_observed`] with durable checkpointing of the fit stage:
+/// every `opts.every` sweeps the full sampler state is atomically written
+/// to `opts.dir`, and with `opts.resume` a previously written checkpoint
+/// is continued **bit-identically** — the resumed fit equals the fit the
+/// uninterrupted run would have produced.
+///
+/// Stages 2–3 (dataset, word2vec filter) are deterministic given the
+/// config and cheap relative to the Gibbs fit, so they are simply re-run
+/// on resume; only the sampler state is persisted.
+///
+/// # Errors
+/// [`PipelineError`] naming the failing stage;
+/// [`PipelineError::Checkpoint`] if an existing checkpoint cannot be
+/// read on resume, or a periodic write fails;
+/// [`PipelineError::Model`] ([`ModelError::ResumeMismatch`]) if the
+/// checkpoint belongs to a different engine, config, or corpus.
+pub fn fit_recipes_checkpointed(
+    config: &PipelineConfig,
+    recipes: &[rheotex_corpus::Recipe],
+    labels: &[usize],
+    obs: &Obs,
+    opts: &CheckpointOptions,
+) -> Result<FitOutput, PipelineError> {
+    let (dataset, dict, filter_outcomes) = prepare_dataset(config, recipes, labels, obs)?;
+
+    let docs = dataset_to_docs(&dataset);
+    let model = JointTopicModel::new(model_config(config, dict.len()))?;
+
+    let store = CheckpointStore::new(&opts.dir);
+    let resume_from = if opts.resume && store.exists() {
+        match store.load()? {
+            SamplerSnapshot::Joint(snapshot) => Some(snapshot),
+            other => {
+                return Err(PipelineError::Model(ModelError::ResumeMismatch {
+                    what: format!(
+                        "checkpoint in {} is from the {} engine, not the joint model",
+                        opts.dir.display(),
+                        other.engine()
+                    ),
+                }));
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut span = obs.span("stage.fit");
+    span.set("docs", docs.len() as u64);
+    span.set("vocab", dict.len() as u64);
+    span.set("topics", config.n_topics as u64);
+    span.set("sweeps", config.sweeps as u64);
+    span.set("checkpoint_every", opts.every as u64);
+    span.set(
+        "resumed_from_sweep",
+        resume_from.as_ref().map_or(0, |s| s.next_sweep) as u64,
+    );
+    let mut sink = PeriodicCheckpointer::new(store, opts.every).with_obs(obs.clone());
+    let mut observer = obs.clone();
+    let fitted = match resume_from {
+        Some(snapshot) => model.resume_observed(&docs, snapshot, &mut observer, &mut sink)?,
+        None => {
+            let mut fit_rng = fit_rng(config);
+            model.fit_checkpointed(&mut fit_rng, &docs, &mut observer, &mut sink)?
+        }
+    };
+    span.finish();
+
+    Ok(FitOutput {
+        dataset,
+        dict,
+        filter_outcomes,
+        model: fitted,
+    })
+}
+
+/// Stages 2–3, shared by the plain and the checkpointed fit paths:
+/// dataset construction against the comprehensive dictionary, then the
+/// word2vec relatedness filter and vocabulary re-mapping.
+fn prepare_dataset(
+    config: &PipelineConfig,
+    recipes: &[rheotex_corpus::Recipe],
+    labels: &[usize],
+    obs: &Obs,
+) -> Result<(Dataset, TextureDictionary, Vec<FilterOutcome>), PipelineError> {
     let db = IngredientDb::builtin();
     let comprehensive = TextureDictionary::comprehensive();
 
@@ -293,32 +448,24 @@ pub fn fit_recipes_observed(
     if dataset.is_empty() {
         return Err(PipelineError::EmptyDataset);
     }
+    Ok((dataset, dict, filter_outcomes))
+}
 
-    // Stage 4: joint topic model.
-    let docs = dataset_to_docs(&dataset);
-    let model_config = JointConfig {
+/// The joint-model configuration the fit stage uses.
+fn model_config(config: &PipelineConfig, vocab: usize) -> JointConfig {
+    JointConfig {
         n_topics: config.n_topics,
         sweeps: config.sweeps,
         burn_in: config.burn_in,
-        ..JointConfig::paper_default(dict.len())
-    };
-    let mut span = obs.span("stage.fit");
-    span.set("docs", docs.len() as u64);
-    span.set("vocab", dict.len() as u64);
-    span.set("topics", config.n_topics as u64);
-    span.set("sweeps", config.sweeps as u64);
-    let model = JointTopicModel::new(model_config)?;
-    let mut fit_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x10D0);
-    let mut observer = obs.clone();
-    let fitted = model.fit_observed(&mut fit_rng, &docs, &mut observer)?;
-    span.finish();
+        ..JointConfig::paper_default(vocab)
+    }
+}
 
-    Ok(FitOutput {
-        dataset,
-        dict,
-        filter_outcomes,
-        model: fitted,
-    })
+/// The fit stage's RNG stream, derived from the master seed. Fresh
+/// checkpointed runs use the same stream, which is why a resumed fit can
+/// be bit-identical to an uninterrupted `fit_recipes` call.
+fn fit_rng(config: &PipelineConfig) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(config.seed ^ 0x10D0)
 }
 
 /// Runs the full pipeline: synthetic corpus generation (stage 1) followed
@@ -462,6 +609,61 @@ mod tests {
         // Observation must not change the fit.
         let plain = run_pipeline(&config).unwrap();
         assert_eq!(plain.model.y, out.model.y);
+    }
+
+    #[test]
+    fn checkpointed_fit_matches_plain_fit_and_resumes() {
+        use rheotex_corpus::synth::generate;
+
+        let config = PipelineConfig::small(150);
+        let db = IngredientDb::builtin();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let corpus = generate(&mut rng, &config.synth, &db).unwrap();
+
+        let plain = fit_recipes(&config, &corpus.recipes, &corpus.labels).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("rheotex-pipeline-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CheckpointOptions::new(&dir, 20);
+
+        // Fresh checkpointed run: checkpointing must not perturb the fit.
+        let fresh = fit_recipes_checkpointed(
+            &config,
+            &corpus.recipes,
+            &corpus.labels,
+            &Obs::disabled(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(fresh.model.y, plain.model.y);
+        assert_eq!(fresh.model.ll_trace, plain.model.ll_trace);
+
+        // The final checkpoint covers the whole run; resuming from it
+        // re-runs zero sweeps and reproduces the same fit.
+        let resumed = fit_recipes_checkpointed(
+            &config,
+            &corpus.recipes,
+            &corpus.labels,
+            &Obs::disabled(),
+            &opts.clone().resume(),
+        )
+        .unwrap();
+        assert_eq!(resumed.model.y, plain.model.y);
+        assert_eq!(resumed.model.ll_trace, plain.model.ll_trace);
+
+        // Resume against an empty directory silently starts fresh.
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh_again = fit_recipes_checkpointed(
+            &config,
+            &corpus.recipes,
+            &corpus.labels,
+            &Obs::disabled(),
+            &opts.resume(),
+        )
+        .unwrap();
+        assert_eq!(fresh_again.model.y, plain.model.y);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
