@@ -1,10 +1,14 @@
 //! Gibbs sweep throughput of the joint topic model, as a function of
-//! corpus size and topic count — the cost driver of Table II(a).
+//! corpus size and topic count — the cost driver of Table II(a) — plus
+//! the kernel comparison behind `BENCH_gibbs.json`: serial vs.
+//! deterministic parallel sweeps, and cached vs. uncached Gaussian
+//! predictives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_corpus::features::gel_info_vector;
 use rheotex_linalg::Vector;
 use std::hint::black_box;
@@ -46,7 +50,9 @@ fn bench_fit_by_docs(c: &mut Criterion) {
             let model = JointTopicModel::new(config(8, 10)).unwrap();
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(6);
-                model.fit(&mut rng, black_box(docs)).unwrap()
+                model
+                    .fit_with(&mut rng, black_box(docs), FitOptions::new())
+                    .unwrap()
             });
         });
     }
@@ -62,18 +68,71 @@ fn bench_fit_by_topics(c: &mut Criterion) {
             let model = JointTopicModel::new(config(k, 10)).unwrap();
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(7);
-                model.fit(&mut rng, black_box(&docs)).unwrap()
+                model
+                    .fit_with(&mut rng, black_box(&docs), FitOptions::new())
+                    .unwrap()
             });
         });
     }
     group.finish();
 }
 
-/// Instrumentation overhead: the same fit driven (a) through the plain
-/// `fit` entry point, (b) through `fit_observed` with a disabled handle
-/// (must be indistinguishable from (a) — the no-op recorder is a null
-/// check), and (c) with a live in-memory sink (the worst realistic case:
-/// every sweep computes stats and records an event).
+/// The hot-path kernels against one mid-size corpus: the historical
+/// serial joint sweep, the deterministic chunked parallel sweep, and the
+/// GMM sweep with the per-topic Student-t predictive cache on vs. off
+/// (cached and uncached fits are bit-identical; only speed differs).
+fn bench_sweep_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_sweep_kernels");
+    group.sample_size(10);
+    let docs = synth_docs(400);
+
+    let joint = JointTopicModel::new(config(8, 10)).unwrap();
+    group.bench_function("sweep_serial", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            joint
+                .fit_with(&mut rng, black_box(&docs), FitOptions::new())
+                .unwrap()
+        });
+    });
+    group.bench_function("sweep_parallel", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            joint
+                .fit_with(&mut rng, black_box(&docs), FitOptions::new().threads(4))
+                .unwrap()
+        });
+    });
+
+    let mut gmm_cfg = GmmConfig::new(8);
+    gmm_cfg.sweeps = 10;
+    let gmm = GmmModel::new(gmm_cfg).unwrap();
+    group.bench_function("sweep_cached", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            gmm.fit_with(&mut rng, black_box(&docs), FitOptions::new())
+                .unwrap()
+        });
+    });
+    group.bench_function("sweep_uncached", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            gmm.fit_with(
+                &mut rng,
+                black_box(&docs),
+                FitOptions::new().predictive_cache(false),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Instrumentation overhead: the same fit driven (a) with no observer,
+/// (b) with a disabled handle (must be indistinguishable from (a) — the
+/// no-op recorder is a null check), and (c) with a live in-memory sink
+/// (the worst realistic case: every sweep computes stats and records an
+/// event).
 fn bench_observer_overhead(c: &mut Criterion) {
     use rheotex_obs::{MemorySink, Obs};
 
@@ -85,7 +144,9 @@ fn bench_observer_overhead(c: &mut Criterion) {
     group.bench_function("plain_fit", |b| {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(8);
-            model.fit(&mut rng, black_box(&docs)).unwrap()
+            model
+                .fit_with(&mut rng, black_box(&docs), FitOptions::new())
+                .unwrap()
         });
     });
     group.bench_function("disabled_obs", |b| {
@@ -93,7 +154,11 @@ fn bench_observer_overhead(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(8);
             let mut obs = Obs::disabled();
             model
-                .fit_observed(&mut rng, black_box(&docs), &mut obs)
+                .fit_with(
+                    &mut rng,
+                    black_box(&docs),
+                    FitOptions::new().observer(&mut obs),
+                )
                 .unwrap()
         });
     });
@@ -103,7 +168,11 @@ fn bench_observer_overhead(c: &mut Criterion) {
             let sink = MemorySink::default();
             let mut obs = Obs::with_sinks(vec![Box::new(sink)]);
             model
-                .fit_observed(&mut rng, black_box(&docs), &mut obs)
+                .fit_with(
+                    &mut rng,
+                    black_box(&docs),
+                    FitOptions::new().observer(&mut obs),
+                )
                 .unwrap()
         });
     });
@@ -114,6 +183,7 @@ criterion_group!(
     benches,
     bench_fit_by_docs,
     bench_fit_by_topics,
+    bench_sweep_kernels,
     bench_observer_overhead
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex_core::{FittedJointModel, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{FitOptions, FittedJointModel, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_corpus::features::gel_info_vector;
 use rheotex_linalg::kl::{kl_discrete, kl_gaussian};
 use rheotex_linalg::{Matrix, Vector};
@@ -33,7 +33,7 @@ fn fitted_model() -> FittedJointModel {
     };
     JointTopicModel::new(config)
         .unwrap()
-        .fit(&mut rng, &docs)
+        .fit_with(&mut rng, &docs, FitOptions::new())
         .unwrap()
 }
 

@@ -1,0 +1,210 @@
+//! Gibbs hot-path throughput, machine-readable: writes
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/1`) comparing
+//! the serial joint kernel against the deterministic parallel kernel, and
+//! the GMM sweep with the Student-t predictive cache on vs. off.
+//!
+//! The JSON shape (stable; consumed by CI and the README's performance
+//! section):
+//!
+//! ```json
+//! {
+//!   "schema": "rheotex.bench.gibbs/1",
+//!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
+//!   "sweeps": 20,
+//!   "engines": {
+//!     "joint_serial":   { "threads": 0, "wall_secs": 0.8,
+//!                         "sweeps_per_sec": 25.0, "tokens_per_sec": 3.0e4,
+//!                         "cache_hit_rate": null },
+//!     "joint_parallel": { ... }, "gmm_cached": { ... }, "gmm_uncached": { ... }
+//!   },
+//!   "speedup": { "joint_parallel_over_serial": 2.1,
+//!                "gmm_cached_over_uncached": 3.4 }
+//! }
+//! ```
+//!
+//! Runs at quick scale by default; `--paper` / `RHEOTEX_SCALE=paper`
+//! enlarges the corpus and sweep budget. `--threads N` sets the parallel
+//! variant's worker count (default 4). Timings are best-of-3; the
+//! correctness claims behind the comparison (thread-count invariance,
+//! cached == uncached bitwise) are pinned by `crates/core/tests`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex::core::gmm::{GmmConfig, GmmModel};
+use rheotex::core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex::corpus::features::gel_info_vector;
+use rheotex_bench::Scale;
+use rheotex_linalg::Vector;
+use rheotex_obs::{EventKind, MemorySink, Obs};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const VOCAB: usize = 12;
+const TOPICS: usize = 8;
+const REPS: usize = 3;
+
+fn synth_docs(n: usize) -> Vec<ModelDoc> {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            use rand::Rng;
+            let band = i % 4;
+            let conc = 0.005 * (band + 1) as f64 * rng.gen_range(0.9..1.1);
+            let terms: Vec<usize> = (0..3).map(|t| (band * 3 + t) % VOCAB).collect();
+            ModelDoc::new(
+                i as u64,
+                terms,
+                gel_info_vector(&[conc, 0.0, 0.0]),
+                Vector::full(6, 9.2),
+            )
+        })
+        .collect()
+}
+
+/// Best-of-`REPS` wall time of `f`, in seconds.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn engine_entry(
+    wall: f64,
+    sweeps: usize,
+    tokens: usize,
+    threads: usize,
+    cache_hit_rate: Option<f64>,
+) -> serde_json::Value {
+    serde_json::json!({
+        "threads": threads,
+        "wall_secs": wall,
+        "sweeps_per_sec": sweeps as f64 / wall,
+        "tokens_per_sec": (tokens * sweeps) as f64 / wall,
+        "cache_hit_rate": cache_hit_rate,
+    })
+}
+
+/// Sums the `cache_lookups` / `cache_hits` sweep-event fields of one
+/// observed fit and returns hits/lookups (None when the engine never
+/// consulted the cache).
+fn observed_hit_rate(f: impl FnOnce(&mut Obs)) -> Option<f64> {
+    let sink = MemorySink::default();
+    let mut obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+    f(&mut obs);
+    let (mut lookups, mut hits) = (0.0f64, 0.0f64);
+    for e in sink.events_of(EventKind::Sweep) {
+        lookups += e.field_f64("cache_lookups").unwrap_or(0.0);
+        hits += e.field_f64("cache_hits").unwrap_or(0.0);
+    }
+    (lookups > 0.0).then(|| hits / lookups)
+}
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    let (n_docs, sweeps) = match scale {
+        Scale::Paper => (3000, 100),
+        Scale::Quick => (400, 20),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4);
+
+    let docs = synth_docs(n_docs);
+    let tokens: usize = docs.iter().map(|d| d.terms.len()).sum();
+    let joint_cfg = JointConfig {
+        n_topics: TOPICS,
+        sweeps,
+        burn_in: sweeps / 2,
+        ..JointConfig::paper_default(VOCAB)
+    };
+    let joint = JointTopicModel::new(joint_cfg).expect("joint config");
+    let mut gmm_cfg = GmmConfig::new(TOPICS);
+    gmm_cfg.sweeps = sweeps;
+    let gmm = GmmModel::new(gmm_cfg).expect("gmm config");
+
+    eprintln!(
+        "benchmarking {n_docs} docs ({tokens} tokens), {sweeps} sweeps, \
+         parallel variant at {threads} threads…"
+    );
+
+    let serial = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        joint.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
+    });
+    let parallel = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        joint
+            .fit_with(&mut rng, &docs, FitOptions::new().threads(threads))
+            .unwrap();
+    });
+    let cached = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        gmm.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
+    });
+    let uncached = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        gmm.fit_with(&mut rng, &docs, FitOptions::new().predictive_cache(false))
+            .unwrap();
+    });
+    let gmm_hit_rate = observed_hit_rate(|obs| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        gmm.fit_with(&mut rng, &docs, FitOptions::new().observer(obs))
+            .unwrap();
+    });
+
+    let report = serde_json::json!({
+        "schema": "rheotex.bench.gibbs/1",
+        "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
+        "sweeps": sweeps,
+        "engines": {
+            "joint_serial": engine_entry(serial, sweeps, tokens, 0, None),
+            "joint_parallel": engine_entry(parallel, sweeps, tokens, threads, None),
+            "gmm_cached": engine_entry(cached, sweeps, tokens, 0, gmm_hit_rate),
+            "gmm_uncached": engine_entry(uncached, sweeps, tokens, 0, Some(0.0)),
+        },
+        "speedup": {
+            "joint_parallel_over_serial": serial / parallel,
+            "gmm_cached_over_uncached": uncached / cached,
+        },
+    });
+
+    let dir = std::env::var("RHEOTEX_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let path = dir.join("BENCH_gibbs.json");
+    let write = std::fs::create_dir_all(&dir).and_then(|()| {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serialize report"),
+        )
+    });
+    match write {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "joint: serial {:.2}s, parallel({threads}) {:.2}s ({:.2}x)",
+        serial,
+        parallel,
+        serial / parallel
+    );
+    println!(
+        "gmm:   uncached {:.2}s, cached {:.2}s ({:.2}x, hit rate {})",
+        uncached,
+        cached,
+        uncached / cached,
+        gmm_hit_rate.map_or("n/a".to_string(), |r| format!("{r:.3}"))
+    );
+}

@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::collapsed::CollapsedJointModel;
 use rheotex::core::diagnostics::held_out_score;
-use rheotex::core::{JointConfig, JointTopicModel};
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::core::{FitOptions, JointConfig, JointTopicModel};
+use rheotex::pipeline::PipelineRun;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 
@@ -20,7 +20,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("ablation");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
     let docs = dataset_to_docs(&out.dataset);
 
@@ -39,7 +39,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(41);
     let semi = JointTopicModel::new(model_config.clone())
         .expect("config")
-        .fit(&mut rng, train)
+        .fit_with(&mut rng, train, FitOptions::new())
         .expect("semi-collapsed fit");
     let semi_secs = t0.elapsed().as_secs_f64();
 

@@ -3,7 +3,7 @@
 //! to the dish; bins near the dish should skew to hardness terms for both
 //! dishes (a), and to elastic terms for Bavarois but not milk jelly (b).
 
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::pipeline::PipelineRun;
 use rheotex::rheology::dishes::{bavarois, milk_jelly};
 use rheotex_bench::{bar, rule, Scale};
 use rheotex_linkage::assign::assign_setting;
@@ -17,7 +17,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("fig3");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
 
     for dish in [bavarois(), milk_jelly()] {

@@ -3,7 +3,7 @@
 //! emulsion-KL to the dish, with the topic-centroid star. Rendered as an
 //! ASCII scatter with three KL shades.
 
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::pipeline::PipelineRun;
 use rheotex::rheology::dishes::{bavarois, milk_jelly};
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::assign::assign_setting;
@@ -20,7 +20,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("fig4");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
 
     for dish in [bavarois(), milk_jelly()] {

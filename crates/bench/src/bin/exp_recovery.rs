@@ -7,7 +7,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::gmm::{GmmConfig, GmmModel};
 use rheotex::core::lda::{LdaConfig, LdaModel};
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::core::FitOptions;
+use rheotex::pipeline::PipelineRun;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 use rheotex_linkage::{adjusted_rand_index, normalized_mutual_information, purity};
@@ -20,7 +21,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("recovery");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
     let truth = &out.dataset.labels;
     let docs = dataset_to_docs(&out.dataset);
@@ -43,7 +44,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD);
     let lda_fit = LdaModel::new(lda_cfg)
         .expect("lda config")
-        .fit(&mut rng, &docs)
+        .fit_with(&mut rng, &docs, FitOptions::new())
         .expect("lda fit");
     let lda: Vec<usize> = (0..docs.len()).map(|d| lda_fit.dominant_topic(d)).collect();
 
@@ -53,7 +54,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xDCBA);
     let gmm_fit = GmmModel::new(gmm_cfg)
         .expect("gmm config")
-        .fit(&mut rng, &docs)
+        .fit_with(&mut rng, &docs, FitOptions::new())
         .expect("gmm fit");
 
     rule("recovery of generator archetypes (higher is better)");

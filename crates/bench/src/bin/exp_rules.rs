@@ -3,7 +3,7 @@
 //! bridging between recipe information including ingredient
 //! concentrations … and sensory textures").
 
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::pipeline::PipelineRun;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::rules::mine_term_rules;
 
@@ -15,7 +15,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("rules");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
 
     let min_support = out.dataset.len() / 200 + 3;

@@ -5,8 +5,8 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::model_selection::{best_k, potential_scale_reduction, split_docs, sweep_topics};
-use rheotex::core::{JointConfig, JointTopicModel};
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::core::{FitOptions, JointConfig, JointTopicModel};
+use rheotex::pipeline::PipelineRun;
 use rheotex_bench::{rule, Scale};
 use rheotex_linkage::encode::dataset_to_docs;
 
@@ -18,7 +18,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("select_k");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
     let docs = dataset_to_docs(&out.dataset);
     let (train, test) = split_docs(&docs, 5);
@@ -59,7 +59,10 @@ fn main() {
     let traces: Vec<Vec<f64>> = (0..4u64)
         .map(|c| {
             let mut rng = ChaCha8Rng::seed_from_u64(1000 + c);
-            model.fit(&mut rng, &train).expect("chain fit").ll_trace
+            model
+                .fit_with(&mut rng, &train, FitOptions::new())
+                .expect("chain fit")
+                .ll_trace
         })
         .collect();
     let rhat = potential_scale_reduction(&traces).expect("enough chains");

@@ -4,7 +4,7 @@
 //! data of Table I.
 
 use rheotex::core::TopicSummary;
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::pipeline::PipelineRun;
 use rheotex::rheology::table1::table1;
 use rheotex_bench::{fmt, rule, Scale};
 use rheotex_linkage::assign::{assign_settings, rows_per_topic};
@@ -17,7 +17,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("table2a");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
 
     let summaries = TopicSummary::from_model(&out.model, 10, 0.01).expect("summaries");

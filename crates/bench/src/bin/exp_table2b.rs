@@ -3,7 +3,7 @@
 //! both dishes (and the pure-gelatin reference) land on the same
 //! hard-gelatin topic.
 
-use rheotex::pipeline::run_pipeline_observed;
+use rheotex::pipeline::PipelineRun;
 use rheotex::rheology::dishes::table2b;
 use rheotex_bench::{fmt, rule, Scale};
 use rheotex_linkage::assign::assign_setting;
@@ -16,7 +16,7 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("table2b");
-    let out = run_pipeline_observed(&config, &obs).expect("pipeline");
+    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
     obs.flush();
 
     rule("Table II(b): dishes, quantitative texture, assigned topic");

@@ -7,9 +7,7 @@ use rheotex::core::{FittedJointModel, TopicSummary};
 use rheotex::corpus::io::{load_corpus, load_corpus_lenient, save_corpus};
 use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
 use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
-use rheotex::pipeline::{
-    fit_recipes_checkpointed, fit_recipes_observed, CheckpointOptions, PipelineConfig,
-};
+use rheotex::pipeline::{CheckpointOptions, PipelineConfig, PipelineRun};
 use rheotex::resilience::CheckpointStore;
 use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::{TermId, TextureDictionary};
@@ -26,7 +24,7 @@ rheotex — sensory texture topics with rheological linkage
 USAGE:
   rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
-                    --out-model model.json --out-dict dict.json
+                    [--threads N] --out-model model.json --out-dict dict.json
                     [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                     [--max-bad-ratio R]
@@ -38,6 +36,13 @@ USAGE:
                     [--albumen PCT] [--yogurt PCT]
   rheotex rules     --corpus corpus.jsonl [--min-support N]
   rheotex help
+
+FIT PERFORMANCE:
+  --threads N          worker threads for the Gibbs sweeps (default: 0 =
+                       the historical serial kernel). Any N >= 1 uses the
+                       deterministic parallel kernel: results are
+                       identical for every thread count, though not
+                       bit-identical to the serial kernel
 
 FIT OBSERVABILITY:
   --metrics-out FILE   write the structured event stream (stage spans,
@@ -157,29 +162,29 @@ pub fn fit(args: &Args) -> i32 {
     config.sweeps = args.get_parsed_or("sweeps", config.sweeps);
     config.burn_in = config.sweeps / 2;
     config.seed = args.get_parsed_or("seed", config.seed);
+    config.threads = args.get_parsed_or("threads", config.threads);
 
     if !quiet {
         eprintln!(
-            "fitting K={} over {} recipes ({} sweeps)…",
+            "fitting K={} over {} recipes ({} sweeps, {} threads)…",
             config.n_topics,
             recipes.len(),
-            config.sweeps
+            config.sweeps,
+            config.threads
         );
     }
-    let fit = match checkpoint_dir {
-        Some(dir) => {
-            let mut opts = CheckpointOptions::new(dir, checkpoint_every);
-            if resume {
-                if !quiet && !CheckpointStore::new(dir).exists() {
-                    eprintln!("no checkpoint found in {dir}; starting fresh");
-                }
-                opts = opts.resume();
+    let mut run = PipelineRun::new(&config).observed(&obs);
+    if let Some(dir) = checkpoint_dir {
+        let mut opts = CheckpointOptions::new(dir, checkpoint_every);
+        if resume {
+            if !quiet && !CheckpointStore::new(dir).exists() {
+                eprintln!("no checkpoint found in {dir}; starting fresh");
             }
-            fit_recipes_checkpointed(&config, &recipes, &labels, &obs, &opts)
+            opts = opts.resume();
         }
-        None => fit_recipes_observed(&config, &recipes, &labels, &obs),
-    };
-    let fit = match fit {
+        run = run.checkpointed(opts);
+    }
+    let fit = match run.fit_recipes(&recipes, &labels) {
         Ok(f) => f,
         Err(e) => return fail(e),
     };

@@ -310,6 +310,26 @@ impl CheckpointSink for MemoryCheckpointSink {
     }
 }
 
+/// Offers one snapshot to a sink if its cadence says the sweep is due.
+///
+/// The single checkpoint decision point shared by every engine's sweep
+/// loop: ask the sink whether `sweep` is due, build the (potentially
+/// expensive) snapshot only then, and convert a failed save into the
+/// typed [`ModelError::Checkpoint`]. `sweep` is the 0-based index of the
+/// sweep that just *completed*; the snapshot the closure builds must
+/// carry `next_sweep == sweep + 1`.
+pub fn save_if_due(
+    sink: &mut dyn CheckpointSink,
+    sweep: usize,
+    make: impl FnOnce() -> SamplerSnapshot,
+) -> Result<(), ModelError> {
+    if sink.due(sweep) {
+        sink.save(make())
+            .map_err(|what| ModelError::Checkpoint { what })?;
+    }
+    Ok(())
+}
+
 /// FNV-1a 64-bit fingerprint of a corpus: ids, term sequences, and the
 /// exact bit patterns of the concentration vectors. Cheap to recompute
 /// on resume and sensitive to any reordering or edit, so a snapshot is

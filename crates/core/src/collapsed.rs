@@ -8,10 +8,14 @@
 //!
 //! `p(y_d = k | …) ∝ (N_dk + α) · t(g_d | NW-post(-d)) · t(e_d | NW-post(-d))`.
 //!
-//! Collapsing removes the sampling noise of the explicit parameters and
-//! typically mixes faster per sweep at a higher per-step cost (a Cholesky
-//! per candidate topic rather than a cached quadratic form). The ablation
-//! harness compares the two on the same data.
+//! Collapsing removes the sampling noise of the explicit parameters at a
+//! higher per-step cost: each candidate topic needs a freshly factored
+//! Student-t predictive whenever its membership changed. A per-topic
+//! [`PredictiveCache`] (one per channel) amortizes that — a topic's
+//! predictive is rebuilt only after a document moves into or out of it,
+//! which leaves the sampler's output bit-identical while cutting the
+//! Cholesky count per sweep from `O(D·K)` to roughly `O(D + K)`. The
+//! ablation harness compares the two engines on the same data.
 
 use crate::config::JointConfig;
 use crate::data::{validate_docs, ModelDoc};
@@ -19,7 +23,8 @@ use crate::joint::FittedJointModel;
 use crate::Result;
 use rand::Rng;
 use rheotex_linalg::dist::{
-    sample_categorical, sample_categorical_log, GaussianStats, NormalWishart,
+    sample_categorical, sample_categorical_log, GaussianStats, MultivariateT, NormalWishart,
+    PredictiveCache,
 };
 use rheotex_linalg::Vector;
 
@@ -108,6 +113,12 @@ impl CollapsedJointModel {
         let mut ll_trace = Vec::with_capacity(cfg.sweeps);
         let mut weights = vec![0.0f64; k];
         let mut log_weights = vec![0.0f64; k];
+        // A topic's Student-t predictives only change when a document
+        // moves into or out of it, so both channels memoize per topic
+        // (a hit returns the exact object a rebuild would produce —
+        // caching is bit-invisible).
+        let mut gel_cache = PredictiveCache::new(k);
+        let mut emu_cache = PredictiveCache::new(k);
 
         for sweep in 0..cfg.sweeps {
             // z sweep (identical to the semi-collapsed model: Gaussians do
@@ -138,22 +149,30 @@ impl CollapsedJointModel {
                 let old = y[d];
                 gel_stats[old].remove(&doc.gel)?;
                 emu_stats[old].remove(&doc.emulsion)?;
+                gel_cache.invalidate(old);
+                emu_cache.invalidate(old);
                 for (kk, lw) in log_weights.iter_mut().enumerate() {
                     let doc_part = (f64::from(n_dk[d * k + kk]) + cfg.alpha).ln();
-                    let gel_pred = gel_prior
-                        .posterior(&gel_stats[kk])?
-                        .posterior_predictive()?;
-                    let emu_pred = emu_prior
-                        .posterior(&emu_stats[kk])?
-                        .posterior_predictive()?;
-                    *lw =
-                        doc_part + gel_pred.log_pdf(&doc.gel)? + emu_pred.log_pdf(&doc.emulsion)?;
+                    let gel_stats_kk = &gel_stats[kk];
+                    let gel_pred =
+                        gel_cache.get_or_try_build(kk, || -> Result<MultivariateT> {
+                            Ok(gel_prior.posterior(gel_stats_kk)?.posterior_predictive()?)
+                        })?;
+                    let gel_part = gel_pred.log_pdf(&doc.gel)?;
+                    let emu_stats_kk = &emu_stats[kk];
+                    let emu_pred =
+                        emu_cache.get_or_try_build(kk, || -> Result<MultivariateT> {
+                            Ok(emu_prior.posterior(emu_stats_kk)?.posterior_predictive()?)
+                        })?;
+                    *lw = doc_part + gel_part + emu_pred.log_pdf(&doc.emulsion)?;
                 }
                 let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
                 sweep_ll += log_weights[new];
                 y[d] = new;
                 gel_stats[new].add(&doc.gel)?;
                 emu_stats[new].add(&doc.emulsion)?;
+                gel_cache.invalidate(new);
+                emu_cache.invalidate(new);
             }
             // Token part of the trace.
             for (d, doc) in docs.iter().enumerate() {

@@ -147,7 +147,9 @@ mod tests {
         let train = docs(60, 1);
         let test = docs(20, 2);
         let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
-        let fit = model.fit(&mut rng, &train).unwrap();
+        let fit = model
+            .fit_with(&mut rng, &train, crate::FitOptions::new())
+            .unwrap();
         let score = held_out_score(&fit, &test).unwrap();
         assert!(score.log_likelihood.is_finite());
         assert!(score.perplexity.is_finite());
@@ -171,7 +173,7 @@ mod tests {
         // Well-fit model.
         let good = JointTopicModel::new(JointConfig::quick(2, 4))
             .unwrap()
-            .fit(&mut rng, &train)
+            .fit_with(&mut rng, &train, crate::FitOptions::new())
             .unwrap();
         // Model fit on scrambled concentrations.
         let mut scrambled = train.clone();
@@ -182,7 +184,7 @@ mod tests {
         }
         let bad = JointTopicModel::new(JointConfig::quick(2, 4))
             .unwrap()
-            .fit(&mut rng, &scrambled)
+            .fit_with(&mut rng, &scrambled, crate::FitOptions::new())
             .unwrap();
         let sg = held_out_score(&good, &test).unwrap();
         let sb = held_out_score(&bad, &test).unwrap();
@@ -235,7 +237,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let train = docs(60, 1);
         let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
-        let fit = model.fit(&mut rng, &train).unwrap();
+        let fit = model
+            .fit_with(&mut rng, &train, crate::FitOptions::new())
+            .unwrap();
 
         let err = held_out_score(&fit, &[]).unwrap_err();
         assert!(matches!(err, ModelError::InvalidData { .. }), "{err:?}");

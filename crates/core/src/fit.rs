@@ -1,0 +1,211 @@
+//! The unified fitting surface: one [`FitOptions`] bundle instead of a
+//! `fit` / `fit_observed` / `fit_checkpointed` method per concern.
+//!
+//! Every Gibbs engine (`JointTopicModel`, `LdaModel`, `GmmModel`)
+//! exposes a single `fit_with(rng, docs, options)` entry point. The
+//! options value is a builder that collects the cross-cutting concerns
+//! the old method triplet hard-wired into separate signatures:
+//!
+//! * an optional [`SweepObserver`] receiving per-sweep statistics;
+//! * an optional [`CheckpointSink`] asked after every sweep whether a
+//!   snapshot is due;
+//! * an optional resume [`SamplerSnapshot`] — when present the fit
+//!   continues bit-identically from the captured sweep boundary and the
+//!   caller-supplied RNG is ignored (the snapshot carries the exact RNG
+//!   position);
+//! * a thread count selecting between the serial sweep kernel
+//!   (`threads == 0`, bit-identical to the historical implementation)
+//!   and the deterministic chunked parallel kernel (`threads >= 1`,
+//!   bit-identical across *any* thread count, see the crate docs);
+//! * a switch for the per-topic posterior-predictive cache used by the
+//!   collapsed Gaussian engines.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+//! use rheotex_linalg::Vector;
+//!
+//! let docs: Vec<ModelDoc> = (0..6)
+//!     .map(|i| {
+//!         ModelDoc::new(
+//!             i,
+//!             vec![(i % 4) as usize],
+//!             Vector::new(vec![4.0, 9.2, 9.2]),
+//!             Vector::full(6, 9.2),
+//!         )
+//!     })
+//!     .collect();
+//! let model = JointTopicModel::new(JointConfig::quick(2, 4))?;
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! // Serial, unobserved, no checkpoints — the minimal call.
+//! let fitted = model.fit_with(&mut rng, &docs, FitOptions::new())?;
+//! assert_eq!(fitted.y.len(), docs.len());
+//! # Ok::<(), rheotex_core::ModelError>(())
+//! ```
+
+use crate::checkpoint::{CheckpointSink, SamplerSnapshot};
+use crate::error::ModelError;
+use rheotex_obs::SweepObserver;
+
+/// Documents per parallel work unit. Chunk boundaries are part of the
+/// reproducibility contract: chunk `c` always covers docs
+/// `[c * PAR_CHUNK, (c + 1) * PAR_CHUNK)` and always consumes RNG
+/// streams `2c` / `2c + 1` of the sweep seed, regardless of how many
+/// worker threads execute the chunks.
+pub(crate) const PAR_CHUNK: usize = 64;
+
+/// Options bundle consumed by `fit_with` on every Gibbs engine.
+///
+/// Construct with [`FitOptions::new`] (or `Default`) and chain the
+/// builder methods; unset options select the no-op behavior of the old
+/// plain `fit`.
+pub struct FitOptions<'a> {
+    pub(crate) observer: Option<&'a mut dyn SweepObserver>,
+    pub(crate) sink: Option<&'a mut dyn CheckpointSink>,
+    pub(crate) resume: Option<SamplerSnapshot>,
+    pub(crate) threads: usize,
+    pub(crate) predictive_cache: bool,
+}
+
+impl Default for FitOptions<'_> {
+    fn default() -> Self {
+        FitOptions::new()
+    }
+}
+
+impl std::fmt::Debug for FitOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitOptions")
+            .field("observer", &self.observer.is_some())
+            .field("sink", &self.sink.is_some())
+            .field(
+                "resume",
+                &self.resume.as_ref().map(SamplerSnapshot::engine),
+            )
+            .field("threads", &self.threads)
+            .field("predictive_cache", &self.predictive_cache)
+            .finish()
+    }
+}
+
+impl<'a> FitOptions<'a> {
+    /// Defaults: no observer, no checkpointing, fresh start, serial
+    /// sweeps, predictive cache on.
+    #[must_use]
+    pub fn new() -> Self {
+        FitOptions {
+            observer: None,
+            sink: None,
+            resume: None,
+            threads: 0,
+            predictive_cache: true,
+        }
+    }
+
+    /// Streams per-sweep statistics to `observer` (an [`rheotex_obs::Obs`]
+    /// handle, a `VecObserver`, …).
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn SweepObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Offers a snapshot to `sink` after every sweep; the sink's own
+    /// cadence (`CheckpointSink::due`) decides which offers are taken.
+    #[must_use]
+    pub fn checkpoint(mut self, sink: &'a mut dyn CheckpointSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Continues from a previously captured snapshot instead of starting
+    /// fresh. The snapshot must come from the same engine, config, and
+    /// corpus, or `fit_with` fails with `ResumeMismatch`. The RNG
+    /// argument of `fit_with` is ignored on this path: the snapshot
+    /// carries the exact generator position needed for bit-identity.
+    #[must_use]
+    pub fn resume(mut self, snapshot: SamplerSnapshot) -> Self {
+        self.resume = Some(snapshot);
+        self
+    }
+
+    /// Worker threads for the document sweeps. `0` (the default) runs
+    /// the historical serial kernel; any value `>= 1` runs the chunked
+    /// deterministic parallel kernel, whose output is identical for
+    /// every thread count (so `threads(1)` is the reproducible baseline
+    /// of `threads(8)`, but differs bitwise from the serial kernel).
+    /// A snapshot taken by one kernel must be resumed by the same
+    /// kernel (serial vs. chunked) to stay bit-identical.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the per-topic posterior-predictive cache used
+    /// by the collapsed Gaussian engines (on by default). Cached and
+    /// uncached fits are bit-identical; disabling only serves as a
+    /// baseline for benchmarks.
+    #[must_use]
+    pub fn predictive_cache(mut self, enabled: bool) -> Self {
+        self.predictive_cache = enabled;
+        self
+    }
+}
+
+/// Builds the rayon pool for `threads >= 1`, or `None` for the serial
+/// kernel.
+pub(crate) fn build_pool(threads: usize) -> Result<Option<rayon::ThreadPool>, ModelError> {
+    if threads == 0 {
+        return Ok(None);
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map(Some)
+        .map_err(|e| ModelError::InvalidConfig {
+            what: format!("cannot build a {threads}-thread pool: {e}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MemoryCheckpointSink;
+    use rheotex_obs::VecObserver;
+
+    #[test]
+    fn builder_collects_all_options() {
+        let mut obs = VecObserver::default();
+        let mut sink = MemoryCheckpointSink::new(5);
+        let opts = FitOptions::new()
+            .observer(&mut obs)
+            .checkpoint(&mut sink)
+            .threads(4)
+            .predictive_cache(false);
+        assert!(opts.observer.is_some());
+        assert!(opts.sink.is_some());
+        assert!(opts.resume.is_none());
+        assert_eq!(opts.threads, 4);
+        assert!(!opts.predictive_cache);
+        let dbg = format!("{opts:?}");
+        assert!(dbg.contains("threads: 4"), "{dbg}");
+    }
+
+    #[test]
+    fn defaults_match_plain_fit_semantics() {
+        let opts = FitOptions::default();
+        assert!(opts.observer.is_none());
+        assert!(opts.sink.is_none());
+        assert_eq!(opts.threads, 0);
+        assert!(opts.predictive_cache);
+    }
+
+    #[test]
+    fn pool_building() {
+        assert!(build_pool(0).unwrap().is_none());
+        let pool = build_pool(2).unwrap().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+    }
+}

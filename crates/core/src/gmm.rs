@@ -14,10 +14,15 @@ use crate::checkpoint::{
 use crate::config::NwHyper;
 use crate::data::ModelDoc;
 use crate::error::ModelError;
+use crate::fit::{FitOptions, PAR_CHUNK};
 use crate::Result;
 use rand::Rng;
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex_linalg::dist::{sample_categorical_log, GaussianStats, NormalWishart};
+use rayon::prelude::*;
+use rheotex_linalg::dist::{
+    sample_categorical_log, GaussianStats, MultivariateT, NormalWishart, PredictiveCache,
+};
 use rheotex_linalg::{LinalgError, Vector};
 use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
@@ -105,44 +110,124 @@ impl GmmModel {
         }
     }
 
-    /// Fits the mixture by collapsed Gibbs.
+    /// Fits the mixture by collapsed Gibbs with every cross-cutting
+    /// concern selected through one [`FitOptions`] bundle; see
+    /// [`crate::joint::JointTopicModel::fit_with`] for the full contract
+    /// (resume ignores `rng`; `threads >= 1` selects the deterministic
+    /// chunked parallel kernel, identical across thread counts).
+    ///
+    /// Engine-specific notes: this is the one engine where
+    /// [`FitOptions::predictive_cache`] is on the hot path — each
+    /// (document, component) score reuses the component's Student-t
+    /// predictive until that component's sufficient statistics change.
+    /// Cached and uncached fits are bit-identical (a cache hit returns
+    /// the exact object a rebuild would produce); only the
+    /// `jitter_retries` / cache counters in the observer stream differ.
+    /// The parallel kernel rebuilds the sufficient statistics from the
+    /// merged assignments after every sweep, so its accumulation order —
+    /// and therefore its bits — differ from the serial kernel's
+    /// incremental updates, but not across thread counts.
     ///
     /// # Errors
     /// [`ModelError::InvalidData`] for empty input;
-    /// [`ModelError::Numerical`] on degenerate updates.
-    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedGmm> {
-        self.fit_observed(rng, docs, &mut NullObserver)
+    /// [`ModelError::Numerical`] on degenerate updates;
+    /// [`ModelError::Checkpoint`] when a due snapshot fails to save;
+    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
+    /// to this `(config, docs)` pair.
+    pub fn fit_with(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        opts: FitOptions<'_>,
+    ) -> Result<FittedGmm> {
+        let (xs, prior) = self.features_and_prior(docs)?;
+        let pool = crate::fit::build_pool(opts.threads)?;
+        let mut null_obs = NullObserver;
+        let observer: &mut dyn SweepObserver = match opts.observer {
+            Some(o) => o,
+            None => &mut null_obs,
+        };
+        let mut no_ckpt = crate::checkpoint::NoCheckpoint;
+        let sink: &mut dyn CheckpointSink = match opts.sink {
+            Some(s) => s,
+            None => &mut no_ckpt,
+        };
+        let use_cache = opts.predictive_cache;
+        match opts.resume {
+            Some(SamplerSnapshot::Gmm(snap)) => {
+                let (mut rng, mut prog, start) = self.restore(docs, &xs, snap)?;
+                self.run_sweeps(
+                    &mut rng,
+                    docs,
+                    &xs,
+                    &prior,
+                    &mut prog,
+                    start,
+                    observer,
+                    sink,
+                    pool.as_ref(),
+                    use_cache,
+                )?;
+                self.finalize(&prior, prog)
+            }
+            Some(other) => Err(mismatch(format!(
+                "snapshot is from the {} engine, not gmm",
+                other.engine()
+            ))),
+            None => {
+                let mut prog = self.init_progress(rng, &xs)?;
+                self.run_sweeps(
+                    rng,
+                    docs,
+                    &xs,
+                    &prior,
+                    &mut prog,
+                    0,
+                    observer,
+                    sink,
+                    pool.as_ref(),
+                    use_cache,
+                )?;
+                self.finalize(&prior, prog)
+            }
+        }
     }
 
-    /// Like [`fit`](Self::fit), but reports one [`SweepStats`] per Gibbs
-    /// sweep to `observer` (engine `"gmm"`, occupancy counted in
-    /// documents). Observation never touches the RNG stream, so results
-    /// match [`fit`](Self::fit) exactly.
+    /// Fits with all-default options.
     ///
     /// # Errors
-    /// [`ModelError::InvalidData`] for empty input;
-    /// [`ModelError::Numerical`] on degenerate updates.
-    pub fn fit_observed<R: Rng + ?Sized>(
+    /// As [`Self::fit_with`].
+    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
+    pub fn fit(&self, rng: &mut ChaCha8Rng, docs: &[ModelDoc]) -> Result<FittedGmm> {
+        self.fit_with(rng, docs, FitOptions::new())
+    }
+
+    /// [`Self::fit_with`] restricted to per-sweep instrumentation
+    /// (engine `"gmm"`, occupancy counted in documents).
+    ///
+    /// # Errors
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer))`"
+    )]
+    pub fn fit_observed(
         &self,
-        rng: &mut R,
+        rng: &mut ChaCha8Rng,
         docs: &[ModelDoc],
         observer: &mut dyn SweepObserver,
     ) -> Result<FittedGmm> {
-        let (xs, prior) = self.features_and_prior(docs)?;
-        let mut prog = self.init_progress(rng, &xs)?;
-        for sweep in 0..self.config.sweeps {
-            self.sweep_once(rng, &xs, &prior, &mut prog, sweep, observer)?;
-        }
-        self.finalize(&prior, prog)
+        self.fit_with(rng, docs, FitOptions::new().observer(observer))
     }
 
-    /// [`Self::fit_observed`] with periodic checkpointing; see
-    /// [`crate::joint::JointTopicModel::fit_checkpointed`] for the
-    /// contract. Checkpointing never perturbs the RNG stream.
+    /// [`Self::fit_with`] restricted to observation plus checkpointing.
     ///
     /// # Errors
-    /// As [`Self::fit`], plus [`ModelError::Checkpoint`] when the sink
-    /// reports a write failure.
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer).checkpoint(sink))`"
+    )]
     pub fn fit_checkpointed(
         &self,
         rng: &mut ChaCha8Rng,
@@ -150,20 +235,21 @@ impl GmmModel {
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
     ) -> Result<FittedGmm> {
-        let (xs, prior) = self.features_and_prior(docs)?;
-        let mut prog = self.init_progress(rng, &xs)?;
-        self.run_sweeps(rng, docs, &xs, &prior, &mut prog, 0, observer, sink)?;
-        self.finalize(&prior, prog)
+        self.fit_with(
+            rng,
+            docs,
+            FitOptions::new().observer(observer).checkpoint(sink),
+        )
     }
 
-    /// Continues a fit from `snapshot`, bit-identically to the run that
-    /// wrote it; see [`crate::joint::JointTopicModel::resume_observed`]
-    /// for the contract.
+    /// [`Self::fit_with`] restricted to resuming a snapshot.
     ///
     /// # Errors
-    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
-    /// to this `(config, docs)` pair; plus everything
-    /// [`Self::fit_checkpointed`] can return.
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with` with `FitOptions::new().resume(SamplerSnapshot::Gmm(snapshot))`"
+    )]
     pub fn resume_observed(
         &self,
         docs: &[ModelDoc],
@@ -171,12 +257,16 @@ impl GmmModel {
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
     ) -> Result<FittedGmm> {
-        let (xs, prior) = self.features_and_prior(docs)?;
-        let (mut rng, mut prog, start) = self.restore(docs, &xs, snapshot)?;
-        self.run_sweeps(
-            &mut rng, docs, &xs, &prior, &mut prog, start, observer, sink,
-        )?;
-        self.finalize(&prior, prog)
+        // The resume path never touches the passed generator; any seed works.
+        let mut unused = ChaCha8Rng::seed_from_u64(0);
+        self.fit_with(
+            &mut unused,
+            docs,
+            FitOptions::new()
+                .observer(observer)
+                .checkpoint(sink)
+                .resume(SamplerSnapshot::Gmm(snapshot)),
+        )
     }
 
     fn features_and_prior(&self, docs: &[ModelDoc]) -> Result<(Vec<Vector>, NormalWishart)> {
@@ -232,27 +322,31 @@ impl GmmModel {
         start_sweep: usize,
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
+        pool: Option<&rayon::ThreadPool>,
+        use_cache: bool,
     ) -> Result<()> {
+        // One cache for the whole serial run: a component's predictive
+        // stays valid across sweep boundaries until its statistics change.
+        let mut cache = if use_cache {
+            PredictiveCache::new(self.config.n_components)
+        } else {
+            PredictiveCache::disabled(self.config.n_components)
+        };
         for sweep in start_sweep..self.config.sweeps {
-            self.sweep_once(rng, xs, prior, prog, sweep, observer)?;
-            if sink.due(sweep) {
-                let snap = GmmSnapshot {
-                    config: self.config.clone(),
-                    next_sweep: sweep + 1,
-                    doc_fingerprint: fingerprint_docs(docs),
-                    assignments: prog.assignments.clone(),
-                    stats: prog.stats.clone(),
-                    counts: prog.counts.clone(),
-                    ll_trace: prog.ll_trace.clone(),
-                    rng: RngState::capture(rng),
-                };
-                sink.save(SamplerSnapshot::Gmm(snap))
-                    .map_err(|what| ModelError::Checkpoint { what })?;
+            match pool {
+                None => self.sweep_once(rng, xs, prior, prog, sweep, observer, &mut cache)?,
+                Some(pool) => {
+                    self.sweep_once_parallel(rng, pool, xs, prior, prog, sweep, observer, use_cache)?;
+                }
             }
+            crate::checkpoint::save_if_due(sink, sweep, || {
+                SamplerSnapshot::Gmm(self.snapshot(rng, docs, prog, sweep + 1))
+            })?;
         }
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sweep_once<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -261,30 +355,36 @@ impl GmmModel {
         prog: &mut GmmProgress,
         sweep: usize,
         observer: &mut dyn SweepObserver,
+        cache: &mut PredictiveCache,
     ) -> Result<()> {
-        let k = self.config.n_components;
         let sweep_start = observer.enabled().then(Instant::now);
-        let mut log_weights = vec![0.0f64; k];
+        let lookups0 = cache.lookups();
+        let hits0 = cache.hits();
+        let mut log_weights = vec![0.0f64; self.config.n_components];
         let mut ll = 0.0;
         let mut jitter_retries = 0usize;
         for (i, x) in xs.iter().enumerate() {
             let old = prog.assignments[i];
             prog.stats[old].remove(x)?;
             prog.counts[old] -= 1;
+            cache.invalidate(old);
             for (c, lw) in log_weights.iter_mut().enumerate() {
-                let post = prior.posterior(&prog.stats[c])?;
-                // Fast path first; fall back to the shared ridge-jitter
-                // policy only when the predictive shape degenerates.
-                let pred = match post.posterior_predictive() {
-                    Ok(pred) => pred,
-                    Err(LinalgError::NotPositiveDefinite { .. }) => {
-                        let (pred, jitter) =
-                            post.posterior_predictive_recovering(crate::JITTER_MAX_ATTEMPTS)?;
-                        jitter_retries += jitter.attempts;
-                        pred
+                let stats_c = &prog.stats[c];
+                let pred = cache.get_or_try_build(c, || -> Result<MultivariateT> {
+                    let post = prior.posterior(stats_c)?;
+                    // Fast path first; fall back to the shared ridge-jitter
+                    // policy only when the predictive shape degenerates.
+                    match post.posterior_predictive() {
+                        Ok(pred) => Ok(pred),
+                        Err(LinalgError::NotPositiveDefinite { .. }) => {
+                            let (pred, jitter) =
+                                post.posterior_predictive_recovering(crate::JITTER_MAX_ATTEMPTS)?;
+                            jitter_retries += jitter.attempts;
+                            Ok(pred)
+                        }
+                        Err(e) => Err(e.into()),
                     }
-                    Err(e) => return Err(e.into()),
-                };
+                })?;
                 *lw = (prog.counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
             }
             let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
@@ -292,7 +392,160 @@ impl GmmModel {
             prog.assignments[i] = new;
             prog.stats[new].add(x)?;
             prog.counts[new] += 1;
+            cache.invalidate(new);
         }
+        let cache_lookups = (cache.lookups() - lookups0) as usize;
+        let cache_hits = (cache.hits() - hits0) as usize;
+        self.post_sweep(
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            cache_lookups,
+            cache_hits,
+            sweep_start,
+            observer,
+        );
+        Ok(())
+    }
+
+    /// The deterministic chunked parallel sweep: fixed 64-doc chunks,
+    /// each scoring against chunk-local clones of the start-of-sweep
+    /// sufficient statistics and counts (with a chunk-local predictive
+    /// cache) using RNG stream `2c` of the per-sweep seed. The merge
+    /// rebuilds the global statistics from the merged assignments in
+    /// document order and sums the per-chunk log-likelihood partials in
+    /// chunk order, so the result depends on the chunk grid but not on
+    /// the number of worker threads. The rebuild's accumulation order
+    /// differs from the serial kernel's incremental updates, which is
+    /// why the two kernels are not bit-compatible with each other.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_once_parallel(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        xs: &[Vector],
+        prior: &NormalWishart,
+        prog: &mut GmmProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+        use_cache: bool,
+    ) -> Result<()> {
+        let k = self.config.n_components;
+        let alpha = self.config.alpha;
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+
+        struct ChunkOut {
+            ll: f64,
+            jitter_retries: usize,
+            cache_lookups: u64,
+            cache_hits: u64,
+        }
+
+        let stats_start = &prog.stats;
+        let counts_start = &prog.counts;
+        let assignments = &mut prog.assignments;
+        let outs: Vec<ChunkOut> = pool.install(|| {
+            assignments
+                .par_chunks_mut(PAR_CHUNK)
+                .zip(xs.par_chunks(PAR_CHUNK))
+                .enumerate()
+                .map(|(c, (a_chunk, x_chunk))| -> Result<ChunkOut> {
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let mut stats = stats_start.clone();
+                    let mut counts = counts_start.clone();
+                    let mut cache = if use_cache {
+                        PredictiveCache::new(k)
+                    } else {
+                        PredictiveCache::disabled(k)
+                    };
+                    let mut log_weights = vec![0.0f64; k];
+                    let mut ll = 0.0;
+                    let mut jitter_retries = 0usize;
+                    for (a, x) in a_chunk.iter_mut().zip(x_chunk) {
+                        let old = *a;
+                        stats[old].remove(x)?;
+                        counts[old] -= 1;
+                        cache.invalidate(old);
+                        for (cc, lw) in log_weights.iter_mut().enumerate() {
+                            let stats_cc = &stats[cc];
+                            let pred =
+                                cache.get_or_try_build(cc, || -> Result<MultivariateT> {
+                                    let post = prior.posterior(stats_cc)?;
+                                    match post.posterior_predictive() {
+                                        Ok(pred) => Ok(pred),
+                                        Err(LinalgError::NotPositiveDefinite { .. }) => {
+                                            let (pred, jitter) = post
+                                                .posterior_predictive_recovering(
+                                                    crate::JITTER_MAX_ATTEMPTS,
+                                                )?;
+                                            jitter_retries += jitter.attempts;
+                                            Ok(pred)
+                                        }
+                                        Err(e) => Err(e.into()),
+                                    }
+                                })?;
+                            *lw = (counts[cc] as f64 + alpha).ln() + pred.log_pdf(x)?;
+                        }
+                        let new = sample_categorical_log(&mut rng, &log_weights)
+                            .expect("finite log-weights");
+                        ll += log_weights[new];
+                        *a = new;
+                        stats[new].add(x)?;
+                        counts[new] += 1;
+                        cache.invalidate(new);
+                    }
+                    Ok(ChunkOut {
+                        ll,
+                        jitter_retries,
+                        cache_lookups: cache.lookups(),
+                        cache_hits: cache.hits(),
+                    })
+                })
+                .collect::<Result<Vec<ChunkOut>>>()
+        })?;
+        // Deterministic merge: rebuild the sufficient statistics from the
+        // merged assignments in document order.
+        let dim = xs[0].len();
+        prog.stats = (0..k).map(|_| GaussianStats::new(dim)).collect();
+        prog.counts = vec![0usize; k];
+        for (x, &a) in xs.iter().zip(prog.assignments.iter()) {
+            prog.stats[a].add(x)?;
+            prog.counts[a] += 1;
+        }
+        let ll: f64 = outs.iter().map(|o| o.ll).sum();
+        let jitter_retries: usize = outs.iter().map(|o| o.jitter_retries).sum();
+        let cache_lookups = outs.iter().map(|o| o.cache_lookups).sum::<u64>() as usize;
+        let cache_hits = outs.iter().map(|o| o.cache_hits).sum::<u64>() as usize;
+        self.post_sweep(
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            cache_lookups,
+            cache_hits,
+            sweep_start,
+            observer,
+        );
+        Ok(())
+    }
+
+    /// Trace push and observer report shared by the serial and parallel
+    /// sweep kernels.
+    #[allow(clippy::too_many_arguments)]
+    fn post_sweep(
+        &self,
+        prog: &mut GmmProgress,
+        sweep: usize,
+        ll: f64,
+        jitter_retries: usize,
+        cache_lookups: usize,
+        cache_hits: usize,
+        sweep_start: Option<Instant>,
+        observer: &mut dyn SweepObserver,
+    ) {
         prog.ll_trace.push(ll);
         if let Some(started) = sweep_start {
             let (topic_entropy, min_occupancy, max_occupancy) =
@@ -308,9 +561,29 @@ impl GmmModel {
                 max_occupancy,
                 nw_draws: 0,
                 jitter_retries,
+                cache_lookups,
+                cache_hits,
             });
         }
-        Ok(())
+    }
+
+    fn snapshot(
+        &self,
+        rng: &ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &GmmProgress,
+        next_sweep: usize,
+    ) -> GmmSnapshot {
+        GmmSnapshot {
+            config: self.config.clone(),
+            next_sweep,
+            doc_fingerprint: fingerprint_docs(docs),
+            assignments: prog.assignments.clone(),
+            stats: prog.stats.clone(),
+            counts: prog.counts.clone(),
+            ll_trace: prog.ll_trace.clone(),
+            rng: RngState::capture(rng),
+        }
     }
 
     fn finalize(&self, prior: &NormalWishart, prog: GmmProgress) -> Result<FittedGmm> {
@@ -395,6 +668,12 @@ struct GmmProgress {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated wrappers on purpose: they pin
+    // the wrappers' bit-compatibility with `fit_with`. New-API coverage
+    // (parallelism, caching, resume through FitOptions) lives in
+    // `tests/parallel.rs`.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -13,9 +13,12 @@ use crate::checkpoint::{
 use crate::config::JointConfig;
 use crate::data::{validate_docs, ModelDoc};
 use crate::error::ModelError;
+use crate::fit::{FitOptions, PAR_CHUNK};
 use crate::Result;
 use rand::Rng;
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use rheotex_linalg::dist::sample_categorical;
 use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
@@ -115,44 +118,95 @@ impl LdaModel {
         Ok(Self { config })
     }
 
-    /// Fits by collapsed Gibbs. Docs' concentration vectors are ignored;
-    /// docs without terms get a uniform θ row.
+    /// Fits by collapsed Gibbs with every cross-cutting concern selected
+    /// through one [`FitOptions`] bundle; see
+    /// [`crate::joint::JointTopicModel::fit_with`] for the full contract
+    /// (resume ignores `rng`; `threads >= 1` selects the deterministic
+    /// chunked parallel kernel, identical across thread counts).
+    ///
+    /// Docs' concentration vectors are ignored; docs without terms get a
+    /// uniform θ row. Engine-specific note: the serial kernel's
+    /// log-likelihood trace is accumulated *during* the sweep (each token
+    /// scored at the counts in effect when it was sampled), while the
+    /// parallel kernel scores all tokens against the merged end-of-sweep
+    /// counts — same convergence signal, different bits.
     ///
     /// # Errors
-    /// [`crate::ModelError::InvalidData`] for malformed docs.
-    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedLda> {
-        self.fit_observed(rng, docs, &mut NullObserver)
+    /// [`crate::ModelError::InvalidData`] for malformed docs;
+    /// [`ModelError::Checkpoint`] when a due snapshot fails to save;
+    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
+    /// to this `(config, docs)` pair.
+    pub fn fit_with(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        opts: FitOptions<'_>,
+    ) -> Result<FittedLda> {
+        self.validate(docs)?;
+        let pool = crate::fit::build_pool(opts.threads)?;
+        let mut null_obs = NullObserver;
+        let observer: &mut dyn SweepObserver = match opts.observer {
+            Some(o) => o,
+            None => &mut null_obs,
+        };
+        let mut no_ckpt = crate::checkpoint::NoCheckpoint;
+        let sink: &mut dyn CheckpointSink = match opts.sink {
+            Some(s) => s,
+            None => &mut no_ckpt,
+        };
+        match opts.resume {
+            Some(SamplerSnapshot::Lda(snap)) => {
+                let (mut rng, mut prog, start) = self.restore(docs, snap)?;
+                self.run_sweeps(&mut rng, docs, &mut prog, start, observer, sink, pool.as_ref())?;
+                Ok(self.finalize(docs.len(), prog))
+            }
+            Some(other) => Err(mismatch(format!(
+                "snapshot is from the {} engine, not lda",
+                other.engine()
+            ))),
+            None => {
+                let mut prog = self.init_progress(rng, docs);
+                self.run_sweeps(rng, docs, &mut prog, 0, observer, sink, pool.as_ref())?;
+                Ok(self.finalize(docs.len(), prog))
+            }
+        }
     }
 
-    /// Like [`fit`](Self::fit), but reports one [`SweepStats`] per Gibbs
-    /// sweep to `observer` (engine `"lda"`, occupancy counted in tokens).
-    /// When the observer is disabled no per-sweep statistics are computed
-    /// and the fit is byte-identical to [`fit`](Self::fit); observation
-    /// never touches the RNG stream, so results match either way.
+    /// Fits with all-default options.
     ///
     /// # Errors
-    /// [`crate::ModelError::InvalidData`] for malformed docs.
-    pub fn fit_observed<R: Rng + ?Sized>(
+    /// As [`Self::fit_with`].
+    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
+    pub fn fit(&self, rng: &mut ChaCha8Rng, docs: &[ModelDoc]) -> Result<FittedLda> {
+        self.fit_with(rng, docs, FitOptions::new())
+    }
+
+    /// [`Self::fit_with`] restricted to per-sweep instrumentation
+    /// (engine `"lda"`, occupancy counted in tokens).
+    ///
+    /// # Errors
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer))`"
+    )]
+    pub fn fit_observed(
         &self,
-        rng: &mut R,
+        rng: &mut ChaCha8Rng,
         docs: &[ModelDoc],
         observer: &mut dyn SweepObserver,
     ) -> Result<FittedLda> {
-        self.validate(docs)?;
-        let mut prog = self.init_progress(rng, docs);
-        for sweep in 0..self.config.sweeps {
-            self.sweep_once(rng, docs, &mut prog, sweep, observer);
-        }
-        Ok(self.finalize(docs.len(), prog))
+        self.fit_with(rng, docs, FitOptions::new().observer(observer))
     }
 
-    /// [`Self::fit_observed`] with periodic checkpointing; see
-    /// [`crate::joint::JointTopicModel::fit_checkpointed`] for the
-    /// contract. Checkpointing never perturbs the RNG stream.
+    /// [`Self::fit_with`] restricted to observation plus checkpointing.
     ///
     /// # Errors
-    /// As [`Self::fit`], plus [`ModelError::Checkpoint`] when the sink
-    /// reports a write failure.
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer).checkpoint(sink))`"
+    )]
     pub fn fit_checkpointed(
         &self,
         rng: &mut ChaCha8Rng,
@@ -160,20 +214,21 @@ impl LdaModel {
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
     ) -> Result<FittedLda> {
-        self.validate(docs)?;
-        let mut prog = self.init_progress(rng, docs);
-        self.run_sweeps(rng, docs, &mut prog, 0, observer, sink)?;
-        Ok(self.finalize(docs.len(), prog))
+        self.fit_with(
+            rng,
+            docs,
+            FitOptions::new().observer(observer).checkpoint(sink),
+        )
     }
 
-    /// Continues a fit from `snapshot`, bit-identically to the run that
-    /// wrote it; see [`crate::joint::JointTopicModel::resume_observed`]
-    /// for the contract.
+    /// [`Self::fit_with`] restricted to resuming a snapshot.
     ///
     /// # Errors
-    /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
-    /// to this `(config, docs)` pair; plus everything
-    /// [`Self::fit_checkpointed`] can return.
+    /// As [`Self::fit_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_with` with `FitOptions::new().resume(SamplerSnapshot::Lda(snapshot))`"
+    )]
     pub fn resume_observed(
         &self,
         docs: &[ModelDoc],
@@ -181,10 +236,16 @@ impl LdaModel {
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
     ) -> Result<FittedLda> {
-        self.validate(docs)?;
-        let (mut rng, mut prog, start) = self.restore(docs, snapshot)?;
-        self.run_sweeps(&mut rng, docs, &mut prog, start, observer, sink)?;
-        Ok(self.finalize(docs.len(), prog))
+        // The resume path never touches the passed generator; any seed works.
+        let mut unused = ChaCha8Rng::seed_from_u64(0);
+        self.fit_with(
+            &mut unused,
+            docs,
+            FitOptions::new()
+                .observer(observer)
+                .checkpoint(sink)
+                .resume(SamplerSnapshot::Lda(snapshot)),
+        )
     }
 
     fn validate(&self, docs: &[ModelDoc]) -> Result<()> {
@@ -235,6 +296,7 @@ impl LdaModel {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
         rng: &mut ChaCha8Rng,
@@ -243,14 +305,16 @@ impl LdaModel {
         start_sweep: usize,
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
+        pool: Option<&rayon::ThreadPool>,
     ) -> Result<()> {
         for sweep in start_sweep..self.config.sweeps {
-            self.sweep_once(rng, docs, prog, sweep, observer);
-            if sink.due(sweep) {
-                let snap = self.snapshot(rng, docs, prog, sweep + 1);
-                sink.save(SamplerSnapshot::Lda(snap))
-                    .map_err(|what| ModelError::Checkpoint { what })?;
+            match pool {
+                None => self.sweep_once(rng, docs, prog, sweep, observer),
+                Some(pool) => self.sweep_once_parallel(rng, pool, docs, prog, sweep, observer),
             }
+            crate::checkpoint::save_if_due(sink, sweep, || {
+                SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1))
+            })?;
         }
         Ok(())
     }
@@ -290,6 +354,110 @@ impl LdaModel {
                     .ln();
             }
         }
+        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+    }
+
+    /// The deterministic chunked parallel sweep: fixed 64-doc chunks,
+    /// each sampling against a chunk-local copy of the start-of-sweep
+    /// `n_kw` / `n_k` counts with RNG stream `2c` of the per-sweep seed,
+    /// then a rebuild of the global counts from the merged assignments.
+    /// The log-likelihood entry scores every token against the merged
+    /// end-of-sweep counts (the serial kernel scores each token as it is
+    /// sampled), so traces differ bitwise between kernels but not
+    /// between thread counts.
+    fn sweep_once_parallel(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let alpha = cfg.alpha;
+        let gamma = cfg.gamma;
+        let vf = v as f64;
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+
+        let n_kw_start = prog.n_kw.clone();
+        let n_k_start = prog.n_k.clone();
+        let z = &mut prog.z;
+        let n_dk = &mut prog.n_dk;
+        pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
+                .enumerate()
+                .for_each(|(c, (z_chunk, n_dk_chunk))| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let mut n_kw = n_kw_start.clone();
+                    let mut n_k = n_k_start.clone();
+                    let mut weights = vec![0.0f64; k];
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        let row = &mut n_dk_chunk[dd * k..(dd + 1) * k];
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            row[old] -= 1;
+                            n_kw[old * v + w] -= 1;
+                            n_k[old] -= 1;
+                            for (kk, weight) in weights.iter_mut().enumerate() {
+                                *weight = (f64::from(row[kk]) + alpha)
+                                    * (f64::from(n_kw[kk * v + w]) + gamma)
+                                    / (f64::from(n_k[kk]) + gamma * vf);
+                            }
+                            let new =
+                                sample_categorical(&mut rng, &weights).expect("positive weights");
+                            zs[n] = new;
+                            row[new] += 1;
+                            n_kw[new * v + w] += 1;
+                            n_k[new] += 1;
+                        }
+                    }
+                });
+        });
+        // Deterministic merge: rebuild the term counts from the merged
+        // assignments, then score the sweep against them.
+        prog.n_kw.fill(0);
+        prog.n_k.fill(0);
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                prog.n_kw[t * v + w] += 1;
+                prog.n_k[t] += 1;
+            }
+        }
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                ll += ((f64::from(prog.n_kw[t * v + w]) + gamma)
+                    / (f64::from(prog.n_k[t]) + gamma * vf))
+                    .ln();
+            }
+        }
+        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+    }
+
+    /// Trace push, observer report, and post-burn-in accumulation shared
+    /// by the serial and parallel sweep kernels.
+    fn post_sweep(
+        &self,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sweep: usize,
+        ll: f64,
+        sweep_start: Option<Instant>,
+        observer: &mut dyn SweepObserver,
+    ) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
         prog.ll_trace.push(ll);
         if let Some(started) = sweep_start {
             let occupancy: Vec<usize> = prog.n_k.iter().map(|&c| c as usize).collect();
@@ -306,6 +474,8 @@ impl LdaModel {
                 max_occupancy,
                 nw_draws: 0,
                 jitter_retries: 0,
+                cache_lookups: 0,
+                cache_hits: 0,
             });
         }
         if sweep >= cfg.burn_in {
@@ -453,6 +623,12 @@ impl LdaModel {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated wrappers on purpose: they pin
+    // the wrappers' bit-compatibility with `fit_with`. New-API coverage
+    // (parallelism, caching, resume through FitOptions) lives in
+    // `tests/parallel.rs`.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -33,17 +33,31 @@
 //! * baselines: [`lda::LdaModel`] (terms only) and [`gmm::GmmModel`]
 //!   (concentrations only), used by the recovery ablation E7.
 //!
-//! Every engine exposes a `fit_observed` variant that reports one
-//! [`SweepStats`] per Gibbs sweep to a [`SweepObserver`] (re-exported from
-//! `rheotex-obs`) — elapsed time, conditional log-likelihood, and topic
-//! occupancy — without perturbing the RNG stream; `fit` is simply
-//! `fit_observed` with the no-op observer.
+//! Every Gibbs engine is driven through one entry point,
+//! `fit_with(rng, docs, options)`, whose [`fit::FitOptions`] builder
+//! collects the cross-cutting concerns: a per-sweep [`SweepObserver`]
+//! (re-exported from `rheotex-obs`), a [`checkpoint::CheckpointSink`]
+//! receiving periodic [`checkpoint::SamplerSnapshot`]s, a resume
+//! snapshot to continue bit-identically from, the worker-thread count
+//! for the deterministic chunked parallel sweeps, and the
+//! posterior-predictive cache switch. The historical method triplet
+//! (`fit`, `fit_observed`, `fit_checkpointed` / `resume_observed`)
+//! survives as thin deprecated wrappers over `fit_with`; durable
+//! snapshot storage lives in the `rheotex-resilience` crate.
 //!
-//! For long runs the three Gibbs engines also expose `fit_checkpointed` /
-//! `resume_observed`, which hand periodic [`checkpoint::SamplerSnapshot`]s
-//! to a [`checkpoint::CheckpointSink`] and continue bit-identically from a
-//! snapshot; durable storage for those snapshots lives in the
-//! `rheotex-resilience` crate.
+//! ## Parallel determinism contract
+//!
+//! With `FitOptions::threads(n)` for any `n >= 1`, a sweep partitions
+//! documents into fixed 64-doc chunks; chunk `c` samples from its own
+//! `ChaCha8Rng` streams (`2c` for the token sweep, `2c + 1` for the
+//! `y`/assignment sweep) derived from one per-sweep seed drawn from the
+//! master generator, and chunk results are merged in document order.
+//! The fitted model is therefore a pure function of `(config, docs,
+//! seed)` — *identical for every thread count* — while within a sweep
+//! chunks read topic counts that are stale by at most one chunk's
+//! updates (the standard approximate-distributed-Gibbs trade). The
+//! serial kernel (`threads == 0`) remains bit-identical to the
+//! historical implementation.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -54,6 +68,7 @@ pub mod config;
 pub mod data;
 pub mod diagnostics;
 pub mod error;
+pub mod fit;
 pub mod gmm;
 pub mod init;
 pub mod joint;
@@ -68,6 +83,7 @@ pub use checkpoint::{
 pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
+pub use fit::FitOptions;
 pub use joint::{FittedJointModel, JointTopicModel};
 pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, VecObserver};
 pub use summary::TopicSummary;

@@ -71,7 +71,7 @@ pub fn sweep_topics(
             };
             let model = JointTopicModel::new(config)?;
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(k as u64));
-            let fit = model.fit(&mut rng, train)?;
+            let fit = model.fit_with(&mut rng, train, crate::FitOptions::new())?;
             let score: HeldOutScore = held_out_score(&fit, test)?;
             Ok(KScore {
                 k,

@@ -98,7 +98,11 @@ mod tests {
             .collect();
         JointTopicModel::new(JointConfig::quick(2, 4))
             .unwrap()
-            .fit(&mut ChaCha8Rng::seed_from_u64(72), &docs)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(72),
+                &docs,
+                crate::FitOptions::new(),
+            )
             .unwrap()
     }
 

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_linalg::Vector;
 use rheotex_obs::{EventKind, MemorySink, Obs};
 
@@ -36,7 +36,7 @@ fn obs_with_memory() -> (Obs, MemorySink) {
 }
 
 /// The required fields of a sweep event, per the stable schema.
-const SWEEP_FIELDS: [&str; 8] = [
+const SWEEP_FIELDS: [&str; 10] = [
     "sweep",
     "total_sweeps",
     "elapsed_us",
@@ -45,6 +45,8 @@ const SWEEP_FIELDS: [&str; 8] = [
     "min_occupancy",
     "max_occupancy",
     "nw_draws",
+    "cache_lookups",
+    "cache_hits",
 ];
 
 fn assert_sweep_stream(sink: &MemorySink, name: &str, expected_sweeps: usize) {
@@ -82,7 +84,7 @@ fn joint_fit_emits_one_sweep_event_per_sweep() {
     let (obs, sink) = obs_with_memory();
     let mut observer = obs.clone();
     let fit = model
-        .fit_observed(&mut rng(), &docs, &mut observer)
+        .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
         .unwrap();
     assert_sweep_stream(&sink, "joint.sweep", sweeps);
     // The event stream's ll values are exactly the fitted trace.
@@ -103,7 +105,7 @@ fn lda_fit_emits_one_sweep_event_per_sweep() {
     let (obs, sink) = obs_with_memory();
     let mut observer = obs.clone();
     model
-        .fit_observed(&mut rng(), &docs, &mut observer)
+        .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
         .unwrap();
     assert_sweep_stream(&sink, "lda.sweep", sweeps);
 }
@@ -117,7 +119,7 @@ fn gmm_fit_emits_one_sweep_event_per_sweep() {
     let (obs, sink) = obs_with_memory();
     let mut observer = obs.clone();
     model
-        .fit_observed(&mut rng(), &docs, &mut observer)
+        .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
         .unwrap();
     assert_sweep_stream(&sink, "gmm.sweep", sweeps);
 }
@@ -126,10 +128,10 @@ fn gmm_fit_emits_one_sweep_event_per_sweep() {
 fn disabled_obs_emits_nothing_and_matches_plain_fit() {
     let docs = two_cluster_docs(10);
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
-    let plain = model.fit(&mut rng(), &docs).unwrap();
+    let plain = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
     let mut disabled = Obs::disabled();
     let observed = model
-        .fit_observed(&mut rng(), &docs, &mut disabled)
+        .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut disabled))
         .unwrap();
     assert_eq!(plain.y, observed.y);
     assert_eq!(plain.ll_trace, observed.ll_trace);
@@ -143,7 +145,7 @@ fn every_sweep_event_serializes_to_valid_jsonl_shape() {
     let (obs, sink) = obs_with_memory();
     let mut observer = obs.clone();
     model
-        .fit_observed(&mut rng(), &docs, &mut observer)
+        .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
         .unwrap();
     for e in sink.events() {
         let line = e.to_json_line();

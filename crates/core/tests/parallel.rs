@@ -1,0 +1,187 @@
+//! The deterministic-parallelism contract, end to end (see the crate
+//! docs' "Parallel determinism contract"): for every engine, a fit with
+//! `threads >= 1` is a pure function of `(config, docs, seed)` — the
+//! thread count never changes the result — and the GMM's predictive
+//! cache is a pure speedup (cached and uncached fits are bit-identical).
+//! Checkpoints taken under the parallel kernel resume bit-identically.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::MemoryCheckpointSink;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_linalg::Vector;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(23)
+}
+
+/// A corpus large enough to span several 64-doc parallel chunks, with
+/// four planted gel bands so the samplers have real structure to find.
+fn banded_docs(n: usize) -> Vec<ModelDoc> {
+    let mut r = ChaCha8Rng::seed_from_u64(77);
+    (0..n)
+        .map(|i| {
+            use rand::Rng;
+            let band = i % 4;
+            let base = 2.0 + 1.8 * band as f64;
+            let gel = Vector::new(vec![
+                base + r.gen_range(-0.2..0.2),
+                9.0 + r.gen_range(-0.2..0.2),
+                9.0,
+            ]);
+            let terms: Vec<usize> = (0..4).map(|t| (band * 3 + t) % 12).collect();
+            ModelDoc::new(i as u64, terms, gel, Vector::full(6, 9.0))
+        })
+        .collect()
+}
+
+fn joint_config() -> JointConfig {
+    JointConfig {
+        n_topics: 4,
+        sweeps: 10,
+        burn_in: 5,
+        ..JointConfig::quick(4, 12)
+    }
+}
+
+#[test]
+fn joint_fit_is_identical_across_thread_counts() {
+    let docs = banded_docs(300);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let fits: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            model
+                .fit_with(&mut rng(), &docs, FitOptions::new().threads(t))
+                .unwrap()
+        })
+        .collect();
+    for fit in &fits[1..] {
+        assert_eq!(fit.y, fits[0].y);
+        assert_eq!(fit.ll_trace, fits[0].ll_trace);
+        assert_eq!(fit.phi, fits[0].phi);
+        assert_eq!(fit.theta, fits[0].theta);
+    }
+}
+
+#[test]
+fn lda_fit_is_identical_across_thread_counts() {
+    let docs = banded_docs(300);
+    let model = LdaModel::new(LdaConfig::from(&joint_config())).unwrap();
+    let fits: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            model
+                .fit_with(&mut rng(), &docs, FitOptions::new().threads(t))
+                .unwrap()
+        })
+        .collect();
+    for fit in &fits[1..] {
+        assert_eq!(fit.phi, fits[0].phi);
+        assert_eq!(fit.theta, fits[0].theta);
+        assert_eq!(fit.ll_trace, fits[0].ll_trace);
+    }
+}
+
+#[test]
+fn gmm_fit_is_identical_across_thread_counts() {
+    let docs = banded_docs(300);
+    let mut cfg = GmmConfig::new(4);
+    cfg.sweeps = 10;
+    let model = GmmModel::new(cfg).unwrap();
+    let fits: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            model
+                .fit_with(&mut rng(), &docs, FitOptions::new().threads(t))
+                .unwrap()
+        })
+        .collect();
+    for fit in &fits[1..] {
+        assert_eq!(fit.assignments, fits[0].assignments);
+        assert_eq!(fit.counts, fits[0].counts);
+        assert_eq!(fit.ll_trace, fits[0].ll_trace);
+    }
+}
+
+/// The cache is a pure speedup: disabling it must not change a single
+/// bit of the fitted model, serial or parallel.
+#[test]
+fn gmm_cached_and_uncached_fits_are_bit_identical() {
+    let docs = banded_docs(200);
+    let mut cfg = GmmConfig::new(4);
+    cfg.sweeps = 10;
+    let model = GmmModel::new(cfg).unwrap();
+    for threads in [0usize, 2] {
+        let cached = model
+            .fit_with(&mut rng(), &docs, FitOptions::new().threads(threads))
+            .unwrap();
+        let uncached = model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().threads(threads).predictive_cache(false),
+            )
+            .unwrap();
+        assert_eq!(cached.assignments, uncached.assignments, "threads={threads}");
+        assert_eq!(cached.ll_trace, uncached.ll_trace, "threads={threads}");
+        assert_eq!(cached.counts, uncached.counts, "threads={threads}");
+    }
+}
+
+/// The serial kernel (`threads == 0`) is its own bit-compatibility class:
+/// it must match the historical `fit` output, while `threads >= 1` picks
+/// the chunked kernel. Both are deterministic; they just differ from
+/// each other.
+#[test]
+#[allow(deprecated)]
+fn serial_kernel_matches_legacy_fit() {
+    let docs = banded_docs(200);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let legacy = model.fit(&mut rng(), &docs).unwrap();
+    let with_opts = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+    assert_eq!(legacy.y, with_opts.y);
+    assert_eq!(legacy.ll_trace, with_opts.ll_trace);
+}
+
+/// Checkpoint taken mid-run under the parallel kernel, resumed under the
+/// parallel kernel: bit-identical to the uninterrupted parallel fit,
+/// regardless of the resuming thread count.
+#[test]
+fn parallel_checkpoint_resumes_bit_identically() {
+    let docs = banded_docs(200);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let full = model
+        .fit_with(&mut rng(), &docs, FitOptions::new().threads(2))
+        .unwrap();
+
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().threads(2).checkpoint(&mut sink),
+        )
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+    assert!(snapshot.next_sweep() < joint_config().sweeps);
+
+    // The resume path takes its RNG state from the snapshot, so the
+    // passed generator's seed is irrelevant.
+    for resume_threads in [2usize, 8] {
+        let resumed = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new()
+                    .threads(resume_threads)
+                    .resume(snapshot.clone()),
+            )
+            .unwrap();
+        assert_eq!(resumed.y, full.y, "resume at {resume_threads} threads");
+        assert_eq!(resumed.ll_trace, full.ll_trace);
+        assert_eq!(resumed.phi, full.phi);
+    }
+}

@@ -7,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex_core::collapsed::CollapsedJointModel;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_linalg::Vector;
 
 /// Strategy: a small random corpus with valid dimensions. Terms ∈ [0, 6),
@@ -54,7 +54,7 @@ proptest! {
         };
         let model = JointTopicModel::new(config).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let fit = model.fit(&mut rng, &docs).unwrap();
+        let fit = model.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
         assert_simplex(&fit.phi)?;
         assert_simplex(&fit.theta)?;
         prop_assert_eq!(fit.y.len(), docs.len());
@@ -97,14 +97,17 @@ proptest! {
             burn_in: 5,
         })
         .unwrap()
-        .fit(&mut rng, &docs)
+        .fit_with(&mut rng, &docs, FitOptions::new())
         .unwrap();
         assert_simplex(&lda.phi)?;
         assert_simplex(&lda.theta)?;
 
         let mut cfg = GmmConfig::new(3);
         cfg.sweeps = 10;
-        let gmm = GmmModel::new(cfg).unwrap().fit(&mut rng, &docs).unwrap();
+        let gmm = GmmModel::new(cfg)
+            .unwrap()
+            .fit_with(&mut rng, &docs, FitOptions::new())
+            .unwrap();
         prop_assert_eq!(gmm.assignments.len(), docs.len());
         prop_assert_eq!(gmm.counts.iter().sum::<usize>(), docs.len());
         prop_assert!(gmm.assignments.iter().all(|&a| a < 3));

@@ -1,0 +1,346 @@
+//! Per-topic memoization of posterior-predictive Student-t distributions.
+//!
+//! A collapsed Gibbs sweep evaluates the Normal-Wishart posterior
+//! predictive of every topic against every document, but a topic's
+//! sufficient statistics only change when a document is reassigned into
+//! or out of it. Rebuilding the [`MultivariateT`] — the Cholesky factor
+//! of the scale matrix, its log-determinant, and the log-gamma terms of
+//! the normalizing constant — per evaluation therefore repeats identical
+//! work `O(K)` times per document.
+//!
+//! [`PredictiveCache`] keeps one slot per topic holding the last
+//! predictive built for it. Callers invalidate a slot whenever they
+//! mutate that topic's statistics (a dirty-flag scheme: an empty slot
+//! *is* the dirty flag) and otherwise reuse the cached distribution.
+//! Because a hit returns the exact object a rebuild would produce, a
+//! cached sweep is bit-identical to an uncached one.
+
+use crate::dist::student_t::MultivariateT;
+
+/// Memoizes one posterior-predictive [`MultivariateT`] per topic,
+/// invalidated when that topic's sufficient statistics change.
+///
+/// The cache also counts lookups and hits so samplers can report a
+/// hit-rate per sweep. A cache built with [`PredictiveCache::disabled`]
+/// never stores anything — every lookup rebuilds — which gives
+/// benchmarks an "uncached" baseline that exercises the identical code
+/// path.
+///
+/// ```
+/// use rheotex_linalg::dist::{MultivariateT, PredictiveCache};
+/// use rheotex_linalg::{Matrix, Vector};
+///
+/// let mut cache = PredictiveCache::new(2);
+/// let build = || MultivariateT::new(Vector::zeros(2), &Matrix::identity(2), 4.0);
+/// let first = cache.get_or_try_build(0, build)?.clone();
+/// let again = cache.get_or_try_build(0, build)?; // served from the slot
+/// assert_eq!(
+///     first.log_pdf(&Vector::zeros(2))?,
+///     again.log_pdf(&Vector::zeros(2))?
+/// );
+/// assert_eq!((cache.lookups(), cache.hits()), (2, 1));
+/// cache.invalidate(0); // topic 0's statistics changed
+/// # Ok::<(), rheotex_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredictiveCache {
+    enabled: bool,
+    slots: Vec<Option<MultivariateT>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl PredictiveCache {
+    /// An enabled cache with one empty slot per topic.
+    #[must_use]
+    pub fn new(topics: usize) -> Self {
+        Self {
+            enabled: true,
+            slots: vec![None; topics],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// A pass-through cache: every lookup rebuilds, nothing is stored.
+    /// Useful as a benchmark baseline and for A/B-ing correctness.
+    #[must_use]
+    pub fn disabled(topics: usize) -> Self {
+        Self {
+            enabled: false,
+            slots: vec![None; topics],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Whether lookups may be served from cache.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of topic slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the cache has no slots at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Marks topic `k` dirty: the next lookup for `k` rebuilds.
+    /// Call this after any mutation of topic `k`'s sufficient statistics.
+    pub fn invalidate(&mut self, k: usize) {
+        if let Some(slot) = self.slots.get_mut(k) {
+            *slot = None;
+        }
+    }
+
+    /// Marks every topic dirty (e.g. after a global parameter resample).
+    pub fn invalidate_all(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Returns the cached predictive for topic `k`, building (and
+    /// storing) it with `build` on a miss. `build`'s error propagates
+    /// unchanged and leaves the slot empty, so recovery strategies such
+    /// as jittered refactorization compose with the cache: whatever
+    /// distribution `build` eventually returns is what gets memoized.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns on failure.
+    pub fn get_or_try_build<E>(
+        &mut self,
+        k: usize,
+        build: impl FnOnce() -> Result<MultivariateT, E>,
+    ) -> Result<&MultivariateT, E> {
+        self.lookups += 1;
+        if !self.enabled {
+            let built = build()?;
+            self.slots[k] = Some(built);
+            // The slot is only a scratch holder here (so both branches
+            // return a reference); a disabled cache never *hits*.
+            return Ok(self.slots[k].as_ref().expect("slot just filled"));
+        }
+        if self.slots[k].is_some() {
+            self.hits += 1;
+        } else {
+            self.slots[k] = Some(build()?);
+        }
+        Ok(self.slots[k].as_ref().expect("slot filled above"))
+    }
+
+    /// Total lookups since construction (or the last [`Self::reset_stats`]).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups served from cache without rebuilding.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hits over lookups, or 0.0 before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Zeroes the hit/lookup counters (cached entries are kept). Engines
+    /// call this per sweep to report per-sweep rates.
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::normal_wishart::{GaussianStats, NormalWishart};
+    use crate::vector::Vector;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn predictive(prior: &NormalWishart, stats: &GaussianStats) -> MultivariateT {
+        prior
+            .posterior(stats)
+            .unwrap()
+            .posterior_predictive()
+            .unwrap()
+    }
+
+    fn rand_vec(rng: &mut ChaCha8Rng, dim: usize, span: f64) -> Vector {
+        Vector::new((0..dim).map(|_| rng.gen_range(-span..span)).collect())
+    }
+
+    #[test]
+    fn hit_returns_identical_distribution() {
+        let prior = NormalWishart::vague(3);
+        let mut stats = GaussianStats::new(3);
+        stats.add(&Vector::new(vec![0.1, 0.2, 0.3])).unwrap();
+        stats.add(&Vector::new(vec![-0.4, 0.0, 0.9])).unwrap();
+
+        let mut cache = PredictiveCache::new(1);
+        let fresh = predictive(&prior, &stats);
+        let cached = cache
+            .get_or_try_build(0, || Ok::<_, crate::LinalgError>(predictive(&prior, &stats)))
+            .unwrap()
+            .clone();
+        let hit = cache
+            .get_or_try_build(0, || {
+                Err::<MultivariateT, &'static str>("must not rebuild on a hit")
+            })
+            .unwrap();
+        let x = Vector::new(vec![0.5, -0.5, 0.25]);
+        assert_eq!(fresh.log_pdf(&x).unwrap(), cached.log_pdf(&x).unwrap());
+        assert_eq!(cached.log_pdf(&x).unwrap(), hit.log_pdf(&x).unwrap());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.lookups(), 2);
+    }
+
+    #[test]
+    fn cached_predictive_matches_fresh_after_randomized_updates() {
+        // The satellite-mandated consistency check: interleave random
+        // stat mutations (with invalidation) and lookups, and require
+        // the cached predictive to agree with a freshly factored one to
+        // 1e-12 at random evaluation points.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let dim = 3;
+        let k = 4;
+        let prior = NormalWishart::vague(dim);
+        let mut stats: Vec<GaussianStats> = (0..k).map(|_| GaussianStats::new(dim)).collect();
+        let mut held: Vec<Vec<Vector>> = vec![Vec::new(); k];
+        let mut cache = PredictiveCache::new(k);
+
+        for step in 0..400 {
+            let kk = rng.gen_range(0..k);
+            let remove = !held[kk].is_empty() && rng.gen_bool(0.4);
+            if remove {
+                let idx = rng.gen_range(0..held[kk].len());
+                let x = held[kk].swap_remove(idx);
+                stats[kk].remove(&x).unwrap();
+            } else {
+                let x = rand_vec(&mut rng, dim, 2.0);
+                stats[kk].add(&x).unwrap();
+                held[kk].push(x);
+            }
+            cache.invalidate(kk);
+
+            // Probe every topic, not just the mutated one, so stale
+            // slots would be caught.
+            for topic in 0..k {
+                let fresh = predictive(&prior, &stats[topic]);
+                let cached = cache
+                    .get_or_try_build(topic, || {
+                        Ok::<_, crate::LinalgError>(predictive(&prior, &stats[topic]))
+                    })
+                    .unwrap()
+                    .clone();
+                let probe = rand_vec(&mut rng, dim, 3.0);
+                let a = fresh.log_pdf(&probe).unwrap();
+                let b = cached.log_pdf(&probe).unwrap();
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "step {step} topic {topic}: fresh {a} vs cached {b}"
+                );
+            }
+        }
+        assert!(cache.hits() > 0, "interleaving must produce hits");
+        assert!(cache.hit_rate() > 0.5, "most probes should hit");
+    }
+
+    #[test]
+    fn disabled_cache_always_rebuilds() {
+        let prior = NormalWishart::vague(2);
+        let stats = GaussianStats::new(2);
+        let mut cache = PredictiveCache::disabled(2);
+        let mut builds = 0;
+        for _ in 0..3 {
+            cache
+                .get_or_try_build(1, || {
+                    builds += 1;
+                    Ok::<_, crate::LinalgError>(predictive(&prior, &stats))
+                })
+                .unwrap();
+        }
+        assert_eq!(builds, 3);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.lookups(), 3);
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn invalidate_all_forces_rebuild_everywhere() {
+        let prior = NormalWishart::vague(2);
+        let stats = GaussianStats::new(2);
+        let mut cache = PredictiveCache::new(3);
+        for topic in 0..3 {
+            cache
+                .get_or_try_build(topic, || {
+                    Ok::<_, crate::LinalgError>(predictive(&prior, &stats))
+                })
+                .unwrap();
+        }
+        cache.invalidate_all();
+        let mut builds = 0;
+        for topic in 0..3 {
+            cache
+                .get_or_try_build(topic, || {
+                    builds += 1;
+                    Ok::<_, crate::LinalgError>(predictive(&prior, &stats))
+                })
+                .unwrap();
+        }
+        assert_eq!(builds, 3);
+    }
+
+    #[test]
+    fn build_errors_propagate_and_leave_slot_dirty() {
+        let prior = NormalWishart::vague(2);
+        let stats = GaussianStats::new(2);
+        let mut cache = PredictiveCache::new(1);
+        let err = cache.get_or_try_build(0, || Err::<MultivariateT, _>("boom"));
+        assert_eq!(err.err(), Some("boom"));
+        // The failed build must not have poisoned the slot: the next
+        // (successful) build is stored and subsequently hits.
+        cache
+            .get_or_try_build(0, || Ok::<_, &'static str>(predictive(&prior, &stats)))
+            .unwrap();
+        cache
+            .get_or_try_build(0, || Err::<MultivariateT, &'static str>("must hit"))
+            .unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_but_keeps_entries() {
+        let prior = NormalWishart::vague(2);
+        let stats = GaussianStats::new(2);
+        let mut cache = PredictiveCache::new(1);
+        cache
+            .get_or_try_build(0, || Ok::<_, crate::LinalgError>(predictive(&prior, &stats)))
+            .unwrap();
+        cache.reset_stats();
+        assert_eq!((cache.lookups(), cache.hits()), (0, 0));
+        cache
+            .get_or_try_build(0, || Err::<MultivariateT, &'static str>("must hit"))
+            .unwrap();
+        assert_eq!((cache.lookups(), cache.hits()), (1, 1));
+        assert!((cache.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+}

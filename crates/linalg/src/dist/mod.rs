@@ -13,11 +13,15 @@
 //! * the Wishart distribution via the Bartlett decomposition ([`wishart`]);
 //! * the Normal-Wishart conjugate prior with closed-form posterior updates
 //!   and its Student-t posterior predictive ([`normal_wishart`],
-//!   [`student_t`]) — Eq. (4) of the paper and the fully-collapsed variant.
+//!   [`student_t`]) — Eq. (4) of the paper and the fully-collapsed variant;
+//! * a per-topic memo of those predictives ([`cache`]) so collapsed Gibbs
+//!   sweeps refactor a topic's scale matrix only when its sufficient
+//!   statistics actually changed.
 //!
 //! All samplers take `&mut impl Rng` so experiments can inject a seeded
 //! `ChaCha8Rng` and be bit-for-bit reproducible.
 
+pub mod cache;
 pub mod discrete;
 pub mod gaussian;
 pub mod normal_wishart;
@@ -25,6 +29,7 @@ pub mod scalar;
 pub mod student_t;
 pub mod wishart;
 
+pub use cache::PredictiveCache;
 pub use discrete::{sample_categorical, sample_categorical_log, sample_dirichlet, Dirichlet};
 pub use gaussian::{GaussianCov, GaussianPrecision};
 pub use normal_wishart::{GaussianStats, NormalWishart};

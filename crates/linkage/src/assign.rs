@@ -145,7 +145,11 @@ mod tests {
             .collect();
         JointTopicModel::new(JointConfig::quick(2, 2))
             .unwrap()
-            .fit(&mut ChaCha8Rng::seed_from_u64(20), &docs)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(20),
+                &docs,
+                rheotex_core::FitOptions::new(),
+            )
             .unwrap()
     }
 

@@ -281,7 +281,11 @@ mod tests {
         // situation).
         let model = JointTopicModel::new(JointConfig::quick(1, dict.len()))
             .unwrap()
-            .fit(&mut ChaCha8Rng::seed_from_u64(24), &docs)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(24),
+                &docs,
+                rheotex_core::FitOptions::new(),
+            )
             .unwrap();
         Fixture {
             model,

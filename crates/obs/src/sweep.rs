@@ -41,9 +41,27 @@ pub struct SweepStats {
     /// matrices this sweep (0 on a numerically healthy sweep; always 0
     /// for `lda`, which has no Gaussian components).
     pub jitter_retries: usize,
+    /// Posterior-predictive cache lookups performed this sweep. Only the
+    /// collapsed Gaussian engines consult the cache; engines without one
+    /// (`joint`, `lda`) report 0.
+    pub cache_lookups: usize,
+    /// Cache lookups served without refactoring a scale matrix. Always
+    /// `<= cache_lookups`; 0 when the cache is disabled or absent.
+    pub cache_hits: usize,
 }
 
 impl SweepStats {
+    /// Fraction of this sweep's predictive lookups served from the
+    /// cache; 0.0 when the engine performed no lookups at all.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
     /// Shannon entropy (nats) of an occupancy histogram, plus its
     /// min/max — the shape summary emitted with every sweep.
     #[must_use]
@@ -107,6 +125,8 @@ impl SweepObserver for Obs {
                 Field::new("max_occupancy", stats.max_occupancy),
                 Field::new("nw_draws", stats.nw_draws),
                 Field::new("jitter_retries", stats.jitter_retries),
+                Field::new("cache_lookups", stats.cache_lookups),
+                Field::new("cache_hits", stats.cache_hits),
             ],
         );
         self.observe(
@@ -147,6 +167,8 @@ mod tests {
             max_occupancy: 9,
             nw_draws: 20,
             jitter_retries: 0,
+            cache_lookups: 8,
+            cache_hits: 6,
         }
     }
 
@@ -160,6 +182,15 @@ mod tests {
         assert_eq!((min, max), (0, 20));
         let (entropy, ..) = SweepStats::occupancy_summary(&[]);
         assert_eq!(entropy, 0.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_lookups() {
+        let mut s = stats(0);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        s.cache_lookups = 0;
+        s.cache_hits = 0;
+        assert_eq!(s.cache_hit_rate(), 0.0);
     }
 
     #[test]
@@ -184,6 +215,8 @@ mod tests {
         assert_eq!(sweeps[3].field_f64("ll"), Some(-47.0));
         assert_eq!(sweeps[3].field_f64("nw_draws"), Some(20.0));
         assert_eq!(sweeps[3].field_f64("jitter_retries"), Some(0.0));
+        assert_eq!(sweeps[3].field_f64("cache_lookups"), Some(8.0));
+        assert_eq!(sweeps[3].field_f64("cache_hits"), Some(6.0));
         // The elapsed time also lands in a histogram.
         assert_eq!(obs.summary().histograms["joint.sweep_us"].count(), 4);
     }

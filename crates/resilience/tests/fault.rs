@@ -10,6 +10,9 @@
 //!   the resumed fit survives through the ridge-jitter retry path and
 //!   reports how often it had to.
 #![cfg(feature = "fault-inject")]
+// These tests deliberately drive the deprecated `fit` / `fit_checkpointed`
+// / `resume_observed` wrappers: they pin the wrappers' bit-compatibility.
+#![allow(deprecated)]
 
 mod common;
 

@@ -1,6 +1,12 @@
 //! End-to-end crash/recovery through the real file store: a fit killed
 //! mid-run and resumed from disk must land on exactly the state the
 //! uninterrupted run reaches — bit for bit, not approximately.
+//!
+//! Most tests drive the deprecated `fit` / `fit_checkpointed` /
+//! `resume_observed` wrappers on purpose: they pin the wrappers'
+//! bit-compatibility with the historical behaviour. The parallel-kernel
+//! test uses the `fit_with` API they delegate to.
+#![allow(deprecated)]
 
 mod common;
 
@@ -9,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::SamplerSnapshot;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{JointConfig, JointTopicModel, ModelError, NullObserver};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelError, NullObserver};
 use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer};
 
 use common::{scratch_dir, two_cluster_docs, KillingSink};
@@ -75,6 +81,64 @@ fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
     assert_eq!(again.y, full.y);
     assert_eq!(again.ll_trace, full.ll_trace);
     assert_eq!(sink.written(), 0);
+}
+
+/// The parallel kernel under the same crash/recovery discipline: a fit
+/// at `threads = 2` killed mid-run and resumed from disk must equal the
+/// uninterrupted parallel fit — and since the chunked kernel's output is
+/// thread-count invariant, resuming at a *different* thread count must
+/// land on the same bits too.
+#[test]
+fn parallel_fit_killed_and_resumed_from_disk_is_bit_identical() {
+    let docs = two_cluster_docs(20);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+
+    let full = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            FitOptions::new().threads(2),
+        )
+        .unwrap();
+
+    let store = CheckpointStore::new(scratch_dir("joint-par-kill"));
+    let mut killer = KillingSink::new(store, 5, 1);
+    let err = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            FitOptions::new().threads(2).checkpoint(&mut killer),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
+
+    let snapshot = killer.store.load().unwrap();
+    assert_eq!(snapshot.next_sweep(), 5);
+
+    // The resume path takes its RNG state from the snapshot; the passed
+    // generator's seed is irrelevant.
+    for threads in [2usize, 8] {
+        let mut onward = PeriodicCheckpointer::new(
+            CheckpointStore::new(scratch_dir(&format!("joint-par-onward-{threads}"))),
+            5,
+        );
+        let resumed = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new()
+                    .threads(threads)
+                    .checkpoint(&mut onward)
+                    .resume(snapshot.clone()),
+            )
+            .unwrap();
+        assert_eq!(resumed.y, full.y, "threads={threads}");
+        assert_eq!(resumed.ll_trace, full.ll_trace, "threads={threads}");
+        assert_eq!(resumed.phi, full.phi, "threads={threads}");
+        assert_eq!(resumed.theta, full.theta, "threads={threads}");
+        // The resumed run kept checkpointing to its own store.
+        assert_eq!(onward.written(), 11);
+    }
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example dish_similarity
 //! ```
 
-use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::pipeline::{PipelineConfig, PipelineRun};
 use rheotex::rheology::dishes::bavarois;
 use rheotex::textures::{TermId, TextureProfile};
 use rheotex_linkage::assign::assign_setting;
@@ -35,7 +35,7 @@ fn main() {
         }
     }
     config.seed = 5;
-    let out = run_pipeline(&config).expect("pipeline");
+    let out = PipelineRun::new(&config).run().expect("pipeline");
 
     let topic = assign_setting(&out.model, 0, dish.gels)
         .expect("assign")

@@ -7,14 +7,14 @@
 //! ```
 
 use rheotex::core::FittedJointModel;
-use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::pipeline::{PipelineConfig, PipelineRun};
 use rheotex_linkage::assign::assign_setting;
 
 fn main() {
     let mut config = PipelineConfig::small(500);
     config.seed = 11;
     println!("fitting…");
-    let out = run_pipeline(&config).expect("pipeline");
+    let out = PipelineRun::new(&config).run().expect("pipeline");
 
     // Persist the fitted model and the dictionary it indexes into.
     let dir = std::env::temp_dir().join("rheotex_model_io");

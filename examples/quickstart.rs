@@ -6,7 +6,7 @@
 //! ```
 
 use rheotex::core::TopicSummary;
-use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::pipeline::{PipelineConfig, PipelineRun};
 use rheotex::textures::TermId;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     config.seed = 1;
 
     println!("generating corpus, filtering terms, fitting the joint topic model…");
-    let out = run_pipeline(&config).expect("pipeline");
+    let out = PipelineRun::new(&config).run().expect("pipeline");
 
     println!(
         "\ncorpus: {} recipes generated, {} kept after filtering, {} texture terms",

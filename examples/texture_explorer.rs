@@ -14,7 +14,7 @@
 //! ```
 //! (arguments: gelatin%, kanten%, agar% — defaults to 2.5 0 0)
 
-use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::pipeline::{PipelineConfig, PipelineRun};
 use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::TermId;
 use rheotex_linkage::assign::assign_setting;
@@ -54,7 +54,7 @@ fn main() {
         }
     }
     config.seed = 3;
-    let out = run_pipeline(&config).expect("pipeline");
+    let out = PipelineRun::new(&config).run().expect("pipeline");
     let assignment = assign_setting(&out.model, 0, gels).expect("assignment");
     println!(
         "most similar topic: {} (KL divergence {:.2}); runner-up topics: {:?}",

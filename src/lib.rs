@@ -23,13 +23,13 @@
 //! ## Quickstart
 //!
 //! ```
-//! use rheotex::pipeline::{run_pipeline, PipelineConfig};
+//! use rheotex::pipeline::{PipelineConfig, PipelineRun};
 //!
 //! // A miniature corpus so the doctest stays fast; see
 //! // `PipelineConfig::paper_scale()` for the paper's dimensions.
 //! let mut config = PipelineConfig::small(250);
 //! config.seed = 7;
-//! let out = run_pipeline(&config).expect("pipeline runs");
+//! let out = PipelineRun::new(&config).run().expect("pipeline runs");
 //! assert!(out.model.n_topics() > 0);
 //! assert_eq!(out.dataset.len(), out.model.n_docs());
 //! ```
@@ -51,18 +51,18 @@
 //! ## Observability
 //!
 //! Every pipeline stage and every Gibbs sweep can be traced through an
-//! [`obs::Obs`] handle — see [`pipeline::run_pipeline_observed`] and
+//! [`obs::Obs`] handle — see [`pipeline::PipelineRun::observed`] and
 //! README.md § Observability for the stable event schema:
 //!
 //! ```
 //! use rheotex::obs::{EventKind, MemorySink, Obs};
-//! use rheotex::pipeline::{run_pipeline_observed, PipelineConfig};
+//! use rheotex::pipeline::{PipelineConfig, PipelineRun};
 //!
 //! let sink = MemorySink::default();
 //! let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
 //! let mut config = PipelineConfig::small(250);
 //! config.seed = 7;
-//! run_pipeline_observed(&config, &obs).expect("pipeline runs");
+//! PipelineRun::new(&config).observed(&obs).run().expect("pipeline runs");
 //! // One span per stage, one sweep event per Gibbs sweep.
 //! assert_eq!(sink.events_of(EventKind::SpanEnd).len(), 4);
 //! assert_eq!(sink.events_of(EventKind::Sweep).len(), config.sweeps);
@@ -72,7 +72,7 @@
 //!
 //! Long Gibbs fits can checkpoint their full sampler state to disk and
 //! resume **bit-identically** after a crash — see
-//! [`pipeline::fit_recipes_checkpointed`], [`pipeline::CheckpointOptions`],
+//! [`pipeline::PipelineRun::checkpointed`], [`pipeline::CheckpointOptions`],
 //! and README.md § Resilience for the checkpoint format and the
 //! numerical ridge-jitter recovery policy:
 //!

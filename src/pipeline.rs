@@ -14,21 +14,35 @@
 //!    concentration vectors.
 //!
 //! Each stage is public so examples and experiments can run them
-//! separately; [`run_pipeline`] chains them. The `_observed` variants
-//! ([`run_pipeline_observed`], [`fit_recipes_observed`]) additionally emit
-//! one `stage.*` span per stage and one sweep event per Gibbs sweep
-//! through a [`rheotex_obs::Obs`] handle (see README.md § Observability
-//! for the span names and fields — they are a stable interface).
+//! separately; [`PipelineRun`] chains them. One builder replaces the
+//! historical per-concern entry points:
 //!
-//! Long fits can additionally checkpoint to disk and resume after a
-//! crash via [`fit_recipes_checkpointed`] and [`CheckpointOptions`]
+//! ```no_run
+//! # use rheotex::pipeline::{CheckpointOptions, PipelineConfig, PipelineRun};
+//! # use rheotex_obs::Obs;
+//! let config = PipelineConfig::small(150);
+//! let out = PipelineRun::new(&config)
+//!     .observed(&Obs::disabled())                       // stage spans + sweep events
+//!     .checkpointed(CheckpointOptions::new("ckpt", 50)) // durable fit snapshots
+//!     .run()?;
+//! # Ok::<(), rheotex::pipeline::PipelineError>(())
+//! ```
+//!
+//! With an [`rheotex_obs::Obs`] handle attached the run emits one
+//! `stage.*` span per stage and one sweep event per Gibbs sweep (see
+//! README.md § Observability for the span names and fields — they are a
+//! stable interface). With [`CheckpointOptions`] the fit stage
+//! additionally writes durable snapshots and can resume after a crash
 //! (see README.md § Resilience); a resumed fit is bit-identical to an
-//! uninterrupted one.
+//! uninterrupted one. [`PipelineConfig::threads`] selects the
+//! deterministic parallel sweep kernel for the fit stage. The old free
+//! functions (`run_pipeline`, `fit_recipes`, and their `_observed` /
+//! `_checkpointed` variants) survive as thin deprecated wrappers.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex_core::checkpoint::SamplerSnapshot;
-use rheotex_core::{FittedJointModel, JointConfig, JointTopicModel, ModelError};
+use rheotex_core::checkpoint::{JointSnapshot, SamplerSnapshot};
+use rheotex_core::{FitOptions, FittedJointModel, JointConfig, JointTopicModel, ModelError};
 use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
 use rheotex_embed::{FilterConfig, FilterOutcome, GelRelatednessFilter, SgnsConfig, Word2Vec};
@@ -132,6 +146,12 @@ pub struct PipelineConfig {
     pub burn_in: usize,
     /// Master seed; all stages derive their RNG streams from it.
     pub seed: u64,
+    /// Worker threads for the Gibbs sweeps of the fit stage. `0` (the
+    /// default) runs the historical serial kernel; any value `>= 1` runs
+    /// the deterministic chunked parallel kernel, whose output is
+    /// identical for every thread count (see `rheotex-core`'s crate docs
+    /// for the contract).
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -161,6 +181,7 @@ impl PipelineConfig {
             sweeps: 400,
             burn_in: 200,
             seed: 2022,
+            threads: 0,
         }
     }
 
@@ -184,6 +205,7 @@ impl PipelineConfig {
             sweeps: 80,
             burn_in: 40,
             seed: 2022,
+            threads: 0,
         }
     }
 }
@@ -205,8 +227,8 @@ pub struct PipelineOutput {
 }
 
 /// Output of the corpus-agnostic stages (2–4): everything except the raw
-/// corpus. Produced by [`fit_recipes`], which serves both the synthetic
-/// path and recipes loaded from disk (`rheotex-cli fit`).
+/// corpus. Produced by [`PipelineRun::fit_recipes`], which serves both the
+/// synthetic path and recipes loaded from disk (`rheotex-cli fit`).
 #[derive(Debug, Clone)]
 pub struct FitOutput {
     /// The filtered, re-mapped dataset the model consumed.
@@ -271,78 +293,217 @@ pub fn word2vec_filter_stage(
     (comprehensive.restrict(&kept_ids), outcomes)
 }
 
-/// Runs stages 2–4 on arbitrary recipes (synthetic or loaded from disk):
-/// dataset construction, the word2vec relatedness filter, and the joint
-/// topic model fit. `labels` may be empty.
+/// The single pipeline entry point: a builder collecting the
+/// cross-cutting concerns (observability, checkpointing) that the
+/// historical free functions hard-wired into separate signatures, with
+/// [`Self::run`] for the full pipeline (stage 1 onward) and
+/// [`Self::fit_recipes`] for stages 2–4 on recipes from any source.
+///
+/// Thread count for the fit stage comes from
+/// [`PipelineConfig::threads`]; everything else about the fit contract
+/// (determinism, resume bit-identity) is documented on
+/// [`JointTopicModel::fit_with`].
+pub struct PipelineRun<'a> {
+    config: &'a PipelineConfig,
+    obs: Obs,
+    checkpoint: Option<CheckpointOptions>,
+}
+
+impl<'a> PipelineRun<'a> {
+    /// A run of `config` with no observability and no checkpointing.
+    #[must_use]
+    pub fn new(config: &'a PipelineConfig) -> Self {
+        Self {
+            config,
+            obs: Obs::disabled(),
+            checkpoint: None,
+        }
+    }
+
+    /// Emits stage spans and per-sweep events through `obs`. With a
+    /// disabled handle this is a no-op, and observation never changes
+    /// the fitted model.
+    ///
+    /// Spans (stable names): `stage.corpus` (recipes, labels),
+    /// `stage.dataset` (recipes_in, docs_kept, tokens),
+    /// `stage.word2vec_filter` (candidates, kept, excluded, docs_kept,
+    /// tokens), `stage.fit` (docs, vocab, topics, sweeps, threads, plus
+    /// checkpoint_every / resumed_from_sweep when checkpointing).
+    #[must_use]
+    pub fn observed(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Checkpoints the fit stage durably: every `opts.every` sweeps the
+    /// full sampler state is atomically written to `opts.dir`, and with
+    /// `opts.resume` a previously written checkpoint is continued
+    /// **bit-identically** — the resumed fit equals the fit the
+    /// uninterrupted run would have produced (resume with the same
+    /// `threads` kernel class: serial vs. parallel).
+    ///
+    /// Stages 2–3 (dataset, word2vec filter) are deterministic given the
+    /// config and cheap relative to the Gibbs fit, so they are simply
+    /// re-run on resume; only the sampler state is persisted.
+    #[must_use]
+    pub fn checkpointed(mut self, opts: CheckpointOptions) -> Self {
+        self.checkpoint = Some(opts);
+        self
+    }
+
+    /// Runs the full pipeline: synthetic corpus generation (stage 1)
+    /// followed by [`Self::fit_recipes`].
+    ///
+    /// # Errors
+    /// [`PipelineError`] naming the failing stage.
+    pub fn run(&self) -> Result<PipelineOutput, PipelineError> {
+        let config = self.config;
+        let db = IngredientDb::builtin();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut span = self.obs.span("stage.corpus");
+        let corpus = generate(&mut rng, &config.synth, &db)?;
+        span.set("recipes", corpus.recipes.len() as u64);
+        span.set("labels", corpus.labels.len() as u64);
+        span.finish();
+        let fit = self.fit_recipes(&corpus.recipes, &corpus.labels)?;
+        Ok(PipelineOutput {
+            corpus,
+            dataset: fit.dataset,
+            dict: fit.dict,
+            filter_outcomes: fit.filter_outcomes,
+            model: fit.model,
+        })
+    }
+
+    /// Runs stages 2–4 on arbitrary recipes (synthetic or loaded from
+    /// disk): dataset construction, the word2vec relatedness filter, and
+    /// the joint topic model fit. `labels` may be empty.
+    ///
+    /// # Errors
+    /// [`PipelineError`] naming the failing stage;
+    /// [`PipelineError::Checkpoint`] if an existing checkpoint cannot be
+    /// read on resume, or a periodic write fails;
+    /// [`PipelineError::Model`] ([`ModelError::ResumeMismatch`]) if the
+    /// checkpoint belongs to a different engine, config, or corpus.
+    pub fn fit_recipes(
+        &self,
+        recipes: &[rheotex_corpus::Recipe],
+        labels: &[usize],
+    ) -> Result<FitOutput, PipelineError> {
+        let config = self.config;
+        let obs = &self.obs;
+        let (dataset, dict, filter_outcomes) = prepare_dataset(config, recipes, labels, obs)?;
+
+        // Stage 4: joint topic model.
+        let docs = dataset_to_docs(&dataset);
+        let model = JointTopicModel::new(model_config(config, dict.len()))?;
+
+        let mut resume_from: Option<JointSnapshot> = None;
+        let mut sink: Option<PeriodicCheckpointer> = None;
+        if let Some(opts) = &self.checkpoint {
+            let store = CheckpointStore::new(&opts.dir);
+            if opts.resume && store.exists() {
+                match store.load()? {
+                    SamplerSnapshot::Joint(snapshot) => resume_from = Some(snapshot),
+                    other => {
+                        return Err(PipelineError::Model(ModelError::ResumeMismatch {
+                            what: format!(
+                                "checkpoint in {} is from the {} engine, not the joint model",
+                                opts.dir.display(),
+                                other.engine()
+                            ),
+                        }));
+                    }
+                }
+            }
+            sink = Some(PeriodicCheckpointer::new(store, opts.every).with_obs(obs.clone()));
+        }
+
+        let mut span = obs.span("stage.fit");
+        span.set("docs", docs.len() as u64);
+        span.set("vocab", dict.len() as u64);
+        span.set("topics", config.n_topics as u64);
+        span.set("sweeps", config.sweeps as u64);
+        span.set("threads", config.threads as u64);
+        if let Some(opts) = &self.checkpoint {
+            span.set("checkpoint_every", opts.every as u64);
+            span.set(
+                "resumed_from_sweep",
+                resume_from.as_ref().map_or(0, |s| s.next_sweep) as u64,
+            );
+        }
+
+        let mut observer = obs.clone();
+        let mut options = FitOptions::new()
+            .observer(&mut observer)
+            .threads(config.threads);
+        if let Some(s) = sink.as_mut() {
+            options = options.checkpoint(s);
+        }
+        if let Some(snapshot) = resume_from {
+            options = options.resume(SamplerSnapshot::Joint(snapshot));
+        }
+        let mut rng = fit_rng(config);
+        let fitted = model.fit_with(&mut rng, &docs, options)?;
+        span.finish();
+
+        Ok(FitOutput {
+            dataset,
+            dict,
+            filter_outcomes,
+            model: fitted,
+        })
+    }
+}
+
+/// Runs stages 2–4 on arbitrary recipes with all-default options.
 ///
 /// # Errors
 /// [`PipelineError`] naming the failing stage.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRun::new(config).fit_recipes(recipes, labels)`"
+)]
 pub fn fit_recipes(
     config: &PipelineConfig,
     recipes: &[rheotex_corpus::Recipe],
     labels: &[usize],
 ) -> Result<FitOutput, PipelineError> {
-    fit_recipes_observed(config, recipes, labels, &Obs::disabled())
+    PipelineRun::new(config).fit_recipes(recipes, labels)
 }
 
 fn dataset_tokens(dataset: &Dataset) -> u64 {
     dataset.features.iter().map(|f| f.terms.len() as u64).sum()
 }
 
-/// [`fit_recipes`] with stage spans and per-sweep events emitted through
-/// `obs`. With a disabled handle this is exactly [`fit_recipes`].
-///
-/// Spans (stable names): `stage.dataset` (recipes_in, docs_kept, tokens),
-/// `stage.word2vec_filter` (candidates, kept, excluded, docs_kept,
-/// tokens), `stage.fit` (docs, vocab, topics, sweeps).
+/// [`PipelineRun::fit_recipes`] restricted to observation.
 ///
 /// # Errors
 /// [`PipelineError`] naming the failing stage.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRun::new(config).observed(obs).fit_recipes(recipes, labels)`"
+)]
 pub fn fit_recipes_observed(
     config: &PipelineConfig,
     recipes: &[rheotex_corpus::Recipe],
     labels: &[usize],
     obs: &Obs,
 ) -> Result<FitOutput, PipelineError> {
-    let (dataset, dict, filter_outcomes) = prepare_dataset(config, recipes, labels, obs)?;
-
-    // Stage 4: joint topic model.
-    let docs = dataset_to_docs(&dataset);
-    let model = JointTopicModel::new(model_config(config, dict.len()))?;
-    let mut span = obs.span("stage.fit");
-    span.set("docs", docs.len() as u64);
-    span.set("vocab", dict.len() as u64);
-    span.set("topics", config.n_topics as u64);
-    span.set("sweeps", config.sweeps as u64);
-    let mut fit_rng = fit_rng(config);
-    let mut observer = obs.clone();
-    let fitted = model.fit_observed(&mut fit_rng, &docs, &mut observer)?;
-    span.finish();
-
-    Ok(FitOutput {
-        dataset,
-        dict,
-        filter_outcomes,
-        model: fitted,
-    })
+    PipelineRun::new(config)
+        .observed(obs)
+        .fit_recipes(recipes, labels)
 }
 
-/// [`fit_recipes_observed`] with durable checkpointing of the fit stage:
-/// every `opts.every` sweeps the full sampler state is atomically written
-/// to `opts.dir`, and with `opts.resume` a previously written checkpoint
-/// is continued **bit-identically** — the resumed fit equals the fit the
-/// uninterrupted run would have produced.
-///
-/// Stages 2–3 (dataset, word2vec filter) are deterministic given the
-/// config and cheap relative to the Gibbs fit, so they are simply re-run
-/// on resume; only the sampler state is persisted.
+/// [`PipelineRun::fit_recipes`] restricted to observation plus durable
+/// checkpointing.
 ///
 /// # Errors
-/// [`PipelineError`] naming the failing stage;
-/// [`PipelineError::Checkpoint`] if an existing checkpoint cannot be
-/// read on resume, or a periodic write fails;
-/// [`PipelineError::Model`] ([`ModelError::ResumeMismatch`]) if the
-/// checkpoint belongs to a different engine, config, or corpus.
+/// As [`PipelineRun::fit_recipes`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRun::new(config).observed(obs).checkpointed(opts).fit_recipes(...)`"
+)]
 pub fn fit_recipes_checkpointed(
     config: &PipelineConfig,
     recipes: &[rheotex_corpus::Recipe],
@@ -350,56 +511,10 @@ pub fn fit_recipes_checkpointed(
     obs: &Obs,
     opts: &CheckpointOptions,
 ) -> Result<FitOutput, PipelineError> {
-    let (dataset, dict, filter_outcomes) = prepare_dataset(config, recipes, labels, obs)?;
-
-    let docs = dataset_to_docs(&dataset);
-    let model = JointTopicModel::new(model_config(config, dict.len()))?;
-
-    let store = CheckpointStore::new(&opts.dir);
-    let resume_from = if opts.resume && store.exists() {
-        match store.load()? {
-            SamplerSnapshot::Joint(snapshot) => Some(snapshot),
-            other => {
-                return Err(PipelineError::Model(ModelError::ResumeMismatch {
-                    what: format!(
-                        "checkpoint in {} is from the {} engine, not the joint model",
-                        opts.dir.display(),
-                        other.engine()
-                    ),
-                }));
-            }
-        }
-    } else {
-        None
-    };
-
-    let mut span = obs.span("stage.fit");
-    span.set("docs", docs.len() as u64);
-    span.set("vocab", dict.len() as u64);
-    span.set("topics", config.n_topics as u64);
-    span.set("sweeps", config.sweeps as u64);
-    span.set("checkpoint_every", opts.every as u64);
-    span.set(
-        "resumed_from_sweep",
-        resume_from.as_ref().map_or(0, |s| s.next_sweep) as u64,
-    );
-    let mut sink = PeriodicCheckpointer::new(store, opts.every).with_obs(obs.clone());
-    let mut observer = obs.clone();
-    let fitted = match resume_from {
-        Some(snapshot) => model.resume_observed(&docs, snapshot, &mut observer, &mut sink)?,
-        None => {
-            let mut fit_rng = fit_rng(config);
-            model.fit_checkpointed(&mut fit_rng, &docs, &mut observer, &mut sink)?
-        }
-    };
-    span.finish();
-
-    Ok(FitOutput {
-        dataset,
-        dict,
-        filter_outcomes,
-        model: fitted,
-    })
+    PipelineRun::new(config)
+        .observed(obs)
+        .checkpointed(opts.clone())
+        .fit_recipes(recipes, labels)
 }
 
 /// Stages 2–3, shared by the plain and the checkpointed fit paths:
@@ -468,41 +583,28 @@ fn fit_rng(config: &PipelineConfig) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(config.seed ^ 0x10D0)
 }
 
-/// Runs the full pipeline: synthetic corpus generation (stage 1) followed
-/// by [`fit_recipes`].
+/// Runs the full pipeline with all-default options.
 ///
 /// # Errors
 /// [`PipelineError`] naming the failing stage.
+#[deprecated(since = "0.1.0", note = "use `PipelineRun::new(config).run()`")]
 pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
-    run_pipeline_observed(config, &Obs::disabled())
+    PipelineRun::new(config).run()
 }
 
-/// [`run_pipeline`] with stage spans and per-sweep events emitted through
-/// `obs`: a `stage.corpus` span (recipes, labels fields) around generation
-/// plus everything [`fit_recipes_observed`] emits. With a disabled handle
-/// this is exactly [`run_pipeline`].
+/// [`PipelineRun::run`] restricted to observation.
 ///
 /// # Errors
 /// [`PipelineError`] naming the failing stage.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PipelineRun::new(config).observed(obs).run()`"
+)]
 pub fn run_pipeline_observed(
     config: &PipelineConfig,
     obs: &Obs,
 ) -> Result<PipelineOutput, PipelineError> {
-    let db = IngredientDb::builtin();
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut span = obs.span("stage.corpus");
-    let corpus = generate(&mut rng, &config.synth, &db)?;
-    span.set("recipes", corpus.recipes.len() as u64);
-    span.set("labels", corpus.labels.len() as u64);
-    span.finish();
-    let fit = fit_recipes_observed(config, &corpus.recipes, &corpus.labels, obs)?;
-    Ok(PipelineOutput {
-        corpus,
-        dataset: fit.dataset,
-        dict: fit.dict,
-        filter_outcomes: fit.filter_outcomes,
-        model: fit.model,
-    })
+    PipelineRun::new(config).observed(obs).run()
 }
 
 #[cfg(test)]
@@ -511,7 +613,7 @@ mod tests {
 
     #[test]
     fn small_pipeline_runs_end_to_end() {
-        let out = run_pipeline(&PipelineConfig::small(300)).unwrap();
+        let out = PipelineRun::new(&PipelineConfig::small(300)).run().unwrap();
         // Roughly half the corpus survives: the ≥10% topping filter, the
         // no-terms rule, and word2vec term exclusions all bite at this
         // scale (the paper kept ~3k of ~10k for the same reasons).
@@ -525,7 +627,7 @@ mod tests {
 
     #[test]
     fn filter_excludes_at_least_one_confounder() {
-        let out = run_pipeline(&PipelineConfig::small(600)).unwrap();
+        let out = PipelineRun::new(&PipelineConfig::small(600)).run().unwrap();
         let excluded: Vec<&str> = out
             .filter_outcomes
             .iter()
@@ -563,10 +665,32 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_pipeline(&PipelineConfig::small(150)).unwrap();
-        let b = run_pipeline(&PipelineConfig::small(150)).unwrap();
+        let config = PipelineConfig::small(150);
+        let a = PipelineRun::new(&config).run().unwrap();
+        let b = PipelineRun::new(&config).run().unwrap();
         assert_eq!(a.model.y, b.model.y);
         assert_eq!(a.dataset.len(), b.dataset.len());
+    }
+
+    #[test]
+    fn parallel_fit_is_thread_count_invariant() {
+        let mut config = PipelineConfig::small(150);
+        config.threads = 1;
+        let one = PipelineRun::new(&config).run().unwrap();
+        config.threads = 4;
+        let four = PipelineRun::new(&config).run().unwrap();
+        assert_eq!(one.model.y, four.model.y);
+        assert_eq!(one.model.ll_trace, four.model.ll_trace);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let config = PipelineConfig::small(150);
+        let wrapped = run_pipeline(&config).unwrap();
+        let built = PipelineRun::new(&config).run().unwrap();
+        assert_eq!(wrapped.model.y, built.model.y);
+        assert_eq!(wrapped.model.ll_trace, built.model.ll_trace);
     }
 
     #[test]
@@ -576,7 +700,7 @@ mod tests {
         let sink = MemorySink::default();
         let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
         let config = PipelineConfig::small(150);
-        let out = run_pipeline_observed(&config, &obs).unwrap();
+        let out = PipelineRun::new(&config).observed(&obs).run().unwrap();
 
         // Exactly one span per stage, in pipeline order.
         let ends = sink.events_of(EventKind::SpanEnd);
@@ -607,7 +731,7 @@ mod tests {
         assert_eq!(sweeps.len(), config.sweeps);
 
         // Observation must not change the fit.
-        let plain = run_pipeline(&config).unwrap();
+        let plain = PipelineRun::new(&config).run().unwrap();
         assert_eq!(plain.model.y, out.model.y);
     }
 
@@ -620,7 +744,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let corpus = generate(&mut rng, &config.synth, &db).unwrap();
 
-        let plain = fit_recipes(&config, &corpus.recipes, &corpus.labels).unwrap();
+        let plain = PipelineRun::new(&config)
+            .fit_recipes(&corpus.recipes, &corpus.labels)
+            .unwrap();
 
         let dir =
             std::env::temp_dir().join(format!("rheotex-pipeline-ckpt-{}", std::process::id()));
@@ -628,40 +754,28 @@ mod tests {
         let opts = CheckpointOptions::new(&dir, 20);
 
         // Fresh checkpointed run: checkpointing must not perturb the fit.
-        let fresh = fit_recipes_checkpointed(
-            &config,
-            &corpus.recipes,
-            &corpus.labels,
-            &Obs::disabled(),
-            &opts,
-        )
-        .unwrap();
+        let fresh = PipelineRun::new(&config)
+            .checkpointed(opts.clone())
+            .fit_recipes(&corpus.recipes, &corpus.labels)
+            .unwrap();
         assert_eq!(fresh.model.y, plain.model.y);
         assert_eq!(fresh.model.ll_trace, plain.model.ll_trace);
 
         // The final checkpoint covers the whole run; resuming from it
         // re-runs zero sweeps and reproduces the same fit.
-        let resumed = fit_recipes_checkpointed(
-            &config,
-            &corpus.recipes,
-            &corpus.labels,
-            &Obs::disabled(),
-            &opts.clone().resume(),
-        )
-        .unwrap();
+        let resumed = PipelineRun::new(&config)
+            .checkpointed(opts.clone().resume())
+            .fit_recipes(&corpus.recipes, &corpus.labels)
+            .unwrap();
         assert_eq!(resumed.model.y, plain.model.y);
         assert_eq!(resumed.model.ll_trace, plain.model.ll_trace);
 
         // Resume against an empty directory silently starts fresh.
         let _ = std::fs::remove_dir_all(&dir);
-        let fresh_again = fit_recipes_checkpointed(
-            &config,
-            &corpus.recipes,
-            &corpus.labels,
-            &Obs::disabled(),
-            &opts.resume(),
-        )
-        .unwrap();
+        let fresh_again = PipelineRun::new(&config)
+            .checkpointed(opts.resume())
+            .fit_recipes(&corpus.recipes, &corpus.labels)
+            .unwrap();
         assert_eq!(fresh_again.model.y, plain.model.y);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -670,7 +784,7 @@ mod tests {
     fn empty_config_fails_cleanly() {
         let mut c = PipelineConfig::small(5);
         c.dataset_filter.max_unrelated_fraction = -1.0; // excludes all
-        let err = run_pipeline(&c);
+        let err = PipelineRun::new(&c).run();
         assert!(matches!(err, Err(PipelineError::EmptyDataset) | Err(_)));
     }
 }

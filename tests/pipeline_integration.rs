@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::gmm::{GmmConfig, GmmModel};
 use rheotex::core::lda::{LdaConfig, LdaModel};
-use rheotex::core::TopicSummary;
-use rheotex::pipeline::{run_pipeline, PipelineConfig};
+use rheotex::core::{FitOptions, TopicSummary};
+use rheotex::pipeline::{PipelineConfig, PipelineRun};
 use rheotex::rheology::dishes::{bavarois, milk_jelly, pure_gelatin_reference};
 use rheotex::rheology::table1::table1;
 use rheotex_linkage::assign::{assign_setting, assign_settings};
@@ -19,7 +19,7 @@ fn fitted() -> rheotex::pipeline::PipelineOutput {
     config.sweeps = 120;
     config.burn_in = 60;
     config.seed = 99;
-    run_pipeline(&config).expect("pipeline")
+    PipelineRun::new(&config).run().expect("pipeline")
 }
 
 #[test]
@@ -135,7 +135,7 @@ fn joint_model_recovers_better_than_baselines() {
         burn_in: 60,
     })
     .unwrap()
-    .fit(&mut rng, &docs)
+    .fit_with(&mut rng, &docs, FitOptions::new())
     .unwrap();
     let lda: Vec<usize> = (0..docs.len()).map(|d| lda_fit.dominant_topic(d)).collect();
     let lda_nmi = normalized_mutual_information(&lda, truth);
@@ -145,7 +145,7 @@ fn joint_model_recovers_better_than_baselines() {
     gmm_cfg.sweeps = 60;
     let gmm_fit = GmmModel::new(gmm_cfg)
         .unwrap()
-        .fit(&mut rng, &docs)
+        .fit_with(&mut rng, &docs, FitOptions::new())
         .unwrap();
     let gmm_nmi = normalized_mutual_information(&gmm_fit.assignments, truth);
 
