@@ -1,14 +1,16 @@
 //! Gibbs sweep throughput of the joint topic model, as a function of
 //! corpus size and topic count — the cost driver of Table II(a) — plus
 //! the kernel comparison behind `BENCH_gibbs.json`: serial vs.
-//! deterministic parallel sweeps, and cached vs. uncached Gaussian
-//! predictives.
+//! deterministic parallel vs. sparse bucket sweeps (the latter scanned
+//! across K ∈ {8, 32, 128} on a wide-vocabulary LDA corpus), and cached
+//! vs. uncached Gaussian predictives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
-use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_corpus::features::gel_info_vector;
 use rheotex_linalg::Vector;
 use std::hint::black_box;
@@ -78,9 +80,11 @@ fn bench_fit_by_topics(c: &mut Criterion) {
 }
 
 /// The hot-path kernels against one mid-size corpus: the historical
-/// serial joint sweep, the deterministic chunked parallel sweep, and the
-/// GMM sweep with the per-topic Student-t predictive cache on vs. off
-/// (cached and uncached fits are bit-identical; only speed differs).
+/// serial joint sweep, the deterministic chunked parallel sweep, the
+/// sparse bucket sweep, and the GMM sweep with the per-topic Student-t
+/// predictive cache on vs. off (cached and uncached fits are
+/// bit-identical; only speed differs), plus the sparse-vs-serial LDA
+/// scan over topic counts.
 fn bench_sweep_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_sweep_kernels");
     group.sample_size(10);
@@ -103,6 +107,69 @@ fn bench_sweep_kernels(c: &mut Criterion) {
                 .unwrap()
         });
     });
+    group.bench_function("sweep_sparse", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            joint
+                .fit_with(
+                    &mut rng,
+                    black_box(&docs),
+                    FitOptions::new().kernel(GibbsKernel::Sparse),
+                )
+                .unwrap()
+        });
+    });
+
+    // The sparse kernel's own scaling regime: a wide vocabulary and K up
+    // to 128, where the dense O(K)-per-token scan falls behind the
+    // O(s + r + q) bucket draw (LDA isolates the token sweep — no
+    // Gaussian phases diluting the comparison).
+    let wide_docs: Vec<ModelDoc> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        (0..600)
+            .map(|i| {
+                use rand::Rng;
+                let window = (i * 37) % 512;
+                let terms: Vec<usize> =
+                    (0..8).map(|_| (window + rng.gen_range(0..16)) % 512).collect();
+                ModelDoc::new(
+                    i as u64,
+                    terms,
+                    gel_info_vector(&[0.01, 0.0, 0.0]),
+                    Vector::full(6, 9.2),
+                )
+            })
+            .collect()
+    };
+    for k in [8usize, 32, 128] {
+        let lda = LdaModel::new(LdaConfig {
+            n_topics: k,
+            vocab_size: 512,
+            alpha: 0.1,
+            gamma: 0.05,
+            sweeps: 10,
+            burn_in: 5,
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("lda_serial", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                lda.fit_with(&mut rng, black_box(&wide_docs), FitOptions::new())
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lda_sparse", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                lda.fit_with(
+                    &mut rng,
+                    black_box(&wide_docs),
+                    FitOptions::new().kernel(GibbsKernel::Sparse),
+                )
+                .unwrap()
+            });
+        });
+    }
 
     let mut gmm_cfg = GmmConfig::new(8);
     gmm_cfg.sweeps = 10;

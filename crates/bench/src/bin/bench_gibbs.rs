@@ -1,37 +1,55 @@
 //! Gibbs hot-path throughput, machine-readable: writes
-//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/1`) comparing
-//! the serial joint kernel against the deterministic parallel kernel, and
-//! the GMM sweep with the Student-t predictive cache on vs. off.
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/2`) comparing
+//! the serial joint kernel against the deterministic parallel and sparse
+//! kernels, the GMM sweep with the Student-t predictive cache on vs. off,
+//! and a kernel scan of dense-serial vs. sparse LDA sweeps across topic
+//! counts (where the sparse kernel's `O(nnz)` per-token cost should pull
+//! ahead of the dense `O(K)` scan as `K` grows).
 //!
 //! The JSON shape (stable; consumed by CI and the README's performance
 //! section):
 //!
 //! ```json
 //! {
-//!   "schema": "rheotex.bench.gibbs/1",
+//!   "schema": "rheotex.bench.gibbs/2",
 //!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
 //!   "sweeps": 20,
 //!   "engines": {
 //!     "joint_serial":   { "threads": 0, "wall_secs": 0.8,
 //!                         "sweeps_per_sec": 25.0, "tokens_per_sec": 3.0e4,
 //!                         "cache_hit_rate": null },
-//!     "joint_parallel": { ... }, "gmm_cached": { ... }, "gmm_uncached": { ... }
+//!     "joint_parallel": { ... }, "joint_sparse": { ... },
+//!     "gmm_cached": { ... }, "gmm_uncached": { ... }
+//!   },
+//!   "kernel_scan": {
+//!     "docs": 600, "tokens": 4800, "vocab": 512, "sweeps": 8,
+//!     "k8":   { "serial": { ... }, "sparse": { ... } },
+//!     "k32":  { ... }, "k128": { ... }
 //!   },
 //!   "speedup": { "joint_parallel_over_serial": 2.1,
-//!                "gmm_cached_over_uncached": 3.4 }
+//!                "joint_sparse_over_serial": 1.1,
+//!                "gmm_cached_over_uncached": 3.4,
+//!                "sparse_over_serial_k8": 0.9,
+//!                "sparse_over_serial_k32": 1.6,
+//!                "sparse_over_serial_k128": 3.8 }
 //! }
 //! ```
 //!
 //! Runs at quick scale by default; `--paper` / `RHEOTEX_SCALE=paper`
 //! enlarges the corpus and sweep budget. `--threads N` sets the parallel
-//! variant's worker count (default 4). Timings are best-of-3; the
-//! correctness claims behind the comparison (thread-count invariance,
-//! cached == uncached bitwise) are pinned by `crates/core/tests`.
+//! variant's worker count (default 4). `--baseline FILE` compares every
+//! `tokens_per_sec` figure of this run against a previously committed
+//! report and prints a `::warning ::` line (never a failure — timing on
+//! shared CI runners is noisy) for any figure more than 20 % below the
+//! baseline. Timings are best-of-3; the correctness claims behind the
+//! comparison (thread-count invariance, cached == uncached bitwise,
+//! sparse == serial statistically) are pinned by `crates/core/tests`.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::gmm::{GmmConfig, GmmModel};
-use rheotex::core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex::core::lda::{LdaConfig, LdaModel};
+use rheotex::core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc};
 use rheotex::corpus::features::gel_info_vector;
 use rheotex_bench::Scale;
 use rheotex_linalg::Vector;
@@ -42,6 +60,14 @@ use std::time::Instant;
 const VOCAB: usize = 12;
 const TOPICS: usize = 8;
 const REPS: usize = 3;
+
+/// Kernel-scan corpus shape: a vocabulary wide enough that each word
+/// concentrates in few topics (the regime the sparse kernel's `q` bucket
+/// exploits) and short documents so the per-doc `r` bucket stays small.
+const SCAN_VOCAB: usize = 512;
+const SCAN_DOCS: usize = 600;
+const SCAN_TOKENS_PER_DOC: usize = 8;
+const SCAN_KS: [usize; 3] = [8, 32, 128];
 
 fn synth_docs(n: usize) -> Vec<ModelDoc> {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -55,6 +81,28 @@ fn synth_docs(n: usize) -> Vec<ModelDoc> {
                 i as u64,
                 terms,
                 gel_info_vector(&[conc, 0.0, 0.0]),
+                Vector::full(6, 9.2),
+            )
+        })
+        .collect()
+}
+
+/// Kernel-scan corpus: each document samples its tokens from a narrow
+/// 16-word window of the 512-word vocabulary, giving the topical locality
+/// real recipe text has (a texture term co-occurs with few topics).
+fn scan_docs() -> Vec<ModelDoc> {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    (0..SCAN_DOCS)
+        .map(|i| {
+            use rand::Rng;
+            let window = (i * 37) % SCAN_VOCAB;
+            let terms: Vec<usize> = (0..SCAN_TOKENS_PER_DOC)
+                .map(|_| (window + rng.gen_range(0..16)) % SCAN_VOCAB)
+                .collect();
+            ModelDoc::new(
+                i as u64,
+                terms,
+                gel_info_vector(&[0.01, 0.0, 0.0]),
                 Vector::full(6, 9.2),
             )
         })
@@ -103,11 +151,99 @@ fn observed_hit_rate(f: impl FnOnce(&mut Obs)) -> Option<f64> {
     (lookups > 0.0).then(|| hits / lookups)
 }
 
+/// Times the dense-serial and sparse LDA kernels at `k` topics on the
+/// scan corpus; returns `(serial_wall, sparse_wall)`.
+fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> (f64, f64) {
+    let cfg = LdaConfig {
+        n_topics: k,
+        vocab_size: SCAN_VOCAB,
+        alpha: 0.1,
+        gamma: 0.05,
+        sweeps,
+        burn_in: sweeps / 2,
+    };
+    let lda = LdaModel::new(cfg).expect("lda config");
+    let serial = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        lda.fit_with(&mut rng, docs, FitOptions::new()).unwrap();
+    });
+    let sparse = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        lda.fit_with(&mut rng, docs, FitOptions::new().kernel(GibbsKernel::Sparse))
+            .unwrap();
+    });
+    (serial, sparse)
+}
+
+/// Collects every `tokens_per_sec` leaf in a report, keyed by the JSON
+/// path of the object that holds it (`engines.joint_serial`, …).
+fn tokens_per_sec_leaves(prefix: &str, v: &serde_json::Value, out: &mut Vec<(String, f64)>) {
+    if let serde_json::Value::Object(map) = v {
+        if let Some(tps) = map.get("tokens_per_sec").and_then(serde_json::Value::as_f64) {
+            out.push((prefix.to_string(), tps));
+        }
+        for (key, val) in map {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            tokens_per_sec_leaves(&path, val, out);
+        }
+    }
+}
+
+/// Compares this run's throughput figures against a committed baseline
+/// report. Regressions beyond 20 % produce GitHub Actions `::warning ::`
+/// annotations but never a failure — CI runner timing is too noisy to
+/// gate merges on, the warning is the review signal.
+fn compare_with_baseline(report: &serde_json::Value, path: &str) {
+    let baseline: serde_json::Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline {path}: {e}; skipping the regression check");
+            return;
+        }
+    };
+    if baseline["schema"] != report["schema"] {
+        eprintln!(
+            "baseline {path} has schema {}, this run wrote {}; skipping the regression check",
+            baseline["schema"], report["schema"]
+        );
+        return;
+    }
+    let mut base_leaves = Vec::new();
+    tokens_per_sec_leaves("", &baseline, &mut base_leaves);
+    let mut cur_leaves = Vec::new();
+    tokens_per_sec_leaves("", report, &mut cur_leaves);
+    let mut regressions = 0usize;
+    for (leaf, cur) in &cur_leaves {
+        let Some((_, base)) = base_leaves.iter().find(|(b, _)| b == leaf) else {
+            continue;
+        };
+        if *cur < 0.8 * base {
+            regressions += 1;
+            println!(
+                "::warning ::gibbs bench regression: {leaf} at {cur:.0} tokens/sec, \
+                 {:.0}% below the committed baseline ({base:.0})",
+                (1.0 - cur / base) * 100.0
+            );
+        }
+    }
+    eprintln!(
+        "baseline check: {} figures compared, {regressions} regressed > 20%",
+        cur_leaves.len()
+    );
+}
+
 fn main() {
     let scale = Scale::from_env_and_args();
-    let (n_docs, sweeps) = match scale {
-        Scale::Paper => (3000, 100),
-        Scale::Quick => (400, 20),
+    let (n_docs, sweeps, scan_sweeps) = match scale {
+        Scale::Paper => (3000, 100, 25),
+        Scale::Quick => (400, 20, 8),
     };
     let args: Vec<String> = std::env::args().collect();
     let threads = args
@@ -116,6 +252,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(4);
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let docs = synth_docs(n_docs);
     let tokens: usize = docs.iter().map(|d| d.terms.len()).sum();
@@ -145,6 +286,12 @@ fn main() {
             .fit_with(&mut rng, &docs, FitOptions::new().threads(threads))
             .unwrap();
     });
+    let sparse_joint = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        joint
+            .fit_with(&mut rng, &docs, FitOptions::new().kernel(GibbsKernel::Sparse))
+            .unwrap();
+    });
     let cached = time_best(|| {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         gmm.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
@@ -160,20 +307,54 @@ fn main() {
             .unwrap();
     });
 
+    let scan_corpus = scan_docs();
+    let scan_tokens: usize = scan_corpus.iter().map(|d| d.terms.len()).sum();
+    eprintln!(
+        "kernel scan: {SCAN_DOCS} docs ({scan_tokens} tokens), vocab {SCAN_VOCAB}, \
+         {scan_sweeps} sweeps, K in {SCAN_KS:?}…"
+    );
+    let mut kernel_scan = serde_json::json!({
+        "docs": SCAN_DOCS,
+        "tokens": scan_tokens,
+        "vocab": SCAN_VOCAB,
+        "sweeps": scan_sweeps,
+    });
+    let mut scan_speedups = Vec::with_capacity(SCAN_KS.len());
+    for k in SCAN_KS {
+        let (scan_serial, scan_sparse) = scan_at(k, &scan_corpus, scan_sweeps);
+        kernel_scan[format!("k{k}")] = serde_json::json!({
+            "serial": engine_entry(scan_serial, scan_sweeps, scan_tokens, 0, None),
+            "sparse": engine_entry(scan_sparse, scan_sweeps, scan_tokens, 0, None),
+        });
+        scan_speedups.push((k, scan_serial / scan_sparse));
+        eprintln!(
+            "  K={k:<4} serial {scan_serial:.3}s, sparse {scan_sparse:.3}s ({:.2}x)",
+            scan_serial / scan_sparse
+        );
+    }
+
+    let mut speedup = serde_json::json!({
+        "joint_parallel_over_serial": serial / parallel,
+        "joint_sparse_over_serial": serial / sparse_joint,
+        "gmm_cached_over_uncached": uncached / cached,
+    });
+    for (k, s) in &scan_speedups {
+        speedup[format!("sparse_over_serial_k{k}")] = serde_json::json!(s);
+    }
+
     let report = serde_json::json!({
-        "schema": "rheotex.bench.gibbs/1",
+        "schema": "rheotex.bench.gibbs/2",
         "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
         "sweeps": sweeps,
         "engines": {
             "joint_serial": engine_entry(serial, sweeps, tokens, 0, None),
             "joint_parallel": engine_entry(parallel, sweeps, tokens, threads, None),
+            "joint_sparse": engine_entry(sparse_joint, sweeps, tokens, 0, None),
             "gmm_cached": engine_entry(cached, sweeps, tokens, 0, gmm_hit_rate),
             "gmm_uncached": engine_entry(uncached, sweeps, tokens, 0, Some(0.0)),
         },
-        "speedup": {
-            "joint_parallel_over_serial": serial / parallel,
-            "gmm_cached_over_uncached": uncached / cached,
-        },
+        "kernel_scan": kernel_scan,
+        "speedup": speedup,
     });
 
     let dir = std::env::var("RHEOTEX_METRICS_DIR")
@@ -194,11 +375,17 @@ fn main() {
         }
     }
 
+    if let Some(baseline) = baseline {
+        compare_with_baseline(&report, &baseline);
+    }
+
     println!(
-        "joint: serial {:.2}s, parallel({threads}) {:.2}s ({:.2}x)",
+        "joint: serial {:.2}s, parallel({threads}) {:.2}s ({:.2}x), sparse {:.2}s ({:.2}x)",
         serial,
         parallel,
-        serial / parallel
+        serial / parallel,
+        sparse_joint,
+        serial / sparse_joint
     );
     println!(
         "gmm:   uncached {:.2}s, cached {:.2}s ({:.2}x, hit rate {})",
@@ -207,4 +394,7 @@ fn main() {
         uncached / cached,
         gmm_hit_rate.map_or("n/a".to_string(), |r| format!("{r:.3}"))
     );
+    for (k, s) in &scan_speedups {
+        println!("lda scan K={k}: sparse over serial {s:.2}x");
+    }
 }

@@ -47,7 +47,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(41);
     let full = CollapsedJointModel::new(model_config)
         .expect("config")
-        .fit(&mut rng, train)
+        .fit_with(&mut rng, train, FitOptions::new())
         .expect("collapsed fit");
     let full_secs = t0.elapsed().as_secs_f64();
 

@@ -24,7 +24,8 @@ rheotex — sensory texture topics with rheological linkage
 USAGE:
   rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
-                    [--threads N] --out-model model.json --out-dict dict.json
+                    [--threads N] [--kernel serial|parallel|sparse]
+                    --out-model model.json --out-dict dict.json
                     [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                     [--max-bad-ratio R]
@@ -43,6 +44,13 @@ FIT PERFORMANCE:
                        deterministic parallel kernel: results are
                        identical for every thread count, though not
                        bit-identical to the serial kernel
+  --kernel NAME        name the Gibbs kernel explicitly: serial (dense
+                       O(K) per token), parallel (chunked deterministic),
+                       or sparse (single-threaded SparseLDA-style
+                       buckets, O(nnz) per token — wins at large K).
+                       serial/sparse require --threads 0; every kernel is
+                       deterministic but a checkpoint resumes only under
+                       the kernel that wrote it
 
 FIT OBSERVABILITY:
   --metrics-out FILE   write the structured event stream (stage spans,
@@ -163,10 +171,19 @@ pub fn fit(args: &Args) -> i32 {
     config.burn_in = config.sweeps / 2;
     config.seed = args.get_parsed_or("seed", config.seed);
     config.threads = args.get_parsed_or("threads", config.threads);
+    if let Some(kernel) = args.get("kernel") {
+        match kernel.parse() {
+            Ok(k) => config.kernel = Some(k),
+            Err(e) => return fail(e),
+        }
+    }
 
     if !quiet {
+        let kernel = config
+            .kernel
+            .map_or_else(String::new, |k| format!(", {k} kernel"));
         eprintln!(
-            "fitting K={} over {} recipes ({} sweeps, {} threads)…",
+            "fitting K={} over {} recipes ({} sweeps, {} threads{kernel})…",
             config.n_topics,
             recipes.len(),
             config.sweeps,

@@ -16,6 +16,7 @@
 
 use crate::data::ModelDoc;
 use crate::error::ModelError;
+use crate::fit::GibbsKernel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_linalg::dist::{GaussianPrecision, GaussianStats};
@@ -115,6 +116,11 @@ pub struct JointSnapshot {
     /// First sweep still to run (the snapshot was taken after sweep
     /// `next_sweep − 1` completed).
     pub next_sweep: usize,
+    /// Gibbs kernel class of the run that wrote the snapshot. `None` in
+    /// snapshots written before kernels were recorded (those runs
+    /// predate the sparse kernel, so any kernel resumes them).
+    #[serde(default)]
+    pub kernel: Option<GibbsKernel>,
     /// [`fingerprint_docs`] of the corpus the run was fitted on.
     pub doc_fingerprint: u64,
     /// Token topic assignments `z`, one vector per document.
@@ -154,6 +160,10 @@ pub struct LdaSnapshot {
     pub config: crate::lda::LdaConfig,
     /// First sweep still to run.
     pub next_sweep: usize,
+    /// Gibbs kernel class of the run that wrote the snapshot (`None`
+    /// for pre-kernel snapshots).
+    #[serde(default)]
+    pub kernel: Option<GibbsKernel>,
     /// [`fingerprint_docs`] of the corpus.
     pub doc_fingerprint: u64,
     /// Token topic assignments, one vector per document.
@@ -183,6 +193,10 @@ pub struct GmmSnapshot {
     pub config: crate::gmm::GmmConfig,
     /// First sweep still to run.
     pub next_sweep: usize,
+    /// Gibbs kernel class of the run that wrote the snapshot (`None`
+    /// for pre-kernel snapshots).
+    #[serde(default)]
+    pub kernel: Option<GibbsKernel>,
     /// [`fingerprint_docs`] of the corpus.
     pub doc_fingerprint: u64,
     /// Component assignment per document.
@@ -369,6 +383,24 @@ pub(crate) fn mismatch(what: impl Into<String>) -> ModelError {
     ModelError::ResumeMismatch { what: what.into() }
 }
 
+/// Rejects a resume whose kernel class differs from the one recorded in
+/// the snapshot — the kernels are distinct bit-classes, so swapping one
+/// mid-run would silently break the resumed-equals-uninterrupted
+/// guarantee. Legacy snapshots (`None`) predate kernel recording and
+/// resume under any kernel.
+pub(crate) fn check_kernel(
+    recorded: Option<GibbsKernel>,
+    requested: GibbsKernel,
+) -> Result<(), ModelError> {
+    match recorded {
+        Some(k) if k != requested => Err(mismatch(format!(
+            "snapshot was written by the {k} kernel; resuming with {requested} \
+             would not reproduce the uninterrupted run"
+        ))),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +496,7 @@ mod tests {
                 burn_in: 1,
             },
             next_sweep: 1,
+            kernel: None,
             doc_fingerprint: 0,
             z: vec![],
             n_dk: vec![],
@@ -490,5 +523,41 @@ mod tests {
         let mut sink = NoCheckpoint;
         assert!(!sink.due(0));
         assert!(!sink.due(999));
+    }
+
+    #[test]
+    fn kernel_check_accepts_match_and_legacy_rejects_swap() {
+        assert!(check_kernel(Some(GibbsKernel::Sparse), GibbsKernel::Sparse).is_ok());
+        assert!(check_kernel(None, GibbsKernel::Parallel).is_ok());
+        assert!(matches!(
+            check_kernel(Some(GibbsKernel::Serial), GibbsKernel::Sparse),
+            Err(ModelError::ResumeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_snapshot_json_without_kernel_field_deserializes() {
+        let mut sink = MemoryCheckpointSink::new(1);
+        let snap = SamplerSnapshot::Gmm(GmmSnapshot {
+            config: crate::gmm::GmmConfig::new(1),
+            next_sweep: 1,
+            kernel: Some(GibbsKernel::Serial),
+            doc_fingerprint: 0,
+            assignments: vec![],
+            stats: vec![],
+            counts: vec![],
+            ll_trace: vec![],
+            rng: RngState::capture(&ChaCha8Rng::seed_from_u64(0)),
+        });
+        sink.save(snap.clone()).unwrap();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"kernel\":\"serial\""), "{json}");
+        // Strip the field the way a pre-kernel snapshot would lack it.
+        let legacy = json.replace("\"kernel\":\"serial\",", "");
+        let back: SamplerSnapshot = serde_json::from_str(&legacy).unwrap();
+        let SamplerSnapshot::Gmm(back) = back else {
+            panic!("wrong engine")
+        };
+        assert_eq!(back.kernel, None);
     }
 }

@@ -16,10 +16,21 @@
 //! which leaves the sampler's output bit-identical while cutting the
 //! Cholesky count per sweep from `O(D·K)` to roughly `O(D + K)`. The
 //! ablation harness compares the two engines on the same data.
+//!
+//! Like the other engines the collapsed sampler is driven through
+//! [`CollapsedJointModel::fit_with`]; it accepts the serial and sparse
+//! token kernels (the sparse bucket sweep composes with the cached
+//! Student-t `y` sweep — the Gaussian factors never enter Eq. 2) but has
+//! no parallel sweep and no snapshot format, so `threads >= 1`,
+//! checkpoint sinks, and resume snapshots are rejected up front.
 
 use crate::config::JointConfig;
+use crate::counts::TopicCounts;
 use crate::data::{validate_docs, ModelDoc};
+use crate::error::ModelError;
+use crate::fit::{FitOptions, GibbsKernel};
 use crate::joint::FittedJointModel;
+use crate::sparse::SparseTokenSampler;
 use crate::Result;
 use rand::Rng;
 use rheotex_linalg::dist::{
@@ -27,6 +38,8 @@ use rheotex_linalg::dist::{
     PredictiveCache,
 };
 use rheotex_linalg::Vector;
+use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
+use std::time::Instant;
 
 /// The fully-collapsed joint topic model.
 #[derive(Debug, Clone)]
@@ -49,8 +62,58 @@ impl CollapsedJointModel {
     ///
     /// # Errors
     /// Same conditions as [`crate::JointTopicModel::fit`].
+    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
     pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedJointModel> {
+        self.fit_with(rng, docs, FitOptions::new())
+    }
+
+    /// Fits the model with the cross-cutting concerns selected through a
+    /// [`FitOptions`] bundle. `FitOptions::new()` reproduces the
+    /// historical plain `fit` bit for bit.
+    ///
+    /// The collapsed engine supports the serial and sparse token kernels
+    /// ([`GibbsKernel`]); the sparse bucket sweep composes with the
+    /// cached Student-t `y` sweep unchanged because the Gaussian factors
+    /// never enter the token conditional. [`FitOptions::predictive_cache`]
+    /// switches the per-topic predictive memoization (bit-invisible
+    /// either way). There is no parallel sweep and no snapshot format.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when the options ask for worker
+    /// threads / the parallel kernel, a checkpoint sink, or a resume
+    /// snapshot — none of which this engine supports;
+    /// [`ModelError::InvalidData`] for malformed docs;
+    /// [`ModelError::Numerical`] if a posterior update degenerates.
+    pub fn fit_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        opts: FitOptions<'_>,
+    ) -> Result<FittedJointModel> {
         let cfg = &self.config;
+        let (kernel, _threads) = opts.plan()?;
+        if kernel == GibbsKernel::Parallel {
+            return Err(ModelError::InvalidConfig {
+                what: "the collapsed engine has no parallel sweep; \
+                       use the serial or sparse kernel with threads == 0"
+                    .into(),
+            });
+        }
+        if opts.sink.is_some() {
+            return Err(ModelError::InvalidConfig {
+                what: "the collapsed engine does not support checkpointing".into(),
+            });
+        }
+        if opts.resume.is_some() {
+            return Err(ModelError::InvalidConfig {
+                what: "the collapsed engine does not support resuming from a snapshot".into(),
+            });
+        }
+        let mut null_obs = NullObserver;
+        let observer: &mut dyn SweepObserver = match opts.observer {
+            Some(o) => o,
+            None => &mut null_obs,
+        };
         validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
 
         // Empirical means for the vague priors.
@@ -69,13 +132,12 @@ impl CollapsedJointModel {
         let k = cfg.n_topics;
         let v = cfg.vocab_size;
         let d_count = docs.len();
+        let gamma_v = cfg.gamma * v as f64;
 
         // Init.
         let mut z: Vec<Vec<usize>> = Vec::with_capacity(d_count);
         let mut y: Vec<usize> = Vec::with_capacity(d_count);
-        let mut n_dk = vec![0u32; d_count * k];
-        let mut n_kw = vec![0u32; k * v];
-        let mut n_k = vec![0u32; k];
+        let mut counts = TopicCounts::new(d_count, k, v);
         let mut gel_stats: Vec<GaussianStats> =
             (0..k).map(|_| GaussianStats::new(cfg.gel_dim)).collect();
         let mut emu_stats: Vec<GaussianStats> = (0..k)
@@ -95,9 +157,7 @@ impl CollapsedJointModel {
                 .terms
                 .iter()
                 .map(|&w| {
-                    n_dk[d * k + t] += 1;
-                    n_kw[t * v + w] += 1;
-                    n_k[t] += 1;
+                    counts.inc(d, w, t);
                     t
                 })
                 .collect();
@@ -106,6 +166,14 @@ impl CollapsedJointModel {
             gel_stats[t].add(&doc.gel)?;
             emu_stats[t].add(&doc.emulsion)?;
         }
+
+        let mut sparse = match kernel {
+            GibbsKernel::Sparse => {
+                counts.enable_tracking();
+                Some(SparseTokenSampler::new(k, v, cfg.alpha, cfg.gamma))
+            }
+            _ => None,
+        };
 
         let mut phi_acc = vec![0.0f64; k * v];
         let mut theta_acc = vec![0.0f64; d_count * k];
@@ -116,30 +184,48 @@ impl CollapsedJointModel {
         // A topic's Student-t predictives only change when a document
         // moves into or out of it, so both channels memoize per topic
         // (a hit returns the exact object a rebuild would produce —
-        // caching is bit-invisible).
-        let mut gel_cache = PredictiveCache::new(k);
-        let mut emu_cache = PredictiveCache::new(k);
+        // caching is bit-invisible). `predictive_cache(false)` swaps in
+        // the pass-through variant for benchmarking the uncached cost.
+        let (mut gel_cache, mut emu_cache) = if opts.predictive_cache {
+            (PredictiveCache::new(k), PredictiveCache::new(k))
+        } else {
+            (PredictiveCache::disabled(k), PredictiveCache::disabled(k))
+        };
 
         for sweep in 0..cfg.sweeps {
-            // z sweep (identical to the semi-collapsed model: Gaussians do
-            // not enter Eq. 2).
-            for (d, doc) in docs.iter().enumerate() {
-                for (n, &w) in doc.terms.iter().enumerate() {
-                    let old = z[d][n];
-                    n_dk[d * k + old] -= 1;
-                    n_kw[old * v + w] -= 1;
-                    n_k[old] -= 1;
-                    for (kk, weight) in weights.iter_mut().enumerate() {
-                        let m_dk = u32::from(y[d] == kk);
-                        *weight = (f64::from(n_dk[d * k + kk] + m_dk) + cfg.alpha)
-                            * (f64::from(n_kw[kk * v + w]) + cfg.gamma)
-                            / (f64::from(n_k[kk]) + cfg.gamma * v as f64);
+            let sweep_start = observer.enabled().then(Instant::now);
+            let lookups_before = gel_cache.lookups() + emu_cache.lookups();
+            let hits_before = gel_cache.hits() + emu_cache.hits();
+
+            // z sweep (identical conditional to the semi-collapsed model:
+            // Gaussians do not enter Eq. 2), through the selected kernel.
+            match sparse.as_mut() {
+                Some(sampler) => {
+                    sampler.begin_sweep(&counts);
+                    for (d, doc) in docs.iter().enumerate() {
+                        sampler.begin_doc(&counts, d, Some(y[d]));
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = z[d][n];
+                            z[d][n] = sampler.move_token(rng, &mut counts, w, old);
+                        }
                     }
-                    let new = sample_categorical(rng, &weights).expect("positive weights");
-                    z[d][n] = new;
-                    n_dk[d * k + new] += 1;
-                    n_kw[new * v + w] += 1;
-                    n_k[new] += 1;
+                }
+                None => {
+                    for (d, doc) in docs.iter().enumerate() {
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = z[d][n];
+                            counts.dec(d, w, old);
+                            for (kk, weight) in weights.iter_mut().enumerate() {
+                                let m_dk = u32::from(y[d] == kk);
+                                *weight = (f64::from(counts.dk(d, kk) + m_dk) + cfg.alpha)
+                                    * (f64::from(counts.kw(kk, w)) + cfg.gamma)
+                                    / (f64::from(counts.topic_total(kk)) + gamma_v);
+                            }
+                            let new = sample_categorical(rng, &weights).expect("positive weights");
+                            z[d][n] = new;
+                            counts.inc(d, w, new);
+                        }
+                    }
                 }
             }
 
@@ -152,7 +238,7 @@ impl CollapsedJointModel {
                 gel_cache.invalidate(old);
                 emu_cache.invalidate(old);
                 for (kk, lw) in log_weights.iter_mut().enumerate() {
-                    let doc_part = (f64::from(n_dk[d * k + kk]) + cfg.alpha).ln();
+                    let doc_part = (f64::from(counts.dk(d, kk)) + cfg.alpha).ln();
                     let gel_stats_kk = &gel_stats[kk];
                     let gel_pred =
                         gel_cache.get_or_try_build(kk, || -> Result<MultivariateT> {
@@ -174,22 +260,49 @@ impl CollapsedJointModel {
                 gel_cache.invalidate(new);
                 emu_cache.invalidate(new);
             }
-            // Token part of the trace.
+            // Token part of the trace. The per-topic denominator is fixed
+            // for the whole loop (no counts move during the trace), so it
+            // is computed once per topic instead of once per token.
+            let den: Vec<f64> = (0..k)
+                .map(|kk| f64::from(counts.topic_total(kk)) + gamma_v)
+                .collect();
             for (d, doc) in docs.iter().enumerate() {
                 for (n, &w) in doc.terms.iter().enumerate() {
                     let kk = z[d][n];
-                    sweep_ll += ((f64::from(n_kw[kk * v + w]) + cfg.gamma)
-                        / (f64::from(n_k[kk]) + cfg.gamma * v as f64))
-                        .ln();
+                    sweep_ll += ((f64::from(counts.kw(kk, w)) + cfg.gamma) / den[kk]).ln();
                 }
             }
             ll_trace.push(sweep_ll);
 
+            if let Some(started) = sweep_start {
+                let mut occupancy = vec![0usize; k];
+                for &yy in &y {
+                    occupancy[yy] += 1;
+                }
+                let (topic_entropy, min_occupancy, max_occupancy) =
+                    SweepStats::occupancy_summary(&occupancy);
+                observer.on_sweep(&SweepStats {
+                    engine: "collapsed",
+                    sweep,
+                    total_sweeps: cfg.sweeps,
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    log_likelihood: sweep_ll,
+                    topic_entropy,
+                    min_occupancy,
+                    max_occupancy,
+                    nw_draws: 0,
+                    jitter_retries: 0,
+                    cache_lookups: (gel_cache.lookups() + emu_cache.lookups() - lookups_before)
+                        as usize,
+                    cache_hits: (gel_cache.hits() + emu_cache.hits() - hits_before) as usize,
+                });
+            }
+
             if sweep >= cfg.burn_in {
                 for kk in 0..k {
-                    let denom = f64::from(n_k[kk]) + cfg.gamma * v as f64;
+                    let denom = f64::from(counts.topic_total(kk)) + gamma_v;
                     for w in 0..v {
-                        phi_acc[kk * v + w] += (f64::from(n_kw[kk * v + w]) + cfg.gamma) / denom;
+                        phi_acc[kk * v + w] += (f64::from(counts.kw(kk, w)) + cfg.gamma) / denom;
                     }
                 }
                 let alpha_sum = cfg.alpha * k as f64;
@@ -198,7 +311,7 @@ impl CollapsedJointModel {
                     for kk in 0..k {
                         let m_dk = u32::from(y[d] == kk);
                         theta_acc[d * k + kk] +=
-                            (f64::from(n_dk[d * k + kk] + m_dk) + cfg.alpha) / denom;
+                            (f64::from(counts.dk(d, kk) + m_dk) + cfg.alpha) / denom;
                     }
                 }
                 n_samples += 1;
@@ -236,6 +349,10 @@ impl CollapsedJointModel {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately drive the deprecated `fit` wrapper: they
+    // pin the historical entry point to the `fit_with` output.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -305,6 +422,72 @@ mod tests {
         let a = model.fit(&mut rng(), &docs).unwrap();
         let b = model.fit(&mut rng(), &docs).unwrap();
         assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn uncached_fit_is_bit_identical() {
+        let docs = two_cluster_docs(8);
+        let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+        let cached = model
+            .fit_with(&mut rng(), &docs, FitOptions::new())
+            .unwrap();
+        let uncached = model
+            .fit_with(&mut rng(), &docs, FitOptions::new().predictive_cache(false))
+            .unwrap();
+        assert_eq!(cached.y, uncached.y);
+        assert_eq!(cached.ll_trace, uncached.ll_trace);
+        assert_eq!(cached.phi, uncached.phi);
+    }
+
+    #[test]
+    fn sparse_kernel_recovers_two_clusters() {
+        let docs = two_cluster_docs(30);
+        let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+        let fit = model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(GibbsKernel::Sparse),
+            )
+            .unwrap();
+        let y0 = fit.y[0];
+        let agree = (0..docs.len())
+            .filter(|&d| (fit.y[d] == y0) == (d % 2 == 0))
+            .count();
+        assert!(
+            agree as f64 / docs.len() as f64 > 0.95,
+            "recovered {agree}/{}",
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn sparse_kernel_is_deterministic_given_seed() {
+        let docs = two_cluster_docs(8);
+        let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+        let opts = || FitOptions::new().kernel(GibbsKernel::Sparse);
+        let a = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+        let b = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.ll_trace, b.ll_trace);
+    }
+
+    #[test]
+    fn rejects_unsupported_fit_options() {
+        let docs = two_cluster_docs(4);
+        let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+        for opts in [
+            FitOptions::new().threads(2),
+            FitOptions::new().kernel(GibbsKernel::Parallel),
+        ] {
+            let err = model.fit_with(&mut rng(), &docs, opts).unwrap_err();
+            assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+        }
+        let mut sink = crate::checkpoint::MemoryCheckpointSink::new(1);
+        let err = model
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

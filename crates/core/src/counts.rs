@@ -1,0 +1,427 @@
+//! The shared structure-of-arrays count store behind every Gibbs kernel.
+//!
+//! All three token kernels (legacy serial, chunked parallel, sparse)
+//! mutate the same three count families — token-topic counts per
+//! document `n_dk` (D×K), term-topic counts `n_kw` (K×V), and the topic
+//! totals `n_k` (K). [`TopicCounts`] owns them as flat `u32` arrays so
+//! the engines stop hand-plumbing three parallel `Vec<u32>`s, and
+//! optionally maintains *nonzero topic lists*: for every document row
+//! and every term row, the sorted set of topics with a nonzero count.
+//! The sparse kernel iterates those lists instead of `0..K`, which is
+//! what turns the per-token cost from `O(K)` into `O(nnz)`.
+//!
+//! The lists are kept **sorted by topic index**. That costs a small
+//! shift on insert/remove (rows are short by construction — a document
+//! has at most `len(terms)` distinct topics) but makes the iteration
+//! order a pure function of the count *set*, not of the insertion
+//! history. Rebuilding the lists from the flat counts after a resume
+//! therefore reproduces the exact order an uninterrupted run would have
+//! been using, which is what keeps the sparse kernel's kill-and-resume
+//! bit-identical.
+
+/// Sentinel meaning "no tracking": dense kernels skip the list upkeep.
+#[derive(Debug, Clone)]
+struct NzIndex {
+    /// Nonzero topics per document row (D rows).
+    docs: NonzeroTopics,
+    /// Nonzero topics per term row (V rows).
+    words: NonzeroTopics,
+}
+
+/// Fixed-capacity sorted topic lists, one row per document (or term).
+///
+/// Row `r` occupies `items[r * stride .. r * stride + len[r]]`, sorted
+/// ascending. Capacity is `stride == K`, so inserts never reallocate.
+#[derive(Debug, Clone)]
+pub struct NonzeroTopics {
+    stride: usize,
+    items: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl NonzeroTopics {
+    fn new(rows: usize, stride: usize) -> Self {
+        Self {
+            stride,
+            items: vec![0; rows * stride],
+            len: vec![0; rows],
+        }
+    }
+
+    /// The sorted nonzero topics of `row`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[u32] {
+        let base = row * self.stride;
+        &self.items[base..base + self.len[row] as usize]
+    }
+
+    /// Whether `topic` is present in `row`.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, row: usize, topic: usize) -> bool {
+        self.row(row).binary_search(&(topic as u32)).is_ok()
+    }
+
+    /// Inserts `topic` into `row`, keeping the row sorted. The topic
+    /// must not already be present.
+    fn insert(&mut self, row: usize, topic: usize) {
+        let base = row * self.stride;
+        let l = self.len[row] as usize;
+        let slot = self.items[base..base + l].partition_point(|&t| t < topic as u32);
+        self.items.copy_within(base + slot..base + l, base + slot + 1);
+        self.items[base + slot] = topic as u32;
+        self.len[row] = (l + 1) as u32;
+    }
+
+    /// Removes `topic` from `row`. The topic must be present.
+    fn remove(&mut self, row: usize, topic: usize) {
+        let base = row * self.stride;
+        let l = self.len[row] as usize;
+        let slot = self.items[base..base + l]
+            .binary_search(&(topic as u32))
+            .expect("topic tracked as nonzero");
+        self.items.copy_within(base + slot + 1..base + l, base + slot);
+        self.len[row] = (l - 1) as u32;
+    }
+}
+
+/// Structure-of-arrays token-topic counts shared by the Gibbs kernels.
+///
+/// Construct untracked (dense kernels) with [`TopicCounts::new`] or
+/// [`TopicCounts::from_parts`]; call [`TopicCounts::enable_tracking`]
+/// before running the sparse kernel. [`TopicCounts::inc`] /
+/// [`TopicCounts::dec`] keep the three flat arrays and (when tracking)
+/// the nonzero lists consistent in `O(row shift)`.
+#[derive(Debug, Clone)]
+pub struct TopicCounts {
+    k: usize,
+    v: usize,
+    n_dk: Vec<u32>,
+    n_kw: Vec<u32>,
+    n_k: Vec<u32>,
+    nz: Option<NzIndex>,
+}
+
+impl TopicCounts {
+    /// Zeroed counts for `d` documents, `k` topics, `v` terms, without
+    /// nonzero tracking.
+    #[must_use]
+    pub fn new(d: usize, k: usize, v: usize) -> Self {
+        Self {
+            k,
+            v,
+            n_dk: vec![0; d * k],
+            n_kw: vec![0; k * v],
+            n_k: vec![0; k],
+            nz: None,
+        }
+    }
+
+    /// Wraps existing flat arrays (for example from a snapshot) without
+    /// nonzero tracking. Lengths must already be consistent with
+    /// `(d, k, v)`; callers validate before constructing.
+    #[must_use]
+    pub fn from_parts(k: usize, v: usize, n_dk: Vec<u32>, n_kw: Vec<u32>, n_k: Vec<u32>) -> Self {
+        debug_assert_eq!(n_kw.len(), k * v);
+        debug_assert_eq!(n_k.len(), k);
+        debug_assert_eq!(n_dk.len() % k.max(1), 0);
+        Self {
+            k,
+            v,
+            n_dk,
+            n_kw,
+            n_k,
+            nz: None,
+        }
+    }
+
+    /// Number of topics.
+    #[inline]
+    #[must_use]
+    pub fn topics(&self) -> usize {
+        self.k
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    #[must_use]
+    pub fn vocab(&self) -> usize {
+        self.v
+    }
+
+    /// Whether the nonzero lists are being maintained.
+    #[inline]
+    #[must_use]
+    pub fn tracking(&self) -> bool {
+        self.nz.is_some()
+    }
+
+    /// Builds the nonzero topic lists by scanning the flat counts. Rows
+    /// come out sorted by topic index — the same order incremental
+    /// maintenance preserves, so a rebuilt index is indistinguishable
+    /// from one that was live the whole run.
+    pub fn enable_tracking(&mut self) {
+        let d_rows = self.n_dk.len() / self.k.max(1);
+        let mut docs = NonzeroTopics::new(d_rows, self.k);
+        for d in 0..d_rows {
+            for t in 0..self.k {
+                if self.n_dk[d * self.k + t] > 0 {
+                    docs.insert(d, t);
+                }
+            }
+        }
+        let mut words = NonzeroTopics::new(self.v, self.k);
+        for w in 0..self.v {
+            for t in 0..self.k {
+                if self.n_kw[t * self.v + w] > 0 {
+                    words.insert(w, t);
+                }
+            }
+        }
+        self.nz = Some(NzIndex { docs, words });
+    }
+
+    /// Drops the nonzero lists (dense kernels skip the upkeep).
+    pub fn disable_tracking(&mut self) {
+        self.nz = None;
+    }
+
+    /// `n_dk[d][t]`.
+    #[inline]
+    #[must_use]
+    pub fn dk(&self, d: usize, t: usize) -> u32 {
+        self.n_dk[d * self.k + t]
+    }
+
+    /// `n_kw[t][w]`.
+    #[inline]
+    #[must_use]
+    pub fn kw(&self, t: usize, w: usize) -> u32 {
+        self.n_kw[t * self.v + w]
+    }
+
+    /// `n_k[t]`.
+    #[inline]
+    #[must_use]
+    pub fn topic_total(&self, t: usize) -> u32 {
+        self.n_k[t]
+    }
+
+    /// The flat D×K document-topic counts.
+    #[inline]
+    #[must_use]
+    pub fn n_dk_raw(&self) -> &[u32] {
+        &self.n_dk
+    }
+
+    /// The flat K×V term-topic counts.
+    #[inline]
+    #[must_use]
+    pub fn n_kw_raw(&self) -> &[u32] {
+        &self.n_kw
+    }
+
+    /// The per-topic totals.
+    #[inline]
+    #[must_use]
+    pub fn n_k_raw(&self) -> &[u32] {
+        &self.n_k
+    }
+
+    /// Sorted nonzero topics of document `d`. Tracking must be enabled.
+    #[inline]
+    #[must_use]
+    pub fn doc_topics(&self, d: usize) -> &[u32] {
+        self.nz.as_ref().expect("tracking enabled").docs.row(d)
+    }
+
+    /// Sorted nonzero topics of term `w`. Tracking must be enabled.
+    #[inline]
+    #[must_use]
+    pub fn word_topics(&self, w: usize) -> &[u32] {
+        self.nz.as_ref().expect("tracking enabled").words.row(w)
+    }
+
+    /// Whether document `d` currently has tokens in `topic`.
+    #[inline]
+    #[must_use]
+    pub fn doc_has_topic(&self, d: usize, topic: usize) -> bool {
+        self.nz
+            .as_ref()
+            .expect("tracking enabled")
+            .docs
+            .contains(d, topic)
+    }
+
+    /// Counts one token of term `w` in document `d` into `topic`.
+    #[inline]
+    pub fn inc(&mut self, d: usize, w: usize, topic: usize) {
+        let dk = &mut self.n_dk[d * self.k + topic];
+        *dk += 1;
+        let dk_now = *dk;
+        let kw = &mut self.n_kw[topic * self.v + w];
+        *kw += 1;
+        let kw_now = *kw;
+        self.n_k[topic] += 1;
+        if let Some(nz) = &mut self.nz {
+            if dk_now == 1 {
+                nz.docs.insert(d, topic);
+            }
+            if kw_now == 1 {
+                nz.words.insert(w, topic);
+            }
+        }
+    }
+
+    /// Removes one token of term `w` in document `d` from `topic`.
+    #[inline]
+    pub fn dec(&mut self, d: usize, w: usize, topic: usize) {
+        let dk = &mut self.n_dk[d * self.k + topic];
+        *dk -= 1;
+        let dk_now = *dk;
+        let kw = &mut self.n_kw[topic * self.v + w];
+        *kw -= 1;
+        let kw_now = *kw;
+        self.n_k[topic] -= 1;
+        if let Some(nz) = &mut self.nz {
+            if dk_now == 0 {
+                nz.docs.remove(d, topic);
+            }
+            if kw_now == 0 {
+                nz.words.remove(w, topic);
+            }
+        }
+    }
+
+    /// Mutable access to the three flat arrays for the dense kernels'
+    /// hand-tuned loops (and the parallel kernel's chunked writes).
+    /// Only valid while tracking is off — raw writes would desynchronize
+    /// the nonzero lists.
+    #[inline]
+    pub fn dense_parts_mut(&mut self) -> (&mut [u32], &mut [u32], &mut [u32]) {
+        assert!(
+            self.nz.is_none(),
+            "raw count access requires tracking to be off"
+        );
+        (&mut self.n_dk, &mut self.n_kw, &mut self.n_k)
+    }
+
+    /// Consumes the store, returning the flat `(n_dk, n_kw, n_k)` arrays
+    /// (snapshot capture).
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        (self.n_dk, self.n_kw, self.n_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[test]
+    fn inc_dec_roundtrip_without_tracking() {
+        let mut c = TopicCounts::new(2, 3, 4);
+        c.inc(0, 1, 2);
+        c.inc(0, 1, 2);
+        c.inc(1, 3, 0);
+        assert_eq!(c.dk(0, 2), 2);
+        assert_eq!(c.kw(2, 1), 2);
+        assert_eq!(c.topic_total(2), 2);
+        assert_eq!(c.topic_total(0), 1);
+        c.dec(0, 1, 2);
+        assert_eq!(c.dk(0, 2), 1);
+        assert!(!c.tracking());
+    }
+
+    #[test]
+    fn tracked_lists_stay_sorted_and_exact() {
+        let mut c = TopicCounts::new(1, 5, 4);
+        c.enable_tracking();
+        for t in [3usize, 0, 4, 1] {
+            c.inc(0, t % 4, t);
+        }
+        assert_eq!(c.doc_topics(0), &[0, 1, 3, 4]);
+        c.dec(0, 3, 3);
+        assert_eq!(c.doc_topics(0), &[0, 1, 4]);
+        assert!(c.doc_has_topic(0, 4));
+        assert!(!c.doc_has_topic(0, 3));
+        assert_eq!(c.word_topics(0), &[0, 4]);
+    }
+
+    #[test]
+    fn rebuilt_index_matches_live_index() {
+        // Random walk of inc/dec; the scan-rebuilt lists must equal the
+        // incrementally maintained ones (the resume bit-identity lever).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        use rand::SeedableRng;
+        let (d, k, v) = (6, 7, 5);
+        let mut live = TopicCounts::new(d, k, v);
+        live.enable_tracking();
+        let mut placed: Vec<(usize, usize, usize)> = Vec::new();
+        for _ in 0..500 {
+            if placed.is_empty() || rng.gen_bool(0.6) {
+                let site = (rng.gen_range(0..d), rng.gen_range(0..v), rng.gen_range(0..k));
+                live.inc(site.0, site.1, site.2);
+                placed.push(site);
+            } else {
+                let site = placed.swap_remove(rng.gen_range(0..placed.len()));
+                live.dec(site.0, site.1, site.2);
+            }
+        }
+        let mut rebuilt = TopicCounts::from_parts(
+            k,
+            v,
+            live.n_dk_raw().to_vec(),
+            live.n_kw_raw().to_vec(),
+            live.n_k_raw().to_vec(),
+        );
+        rebuilt.enable_tracking();
+        for dd in 0..d {
+            assert_eq!(live.doc_topics(dd), rebuilt.doc_topics(dd), "doc {dd}");
+        }
+        for w in 0..v {
+            assert_eq!(live.word_topics(w), rebuilt.word_topics(w), "word {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tracking to be off")]
+    fn dense_access_rejected_while_tracking() {
+        let mut c = TopicCounts::new(1, 2, 2);
+        c.enable_tracking();
+        let _ = c.dense_parts_mut();
+    }
+
+    proptest! {
+        /// The nonzero lists are exactly the support of the flat counts
+        /// after any interleaving of inserts and removes.
+        #[test]
+        fn lists_equal_count_support(ops in proptest::collection::vec((0usize..4, 0usize..5, 0usize..6), 1..120)) {
+            let (d, v, k) = (4, 5, 6);
+            let mut c = TopicCounts::new(d, k, v);
+            c.enable_tracking();
+            // Interpret each op as an inc; every third op also removes an
+            // earlier placement, keeping counts nonnegative by replay.
+            let mut placed: Vec<(usize, usize, usize)> = Vec::new();
+            for (i, &(dd, ww, tt)) in ops.iter().enumerate() {
+                c.inc(dd, ww, tt);
+                placed.push((dd, ww, tt));
+                if i % 3 == 2 {
+                    let (rd, rw, rt) = placed.remove(i / 3);
+                    c.dec(rd, rw, rt);
+                }
+            }
+            for dd in 0..d {
+                let expect: Vec<u32> = (0..k).filter(|&t| c.dk(dd, t) > 0).map(|t| t as u32).collect();
+                prop_assert_eq!(c.doc_topics(dd), expect.as_slice());
+            }
+            for ww in 0..v {
+                let expect: Vec<u32> = (0..k).filter(|&t| c.kw(t, ww) > 0).map(|t| t as u32).collect();
+                prop_assert_eq!(c.word_topics(ww), expect.as_slice());
+            }
+        }
+    }
+}

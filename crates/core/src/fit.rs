@@ -13,10 +13,14 @@
 //!   continues bit-identically from the captured sweep boundary and the
 //!   caller-supplied RNG is ignored (the snapshot carries the exact RNG
 //!   position);
-//! * a thread count selecting between the serial sweep kernel
-//!   (`threads == 0`, bit-identical to the historical implementation)
-//!   and the deterministic chunked parallel kernel (`threads >= 1`,
-//!   bit-identical across *any* thread count, see the crate docs);
+//! * a sweep kernel ([`GibbsKernel`]): the historical serial kernel,
+//!   the deterministic chunked parallel kernel (bit-identical across
+//!   *any* thread count, see the crate docs), or the sparse
+//!   SparseLDA-style kernel whose per-token cost tracks the number of
+//!   topics actually active in the document and word instead of `K`.
+//!   The kernel is usually implied by the thread count (`threads == 0`
+//!   → serial, `threads >= 1` → parallel, keeping the historical
+//!   semantics) and can be named explicitly with [`FitOptions::kernel`];
 //! * a switch for the per-topic posterior-predictive cache used by the
 //!   collapsed Gaussian engines.
 //!
@@ -47,6 +51,56 @@
 use crate::checkpoint::{CheckpointSink, SamplerSnapshot};
 use crate::error::ModelError;
 use rheotex_obs::SweepObserver;
+use serde::{Deserialize, Serialize};
+
+/// The token-sweep kernel classes a Gibbs engine can run.
+///
+/// Every kernel is deterministic — a pure function of `(config, docs,
+/// seed)` — but the three form distinct bit-compatibility classes: a
+/// snapshot written by one kernel must be resumed by the same kernel.
+///
+/// * [`GibbsKernel::Serial`] — the historical single-threaded sweep,
+///   dense `O(K)` per token, bit-identical to the original `fit`.
+/// * [`GibbsKernel::Parallel`] — the chunked deterministic parallel
+///   sweep; identical output for every worker-thread count.
+/// * [`GibbsKernel::Sparse`] — single-threaded SparseLDA-style bucket
+///   sampling in `O(s + r + q)` per token (see [`crate::sparse`]);
+///   wins when `K` is large and documents/words touch few topics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum GibbsKernel {
+    /// Historical dense serial kernel.
+    Serial,
+    /// Deterministic chunked parallel kernel.
+    Parallel,
+    /// Sparse bucket-decomposition kernel.
+    Sparse,
+}
+
+impl std::fmt::Display for GibbsKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Serial => "serial",
+            Self::Parallel => "parallel",
+            Self::Sparse => "sparse",
+        })
+    }
+}
+
+impl std::str::FromStr for GibbsKernel {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, ModelError> {
+        match s {
+            "serial" => Ok(Self::Serial),
+            "parallel" => Ok(Self::Parallel),
+            "sparse" => Ok(Self::Sparse),
+            other => Err(ModelError::InvalidConfig {
+                what: format!("unknown kernel {other:?}; expected serial, parallel, or sparse"),
+            }),
+        }
+    }
+}
 
 /// Documents per parallel work unit. Chunk boundaries are part of the
 /// reproducibility contract: chunk `c` always covers docs
@@ -65,6 +119,7 @@ pub struct FitOptions<'a> {
     pub(crate) sink: Option<&'a mut dyn CheckpointSink>,
     pub(crate) resume: Option<SamplerSnapshot>,
     pub(crate) threads: usize,
+    pub(crate) kernel: Option<GibbsKernel>,
     pub(crate) predictive_cache: bool,
 }
 
@@ -84,6 +139,7 @@ impl std::fmt::Debug for FitOptions<'_> {
                 &self.resume.as_ref().map(SamplerSnapshot::engine),
             )
             .field("threads", &self.threads)
+            .field("kernel", &self.kernel)
             .field("predictive_cache", &self.predictive_cache)
             .finish()
     }
@@ -99,6 +155,7 @@ impl<'a> FitOptions<'a> {
             sink: None,
             resume: None,
             threads: 0,
+            kernel: None,
             predictive_cache: true,
         }
     }
@@ -141,6 +198,42 @@ impl<'a> FitOptions<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Names the sweep kernel explicitly instead of letting the thread
+    /// count imply it. `kernel(Parallel)` with `threads == 0` runs the
+    /// parallel kernel on one worker (the reproducible baseline of any
+    /// thread count); `kernel(Serial)` or `kernel(Sparse)` combined with
+    /// `threads >= 1` is a contradiction and fails `fit_with` with
+    /// `InvalidConfig` — both are single-threaded kernels. Snapshots
+    /// record the kernel that wrote them, and resuming under a different
+    /// kernel fails with `ResumeMismatch`.
+    #[must_use]
+    pub fn kernel(mut self, kernel: GibbsKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Resolves the `(kernel, threads)` pair the engine should run:
+    /// the effective kernel plus the rayon worker count (`0` meaning no
+    /// pool). Kept backward compatible with the pre-kernel semantics:
+    /// with no explicit kernel, `threads == 0` selects the serial kernel
+    /// and `threads >= 1` the parallel one.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when a single-threaded kernel
+    /// (serial, sparse) is combined with `threads >= 1`.
+    pub(crate) fn plan(&self) -> Result<(GibbsKernel, usize), ModelError> {
+        match (self.kernel, self.threads) {
+            (None, 0) => Ok((GibbsKernel::Serial, 0)),
+            (None, t) => Ok((GibbsKernel::Parallel, t)),
+            (Some(GibbsKernel::Parallel), 0) => Ok((GibbsKernel::Parallel, 1)),
+            (Some(GibbsKernel::Parallel), t) => Ok((GibbsKernel::Parallel, t)),
+            (Some(k), 0) => Ok((k, 0)),
+            (Some(k), t) => Err(ModelError::InvalidConfig {
+                what: format!("the {k} kernel is single-threaded; it cannot run with threads={t}"),
+            }),
+        }
     }
 
     /// Enables or disables the per-topic posterior-predictive cache used
@@ -191,6 +284,8 @@ mod tests {
         assert!(!opts.predictive_cache);
         let dbg = format!("{opts:?}");
         assert!(dbg.contains("threads: 4"), "{dbg}");
+        let opts = FitOptions::new().kernel(GibbsKernel::Sparse);
+        assert_eq!(opts.kernel, Some(GibbsKernel::Sparse));
     }
 
     #[test]
@@ -199,6 +294,7 @@ mod tests {
         assert!(opts.observer.is_none());
         assert!(opts.sink.is_none());
         assert_eq!(opts.threads, 0);
+        assert!(opts.kernel.is_none());
         assert!(opts.predictive_cache);
     }
 
@@ -207,5 +303,64 @@ mod tests {
         assert!(build_pool(0).unwrap().is_none());
         let pool = build_pool(2).unwrap().unwrap();
         assert_eq!(pool.current_num_threads(), 2);
+    }
+
+    #[test]
+    fn plan_keeps_thread_semantics_backward_compatible() {
+        assert_eq!(
+            FitOptions::new().plan().unwrap(),
+            (GibbsKernel::Serial, 0)
+        );
+        assert_eq!(
+            FitOptions::new().threads(4).plan().unwrap(),
+            (GibbsKernel::Parallel, 4)
+        );
+    }
+
+    #[test]
+    fn plan_resolves_explicit_kernels() {
+        assert_eq!(
+            FitOptions::new().kernel(GibbsKernel::Serial).plan().unwrap(),
+            (GibbsKernel::Serial, 0)
+        );
+        assert_eq!(
+            FitOptions::new().kernel(GibbsKernel::Sparse).plan().unwrap(),
+            (GibbsKernel::Sparse, 0)
+        );
+        // An explicitly parallel kernel without a thread count runs the
+        // one-worker reproducible baseline.
+        assert_eq!(
+            FitOptions::new().kernel(GibbsKernel::Parallel).plan().unwrap(),
+            (GibbsKernel::Parallel, 1)
+        );
+        assert_eq!(
+            FitOptions::new()
+                .kernel(GibbsKernel::Parallel)
+                .threads(8)
+                .plan()
+                .unwrap(),
+            (GibbsKernel::Parallel, 8)
+        );
+    }
+
+    #[test]
+    fn plan_rejects_threaded_single_thread_kernels() {
+        for k in [GibbsKernel::Serial, GibbsKernel::Sparse] {
+            let err = FitOptions::new().kernel(k).threads(2).plan().unwrap_err();
+            assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn kernel_parses_and_displays_round_trip() {
+        for k in [GibbsKernel::Serial, GibbsKernel::Parallel, GibbsKernel::Sparse] {
+            assert_eq!(k.to_string().parse::<GibbsKernel>().unwrap(), k);
+        }
+        assert!("dense".parse::<GibbsKernel>().is_err());
+        // Snapshots persist the kernel as snake_case JSON.
+        assert_eq!(
+            serde_json::to_string(&GibbsKernel::Sparse).unwrap(),
+            "\"sparse\""
+        );
     }
 }

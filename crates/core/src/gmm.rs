@@ -9,12 +9,13 @@
 //! produce texture-term descriptions for its clusters.
 
 use crate::checkpoint::{
-    fingerprint_docs, mismatch, CheckpointSink, GmmSnapshot, RngState, SamplerSnapshot,
+    check_kernel, fingerprint_docs, mismatch, CheckpointSink, GmmSnapshot, RngState,
+    SamplerSnapshot,
 };
 use crate::config::NwHyper;
 use crate::data::ModelDoc;
 use crate::error::ModelError;
-use crate::fit::{FitOptions, PAR_CHUNK};
+use crate::fit::{FitOptions, GibbsKernel, PAR_CHUNK};
 use crate::Result;
 use rand::Rng;
 use rand::SeedableRng;
@@ -141,7 +142,15 @@ impl GmmModel {
         opts: FitOptions<'_>,
     ) -> Result<FittedGmm> {
         let (xs, prior) = self.features_and_prior(docs)?;
-        let pool = crate::fit::build_pool(opts.threads)?;
+        let (kernel, threads) = opts.plan()?;
+        if kernel == GibbsKernel::Sparse {
+            return Err(ModelError::InvalidConfig {
+                what: "the gmm engine has no token sweep, so the sparse kernel does not apply; \
+                       use serial or parallel"
+                    .into(),
+            });
+        }
+        let pool = crate::fit::build_pool(threads)?;
         let mut null_obs = NullObserver;
         let observer: &mut dyn SweepObserver = match opts.observer {
             Some(o) => o,
@@ -155,7 +164,7 @@ impl GmmModel {
         let use_cache = opts.predictive_cache;
         match opts.resume {
             Some(SamplerSnapshot::Gmm(snap)) => {
-                let (mut rng, mut prog, start) = self.restore(docs, &xs, snap)?;
+                let (mut rng, mut prog, start) = self.restore(docs, &xs, snap, kernel)?;
                 self.run_sweeps(
                     &mut rng,
                     docs,
@@ -165,6 +174,7 @@ impl GmmModel {
                     start,
                     observer,
                     sink,
+                    kernel,
                     pool.as_ref(),
                     use_cache,
                 )?;
@@ -185,6 +195,7 @@ impl GmmModel {
                     0,
                     observer,
                     sink,
+                    kernel,
                     pool.as_ref(),
                     use_cache,
                 )?;
@@ -322,6 +333,7 @@ impl GmmModel {
         start_sweep: usize,
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
+        kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
         use_cache: bool,
     ) -> Result<()> {
@@ -340,7 +352,7 @@ impl GmmModel {
                 }
             }
             crate::checkpoint::save_if_due(sink, sweep, || {
-                SamplerSnapshot::Gmm(self.snapshot(rng, docs, prog, sweep + 1))
+                SamplerSnapshot::Gmm(self.snapshot(rng, docs, prog, sweep + 1, kernel))
             })?;
         }
         Ok(())
@@ -573,10 +585,12 @@ impl GmmModel {
         docs: &[ModelDoc],
         prog: &GmmProgress,
         next_sweep: usize,
+        kernel: GibbsKernel,
     ) -> GmmSnapshot {
         GmmSnapshot {
             config: self.config.clone(),
             next_sweep,
+            kernel: Some(kernel),
             doc_fingerprint: fingerprint_docs(docs),
             assignments: prog.assignments.clone(),
             stats: prog.stats.clone(),
@@ -605,12 +619,14 @@ impl GmmModel {
         docs: &[ModelDoc],
         xs: &[Vector],
         snap: GmmSnapshot,
+        kernel: GibbsKernel,
     ) -> Result<(ChaCha8Rng, GmmProgress, usize)> {
         let cfg = &self.config;
         let k = cfg.n_components;
         if snap.config != *cfg {
             return Err(mismatch("snapshot was written with a different config"));
         }
+        check_kernel(snap.kernel, kernel)?;
         if snap.doc_fingerprint != fingerprint_docs(docs) {
             return Err(mismatch("snapshot was written for a different corpus"));
         }

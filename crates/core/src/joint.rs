@@ -21,13 +21,15 @@
 //! through their final Normal-Wishart posteriors (Rao-Blackwellized).
 
 use crate::checkpoint::{
-    fingerprint_docs, mismatch, CheckpointSink, GaussianParamState, JointSnapshot, RngState,
-    SamplerSnapshot,
+    check_kernel, fingerprint_docs, mismatch, CheckpointSink, GaussianParamState, JointSnapshot,
+    RngState, SamplerSnapshot,
 };
 use crate::config::JointConfig;
+use crate::counts::TopicCounts;
 use crate::data::{validate_docs, ModelDoc};
 use crate::error::ModelError;
-use crate::fit::{FitOptions, PAR_CHUNK};
+use crate::fit::{FitOptions, GibbsKernel, PAR_CHUNK};
+use crate::sparse::SparseTokenSampler;
 use crate::Result;
 use rand::Rng;
 use rand::SeedableRng;
@@ -97,12 +99,9 @@ struct State {
     v: usize,
     z: Vec<Vec<usize>>,
     y: Vec<usize>,
-    /// Texture-token topic counts per doc, flattened D×K.
-    n_dk: Vec<u32>,
-    /// Term-topic counts, flattened K×V.
-    n_kw: Vec<u32>,
-    /// Tokens per topic.
-    n_k: Vec<u32>,
+    /// The shared structure-of-arrays token-topic counts (`n_dk`,
+    /// `n_kw`, `n_k`, plus nonzero lists under the sparse kernel).
+    counts: TopicCounts,
     gel_stats: Vec<GaussianStats>,
     emu_stats: Vec<GaussianStats>,
     gel_params: Vec<GaussianPrecision>,
@@ -112,11 +111,15 @@ struct State {
 impl State {
     #[inline]
     fn n_dk(&self, d: usize, k: usize) -> u32 {
-        self.n_dk[d * self.k + k]
+        self.counts.dk(d, k)
     }
     #[inline]
     fn n_kw(&self, k: usize, w: usize) -> u32 {
-        self.n_kw[k * self.v + w]
+        self.counts.kw(k, w)
+    }
+    #[inline]
+    fn n_k(&self, k: usize) -> u32 {
+        self.counts.topic_total(k)
     }
 }
 
@@ -190,7 +193,8 @@ impl JointTopicModel {
         let cfg = &self.config;
         validate_docs(docs, cfg.vocab_size, cfg.gel_dim, cfg.emulsion_dim)?;
         let (gel_prior, emu_prior) = self.materialize_priors(docs)?;
-        let pool = crate::fit::build_pool(opts.threads)?;
+        let (kernel, threads) = opts.plan()?;
+        let pool = crate::fit::build_pool(threads)?;
         let mut null_obs = NullObserver;
         let observer: &mut dyn SweepObserver = match opts.observer {
             Some(o) => o,
@@ -203,7 +207,7 @@ impl JointTopicModel {
         };
         match opts.resume {
             Some(SamplerSnapshot::Joint(snap)) => {
-                let (mut rng, mut prog, start) = self.restore(docs, snap)?;
+                let (mut rng, mut prog, start) = self.restore(docs, snap, kernel)?;
                 self.run_sweeps(
                     &mut rng,
                     docs,
@@ -213,6 +217,7 @@ impl JointTopicModel {
                     start,
                     observer,
                     sink,
+                    kernel,
                     pool.as_ref(),
                 )?;
                 self.finalize(docs, prog, &gel_prior, &emu_prior)
@@ -233,6 +238,7 @@ impl JointTopicModel {
                     0,
                     observer,
                     sink,
+                    kernel,
                     pool.as_ref(),
                 )?;
                 self.finalize(docs, prog, &gel_prior, &emu_prior)
@@ -316,9 +322,8 @@ impl JointTopicModel {
         )
     }
 
-    /// The sweep loop shared by fresh and resumed fits: serial kernel
-    /// when `pool` is `None`, deterministic chunked kernel otherwise,
-    /// with one checkpoint decision per sweep either way.
+    /// The sweep loop shared by fresh and resumed fits, dispatching on
+    /// the planned kernel class with one checkpoint decision per sweep.
     #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
@@ -330,21 +335,43 @@ impl JointTopicModel {
         start_sweep: usize,
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
+        kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
     ) -> Result<()> {
+        let mut sparse = match kernel {
+            GibbsKernel::Sparse => {
+                if !prog.state.counts.tracking() {
+                    prog.state.counts.enable_tracking();
+                }
+                Some(SparseTokenSampler::new(
+                    self.config.n_topics,
+                    self.config.vocab_size,
+                    self.config.alpha,
+                    self.config.gamma,
+                ))
+            }
+            _ => None,
+        };
         for sweep in start_sweep..self.config.sweeps {
-            match pool {
-                None => {
+            match kernel {
+                GibbsKernel::Serial => {
                     self.sweep_once(rng, docs, prog, gel_prior, emu_prior, sweep, observer)?;
                 }
-                Some(pool) => {
+                GibbsKernel::Parallel => {
+                    let pool = pool.expect("parallel kernel runs on a pool");
                     self.sweep_once_parallel(
                         rng, pool, docs, prog, gel_prior, emu_prior, sweep, observer,
                     )?;
                 }
+                GibbsKernel::Sparse => {
+                    let sampler = sparse.as_mut().expect("sparse kernel has a sampler");
+                    self.sweep_once_sparse(
+                        rng, docs, prog, sampler, gel_prior, emu_prior, sweep, observer,
+                    )?;
+                }
             }
             crate::checkpoint::save_if_due(sink, sweep, || {
-                SamplerSnapshot::Joint(self.snapshot(rng, docs, prog, sweep + 1))
+                SamplerSnapshot::Joint(self.snapshot(rng, docs, prog, sweep + 1, kernel))
             })?;
         }
         Ok(())
@@ -365,6 +392,33 @@ impl JointTopicModel {
     ) -> Result<()> {
         let sweep_start = observer.enabled().then(Instant::now);
         self.sweep_z(rng, docs, &mut prog.state);
+        self.sweep_y(rng, docs, &mut prog.state)?;
+        let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
+        let ll = self.conditional_ll(docs, &prog.state);
+        self.post_sweep(docs, prog, sweep, ll, jitter_retries, sweep_start, observer);
+        Ok(())
+    }
+
+    /// One full sweep of the sparse kernel: Eq. (2) through the
+    /// three-bucket decomposition ([`crate::sparse`]) with the recipe's
+    /// observed topic `y_d` as the `M_dk` boost, then the unchanged
+    /// serial Eq. (3) / Eq. (4) phases (the Gaussian factors are dense
+    /// in `K` either way). A distinct bit-class from the dense kernels:
+    /// the token phase consumes one uniform per token.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_once_sparse(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &mut Progress,
+        sampler: &mut SparseTokenSampler,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<()> {
+        let sweep_start = observer.enabled().then(Instant::now);
+        self.sweep_z_sparse(rng, docs, &mut prog.state, sampler);
         self.sweep_y(rng, docs, &mut prog.state)?;
         let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
         let ll = self.conditional_ll(docs, &prog.state);
@@ -507,17 +561,19 @@ impl JointTopicModel {
         docs: &[ModelDoc],
         prog: &Progress,
         next_sweep: usize,
+        kernel: GibbsKernel,
     ) -> JointSnapshot {
         let state = &prog.state;
         JointSnapshot {
             config: self.config.clone(),
             next_sweep,
+            kernel: Some(kernel),
             doc_fingerprint: fingerprint_docs(docs),
             z: state.z.clone(),
             y: state.y.clone(),
-            n_dk: state.n_dk.clone(),
-            n_kw: state.n_kw.clone(),
-            n_k: state.n_k.clone(),
+            n_dk: state.counts.n_dk_raw().to_vec(),
+            n_kw: state.counts.n_kw_raw().to_vec(),
+            n_k: state.counts.n_k_raw().to_vec(),
             gel_stats: state.gel_stats.clone(),
             emu_stats: state.emu_stats.clone(),
             gel_params: state
@@ -544,6 +600,7 @@ impl JointTopicModel {
         &self,
         docs: &[ModelDoc],
         snap: JointSnapshot,
+        kernel: GibbsKernel,
     ) -> Result<(ChaCha8Rng, Progress, usize)> {
         let cfg = &self.config;
         let k = cfg.n_topics;
@@ -552,6 +609,7 @@ impl JointTopicModel {
         if snap.config != *cfg {
             return Err(mismatch("snapshot was written with a different config"));
         }
+        check_kernel(snap.kernel, kernel)?;
         if snap.doc_fingerprint != fingerprint_docs(docs) {
             return Err(mismatch("snapshot was written for a different corpus"));
         }
@@ -642,9 +700,7 @@ impl JointTopicModel {
             v,
             z: snap.z,
             y: snap.y,
-            n_dk: snap.n_dk,
-            n_kw: snap.n_kw,
-            n_k: snap.n_k,
+            counts: TopicCounts::from_parts(k, v, snap.n_dk, snap.n_kw, snap.n_k),
             gel_stats: snap.gel_stats,
             emu_stats: snap.emu_stats,
             gel_params,
@@ -733,9 +789,7 @@ impl JointTopicModel {
             v,
             z: Vec::with_capacity(d_count),
             y: Vec::with_capacity(d_count),
-            n_dk: vec![0; d_count * k],
-            n_kw: vec![0; k * v],
-            n_k: vec![0; k],
+            counts: TopicCounts::new(d_count, k, v),
             gel_stats: (0..k).map(|_| GaussianStats::new(cfg.gel_dim)).collect(),
             emu_stats: (0..k)
                 .map(|_| GaussianStats::new(cfg.emulsion_dim))
@@ -757,9 +811,7 @@ impl JointTopicModel {
                 .terms
                 .iter()
                 .map(|&w| {
-                    state.n_dk[d * k + topic] += 1;
-                    state.n_kw[topic * v + w] += 1;
-                    state.n_k[topic] += 1;
+                    state.counts.inc(d, w, topic);
                     topic
                 })
                 .collect();
@@ -782,23 +834,41 @@ impl JointTopicModel {
             let y_d = state.y[d];
             for (n, &w) in doc.terms.iter().enumerate() {
                 let old = state.z[d][n];
-                state.n_dk[d * k + old] -= 1;
-                state.n_kw[old * state.v + w] -= 1;
-                state.n_k[old] -= 1;
+                state.counts.dec(d, w, old);
 
                 for (kk, weight) in weights.iter_mut().enumerate() {
                     let m_dk = u32::from(y_d == kk);
                     let doc_part = f64::from(state.n_dk(d, kk) + m_dk) + cfg.alpha;
                     let term_part = (f64::from(state.n_kw(kk, w)) + cfg.gamma)
-                        / (f64::from(state.n_k[kk]) + cfg.gamma * v);
+                        / (f64::from(state.n_k(kk)) + cfg.gamma * v);
                     *weight = doc_part * term_part;
                 }
                 let new = sample_categorical(rng, &weights)
                     .expect("weights are positive by construction");
                 state.z[d][n] = new;
-                state.n_dk[d * k + new] += 1;
-                state.n_kw[new * state.v + w] += 1;
-                state.n_k[new] += 1;
+                state.counts.inc(d, w, new);
+            }
+        }
+    }
+
+    /// Eq. (2) through the sparse three-bucket draw: the recipe's
+    /// observed topic `y_d` enters as the `M_dk` boost, so the document
+    /// bucket keeps `y_d` in its support even when no token sits there.
+    fn sweep_z_sparse<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        docs: &[ModelDoc],
+        state: &mut State,
+        sampler: &mut SparseTokenSampler,
+    ) {
+        sampler.begin_sweep(&state.counts);
+        for (d, doc) in docs.iter().enumerate() {
+            let y_d = state.y[d];
+            sampler.begin_doc(&state.counts, d, Some(y_d));
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let old = state.z[d][n];
+                let new = sampler.move_token(rng, &mut state.counts, w, old);
+                state.z[d][n] = new;
             }
         }
     }
@@ -820,11 +890,11 @@ impl JointTopicModel {
         let alpha = self.config.alpha;
         let gamma = self.config.gamma;
         let vf = v as f64;
-        let n_kw_start = state.n_kw.clone();
-        let n_k_start = state.n_k.clone();
+        let (n_dk, n_kw_flat, n_k_flat) = state.counts.dense_parts_mut();
+        let n_kw_start = n_kw_flat.to_vec();
+        let n_k_start = n_k_flat.to_vec();
         let y = &state.y;
         let z = &mut state.z;
-        let n_dk = &mut state.n_dk;
         pool.install(|| {
             z.par_chunks_mut(PAR_CHUNK)
                 .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
@@ -865,13 +935,13 @@ impl JointTopicModel {
         });
         // Deterministic merge: the global term counts are a pure function
         // of the merged assignments.
-        state.n_kw.fill(0);
-        state.n_k.fill(0);
+        n_kw_flat.fill(0);
+        n_k_flat.fill(0);
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let t = state.z[d][n];
-                state.n_kw[t * v + w] += 1;
-                state.n_k[t] += 1;
+                n_kw_flat[t * v + w] += 1;
+                n_k_flat[t] += 1;
             }
         }
     }
@@ -890,7 +960,7 @@ impl JointTopicModel {
     ) -> Result<()> {
         let k = state.k;
         let alpha = self.config.alpha;
-        let n_dk = &state.n_dk;
+        let n_dk = state.counts.n_dk_raw();
         let gel_params = &state.gel_params;
         let emu_params = &state.emu_params;
         let new_y: Vec<Vec<usize>> = pool.install(|| {
@@ -1009,7 +1079,7 @@ impl JointTopicModel {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let kk = state.z[d][n];
                 ll += ((f64::from(state.n_kw(kk, w)) + cfg.gamma)
-                    / (f64::from(state.n_k[kk]) + cfg.gamma * v))
+                    / (f64::from(state.n_k(kk)) + cfg.gamma * v))
                     .ln();
             }
             let y = state.y[d];
@@ -1035,7 +1105,7 @@ impl JointTopicModel {
         let k = cfg.n_topics;
         let v = cfg.vocab_size;
         for kk in 0..k {
-            let denom = f64::from(state.n_k[kk]) + cfg.gamma * v as f64;
+            let denom = f64::from(state.n_k(kk)) + cfg.gamma * v as f64;
             for w in 0..v {
                 phi_acc[kk * v + w] += (f64::from(state.n_kw(kk, w)) + cfg.gamma) / denom;
             }

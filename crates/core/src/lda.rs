@@ -8,12 +8,15 @@
 //! concentration bands only insofar as they use different words.
 
 use crate::checkpoint::{
-    fingerprint_docs, mismatch, CheckpointSink, LdaSnapshot, RngState, SamplerSnapshot,
+    check_kernel, fingerprint_docs, mismatch, CheckpointSink, LdaSnapshot, RngState,
+    SamplerSnapshot,
 };
 use crate::config::JointConfig;
+use crate::counts::TopicCounts;
 use crate::data::{validate_docs, ModelDoc};
 use crate::error::ModelError;
-use crate::fit::{FitOptions, PAR_CHUNK};
+use crate::fit::{FitOptions, GibbsKernel, PAR_CHUNK};
+use crate::sparse::SparseTokenSampler;
 use crate::Result;
 use rand::Rng;
 use rand::SeedableRng;
@@ -89,9 +92,7 @@ pub struct LdaModel {
 /// Everything the LDA sweep loop mutates.
 struct LdaProgress {
     z: Vec<Vec<usize>>,
-    n_dk: Vec<u32>,
-    n_kw: Vec<u32>,
-    n_k: Vec<u32>,
+    counts: TopicCounts,
     phi_acc: Vec<f64>,
     theta_acc: Vec<f64>,
     n_samples: usize,
@@ -122,14 +123,16 @@ impl LdaModel {
     /// through one [`FitOptions`] bundle; see
     /// [`crate::joint::JointTopicModel::fit_with`] for the full contract
     /// (resume ignores `rng`; `threads >= 1` selects the deterministic
-    /// chunked parallel kernel, identical across thread counts).
+    /// chunked parallel kernel, identical across thread counts;
+    /// [`FitOptions::kernel`] picks a kernel class explicitly, including
+    /// the `O(nnz)`-per-token [`GibbsKernel::Sparse`]).
     ///
     /// Docs' concentration vectors are ignored; docs without terms get a
-    /// uniform θ row. Engine-specific note: the serial kernel's
-    /// log-likelihood trace is accumulated *during* the sweep (each token
-    /// scored at the counts in effect when it was sampled), while the
-    /// parallel kernel scores all tokens against the merged end-of-sweep
-    /// counts — same convergence signal, different bits.
+    /// uniform θ row. Engine-specific note: the serial and sparse
+    /// kernels' log-likelihood traces are accumulated *during* the sweep
+    /// (each token scored at the counts in effect when it was sampled),
+    /// while the parallel kernel scores all tokens against the merged
+    /// end-of-sweep counts — same convergence signal, different bits.
     ///
     /// # Errors
     /// [`crate::ModelError::InvalidData`] for malformed docs;
@@ -143,7 +146,8 @@ impl LdaModel {
         opts: FitOptions<'_>,
     ) -> Result<FittedLda> {
         self.validate(docs)?;
-        let pool = crate::fit::build_pool(opts.threads)?;
+        let (kernel, threads) = opts.plan()?;
+        let pool = crate::fit::build_pool(threads)?;
         let mut null_obs = NullObserver;
         let observer: &mut dyn SweepObserver = match opts.observer {
             Some(o) => o,
@@ -156,8 +160,17 @@ impl LdaModel {
         };
         match opts.resume {
             Some(SamplerSnapshot::Lda(snap)) => {
-                let (mut rng, mut prog, start) = self.restore(docs, snap)?;
-                self.run_sweeps(&mut rng, docs, &mut prog, start, observer, sink, pool.as_ref())?;
+                let (mut rng, mut prog, start) = self.restore(docs, snap, kernel)?;
+                self.run_sweeps(
+                    &mut rng,
+                    docs,
+                    &mut prog,
+                    start,
+                    observer,
+                    sink,
+                    kernel,
+                    pool.as_ref(),
+                )?;
                 Ok(self.finalize(docs.len(), prog))
             }
             Some(other) => Err(mismatch(format!(
@@ -166,7 +179,7 @@ impl LdaModel {
             ))),
             None => {
                 let mut prog = self.init_progress(rng, docs);
-                self.run_sweeps(rng, docs, &mut prog, 0, observer, sink, pool.as_ref())?;
+                self.run_sweeps(rng, docs, &mut prog, 0, observer, sink, kernel, pool.as_ref())?;
                 Ok(self.finalize(docs.len(), prog))
             }
         }
@@ -267,18 +280,14 @@ impl LdaModel {
         let v = cfg.vocab_size;
         let d_count = docs.len();
         let mut z: Vec<Vec<usize>> = Vec::with_capacity(d_count);
-        let mut n_dk = vec![0u32; d_count * k];
-        let mut n_kw = vec![0u32; k * v];
-        let mut n_k = vec![0u32; k];
+        let mut counts = TopicCounts::new(d_count, k, v);
         for (d, doc) in docs.iter().enumerate() {
             let zs: Vec<usize> = doc
                 .terms
                 .iter()
                 .map(|&w| {
                     let t = rng.gen_range(0..k);
-                    n_dk[d * k + t] += 1;
-                    n_kw[t * v + w] += 1;
-                    n_k[t] += 1;
+                    counts.inc(d, w, t);
                     t
                 })
                 .collect();
@@ -286,9 +295,7 @@ impl LdaModel {
         }
         LdaProgress {
             z,
-            n_dk,
-            n_kw,
-            n_k,
+            counts,
             phi_acc: vec![0.0f64; k * v],
             theta_acc: vec![0.0f64; d_count * k],
             n_samples: 0,
@@ -305,15 +312,37 @@ impl LdaModel {
         start_sweep: usize,
         observer: &mut dyn SweepObserver,
         sink: &mut dyn CheckpointSink,
+        kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
     ) -> Result<()> {
+        let mut sparse = match kernel {
+            GibbsKernel::Sparse => {
+                if !prog.counts.tracking() {
+                    prog.counts.enable_tracking();
+                }
+                Some(SparseTokenSampler::new(
+                    self.config.n_topics,
+                    self.config.vocab_size,
+                    self.config.alpha,
+                    self.config.gamma,
+                ))
+            }
+            _ => None,
+        };
         for sweep in start_sweep..self.config.sweeps {
-            match pool {
-                None => self.sweep_once(rng, docs, prog, sweep, observer),
-                Some(pool) => self.sweep_once_parallel(rng, pool, docs, prog, sweep, observer),
+            match kernel {
+                GibbsKernel::Serial => self.sweep_once(rng, docs, prog, sweep, observer),
+                GibbsKernel::Parallel => {
+                    let pool = pool.expect("parallel kernel runs on a pool");
+                    self.sweep_once_parallel(rng, pool, docs, prog, sweep, observer);
+                }
+                GibbsKernel::Sparse => {
+                    let sampler = sparse.as_mut().expect("sparse kernel has a sampler");
+                    self.sweep_once_sparse(rng, docs, prog, sampler, sweep, observer);
+                }
             }
             crate::checkpoint::save_if_due(sink, sweep, || {
-                SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1))
+                SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1, kernel))
             })?;
         }
         Ok(())
@@ -336,21 +365,51 @@ impl LdaModel {
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let old = prog.z[d][n];
-                prog.n_dk[d * k + old] -= 1;
-                prog.n_kw[old * v + w] -= 1;
-                prog.n_k[old] -= 1;
+                prog.counts.dec(d, w, old);
                 for (kk, weight) in weights.iter_mut().enumerate() {
-                    *weight = (f64::from(prog.n_dk[d * k + kk]) + cfg.alpha)
-                        * (f64::from(prog.n_kw[kk * v + w]) + cfg.gamma)
-                        / (f64::from(prog.n_k[kk]) + cfg.gamma * v as f64);
+                    *weight = (f64::from(prog.counts.dk(d, kk)) + cfg.alpha)
+                        * (f64::from(prog.counts.kw(kk, w)) + cfg.gamma)
+                        / (f64::from(prog.counts.topic_total(kk)) + cfg.gamma * v as f64);
                 }
                 let new = sample_categorical(rng, &weights).expect("positive weights");
                 prog.z[d][n] = new;
-                prog.n_dk[d * k + new] += 1;
-                prog.n_kw[new * v + w] += 1;
-                prog.n_k[new] += 1;
-                ll += ((f64::from(prog.n_kw[new * v + w]) + cfg.gamma)
-                    / (f64::from(prog.n_k[new]) + cfg.gamma * v as f64))
+                prog.counts.inc(d, w, new);
+                ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
+                    / (f64::from(prog.counts.topic_total(new)) + cfg.gamma * v as f64))
+                    .ln();
+            }
+        }
+        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+    }
+
+    /// The sparse SparseLDA-style sweep: same conditional as the serial
+    /// kernel, drawn through the three-bucket decomposition over the
+    /// nonzero topic lists ([`crate::sparse`]). One uniform draw per
+    /// token, so it is a distinct bit-class from the dense kernels. The
+    /// log-likelihood entry is accumulated per token exactly like the
+    /// serial kernel's.
+    fn sweep_once_sparse(
+        &self,
+        rng: &mut ChaCha8Rng,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sampler: &mut SparseTokenSampler,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) {
+        let cfg = &self.config;
+        let gamma_v = cfg.gamma * cfg.vocab_size as f64;
+        let sweep_start = observer.enabled().then(Instant::now);
+        let mut ll = 0.0;
+        sampler.begin_sweep(&prog.counts);
+        for (d, doc) in docs.iter().enumerate() {
+            sampler.begin_doc(&prog.counts, d, None);
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let old = prog.z[d][n];
+                let new = sampler.move_token(rng, &mut prog.counts, w, old);
+                prog.z[d][n] = new;
+                ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
+                    / (f64::from(prog.counts.topic_total(new)) + gamma_v))
                     .ln();
             }
         }
@@ -383,10 +442,10 @@ impl LdaModel {
         let sweep_seed: u64 = rng.gen();
         let sweep_start = observer.enabled().then(Instant::now);
 
-        let n_kw_start = prog.n_kw.clone();
-        let n_k_start = prog.n_k.clone();
+        let (n_dk, n_kw_flat, n_k_flat) = prog.counts.dense_parts_mut();
+        let n_kw_start = n_kw_flat.to_vec();
+        let n_k_start = n_k_flat.to_vec();
         let z = &mut prog.z;
-        let n_dk = &mut prog.n_dk;
         pool.install(|| {
             z.par_chunks_mut(PAR_CHUNK)
                 .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
@@ -423,21 +482,20 @@ impl LdaModel {
         });
         // Deterministic merge: rebuild the term counts from the merged
         // assignments, then score the sweep against them.
-        prog.n_kw.fill(0);
-        prog.n_k.fill(0);
+        n_kw_flat.fill(0);
+        n_k_flat.fill(0);
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let t = prog.z[d][n];
-                prog.n_kw[t * v + w] += 1;
-                prog.n_k[t] += 1;
+                n_kw_flat[t * v + w] += 1;
+                n_k_flat[t] += 1;
             }
         }
         let mut ll = 0.0;
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let t = prog.z[d][n];
-                ll += ((f64::from(prog.n_kw[t * v + w]) + gamma)
-                    / (f64::from(prog.n_k[t]) + gamma * vf))
+                ll += ((f64::from(n_kw_flat[t * v + w]) + gamma) / (f64::from(n_k_flat[t]) + gamma * vf))
                     .ln();
             }
         }
@@ -460,7 +518,7 @@ impl LdaModel {
         let v = cfg.vocab_size;
         prog.ll_trace.push(ll);
         if let Some(started) = sweep_start {
-            let occupancy: Vec<usize> = prog.n_k.iter().map(|&c| c as usize).collect();
+            let occupancy: Vec<usize> = prog.counts.n_k_raw().iter().map(|&c| c as usize).collect();
             let (topic_entropy, min_occupancy, max_occupancy) =
                 SweepStats::occupancy_summary(&occupancy);
             observer.on_sweep(&SweepStats {
@@ -480,10 +538,10 @@ impl LdaModel {
         }
         if sweep >= cfg.burn_in {
             for kk in 0..k {
-                let denom = f64::from(prog.n_k[kk]) + cfg.gamma * v as f64;
+                let denom = f64::from(prog.counts.topic_total(kk)) + cfg.gamma * v as f64;
                 for w in 0..v {
                     prog.phi_acc[kk * v + w] +=
-                        (f64::from(prog.n_kw[kk * v + w]) + cfg.gamma) / denom;
+                        (f64::from(prog.counts.kw(kk, w)) + cfg.gamma) / denom;
                 }
             }
             let alpha_sum = cfg.alpha * k as f64;
@@ -491,7 +549,7 @@ impl LdaModel {
                 let denom = doc.terms.len() as f64 + alpha_sum;
                 for kk in 0..k {
                     prog.theta_acc[d * k + kk] +=
-                        (f64::from(prog.n_dk[d * k + kk]) + cfg.alpha) / denom;
+                        (f64::from(prog.counts.dk(d, kk)) + cfg.alpha) / denom;
                 }
             }
             prog.n_samples += 1;
@@ -519,15 +577,17 @@ impl LdaModel {
         docs: &[ModelDoc],
         prog: &LdaProgress,
         next_sweep: usize,
+        kernel: GibbsKernel,
     ) -> LdaSnapshot {
         LdaSnapshot {
             config: self.config.clone(),
             next_sweep,
+            kernel: Some(kernel),
             doc_fingerprint: fingerprint_docs(docs),
             z: prog.z.clone(),
-            n_dk: prog.n_dk.clone(),
-            n_kw: prog.n_kw.clone(),
-            n_k: prog.n_k.clone(),
+            n_dk: prog.counts.n_dk_raw().to_vec(),
+            n_kw: prog.counts.n_kw_raw().to_vec(),
+            n_k: prog.counts.n_k_raw().to_vec(),
             phi_acc: prog.phi_acc.clone(),
             theta_acc: prog.theta_acc.clone(),
             n_samples: prog.n_samples,
@@ -540,6 +600,7 @@ impl LdaModel {
         &self,
         docs: &[ModelDoc],
         snap: LdaSnapshot,
+        kernel: GibbsKernel,
     ) -> Result<(ChaCha8Rng, LdaProgress, usize)> {
         let cfg = &self.config;
         let k = cfg.n_topics;
@@ -548,6 +609,7 @@ impl LdaModel {
         if snap.config != *cfg {
             return Err(mismatch("snapshot was written with a different config"));
         }
+        check_kernel(snap.kernel, kernel)?;
         if snap.doc_fingerprint != fingerprint_docs(docs) {
             return Err(mismatch("snapshot was written for a different corpus"));
         }
@@ -609,9 +671,7 @@ impl LdaModel {
         let rng = snap.rng.restore()?;
         let prog = LdaProgress {
             z: snap.z,
-            n_dk: snap.n_dk,
-            n_kw: snap.n_kw,
-            n_k: snap.n_k,
+            counts: TopicCounts::from_parts(k, v, snap.n_dk, snap.n_kw, snap.n_k),
             phi_acc: snap.phi_acc,
             theta_acc: snap.theta_acc,
             n_samples: snap.n_samples,

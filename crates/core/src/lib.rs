@@ -39,11 +39,13 @@
 //! (re-exported from `rheotex-obs`), a [`checkpoint::CheckpointSink`]
 //! receiving periodic [`checkpoint::SamplerSnapshot`]s, a resume
 //! snapshot to continue bit-identically from, the worker-thread count
-//! for the deterministic chunked parallel sweeps, and the
-//! posterior-predictive cache switch. The historical method triplet
-//! (`fit`, `fit_observed`, `fit_checkpointed` / `resume_observed`)
-//! survives as thin deprecated wrappers over `fit_with`; durable
-//! snapshot storage lives in the `rheotex-resilience` crate.
+//! for the deterministic chunked parallel sweeps, the Gibbs kernel
+//! class ([`fit::GibbsKernel`]: `serial`, `parallel`, or the
+//! `O(nnz)`-per-token `sparse`), and the posterior-predictive cache
+//! switch. The historical method triplet (`fit`, `fit_observed`,
+//! `fit_checkpointed` / `resume_observed`) survives as thin deprecated
+//! wrappers over `fit_with`; durable snapshot storage lives in the
+//! `rheotex-resilience` crate.
 //!
 //! ## Parallel determinism contract
 //!
@@ -58,6 +60,16 @@
 //! updates (the standard approximate-distributed-Gibbs trade). The
 //! serial kernel (`threads == 0`) remains bit-identical to the
 //! historical implementation.
+//!
+//! The sparse kernel (`FitOptions::kernel(GibbsKernel::Sparse)`) is a
+//! third bit-class: it samples the exact same conditional as the serial
+//! kernel but decomposes the weight into smoothing / document / word
+//! buckets ([`sparse`]) over the [`counts::TopicCounts`] nonzero-topic
+//! lists, consuming one uniform draw per token, so its RNG consumption
+//! differs from the dense scan. It is still a pure function of
+//! `(config, docs, seed)`: same seed → byte-identical fitted model,
+//! live or across kill-and-resume (snapshots record the kernel class
+//! and the nonzero lists rebuild in canonical sorted order).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -65,6 +77,7 @@
 pub mod checkpoint;
 pub mod collapsed;
 pub mod config;
+pub mod counts;
 pub mod data;
 pub mod diagnostics;
 pub mod error;
@@ -74,6 +87,7 @@ pub mod init;
 pub mod joint;
 pub mod lda;
 pub mod model_selection;
+pub mod sparse;
 pub mod summary;
 
 pub use checkpoint::{
@@ -83,7 +97,7 @@ pub use checkpoint::{
 pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
-pub use fit::FitOptions;
+pub use fit::{FitOptions, GibbsKernel};
 pub use joint::{FittedJointModel, JointTopicModel};
 pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, VecObserver};
 pub use summary::TopicSummary;

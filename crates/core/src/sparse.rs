@@ -1,0 +1,430 @@
+//! SparseLDA-style bucket decomposition of the collapsed Gibbs weight.
+//!
+//! The dense kernels score every topic for every token: `O(K)` per token
+//! regardless of how many topics the document or term actually uses. The
+//! sparse kernel splits the unnormalized weight
+//!
+//! ```text
+//! w_k = (n_dk + m_dk + alpha) * (n_kw + gamma) / (n_k + gamma * V)
+//! ```
+//!
+//! into three buckets,
+//!
+//! ```text
+//! w_k = alpha * gamma / den_k                      (s: smoothing, all K)
+//!     + (n_dk + m_dk) * gamma / den_k              (r: document, nnz(doc))
+//!     + (n_dk + m_dk + alpha) * n_kw / den_k       (q: word, nnz(word))
+//! ```
+//!
+//! where `den_k = n_k + gamma * V` and `m_dk` is the joint model's
+//! observed-topic boost (`1` when the document's gel/emulsion topic is
+//! `k`, absent for plain LDA). The s-bucket mass and the per-topic
+//! `1 / den_k` table change only when a topic's total count moves, the
+//! r-bucket mass only when the current document's counts move — both are
+//! maintained incrementally. Only the q bucket is rebuilt per token, and
+//! it walks the term's nonzero-topic list, so the per-token cost is
+//! `O(q + r + s_walk)` with the common case resolved inside the q bucket
+//! after a handful of comparisons.
+//!
+//! # Determinism
+//!
+//! The draw consumes exactly one `f64` from the RNG per token, and every
+//! floating-point operation is a pure function of (config, counts
+//! history). The incrementally maintained `r`/`s` masses enter the draw
+//! only through the *total*; bucket selection walks freshly computed
+//! per-topic terms, so accumulated rounding drift in the masses can bias
+//! the bucket split by at most an ulp-scale amount but can never make
+//! the walk disagree with itself across runs. Same seed, same docs, same
+//! config → byte-identical assignments, on a live run or across a
+//! kill-and-resume (the nonzero lists rebuild in sorted order; see
+//! [`crate::counts`]).
+
+use rand::Rng;
+
+use crate::counts::TopicCounts;
+
+/// Per-sweep sampler state for the sparse kernel: the shared `1/den_k`
+/// table, the incrementally maintained bucket masses, and the q-bucket
+/// scratch buffers.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseTokenSampler {
+    k: usize,
+    alpha: f64,
+    gamma: f64,
+    gamma_v: f64,
+    alpha_gamma: f64,
+    /// `1 / (n_k + gamma * V)` per topic; refreshed on topic-total moves.
+    inv_den: Vec<f64>,
+    /// Smoothing bucket mass: `alpha * gamma * sum_k inv_den[k]`.
+    s_mass: f64,
+    /// Document bucket mass for the current document.
+    r_mass: f64,
+    /// The document `begin_doc` installed.
+    doc: usize,
+    /// The joint model's observed topic for the current document, if any.
+    boost: Option<usize>,
+    /// Scratch: topics contributing to the q bucket for this token.
+    q_topics: Vec<u32>,
+    /// Scratch: cumulative q-bucket weights, parallel to `q_topics`.
+    q_cum: Vec<f64>,
+}
+
+impl SparseTokenSampler {
+    pub(crate) fn new(k: usize, v: usize, alpha: f64, gamma: f64) -> Self {
+        Self {
+            k,
+            alpha,
+            gamma,
+            gamma_v: gamma * v as f64,
+            alpha_gamma: alpha * gamma,
+            inv_den: vec![0.0; k],
+            s_mass: 0.0,
+            r_mass: 0.0,
+            doc: 0,
+            boost: None,
+            q_topics: Vec::with_capacity(k),
+            q_cum: Vec::with_capacity(k),
+        }
+    }
+
+    /// `m_dk`: 1 when `topic` is the document's observed topic.
+    #[inline]
+    fn boost_count(&self, topic: usize) -> u32 {
+        u32::from(self.boost == Some(topic))
+    }
+
+    /// Refreshes the denominator table and the smoothing mass from the
+    /// current counts. Called at the top of every sweep so that rounding
+    /// drift from incremental updates never outlives a sweep.
+    pub(crate) fn begin_sweep(&mut self, counts: &TopicCounts) {
+        let mut sum = 0.0;
+        for t in 0..self.k {
+            let inv = 1.0 / (f64::from(counts.topic_total(t)) + self.gamma_v);
+            self.inv_den[t] = inv;
+            sum += inv;
+        }
+        self.s_mass = self.alpha_gamma * sum;
+    }
+
+    /// Installs document `d` (with the joint model's observed-topic
+    /// `boost`, if any) and computes its document-bucket mass.
+    pub(crate) fn begin_doc(&mut self, counts: &TopicCounts, d: usize, boost: Option<usize>) {
+        self.doc = d;
+        self.boost = boost;
+        let mut r = 0.0;
+        let mut boost_in_list = false;
+        for &t in counts.doc_topics(d) {
+            let t = t as usize;
+            boost_in_list |= Some(t) == boost;
+            let a = f64::from(counts.dk(d, t) + self.boost_count(t));
+            r += a * self.gamma * self.inv_den[t];
+        }
+        if let Some(b) = boost {
+            if !boost_in_list {
+                // m_dk alone keeps the boost topic in the r support even
+                // when the document has no tokens there.
+                r += self.gamma * self.inv_den[b];
+            }
+        }
+        self.r_mass = r;
+    }
+
+    /// The r term of `topic` for the current document under the current
+    /// counts (zero when the topic is outside the r support).
+    #[inline]
+    fn r_term(&self, counts: &TopicCounts, topic: usize) -> f64 {
+        let a = f64::from(counts.dk(self.doc, topic) + self.boost_count(topic));
+        a * self.gamma * self.inv_den[topic]
+    }
+
+    /// Removes `topic`'s contributions, applies `op` to the counts, then
+    /// re-adds the contributions under the new counts — the one place
+    /// the incremental masses are maintained.
+    #[inline]
+    fn shift_topic(
+        &mut self,
+        counts: &mut TopicCounts,
+        topic: usize,
+        op: impl FnOnce(&mut TopicCounts),
+    ) {
+        self.s_mass -= self.alpha_gamma * self.inv_den[topic];
+        self.r_mass -= self.r_term(counts, topic);
+        op(counts);
+        self.inv_den[topic] = 1.0 / (f64::from(counts.topic_total(topic)) + self.gamma_v);
+        self.s_mass += self.alpha_gamma * self.inv_den[topic];
+        self.r_mass += self.r_term(counts, topic);
+    }
+
+    /// Moves one token of term `w` in the current document out of topic
+    /// `old` and into a freshly drawn topic, which it returns. Counts
+    /// and bucket masses are left consistent with the new assignment.
+    pub(crate) fn move_token<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        counts: &mut TopicCounts,
+        w: usize,
+        old: usize,
+    ) -> usize {
+        let d = self.doc;
+        self.shift_topic(counts, old, |c| c.dec(d, w, old));
+
+        // q bucket: one pass over the term's nonzero topics.
+        self.q_topics.clear();
+        self.q_cum.clear();
+        let mut q_mass = 0.0;
+        for &t in counts.word_topics(w) {
+            let tu = t as usize;
+            let a = f64::from(counts.dk(d, tu) + self.boost_count(tu)) + self.alpha;
+            q_mass += a * f64::from(counts.kw(tu, w)) * self.inv_den[tu];
+            self.q_topics.push(t);
+            self.q_cum.push(q_mass);
+        }
+
+        let total = q_mass + self.r_mass + self.s_mass;
+        let u = rng.gen::<f64>() * total;
+
+        let new = if u < q_mass {
+            let slot = self.q_cum.partition_point(|&c| c <= u);
+            self.q_topics[slot.min(self.q_topics.len() - 1)] as usize
+        } else {
+            self.pick_r_or_s(counts, u - q_mass)
+        };
+
+        self.shift_topic(counts, new, |c| c.inc(d, w, new));
+        new
+    }
+
+    /// Resolves a draw that landed past the q bucket by walking freshly
+    /// computed r terms (document nonzero list, plus the boost topic if
+    /// it carries no tokens), then the K smoothing terms. The stored
+    /// `r_mass`/`s_mass` only sized the total, so rounding drift in them
+    /// cannot desynchronize this walk between runs.
+    fn pick_r_or_s(&self, counts: &TopicCounts, mut u: f64) -> usize {
+        let d = self.doc;
+        let mut boost_in_list = false;
+        for &t in counts.doc_topics(d) {
+            let t = t as usize;
+            boost_in_list |= Some(t) == self.boost;
+            u -= self.r_term(counts, t);
+            if u < 0.0 {
+                return t;
+            }
+        }
+        if let Some(b) = self.boost {
+            if !boost_in_list {
+                u -= self.r_term(counts, b);
+                if u < 0.0 {
+                    return b;
+                }
+            }
+        }
+        for t in 0..self.k {
+            u -= self.alpha_gamma * self.inv_den[t];
+            if u < 0.0 {
+                return t;
+            }
+        }
+        // Rounding pushed u past every bucket; the last topic absorbs it.
+        self.k - 1
+    }
+
+    /// The incrementally maintained `(r_mass, s_mass)` pair.
+    #[cfg(test)]
+    fn masses(&self) -> (f64, f64) {
+        (self.r_mass, self.s_mass)
+    }
+
+    /// `(r_mass, s_mass)` recomputed from scratch for the current
+    /// document — the reference the incremental masses are tested
+    /// against.
+    #[cfg(test)]
+    fn recomputed_masses(&self, counts: &TopicCounts) -> (f64, f64) {
+        let mut probe = self.clone();
+        probe.begin_sweep(counts);
+        probe.begin_doc(counts, self.doc, self.boost);
+        (probe.r_mass, probe.s_mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A small corpus as (doc, word) token sites with initial topics.
+    fn seeded_counts(
+        rng: &mut ChaCha8Rng,
+        d: usize,
+        k: usize,
+        v: usize,
+        tokens_per_doc: usize,
+    ) -> (TopicCounts, Vec<(usize, usize, usize)>) {
+        let mut counts = TopicCounts::new(d, k, v);
+        counts.enable_tracking();
+        let mut sites = Vec::new();
+        for doc in 0..d {
+            for _ in 0..tokens_per_doc {
+                let w = rng.gen_range(0..v);
+                let t = rng.gen_range(0..k);
+                counts.inc(doc, w, t);
+                sites.push((doc, w, t));
+            }
+        }
+        (counts, sites)
+    }
+
+    fn assert_close(inc: f64, fresh: f64, what: &str) {
+        let scale = fresh.abs().max(1e-300);
+        assert!(
+            ((inc - fresh) / scale).abs() < 1e-9,
+            "{what}: incremental {inc} vs fresh {fresh}"
+        );
+    }
+
+    #[test]
+    fn moved_token_keeps_counts_and_masses_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (mut counts, mut sites) = seeded_counts(&mut rng, 3, 6, 8, 10);
+        let mut sampler = SparseTokenSampler::new(6, 8, 0.4, 0.2);
+        sampler.begin_sweep(&counts);
+        for pass in 0..4 {
+            for i in 0..sites.len() {
+                let (d, w, old) = sites[i];
+                sampler.begin_doc(&counts, d, None);
+                let new = sampler.move_token(&mut rng, &mut counts, w, old);
+                assert!(new < 6);
+                sites[i] = (d, w, new);
+                let (r_inc, s_inc) = sampler.masses();
+                let (r_fresh, s_fresh) = sampler.recomputed_masses(&counts);
+                assert_close(r_inc, r_fresh, &format!("r pass {pass} token {i}"));
+                assert_close(s_inc, s_fresh, &format!("s pass {pass} token {i}"));
+            }
+        }
+        // Token mass is conserved.
+        let total: u32 = (0..6).map(|t| counts.topic_total(t)).sum();
+        assert_eq!(total as usize, sites.len());
+    }
+
+    #[test]
+    fn boost_topic_stays_in_r_support_without_tokens() {
+        // A document with no tokens in the boost topic must still be able
+        // to draw it through the r bucket (m_dk = 1 alone).
+        let mut counts = TopicCounts::new(1, 4, 3);
+        counts.enable_tracking();
+        counts.inc(0, 0, 1);
+        let mut sampler = SparseTokenSampler::new(4, 3, 0.3, 0.1);
+        sampler.begin_sweep(&counts);
+        sampler.begin_doc(&counts, 0, Some(2));
+        // r support is {1 (token), 2 (boost)}.
+        let expected = sampler.r_term(&counts, 1) + sampler.r_term(&counts, 2);
+        assert_close(sampler.r_mass, expected, "boost r_mass");
+        assert!(sampler.r_term(&counts, 2) > 0.0);
+        assert_eq!(sampler.r_term(&counts, 3), 0.0);
+    }
+
+    #[test]
+    fn sparse_draw_matches_dense_distribution() {
+        // Frequency check: the sparse three-bucket draw targets the same
+        // unnormalized weights as the dense kernel's K-way scan.
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let (k, v, alpha, gamma) = (4usize, 5usize, 0.5, 0.2);
+        let (mut counts, _) = seeded_counts(&mut rng, 1, k, v, 12);
+        let w = 2;
+        counts.inc(0, w, 1); // the token we resample, topic 1
+        let mut sampler = SparseTokenSampler::new(k, v, alpha, gamma);
+
+        // Dense reference weights with the token removed.
+        counts.dec(0, w, 1);
+        let weights: Vec<f64> = (0..k)
+            .map(|t| {
+                (f64::from(counts.dk(0, t)) + alpha) * (f64::from(counts.kw(t, w)) + gamma)
+                    / (f64::from(counts.topic_total(t)) + gamma * v as f64)
+            })
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        counts.inc(0, w, 1);
+
+        let draws = 40_000usize;
+        let mut hist = vec![0usize; k];
+        let mut at = 1usize;
+        for _ in 0..draws {
+            sampler.begin_sweep(&counts);
+            sampler.begin_doc(&counts, 0, None);
+            let new = sampler.move_token(&mut rng, &mut counts, w, at);
+            hist[new] += 1;
+            // Put the token back where it started so every draw sees the
+            // same conditional.
+            sampler.shift_topic(&mut counts, new, |c| c.dec(0, w, new));
+            sampler.shift_topic(&mut counts, at, |c| c.inc(0, w, at));
+            at = 1;
+        }
+        for t in 0..k {
+            let expect = weights[t] / wsum;
+            let got = hist[t] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.015,
+                "topic {t}: got {got:.4}, expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_token_is_deterministic_for_a_seed() {
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(23);
+            let (mut counts, mut sites) = seeded_counts(&mut rng, 4, 8, 6, 9);
+            let mut sampler = SparseTokenSampler::new(8, 6, 0.3, 0.15);
+            let mut trace = Vec::new();
+            for _ in 0..3 {
+                sampler.begin_sweep(&counts);
+                for i in 0..sites.len() {
+                    let (d, w, old) = sites[i];
+                    sampler.begin_doc(&counts, d, Some(d % 8));
+                    let new = sampler.move_token(&mut rng, &mut counts, w, old);
+                    sites[i] = (d, w, new);
+                    trace.push(new);
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        /// Property (a): after any randomized remove/insert sequence the
+        /// incrementally maintained bucket masses match a from-scratch
+        /// recomputation (to FP roundoff) and the nonzero support is
+        /// exact.
+        #[test]
+        fn masses_survive_randomized_moves(seed in 0u64..500, moves in 10usize..80) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (d, k, v) = (3usize, 5usize, 6usize);
+            let (mut counts, mut sites) = seeded_counts(&mut rng, d, k, v, 8);
+            let mut sampler = SparseTokenSampler::new(k, v, 0.25, 0.1);
+            sampler.begin_sweep(&counts);
+            for _ in 0..moves {
+                let i = rng.gen_range(0..sites.len());
+                let (doc, w, old) = sites[i];
+                let boost = if rng.gen_bool(0.5) { Some(rng.gen_range(0..k)) } else { None };
+                sampler.begin_doc(&counts, doc, boost);
+                let new = sampler.move_token(&mut rng, &mut counts, w, old);
+                sites[i] = (doc, w, new);
+                let (r_inc, s_inc) = sampler.masses();
+                let (r_fresh, s_fresh) = sampler.recomputed_masses(&counts);
+                let rs = (r_inc - r_fresh).abs() / r_fresh.abs().max(1e-300);
+                let ss = (s_inc - s_fresh).abs() / s_fresh.abs().max(1e-300);
+                prop_assert!(rs < 1e-9, "r drift {rs}");
+                prop_assert!(ss < 1e-9, "s drift {ss}");
+                // Support exactness: every tracked doc list equals the
+                // support of the flat counts.
+                for dd in 0..d {
+                    let expect: Vec<u32> =
+                        (0..k).filter(|&t| counts.dk(dd, t) > 0).map(|t| t as u32).collect();
+                    prop_assert_eq!(counts.doc_topics(dd), expect.as_slice());
+                }
+            }
+        }
+    }
+}

@@ -78,7 +78,7 @@ proptest! {
         };
         let model = CollapsedJointModel::new(config).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let fit = model.fit(&mut rng, &docs).unwrap();
+        let fit = model.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
         assert_simplex(&fit.phi)?;
         assert_simplex(&fit.theta)?;
         prop_assert!(fit.ll_trace.iter().all(|l| l.is_finite()));

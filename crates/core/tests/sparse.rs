@@ -1,0 +1,229 @@
+//! The sparse-kernel contract, end to end: a sparse fit is a pure
+//! function of `(config, docs, seed)` (same seed → byte-identical
+//! model), statistically interchangeable with the dense serial kernel
+//! on planted-structure corpora (the per-token conditional is the same
+//! distribution — only the RNG consumption pattern differs), snapshot /
+//! resume-compatible with itself, and rejected by engines or option
+//! combinations it cannot serve.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::MemoryCheckpointSink;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{
+    FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc, ModelError,
+};
+use rheotex_linalg::Vector;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(23)
+}
+
+/// Two planted clusters: even docs use words {0, 1} and a low-gelatin
+/// profile, odd docs use words {2, 3} and a distinct one.
+fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+    let mut r = ChaCha8Rng::seed_from_u64(78);
+    (0..2 * n_per)
+        .map(|i| {
+            use rand::Rng;
+            let cluster = i % 2;
+            let terms: Vec<usize> = (0..3).map(|j| 2 * cluster + (j % 2)).collect();
+            let jitter = r.gen_range(-0.2..0.2);
+            let gel = if cluster == 0 {
+                Vector::new(vec![2.0 + jitter, 9.0, 9.0])
+            } else {
+                Vector::new(vec![9.0, 4.0 + jitter, 9.0])
+            };
+            ModelDoc::new(i as u64, terms, gel, Vector::full(6, 9.0))
+        })
+        .collect()
+}
+
+fn joint_config() -> JointConfig {
+    JointConfig {
+        n_topics: 4,
+        sweeps: 10,
+        burn_in: 5,
+        ..JointConfig::quick(4, 12)
+    }
+}
+
+/// Fraction of documents whose cluster assignment agrees with the
+/// planted even/odd partition (up to label swap).
+fn partition_accuracy(y: &[usize]) -> f64 {
+    let y0 = y[0];
+    let agree = (0..y.len())
+        .filter(|&d| (y[d] == y0) == (d % 2 == 0))
+        .count();
+    agree as f64 / y.len() as f64
+}
+
+#[test]
+fn sparse_joint_fit_is_byte_identical_for_a_seed() {
+    let docs = two_cluster_docs(40);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let opts = || FitOptions::new().kernel(GibbsKernel::Sparse);
+    let a = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+    let b = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+    assert_eq!(a.y, b.y);
+    assert_eq!(a.ll_trace, b.ll_trace);
+    assert_eq!(a.phi, b.phi);
+    assert_eq!(a.theta, b.theta);
+}
+
+/// Satellite property: the sparse and dense kernels sample the same
+/// per-token conditional, so on a corpus with planted structure both
+/// must recover it — and land on log-likelihood plateaus of the same
+/// height. (Exact per-draw distribution equality is pinned by the unit
+/// tests in `core/src/sparse.rs`.)
+#[test]
+fn sparse_and_serial_kernels_agree_statistically() {
+    let docs = two_cluster_docs(40);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let serial = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+    let sparse = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Sparse),
+        )
+        .unwrap();
+    let acc_serial = partition_accuracy(&serial.y);
+    let acc_sparse = partition_accuracy(&sparse.y);
+    assert!(acc_serial > 0.9, "serial kernel recovered {acc_serial}");
+    assert!(acc_sparse > 0.9, "sparse kernel recovered {acc_sparse}");
+    // Same model, same data: the converged joint LL must match to within
+    // a few percent even though the chains differ bitwise.
+    let tail = |t: &[f64]| -> f64 {
+        let m = t.len() / 2;
+        t[m..].iter().sum::<f64>() / (t.len() - m) as f64
+    };
+    let (ls, lp) = (tail(&serial.ll_trace), tail(&sparse.ll_trace));
+    assert!(
+        ((ls - lp) / ls.abs()).abs() < 0.05,
+        "post-burn-in LL plateaus diverge: serial {ls}, sparse {lp}"
+    );
+}
+
+#[test]
+fn sparse_lda_recovers_the_partition_like_the_dense_kernel() {
+    let docs = two_cluster_docs(40);
+    let model = LdaModel::new(LdaConfig {
+        n_topics: 2,
+        vocab_size: 4,
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: 60,
+        burn_in: 30,
+    })
+    .unwrap();
+    for opts in [
+        FitOptions::new(),
+        FitOptions::new().kernel(GibbsKernel::Sparse),
+    ] {
+        let fit = model.fit_with(&mut rng(), &docs, opts).unwrap();
+        let dominant: Vec<usize> = fit
+            .theta
+            .iter()
+            .map(|row| if row[0] > row[1] { 0 } else { 1 })
+            .collect();
+        let acc = partition_accuracy(&dominant);
+        assert!(acc > 0.9, "kernel recovered {acc}");
+    }
+}
+
+#[test]
+fn sparse_kernel_rejects_worker_threads() {
+    let docs = two_cluster_docs(4);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let err = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Sparse).threads(2),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+}
+
+#[test]
+fn gmm_rejects_the_sparse_kernel() {
+    let docs = two_cluster_docs(4);
+    let mut cfg = GmmConfig::new(2);
+    cfg.sweeps = 4;
+    let model = GmmModel::new(cfg).unwrap();
+    let err = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Sparse),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+}
+
+/// Checkpoint written mid-run by the sparse kernel, resumed by the
+/// sparse kernel: bit-identical to the uninterrupted sparse fit. The
+/// nonzero-topic lists are not persisted — they are rebuilt from the
+/// dense counts in canonical sorted order on restore, which this test
+/// proves is enough for bit-identity.
+#[test]
+fn sparse_checkpoint_resumes_bit_identically() {
+    let docs = two_cluster_docs(100);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let opts = || FitOptions::new().kernel(GibbsKernel::Sparse);
+    let full = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(&mut rng(), &docs, opts().checkpoint(&mut sink))
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+    assert!(snapshot.next_sweep() < joint_config().sweeps);
+
+    let resumed = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            opts().resume(snapshot),
+        )
+        .unwrap();
+    assert_eq!(resumed.y, full.y);
+    assert_eq!(resumed.ll_trace, full.ll_trace);
+    assert_eq!(resumed.phi, full.phi);
+    assert_eq!(resumed.theta, full.theta);
+}
+
+/// A snapshot records its kernel class; resuming under a different one
+/// must fail loudly instead of silently breaking bit-identity.
+#[test]
+fn resume_under_a_different_kernel_is_rejected() {
+    let docs = two_cluster_docs(100);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Sparse)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+
+    for resume_opts in [
+        FitOptions::new(),            // serial
+        FitOptions::new().threads(2), // parallel
+    ] {
+        let err = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                resume_opts.resume(snapshot.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
+    }
+}

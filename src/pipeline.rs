@@ -42,7 +42,9 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::{JointSnapshot, SamplerSnapshot};
-use rheotex_core::{FitOptions, FittedJointModel, JointConfig, JointTopicModel, ModelError};
+use rheotex_core::{
+    FitOptions, FittedJointModel, GibbsKernel, JointConfig, JointTopicModel, ModelError,
+};
 use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
 use rheotex_embed::{FilterConfig, FilterOutcome, GelRelatednessFilter, SgnsConfig, Word2Vec};
@@ -152,6 +154,11 @@ pub struct PipelineConfig {
     /// identical for every thread count (see `rheotex-core`'s crate docs
     /// for the contract).
     pub threads: usize,
+    /// Explicit Gibbs kernel for the fit stage; `None` (the default)
+    /// keeps the historical thread-count semantics above. `serial`,
+    /// `parallel`, and `sparse` name the kernel directly — the sparse
+    /// kernel is single-threaded, so it requires `threads == 0`.
+    pub kernel: Option<GibbsKernel>,
 }
 
 impl PipelineConfig {
@@ -182,6 +189,7 @@ impl PipelineConfig {
             burn_in: 200,
             seed: 2022,
             threads: 0,
+            kernel: None,
         }
     }
 
@@ -206,6 +214,7 @@ impl PipelineConfig {
             burn_in: 40,
             seed: 2022,
             threads: 0,
+            kernel: None,
         }
     }
 }
@@ -425,6 +434,9 @@ impl<'a> PipelineRun<'a> {
         span.set("topics", config.n_topics as u64);
         span.set("sweeps", config.sweeps as u64);
         span.set("threads", config.threads as u64);
+        if let Some(kernel) = config.kernel {
+            span.set("kernel", kernel.to_string());
+        }
         if let Some(opts) = &self.checkpoint {
             span.set("checkpoint_every", opts.every as u64);
             span.set(
@@ -437,6 +449,9 @@ impl<'a> PipelineRun<'a> {
         let mut options = FitOptions::new()
             .observer(&mut observer)
             .threads(config.threads);
+        if let Some(kernel) = config.kernel {
+            options = options.kernel(kernel);
+        }
         if let Some(s) = sink.as_mut() {
             options = options.checkpoint(s);
         }
