@@ -1,5 +1,5 @@
 //! Gibbs hot-path throughput, machine-readable: writes
-//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/2`) comparing
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/3`) comparing
 //! the serial joint kernel against the deterministic parallel and sparse
 //! kernels, the GMM sweep with the Student-t predictive cache on vs. off,
 //! and a kernel scan of dense-serial vs. sparse LDA sweeps across topic
@@ -11,7 +11,9 @@
 //!
 //! ```json
 //! {
-//!   "schema": "rheotex.bench.gibbs/2",
+//!   "schema": "rheotex.bench.gibbs/3",
+//!   "meta": { "git_describe": "v0-12-gabc1234", "cpu_model": "...",
+//!             "host_threads": 16 },
 //!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
 //!   "sweeps": 20,
 //!   "engines": {
@@ -173,6 +175,38 @@ fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> (f64, f64) {
             .unwrap();
     });
     (serial, sparse)
+}
+
+/// Provenance stamped into every report: the commit the binary was built
+/// from, the CPU it ran on, and the host's hardware thread count. Each
+/// field degrades to `"unknown"` (or 0) rather than failing — a missing
+/// `.git` directory or a non-Linux host must not break the bench.
+fn bench_meta() -> serde_json::Value {
+    let git_describe = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, v)| v.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let host_threads = std::thread::available_parallelism().map_or(0, usize::from);
+    serde_json::json!({
+        "git_describe": git_describe,
+        "cpu_model": cpu_model,
+        "host_threads": host_threads,
+    })
 }
 
 /// Collects every `tokens_per_sec` leaf in a report, keyed by the JSON
@@ -343,7 +377,8 @@ fn main() {
     }
 
     let report = serde_json::json!({
-        "schema": "rheotex.bench.gibbs/2",
+        "schema": "rheotex.bench.gibbs/3",
+        "meta": bench_meta(),
         "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
         "sweeps": sweeps,
         "engines": {

@@ -13,7 +13,7 @@ use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::{TermId, TextureDictionary};
 use rheotex_linkage::assign::assign_setting;
 use rheotex_linkage::rules::mine_term_rules;
-use rheotex_obs::{JsonlSink, Obs, ProgressSink, Recorder};
+use rheotex_obs::{JsonlSink, Obs, ProgressSink, Recorder, RunReport, TraceDiagnostic};
 use std::path::Path;
 use std::time::Duration;
 
@@ -25,10 +25,13 @@ USAGE:
   rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
                     [--threads N] [--kernel serial|parallel|sparse]
+                    [--chains N] [--rhat-threshold R] [--fail-unconverged]
                     --out-model model.json --out-dict dict.json
                     [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                     [--max-bad-ratio R]
+  rheotex report    metrics.jsonl [more.jsonl ...] [--out report.json]
+                    [--rhat-threshold R] [--fail-unconverged] [--quiet]
   rheotex topics    --model model.json --dict dict.json [--top N] [--json]
   rheotex assign    --model model.json --dict dict.json --gelatin PCT
                     [--kanten PCT] [--agar PCT]
@@ -51,6 +54,30 @@ FIT PERFORMANCE:
                        serial/sparse require --threads 0; every kernel is
                        deterministic but a checkpoint resumes only under
                        the kernel that wrote it
+
+FIT CONVERGENCE:
+  --chains N           fit N independent Gibbs chains from consecutive
+                       seeds (default: 1 = the historical single chain),
+                       keep the chain with the best final log-likelihood,
+                       and compute split R-hat / bulk ESS diagnostics
+                       across the chains (streamed to --metrics-out as
+                       convergence.* events). Chain 0 reproduces the
+                       single-chain fit bit-for-bit. Incompatible with
+                       --checkpoint-dir
+  --rhat-threshold R   R-hat acceptance threshold for the convergence
+                       verdict (default: 1.05)
+  --fail-unconverged   exit with code 3 when any diagnosed metric's
+                       R-hat exceeds the threshold (default: warn only).
+                       Note: place before another --flag, like --resume
+
+REPORT:
+  rheotex report reads one or more --metrics-out JSONL files and prints
+  the convergence verdict per traced metric, the pipeline stage and
+  sweep-phase time breakdown, and a kernel-specific profile section
+  (sparse bucket masses, parallel chunk timings, cache hit rates);
+  --out additionally writes machine-readable JSON (schema
+  rheotex.report/1). With --fail-unconverged the exit code is 3 when
+  the run is unconverged at the R-hat threshold.
 
 FIT OBSERVABILITY:
   --metrics-out FILE   write the structured event stream (stage spans,
@@ -171,6 +198,8 @@ pub fn fit(args: &Args) -> i32 {
     config.burn_in = config.sweeps / 2;
     config.seed = args.get_parsed_or("seed", config.seed);
     config.threads = args.get_parsed_or("threads", config.threads);
+    config.chains = args.get_parsed_or("chains", config.chains);
+    let rhat_threshold = args.get_parsed_or("rhat-threshold", 1.05f64);
     if let Some(kernel) = args.get("kernel") {
         match kernel.parse() {
             Ok(k) => config.kernel = Some(k),
@@ -182,8 +211,13 @@ pub fn fit(args: &Args) -> i32 {
         let kernel = config
             .kernel
             .map_or_else(String::new, |k| format!(", {k} kernel"));
+        let chains = if config.chains > 1 {
+            format!(", {} chains", config.chains)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "fitting K={} over {} recipes ({} sweeps, {} threads{kernel})…",
+            "fitting K={} over {} recipes ({} sweeps, {} threads{kernel}{chains})…",
             config.n_topics,
             recipes.len(),
             config.sweeps,
@@ -233,12 +267,96 @@ pub fn fit(args: &Args) -> i32 {
         return fail(e);
     }
     obs.flush();
+    let unconverged = report_fit_convergence(&fit.diagnostics, rhat_threshold, quiet);
     if !quiet {
         let table = obs.summary_table();
         if !table.is_empty() {
             eprint!("{table}");
         }
         println!("wrote {out_model} and {out_dict}");
+    }
+    if unconverged && args.has("fail-unconverged") {
+        eprintln!("error: chains unconverged at R-hat threshold {rhat_threshold}");
+        return 3;
+    }
+    0
+}
+
+/// Prints the multi-chain convergence verdict to stderr (suppressed by
+/// `--quiet`) and returns whether any diagnosed metric failed the R̂
+/// threshold. No-chain (empty) diagnostics print nothing.
+fn report_fit_convergence(diagnostics: &[TraceDiagnostic], rhat_threshold: f64, quiet: bool) -> bool {
+    if diagnostics.is_empty() {
+        return false;
+    }
+    let defined: Vec<&TraceDiagnostic> = diagnostics.iter().filter(|d| !d.rhat.is_nan()).collect();
+    if defined.is_empty() {
+        if !quiet {
+            eprintln!("convergence: undetermined (too few post-warmup sweeps)");
+        }
+        return false;
+    }
+    let failing: Vec<String> = defined
+        .iter()
+        .filter(|d| !d.converged(rhat_threshold))
+        .map(|d| format!("{} R-hat {:.3}", d.metric, d.rhat))
+        .collect();
+    if failing.is_empty() {
+        if !quiet {
+            eprintln!(
+                "convergence: ok ({} metrics, all R-hat <= {rhat_threshold})",
+                defined.len()
+            );
+        }
+        false
+    } else {
+        if !quiet {
+            eprintln!(
+                "warning: unconverged at R-hat threshold {rhat_threshold}: {}",
+                failing.join(", ")
+            );
+        }
+        true
+    }
+}
+
+/// `report`: render convergence and kernel-profile reports from one or
+/// more `--metrics-out` JSONL files.
+pub fn report(args: &Args) -> i32 {
+    if args.positional.is_empty() {
+        eprintln!("error: report needs at least one metrics JSONL file\n\n{USAGE}");
+        return 2;
+    }
+    let quiet = args.has("quiet");
+    let mut sources = Vec::with_capacity(args.positional.len());
+    for path in &args.positional {
+        match std::fs::read_to_string(path) {
+            Ok(content) => sources.push((path.clone(), content)),
+            Err(e) => return fail(format!("{path}: {e}")),
+        }
+    }
+    let mut report = match RunReport::from_sources(&sources) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    report.rhat_threshold = args.get_parsed_or("rhat-threshold", report.rhat_threshold);
+    if let Some(out) = args.get("out") {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            return fail(format!("{out}: {e}"));
+        }
+        if !quiet {
+            eprintln!("wrote {out}");
+        }
+    }
+    if !quiet {
+        print!("{}", report.render());
+    }
+    if args.has("fail-unconverged") && report.converged() == Some(false) {
+        eprintln!(
+            "error: run unconverged at R-hat threshold {}",
+            report.rhat_threshold
+        );
+        return 3;
     }
     0
 }

@@ -4,6 +4,7 @@
 //! rheotex generate  --recipes 3600 --seed 2022 --out corpus.jsonl
 //! rheotex fit       --corpus corpus.jsonl --topics 10 --sweeps 400
 //!                   --out-model model.json --out-dict dict.json
+//! rheotex report    metrics.jsonl [--out report.json]
 //! rheotex topics    --model model.json --dict dict.json [--top 8]
 //! rheotex assign    --model model.json --dict dict.json
 //!                   --gelatin 2.5 [--kanten 0] [--agar 0]
@@ -22,6 +23,7 @@ fn main() {
     let code = match args.command.as_deref() {
         Some("generate") => commands::generate(&args),
         Some("fit") => commands::fit(&args),
+        Some("report") => commands::report(&args),
         Some("topics") => commands::topics(&args),
         Some("assign") => commands::assign(&args),
         Some("rheometer") => commands::rheometer(&args),

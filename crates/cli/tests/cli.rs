@@ -500,6 +500,182 @@ fn fit_quarantines_mangled_corpus_lines_within_budget() {
 }
 
 #[test]
+fn fit_chains_emits_convergence_and_report_renders() {
+    let dir = tmpdir("chains");
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let dict = dir.join("dict.json");
+    let metrics = dir.join("metrics.jsonl");
+    let report_json = dir.join("report.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "250",
+            "--seed",
+            "17",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    let sweeps = 20usize;
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "6",
+            "--sweeps",
+            &sweeps.to_string(),
+            "--chains",
+            "2",
+            "--out-model",
+            model.to_str().unwrap(),
+            "--out-dict",
+            dict.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The fit summary carries the convergence verdict (ok or warning).
+    assert!(
+        err.contains("convergence") || err.contains("unconverged"),
+        "{err}"
+    );
+
+    // The metrics file carries both chains' sweeps (tagged) and the
+    // convergence events.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let mut sweep_events = 0usize;
+    let mut chain_tagged = 0usize;
+    let mut convergence_events = 0usize;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        if v["kind"] == "sweep" {
+            sweep_events += 1;
+            if v["fields"]["chain"].is_u64() {
+                chain_tagged += 1;
+            }
+        }
+        if v["kind"] == "convergence" {
+            convergence_events += 1;
+            assert!(v["fields"]["rhat"].is_number(), "{line}");
+            assert!(v["fields"]["chains"].is_u64(), "{line}");
+        }
+    }
+    assert_eq!(sweep_events, 2 * sweeps);
+    assert_eq!(chain_tagged, 2 * sweeps, "every sweep must be chain-tagged");
+    assert!(convergence_events > 0, "no convergence events in metrics");
+
+    // `rheotex report` renders the human report and writes report.json.
+    let out = bin()
+        .args([
+            "report",
+            metrics.to_str().unwrap(),
+            "--out",
+            report_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("convergence"), "{text}");
+    assert!(text.contains("R-hat"), "{text}");
+    assert!(text.contains("phase"), "{text}");
+    assert!(text.contains("joint"), "{text}");
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_json).expect("report.json"))
+            .expect("report.json parses");
+    assert_eq!(parsed["schema"], "rheotex.report/1");
+    assert!(parsed["rhat_threshold"].is_number());
+    let engines = parsed["engines"].as_array().expect("engines array");
+    assert!(!engines.is_empty());
+    assert_eq!(engines[0]["engine"], "joint");
+    assert_eq!(engines[0]["chains"].as_array().unwrap().len(), 2);
+    assert!(parsed["convergence"].as_array().is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fit_chains_with_checkpointing_fails_cleanly() {
+    let dir = tmpdir("chains_ckpt");
+    let corpus = dir.join("corpus.jsonl");
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "200",
+            "--seed",
+            "21",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--sweeps",
+            "10",
+            "--chains",
+            "2",
+            "--checkpoint-dir",
+            dir.join("ckpt").to_str().unwrap(),
+            "--out-model",
+            dir.join("m.json").to_str().unwrap(),
+            "--out-dict",
+            dir.join("d.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("fit");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot be checkpointed"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_without_inputs_exits_2() {
+    let out = bin().arg("report").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics"));
+}
+
+#[test]
+fn report_rejects_missing_file() {
+    let out = bin()
+        .args(["report", "/nonexistent/metrics.jsonl"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
 fn fit_rejects_missing_corpus() {
     let out = bin()
         .args([

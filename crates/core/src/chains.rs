@@ -1,0 +1,420 @@
+//! Multi-chain convergence runner: fits `n_chains` replicas of the
+//! joint model from distinct seeds, collects their per-sweep scalar
+//! traces, and computes split-R̂ / bulk-ESS convergence diagnostics
+//! over the post-warmup windows.
+//!
+//! A single Gibbs chain can look converged while being stuck in one
+//! mode; the standard remedy (Gelman–Rubin) is to run several chains
+//! from dispersed starting points and compare between-chain to
+//! within-chain variance. [`ChainSet`] packages that workflow around
+//! the existing deterministic fitting machinery:
+//!
+//! * chain `c` runs from `ChaCha8Rng::seed_from_u64(seed + c)` — the
+//!   same derivation [`JointTopicModel::fit_multi_chain`] uses, so a
+//!   1-chain `ChainSet` reproduces a plain `fit_with` bit-for-bit;
+//! * every chain records its sweeps into a private [`VecObserver`];
+//!   after all chains finish, the buffered [`SweepStats`] become
+//!   per-metric traces (`ll`, `perplexity`, `accept`, `topic_entropy`,
+//!   `min_occupancy`) in an [`rheotex_obs::ChainTraces`] accumulator;
+//! * [`ChainSetFit::replay`] re-emits every buffered sweep onto a live
+//!   [`Obs`] pipeline with a `chain` tag plus one `convergence.{metric}`
+//!   event per diagnostic, so metrics JSONL files written by a
+//!   multi-chain run carry everything `rheotex report` needs.
+//!
+//! The best chain (highest final conditional log-likelihood, matching
+//! `fit_multi_chain`) is kept addressable so callers can both inspect
+//! convergence *and* ship the winning point estimate.
+
+use crate::data::ModelDoc;
+use crate::error::ModelError;
+use crate::fit::{FitOptions, GibbsKernel};
+use crate::joint::{FittedJointModel, JointTopicModel};
+use crate::Result;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use rheotex_obs::{emit_convergence, ChainTraces, Obs, SweepStats, TraceDiagnostic, VecObserver};
+
+/// Fraction of each trace discarded as warmup before computing R̂/ESS
+/// when the caller does not override it. Half is the split-R̂
+/// literature default and matches the burn-in-heavy configs in
+/// `JointConfig`.
+pub const DEFAULT_WARMUP_FRACTION: f64 = 0.5;
+
+/// Builder for a multi-chain convergence run.
+///
+/// ```
+/// use rheotex_core::chains::ChainSet;
+/// use rheotex_core::{JointConfig, JointTopicModel, ModelDoc};
+/// use rheotex_linalg::Vector;
+///
+/// let docs: Vec<ModelDoc> = (0..8)
+///     .map(|i| {
+///         ModelDoc::new(
+///             i,
+///             vec![(i % 4) as usize],
+///             Vector::new(vec![4.0, 9.2, 9.2]),
+///             Vector::full(6, 9.2),
+///         )
+///     })
+///     .collect();
+/// let model = JointTopicModel::new(JointConfig::quick(2, 4))?;
+/// let fit = ChainSet::new(2, 7).run(&model, &docs)?;
+/// assert_eq!(fit.chains.len(), 2);
+/// assert!(!fit.diagnostics.is_empty());
+/// # Ok::<(), rheotex_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainSet {
+    n_chains: usize,
+    seed: u64,
+    warmup_fraction: f64,
+    kernel: Option<GibbsKernel>,
+    threads: usize,
+}
+
+impl ChainSet {
+    /// A runner for `n_chains` chains seeded `seed, seed + 1, …`
+    /// (wrapping). Defaults: serial kernel, warmup fraction
+    /// [`DEFAULT_WARMUP_FRACTION`].
+    #[must_use]
+    pub fn new(n_chains: usize, seed: u64) -> Self {
+        ChainSet {
+            n_chains,
+            seed,
+            warmup_fraction: DEFAULT_WARMUP_FRACTION,
+            kernel: None,
+            threads: 0,
+        }
+    }
+
+    /// Names the Gibbs kernel every chain runs (default: implied by the
+    /// thread count, exactly as [`FitOptions::kernel`] documents).
+    #[must_use]
+    pub fn kernel(mut self, kernel: GibbsKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Worker threads for each chain's document sweeps (chains
+    /// themselves always run concurrently under rayon). `0` keeps the
+    /// serial kernel.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the fraction of each trace discarded as warmup before
+    /// the diagnostics window (clamped to `[0.0, 0.9]` downstream).
+    #[must_use]
+    pub fn warmup_fraction(mut self, fraction: f64) -> Self {
+        self.warmup_fraction = fraction;
+        self
+    }
+
+    /// Fits all chains concurrently and computes the diagnostics.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when `n_chains == 0`; otherwise
+    /// propagates the first chain error encountered.
+    pub fn run(&self, model: &JointTopicModel, docs: &[ModelDoc]) -> Result<ChainSetFit> {
+        if self.n_chains == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: "n_chains must be at least 1".into(),
+            });
+        }
+        let outcomes: Vec<Result<ChainFit>> = (0..self.n_chains)
+            .into_par_iter()
+            .map(|c| {
+                let chain_seed = self.seed.wrapping_add(c as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(chain_seed);
+                let mut observer = VecObserver::default();
+                let mut opts = FitOptions::new()
+                    .observer(&mut observer)
+                    .threads(self.threads);
+                if let Some(kernel) = self.kernel {
+                    opts = opts.kernel(kernel);
+                }
+                let fitted = model.fit_with(&mut rng, docs, opts)?;
+                Ok(ChainFit {
+                    chain: c,
+                    seed: chain_seed,
+                    fitted,
+                    sweeps: observer.sweeps,
+                })
+            })
+            .collect();
+        let mut chains = Vec::with_capacity(self.n_chains);
+        for outcome in outcomes {
+            chains.push(outcome?);
+        }
+
+        let n_docs = docs.len().max(1) as f64;
+        let total_tokens: usize = docs.iter().map(|d| d.terms.len()).sum();
+        let mut traces = ChainTraces::new(self.n_chains);
+        for chain in &chains {
+            for stats in &chain.sweeps {
+                push_sweep_traces(&mut traces, chain.chain, stats, n_docs, total_tokens);
+            }
+        }
+        let diagnostics = traces.diagnose(self.warmup_fraction);
+
+        let best = chains
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.final_ll()
+                    .partial_cmp(&b.final_ll())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        Ok(ChainSetFit {
+            chains,
+            best,
+            diagnostics,
+        })
+    }
+}
+
+/// Appends one sweep's scalar trace values for `chain`: the metrics the
+/// convergence diagnostics run over.
+fn push_sweep_traces(
+    traces: &mut ChainTraces,
+    chain: usize,
+    stats: &SweepStats,
+    n_docs: f64,
+    total_tokens: usize,
+) {
+    traces.push("ll", chain, stats.log_likelihood);
+    if total_tokens > 0 {
+        traces.push(
+            "perplexity",
+            chain,
+            (-stats.log_likelihood / total_tokens as f64).exp(),
+        );
+    }
+    traces.push("accept", chain, stats.label_flips as f64 / n_docs);
+    traces.push("topic_entropy", chain, stats.topic_entropy);
+    traces.push("min_occupancy", chain, stats.min_occupancy as f64);
+}
+
+/// One fitted chain plus everything it streamed while running.
+#[derive(Debug, Clone)]
+pub struct ChainFit {
+    /// Chain index, 0-based.
+    pub chain: usize,
+    /// The seed this chain's generator started from.
+    pub seed: u64,
+    /// The fitted model.
+    pub fitted: FittedJointModel,
+    /// Buffered per-sweep statistics, one per sweep.
+    pub sweeps: Vec<SweepStats>,
+}
+
+impl ChainFit {
+    /// The chain's final conditional log-likelihood (`-∞` when the
+    /// trace is empty), the multi-chain selection criterion.
+    #[must_use]
+    pub fn final_ll(&self) -> f64 {
+        self.fitted
+            .ll_trace
+            .last()
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// The result of a [`ChainSet::run`]: every chain, the winner, and the
+/// cross-chain convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct ChainSetFit {
+    /// All chains in index order.
+    pub chains: Vec<ChainFit>,
+    /// Index into `chains` of the best final log-likelihood.
+    pub best: usize,
+    /// Split-R̂ / bulk-ESS per traced metric, post-warmup.
+    pub diagnostics: Vec<TraceDiagnostic>,
+}
+
+impl ChainSetFit {
+    /// The winning chain's fitted model.
+    #[must_use]
+    pub fn best_fit(&self) -> &FittedJointModel {
+        &self.chains[self.best].fitted
+    }
+
+    /// Consumes the set, keeping only the winning fitted model.
+    #[must_use]
+    pub fn into_best(mut self) -> FittedJointModel {
+        self.chains.swap_remove(self.best).fitted
+    }
+
+    /// Convergence verdict at `rhat_threshold`: `Some(true)` when every
+    /// defined diagnostic (finite or infinite R̂ — `NaN` means too few
+    /// draws and is ignored) sits at or below the threshold,
+    /// `Some(false)` when any exceeds it, `None` when no diagnostic is
+    /// defined (single chain or too few sweeps).
+    #[must_use]
+    pub fn converged(&self, rhat_threshold: f64) -> Option<bool> {
+        let defined: Vec<&TraceDiagnostic> = self
+            .diagnostics
+            .iter()
+            .filter(|d| !d.rhat.is_nan())
+            .collect();
+        if defined.is_empty() {
+            return None;
+        }
+        Some(defined.iter().all(|d| d.converged(rhat_threshold)))
+    }
+
+    /// Re-emits every chain's buffered sweeps onto `obs` tagged with
+    /// their chain index, then one `convergence.{metric}` event per
+    /// diagnostic — the replay path that fills a `--metrics-out` JSONL
+    /// for `rheotex report` after a multi-chain fit.
+    pub fn replay(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for chain in &self.chains {
+            for stats in &chain.sweeps {
+                stats.emit_to(obs, Some(chain.chain));
+            }
+        }
+        for diag in &self.diagnostics {
+            emit_convergence(obs, diag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JointConfig;
+    use rheotex_linalg::Vector;
+    use rheotex_obs::{EventKind, MemorySink, Obs};
+
+    fn two_cluster_docs(n: usize) -> Vec<ModelDoc> {
+        (0..n)
+            .map(|i| {
+                let (terms, gel, emu) = if i % 2 == 0 {
+                    (vec![0, 1, 0], vec![8.0, 1.0, 1.0], 2.0)
+                } else {
+                    (vec![2, 3, 3], vec![1.0, 8.0, 1.0], 7.0)
+                };
+                ModelDoc::new(i as u64, terms, Vector::new(gel), Vector::full(6, emu))
+            })
+            .collect()
+    }
+
+    fn quick_model(sweeps: usize) -> JointTopicModel {
+        JointTopicModel::new(JointConfig {
+            sweeps,
+            burn_in: sweeps / 2,
+            ..JointConfig::quick(2, 4)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_chains() {
+        let docs = two_cluster_docs(6);
+        let err = ChainSet::new(0, 7).run(&quick_model(4), &docs).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn single_chain_matches_plain_fit() {
+        let docs = two_cluster_docs(10);
+        let model = quick_model(8);
+        let fit = ChainSet::new(1, 42).run(&model, &docs).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let plain = model.fit_with(&mut rng, &docs, FitOptions::new()).unwrap();
+        assert_eq!(fit.best, 0);
+        assert_eq!(fit.best_fit().y, plain.y);
+        assert_eq!(fit.best_fit().ll_trace, plain.ll_trace);
+        // One chain cannot define split-R̂ (it needs >= 2 half-chains of
+        // >= 2 draws, which a single 4-draw post-warmup window provides),
+        // but the traces must still be collected.
+        assert_eq!(fit.chains[0].sweeps.len(), 8);
+    }
+
+    #[test]
+    fn chains_differ_and_best_has_max_ll() {
+        let docs = two_cluster_docs(12);
+        let fit = ChainSet::new(3, 7).run(&quick_model(10), &docs).unwrap();
+        assert_eq!(fit.chains.len(), 3);
+        for (c, chain) in fit.chains.iter().enumerate() {
+            assert_eq!(chain.chain, c);
+            assert_eq!(chain.seed, 7 + c as u64);
+            assert_eq!(chain.sweeps.len(), 10);
+        }
+        let best_ll = fit.chains[fit.best].final_ll();
+        for chain in &fit.chains {
+            assert!(chain.final_ll() <= best_ll);
+        }
+        assert_eq!(fit.best_fit().ll_trace, fit.chains[fit.best].fitted.ll_trace);
+    }
+
+    #[test]
+    fn diagnostics_cover_the_traced_metrics() {
+        let docs = two_cluster_docs(10);
+        let fit = ChainSet::new(2, 3).run(&quick_model(12), &docs).unwrap();
+        let metrics: Vec<&str> = fit.diagnostics.iter().map(|d| d.metric.as_str()).collect();
+        for want in ["accept", "ll", "min_occupancy", "perplexity", "topic_entropy"] {
+            assert!(metrics.contains(&want), "missing {want} in {metrics:?}");
+        }
+        for diag in &fit.diagnostics {
+            assert_eq!(diag.chains, 2);
+            // 12 sweeps, warmup 0.5 -> 6 post-warmup draws per chain.
+            assert_eq!(diag.draws, 6);
+        }
+        // The verdict is defined (two chains, enough draws) either way.
+        assert!(fit.converged(f64::INFINITY).is_some());
+        assert_eq!(fit.converged(f64::INFINITY), Some(true));
+    }
+
+    #[test]
+    fn replay_tags_chains_and_emits_convergence() {
+        let docs = two_cluster_docs(8);
+        let fit = ChainSet::new(2, 11).run(&quick_model(6), &docs).unwrap();
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        fit.replay(&obs);
+        let taken = sink.take();
+        assert!(!taken.is_empty());
+        let sweeps: Vec<_> = taken
+            .iter()
+            .filter(|e| e.kind == EventKind::Sweep)
+            .collect();
+        assert_eq!(sweeps.len(), 2 * 6);
+        for event in &sweeps {
+            assert!(
+                event.fields.iter().any(|f| f.key == "chain"),
+                "sweep event missing chain tag"
+            );
+        }
+        let conv = taken
+            .iter()
+            .filter(|e| e.kind == EventKind::Convergence)
+            .count();
+        assert_eq!(conv, fit.diagnostics.len());
+    }
+
+    #[test]
+    fn parallel_kernel_chains_carry_profiles() {
+        let docs = two_cluster_docs(8);
+        let fit = ChainSet::new(2, 5)
+            .kernel(GibbsKernel::Parallel)
+            .run(&quick_model(4), &docs)
+            .unwrap();
+        for chain in &fit.chains {
+            for stats in &chain.sweeps {
+                assert!(stats.profile.is_some(), "parallel sweep missing profile");
+                assert!(!stats.phase_us.is_empty());
+            }
+        }
+    }
+}

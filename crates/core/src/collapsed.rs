@@ -38,7 +38,7 @@ use rheotex_linalg::dist::{
     PredictiveCache,
 };
 use rheotex_linalg::Vector;
-use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
+use rheotex_obs::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats};
 use std::time::Instant;
 
 /// The fully-collapsed joint topic model.
@@ -194,13 +194,16 @@ impl CollapsedJointModel {
 
         for sweep in 0..cfg.sweeps {
             let sweep_start = observer.enabled().then(Instant::now);
+            let mut timer = PhaseTimer::new(observer.enabled());
             let lookups_before = gel_cache.lookups() + emu_cache.lookups();
             let hits_before = gel_cache.hits() + emu_cache.hits();
 
             // z sweep (identical conditional to the semi-collapsed model:
             // Gaussians do not enter Eq. 2), through the selected kernel.
+            let z_start = timer.enabled().then(Instant::now);
             match sparse.as_mut() {
                 Some(sampler) => {
+                    sampler.set_profiling(observer.enabled());
                     sampler.begin_sweep(&counts);
                     for (d, doc) in docs.iter().enumerate() {
                         sampler.begin_doc(&counts, d, Some(y[d]));
@@ -228,8 +231,19 @@ impl CollapsedJointModel {
                     }
                 }
             }
+            if let Some(s) = z_start {
+                timer.record("z", s.elapsed().as_micros() as u64);
+            }
+            let profile = match sparse.as_mut() {
+                Some(sampler) if observer.enabled() => {
+                    Some(sampler.take_profile().into_kernel_profile())
+                }
+                _ => None,
+            };
 
             // y sweep with Student-t predictives (collapsed Gaussians).
+            let y_start = timer.enabled().then(Instant::now);
+            let mut label_flips = 0usize;
             let mut sweep_ll = 0.0;
             for (d, doc) in docs.iter().enumerate() {
                 let old = y[d];
@@ -254,15 +268,22 @@ impl CollapsedJointModel {
                 }
                 let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
                 sweep_ll += log_weights[new];
+                if new != old {
+                    label_flips += 1;
+                }
                 y[d] = new;
                 gel_stats[new].add(&doc.gel)?;
                 emu_stats[new].add(&doc.emulsion)?;
                 gel_cache.invalidate(new);
                 emu_cache.invalidate(new);
             }
+            if let Some(s) = y_start {
+                timer.record("y", s.elapsed().as_micros() as u64);
+            }
             // Token part of the trace. The per-topic denominator is fixed
             // for the whole loop (no counts move during the trace), so it
             // is computed once per topic instead of once per token.
+            let ll_start = timer.enabled().then(Instant::now);
             let den: Vec<f64> = (0..k)
                 .map(|kk| f64::from(counts.topic_total(kk)) + gamma_v)
                 .collect();
@@ -271,6 +292,9 @@ impl CollapsedJointModel {
                     let kk = z[d][n];
                     sweep_ll += ((f64::from(counts.kw(kk, w)) + cfg.gamma) / den[kk]).ln();
                 }
+            }
+            if let Some(s) = ll_start {
+                timer.record("ll", s.elapsed().as_micros() as u64);
             }
             ll_trace.push(sweep_ll);
 
@@ -295,6 +319,9 @@ impl CollapsedJointModel {
                     cache_lookups: (gel_cache.lookups() + emu_cache.lookups() - lookups_before)
                         as usize,
                     cache_hits: (gel_cache.hits() + emu_cache.hits() - hits_before) as usize,
+                    label_flips,
+                    phase_us: timer.take(),
+                    profile,
                 });
             }
 

@@ -25,7 +25,7 @@ use rheotex_linalg::dist::{
     sample_categorical_log, GaussianStats, MultivariateT, NormalWishart, PredictiveCache,
 };
 use rheotex_linalg::{LinalgError, Vector};
-use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
+use rheotex_obs::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -370,42 +370,50 @@ impl GmmModel {
         cache: &mut PredictiveCache,
     ) -> Result<()> {
         let sweep_start = observer.enabled().then(Instant::now);
+        let mut timer = PhaseTimer::new(observer.enabled());
         let lookups0 = cache.lookups();
         let hits0 = cache.hits();
-        let mut log_weights = vec![0.0f64; self.config.n_components];
-        let mut ll = 0.0;
         let mut jitter_retries = 0usize;
-        for (i, x) in xs.iter().enumerate() {
-            let old = prog.assignments[i];
-            prog.stats[old].remove(x)?;
-            prog.counts[old] -= 1;
-            cache.invalidate(old);
-            for (c, lw) in log_weights.iter_mut().enumerate() {
-                let stats_c = &prog.stats[c];
-                let pred = cache.get_or_try_build(c, || -> Result<MultivariateT> {
-                    let post = prior.posterior(stats_c)?;
-                    // Fast path first; fall back to the shared ridge-jitter
-                    // policy only when the predictive shape degenerates.
-                    match post.posterior_predictive() {
-                        Ok(pred) => Ok(pred),
-                        Err(LinalgError::NotPositiveDefinite { .. }) => {
-                            let (pred, jitter) =
-                                post.posterior_predictive_recovering(crate::JITTER_MAX_ATTEMPTS)?;
-                            jitter_retries += jitter.attempts;
-                            Ok(pred)
+        let (ll, label_flips) = timer.time("assign", || -> Result<(f64, usize)> {
+            let mut log_weights = vec![0.0f64; self.config.n_components];
+            let mut ll = 0.0;
+            let mut flips = 0usize;
+            for (i, x) in xs.iter().enumerate() {
+                let old = prog.assignments[i];
+                prog.stats[old].remove(x)?;
+                prog.counts[old] -= 1;
+                cache.invalidate(old);
+                for (c, lw) in log_weights.iter_mut().enumerate() {
+                    let stats_c = &prog.stats[c];
+                    let pred = cache.get_or_try_build(c, || -> Result<MultivariateT> {
+                        let post = prior.posterior(stats_c)?;
+                        // Fast path first; fall back to the shared ridge-jitter
+                        // policy only when the predictive shape degenerates.
+                        match post.posterior_predictive() {
+                            Ok(pred) => Ok(pred),
+                            Err(LinalgError::NotPositiveDefinite { .. }) => {
+                                let (pred, jitter) = post
+                                    .posterior_predictive_recovering(crate::JITTER_MAX_ATTEMPTS)?;
+                                jitter_retries += jitter.attempts;
+                                Ok(pred)
+                            }
+                            Err(e) => Err(e.into()),
                         }
-                        Err(e) => Err(e.into()),
-                    }
-                })?;
-                *lw = (prog.counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
+                    })?;
+                    *lw = (prog.counts[c] as f64 + self.config.alpha).ln() + pred.log_pdf(x)?;
+                }
+                let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
+                ll += log_weights[new];
+                if new != old {
+                    flips += 1;
+                }
+                prog.assignments[i] = new;
+                prog.stats[new].add(x)?;
+                prog.counts[new] += 1;
+                cache.invalidate(new);
             }
-            let new = sample_categorical_log(rng, &log_weights).expect("finite log-weights");
-            ll += log_weights[new];
-            prog.assignments[i] = new;
-            prog.stats[new].add(x)?;
-            prog.counts[new] += 1;
-            cache.invalidate(new);
-        }
+            Ok((ll, flips))
+        })?;
         let cache_lookups = (cache.lookups() - lookups0) as usize;
         let cache_hits = (cache.hits() - hits0) as usize;
         self.post_sweep(
@@ -415,7 +423,10 @@ impl GmmModel {
             jitter_retries,
             cache_lookups,
             cache_hits,
+            label_flips,
+            None,
             sweep_start,
+            &mut timer,
             observer,
         );
         Ok(())
@@ -447,23 +458,29 @@ impl GmmModel {
         let alpha = self.config.alpha;
         let sweep_seed: u64 = rng.gen();
         let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
 
         struct ChunkOut {
             ll: f64,
             jitter_retries: usize,
             cache_lookups: u64,
             cache_hits: u64,
+            flips: usize,
+            us: u64,
         }
 
         let stats_start = &prog.stats;
         let counts_start = &prog.counts;
         let assignments = &mut prog.assignments;
+        let assign_start = profiling.then(Instant::now);
         let outs: Vec<ChunkOut> = pool.install(|| {
             assignments
                 .par_chunks_mut(PAR_CHUNK)
                 .zip(xs.par_chunks(PAR_CHUNK))
                 .enumerate()
                 .map(|(c, (a_chunk, x_chunk))| -> Result<ChunkOut> {
+                    let chunk_start = profiling.then(Instant::now);
                     let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
                     rng.set_stream(2 * c as u64);
                     let mut stats = stats_start.clone();
@@ -476,6 +493,7 @@ impl GmmModel {
                     let mut log_weights = vec![0.0f64; k];
                     let mut ll = 0.0;
                     let mut jitter_retries = 0usize;
+                    let mut flips = 0usize;
                     for (a, x) in a_chunk.iter_mut().zip(x_chunk) {
                         let old = *a;
                         stats[old].remove(x)?;
@@ -504,6 +522,9 @@ impl GmmModel {
                         let new = sample_categorical_log(&mut rng, &log_weights)
                             .expect("finite log-weights");
                         ll += log_weights[new];
+                        if new != old {
+                            flips += 1;
+                        }
                         *a = new;
                         stats[new].add(x)?;
                         counts[new] += 1;
@@ -514,12 +535,18 @@ impl GmmModel {
                         jitter_retries,
                         cache_lookups: cache.lookups(),
                         cache_hits: cache.hits(),
+                        flips,
+                        us: chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64),
                     })
                 })
                 .collect::<Result<Vec<ChunkOut>>>()
         })?;
+        if let Some(s) = assign_start {
+            timer.record("assign", s.elapsed().as_micros() as u64);
+        }
         // Deterministic merge: rebuild the sufficient statistics from the
         // merged assignments in document order.
+        let merge_start = profiling.then(Instant::now);
         let dim = xs[0].len();
         prog.stats = (0..k).map(|_| GaussianStats::new(dim)).collect();
         prog.counts = vec![0usize; k];
@@ -527,10 +554,25 @@ impl GmmModel {
             prog.stats[a].add(x)?;
             prog.counts[a] += 1;
         }
+        if let Some(s) = merge_start {
+            timer.record("merge", s.elapsed().as_micros() as u64);
+        }
         let ll: f64 = outs.iter().map(|o| o.ll).sum();
         let jitter_retries: usize = outs.iter().map(|o| o.jitter_retries).sum();
         let cache_lookups = outs.iter().map(|o| o.cache_lookups).sum::<u64>() as usize;
         let cache_hits = outs.iter().map(|o| o.cache_hits).sum::<u64>() as usize;
+        let label_flips: usize = outs.iter().map(|o| o.flips).sum();
+        let profile = profiling.then(|| {
+            let chunks = xs.len().div_ceil(PAR_CHUNK) as u64;
+            // Per chunk: cloned sufficient statistics (mean + scatter per
+            // component), cloned counts, and the log-weight buffer.
+            let per_chunk = k * (dim * dim + dim + 2) * 8 + k * 8 + k * 8;
+            KernelProfile::Parallel {
+                chunks,
+                chunk_us: outs.iter().map(|o| o.us).collect(),
+                alloc_bytes: chunks * per_chunk as u64,
+            }
+        });
         self.post_sweep(
             prog,
             sweep,
@@ -538,7 +580,10 @@ impl GmmModel {
             jitter_retries,
             cache_lookups,
             cache_hits,
+            label_flips,
+            profile,
             sweep_start,
+            &mut timer,
             observer,
         );
         Ok(())
@@ -555,7 +600,10 @@ impl GmmModel {
         jitter_retries: usize,
         cache_lookups: usize,
         cache_hits: usize,
+        label_flips: usize,
+        profile: Option<KernelProfile>,
         sweep_start: Option<Instant>,
+        timer: &mut PhaseTimer,
         observer: &mut dyn SweepObserver,
     ) {
         prog.ll_trace.push(ll);
@@ -575,6 +623,9 @@ impl GmmModel {
                 jitter_retries,
                 cache_lookups,
                 cache_hits,
+                label_flips,
+                phase_us: timer.take(),
+                profile,
             });
         }
     }

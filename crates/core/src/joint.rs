@@ -39,7 +39,7 @@ use rheotex_linalg::dist::{
     sample_categorical, sample_categorical_log, GaussianPrecision, GaussianStats, NormalWishart,
 };
 use rheotex_linalg::Vector;
-use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
+use rheotex_obs::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -391,11 +391,25 @@ impl JointTopicModel {
         observer: &mut dyn SweepObserver,
     ) -> Result<()> {
         let sweep_start = observer.enabled().then(Instant::now);
-        self.sweep_z(rng, docs, &mut prog.state);
-        self.sweep_y(rng, docs, &mut prog.state)?;
-        let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
-        let ll = self.conditional_ll(docs, &prog.state);
-        self.post_sweep(docs, prog, sweep, ll, jitter_retries, sweep_start, observer);
+        let mut timer = PhaseTimer::new(observer.enabled());
+        timer.time("z", || self.sweep_z(rng, docs, &mut prog.state));
+        let label_flips = timer.time("y", || self.sweep_y(rng, docs, &mut prog.state))?;
+        let jitter_retries = timer.time("params", || {
+            self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
+        })?;
+        let ll = timer.time("ll", || self.conditional_ll(docs, &prog.state));
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            label_flips,
+            None,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
         Ok(())
     }
 
@@ -418,11 +432,29 @@ impl JointTopicModel {
         observer: &mut dyn SweepObserver,
     ) -> Result<()> {
         let sweep_start = observer.enabled().then(Instant::now);
-        self.sweep_z_sparse(rng, docs, &mut prog.state, sampler);
-        self.sweep_y(rng, docs, &mut prog.state)?;
-        let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
-        let ll = self.conditional_ll(docs, &prog.state);
-        self.post_sweep(docs, prog, sweep, ll, jitter_retries, sweep_start, observer);
+        let mut timer = PhaseTimer::new(observer.enabled());
+        sampler.set_profiling(observer.enabled());
+        timer.time("z", || self.sweep_z_sparse(rng, docs, &mut prog.state, sampler));
+        let profile = observer
+            .enabled()
+            .then(|| sampler.take_profile().into_kernel_profile());
+        let label_flips = timer.time("y", || self.sweep_y(rng, docs, &mut prog.state))?;
+        let jitter_retries = timer.time("params", || {
+            self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
+        })?;
+        let ll = timer.time("ll", || self.conditional_ll(docs, &prog.state));
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            label_flips,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
         Ok(())
     }
 
@@ -453,16 +485,48 @@ impl JointTopicModel {
     ) -> Result<()> {
         let sweep_seed: u64 = rng.gen();
         let sweep_start = observer.enabled().then(Instant::now);
-        self.sweep_z_parallel(pool, sweep_seed, docs, &mut prog.state);
-        self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state)?;
-        let jitter_retries = self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)?;
-        let ll = self.conditional_ll(docs, &prog.state);
-        self.post_sweep(docs, prog, sweep, ll, jitter_retries, sweep_start, observer);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
+        let chunk_us = timer.time("z", || {
+            self.sweep_z_parallel(pool, sweep_seed, docs, &mut prog.state, profiling)
+        });
+        let label_flips =
+            timer.time("y", || self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state))?;
+        let jitter_retries = timer.time("params", || {
+            self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
+        })?;
+        let ll = timer.time("ll", || self.conditional_ll(docs, &prog.state));
+        let profile = profiling.then(|| {
+            let k = self.config.n_topics;
+            let v = self.config.vocab_size;
+            let chunks = docs.len().div_ceil(PAR_CHUNK) as u64;
+            // Per chunk the z phase clones the start-of-sweep term counts
+            // (`n_kw` + `n_k`, u32) and a weight buffer; the y phase
+            // allocates log-weights and its drawn labels.
+            let per_chunk = 4 * (k * v + k) + 8 * k + 8 * k + 8 * PAR_CHUNK;
+            KernelProfile::Parallel {
+                chunks,
+                chunk_us,
+                alloc_bytes: chunks * per_chunk as u64,
+            }
+        });
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            label_flips,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
         Ok(())
     }
 
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by the serial and parallel sweep kernels.
+    /// by the serial, parallel, and sparse sweep kernels.
     #[allow(clippy::too_many_arguments)]
     fn post_sweep(
         &self,
@@ -471,7 +535,10 @@ impl JointTopicModel {
         sweep: usize,
         ll: f64,
         jitter_retries: usize,
+        label_flips: usize,
+        profile: Option<KernelProfile>,
         sweep_start: Option<Instant>,
+        timer: &mut PhaseTimer,
         observer: &mut dyn SweepObserver,
     ) {
         let cfg = &self.config;
@@ -498,6 +565,9 @@ impl JointTopicModel {
                 jitter_retries,
                 cache_lookups: 0,
                 cache_hits: 0,
+                label_flips,
+                phase_us: timer.take(),
+                profile,
             });
         }
 
@@ -878,13 +948,19 @@ impl JointTopicModel {
     /// counts (kept exact for its own moves, stale for other chunks')
     /// using RNG stream `2c` of the sweep seed, then the global counts
     /// are rebuilt from the merged assignments.
+    ///
+    /// With `profile` set, each chunk's wall time is measured and the
+    /// per-chunk timings are returned in chunk order (empty otherwise).
+    /// The clock reads sit outside the sampling loop and never touch the
+    /// RNG streams, so profiled and unprofiled sweeps draw identically.
     fn sweep_z_parallel(
         &self,
         pool: &rayon::ThreadPool,
         sweep_seed: u64,
         docs: &[ModelDoc],
         state: &mut State,
-    ) {
+        profile: bool,
+    ) -> Vec<u64> {
         let k = state.k;
         let v = state.v;
         let alpha = self.config.alpha;
@@ -895,11 +971,12 @@ impl JointTopicModel {
         let n_k_start = n_k_flat.to_vec();
         let y = &state.y;
         let z = &mut state.z;
-        pool.install(|| {
+        let chunk_us: Vec<u64> = pool.install(|| {
             z.par_chunks_mut(PAR_CHUNK)
                 .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
                 .enumerate()
-                .for_each(|(c, (z_chunk, n_dk_chunk))| {
+                .map(|(c, (z_chunk, n_dk_chunk))| {
+                    let chunk_start = profile.then(Instant::now);
                     let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
                     rng.set_stream(2 * c as u64);
                     let mut n_kw = n_kw_start.clone();
@@ -931,7 +1008,9 @@ impl JointTopicModel {
                             n_k[new] += 1;
                         }
                     }
-                });
+                    chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64)
+                })
+                .collect()
         });
         // Deterministic merge: the global term counts are a pure function
         // of the merged assignments.
@@ -944,20 +1023,26 @@ impl JointTopicModel {
                 n_k_flat[t] += 1;
             }
         }
+        if profile {
+            chunk_us
+        } else {
+            Vec::new()
+        }
     }
 
     /// Eq. (3) over fixed 64-doc chunks. At fixed Gaussian parameters the
     /// `y` conditionals have no cross-document coupling (each depends
     /// only on the doc's own token counts), so chunked scoring with RNG
     /// stream `2c + 1` is exact; the sufficient statistics are then
-    /// replayed serially in document order.
+    /// replayed serially in document order. Returns how many recipes
+    /// changed topic.
     fn sweep_y_parallel(
         &self,
         pool: &rayon::ThreadPool,
         sweep_seed: u64,
         docs: &[ModelDoc],
         state: &mut State,
-    ) -> Result<()> {
+    ) -> Result<usize> {
         let k = state.k;
         let alpha = self.config.alpha;
         let n_dk = state.counts.n_dk_raw();
@@ -989,10 +1074,12 @@ impl JointTopicModel {
                 .collect::<Result<Vec<Vec<usize>>>>()
         })?;
         // Deterministic merge: replay the moves in document order.
+        let mut flips = 0usize;
         for (d, doc) in docs.iter().enumerate() {
             let new = new_y[d / PAR_CHUNK][d % PAR_CHUNK];
             let old = state.y[d];
             if new != old {
+                flips += 1;
                 state.gel_stats[old].remove(&doc.gel)?;
                 state.emu_stats[old].remove(&doc.emulsion)?;
                 state.gel_stats[new].add(&doc.gel)?;
@@ -1000,20 +1087,22 @@ impl JointTopicModel {
                 state.y[d] = new;
             }
         }
-        Ok(())
+        Ok(flips)
     }
 
     /// Eq. (3): resample every recipe's gel topic (both Gaussian factors —
-    /// see the crate-level notation fix).
+    /// see the crate-level notation fix). Returns how many recipes
+    /// changed topic — the per-sweep `y_d` acceptance signal.
     fn sweep_y<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         docs: &[ModelDoc],
         state: &mut State,
-    ) -> Result<()> {
+    ) -> Result<usize> {
         let cfg = &self.config;
         let k = cfg.n_topics;
         let mut log_weights = vec![0.0f64; k];
+        let mut flips = 0usize;
         for (d, doc) in docs.iter().enumerate() {
             let old = state.y[d];
             state.gel_stats[old].remove(&doc.gel)?;
@@ -1027,11 +1116,14 @@ impl JointTopicModel {
             }
             let new = sample_categorical_log(rng, &log_weights)
                 .expect("finite log-weights by construction");
+            if new != old {
+                flips += 1;
+            }
             state.y[d] = new;
             state.gel_stats[new].add(&doc.gel)?;
             state.emu_stats[new].add(&doc.emulsion)?;
         }
-        Ok(())
+        Ok(flips)
     }
 
     /// Eq. (4): resample the Gaussian topic parameters from their
@@ -1385,6 +1477,11 @@ mod tests {
             assert!(s.max_occupancy <= docs.len());
             assert_eq!(s.nw_draws, 2 * observed.config.n_topics);
             assert!(s.topic_entropy >= 0.0);
+            assert!(s.label_flips <= docs.len());
+            // Serial kernel: all four phases timed, no kernel profile.
+            let phases: Vec<&str> = s.phase_us.iter().map(|&(n, _)| n).collect();
+            assert_eq!(phases, ["z", "y", "params", "ll"]);
+            assert!(s.profile.is_none());
         }
     }
 

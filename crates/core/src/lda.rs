@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use rheotex_linalg::dist::sample_categorical;
-use rheotex_obs::{NullObserver, SweepObserver, SweepStats};
+use rheotex_obs::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -360,26 +360,32 @@ impl LdaModel {
         let k = cfg.n_topics;
         let v = cfg.vocab_size;
         let sweep_start = observer.enabled().then(Instant::now);
-        let mut weights = vec![0.0f64; k];
-        let mut ll = 0.0;
-        for (d, doc) in docs.iter().enumerate() {
-            for (n, &w) in doc.terms.iter().enumerate() {
-                let old = prog.z[d][n];
-                prog.counts.dec(d, w, old);
-                for (kk, weight) in weights.iter_mut().enumerate() {
-                    *weight = (f64::from(prog.counts.dk(d, kk)) + cfg.alpha)
-                        * (f64::from(prog.counts.kw(kk, w)) + cfg.gamma)
-                        / (f64::from(prog.counts.topic_total(kk)) + cfg.gamma * v as f64);
+        let mut timer = PhaseTimer::new(observer.enabled());
+        // The serial kernel scores each token as it is sampled, so the
+        // token sweep and the likelihood trace are one phase.
+        let ll = timer.time("z", || {
+            let mut weights = vec![0.0f64; k];
+            let mut ll = 0.0;
+            for (d, doc) in docs.iter().enumerate() {
+                for (n, &w) in doc.terms.iter().enumerate() {
+                    let old = prog.z[d][n];
+                    prog.counts.dec(d, w, old);
+                    for (kk, weight) in weights.iter_mut().enumerate() {
+                        *weight = (f64::from(prog.counts.dk(d, kk)) + cfg.alpha)
+                            * (f64::from(prog.counts.kw(kk, w)) + cfg.gamma)
+                            / (f64::from(prog.counts.topic_total(kk)) + cfg.gamma * v as f64);
+                    }
+                    let new = sample_categorical(rng, &weights).expect("positive weights");
+                    prog.z[d][n] = new;
+                    prog.counts.inc(d, w, new);
+                    ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
+                        / (f64::from(prog.counts.topic_total(new)) + cfg.gamma * v as f64))
+                        .ln();
                 }
-                let new = sample_categorical(rng, &weights).expect("positive weights");
-                prog.z[d][n] = new;
-                prog.counts.inc(d, w, new);
-                ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
-                    / (f64::from(prog.counts.topic_total(new)) + cfg.gamma * v as f64))
-                    .ln();
             }
-        }
-        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+            ll
+        });
+        self.post_sweep(docs, prog, sweep, ll, None, sweep_start, &mut timer, observer);
     }
 
     /// The sparse SparseLDA-style sweep: same conditional as the serial
@@ -400,20 +406,28 @@ impl LdaModel {
         let cfg = &self.config;
         let gamma_v = cfg.gamma * cfg.vocab_size as f64;
         let sweep_start = observer.enabled().then(Instant::now);
-        let mut ll = 0.0;
-        sampler.begin_sweep(&prog.counts);
-        for (d, doc) in docs.iter().enumerate() {
-            sampler.begin_doc(&prog.counts, d, None);
-            for (n, &w) in doc.terms.iter().enumerate() {
-                let old = prog.z[d][n];
-                let new = sampler.move_token(rng, &mut prog.counts, w, old);
-                prog.z[d][n] = new;
-                ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
-                    / (f64::from(prog.counts.topic_total(new)) + gamma_v))
-                    .ln();
+        let mut timer = PhaseTimer::new(observer.enabled());
+        sampler.set_profiling(observer.enabled());
+        let ll = timer.time("z", || {
+            let mut ll = 0.0;
+            sampler.begin_sweep(&prog.counts);
+            for (d, doc) in docs.iter().enumerate() {
+                sampler.begin_doc(&prog.counts, d, None);
+                for (n, &w) in doc.terms.iter().enumerate() {
+                    let old = prog.z[d][n];
+                    let new = sampler.move_token(rng, &mut prog.counts, w, old);
+                    prog.z[d][n] = new;
+                    ll += ((f64::from(prog.counts.kw(new, w)) + cfg.gamma)
+                        / (f64::from(prog.counts.topic_total(new)) + gamma_v))
+                        .ln();
+                }
             }
-        }
-        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+            ll
+        });
+        let profile = observer
+            .enabled()
+            .then(|| sampler.take_profile().into_kernel_profile());
+        self.post_sweep(docs, prog, sweep, ll, profile, sweep_start, &mut timer, observer);
     }
 
     /// The deterministic chunked parallel sweep: fixed 64-doc chunks,
@@ -441,16 +455,20 @@ impl LdaModel {
         let vf = v as f64;
         let sweep_seed: u64 = rng.gen();
         let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
 
         let (n_dk, n_kw_flat, n_k_flat) = prog.counts.dense_parts_mut();
         let n_kw_start = n_kw_flat.to_vec();
         let n_k_start = n_k_flat.to_vec();
         let z = &mut prog.z;
-        pool.install(|| {
+        let z_start = profiling.then(Instant::now);
+        let chunk_us: Vec<u64> = pool.install(|| {
             z.par_chunks_mut(PAR_CHUNK)
                 .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
                 .enumerate()
-                .for_each(|(c, (z_chunk, n_dk_chunk))| {
+                .map(|(c, (z_chunk, n_dk_chunk))| {
+                    let chunk_start = profiling.then(Instant::now);
                     let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
                     rng.set_stream(2 * c as u64);
                     let mut n_kw = n_kw_start.clone();
@@ -478,10 +496,16 @@ impl LdaModel {
                             n_k[new] += 1;
                         }
                     }
-                });
+                    chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64)
+                })
+                .collect()
         });
+        if let Some(s) = z_start {
+            timer.record("z", s.elapsed().as_micros() as u64);
+        }
         // Deterministic merge: rebuild the term counts from the merged
         // assignments, then score the sweep against them.
+        let merge_start = profiling.then(Instant::now);
         n_kw_flat.fill(0);
         n_k_flat.fill(0);
         for (d, doc) in docs.iter().enumerate() {
@@ -491,6 +515,10 @@ impl LdaModel {
                 n_k_flat[t] += 1;
             }
         }
+        if let Some(s) = merge_start {
+            timer.record("merge", s.elapsed().as_micros() as u64);
+        }
+        let ll_start = profiling.then(Instant::now);
         let mut ll = 0.0;
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
@@ -499,18 +527,35 @@ impl LdaModel {
                     .ln();
             }
         }
-        self.post_sweep(docs, prog, sweep, ll, sweep_start, observer);
+        if let Some(s) = ll_start {
+            timer.record("ll", s.elapsed().as_micros() as u64);
+        }
+        let profile = profiling.then(|| {
+            let chunks = docs.len().div_ceil(PAR_CHUNK) as u64;
+            // Per chunk the token phase clones the start-of-sweep term
+            // counts (`n_kw` + `n_k`, u32) and a weight buffer.
+            let per_chunk = 4 * (k * v + k) + 8 * k;
+            KernelProfile::Parallel {
+                chunks,
+                chunk_us,
+                alloc_bytes: chunks * per_chunk as u64,
+            }
+        });
+        self.post_sweep(docs, prog, sweep, ll, profile, sweep_start, &mut timer, observer);
     }
 
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by the serial and parallel sweep kernels.
+    /// by all three sweep kernels.
+    #[allow(clippy::too_many_arguments)]
     fn post_sweep(
         &self,
         docs: &[ModelDoc],
         prog: &mut LdaProgress,
         sweep: usize,
         ll: f64,
+        profile: Option<KernelProfile>,
         sweep_start: Option<Instant>,
+        timer: &mut PhaseTimer,
         observer: &mut dyn SweepObserver,
     ) {
         let cfg = &self.config;
@@ -534,6 +579,10 @@ impl LdaModel {
                 jitter_retries: 0,
                 cache_lookups: 0,
                 cache_hits: 0,
+                // LDA has no document-level assignment to flip.
+                label_flips: 0,
+                phase_us: timer.take(),
+                profile,
             });
         }
         if sweep >= cfg.burn_in {

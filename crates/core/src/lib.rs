@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chains;
 pub mod checkpoint;
 pub mod collapsed;
 pub mod config;
@@ -90,6 +91,7 @@ pub mod model_selection;
 pub mod sparse;
 pub mod summary;
 
+pub use chains::{ChainFit, ChainSet, ChainSetFit};
 pub use checkpoint::{
     fingerprint_docs, CheckpointSink, GmmSnapshot, JointSnapshot, LdaSnapshot,
     MemoryCheckpointSink, NoCheckpoint, RngState, SamplerSnapshot,
@@ -99,7 +101,7 @@ pub use data::ModelDoc;
 pub use error::ModelError;
 pub use fit::{FitOptions, GibbsKernel};
 pub use joint::{FittedJointModel, JointTopicModel};
-pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, VecObserver};
+pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, TraceDiagnostic, VecObserver};
 pub use summary::TopicSummary;
 
 /// Crate-wide result alias.

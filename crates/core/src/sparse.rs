@@ -40,8 +40,43 @@
 //! [`crate::counts`]).
 
 use rand::Rng;
+use rheotex_obs::KernelProfile;
 
 use crate::counts::TopicCounts;
+
+/// Per-sweep profiling counters for the sparse kernel: where the token
+/// draws landed, the summed bucket masses they saw, and the nonzero-list
+/// lengths they walked. Maintained only while profiling is switched on
+/// ([`SparseTokenSampler::set_profiling`]) — pure observation, never an
+/// input to sampling — and drained once per sweep by
+/// [`SparseTokenSampler::take_profile`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SparseProfile {
+    s_draws: u64,
+    r_draws: u64,
+    q_draws: u64,
+    s_mass: f64,
+    r_mass: f64,
+    q_mass: f64,
+    word_nnz: u64,
+    doc_nnz: u64,
+}
+
+impl SparseProfile {
+    /// Converts the counters into the wire-facing profile payload.
+    pub(crate) fn into_kernel_profile(self) -> KernelProfile {
+        KernelProfile::Sparse {
+            s_draws: self.s_draws,
+            r_draws: self.r_draws,
+            q_draws: self.q_draws,
+            s_mass: self.s_mass,
+            r_mass: self.r_mass,
+            q_mass: self.q_mass,
+            word_nnz: self.word_nnz,
+            doc_nnz: self.doc_nnz,
+        }
+    }
+}
 
 /// Per-sweep sampler state for the sparse kernel: the shared `1/den_k`
 /// table, the incrementally maintained bucket masses, and the q-bucket
@@ -67,6 +102,10 @@ pub(crate) struct SparseTokenSampler {
     q_topics: Vec<u32>,
     /// Scratch: cumulative q-bucket weights, parallel to `q_topics`.
     q_cum: Vec<f64>,
+    /// Whether the profiling counters below are maintained.
+    profiling: bool,
+    /// Bucket/nnz counters for the current sweep (profiling only).
+    profile: SparseProfile,
 }
 
 impl SparseTokenSampler {
@@ -84,7 +123,21 @@ impl SparseTokenSampler {
             boost: None,
             q_topics: Vec::with_capacity(k),
             q_cum: Vec::with_capacity(k),
+            profiling: false,
+            profile: SparseProfile::default(),
         }
+    }
+
+    /// Switches the per-sweep bucket/nnz profiling counters on or off.
+    /// Profiling reads sampler state only — bucket selection and RNG
+    /// consumption are byte-identical either way.
+    pub(crate) fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Drains the profiling counters accumulated since the last call.
+    pub(crate) fn take_profile(&mut self) -> SparseProfile {
+        std::mem::take(&mut self.profile)
     }
 
     /// `m_dk`: 1 when `topic` is the document's observed topic.
@@ -127,6 +180,9 @@ impl SparseTokenSampler {
             }
         }
         self.r_mass = r;
+        if self.profiling {
+            self.profile.doc_nnz += counts.doc_topics(d).len() as u64;
+        }
     }
 
     /// The r term of `topic` for the current document under the current
@@ -182,6 +238,21 @@ impl SparseTokenSampler {
 
         let total = q_mass + self.r_mass + self.s_mass;
         let u = rng.gen::<f64>() * total;
+
+        if self.profiling {
+            let p = &mut self.profile;
+            p.q_mass += q_mass;
+            p.r_mass += self.r_mass;
+            p.s_mass += self.s_mass;
+            p.word_nnz += self.q_topics.len() as u64;
+            if u < q_mass {
+                p.q_draws += 1;
+            } else if u < q_mass + self.r_mass {
+                p.r_draws += 1;
+            } else {
+                p.s_draws += 1;
+            }
+        }
 
         let new = if u < q_mass {
             let slot = self.q_cum.partition_point(|&c| c <= u);
@@ -390,6 +461,54 @@ mod tests {
             trace
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profiling_counts_every_draw_without_perturbing_sampling() {
+        let run = |profiling: bool| {
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            let (mut counts, mut sites) = seeded_counts(&mut rng, 4, 6, 7, 8);
+            let mut sampler = SparseTokenSampler::new(6, 7, 0.3, 0.15);
+            sampler.set_profiling(profiling);
+            let mut profiles = Vec::new();
+            let mut trace = Vec::new();
+            for _ in 0..3 {
+                sampler.begin_sweep(&counts);
+                for i in 0..sites.len() {
+                    let (d, w, old) = sites[i];
+                    sampler.begin_doc(&counts, d, None);
+                    let new = sampler.move_token(&mut rng, &mut counts, w, old);
+                    sites[i] = (d, w, new);
+                    trace.push(new);
+                }
+                profiles.push(sampler.take_profile());
+            }
+            (trace, profiles)
+        };
+        let (trace_on, profiles) = run(true);
+        let (trace_off, idle) = run(false);
+        assert_eq!(trace_on, trace_off, "profiling must not perturb draws");
+        for p in &profiles {
+            // Every token lands in exactly one bucket.
+            assert_eq!(p.s_draws + p.r_draws + p.q_draws, 32);
+            assert!(p.q_mass + p.r_mass + p.s_mass > 0.0);
+            assert!(p.word_nnz > 0);
+            assert!(p.doc_nnz > 0);
+        }
+        for p in &idle {
+            assert_eq!(p.s_draws + p.r_draws + p.q_draws, 0);
+        }
+        // The wire conversion carries the counters through.
+        let kp = profiles[0].into_kernel_profile();
+        match kp {
+            rheotex_obs::KernelProfile::Sparse {
+                s_draws,
+                r_draws,
+                q_draws,
+                ..
+            } => assert_eq!(s_draws + r_draws + q_draws, 32),
+            rheotex_obs::KernelProfile::Parallel { .. } => panic!("wrong variant"),
+        }
     }
 
     proptest! {

@@ -7,9 +7,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{
+    FitOptions, GibbsKernel, JointConfig, JointTopicModel, MemoryCheckpointSink, ModelDoc,
+};
 use rheotex_linalg::Vector;
-use rheotex_obs::{EventKind, MemorySink, Obs};
+use rheotex_obs::{Event, EventKind, MemorySink, Obs};
 
 fn rng() -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(17)
@@ -36,7 +38,7 @@ fn obs_with_memory() -> (Obs, MemorySink) {
 }
 
 /// The required fields of a sweep event, per the stable schema.
-const SWEEP_FIELDS: [&str; 10] = [
+const SWEEP_FIELDS: [&str; 12] = [
     "sweep",
     "total_sweeps",
     "elapsed_us",
@@ -45,9 +47,19 @@ const SWEEP_FIELDS: [&str; 10] = [
     "min_occupancy",
     "max_occupancy",
     "nw_draws",
+    "jitter_retries",
     "cache_lookups",
     "cache_hits",
+    "label_flips",
 ];
+
+/// The sorted field-key set of one event — the schema the cross-kernel
+/// and cross-resume tests compare.
+fn field_schema(e: &Event) -> Vec<String> {
+    let mut keys: Vec<String> = e.fields.iter().map(|f| f.key.to_string()).collect();
+    keys.sort();
+    keys
+}
 
 fn assert_sweep_stream(sink: &MemorySink, name: &str, expected_sweeps: usize) {
     let events = sink.events_of(EventKind::Sweep);
@@ -122,6 +134,126 @@ fn gmm_fit_emits_one_sweep_event_per_sweep() {
         .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
         .unwrap();
     assert_sweep_stream(&sink, "gmm.sweep", sweeps);
+}
+
+#[test]
+fn sweep_schema_identical_across_all_three_kernel_classes() {
+    let docs = two_cluster_docs(10);
+    let mut schemas: Vec<Vec<String>> = Vec::new();
+    let mut phase_sets: Vec<Vec<String>> = Vec::new();
+    for kernel in [
+        GibbsKernel::Serial,
+        GibbsKernel::Parallel,
+        GibbsKernel::Sparse,
+    ] {
+        let config = JointConfig::quick(2, 4);
+        let sweeps = config.sweeps;
+        let model = JointTopicModel::new(config).unwrap();
+        let (obs, sink) = obs_with_memory();
+        let mut observer = obs.clone();
+        model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().observer(&mut observer).kernel(kernel),
+            )
+            .unwrap();
+        let events = sink.events_of(EventKind::Sweep);
+        assert_eq!(events.len(), sweeps, "{kernel}");
+        let mut kernel_schemas: Vec<Vec<String>> = events.iter().map(field_schema).collect();
+        kernel_schemas.dedup();
+        assert_eq!(
+            kernel_schemas.len(),
+            1,
+            "sweep schema varies within the {kernel} run"
+        );
+        schemas.push(kernel_schemas.pop().unwrap());
+        let mut phases: Vec<String> = sink
+            .events_of(EventKind::Observe)
+            .iter()
+            .filter(|e| e.name.starts_with("joint.phase."))
+            .map(|e| e.name.to_string())
+            .collect();
+        phases.sort();
+        phases.dedup();
+        phase_sets.push(phases);
+    }
+    // One schema for all kernel classes, containing every promised field.
+    assert_eq!(schemas[0], schemas[1]);
+    assert_eq!(schemas[0], schemas[2]);
+    for key in SWEEP_FIELDS {
+        assert!(schemas[0].iter().any(|k| k == key), "missing {key}");
+    }
+    // Every kernel times the same four joint-engine phases.
+    assert_eq!(phase_sets[0], phase_sets[1]);
+    assert_eq!(phase_sets[0], phase_sets[2]);
+    assert_eq!(
+        phase_sets[0],
+        [
+            "joint.phase.ll_us",
+            "joint.phase.params_us",
+            "joint.phase.y_us",
+            "joint.phase.z_us",
+        ]
+    );
+}
+
+#[test]
+fn sweep_schema_continues_across_checkpoint_resume_boundary() {
+    let docs = two_cluster_docs(10);
+    let config = JointConfig::quick(2, 4);
+    let sweeps = config.sweeps;
+    let model = JointTopicModel::new(config).unwrap();
+
+    // Uninterrupted observed run, checkpointing once mid-chain (sweep 36,
+    // so the snapshot resumes from sweep 37 of 60).
+    let (obs_a, sink_a) = obs_with_memory();
+    let mut observer_a = obs_a.clone();
+    let mut ckpt = MemoryCheckpointSink::new(37);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .observer(&mut observer_a)
+                .checkpoint(&mut ckpt),
+        )
+        .unwrap();
+    let snapshot = ckpt.latest().expect("mid-run snapshot").clone();
+    assert_eq!(snapshot.next_sweep(), 37);
+
+    // Resume with a fresh observer: the event stream picks up at the
+    // boundary sweep with the same schema and the same ll values the
+    // uninterrupted run produced.
+    let (obs_b, sink_b) = obs_with_memory();
+    let mut observer_b = obs_b.clone();
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().observer(&mut observer_b).resume(snapshot),
+        )
+        .unwrap();
+
+    let first = sink_a.events_of(EventKind::Sweep);
+    let resumed = sink_b.events_of(EventKind::Sweep);
+    assert_eq!(first.len(), sweeps);
+    assert_eq!(resumed.len(), sweeps - 37);
+    assert_eq!(resumed[0].field_f64("sweep"), Some(37.0));
+
+    let reference = field_schema(&first[0]);
+    for e in first.iter().chain(resumed.iter()) {
+        assert_eq!(field_schema(e), reference, "schema drift at {:?}", e.name);
+    }
+    let tail: Vec<f64> = first[37..]
+        .iter()
+        .map(|e| e.field_f64("ll").unwrap())
+        .collect();
+    let resumed_ll: Vec<f64> = resumed
+        .iter()
+        .map(|e| e.field_f64("ll").unwrap())
+        .collect();
+    assert_eq!(resumed_ll, tail, "resumed sweeps must match bit-for-bit");
 }
 
 #[test]

@@ -1,0 +1,412 @@
+//! Cross-chain convergence diagnostics: split-R̂ (Gelman–Rubin) and
+//! bulk effective sample size over per-sweep scalar traces.
+//!
+//! The estimators follow the split-chain formulation (Gelman et al.,
+//! *Bayesian Data Analysis* 3rd ed. §11.4; Vehtari et al. 2021): every
+//! chain is cut in half so within-chain drift shows up as between-chain
+//! variance, which lets a *single* chain yield a meaningful R̂. The ESS
+//! uses Geyer's initial-monotone-sequence truncation over the combined
+//! split-chain autocorrelations. Conventions pinned by the golden tests:
+//! within-chain variance `W` is the mean of the *unbiased* per-chain
+//! sample variances, autocovariances use the biased `1/n` normalizer,
+//! and ESS is capped at the total draw count (antithetic chains report
+//! the cap rather than a super-efficient estimate).
+//!
+//! [`ChainTraces`] is the accumulator the multi-chain runner feeds: one
+//! scalar trace per `(metric, chain)`, diagnosed in one shot after the
+//! fits finish.
+
+use crate::event::{EventKind, Field};
+use crate::recorder::Obs;
+use std::collections::BTreeMap;
+
+/// Truncates every chain to the common length and splits each into two
+/// halves. `None` when there is no chain with at least 4 draws.
+fn split_halves(chains: &[Vec<f64>]) -> Option<Vec<&[f64]>> {
+    let n_min = chains.iter().map(Vec::len).min()?;
+    let half = n_min / 2;
+    if half < 2 {
+        return None;
+    }
+    let mut halves = Vec::with_capacity(2 * chains.len());
+    for c in chains {
+        halves.push(&c[..half]);
+        halves.push(&c[half..2 * half]);
+    }
+    Some(halves)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (`n - 1` denominator).
+fn sample_var(xs: &[f64], m: f64) -> f64 {
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Within-chain variance `W`, pooled variance `var⁺`, and the half-chain
+/// layout `(m, n)` shared by both estimators.
+fn variance_decomposition(halves: &[&[f64]]) -> (f64, f64, usize, usize) {
+    let m = halves.len();
+    let n = halves[0].len();
+    let chain_means: Vec<f64> = halves.iter().map(|h| mean(h)).collect();
+    let w = halves
+        .iter()
+        .zip(&chain_means)
+        .map(|(h, &cm)| sample_var(h, cm))
+        .sum::<f64>()
+        / m as f64;
+    let between = if m > 1 {
+        sample_var(&chain_means, mean(&chain_means))
+    } else {
+        0.0
+    };
+    // var⁺ = (n-1)/n · W + B/n with B = n · Var(chain means).
+    let var_plus = (n - 1) as f64 / n as f64 * w + between;
+    (w, var_plus, m, n)
+}
+
+/// Split-R̂ over one scalar metric's chains (each `Vec<f64>` is one
+/// chain's per-sweep trace).
+///
+/// Returns `None` when no chain has at least 4 draws. Degenerate cases:
+/// all values identical → `1.0`; chains constant but at different
+/// values → `f64::INFINITY` (maximally unconverged).
+#[must_use]
+pub fn split_rhat(chains: &[Vec<f64>]) -> Option<f64> {
+    let halves = split_halves(chains)?;
+    let (w, var_plus, ..) = variance_decomposition(&halves);
+    if w <= 0.0 {
+        return Some(if var_plus <= 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    Some((var_plus / w).sqrt())
+}
+
+/// Bulk effective sample size over one scalar metric's chains, via
+/// Geyer-truncated combined autocorrelations on the split chains.
+///
+/// Returns `None` when no chain has at least 4 draws. The estimate is
+/// capped at the total number of retained draws; a fully constant trace
+/// reports the cap (no information either way).
+#[must_use]
+pub fn bulk_ess(chains: &[Vec<f64>]) -> Option<f64> {
+    let halves = split_halves(chains)?;
+    let (w, var_plus, m, n) = variance_decomposition(&halves);
+    let total = (m * n) as f64;
+    if var_plus <= 0.0 {
+        return Some(total);
+    }
+    let chain_means: Vec<f64> = halves.iter().map(|h| mean(h)).collect();
+    // Biased (1/n) autocovariance of half-chain j at lag t.
+    let autocov = |j: usize, t: usize| -> f64 {
+        let h = halves[j];
+        let cm = chain_means[j];
+        let mut s = 0.0;
+        for i in 0..(n - t) {
+            s += (h[i] - cm) * (h[i + t] - cm);
+        }
+        s / n as f64
+    };
+    let rho = |t: usize| -> f64 {
+        let acov = (0..m).map(|j| autocov(j, t)).sum::<f64>() / m as f64;
+        1.0 - (w - acov) / var_plus
+    };
+    // Geyer: sum paired correlations P_k = ρ_{2k} + ρ_{2k+1} (with
+    // ρ_0 = 1) while positive, forced monotone non-increasing.
+    let max_lag = n - 1;
+    let mut sum_p = 0.0;
+    let mut prev = f64::INFINITY;
+    let mut k = 0usize;
+    loop {
+        let (a, b) = (2 * k, 2 * k + 1);
+        if b > max_lag {
+            break;
+        }
+        let p = if k == 0 { 1.0 + rho(1) } else { rho(a) + rho(b) };
+        if p <= 0.0 {
+            break;
+        }
+        prev = p.min(prev);
+        sum_p += prev;
+        k += 1;
+    }
+    let tau = 2.0 * sum_p - 1.0;
+    let ess = if tau > 0.0 { total / tau } else { total };
+    Some(ess.min(total))
+}
+
+/// The convergence verdict for one scalar trace across chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiagnostic {
+    /// Metric name (`ll`, `topic_entropy`, …).
+    pub metric: String,
+    /// Split-R̂; `NaN` when undefined (too few draws), `∞` for chains
+    /// stuck at distinct values.
+    pub rhat: f64,
+    /// Bulk effective sample size; `NaN` when undefined.
+    pub ess: f64,
+    /// Chains that contributed draws.
+    pub chains: usize,
+    /// Post-warmup draws per chain (the shortest chain's count).
+    pub draws: usize,
+}
+
+impl TraceDiagnostic {
+    /// Whether this trace passes an R̂ threshold (typically 1.01–1.05).
+    /// Undefined or infinite R̂ never passes.
+    #[must_use]
+    pub fn converged(&self, rhat_threshold: f64) -> bool {
+        self.rhat.is_finite() && self.rhat <= rhat_threshold
+    }
+}
+
+/// Emits a [`TraceDiagnostic`] as a `convergence.{metric}` event so it
+/// lands in metrics JSONL and the end-of-run summary gauges.
+pub fn emit_convergence(obs: &Obs, diag: &TraceDiagnostic) {
+    obs.emit(
+        EventKind::Convergence,
+        format!("convergence.{}", diag.metric),
+        vec![
+            Field::new("rhat", diag.rhat),
+            Field::new("ess", diag.ess),
+            Field::new("chains", diag.chains),
+            Field::new("draws", diag.draws),
+        ],
+    );
+}
+
+/// Accumulates per-sweep scalar traces from a set of chains, keyed by
+/// metric name, and diagnoses them all at once.
+#[derive(Debug, Clone, Default)]
+pub struct ChainTraces {
+    n_chains: usize,
+    traces: BTreeMap<String, Vec<Vec<f64>>>,
+}
+
+impl ChainTraces {
+    /// An accumulator expecting `n_chains` chains (it grows if a higher
+    /// chain index shows up).
+    #[must_use]
+    pub fn new(n_chains: usize) -> Self {
+        Self {
+            n_chains,
+            traces: BTreeMap::new(),
+        }
+    }
+
+    /// Number of chains seen or declared.
+    #[must_use]
+    pub fn n_chains(&self) -> usize {
+        self.n_chains
+    }
+
+    /// True when no value has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Appends one per-sweep value of `metric` for `chain`.
+    pub fn push(&mut self, metric: &str, chain: usize, value: f64) {
+        self.n_chains = self.n_chains.max(chain + 1);
+        let n = self.n_chains;
+        let per_chain = self
+            .traces
+            .entry(metric.to_string())
+            .or_insert_with(|| vec![Vec::new(); n]);
+        if per_chain.len() < n {
+            per_chain.resize(n, Vec::new());
+        }
+        per_chain[chain].push(value);
+    }
+
+    /// Diagnoses every metric after discarding the leading
+    /// `warmup_fraction` of each chain's trace (clamped to `[0, 0.9]`;
+    /// the conventional choice is `0.5`). Chains that recorded nothing
+    /// for a metric are skipped.
+    #[must_use]
+    pub fn diagnose(&self, warmup_fraction: f64) -> Vec<TraceDiagnostic> {
+        let warmup = warmup_fraction.clamp(0.0, 0.9);
+        let mut out = Vec::with_capacity(self.traces.len());
+        for (metric, per_chain) in &self.traces {
+            let kept: Vec<Vec<f64>> = per_chain
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|c| {
+                    let skip = (c.len() as f64 * warmup).floor() as usize;
+                    c[skip.min(c.len())..].to_vec()
+                })
+                .collect();
+            let draws = kept.iter().map(Vec::len).min().unwrap_or(0);
+            out.push(TraceDiagnostic {
+                metric: metric.clone(),
+                rhat: split_rhat(&kept).unwrap_or(f64::NAN),
+                ess: bulk_ess(&kept).unwrap_or(f64::NAN),
+                chains: kept.len(),
+                draws,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::MemorySink;
+
+    // ------------------------------------------------------------------
+    // Golden values. Each reference number below is derived by hand from
+    // the documented conventions (unbiased W, biased autocovariance,
+    // Geyer pairing), so a silent change to either estimator fails here.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn golden_rhat_converged_antithetic() {
+        // Halves: [1,2] [1,2] [2,1] [2,1] — W = 1/2, all means 1.5 so
+        // B = 0, var+ = (1/2)·(1/2) = 1/4, R̂ = sqrt(1/2).
+        let chains = vec![vec![1.0, 2.0, 1.0, 2.0], vec![2.0, 1.0, 2.0, 1.0]];
+        let rhat = split_rhat(&chains).unwrap();
+        assert!((rhat - 0.5f64.sqrt()).abs() < 1e-12, "{rhat}");
+    }
+
+    #[test]
+    fn golden_rhat_shifted_chains() {
+        // Halves: [1,2] [3,4] [3,4] [5,6] — W = 1/2, half-means
+        // {1.5, 3.5, 3.5, 5.5}, Var(means) = 8/3,
+        // var+ = 1/4 + 8/3 = 35/12, R̂ = sqrt(35/6).
+        let chains = vec![vec![1.0, 2.0, 3.0, 4.0], vec![3.0, 4.0, 5.0, 6.0]];
+        let rhat = split_rhat(&chains).unwrap();
+        assert!((rhat - (35.0f64 / 6.0).sqrt()).abs() < 1e-12, "{rhat}");
+    }
+
+    #[test]
+    fn golden_stuck_chains_rhat_infinite_ess_small() {
+        // Two chains frozen at different values: W = 0 with B > 0.
+        let chains = vec![vec![0.0; 8], vec![1.0; 8]];
+        assert_eq!(split_rhat(&chains), Some(f64::INFINITY));
+        // Every combined ρ_t = 1, so with n = 4: P_0 = P_1 = 2,
+        // τ = 2·(2+2) − 1 = 7, ESS = 16/7.
+        let ess = bulk_ess(&chains).unwrap();
+        assert!((ess - 16.0 / 7.0).abs() < 1e-12, "{ess}");
+    }
+
+    #[test]
+    fn golden_ess_antithetic_hits_cap() {
+        // Single oscillating chain: ρ_1 = -13/12, so P_0 ≤ 0 and the
+        // Geyer sum is empty → ESS reports the cap (total draws = 8).
+        let chains = vec![vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0]];
+        assert_eq!(bulk_ess(&chains), Some(8.0));
+    }
+
+    #[test]
+    fn identical_constant_chains_are_trivially_converged() {
+        let chains = vec![vec![3.0; 8], vec![3.0; 8]];
+        assert_eq!(split_rhat(&chains), Some(1.0));
+        assert_eq!(bulk_ess(&chains), Some(16.0));
+    }
+
+    #[test]
+    fn bimodal_chains_flag_nonconvergence() {
+        // Chain 0 mostly in mode A with one excursion, chain 1 mostly in
+        // mode B: the between-chain term dominates.
+        let a = vec![0.1, -0.2, 0.0, 0.2, 10.0, 0.1, -0.1, 0.0];
+        let b = vec![10.1, 9.8, 10.0, 10.2, 9.9, 10.1, 0.0, 10.0];
+        let rhat = split_rhat(&[a.clone(), b.clone()]).unwrap();
+        assert!(rhat > 1.5, "bimodal chains should be unconverged: {rhat}");
+        let diag = TraceDiagnostic {
+            metric: "ll".into(),
+            rhat,
+            ess: bulk_ess(&[a, b]).unwrap(),
+            chains: 2,
+            draws: 8,
+        };
+        assert!(!diag.converged(1.05));
+    }
+
+    #[test]
+    fn well_mixed_chains_pass_threshold() {
+        // Deterministic pseudo-noise around the same mean for both
+        // chains (a fixed LCG so the test is bit-stable).
+        let mut state = 42u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let chains: Vec<Vec<f64>> = (0..4).map(|_| (0..64).map(|_| noise()).collect()).collect();
+        let rhat = split_rhat(&chains).unwrap();
+        assert!(rhat < 1.2, "white-noise chains should converge: {rhat}");
+        let ess = bulk_ess(&chains).unwrap();
+        assert!(ess > 0.25 * 256.0, "white noise should mix well: {ess}");
+        assert!(ess <= 256.0);
+    }
+
+    #[test]
+    fn too_short_traces_are_undefined() {
+        assert_eq!(split_rhat(&[vec![1.0, 2.0, 3.0]]), None);
+        assert_eq!(bulk_ess(&[]), None);
+        assert_eq!(bulk_ess(&[vec![1.0]]), None);
+    }
+
+    #[test]
+    fn chain_traces_accumulate_and_diagnose() {
+        let mut traces = ChainTraces::new(2);
+        assert!(traces.is_empty());
+        for sweep in 0..8 {
+            let v = f64::from(sweep % 3);
+            traces.push("ll", 0, v);
+            traces.push("ll", 1, v + 0.1);
+            traces.push("entropy", 0, 1.0);
+            traces.push("entropy", 1, 2.0);
+        }
+        assert_eq!(traces.n_chains(), 2);
+        let diags = traces.diagnose(0.0);
+        assert_eq!(diags.len(), 2);
+        // BTreeMap ordering: entropy before ll.
+        assert_eq!(diags[0].metric, "entropy");
+        assert_eq!(diags[0].rhat, f64::INFINITY);
+        assert!(!diags[0].converged(1.05));
+        assert_eq!(diags[1].metric, "ll");
+        assert!(diags[1].rhat.is_finite());
+        assert_eq!(diags[1].chains, 2);
+        assert_eq!(diags[1].draws, 8);
+    }
+
+    #[test]
+    fn warmup_discards_leading_draws() {
+        let mut traces = ChainTraces::new(1);
+        // First half wildly off, second half constant-ish: with 50%
+        // warmup only the settled tail is diagnosed.
+        for sweep in 0..16 {
+            let v = if sweep < 8 { -1000.0 + f64::from(sweep) } else { 5.0 };
+            traces.push("ll", 0, v);
+        }
+        let diag = &traces.diagnose(0.5)[0];
+        assert_eq!(diag.draws, 8);
+        assert_eq!(diag.rhat, 1.0, "constant tail is trivially converged");
+    }
+
+    #[test]
+    fn convergence_events_reach_sinks_and_summary() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let diag = TraceDiagnostic {
+            metric: "ll".into(),
+            rhat: 1.02,
+            ess: 81.5,
+            chains: 3,
+            draws: 40,
+        };
+        emit_convergence(&obs, &diag);
+        let events = sink.events_of(EventKind::Convergence);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "convergence.ll");
+        assert_eq!(events[0].field_f64("rhat"), Some(1.02));
+        assert_eq!(events[0].field_f64("ess"), Some(81.5));
+        assert_eq!(events[0].field_f64("chains"), Some(3.0));
+        let summary = obs.summary();
+        assert_eq!(summary.gauges["convergence.ll.rhat"], 1.02);
+        assert_eq!(summary.gauges["convergence.ll.ess"], 81.5);
+    }
+}

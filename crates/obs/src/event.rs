@@ -112,6 +112,13 @@ pub enum EventKind {
     Observe,
     /// One Gibbs sweep of a sampler; carries the sweep statistics.
     Sweep,
+    /// A cross-chain convergence diagnostic for one scalar trace;
+    /// carries `rhat`, `ess`, `chains`, and `draws`.
+    Convergence,
+    /// A kernel-specific per-sweep profile (sparse bucket masses,
+    /// parallel chunk timings, …); carries a `kernel` discriminator
+    /// plus kernel-dependent numeric fields.
+    Profile,
 }
 
 impl EventKind {
@@ -125,6 +132,8 @@ impl EventKind {
             Self::Gauge => "gauge",
             Self::Observe => "observe",
             Self::Sweep => "sweep",
+            Self::Convergence => "convergence",
+            Self::Profile => "profile",
         }
     }
 }
@@ -204,7 +213,7 @@ fn write_json_value(out: &mut String, v: &Value) {
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -225,7 +234,7 @@ fn write_json_string(out: &mut String, s: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testjson::{parse_json, Json};
+    use crate::json::{parse_json, Json};
 
     fn event() -> Event {
         Event {

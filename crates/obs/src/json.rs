@@ -1,44 +1,93 @@
-//! A minimal recursive-descent JSON parser, used only by this crate's
-//! tests to validate the JSONL wire format without external
-//! dependencies. Not exported; downstream consumers should use a real
-//! JSON library.
+//! A minimal recursive-descent JSON parser.
+//!
+//! This started as a test-only helper for validating the JSONL wire
+//! format; it is public because the run-report builder
+//! ([`crate::report`]) parses metrics JSONL back in without pulling a
+//! JSON dependency into this crate (which is deliberately
+//! dependency-free). It handles exactly the JSON this crate emits plus
+//! ordinary hand-written documents; it is not a general-purpose,
+//! spec-lawyered parser — numbers parse through `f64`, and object keys
+//! keep their document order.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (parsed as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; insertion order preserved, first duplicate key wins
+    /// for [`Json::get`].
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// Object member by key (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// Numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// String slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members in document order, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
             _ => None,
         }
     }
 }
 
 /// Parses a complete JSON document; trailing garbage is an error.
-pub(crate) fn parse_json(s: &str) -> Result<Json, String> {
+///
+/// # Errors
+/// A human-readable description with a byte offset.
+pub fn parse_json(s: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -249,5 +298,18 @@ mod tests {
         assert!(parse_json("[1,]").is_err());
         assert!(parse_json("{} extra").is_err());
         assert!(parse_json("\"\u{1}\"").is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let j = parse_json(r#"{"n":2,"s":"x","b":false,"a":[1],"o":{"k":3}}"#).unwrap();
+        assert_eq!(j.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("a").and_then(Json::as_array).map(<[_]>::len), Some(1));
+        assert_eq!(
+            j.get("o").and_then(Json::as_object).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(j.get("n").and_then(Json::as_str).is_none());
+        assert!(j.as_f64().is_none());
     }
 }

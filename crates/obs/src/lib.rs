@@ -24,6 +24,14 @@
 //!   bridging sweeps into the event stream; [`NullObserver`] keeps
 //!   un-instrumented fits free of any overhead.
 //!
+//! On top of the event stream sit the diagnostics added for the
+//! convergence-telemetry work: [`convergence`] computes split-R̂ and
+//! bulk ESS over multi-chain scalar traces ([`ChainTraces`]), and
+//! [`report`] parses one or more metrics JSONL files (via the
+//! dependency-free [`json`] parser) back into a [`RunReport`] — a
+//! human-readable run report plus the machine `rheotex.report/1`
+//! document.
+//!
 //! ```
 //! use rheotex_obs::{MemorySink, Obs};
 //!
@@ -41,19 +49,22 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod convergence;
 pub mod event;
 pub mod histogram;
+pub mod json;
 pub mod recorder;
+pub mod report;
 pub mod sinks;
 pub mod summary;
 pub mod sweep;
 
-#[cfg(test)]
-pub(crate) mod testjson;
-
+pub use convergence::{bulk_ess, emit_convergence, split_rhat, ChainTraces, TraceDiagnostic};
 pub use event::{Event, EventKind, Field, Value};
 pub use histogram::Histogram;
+pub use json::{parse_json, Json};
 pub use recorder::{Obs, Recorder, Span};
+pub use report::RunReport;
 pub use sinks::{JsonlSink, MemorySink, ProgressSink};
 pub use summary::{Summary, TimerStat};
-pub use sweep::{NullObserver, SweepObserver, SweepStats, VecObserver};
+pub use sweep::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats, VecObserver};

@@ -1,0 +1,883 @@
+//! Run reports: parse one or more metrics JSONL files (the
+//! [`crate::sinks::JsonlSink`] output) back into an aggregate view — a
+//! human-readable report plus the machine `rheotex.report/1` document.
+//!
+//! The builder is wire-driven: it only needs the stable JSONL schema
+//! (kind / name / fields), so reports work across binaries and PRs and
+//! on files produced by older builds (fields it does not know are
+//! ignored; fields it wants but cannot find degrade to `n/a`).
+//!
+//! Chain identity: sweep events carry a `chain` field when emitted by
+//! the multi-chain runner; sweeps without one are attributed to the
+//! source file's index, so passing several single-chain JSONL files
+//! compares them as chains of one ensemble.
+
+use crate::convergence::{ChainTraces, TraceDiagnostic};
+use crate::event::write_json_string;
+use crate::json::{parse_json, Json};
+use crate::summary::fmt_duration_us;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Total/count aggregate of one timed name (phase or pipeline stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Total time, µs.
+    pub total_us: u64,
+    /// Observations folded in.
+    pub count: u64,
+}
+
+impl PhaseStat {
+    fn add(&mut self, us: u64) {
+        self.total_us += us;
+        self.count += 1;
+    }
+
+    /// Mean duration, µs (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Min/max/mean aggregate of a value stream (parallel chunk times).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ValueStat {
+    /// Observations folded in.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Smallest value (0 when empty).
+    pub min: f64,
+    /// Largest value (0 when empty).
+    pub max: f64,
+}
+
+impl ValueStat {
+    fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Per-chain rollup of one engine's sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainReport {
+    /// Chain index (explicit `chain` field, or the source file index).
+    pub chain: usize,
+    /// Sweeps recorded.
+    pub sweeps: u64,
+    /// Total sweep wall time, µs.
+    pub total_sweep_us: u64,
+    /// Log-likelihood of the last recorded sweep (`NaN` when absent).
+    pub final_ll: f64,
+}
+
+/// Everything the report knows about one engine (`joint`, `lda`, …).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine label from the event names.
+    pub engine: String,
+    /// Kernel class, when profile events identified one.
+    pub kernel: Option<String>,
+    /// Total sweeps across chains.
+    pub sweeps: u64,
+    /// Total sweep wall time across chains, µs.
+    pub total_sweep_us: u64,
+    /// Per-chain rollups, ordered by chain index.
+    pub chains: Vec<ChainReport>,
+    /// Phase totals keyed by phase name (`z`, `y`, `params`, …).
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Predictive-cache lookups summed over sweeps.
+    pub cache_lookups: u64,
+    /// Predictive-cache hits summed over sweeps.
+    pub cache_hits: u64,
+    /// Document assignment flips summed over sweeps.
+    pub label_flips: u64,
+    /// Mean per-sweep value of each numeric profile field.
+    pub profile: BTreeMap<String, f64>,
+    /// Parallel-kernel chunk timing aggregate, when present.
+    pub chunk_us: Option<ValueStat>,
+    /// Convergence diagnostics computed from this engine's own sweep
+    /// traces (`ll`, `topic_entropy`), 50% warmup.
+    pub convergence: Vec<TraceDiagnostic>,
+}
+
+/// Accumulation state for one engine while parsing.
+#[derive(Debug, Default)]
+struct EngineAcc {
+    kernel: Option<String>,
+    chains: BTreeMap<usize, ChainReport>,
+    phases: BTreeMap<String, PhaseStat>,
+    cache_lookups: u64,
+    cache_hits: u64,
+    label_flips: u64,
+    profile_sum: BTreeMap<String, (f64, u64)>,
+    chunk_us: Option<ValueStat>,
+    traces: ChainTraces,
+}
+
+/// The parsed, aggregated view of one run's metrics — the payload of
+/// `rheotex report`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Source file labels, in the order given.
+    pub sources: Vec<String>,
+    /// Per-engine aggregates, ordered by engine name.
+    pub engines: Vec<EngineReport>,
+    /// Pipeline stage totals (from `stage.*` span ends).
+    pub stages: BTreeMap<String, PhaseStat>,
+    /// The convergence verdict rows: explicit `convergence.*` events
+    /// when the run emitted them, otherwise diagnostics recomputed from
+    /// the per-chain sweep traces (metrics prefixed `{engine}.`).
+    pub convergence: Vec<TraceDiagnostic>,
+    /// R̂ acceptance threshold used for verdicts (default 1.05).
+    pub rhat_threshold: f64,
+}
+
+impl RunReport {
+    /// Builds a report from `(label, jsonl contents)` pairs.
+    ///
+    /// # Errors
+    /// A description naming the source and line of the first malformed
+    /// JSONL line.
+    pub fn from_sources(sources: &[(String, String)]) -> Result<Self, String> {
+        let mut engines: BTreeMap<String, EngineAcc> = BTreeMap::new();
+        let mut stages: BTreeMap<String, PhaseStat> = BTreeMap::new();
+        let mut explicit: Vec<TraceDiagnostic> = Vec::new();
+
+        for (file_idx, (label, contents)) in sources.iter().enumerate() {
+            for (line_no, line) in contents.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let event = parse_json(line)
+                    .map_err(|e| format!("{label}:{}: {e}", line_no + 1))?;
+                let Some(kind) = event.get("kind").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Some(name) = event.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                let field = |key: &str| -> Option<f64> {
+                    event.get("fields").and_then(|f| f.get(key)).and_then(Json::as_f64)
+                };
+                match kind {
+                    "sweep" => {
+                        let Some(engine) = name.strip_suffix(".sweep") else {
+                            continue;
+                        };
+                        let acc = engines.entry(engine.to_string()).or_default();
+                        let chain = field("chain").map_or(file_idx, |c| c as usize);
+                        let elapsed = field("elapsed_us").unwrap_or(0.0).max(0.0) as u64;
+                        let entry =
+                            acc.chains.entry(chain).or_insert_with(|| ChainReport {
+                                chain,
+                                sweeps: 0,
+                                total_sweep_us: 0,
+                                final_ll: f64::NAN,
+                            });
+                        entry.sweeps += 1;
+                        entry.total_sweep_us += elapsed;
+                        if let Some(ll) = field("ll") {
+                            entry.final_ll = ll;
+                            acc.traces.push("ll", chain, ll);
+                        }
+                        if let Some(entropy) = field("topic_entropy") {
+                            acc.traces.push("topic_entropy", chain, entropy);
+                        }
+                        acc.cache_lookups += field("cache_lookups").unwrap_or(0.0) as u64;
+                        acc.cache_hits += field("cache_hits").unwrap_or(0.0) as u64;
+                        acc.label_flips += field("label_flips").unwrap_or(0.0) as u64;
+                    }
+                    "observe" => {
+                        if let Some(v) = field("value") {
+                            if let Some((engine, rest)) = name.split_once(".phase.") {
+                                if let Some(phase) = rest.strip_suffix("_us") {
+                                    engines
+                                        .entry(engine.to_string())
+                                        .or_default()
+                                        .phases
+                                        .entry(phase.to_string())
+                                        .or_default()
+                                        .add(v.max(0.0) as u64);
+                                }
+                            } else if let Some(engine) = name.strip_suffix(".chunk_us") {
+                                engines
+                                    .entry(engine.to_string())
+                                    .or_default()
+                                    .chunk_us
+                                    .get_or_insert_with(ValueStat::default)
+                                    .add(v);
+                            }
+                        }
+                    }
+                    "profile" => {
+                        let Some(engine) = name.strip_suffix(".profile") else {
+                            continue;
+                        };
+                        let acc = engines.entry(engine.to_string()).or_default();
+                        if let Some(fields) = event.get("fields").and_then(Json::as_object) {
+                            for (key, value) in fields {
+                                if key == "kernel" {
+                                    if let Some(k) = value.as_str() {
+                                        acc.kernel = Some(k.to_string());
+                                    }
+                                } else if let Some(v) = value.as_f64() {
+                                    let (sum, count) =
+                                        acc.profile_sum.entry(key.clone()).or_insert((0.0, 0));
+                                    *sum += v;
+                                    *count += 1;
+                                }
+                            }
+                        }
+                    }
+                    "span_end" => {
+                        if name.starts_with("stage.") {
+                            let us = field("duration_us").unwrap_or(0.0).max(0.0) as u64;
+                            stages.entry(name.to_string()).or_default().add(us);
+                        }
+                    }
+                    "convergence" => {
+                        let metric = name.strip_prefix("convergence.").unwrap_or(name);
+                        explicit.push(TraceDiagnostic {
+                            metric: metric.to_string(),
+                            rhat: field("rhat").unwrap_or(f64::NAN),
+                            ess: field("ess").unwrap_or(f64::NAN),
+                            chains: field("chains").unwrap_or(0.0) as usize,
+                            draws: field("draws").unwrap_or(0.0) as usize,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let engines = engines
+            .into_iter()
+            .map(|(engine, acc)| {
+                let convergence = acc
+                    .traces
+                    .diagnose(0.5)
+                    .into_iter()
+                    .map(|mut d| {
+                        d.metric = format!("{engine}.{}", d.metric);
+                        d
+                    })
+                    .collect();
+                EngineReport {
+                    engine,
+                    kernel: acc.kernel,
+                    sweeps: acc.chains.values().map(|c| c.sweeps).sum(),
+                    total_sweep_us: acc.chains.values().map(|c| c.total_sweep_us).sum(),
+                    chains: acc.chains.into_values().collect(),
+                    phases: acc.phases,
+                    cache_lookups: acc.cache_lookups,
+                    cache_hits: acc.cache_hits,
+                    label_flips: acc.label_flips,
+                    profile: acc
+                        .profile_sum
+                        .into_iter()
+                        .map(|(k, (sum, count))| (k, sum / count.max(1) as f64))
+                        .collect(),
+                    chunk_us: acc.chunk_us,
+                    convergence,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let convergence = if explicit.is_empty() {
+            engines
+                .iter()
+                .flat_map(|e| e.convergence.iter().cloned())
+                .collect()
+        } else {
+            explicit
+        };
+
+        Ok(Self {
+            sources: sources.iter().map(|(label, _)| label.clone()).collect(),
+            engines,
+            stages,
+            convergence,
+            rhat_threshold: 1.05,
+        })
+    }
+
+    /// Overall verdict: `Some(true)` when every diagnosed trace passes
+    /// the R̂ threshold, `Some(false)` when any fails, `None` when no
+    /// trace could be diagnosed at all.
+    #[must_use]
+    pub fn converged(&self) -> Option<bool> {
+        let defined: Vec<&TraceDiagnostic> = self
+            .convergence
+            .iter()
+            .filter(|d| !d.rhat.is_nan())
+            .collect();
+        if defined.is_empty() {
+            return None;
+        }
+        Some(defined.iter().all(|d| d.converged(self.rhat_threshold)))
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run report ({} source(s))", self.sources.len());
+        for s in &self.sources {
+            let _ = writeln!(out, "  source: {s}");
+        }
+
+        let verdict = match self.converged() {
+            Some(true) => "CONVERGED",
+            Some(false) => "NOT CONVERGED",
+            None => "n/a (no diagnosable traces)",
+        };
+        let _ = writeln!(
+            out,
+            "\nconvergence (R-hat threshold {:.3}): {verdict}",
+            self.rhat_threshold
+        );
+        if !self.convergence.is_empty() {
+            let width = self
+                .convergence
+                .iter()
+                .map(|d| d.metric.len())
+                .max()
+                .unwrap_or(6)
+                .max(6);
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>8}  {:>10}  {:>6}  {:>6}  verdict",
+                "metric", "R-hat", "ESS", "chains", "draws"
+            );
+            for d in &self.convergence {
+                let verdict = if d.rhat.is_nan() {
+                    "n/a"
+                } else if d.converged(self.rhat_threshold) {
+                    "ok"
+                } else {
+                    "FAIL"
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  {:>8}  {:>10}  {:>6}  {:>6}  {verdict}",
+                    d.metric,
+                    fmt_stat(d.rhat, 3),
+                    fmt_stat(d.ess, 1),
+                    d.chains,
+                    d.draws,
+                );
+            }
+        }
+
+        for e in &self.engines {
+            let kernel = e.kernel.as_deref().unwrap_or("serial");
+            let _ = writeln!(
+                out,
+                "\nengine {} (kernel {kernel}): {} chain(s), {} sweeps, {} sweep time",
+                e.engine,
+                e.chains.len(),
+                e.sweeps,
+                fmt_duration_us(e.total_sweep_us as f64),
+            );
+            for c in &e.chains {
+                let _ = writeln!(
+                    out,
+                    "  chain {}: {} sweeps, final ll {}, {}",
+                    c.chain,
+                    c.sweeps,
+                    fmt_stat(c.final_ll, 2),
+                    fmt_duration_us(c.total_sweep_us as f64),
+                );
+            }
+            if !e.phases.is_empty() {
+                let _ = writeln!(out, "  phase breakdown (self time within sweeps)");
+                let width = e.phases.keys().map(String::len).max().unwrap_or(5).max(7);
+                let _ = writeln!(
+                    out,
+                    "    {:<width$}  {:>10}  {:>6}  {:>10}  {:>7}",
+                    "phase", "total", "count", "mean", "% sweep"
+                );
+                let mut attributed = 0u64;
+                for (phase, stat) in &e.phases {
+                    attributed += stat.total_us;
+                    let _ = writeln!(
+                        out,
+                        "    {:<width$}  {:>10}  {:>6}  {:>10}  {:>6.1}%",
+                        phase,
+                        fmt_duration_us(stat.total_us as f64),
+                        stat.count,
+                        fmt_duration_us(stat.mean_us()),
+                        pct(stat.total_us, e.total_sweep_us),
+                    );
+                }
+                if e.total_sweep_us > attributed {
+                    let other = e.total_sweep_us - attributed;
+                    let _ = writeln!(
+                        out,
+                        "    {:<width$}  {:>10}  {:>6}  {:>10}  {:>6.1}%",
+                        "(other)",
+                        fmt_duration_us(other as f64),
+                        "",
+                        "",
+                        pct(other, e.total_sweep_us),
+                    );
+                }
+            }
+            if e.cache_lookups > 0 {
+                let _ = writeln!(
+                    out,
+                    "  cache: {} lookups, {} hits ({:.1}%)",
+                    e.cache_lookups,
+                    e.cache_hits,
+                    pct(e.cache_hits, e.cache_lookups),
+                );
+            }
+            if e.label_flips > 0 {
+                let _ = writeln!(out, "  label flips: {}", e.label_flips);
+            }
+            if !e.profile.is_empty() {
+                let _ = write!(out, "  profile ({kernel}), mean per sweep:");
+                for (key, v) in &e.profile {
+                    let _ = write!(out, " {key}={v:.2}");
+                }
+                out.push('\n');
+            }
+            if let Some(chunks) = &e.chunk_us {
+                let _ = writeln!(
+                    out,
+                    "  chunk timing: {} chunks, min {} mean {} max {}",
+                    chunks.count,
+                    fmt_duration_us(chunks.min),
+                    fmt_duration_us(chunks.mean()),
+                    fmt_duration_us(chunks.max),
+                );
+            }
+        }
+
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "\npipeline stages");
+            let width = self.stages.keys().map(String::len).max().unwrap_or(5);
+            for (stage, stat) in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  total {:>10}  count {:>4}",
+                    stage,
+                    fmt_duration_us(stat.total_us as f64),
+                    stat.count,
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the machine report (schema `rheotex.report/1`).
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"rheotex.report/1\"");
+        let _ = write!(out, ",\"rhat_threshold\":{}", self.rhat_threshold);
+        out.push_str(",\"sources\":[");
+        for (i, s) in self.sources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, s);
+        }
+        out.push_str("],\"converged\":");
+        match self.converged() {
+            Some(true) => out.push_str("true"),
+            Some(false) => out.push_str("false"),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"convergence\":[");
+        for (i, d) in self.convergence.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"metric\":");
+            write_json_string(&mut out, &d.metric);
+            out.push_str(",\"rhat\":");
+            push_num(&mut out, d.rhat);
+            out.push_str(",\"ess\":");
+            push_num(&mut out, d.ess);
+            let _ = write!(out, ",\"chains\":{},\"draws\":{}", d.chains, d.draws);
+            let _ = write!(
+                out,
+                ",\"converged\":{}}}",
+                if d.rhat.is_nan() {
+                    "null".to_string()
+                } else {
+                    d.converged(self.rhat_threshold).to_string()
+                }
+            );
+        }
+        out.push_str("],\"engines\":[");
+        for (i, e) in self.engines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"engine\":");
+            write_json_string(&mut out, &e.engine);
+            out.push_str(",\"kernel\":");
+            match &e.kernel {
+                Some(k) => write_json_string(&mut out, k),
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"sweeps\":{},\"total_sweep_us\":{}",
+                e.sweeps, e.total_sweep_us
+            );
+            out.push_str(",\"chains\":[");
+            for (j, c) in e.chains.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"chain\":{},\"sweeps\":{},\"total_sweep_us\":{},\"final_ll\":",
+                    c.chain, c.sweeps, c.total_sweep_us
+                );
+                push_num(&mut out, c.final_ll);
+                out.push('}');
+            }
+            out.push_str("],\"phases\":[");
+            for (j, (phase, stat)) in e.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"phase\":");
+                write_json_string(&mut out, phase);
+                let _ = write!(
+                    out,
+                    ",\"total_us\":{},\"count\":{},\"mean_us\":",
+                    stat.total_us, stat.count
+                );
+                push_num(&mut out, stat.mean_us());
+                out.push_str(",\"frac\":");
+                push_num(&mut out, pct(stat.total_us, e.total_sweep_us) / 100.0);
+                out.push('}');
+            }
+            let _ = write!(
+                out,
+                "],\"cache\":{{\"lookups\":{},\"hits\":{},\"hit_rate\":",
+                e.cache_lookups, e.cache_hits
+            );
+            push_num(
+                &mut out,
+                if e.cache_lookups == 0 {
+                    0.0
+                } else {
+                    e.cache_hits as f64 / e.cache_lookups as f64
+                },
+            );
+            let _ = write!(out, "}},\"label_flips\":{}", e.label_flips);
+            out.push_str(",\"profile\":");
+            if e.profile.is_empty() {
+                out.push_str("null");
+            } else {
+                out.push('{');
+                for (j, (key, v)) in e.profile.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(&mut out, key);
+                    out.push(':');
+                    push_num(&mut out, *v);
+                }
+                out.push('}');
+            }
+            out.push_str(",\"chunk_us\":");
+            match &e.chunk_us {
+                None => out.push_str("null"),
+                Some(c) => {
+                    let _ = write!(out, "{{\"count\":{},\"min\":", c.count);
+                    push_num(&mut out, c.min);
+                    out.push_str(",\"max\":");
+                    push_num(&mut out, c.max);
+                    out.push_str(",\"mean\":");
+                    push_num(&mut out, c.mean());
+                    out.push('}');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("],\"stages\":[");
+        for (i, (stage, stat)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"stage\":");
+            write_json_string(&mut out, stage);
+            let _ = write!(
+                out,
+                ",\"total_us\":{},\"count\":{}}}",
+                stat.total_us, stat.count
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Formats a statistic with `digits` decimals, or `n/a` / `inf` for the
+/// undefined and divergent cases.
+fn fmt_stat(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::emit_convergence;
+    use crate::recorder::Obs;
+    use crate::sinks::MemorySink;
+    use crate::sweep::{KernelProfile, SweepStats};
+
+    fn stats(engine: &'static str, sweep: usize, ll: f64) -> SweepStats {
+        SweepStats {
+            engine,
+            sweep,
+            total_sweeps: 8,
+            elapsed_us: 1000,
+            log_likelihood: ll,
+            topic_entropy: 1.2,
+            min_occupancy: 1,
+            max_occupancy: 9,
+            nw_draws: 4,
+            jitter_retries: 0,
+            cache_lookups: 10,
+            cache_hits: 9,
+            label_flips: 2,
+            phase_us: vec![("z", 600), ("y", 300)],
+            profile: None,
+        }
+    }
+
+    /// Renders everything an `Obs` recorded as JSONL text.
+    fn jsonl_of(sink: &MemorySink) -> String {
+        sink.events()
+            .iter()
+            .map(|e| e.to_json_line())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn two_chain_source() -> String {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        for chain in 0..2 {
+            for sweep in 0..8 {
+                let ll = -100.0 + sweep as f64 + chain as f64 * 0.25;
+                stats("joint", sweep, ll).emit_to(&obs, Some(chain));
+            }
+        }
+        jsonl_of(&sink)
+    }
+
+    #[test]
+    fn aggregates_sweeps_phases_and_chains() {
+        let report =
+            RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
+        assert_eq!(report.engines.len(), 1);
+        let e = &report.engines[0];
+        assert_eq!(e.engine, "joint");
+        assert_eq!(e.sweeps, 16);
+        assert_eq!(e.chains.len(), 2);
+        assert_eq!(e.chains[1].chain, 1);
+        assert_eq!(e.chains[1].sweeps, 8);
+        assert!((e.chains[1].final_ll - (-92.75)).abs() < 1e-12);
+        assert_eq!(e.phases["z"].total_us, 16 * 600);
+        assert_eq!(e.cache_lookups, 160);
+        assert_eq!(e.label_flips, 32);
+        // Computed convergence from the two chains' traces.
+        assert!(!e.convergence.is_empty());
+        assert!(e.convergence.iter().any(|d| d.metric == "joint.ll"));
+        assert_eq!(e.convergence[0].chains, 2);
+    }
+
+    #[test]
+    fn explicit_convergence_events_take_precedence() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        for sweep in 0..8 {
+            stats("joint", sweep, -50.0).emit_to(&obs, None);
+        }
+        emit_convergence(
+            &obs,
+            &TraceDiagnostic {
+                metric: "ll".into(),
+                rhat: 1.01,
+                ess: 42.0,
+                chains: 3,
+                draws: 12,
+            },
+        );
+        let report =
+            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        assert_eq!(report.convergence.len(), 1);
+        assert_eq!(report.convergence[0].metric, "ll");
+        assert_eq!(report.converged(), Some(true));
+        let rendered = report.render();
+        assert!(rendered.contains("CONVERGED"), "{rendered}");
+    }
+
+    #[test]
+    fn multiple_files_become_chains() {
+        let one_chain = |ll0: f64| {
+            let sink = MemorySink::default();
+            let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+            for sweep in 0..8 {
+                stats("joint", sweep, ll0 + sweep as f64).emit_to(&obs, None);
+            }
+            jsonl_of(&sink)
+        };
+        let report = RunReport::from_sources(&[
+            ("a.jsonl".into(), one_chain(-100.0)),
+            ("b.jsonl".into(), one_chain(-90.0)),
+        ])
+        .unwrap();
+        assert_eq!(report.engines[0].chains.len(), 2);
+        assert_eq!(report.engines[0].chains[0].chain, 0);
+        assert_eq!(report.engines[0].chains[1].chain, 1);
+    }
+
+    #[test]
+    fn profile_and_chunks_land_in_report() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut s = stats("lda", 0, -10.0);
+        s.profile = Some(KernelProfile::Sparse {
+            s_draws: 2,
+            r_draws: 3,
+            q_draws: 5,
+            s_mass: 0.5,
+            r_mass: 0.5,
+            q_mass: 1.0,
+            word_nnz: 20,
+            doc_nnz: 8,
+        });
+        s.emit_to(&obs, None);
+        let mut p = stats("joint", 0, -20.0);
+        p.profile = Some(KernelProfile::Parallel {
+            chunks: 2,
+            chunk_us: vec![100, 300],
+            alloc_bytes: 2048,
+        });
+        p.emit_to(&obs, None);
+        let report =
+            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        let lda = report.engines.iter().find(|e| e.engine == "lda").unwrap();
+        assert_eq!(lda.kernel.as_deref(), Some("sparse"));
+        assert!((lda.profile["q_frac"] - 0.5).abs() < 1e-12);
+        assert!((lda.profile["q_draws"] - 5.0).abs() < 1e-12);
+        let joint = report.engines.iter().find(|e| e.engine == "joint").unwrap();
+        assert_eq!(joint.kernel.as_deref(), Some("parallel"));
+        let chunks = joint.chunk_us.as_ref().unwrap();
+        assert_eq!(chunks.count, 2);
+        assert_eq!(chunks.max, 300.0);
+        assert_eq!(chunks.mean(), 200.0);
+        let rendered = report.render();
+        assert!(rendered.contains("chunk timing"), "{rendered}");
+        assert!(rendered.contains("phase breakdown"), "{rendered}");
+    }
+
+    #[test]
+    fn stage_spans_are_collected() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        obs.span("stage.fit").finish();
+        obs.span("stage.corpus").finish();
+        let report =
+            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.stages.contains_key("stage.fit"));
+    }
+
+    #[test]
+    fn machine_report_is_valid_json_with_schema() {
+        let report =
+            RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
+        let json = report.to_json();
+        let doc = parse_json(&json).expect("report.json parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("rheotex.report/1")
+        );
+        let engines = doc.get("engines").and_then(Json::as_array).unwrap();
+        assert_eq!(engines.len(), 1);
+        assert_eq!(
+            engines[0].get("engine").and_then(Json::as_str),
+            Some("joint")
+        );
+        let chains = engines[0].get("chains").and_then(Json::as_array).unwrap();
+        assert_eq!(chains.len(), 2);
+        assert!(doc.get("convergence").and_then(Json::as_array).is_some());
+        assert!(doc.get("rhat_threshold").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_location() {
+        let err = RunReport::from_sources(&[("bad.jsonl".into(), "{oops".into())])
+            .unwrap_err();
+        assert!(err.starts_with("bad.jsonl:1:"), "{err}");
+    }
+
+    #[test]
+    fn empty_sources_produce_empty_report() {
+        let report = RunReport::from_sources(&[("e.jsonl".into(), String::new())]).unwrap();
+        assert!(report.engines.is_empty());
+        assert_eq!(report.converged(), None);
+        assert!(report.render().contains("n/a"));
+        parse_json(&report.to_json()).expect("still valid JSON");
+    }
+}

@@ -227,7 +227,7 @@ impl Recorder for MemorySink {
 mod tests {
     use super::*;
     use crate::event::Field;
-    use crate::testjson::parse_json;
+    use crate::json::parse_json;
     use crate::Obs;
 
     /// A `Write` handle over a shared buffer, so tests can read back what

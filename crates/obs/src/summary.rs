@@ -68,6 +68,31 @@ impl Summary {
                     self.gauges.insert(format!("{}.last_ll", event.name), ll);
                 }
             }
+            EventKind::Convergence => {
+                for key in ["rhat", "ess"] {
+                    if let Some(v) = event.field_f64(key) {
+                        self.gauges.insert(format!("{}.{key}", event.name), v);
+                    }
+                }
+            }
+            EventKind::Profile => {
+                // Integer profile fields accumulate (draw counts, chunk
+                // counts); float fields are rates and keep the last value.
+                for f in &event.fields {
+                    match f.value {
+                        crate::event::Value::U64(v) => {
+                            *self
+                                .counters
+                                .entry(format!("{}.{}", event.name, f.key))
+                                .or_insert(0) += v;
+                        }
+                        crate::event::Value::F64(v) => {
+                            self.gauges.insert(format!("{}.{}", event.name, f.key), v);
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
     }
 

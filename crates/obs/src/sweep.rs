@@ -4,21 +4,68 @@
 //! The trait is deliberately tiny — one callback plus an `enabled`
 //! predicate — so samplers can skip computing the statistics entirely
 //! when nobody is listening (the common case in tests and benchmarks).
+//!
+//! Two helpers support the kernel-profiling work: [`PhaseTimer`] times
+//! the named phases of a sweep (token sweep, assignment sweep, parameter
+//! resampling, likelihood scoring) at zero cost when disabled, and
+//! [`KernelProfile`] carries the kernel-class-specific counters (sparse
+//! bucket masses, parallel chunk timings). Both ride on [`SweepStats`]
+//! and surface on the wire through [`SweepStats::emit_to`].
 
 use crate::event::{EventKind, Field};
 use crate::recorder::Obs;
+use std::time::Instant;
+
+/// Kernel-class-specific per-sweep profile, attached to [`SweepStats`]
+/// when the engine ran an instrumented kernel with an enabled observer.
+/// The serial kernel needs no variant: its whole story is told by the
+/// phase timings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelProfile {
+    /// The `O(nnz)` bucket kernel: where the per-token uniform landed
+    /// and how long the nonzero-topic lists were.
+    Sparse {
+        /// Tokens whose draw landed in the smoothing (`s`) bucket.
+        s_draws: u64,
+        /// Tokens whose draw landed in the document (`r`) bucket.
+        r_draws: u64,
+        /// Tokens whose draw landed in the word (`q`) bucket.
+        q_draws: u64,
+        /// Summed smoothing-bucket mass over all token draws.
+        s_mass: f64,
+        /// Summed document-bucket mass over all token draws.
+        r_mass: f64,
+        /// Summed word-bucket mass over all token draws.
+        q_mass: f64,
+        /// Summed word nonzero-topic-list length over all token draws.
+        word_nnz: u64,
+        /// Summed document nonzero-topic-list length over all documents.
+        doc_nnz: u64,
+    },
+    /// The deterministic chunked parallel kernel: per-chunk wall times
+    /// and the bytes cloned for chunk-local count state.
+    Parallel {
+        /// Document chunks processed this sweep.
+        chunks: u64,
+        /// Wall-clock time of each chunk, µs, in chunk order.
+        chunk_us: Vec<u64>,
+        /// Estimated bytes allocated this sweep for chunk-local clones
+        /// of the shared count state.
+        alloc_bytes: u64,
+    },
+}
 
 /// Statistics of one Gibbs sweep. Field semantics by engine:
 ///
-/// * `joint` — occupancy counts documents per topic (`y_d`); `nw_draws`
-///   counts Normal-Wishart parameter resamples (2 per topic: gel and
-///   emulsion).
+/// * `joint` / `collapsed` — occupancy counts documents per topic
+///   (`y_d`); `nw_draws` counts Normal-Wishart parameter resamples
+///   (2 per topic: gel and emulsion; 0 for `collapsed`).
 /// * `lda` — occupancy counts tokens per topic; `nw_draws` is 0.
 /// * `gmm` — occupancy counts documents per component; `nw_draws` is 0
 ///   (components are collapsed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepStats {
-    /// Engine label: `"joint"`, `"lda"`, or `"gmm"`.
+    /// Engine label: `"joint"`, `"lda"`, `"gmm"`, or `"collapsed"`.
     pub engine: &'static str,
     /// Sweep index, 0-based.
     pub sweep: usize,
@@ -48,6 +95,17 @@ pub struct SweepStats {
     /// Cache lookups served without refactoring a scale matrix. Always
     /// `<= cache_lookups`; 0 when the cache is disabled or absent.
     pub cache_hits: usize,
+    /// Documents whose topic / component assignment (`y_d` for the
+    /// joint engines, the component for `gmm`) changed this sweep — the
+    /// per-sweep acceptance signal convergence diagnostics trace.
+    /// Always 0 for `lda`, which has no document-level assignment.
+    pub label_flips: usize,
+    /// Wall time per named sweep phase, in execution order; empty when
+    /// the engine ran without an enabled observer.
+    pub phase_us: Vec<(&'static str, u64)>,
+    /// Kernel-class-specific profile; `None` for the serial kernel or
+    /// when the observer was disabled.
+    pub profile: Option<KernelProfile>,
 }
 
 impl SweepStats {
@@ -79,6 +137,167 @@ impl SweepStats {
         let min = counts.iter().copied().min().unwrap_or(0);
         let max = counts.iter().copied().max().unwrap_or(0);
         (entropy, min, max)
+    }
+
+    /// Emits this sweep onto an [`Obs`] pipeline: the `{engine}.sweep`
+    /// event (tagged with `chain` when given, as the multi-chain runner
+    /// does when replaying buffered chains), the `{engine}.sweep_us`
+    /// histogram observation, one `{engine}.phase.{name}_us` observation
+    /// per recorded phase, and — when a kernel profile is attached — one
+    /// `{engine}.profile` event plus the parallel kernel's
+    /// `{engine}.chunk_us` observations and per-sweep alloc gauge.
+    pub fn emit_to(&self, obs: &Obs, chain: Option<usize>) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let mut fields = vec![
+            Field::new("sweep", self.sweep),
+            Field::new("total_sweeps", self.total_sweeps),
+            Field::new("elapsed_us", self.elapsed_us),
+            Field::new("ll", self.log_likelihood),
+            Field::new("topic_entropy", self.topic_entropy),
+            Field::new("min_occupancy", self.min_occupancy),
+            Field::new("max_occupancy", self.max_occupancy),
+            Field::new("nw_draws", self.nw_draws),
+            Field::new("jitter_retries", self.jitter_retries),
+            Field::new("cache_lookups", self.cache_lookups),
+            Field::new("cache_hits", self.cache_hits),
+            Field::new("label_flips", self.label_flips),
+        ];
+        if let Some(c) = chain {
+            fields.push(Field::new("chain", c));
+        }
+        obs.emit(EventKind::Sweep, format!("{}.sweep", self.engine), fields);
+        obs.observe(format!("{}.sweep_us", self.engine), self.elapsed_us as f64);
+        for &(phase, us) in &self.phase_us {
+            obs.observe(format!("{}.phase.{phase}_us", self.engine), us as f64);
+        }
+        match &self.profile {
+            None => {}
+            Some(KernelProfile::Sparse {
+                s_draws,
+                r_draws,
+                q_draws,
+                s_mass,
+                r_mass,
+                q_mass,
+                word_nnz,
+                doc_nnz,
+            }) => {
+                let tokens = s_draws + r_draws + q_draws;
+                let mass = s_mass + r_mass + q_mass;
+                let frac = |m: f64| if mass > 0.0 { m / mass } else { 0.0 };
+                let per_token = |n: u64| {
+                    if tokens > 0 {
+                        n as f64 / tokens as f64
+                    } else {
+                        0.0
+                    }
+                };
+                obs.emit(
+                    EventKind::Profile,
+                    format!("{}.profile", self.engine),
+                    vec![
+                        Field::new("kernel", "sparse"),
+                        Field::new("tokens", tokens),
+                        Field::new("s_draws", *s_draws),
+                        Field::new("r_draws", *r_draws),
+                        Field::new("q_draws", *q_draws),
+                        Field::new("s_frac", frac(*s_mass)),
+                        Field::new("r_frac", frac(*r_mass)),
+                        Field::new("q_frac", frac(*q_mass)),
+                        Field::new("avg_word_nnz", per_token(*word_nnz)),
+                        Field::new("doc_nnz", *doc_nnz),
+                    ],
+                );
+            }
+            Some(KernelProfile::Parallel {
+                chunks,
+                chunk_us,
+                alloc_bytes,
+            }) => {
+                for &us in chunk_us {
+                    obs.observe(format!("{}.chunk_us", self.engine), us as f64);
+                }
+                obs.gauge(
+                    format!("{}.sweep_alloc_bytes", self.engine),
+                    *alloc_bytes as f64,
+                );
+                let (min, max, sum) = chunk_us.iter().fold((u64::MAX, 0u64, 0u64), |acc, &us| {
+                    (acc.0.min(us), acc.1.max(us), acc.2 + us)
+                });
+                let mean = if chunk_us.is_empty() {
+                    0.0
+                } else {
+                    sum as f64 / chunk_us.len() as f64
+                };
+                obs.emit(
+                    EventKind::Profile,
+                    format!("{}.profile", self.engine),
+                    vec![
+                        Field::new("kernel", "parallel"),
+                        Field::new("chunks", *chunks),
+                        Field::new("alloc_bytes", *alloc_bytes),
+                        Field::new("chunk_us_min", if chunk_us.is_empty() { 0 } else { min }),
+                        Field::new("chunk_us_max", max),
+                        Field::new("chunk_us_mean", mean),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Times the named phases of one Gibbs sweep. A disabled timer (the
+/// no-observer case) runs the closure straight through — no clock reads,
+/// no allocation — so the sampler hot path keeps its disabled-recorder
+/// budget.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    enabled: bool,
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl PhaseTimer {
+    /// A timer that records when `enabled`, and is inert otherwise.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Whether this timer records anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f`, recording its wall time under `name` when enabled.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.phases
+            .push((name, start.elapsed().as_micros() as u64));
+        out
+    }
+
+    /// Records an externally measured phase duration.
+    pub fn record(&mut self, name: &'static str, us: u64) {
+        if self.enabled {
+            self.phases.push((name, us));
+        }
+    }
+
+    /// Takes the recorded phases, leaving the timer empty for the next
+    /// sweep.
+    #[must_use]
+    pub fn take(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.phases)
     }
 }
 
@@ -112,27 +331,7 @@ impl SweepObserver for Obs {
     }
 
     fn on_sweep(&mut self, stats: &SweepStats) {
-        self.emit(
-            EventKind::Sweep,
-            format!("{}.sweep", stats.engine),
-            vec![
-                Field::new("sweep", stats.sweep),
-                Field::new("total_sweeps", stats.total_sweeps),
-                Field::new("elapsed_us", stats.elapsed_us),
-                Field::new("ll", stats.log_likelihood),
-                Field::new("topic_entropy", stats.topic_entropy),
-                Field::new("min_occupancy", stats.min_occupancy),
-                Field::new("max_occupancy", stats.max_occupancy),
-                Field::new("nw_draws", stats.nw_draws),
-                Field::new("jitter_retries", stats.jitter_retries),
-                Field::new("cache_lookups", stats.cache_lookups),
-                Field::new("cache_hits", stats.cache_hits),
-            ],
-        );
-        self.observe(
-            format!("{}.sweep_us", stats.engine),
-            stats.elapsed_us as f64,
-        );
+        stats.emit_to(self, None);
     }
 }
 
@@ -169,6 +368,9 @@ mod tests {
             jitter_retries: 0,
             cache_lookups: 8,
             cache_hits: 6,
+            label_flips: 3,
+            phase_us: vec![("z", 60), ("y", 40)],
+            profile: None,
         }
     }
 
@@ -217,8 +419,95 @@ mod tests {
         assert_eq!(sweeps[3].field_f64("jitter_retries"), Some(0.0));
         assert_eq!(sweeps[3].field_f64("cache_lookups"), Some(8.0));
         assert_eq!(sweeps[3].field_f64("cache_hits"), Some(6.0));
-        // The elapsed time also lands in a histogram.
-        assert_eq!(obs.summary().histograms["joint.sweep_us"].count(), 4);
+        assert_eq!(sweeps[3].field_f64("label_flips"), Some(3.0));
+        // No chain tag on direct observer emission.
+        assert!(sweeps[3].field("chain").is_none());
+        // The elapsed time also lands in a histogram, and the phases in
+        // per-phase histograms.
+        let summary = obs.summary();
+        assert_eq!(summary.histograms["joint.sweep_us"].count(), 4);
+        assert_eq!(summary.histograms["joint.phase.z_us"].count(), 4);
+        assert_eq!(summary.histograms["joint.phase.y_us"].count(), 4);
+    }
+
+    #[test]
+    fn chain_tag_rides_on_sweep_events() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        stats(0).emit_to(&obs, Some(2));
+        let sweeps = sink.events_of(EventKind::Sweep);
+        assert_eq!(sweeps[0].field_f64("chain"), Some(2.0));
+    }
+
+    #[test]
+    fn sparse_profile_emits_fracs_and_draws() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut s = stats(0);
+        s.engine = "lda";
+        s.profile = Some(KernelProfile::Sparse {
+            s_draws: 1,
+            r_draws: 3,
+            q_draws: 6,
+            s_mass: 1.0,
+            r_mass: 1.0,
+            q_mass: 2.0,
+            word_nnz: 30,
+            doc_nnz: 12,
+        });
+        s.emit_to(&obs, None);
+        let profiles = sink.events_of(EventKind::Profile);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].name, "lda.profile");
+        assert_eq!(
+            profiles[0].field("kernel"),
+            Some(&crate::Value::Str("sparse".into()))
+        );
+        assert_eq!(profiles[0].field_f64("tokens"), Some(10.0));
+        assert_eq!(profiles[0].field_f64("q_draws"), Some(6.0));
+        assert_eq!(profiles[0].field_f64("q_frac"), Some(0.5));
+        assert_eq!(profiles[0].field_f64("avg_word_nnz"), Some(3.0));
+        // Integer profile fields accumulate in the summary.
+        assert_eq!(obs.summary().counters["lda.profile.q_draws"], 6);
+    }
+
+    #[test]
+    fn parallel_profile_emits_chunk_histogram_and_alloc_gauge() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut s = stats(0);
+        s.profile = Some(KernelProfile::Parallel {
+            chunks: 3,
+            chunk_us: vec![10, 30, 20],
+            alloc_bytes: 4096,
+        });
+        s.emit_to(&obs, None);
+        let profiles = sink.events_of(EventKind::Profile);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].field_f64("chunks"), Some(3.0));
+        assert_eq!(profiles[0].field_f64("chunk_us_min"), Some(10.0));
+        assert_eq!(profiles[0].field_f64("chunk_us_max"), Some(30.0));
+        assert_eq!(profiles[0].field_f64("chunk_us_mean"), Some(20.0));
+        let summary = obs.summary();
+        assert_eq!(summary.histograms["joint.chunk_us"].count(), 3);
+        assert_eq!(summary.gauges["joint.sweep_alloc_bytes"], 4096.0);
+    }
+
+    #[test]
+    fn phase_timer_records_only_when_enabled() {
+        let mut off = PhaseTimer::new(false);
+        assert_eq!(off.time("z", || 7), 7);
+        assert!(off.take().is_empty());
+
+        let mut on = PhaseTimer::new(true);
+        assert!(on.enabled());
+        assert_eq!(on.time("z", || 7), 7);
+        on.record("y", 55);
+        let phases = on.take();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "z");
+        assert_eq!(phases[1], ("y", 55));
+        assert!(on.take().is_empty());
     }
 
     #[test]

@@ -43,7 +43,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::{JointSnapshot, SamplerSnapshot};
 use rheotex_core::{
-    FitOptions, FittedJointModel, GibbsKernel, JointConfig, JointTopicModel, ModelError,
+    ChainSet, FitOptions, FittedJointModel, GibbsKernel, JointConfig, JointTopicModel, ModelError,
+    TraceDiagnostic,
 };
 use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
@@ -159,6 +160,14 @@ pub struct PipelineConfig {
     /// `parallel`, and `sparse` name the kernel directly — the sparse
     /// kernel is single-threaded, so it requires `threads == 0`.
     pub kernel: Option<GibbsKernel>,
+    /// Independent Gibbs chains for the fit stage. `0` or `1` (the
+    /// default) runs the historical single chain; `>= 2` fits that many
+    /// replicas from consecutive seeds via [`ChainSet`], keeps the chain
+    /// with the highest final log-likelihood, and attaches split-R̂ /
+    /// bulk-ESS convergence diagnostics to the output. Chain 0 is
+    /// bit-identical to the single-chain fit. Multi-chain runs cannot
+    /// be checkpointed.
+    pub chains: usize,
 }
 
 impl PipelineConfig {
@@ -190,6 +199,7 @@ impl PipelineConfig {
             seed: 2022,
             threads: 0,
             kernel: None,
+            chains: 1,
         }
     }
 
@@ -215,6 +225,7 @@ impl PipelineConfig {
             seed: 2022,
             threads: 0,
             kernel: None,
+            chains: 1,
         }
     }
 }
@@ -233,6 +244,9 @@ pub struct PipelineOutput {
     pub filter_outcomes: Vec<FilterOutcome>,
     /// The fitted joint topic model.
     pub model: FittedJointModel,
+    /// Cross-chain convergence diagnostics; empty for single-chain runs
+    /// ([`PipelineConfig::chains`] `<= 1`).
+    pub diagnostics: Vec<TraceDiagnostic>,
 }
 
 /// Output of the corpus-agnostic stages (2–4): everything except the raw
@@ -248,6 +262,9 @@ pub struct FitOutput {
     pub filter_outcomes: Vec<FilterOutcome>,
     /// The fitted joint topic model.
     pub model: FittedJointModel,
+    /// Cross-chain convergence diagnostics; empty for single-chain runs
+    /// ([`PipelineConfig::chains`] `<= 1`).
+    pub diagnostics: Vec<TraceDiagnostic>,
 }
 
 /// Stage 3: trains word2vec on the corpus descriptions and partitions the
@@ -381,6 +398,7 @@ impl<'a> PipelineRun<'a> {
             dict: fit.dict,
             filter_outcomes: fit.filter_outcomes,
             model: fit.model,
+            diagnostics: fit.diagnostics,
         })
     }
 
@@ -406,6 +424,16 @@ impl<'a> PipelineRun<'a> {
         // Stage 4: joint topic model.
         let docs = dataset_to_docs(&dataset);
         let model = JointTopicModel::new(model_config(config, dict.len()))?;
+
+        if config.chains > 1 && self.checkpoint.is_some() {
+            return Err(PipelineError::Model(ModelError::InvalidConfig {
+                what: format!(
+                    "multi-chain fits (chains = {}) cannot be checkpointed; \
+                     run with chains = 1 or drop the checkpoint options",
+                    config.chains
+                ),
+            }));
+        }
 
         let mut resume_from: Option<JointSnapshot> = None;
         let mut sink: Option<PeriodicCheckpointer> = None;
@@ -445,21 +473,40 @@ impl<'a> PipelineRun<'a> {
             );
         }
 
-        let mut observer = obs.clone();
-        let mut options = FitOptions::new()
-            .observer(&mut observer)
-            .threads(config.threads);
-        if let Some(kernel) = config.kernel {
-            options = options.kernel(kernel);
-        }
-        if let Some(s) = sink.as_mut() {
-            options = options.checkpoint(s);
-        }
-        if let Some(snapshot) = resume_from {
-            options = options.resume(SamplerSnapshot::Joint(snapshot));
-        }
-        let mut rng = fit_rng(config);
-        let fitted = model.fit_with(&mut rng, &docs, options)?;
+        let mut diagnostics = Vec::new();
+        let fitted = if config.chains > 1 {
+            // Multi-chain path: chain c runs from seed (seed ^ 0x10D0) + c,
+            // so chain 0 reproduces the single-chain fit bit-for-bit. The
+            // buffered sweeps replay onto the pipeline's Obs tagged with
+            // their chain index, followed by the convergence events.
+            span.set("chains", config.chains as u64);
+            let mut chain_set =
+                ChainSet::new(config.chains, fit_seed(config)).threads(config.threads);
+            if let Some(kernel) = config.kernel {
+                chain_set = chain_set.kernel(kernel);
+            }
+            let chain_fit = chain_set.run(&model, &docs)?;
+            chain_fit.replay(obs);
+            span.set("best_chain", chain_fit.best as u64);
+            diagnostics = chain_fit.diagnostics.clone();
+            chain_fit.into_best()
+        } else {
+            let mut observer = obs.clone();
+            let mut options = FitOptions::new()
+                .observer(&mut observer)
+                .threads(config.threads);
+            if let Some(kernel) = config.kernel {
+                options = options.kernel(kernel);
+            }
+            if let Some(s) = sink.as_mut() {
+                options = options.checkpoint(s);
+            }
+            if let Some(snapshot) = resume_from {
+                options = options.resume(SamplerSnapshot::Joint(snapshot));
+            }
+            let mut rng = fit_rng(config);
+            model.fit_with(&mut rng, &docs, options)?
+        };
         span.finish();
 
         Ok(FitOutput {
@@ -467,6 +514,7 @@ impl<'a> PipelineRun<'a> {
             dict,
             filter_outcomes,
             model: fitted,
+            diagnostics,
         })
     }
 }
@@ -595,7 +643,14 @@ fn model_config(config: &PipelineConfig, vocab: usize) -> JointConfig {
 /// checkpointed runs use the same stream, which is why a resumed fit can
 /// be bit-identical to an uninterrupted `fit_recipes` call.
 fn fit_rng(config: &PipelineConfig) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(config.seed ^ 0x10D0)
+    ChaCha8Rng::seed_from_u64(fit_seed(config))
+}
+
+/// The u64 the fit stage's RNG stream derives from; multi-chain runs
+/// seed chain `c` with `fit_seed + c` so chain 0 matches the
+/// single-chain fit bit-for-bit.
+fn fit_seed(config: &PipelineConfig) -> u64 {
+    config.seed ^ 0x10D0
 }
 
 /// Runs the full pipeline with all-default options.
@@ -792,6 +847,57 @@ mod tests {
             .fit_recipes(&corpus.recipes, &corpus.labels)
             .unwrap();
         assert_eq!(fresh_again.model.y, plain.model.y);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_chain_fit_diagnoses_and_tags_chains() {
+        use rheotex_obs::{EventKind, MemorySink, Obs};
+
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut config = PipelineConfig::small(150);
+        config.sweeps = 20;
+        config.burn_in = 10;
+        config.chains = 2;
+        let out = PipelineRun::new(&config).observed(&obs).run().unwrap();
+        assert!(!out.diagnostics.is_empty());
+
+        // Two chains' sweeps replay, each tagged with its chain index.
+        let sweeps = sink.events_of(EventKind::Sweep);
+        assert_eq!(sweeps.len(), 2 * config.sweeps);
+        for e in &sweeps {
+            assert!(e.field_f64("chain").is_some(), "sweep missing chain tag");
+        }
+        let conv = sink.events_of(EventKind::Convergence);
+        assert_eq!(conv.len(), out.diagnostics.len());
+
+        // The winner is one of the two chains: chain 0 is the
+        // single-chain fit, so the multi-chain model either equals it or
+        // beats its final log-likelihood.
+        config.chains = 1;
+        let single = PipelineRun::new(&config).run().unwrap();
+        let single_ll = single.model.ll_trace.last().copied().unwrap();
+        let multi_ll = out.model.ll_trace.last().copied().unwrap();
+        assert!(multi_ll >= single_ll || out.model.y == single.model.y);
+        assert!(single.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn multi_chain_refuses_checkpointing() {
+        let mut config = PipelineConfig::small(150);
+        config.chains = 2;
+        let dir = std::env::temp_dir().join(format!("rheotex-chain-ckpt-{}", std::process::id()));
+        let err = PipelineRun::new(&config)
+            .checkpointed(CheckpointOptions::new(&dir, 10))
+            .run();
+        assert!(
+            matches!(
+                err,
+                Err(PipelineError::Model(ModelError::InvalidConfig { .. }))
+            ),
+            "expected InvalidConfig"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
