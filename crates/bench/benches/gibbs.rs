@@ -130,8 +130,9 @@ fn bench_sweep_kernels(c: &mut Criterion) {
             .map(|i| {
                 use rand::Rng;
                 let window = (i * 37) % 512;
-                let terms: Vec<usize> =
-                    (0..8).map(|_| (window + rng.gen_range(0..16)) % 512).collect();
+                let terms: Vec<usize> = (0..8)
+                    .map(|_| (window + rng.gen_range(0..16)) % 512)
+                    .collect();
                 ModelDoc::new(
                     i as u64,
                     terms,

@@ -1,17 +1,18 @@
 //! Gibbs hot-path throughput, machine-readable: writes
-//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/3`) comparing
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/4`) comparing
 //! the serial joint kernel against the deterministic parallel and sparse
 //! kernels, the GMM sweep with the Student-t predictive cache on vs. off,
-//! and a kernel scan of dense-serial vs. sparse LDA sweeps across topic
+//! a kernel scan of dense-serial vs. sparse LDA sweeps across topic
 //! counts (where the sparse kernel's `O(nnz)` per-token cost should pull
-//! ahead of the dense `O(K)` scan as `K` grows).
+//! ahead of the dense `O(K)` scan as `K` grows), and the overhead of the
+//! fitting supervisor's sampled invariant audit on the LDA scan shape.
 //!
 //! The JSON shape (stable; consumed by CI and the README's performance
 //! section):
 //!
 //! ```json
 //! {
-//!   "schema": "rheotex.bench.gibbs/3",
+//!   "schema": "rheotex.bench.gibbs/4",
 //!   "meta": { "git_describe": "v0-12-gabc1234", "cpu_model": "...",
 //!             "host_threads": 16 },
 //!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
@@ -27,6 +28,13 @@
 //!     "docs": 600, "tokens": 4800, "vocab": 512, "sweeps": 8,
 //!     "k8":   { "serial": { ... }, "sparse": { ... } },
 //!     "k32":  { ... }, "k128": { ... }
+//!   },
+//!   "health": {
+//!     "policy": { "audit_every": 16, "snapshot_every": 8 },
+//!     "lda_k32_serial": { "plain_wall_secs": 0.072,
+//!                         "supervised_wall_secs": 0.073,
+//!                         "overhead_frac": 0.014 },
+//!     "lda_k32_sparse": { ... }
 //!   },
 //!   "speedup": { "joint_parallel_over_serial": 2.1,
 //!                "joint_sparse_over_serial": 1.1,
@@ -51,7 +59,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex::core::gmm::{GmmConfig, GmmModel};
 use rheotex::core::lda::{LdaConfig, LdaModel};
-use rheotex::core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc};
+use rheotex::core::{
+    FitOptions, GibbsKernel, HealthPolicy, JointConfig, JointTopicModel, ModelDoc,
+};
 use rheotex::corpus::features::gel_info_vector;
 use rheotex_bench::Scale;
 use rheotex_linalg::Vector;
@@ -171,10 +181,65 @@ fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> (f64, f64) {
     });
     let sparse = time_best(|| {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        lda.fit_with(&mut rng, docs, FitOptions::new().kernel(GibbsKernel::Sparse))
-            .unwrap();
+        lda.fit_with(
+            &mut rng,
+            docs,
+            FitOptions::new().kernel(GibbsKernel::Sparse),
+        )
+        .unwrap();
     });
     (serial, sparse)
+}
+
+/// Times a plain vs. supervised LDA fit at `k` topics on the scan corpus
+/// under the default recovery cadence (audit every 16 sweeps, snapshot
+/// every 8) and reports the supervisor's fractional overhead. The
+/// per-sweep sentinels and sampled deep audit are advertised as < 5 %
+/// of wall time — this is the figure that claim is checked against.
+fn health_overhead_at(
+    k: usize,
+    docs: &[ModelDoc],
+    sweeps: usize,
+    kernel: GibbsKernel,
+) -> serde_json::Value {
+    let cfg = LdaConfig {
+        n_topics: k,
+        vocab_size: SCAN_VOCAB,
+        alpha: 0.1,
+        gamma: 0.05,
+        sweeps,
+        burn_in: sweeps / 2,
+    };
+    let lda = LdaModel::new(cfg).expect("lda config");
+    let plain = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        lda.fit_with(&mut rng, docs, FitOptions::new().kernel(kernel))
+            .unwrap();
+    });
+    let supervised = time_best(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        lda.fit_with(
+            &mut rng,
+            docs,
+            FitOptions::new()
+                .kernel(kernel)
+                .health(HealthPolicy::recover()),
+        )
+        .unwrap();
+    });
+    let overhead = supervised / plain - 1.0;
+    if overhead > 0.05 {
+        println!(
+            "::warning ::health supervision overhead {:.1}% on lda k{k} {kernel:?} \
+             exceeds the 5% budget",
+            overhead * 100.0
+        );
+    }
+    serde_json::json!({
+        "plain_wall_secs": plain,
+        "supervised_wall_secs": supervised,
+        "overhead_frac": overhead,
+    })
 }
 
 /// Provenance stamped into every report: the commit the binary was built
@@ -213,7 +278,10 @@ fn bench_meta() -> serde_json::Value {
 /// path of the object that holds it (`engines.joint_serial`, …).
 fn tokens_per_sec_leaves(prefix: &str, v: &serde_json::Value, out: &mut Vec<(String, f64)>) {
     if let serde_json::Value::Object(map) = v {
-        if let Some(tps) = map.get("tokens_per_sec").and_then(serde_json::Value::as_f64) {
+        if let Some(tps) = map
+            .get("tokens_per_sec")
+            .and_then(serde_json::Value::as_f64)
+        {
             out.push((prefix.to_string(), tps));
         }
         for (key, val) in map {
@@ -323,7 +391,11 @@ fn main() {
     let sparse_joint = time_best(|| {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         joint
-            .fit_with(&mut rng, &docs, FitOptions::new().kernel(GibbsKernel::Sparse))
+            .fit_with(
+                &mut rng,
+                &docs,
+                FitOptions::new().kernel(GibbsKernel::Sparse),
+            )
             .unwrap();
     });
     let cached = time_best(|| {
@@ -367,6 +439,15 @@ fn main() {
         );
     }
 
+    eprintln!("health supervision overhead: lda K=32 scan shape, default recover cadence…");
+    let health_serial = health_overhead_at(32, &scan_corpus, scan_sweeps, GibbsKernel::Serial);
+    let health_sparse = health_overhead_at(32, &scan_corpus, scan_sweeps, GibbsKernel::Sparse);
+    let health = serde_json::json!({
+        "policy": { "audit_every": 16, "snapshot_every": 8 },
+        "lda_k32_serial": health_serial,
+        "lda_k32_sparse": health_sparse,
+    });
+
     let mut speedup = serde_json::json!({
         "joint_parallel_over_serial": serial / parallel,
         "joint_sparse_over_serial": serial / sparse_joint,
@@ -377,7 +458,7 @@ fn main() {
     }
 
     let report = serde_json::json!({
-        "schema": "rheotex.bench.gibbs/3",
+        "schema": "rheotex.bench.gibbs/4",
         "meta": bench_meta(),
         "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
         "sweeps": sweeps,
@@ -389,6 +470,7 @@ fn main() {
             "gmm_uncached": engine_entry(uncached, sweeps, tokens, 0, Some(0.0)),
         },
         "kernel_scan": kernel_scan,
+        "health": health,
         "speedup": speedup,
     });
 
@@ -431,5 +513,11 @@ fn main() {
     );
     for (k, s) in &scan_speedups {
         println!("lda scan K={k}: sparse over serial {s:.2}x");
+    }
+    for (name, entry) in [("serial", &health_serial), ("sparse", &health_sparse)] {
+        println!(
+            "health K=32 {name}: supervision overhead {:.1}%",
+            entry["overhead_frac"].as_f64().unwrap_or(f64::NAN) * 100.0
+        );
     }
 }

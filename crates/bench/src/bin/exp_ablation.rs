@@ -20,7 +20,10 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("ablation");
-    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
+    let out = PipelineRun::new(&config)
+        .observed(&obs)
+        .run()
+        .expect("pipeline");
     obs.flush();
     let docs = dataset_to_docs(&out.dataset);
 

@@ -20,7 +20,10 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("fig4");
-    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
+    let out = PipelineRun::new(&config)
+        .observed(&obs)
+        .run()
+        .expect("pipeline");
     obs.flush();
 
     for dish in [bavarois(), milk_jelly()] {

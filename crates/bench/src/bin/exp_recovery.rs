@@ -21,7 +21,10 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("recovery");
-    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
+    let out = PipelineRun::new(&config)
+        .observed(&obs)
+        .run()
+        .expect("pipeline");
     obs.flush();
     let truth = &out.dataset.labels;
     let docs = dataset_to_docs(&out.dataset);

@@ -17,7 +17,10 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("table2a");
-    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
+    let out = PipelineRun::new(&config)
+        .observed(&obs)
+        .run()
+        .expect("pipeline");
     obs.flush();
 
     let summaries = TopicSummary::from_model(&out.model, 10, 0.01).expect("summaries");

@@ -16,7 +16,10 @@ fn main() {
         config.synth.n_recipes, config.sweeps
     );
     let obs = rheotex_bench::experiment_obs("table2b");
-    let out = PipelineRun::new(&config).observed(&obs).run().expect("pipeline");
+    let out = PipelineRun::new(&config)
+        .observed(&obs)
+        .run()
+        .expect("pipeline");
     obs.flush();
 
     rule("Table II(b): dishes, quantitative texture, assigned topic");

@@ -3,11 +3,11 @@
 use crate::args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex::core::{FittedJointModel, TopicSummary};
-use rheotex::corpus::io::{load_corpus, load_corpus_lenient, save_corpus};
+use rheotex::core::{FittedJointModel, HealthPolicy, ModelError, TopicSummary};
+use rheotex::corpus::io::{load_corpus, load_corpus_lenient, save_corpus, save_quarantine};
 use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
 use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
-use rheotex::pipeline::{CheckpointOptions, PipelineConfig, PipelineRun};
+use rheotex::pipeline::{CheckpointOptions, PipelineConfig, PipelineError, PipelineRun};
 use rheotex::resilience::CheckpointStore;
 use rheotex::rheology::tpa::GelMechanics;
 use rheotex::textures::{TermId, TextureDictionary};
@@ -26,10 +26,12 @@ USAGE:
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
                     [--threads N] [--kernel serial|parallel|sparse]
                     [--chains N] [--rhat-threshold R] [--fail-unconverged]
+                    [--min-chains N]
                     --out-model model.json --out-dict dict.json
                     [--metrics-out metrics.jsonl] [--progress-every N] [--quiet]
                     [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-                    [--max-bad-ratio R]
+                    [--max-bad-ratio R] [--quarantine-out PATH]
+                    [--health strict|recover|off] [--max-retries N]
   rheotex report    metrics.jsonl [more.jsonl ...] [--out report.json]
                     [--rhat-threshold R] [--fail-unconverged] [--quiet]
   rheotex topics    --model model.json --dict dict.json [--top N] [--json]
@@ -69,6 +71,28 @@ FIT CONVERGENCE:
   --fail-unconverged   exit with code 3 when any diagnosed metric's
                        R-hat exceeds the threshold (default: warn only).
                        Note: place before another --flag, like --resume
+  --min-chains N       with --chains >= 2: tolerate unrecoverable chains
+                       as long as at least N fit successfully (dropped
+                       chains are reported; default: 0 = every chain
+                       must succeed)
+
+FIT HEALTH:
+  --health MODE        run the fitting supervisor: per-sweep sentinels
+                       (non-finite log-likelihood, count-total drift,
+                       sparse bucket-mass drift) plus sampled deep
+                       audits of the topic-count store. Modes: off (the
+                       default — no supervision, the historical
+                       behaviour), strict (abort the fit on the first
+                       trip), recover (roll back to the last good
+                       in-memory snapshot and retry deterministically;
+                       repeated sparse-kernel failures degrade to the
+                       dense serial kernel). A healthy supervised run is
+                       bit-identical to an unsupervised one
+  --max-retries N      rollback budget per incident in recover mode
+                       (default: 3)
+  exit code 4          the supervisor declared the run unrecoverable
+                       (sentinels tripped and the recovery budget or
+                       chain quorum was exhausted)
 
 REPORT:
   rheotex report reads one or more --metrics-out JSONL files and prints
@@ -76,7 +100,7 @@ REPORT:
   sweep-phase time breakdown, and a kernel-specific profile section
   (sparse bucket masses, parallel chunk timings, cache hit rates);
   --out additionally writes machine-readable JSON (schema
-  rheotex.report/1). With --fail-unconverged the exit code is 3 when
+  rheotex.report/2). With --fail-unconverged the exit code is 3 when
   the run is unconverged at the R-hat threshold.
 
 FIT OBSERVABILITY:
@@ -102,6 +126,10 @@ FIT RESILIENCE:
   --max-bad-ratio R      quarantine unparsable corpus lines instead of
                          aborting, as long as at most fraction R of
                          non-empty lines fail (default: 0 = strict)
+  --quarantine-out PATH  write the quarantine ledger as JSON lines (one
+                         object per skipped line: lineno, byte_offset,
+                         reason) so bad recipes stay auditable at scale;
+                         written even when empty
 ";
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
@@ -191,6 +219,17 @@ pub fn fit(args: &Args) -> i32 {
             );
         }
     }
+    if let Some(qpath) = args.get("quarantine-out") {
+        if let Err(e) = save_quarantine(Path::new(qpath), &read.report) {
+            return fail(e);
+        }
+        if !quiet {
+            eprintln!(
+                "wrote quarantine ledger ({} lines) to {qpath}",
+                read.report.quarantined()
+            );
+        }
+    }
     let (recipes, labels) = (read.recipes, read.labels);
     let mut config = PipelineConfig::paper_scale();
     config.n_topics = args.get_parsed_or("topics", config.n_topics);
@@ -199,11 +238,58 @@ pub fn fit(args: &Args) -> i32 {
     config.seed = args.get_parsed_or("seed", config.seed);
     config.threads = args.get_parsed_or("threads", config.threads);
     config.chains = args.get_parsed_or("chains", config.chains);
+    config.min_chains = args.get_parsed_or("min-chains", config.min_chains);
     let rhat_threshold = args.get_parsed_or("rhat-threshold", 1.05f64);
     if let Some(kernel) = args.get("kernel") {
         match kernel.parse() {
             Ok(k) => config.kernel = Some(k),
             Err(e) => return fail(e),
+        }
+    }
+    match args.get("health") {
+        None | Some("off") => {}
+        Some(mode @ ("strict" | "recover")) => {
+            let mut policy = if mode == "strict" {
+                HealthPolicy::strict()
+            } else {
+                HealthPolicy::recover()
+            };
+            if args.get("max-retries").is_some() {
+                policy = policy.max_retries(args.get_parsed_or("max-retries", 3usize));
+            }
+            config.health = Some(policy);
+        }
+        Some(other) => {
+            eprintln!("error: --health expects strict, recover, or off (got '{other}')");
+            return 2;
+        }
+    }
+    // Hidden test-only flag (requires building with --features
+    // fault-inject): corrupt the count store after the given sweep so the
+    // exit-code contract and the recovery path can be exercised
+    // end-to-end from the binary.
+    #[cfg(feature = "fault-inject")]
+    if args.get("chaos-sweep").is_some() {
+        let at_sweep = args.get_parsed_or("chaos-sweep", 0usize);
+        match config.health.take() {
+            Some(policy) => {
+                // Audit every sweep and snapshot every sweep so the
+                // injected corruption is caught before any snapshot of
+                // the corrupted state could be kept (neither cadence
+                // consumes RNG draws, so healthy output is unchanged).
+                config.health = Some(policy.audit_every(1).snapshot_every(1).chaos(
+                    rheotex::core::CountChaos {
+                        at_sweep,
+                        doc: 0,
+                        topic: 0,
+                        delta: 7,
+                    },
+                ));
+            }
+            None => {
+                eprintln!("error: --chaos-sweep requires --health strict or recover");
+                return 2;
+            }
         }
     }
 
@@ -237,6 +323,13 @@ pub fn fit(args: &Args) -> i32 {
     }
     let fit = match run.fit_recipes(&recipes, &labels) {
         Ok(f) => f,
+        // Unrecoverable health failures get their own exit code (4) so
+        // orchestration can tell "the corpus is wrong" (1) apart from
+        // "the sampler tripped its sentinels and could not recover".
+        Err(e @ PipelineError::Model(ModelError::Health { .. })) => {
+            eprintln!("error: {e}");
+            return 4;
+        }
         Err(e) => return fail(e),
     };
     if !quiet {
@@ -285,7 +378,11 @@ pub fn fit(args: &Args) -> i32 {
 /// Prints the multi-chain convergence verdict to stderr (suppressed by
 /// `--quiet`) and returns whether any diagnosed metric failed the R̂
 /// threshold. No-chain (empty) diagnostics print nothing.
-fn report_fit_convergence(diagnostics: &[TraceDiagnostic], rhat_threshold: f64, quiet: bool) -> bool {
+fn report_fit_convergence(
+    diagnostics: &[TraceDiagnostic],
+    rhat_threshold: f64,
+    quiet: bool,
+) -> bool {
     if diagnostics.is_empty() {
         return false;
     }

@@ -604,7 +604,7 @@ fn fit_chains_emits_convergence_and_report_renders() {
     let parsed: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&report_json).expect("report.json"))
             .expect("report.json parses");
-    assert_eq!(parsed["schema"], "rheotex.report/1");
+    assert_eq!(parsed["schema"], "rheotex.report/2");
     assert!(parsed["rhat_threshold"].is_number());
     let engines = parsed["engines"].as_array().expect("engines array");
     assert!(!engines.is_empty());
@@ -691,4 +691,171 @@ fn fit_rejects_missing_corpus() {
         .expect("run");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+/// Generates a small corpus into `dir` and returns the fit argument
+/// vector writing `model.json` / `dict.json` there.
+fn health_fixture(dir: &std::path::Path) -> Vec<String> {
+    let corpus = dir.join("corpus.jsonl");
+    let out = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "250",
+            "--seed",
+            "13",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    [
+        "fit",
+        "--corpus",
+        corpus.to_str().unwrap(),
+        "--topics",
+        "6",
+        "--sweeps",
+        "12",
+        "--out-model",
+        dir.join("model.json").to_str().unwrap(),
+        "--out-dict",
+        dir.join("dict.json").to_str().unwrap(),
+        "--quiet",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect()
+}
+
+#[test]
+fn fit_health_recover_is_bit_identical_and_bad_mode_exits_2() {
+    let dir = tmpdir("health");
+    let base = health_fixture(&dir);
+
+    let out = bin().args(&base).output().expect("plain fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let plain_model = std::fs::read(dir.join("model.json")).expect("model");
+
+    let mut supervised = base.clone();
+    supervised.extend(["--health".into(), "recover".into()]);
+    let out = bin().args(&supervised).output().expect("supervised fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("model.json")).expect("model"),
+        plain_model,
+        "healthy supervised fit must be bit-identical"
+    );
+
+    let mut bad = base;
+    bad.extend(["--health".into(), "bogus".into()]);
+    let out = bin().args(&bad).output().expect("bad mode");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--health"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fit_writes_quarantine_sidecar() {
+    let dir = tmpdir("quarantine_sidecar");
+    let base = health_fixture(&dir);
+    let corpus = dir.join("corpus.jsonl");
+    let sidecar = dir.join("quarantine.jsonl");
+
+    // Mangle the corpus with one unparsable record.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&corpus)
+        .expect("open corpus");
+    writeln!(f, "{{{{not json").expect("append garbage");
+    drop(f);
+
+    let mut args = base;
+    args.extend([
+        "--max-bad-ratio".into(),
+        "0.05".into(),
+        "--quarantine-out".into(),
+        sidecar.to_str().unwrap().into(),
+    ]);
+    let out = bin().args(&args).output().expect("fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&sidecar).expect("sidecar written");
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("sidecar line parses"))
+        .collect();
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0]["lineno"], 251);
+    assert!(lines[0]["byte_offset"].is_u64());
+    assert!(lines[0]["reason"].is_string());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn fit_chaos_recovers_bit_identically_and_strict_exits_4() {
+    let dir = tmpdir("health_chaos");
+    let base = health_fixture(&dir);
+
+    let out = bin().args(&base).output().expect("clean fit");
+    assert!(out.status.success());
+    let clean_model = std::fs::read(dir.join("model.json")).expect("model");
+
+    // Recovery: the injected corruption is rolled back and the final
+    // model is bit-identical to the clean run's.
+    let mut recover = base.clone();
+    recover.extend([
+        "--health".into(),
+        "recover".into(),
+        "--chaos-sweep".into(),
+        "4".into(),
+    ]);
+    let out = bin().args(&recover).output().expect("recover fit");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(dir.join("model.json")).expect("model"),
+        clean_model,
+        "recovered fit must be bit-identical to the clean run"
+    );
+
+    // Strict mode aborts on the same fault with the health exit code.
+    let mut strict = base.clone();
+    strict.extend([
+        "--health".into(),
+        "strict".into(),
+        "--chaos-sweep".into(),
+        "4".into(),
+    ]);
+    let out = bin().args(&strict).output().expect("strict fit");
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecoverable"));
+
+    // Chaos without supervision is a usage error.
+    let mut bare = base;
+    bare.extend(["--chaos-sweep".into(), "4".into()]);
+    let out = bin().args(&bare).output().expect("bare chaos");
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

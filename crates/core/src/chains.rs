@@ -33,7 +33,9 @@ use crate::Result;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use rheotex_obs::{emit_convergence, ChainTraces, Obs, SweepStats, TraceDiagnostic, VecObserver};
+use rheotex_obs::{
+    emit_convergence, ChainTraces, HealthEvent, Obs, SweepStats, TraceDiagnostic, VecObserver,
+};
 
 /// Fraction of each trace discarded as warmup before computing R̂/ESS
 /// when the caller does not override it. Half is the split-R̂
@@ -71,12 +73,15 @@ pub struct ChainSet {
     warmup_fraction: f64,
     kernel: Option<GibbsKernel>,
     threads: usize,
+    health: Option<crate::health::HealthPolicy>,
+    min_chains: usize,
 }
 
 impl ChainSet {
     /// A runner for `n_chains` chains seeded `seed, seed + 1, …`
     /// (wrapping). Defaults: serial kernel, warmup fraction
-    /// [`DEFAULT_WARMUP_FRACTION`].
+    /// [`DEFAULT_WARMUP_FRACTION`], no health supervision, every chain
+    /// required to succeed.
     #[must_use]
     pub fn new(n_chains: usize, seed: u64) -> Self {
         ChainSet {
@@ -85,7 +90,29 @@ impl ChainSet {
             warmup_fraction: DEFAULT_WARMUP_FRACTION,
             kernel: None,
             threads: 0,
+            health: None,
+            min_chains: 0,
         }
+    }
+
+    /// Runs every chain under the health supervisor (see
+    /// [`FitOptions::health`]). Combine with [`ChainSet::min_chains`] to
+    /// let the set survive chains the supervisor cannot recover.
+    #[must_use]
+    pub fn health(mut self, policy: crate::health::HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// Quorum rule: keep going as long as at least `min` chains fit
+    /// successfully, recording the dropped chains in
+    /// [`ChainSetFit::failed`] instead of failing the whole run. `0`
+    /// (the default, and the historical behaviour) requires every chain
+    /// to succeed and propagates the first chain error as-is.
+    #[must_use]
+    pub fn min_chains(mut self, min: usize) -> Self {
+        self.min_chains = min;
+        self
     }
 
     /// Names the Gibbs kernel every chain runs (default: implied by the
@@ -116,8 +143,10 @@ impl ChainSet {
     /// Fits all chains concurrently and computes the diagnostics.
     ///
     /// # Errors
-    /// [`ModelError::InvalidConfig`] when `n_chains == 0`; otherwise
-    /// propagates the first chain error encountered.
+    /// [`ModelError::InvalidConfig`] when `n_chains == 0`. With the
+    /// default all-chains-required quorum, propagates the first chain
+    /// error encountered; with [`ChainSet::min_chains`] set, fails (with
+    /// [`ModelError::Health`]) only when fewer than the quorum survive.
     pub fn run(&self, model: &JointTopicModel, docs: &[ModelDoc]) -> Result<ChainSetFit> {
         if self.n_chains == 0 {
             return Err(ModelError::InvalidConfig {
@@ -136,26 +165,61 @@ impl ChainSet {
                 if let Some(kernel) = self.kernel {
                     opts = opts.kernel(kernel);
                 }
+                if let Some(policy) = &self.health {
+                    opts = opts.health(policy.clone());
+                }
                 let fitted = model.fit_with(&mut rng, docs, opts)?;
                 Ok(ChainFit {
                     chain: c,
                     seed: chain_seed,
                     fitted,
                     sweeps: observer.sweeps,
+                    health: observer.health,
                 })
             })
             .collect();
         let mut chains = Vec::with_capacity(self.n_chains);
-        for outcome in outcomes {
-            chains.push(outcome?);
+        let mut failed: Vec<(usize, ModelError)> = Vec::new();
+        for (c, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(chain) => chains.push(chain),
+                Err(e) => failed.push((c, e)),
+            }
+        }
+        let required = if self.min_chains == 0 {
+            self.n_chains
+        } else {
+            self.min_chains.min(self.n_chains)
+        };
+        if chains.len() < required {
+            if self.min_chains == 0 {
+                // Historical contract: no quorum, first error wins.
+                let (_, e) = failed.remove(0);
+                return Err(e);
+            }
+            let summary: Vec<String> = failed
+                .iter()
+                .map(|(c, e)| format!("chain {c}: {e}"))
+                .collect();
+            return Err(ModelError::Health {
+                what: format!(
+                    "only {} of {} chains survived (quorum {required}): {}",
+                    chains.len(),
+                    self.n_chains,
+                    summary.join("; ")
+                ),
+            });
         }
 
         let n_docs = docs.len().max(1) as f64;
         let total_tokens: usize = docs.iter().map(|d| d.terms.len()).sum();
-        let mut traces = ChainTraces::new(self.n_chains);
-        for chain in &chains {
+        // Traces are indexed by surviving-chain position, not original
+        // chain id, so the diagnostics never mix in empty dropped-chain
+        // traces (each ChainFit still carries its original id).
+        let mut traces = ChainTraces::new(chains.len());
+        for (i, chain) in chains.iter().enumerate() {
             for stats in &chain.sweeps {
-                push_sweep_traces(&mut traces, chain.chain, stats, n_docs, total_tokens);
+                push_sweep_traces(&mut traces, i, stats, n_docs, total_tokens);
             }
         }
         let diagnostics = traces.diagnose(self.warmup_fraction);
@@ -175,6 +239,7 @@ impl ChainSet {
             chains,
             best,
             diagnostics,
+            failed,
         })
     }
 }
@@ -212,6 +277,9 @@ pub struct ChainFit {
     pub fitted: FittedJointModel,
     /// Buffered per-sweep statistics, one per sweep.
     pub sweeps: Vec<SweepStats>,
+    /// Buffered health-supervisor events (empty without a
+    /// [`ChainSet::health`] policy).
+    pub health: Vec<HealthEvent>,
 }
 
 impl ChainFit {
@@ -237,6 +305,10 @@ pub struct ChainSetFit {
     pub best: usize,
     /// Split-R̂ / bulk-ESS per traced metric, post-warmup.
     pub diagnostics: Vec<TraceDiagnostic>,
+    /// Chains dropped under the [`ChainSet::min_chains`] quorum rule,
+    /// as `(original chain index, error)`. Always empty with the
+    /// default all-chains-required configuration.
+    pub failed: Vec<(usize, ModelError)>,
 }
 
 impl ChainSetFit {
@@ -281,6 +353,9 @@ impl ChainSetFit {
         for chain in &self.chains {
             for stats in &chain.sweeps {
                 stats.emit_to(obs, Some(chain.chain));
+            }
+            for event in &chain.health {
+                event.emit_to(obs, Some(chain.chain));
             }
         }
         for diag in &self.diagnostics {
@@ -355,7 +430,10 @@ mod tests {
         for chain in &fit.chains {
             assert!(chain.final_ll() <= best_ll);
         }
-        assert_eq!(fit.best_fit().ll_trace, fit.chains[fit.best].fitted.ll_trace);
+        assert_eq!(
+            fit.best_fit().ll_trace,
+            fit.chains[fit.best].fitted.ll_trace
+        );
     }
 
     #[test]
@@ -363,7 +441,13 @@ mod tests {
         let docs = two_cluster_docs(10);
         let fit = ChainSet::new(2, 3).run(&quick_model(12), &docs).unwrap();
         let metrics: Vec<&str> = fit.diagnostics.iter().map(|d| d.metric.as_str()).collect();
-        for want in ["accept", "ll", "min_occupancy", "perplexity", "topic_entropy"] {
+        for want in [
+            "accept",
+            "ll",
+            "min_occupancy",
+            "perplexity",
+            "topic_entropy",
+        ] {
             assert!(metrics.contains(&want), "missing {want} in {metrics:?}");
         }
         for diag in &fit.diagnostics {
@@ -401,6 +485,95 @@ mod tests {
             .filter(|e| e.kind == EventKind::Convergence)
             .count();
         assert_eq!(conv, fit.diagnostics.len());
+    }
+
+    #[test]
+    fn healthy_supervised_chains_buffer_audit_events() {
+        use crate::health::HealthPolicy;
+        let docs = two_cluster_docs(8);
+        let fit = ChainSet::new(2, 9)
+            .health(HealthPolicy::recover().audit_every(2))
+            .min_chains(1)
+            .run(&quick_model(6), &docs)
+            .unwrap();
+        assert!(fit.failed.is_empty());
+        for chain in &fit.chains {
+            assert!(
+                chain.health.iter().any(|e| e.action == "audit_pass"),
+                "supervised chain buffered no audit events"
+            );
+            assert!(!chain.health.iter().any(|e| e.action == "sentinel_trip"));
+        }
+        // Replay forwards the buffered health events with a chain tag.
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        fit.replay(&obs);
+        let health_events: Vec<_> = sink
+            .take()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Health)
+            .collect();
+        assert!(!health_events.is_empty());
+        for event in &health_events {
+            assert!(event.fields.iter().any(|f| f.key == "chain"));
+        }
+    }
+
+    #[test]
+    fn unsupervised_chains_have_no_health_events() {
+        let docs = two_cluster_docs(6);
+        let fit = ChainSet::new(1, 2).run(&quick_model(4), &docs).unwrap();
+        assert!(fit.chains[0].health.is_empty());
+        assert!(fit.failed.is_empty());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn quorum_drops_unrecoverable_chains() {
+        use crate::health::{CountChaos, HealthPolicy, RecoveryAction};
+        let docs = two_cluster_docs(8);
+        let chaos = CountChaos {
+            at_sweep: 2,
+            doc: 0,
+            topic: 0,
+            delta: 7,
+        };
+        // Strict supervision aborts every chaos-struck chain; with the
+        // all-required default the set fails...
+        let strict = HealthPolicy::strict().audit_every(1).chaos(chaos);
+        let err = ChainSet::new(2, 5)
+            .health(strict.clone())
+            .run(&quick_model(6), &docs)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Health { .. }), "{err}");
+        // ...and a quorum below the survivor count still cannot save a
+        // run where no chain survives, but reports the roll-up error.
+        let err = ChainSet::new(2, 5)
+            .health(strict)
+            .min_chains(1)
+            .run(&quick_model(6), &docs)
+            .unwrap_err();
+        match err {
+            ModelError::Health { what } => assert!(what.contains("quorum"), "{what}"),
+            other => panic!("expected quorum health error, got {other}"),
+        }
+        // Rollback supervision recovers the same fault and keeps both
+        // chains, so `failed` stays empty.
+        let recover = HealthPolicy::recover()
+            .action(RecoveryAction::RollbackRetry { max_retries: 3 })
+            .audit_every(1)
+            .snapshot_every(1)
+            .chaos(chaos);
+        let fit = ChainSet::new(2, 5)
+            .health(recover)
+            .min_chains(1)
+            .run(&quick_model(6), &docs)
+            .unwrap();
+        assert!(fit.failed.is_empty());
+        for chain in &fit.chains {
+            assert!(chain.health.iter().any(|e| e.action == "rollback"));
+            assert!(chain.health.iter().any(|e| e.action == "recovered"));
+        }
     }
 
     #[test]

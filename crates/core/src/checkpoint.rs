@@ -344,6 +344,35 @@ pub fn save_if_due(
     Ok(())
 }
 
+/// [`save_if_due`] with bounded retry: a failed save is attempted again
+/// up to `max_retries` more times before surfacing as
+/// [`ModelError::Checkpoint`]. The snapshot is built once and cloned per
+/// attempt, so every attempt persists the identical state. Returns the
+/// number of retries that were needed (0 when the first attempt
+/// succeeded or the sweep was not due), which the health supervisor
+/// reports as a `checkpoint_retry` event.
+pub fn save_if_due_with_retry(
+    sink: &mut dyn CheckpointSink,
+    sweep: usize,
+    max_retries: usize,
+    make: impl FnOnce() -> SamplerSnapshot,
+) -> Result<usize, ModelError> {
+    if !sink.due(sweep) {
+        return Ok(0);
+    }
+    let snapshot = make();
+    let mut last_err = String::new();
+    for attempt in 0..=max_retries {
+        match sink.save(snapshot.clone()) {
+            Ok(()) => return Ok(attempt),
+            Err(what) => last_err = what,
+        }
+    }
+    Err(ModelError::Checkpoint {
+        what: format!("{last_err} (after {max_retries} retries)"),
+    })
+}
+
 /// FNV-1a 64-bit fingerprint of a corpus: ids, term sequences, and the
 /// exact bit patterns of the concentration vectors. Cheap to recompute
 /// on resume and sensitive to any reordering or edit, so a snapshot is

@@ -83,7 +83,10 @@ impl CollapsedJointModel {
     /// threads / the parallel kernel, a checkpoint sink, or a resume
     /// snapshot — none of which this engine supports;
     /// [`ModelError::InvalidData`] for malformed docs;
-    /// [`ModelError::Numerical`] if a posterior update degenerates.
+    /// [`ModelError::Numerical`] if a posterior update degenerates;
+    /// [`ModelError::Health`] when a health policy is set and a sentinel
+    /// trips — this engine supports detection only (no snapshots, so no
+    /// rollback), and any trip is terminal.
     pub fn fit_with<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -191,6 +194,18 @@ impl CollapsedJointModel {
         } else {
             (PredictiveCache::disabled(k), PredictiveCache::disabled(k))
         };
+        // Detection-only supervision: this engine keeps no recovery
+        // snapshots (it is generic over the RNG, whose position cannot
+        // be captured), so a tripped sentinel always takes the monitor's
+        // abort path.
+        let mut monitor = opts
+            .health
+            .map(|p| crate::health::HealthMonitor::new(p, "collapsed"));
+        let doc_lens: Vec<usize> = if monitor.is_some() {
+            docs.iter().map(|d| d.terms.len()).collect()
+        } else {
+            Vec::new()
+        };
 
         for sweep in 0..cfg.sweeps {
             let sweep_start = observer.enabled().then(Instant::now);
@@ -297,6 +312,16 @@ impl CollapsedJointModel {
                 timer.record("ll", s.elapsed().as_micros() as u64);
             }
             ll_trace.push(sweep_ll);
+
+            if let Some(mon) = monitor.as_mut() {
+                let drift = sparse.as_ref().map(|s| s.s_mass_drift(&counts));
+                if let Some(detail) =
+                    mon.inspect_counts(sweep, sweep_ll, &counts, &doc_lens, drift, observer)
+                {
+                    let _ = mon.tripped(sweep, kernel, detail, observer)?;
+                    unreachable!("collapsed supervisor has no recovery point");
+                }
+            }
 
             if let Some(started) = sweep_start {
                 let mut occupancy = vec![0usize; k];

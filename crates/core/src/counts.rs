@@ -69,7 +69,8 @@ impl NonzeroTopics {
         let base = row * self.stride;
         let l = self.len[row] as usize;
         let slot = self.items[base..base + l].partition_point(|&t| t < topic as u32);
-        self.items.copy_within(base + slot..base + l, base + slot + 1);
+        self.items
+            .copy_within(base + slot..base + l, base + slot + 1);
         self.items[base + slot] = topic as u32;
         self.len[row] = (l + 1) as u32;
     }
@@ -81,7 +82,8 @@ impl NonzeroTopics {
         let slot = self.items[base..base + l]
             .binary_search(&(topic as u32))
             .expect("topic tracked as nonzero");
-        self.items.copy_within(base + slot + 1..base + l, base + slot);
+        self.items
+            .copy_within(base + slot + 1..base + l, base + slot);
         self.len[row] = (l - 1) as u32;
     }
 }
@@ -313,6 +315,30 @@ impl TopicCounts {
     pub fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         (self.n_dk, self.n_kw, self.n_k)
     }
+
+    /// Chaos door: adds `delta` straight onto `n_dk[d][topic]`, bypassing
+    /// every piece of bookkeeping (no `n_kw`/`n_k` mirror, no nonzero
+    /// list upkeep). Exists solely so the fault-injection tests can
+    /// simulate scatter corruption of the count store; the health
+    /// auditor must flag the result.
+    #[cfg(feature = "fault-inject")]
+    pub fn corrupt_doc_topic(&mut self, d: usize, topic: usize, delta: u32) {
+        self.n_dk[d * self.k + topic] = self.n_dk[d * self.k + topic].wrapping_add(delta);
+    }
+
+    /// Chaos door: moves one token of term `w` in document `d` from
+    /// topic `from` to topic `to` across all three dense arrays while
+    /// deliberately skipping nonzero-list upkeep. Every sum invariant
+    /// survives, so this isolates the auditor's list checks.
+    #[cfg(feature = "fault-inject")]
+    pub fn corrupt_shift_token(&mut self, d: usize, w: usize, from: usize, to: usize) {
+        self.n_dk[d * self.k + from] -= 1;
+        self.n_dk[d * self.k + to] += 1;
+        self.n_kw[from * self.v + w] -= 1;
+        self.n_kw[to * self.v + w] += 1;
+        self.n_k[from] -= 1;
+        self.n_k[to] += 1;
+    }
 }
 
 #[cfg(test)]
@@ -363,7 +389,11 @@ mod tests {
         let mut placed: Vec<(usize, usize, usize)> = Vec::new();
         for _ in 0..500 {
             if placed.is_empty() || rng.gen_bool(0.6) {
-                let site = (rng.gen_range(0..d), rng.gen_range(0..v), rng.gen_range(0..k));
+                let site = (
+                    rng.gen_range(0..d),
+                    rng.gen_range(0..v),
+                    rng.gen_range(0..k),
+                );
                 live.inc(site.0, site.1, site.2);
                 placed.push(site);
             } else {

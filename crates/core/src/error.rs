@@ -29,6 +29,13 @@ pub enum ModelError {
         /// Which invariant the snapshot violated.
         what: String,
     },
+    /// The fitting supervisor declared the run unrecoverable: a health
+    /// sentinel tripped and the policy's recovery budget (rollback
+    /// retries, kernel degradation) was exhausted or unavailable.
+    Health {
+        /// Which sentinel tripped and what recovery was attempted.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -41,6 +48,7 @@ impl fmt::Display for ModelError {
             Self::ResumeMismatch { what } => {
                 write!(f, "resume snapshot does not match this fit: {what}")
             }
+            Self::Health { what } => write!(f, "unrecoverable health failure: {what}"),
         }
     }
 }

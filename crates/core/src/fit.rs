@@ -50,6 +50,7 @@
 
 use crate::checkpoint::{CheckpointSink, SamplerSnapshot};
 use crate::error::ModelError;
+use crate::health::HealthPolicy;
 use rheotex_obs::SweepObserver;
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,7 @@ pub struct FitOptions<'a> {
     pub(crate) threads: usize,
     pub(crate) kernel: Option<GibbsKernel>,
     pub(crate) predictive_cache: bool,
+    pub(crate) health: Option<HealthPolicy>,
 }
 
 impl Default for FitOptions<'_> {
@@ -134,13 +136,11 @@ impl std::fmt::Debug for FitOptions<'_> {
         f.debug_struct("FitOptions")
             .field("observer", &self.observer.is_some())
             .field("sink", &self.sink.is_some())
-            .field(
-                "resume",
-                &self.resume.as_ref().map(SamplerSnapshot::engine),
-            )
+            .field("resume", &self.resume.as_ref().map(SamplerSnapshot::engine))
             .field("threads", &self.threads)
             .field("kernel", &self.kernel)
             .field("predictive_cache", &self.predictive_cache)
+            .field("health", &self.health)
             .finish()
     }
 }
@@ -157,6 +157,7 @@ impl<'a> FitOptions<'a> {
             threads: 0,
             kernel: None,
             predictive_cache: true,
+            health: None,
         }
     }
 
@@ -236,6 +237,19 @@ impl<'a> FitOptions<'a> {
         }
     }
 
+    /// Runs the fit under the health supervisor: per-sweep sentinels,
+    /// periodic count-invariant audits, and the policy's recovery action
+    /// (abort / rollback-and-retry / sparse-kernel degradation) when a
+    /// sentinel trips. Supervisor decisions surface as `health.*` events
+    /// through the observer; an unrecoverable failure surfaces as
+    /// [`ModelError::Health`]. The collapsed engine supports detection
+    /// only (it keeps no recovery snapshots), so any trip there aborts.
+    #[must_use]
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
     /// Enables or disables the per-topic posterior-predictive cache used
     /// by the collapsed Gaussian engines (on by default). Cached and
     /// uncached fits are bit-identical; disabling only serves as a
@@ -307,10 +321,7 @@ mod tests {
 
     #[test]
     fn plan_keeps_thread_semantics_backward_compatible() {
-        assert_eq!(
-            FitOptions::new().plan().unwrap(),
-            (GibbsKernel::Serial, 0)
-        );
+        assert_eq!(FitOptions::new().plan().unwrap(), (GibbsKernel::Serial, 0));
         assert_eq!(
             FitOptions::new().threads(4).plan().unwrap(),
             (GibbsKernel::Parallel, 4)
@@ -320,17 +331,26 @@ mod tests {
     #[test]
     fn plan_resolves_explicit_kernels() {
         assert_eq!(
-            FitOptions::new().kernel(GibbsKernel::Serial).plan().unwrap(),
+            FitOptions::new()
+                .kernel(GibbsKernel::Serial)
+                .plan()
+                .unwrap(),
             (GibbsKernel::Serial, 0)
         );
         assert_eq!(
-            FitOptions::new().kernel(GibbsKernel::Sparse).plan().unwrap(),
+            FitOptions::new()
+                .kernel(GibbsKernel::Sparse)
+                .plan()
+                .unwrap(),
             (GibbsKernel::Sparse, 0)
         );
         // An explicitly parallel kernel without a thread count runs the
         // one-worker reproducible baseline.
         assert_eq!(
-            FitOptions::new().kernel(GibbsKernel::Parallel).plan().unwrap(),
+            FitOptions::new()
+                .kernel(GibbsKernel::Parallel)
+                .plan()
+                .unwrap(),
             (GibbsKernel::Parallel, 1)
         );
         assert_eq!(
@@ -353,7 +373,11 @@ mod tests {
 
     #[test]
     fn kernel_parses_and_displays_round_trip() {
-        for k in [GibbsKernel::Serial, GibbsKernel::Parallel, GibbsKernel::Sparse] {
+        for k in [
+            GibbsKernel::Serial,
+            GibbsKernel::Parallel,
+            GibbsKernel::Sparse,
+        ] {
             assert_eq!(k.to_string().parse::<GibbsKernel>().unwrap(), k);
         }
         assert!("dense".parse::<GibbsKernel>().is_err());

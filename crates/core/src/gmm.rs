@@ -134,7 +134,9 @@ impl GmmModel {
     /// [`ModelError::Numerical`] on degenerate updates;
     /// [`ModelError::Checkpoint`] when a due snapshot fails to save;
     /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
-    /// to this `(config, docs)` pair.
+    /// to this `(config, docs)` pair;
+    /// [`ModelError::Health`] when a supervised fit trips a sentinel the
+    /// policy cannot recover from.
     pub fn fit_with(
         &self,
         rng: &mut ChaCha8Rng,
@@ -162,6 +164,7 @@ impl GmmModel {
             None => &mut no_ckpt,
         };
         let use_cache = opts.predictive_cache;
+        let health = opts.health;
         match opts.resume {
             Some(SamplerSnapshot::Gmm(snap)) => {
                 let (mut rng, mut prog, start) = self.restore(docs, &xs, snap, kernel)?;
@@ -177,6 +180,7 @@ impl GmmModel {
                     kernel,
                     pool.as_ref(),
                     use_cache,
+                    health,
                 )?;
                 self.finalize(&prior, prog)
             }
@@ -198,6 +202,7 @@ impl GmmModel {
                     kernel,
                     pool.as_ref(),
                     use_cache,
+                    health,
                 )?;
                 self.finalize(&prior, prog)
             }
@@ -336,6 +341,7 @@ impl GmmModel {
         kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
         use_cache: bool,
+        health: Option<crate::health::HealthPolicy>,
     ) -> Result<()> {
         // One cache for the whole serial run: a component's predictive
         // stays valid across sweep boundaries until its statistics change.
@@ -344,16 +350,87 @@ impl GmmModel {
         } else {
             PredictiveCache::disabled(self.config.n_components)
         };
-        for sweep in start_sweep..self.config.sweeps {
-            match pool {
-                None => self.sweep_once(rng, xs, prior, prog, sweep, observer, &mut cache)?,
+        let mut monitor = health.map(|p| crate::health::HealthMonitor::new(p, "gmm"));
+        if let Some(mon) = monitor.as_mut() {
+            if mon.wants_snapshots() {
+                mon.keep(SamplerSnapshot::Gmm(self.snapshot(
+                    rng,
+                    docs,
+                    prog,
+                    start_sweep,
+                    kernel,
+                )));
+            }
+        }
+        let mut sweep = start_sweep;
+        while sweep < self.config.sweeps {
+            let outcome = match pool {
+                None => self.sweep_once(rng, xs, prior, prog, sweep, observer, &mut cache),
                 Some(pool) => {
-                    self.sweep_once_parallel(rng, pool, xs, prior, prog, sweep, observer, use_cache)?;
+                    self.sweep_once_parallel(rng, pool, xs, prior, prog, sweep, observer, use_cache)
+                }
+            };
+            match monitor.as_mut() {
+                None => outcome?,
+                Some(mon) => {
+                    let trip = match outcome {
+                        Err(e) => Some(format!("sweep failed: {e}")),
+                        Ok(()) => {
+                            let ll = prog.ll_trace.last().copied().unwrap_or(f64::NAN);
+                            mon.inspect_occupancy(sweep, ll, &prog.counts, xs.len(), observer)
+                        }
+                    };
+                    if let Some(detail) = trip {
+                        let snap = match mon.tripped(sweep, kernel, detail, observer)? {
+                            crate::health::Recovery::Rollback(snap)
+                            | crate::health::Recovery::Degrade(snap) => snap,
+                        };
+                        let SamplerSnapshot::Gmm(snap) = *snap else {
+                            return Err(mismatch(
+                                "supervisor recovery point is not a gmm snapshot",
+                            ));
+                        };
+                        let (r, p, s) = self.restore(docs, xs, snap, kernel)?;
+                        *rng = r;
+                        *prog = p;
+                        sweep = s;
+                        // The restored statistics replace the live ones
+                        // wholesale; drop every cached predictive (cache
+                        // state is bit-invisible, so this cannot change
+                        // the replayed draws).
+                        cache = if use_cache {
+                            PredictiveCache::new(self.config.n_components)
+                        } else {
+                            PredictiveCache::disabled(self.config.n_components)
+                        };
+                        continue;
+                    }
+                    if mon.snapshot_due(sweep) {
+                        mon.keep(SamplerSnapshot::Gmm(self.snapshot(
+                            rng,
+                            docs,
+                            prog,
+                            sweep + 1,
+                            kernel,
+                        )));
+                    }
+                    let retries = crate::checkpoint::save_if_due_with_retry(
+                        sink,
+                        sweep,
+                        mon.save_retries(),
+                        || SamplerSnapshot::Gmm(self.snapshot(rng, docs, prog, sweep + 1, kernel)),
+                    )?;
+                    if retries > 0 {
+                        mon.note_checkpoint_retry(sweep, retries, observer);
+                    }
+                    sweep += 1;
+                    continue;
                 }
             }
             crate::checkpoint::save_if_due(sink, sweep, || {
                 SamplerSnapshot::Gmm(self.snapshot(rng, docs, prog, sweep + 1, kernel))
             })?;
+            sweep += 1;
         }
         Ok(())
     }

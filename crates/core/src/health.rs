@@ -1,0 +1,919 @@
+//! The fitting supervisor: health sentinels, count-invariant auditing,
+//! and automatic rollback / kernel degradation.
+//!
+//! A Gibbs run is a pure function of `(config, docs, rng)`, which makes
+//! failures *detectable* (invariants over the count store are cheap to
+//! check) and *recoverable* (a [`SamplerSnapshot`] captures the exact RNG
+//! position, so replaying from the last good snapshot is bit-identical
+//! to a run that never failed). This module packages both halves:
+//!
+//! * **Sentinels** run after every sweep: the sweep's log-likelihood must
+//!   be finite, the per-topic totals must sum to the corpus token count
+//!   (a `u32` underflow or scatter corruption shows up here as a wildly
+//!   wrong total), and the sparse kernel's incrementally maintained
+//!   smoothing-bucket mass must stay within `mass_epsilon` of a
+//!   from-scratch recomputation. A sweep that itself returns an error
+//!   (Cholesky jitter exhaustion, singular precision) trips the same
+//!   path.
+//! * **The invariant auditor** ([`audit_topic_counts`]) runs every
+//!   `audit_every` sweeps and checks the shared [`TopicCounts`] store in
+//!   depth: `Σ_k n_dk[d] == len(doc d)` for every document,
+//!   `n_k[t] == Σ_w n_kw[t][w]` for every topic, the grand totals agree,
+//!   and — when nonzero tracking is enabled — the per-document and
+//!   per-word topic lists are strictly sorted and exactly the support of
+//!   the dense arrays.
+//! * **Recovery** is a small state machine driven by
+//!   [`HealthMonitor::tripped`]: under [`RecoveryAction::RollbackRetry`]
+//!   the engine restores the last good snapshot and replays (bounded by
+//!   `max_retries` per incident); under [`RecoveryAction::DegradeKernel`]
+//!   a sparse kernel whose retries are exhausted is swapped for the
+//!   dense serial kernel (same bit-class rules as a fresh fit, logged as
+//!   a `health.degrade` event) before the run is ever declared dead.
+//!   [`RecoveryAction::Abort`] fails fast. Unrecoverable outcomes
+//!   surface as [`ModelError::Health`].
+//!
+//! Engines opt in through `FitOptions::health(policy)`; every decision
+//! the supervisor takes is emitted as a [`HealthEvent`] through the
+//! run's [`SweepObserver`], so `rheotex report` can reconstruct the
+//! incident history from the metrics JSONL alone.
+
+use crate::checkpoint::SamplerSnapshot;
+use crate::counts::TopicCounts;
+use crate::error::ModelError;
+use crate::fit::GibbsKernel;
+use rheotex_obs::{HealthEvent, SweepObserver};
+
+/// What the supervisor does when a sentinel trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Fail fast: the first trip aborts the fit with
+    /// [`ModelError::Health`]. No recovery snapshots are kept.
+    Abort,
+    /// Roll back to the last good in-memory snapshot and replay, at most
+    /// `max_retries` times per incident (an incident ends when the
+    /// tripping sweep is passed cleanly).
+    RollbackRetry {
+        /// Rollback budget per incident.
+        max_retries: usize,
+    },
+    /// Like [`RecoveryAction::RollbackRetry`], but when the budget is
+    /// exhausted under the sparse kernel the run degrades to the dense
+    /// serial kernel (resetting the budget) instead of aborting —
+    /// the escape hatch for a desynchronized sparse bucket state.
+    DegradeKernel {
+        /// Rollback budget per incident (per kernel).
+        max_retries: usize,
+    },
+}
+
+/// A one-shot count corruption injected after a chosen sweep completes,
+/// used by the chaos tests to prove recovery is bit-identical. The
+/// corruption is external to the sampler (no RNG draws are consumed), so
+/// rolling back and replaying reproduces the clean run exactly.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountChaos {
+    /// 0-based sweep after which the corruption is applied (once).
+    pub at_sweep: usize,
+    /// Document row to corrupt.
+    pub doc: usize,
+    /// Topic column to corrupt.
+    pub topic: usize,
+    /// Raw increment added to `n_dk[doc][topic]`, bypassing all
+    /// bookkeeping.
+    pub delta: u32,
+}
+
+/// Configuration of the fitting supervisor.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Recovery behaviour when a sentinel trips.
+    pub action: RecoveryAction,
+    /// Deep-audit cadence in sweeps (0 disables the auditor; the cheap
+    /// per-sweep sentinels always run).
+    pub audit_every: usize,
+    /// In-memory recovery-snapshot cadence in sweeps. With a
+    /// non-[`RecoveryAction::Abort`] action a snapshot is always kept at
+    /// loop entry, so 0 still permits rollback-to-start.
+    pub snapshot_every: usize,
+    /// Maximum tolerated relative drift of the sparse kernel's
+    /// incrementally maintained smoothing-bucket mass.
+    pub mass_epsilon: f64,
+    /// Extra attempts for a failed checkpoint `save()` before the fit
+    /// errors out.
+    pub save_retries: usize,
+    /// Optional one-shot count corruption for chaos testing.
+    #[cfg(feature = "fault-inject")]
+    pub chaos: Option<CountChaos>,
+}
+
+impl HealthPolicy {
+    /// Detect-and-abort: sentinels and the auditor run, the first trip
+    /// kills the fit. No recovery snapshots, no checkpoint retries.
+    #[must_use]
+    pub fn strict() -> Self {
+        Self {
+            action: RecoveryAction::Abort,
+            audit_every: 16,
+            snapshot_every: 0,
+            mass_epsilon: 1e-6,
+            save_retries: 0,
+            #[cfg(feature = "fault-inject")]
+            chaos: None,
+        }
+    }
+
+    /// Detect-and-recover: roll back to the last good snapshot (kept
+    /// every 8 sweeps) up to 3 times per incident, degrade a repeatedly
+    /// failing sparse kernel to serial, retry failed checkpoint saves
+    /// twice.
+    #[must_use]
+    pub fn recover() -> Self {
+        Self {
+            action: RecoveryAction::DegradeKernel { max_retries: 3 },
+            audit_every: 16,
+            snapshot_every: 8,
+            mass_epsilon: 1e-6,
+            save_retries: 2,
+            #[cfg(feature = "fault-inject")]
+            chaos: None,
+        }
+    }
+
+    /// Sets the recovery action.
+    #[must_use]
+    pub fn action(mut self, action: RecoveryAction) -> Self {
+        self.action = action;
+        self
+    }
+
+    /// Sets the deep-audit cadence (0 disables).
+    #[must_use]
+    pub fn audit_every(mut self, sweeps: usize) -> Self {
+        self.audit_every = sweeps;
+        self
+    }
+
+    /// Sets the recovery-snapshot cadence.
+    #[must_use]
+    pub fn snapshot_every(mut self, sweeps: usize) -> Self {
+        self.snapshot_every = sweeps;
+        self
+    }
+
+    /// Sets the sparse bucket-mass drift tolerance.
+    #[must_use]
+    pub fn mass_epsilon(mut self, eps: f64) -> Self {
+        self.mass_epsilon = eps;
+        self
+    }
+
+    /// Sets the rollback budget of the current action (no-op for
+    /// [`RecoveryAction::Abort`]).
+    #[must_use]
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.action = match self.action {
+            RecoveryAction::Abort => RecoveryAction::Abort,
+            RecoveryAction::RollbackRetry { .. } => {
+                RecoveryAction::RollbackRetry { max_retries: n }
+            }
+            RecoveryAction::DegradeKernel { .. } => {
+                RecoveryAction::DegradeKernel { max_retries: n }
+            }
+        };
+        self
+    }
+
+    /// Sets the checkpoint save-retry budget.
+    #[must_use]
+    pub fn save_retries(mut self, n: usize) -> Self {
+        self.save_retries = n;
+        self
+    }
+
+    /// Arms a one-shot count corruption (chaos testing only).
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn chaos(mut self, chaos: CountChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// What [`HealthMonitor::tripped`] asks the engine to do. Both variants
+/// carry the snapshot to restore; [`Recovery::Degrade`] additionally
+/// asks the engine to continue under the dense serial kernel.
+#[derive(Debug)]
+pub enum Recovery {
+    /// Restore the snapshot and replay under the same kernel.
+    Rollback(Box<SamplerSnapshot>),
+    /// Restore the snapshot and replay under [`GibbsKernel::Serial`].
+    Degrade(Box<SamplerSnapshot>),
+}
+
+/// Per-fit supervisor state: the last good snapshot, the retry budget of
+/// the current incident, and the event plumbing. One monitor lives for
+/// the duration of one engine's sweep loop.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    engine: &'static str,
+    retries: usize,
+    last_good: Option<SamplerSnapshot>,
+    /// Sweep index of the open incident; recovery completes (and the
+    /// budget resets) only once this sweep is passed cleanly, so a
+    /// deterministic persistent failure cannot loop forever.
+    trip_sweep: Option<usize>,
+    #[cfg(feature = "fault-inject")]
+    chaos_fired: bool,
+}
+
+impl HealthMonitor {
+    /// Builds a monitor for one engine's sweep loop.
+    #[must_use]
+    pub fn new(policy: HealthPolicy, engine: &'static str) -> Self {
+        Self {
+            policy,
+            engine,
+            retries: 0,
+            last_good: None,
+            trip_sweep: None,
+            #[cfg(feature = "fault-inject")]
+            chaos_fired: false,
+        }
+    }
+
+    /// The policy this monitor enforces.
+    #[must_use]
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Whether the policy can use recovery snapshots at all.
+    #[must_use]
+    pub fn wants_snapshots(&self) -> bool {
+        !matches!(self.policy.action, RecoveryAction::Abort)
+    }
+
+    /// Whether a recovery snapshot should be kept after `sweep`.
+    #[must_use]
+    pub fn snapshot_due(&self, sweep: usize) -> bool {
+        self.wants_snapshots()
+            && self.policy.snapshot_every > 0
+            && (sweep + 1) % self.policy.snapshot_every == 0
+    }
+
+    /// Whether the deep auditor runs after `sweep`.
+    #[must_use]
+    pub fn audit_due(&self, sweep: usize) -> bool {
+        self.policy.audit_every > 0 && (sweep + 1) % self.policy.audit_every == 0
+    }
+
+    /// Checkpoint save-retry budget from the policy.
+    #[must_use]
+    pub fn save_retries(&self) -> usize {
+        self.policy.save_retries
+    }
+
+    /// Records `snap` as the rollback target.
+    pub fn keep(&mut self, snap: SamplerSnapshot) {
+        self.last_good = Some(snap);
+    }
+
+    /// Applies the armed one-shot corruption if `sweep` matches; returns
+    /// whether it fired.
+    #[cfg(feature = "fault-inject")]
+    pub fn apply_chaos(&mut self, sweep: usize, counts: &mut TopicCounts) -> bool {
+        if self.chaos_fired {
+            return false;
+        }
+        let Some(chaos) = self.policy.chaos else {
+            return false;
+        };
+        if chaos.at_sweep != sweep {
+            return false;
+        }
+        self.chaos_fired = true;
+        counts.corrupt_doc_topic(chaos.doc, chaos.topic, chaos.delta);
+        true
+    }
+
+    /// Runs the per-sweep sentinels (and the deep auditor when due) over
+    /// a token-topic count store. Returns `Some(detail)` on a trip —
+    /// hand it to [`HealthMonitor::tripped`] — or `None` when healthy
+    /// (which also closes an open incident once its sweep is passed).
+    pub fn inspect_counts(
+        &mut self,
+        sweep: usize,
+        ll: f64,
+        counts: &TopicCounts,
+        doc_lens: &[usize],
+        mass_drift: Option<f64>,
+        observer: &mut dyn SweepObserver,
+    ) -> Option<String> {
+        if !ll.is_finite() {
+            return Some(format!("non-finite log-likelihood ({ll})"));
+        }
+        let total: u64 = counts.n_k_raw().iter().map(|&c| u64::from(c)).sum();
+        let tokens: u64 = doc_lens.iter().map(|&l| l as u64).sum();
+        if total != tokens {
+            return Some(format!(
+                "topic totals sum to {total}, expected {tokens} corpus tokens"
+            ));
+        }
+        if let Some(drift) = mass_drift {
+            if !(drift <= self.policy.mass_epsilon) {
+                return Some(format!(
+                    "sparse smoothing-bucket mass drifted by {drift:.3e} (epsilon {:.3e})",
+                    self.policy.mass_epsilon
+                ));
+            }
+        }
+        if self.audit_due(sweep) {
+            match audit_topic_counts(counts, doc_lens) {
+                Ok(()) => self.emit(
+                    observer,
+                    sweep,
+                    "audit_pass",
+                    "count invariants hold".into(),
+                ),
+                Err(detail) => {
+                    self.emit(observer, sweep, "audit_fail", detail.clone());
+                    return Some(detail);
+                }
+            }
+        }
+        self.mark_healthy(sweep, observer);
+        None
+    }
+
+    /// Sentinel pass for the GMM engine, whose state is a component
+    /// occupancy vector rather than a [`TopicCounts`] store.
+    pub fn inspect_occupancy(
+        &mut self,
+        sweep: usize,
+        ll: f64,
+        occupancy: &[usize],
+        n_docs: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Option<String> {
+        if !ll.is_finite() {
+            return Some(format!("non-finite log-likelihood ({ll})"));
+        }
+        if let Err(detail) = audit_occupancy(occupancy, n_docs) {
+            if self.audit_due(sweep) {
+                self.emit(observer, sweep, "audit_fail", detail.clone());
+            }
+            return Some(detail);
+        }
+        if self.audit_due(sweep) {
+            self.emit(
+                observer,
+                sweep,
+                "audit_pass",
+                "occupancy invariants hold".into(),
+            );
+        }
+        self.mark_healthy(sweep, observer);
+        None
+    }
+
+    /// Decides what to do about a tripped sentinel at `sweep` under
+    /// `kernel`. Emits the `sentinel_trip` event and either returns the
+    /// recovery the engine must perform or the terminal
+    /// [`ModelError::Health`].
+    ///
+    /// # Errors
+    /// [`ModelError::Health`] when the policy is
+    /// [`RecoveryAction::Abort`], no recovery snapshot exists, or the
+    /// retry budget is exhausted with no degradation left.
+    pub fn tripped(
+        &mut self,
+        sweep: usize,
+        kernel: GibbsKernel,
+        detail: String,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<Recovery, ModelError> {
+        self.emit(observer, sweep, "sentinel_trip", detail.clone());
+        self.trip_sweep = Some(self.trip_sweep.map_or(sweep, |t| t.max(sweep)));
+        let (max_retries, can_degrade) = match self.policy.action {
+            RecoveryAction::Abort => {
+                return Err(self.abort(observer, sweep, format!("{detail} (policy: abort)")));
+            }
+            RecoveryAction::RollbackRetry { max_retries } => (max_retries, false),
+            RecoveryAction::DegradeKernel { max_retries } => (max_retries, true),
+        };
+        let Some(snap) = self.last_good.clone() else {
+            return Err(self.abort(observer, sweep, format!("{detail} (no recovery point)")));
+        };
+        if self.retries < max_retries {
+            self.retries += 1;
+            self.emit(
+                observer,
+                sweep,
+                "rollback",
+                format!("rolling back to sweep {}: {detail}", snap.next_sweep()),
+            );
+            return Ok(Recovery::Rollback(Box::new(snap)));
+        }
+        if can_degrade && kernel == GibbsKernel::Sparse {
+            self.retries = 0;
+            self.emit(
+                observer,
+                sweep,
+                "degrade",
+                format!(
+                    "sparse kernel degraded to serial from sweep {}: {detail}",
+                    snap.next_sweep()
+                ),
+            );
+            return Ok(Recovery::Degrade(Box::new(snap)));
+        }
+        Err(self.abort(
+            observer,
+            sweep,
+            format!("{detail} ({max_retries} rollback retries exhausted)"),
+        ))
+    }
+
+    /// Reports a checkpoint save that needed `retries` extra attempts.
+    pub fn note_checkpoint_retry(
+        &self,
+        sweep: usize,
+        retries: usize,
+        observer: &mut dyn SweepObserver,
+    ) {
+        observer.on_health(&HealthEvent {
+            engine: self.engine,
+            sweep,
+            action: "checkpoint_retry",
+            detail: format!("checkpoint save succeeded after {retries} retries"),
+            retries,
+        });
+    }
+
+    fn mark_healthy(&mut self, sweep: usize, observer: &mut dyn SweepObserver) {
+        if let Some(trip) = self.trip_sweep {
+            if sweep >= trip {
+                self.emit(
+                    observer,
+                    sweep,
+                    "recovered",
+                    format!("passed sweep {trip} cleanly after rollback"),
+                );
+                self.trip_sweep = None;
+                self.retries = 0;
+            }
+        }
+    }
+
+    fn abort(
+        &mut self,
+        observer: &mut dyn SweepObserver,
+        sweep: usize,
+        what: String,
+    ) -> ModelError {
+        self.emit(observer, sweep, "abort", what.clone());
+        ModelError::Health {
+            what: format!("{} sweep {sweep}: {what}", self.engine),
+        }
+    }
+
+    fn emit(
+        &self,
+        observer: &mut dyn SweepObserver,
+        sweep: usize,
+        action: &'static str,
+        detail: String,
+    ) {
+        observer.on_health(&HealthEvent {
+            engine: self.engine,
+            sweep,
+            action,
+            detail,
+            retries: self.retries,
+        });
+    }
+}
+
+/// Deep invariant audit of a [`TopicCounts`] store against the document
+/// lengths it was built from.
+///
+/// Checks, in order: array dimensions match the corpus; every document's
+/// topic counts sum to its token count; every topic's word counts sum to
+/// its recorded total; the grand totals agree; and — when nonzero
+/// tracking is on — every per-document and per-word topic list is
+/// strictly sorted and exactly the support of the dense arrays.
+///
+/// # Errors
+/// A human-readable description of the first violated invariant.
+pub fn audit_topic_counts(counts: &TopicCounts, doc_lens: &[usize]) -> Result<(), String> {
+    let k = counts.topics();
+    let v = counts.vocab();
+    if counts.n_dk_raw().len() != doc_lens.len() * k {
+        return Err(format!(
+            "count store holds {} doc-topic cells, expected {} ({} docs x {k} topics)",
+            counts.n_dk_raw().len(),
+            doc_lens.len() * k,
+            doc_lens.len()
+        ));
+    }
+    for (d, &len) in doc_lens.iter().enumerate() {
+        let row: u64 = (0..k).map(|t| u64::from(counts.dk(d, t))).sum();
+        if row != len as u64 {
+            return Err(format!(
+                "doc {d}: topic counts sum to {row}, expected {len} tokens"
+            ));
+        }
+    }
+    let mut grand = 0u64;
+    for t in 0..k {
+        let row: u64 = (0..v).map(|w| u64::from(counts.kw(t, w))).sum();
+        let total = u64::from(counts.topic_total(t));
+        if row != total {
+            return Err(format!(
+                "topic {t}: word counts sum to {row} but n_k records {total}"
+            ));
+        }
+        grand += total;
+    }
+    let tokens: u64 = doc_lens.iter().map(|&l| l as u64).sum();
+    if grand != tokens {
+        return Err(format!(
+            "topic totals sum to {grand}, expected {tokens} corpus tokens"
+        ));
+    }
+    if counts.tracking() {
+        for d in 0..doc_lens.len() {
+            let list = counts.doc_topics(d);
+            if !list.windows(2).all(|p| p[0] < p[1]) {
+                return Err(format!(
+                    "doc {d}: nonzero topic list is not strictly sorted"
+                ));
+            }
+            let support: Vec<u32> = (0..k)
+                .filter(|&t| counts.dk(d, t) > 0)
+                .map(|t| t as u32)
+                .collect();
+            if list != support.as_slice() {
+                return Err(format!(
+                    "doc {d}: nonzero topic list disagrees with dense counts"
+                ));
+            }
+        }
+        for w in 0..v {
+            let list = counts.word_topics(w);
+            if !list.windows(2).all(|p| p[0] < p[1]) {
+                return Err(format!(
+                    "word {w}: nonzero topic list is not strictly sorted"
+                ));
+            }
+            let support: Vec<u32> = (0..k)
+                .filter(|&t| counts.kw(t, w) > 0)
+                .map(|t| t as u32)
+                .collect();
+            if list != support.as_slice() {
+                return Err(format!(
+                    "word {w}: nonzero topic list disagrees with dense counts"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// GMM occupancy invariant: every document sits in exactly one
+/// component, so the occupancy vector sums to the corpus size.
+///
+/// # Errors
+/// A human-readable description of the violation.
+pub fn audit_occupancy(occupancy: &[usize], n_docs: usize) -> Result<(), String> {
+    let total: usize = occupancy.iter().sum();
+    if total != n_docs {
+        return Err(format!(
+            "component occupancy sums to {total}, expected {n_docs} documents"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{LdaSnapshot, RngState};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_obs::VecObserver;
+
+    fn lda_snap(next_sweep: usize) -> SamplerSnapshot {
+        SamplerSnapshot::Lda(LdaSnapshot {
+            config: crate::lda::LdaConfig {
+                n_topics: 2,
+                vocab_size: 3,
+                alpha: 0.5,
+                gamma: 0.1,
+                sweeps: 10,
+                burn_in: 2,
+            },
+            next_sweep,
+            kernel: Some(GibbsKernel::Serial),
+            doc_fingerprint: 0,
+            z: vec![],
+            n_dk: vec![],
+            n_kw: vec![],
+            n_k: vec![],
+            phi_acc: vec![],
+            theta_acc: vec![],
+            n_samples: 0,
+            ll_trace: vec![],
+            rng: RngState::capture(&ChaCha8Rng::seed_from_u64(0)),
+        })
+    }
+
+    /// Builds a consistent store by routing every token through `inc`.
+    fn consistent_counts(tracked: bool) -> (TopicCounts, Vec<usize>) {
+        let (d, k, v) = (3, 4, 5);
+        let mut c = TopicCounts::new(d, k, v);
+        if tracked {
+            c.enable_tracking();
+        }
+        let mut doc_lens = vec![0usize; d];
+        for i in 0..40usize {
+            let dd = i % d;
+            c.inc(dd, (i * 7) % v, (i * 3) % k);
+            doc_lens[dd] += 1;
+        }
+        (c, doc_lens)
+    }
+
+    #[test]
+    fn audit_accepts_consistent_store() {
+        for tracked in [false, true] {
+            let (c, lens) = consistent_counts(tracked);
+            assert_eq!(audit_topic_counts(&c, &lens), Ok(()));
+        }
+    }
+
+    #[test]
+    fn audit_flags_doc_row_drift() {
+        let (c, lens) = consistent_counts(false);
+        let (k, v) = (c.topics(), c.vocab());
+        let (mut n_dk, n_kw, n_k) = c.into_parts();
+        n_dk[2] += 1;
+        let c = TopicCounts::from_parts(k, v, n_dk, n_kw, n_k);
+        let err = audit_topic_counts(&c, &lens).unwrap_err();
+        assert!(err.contains("doc 0"), "{err}");
+    }
+
+    #[test]
+    fn audit_flags_topic_total_drift() {
+        let (c, lens) = consistent_counts(false);
+        let (k, v) = (c.topics(), c.vocab());
+        let (n_dk, n_kw, mut n_k) = c.into_parts();
+        n_k[1] = n_k[1].wrapping_sub(1);
+        let c = TopicCounts::from_parts(k, v, n_dk, n_kw, n_k);
+        let err = audit_topic_counts(&c, &lens).unwrap_err();
+        assert!(err.contains("topic 1"), "{err}");
+    }
+
+    /// Stale nonzero lists are only creatable through the chaos door
+    /// (every public mutation keeps them in sync), so this check runs
+    /// under the fault-inject feature.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn audit_flags_stale_nonzero_list() {
+        let mut c = TopicCounts::new(2, 4, 5);
+        c.enable_tracking();
+        c.inc(0, 0, 0);
+        c.inc(0, 1, 1);
+        c.inc(1, 2, 2);
+        let lens = vec![2, 1];
+        assert_eq!(audit_topic_counts(&c, &lens), Ok(()));
+        // Move doc 0's token at word 0 from topic 0 to topic 3. All
+        // three dense arrays stay mutually consistent; only the sorted
+        // nonzero lists go stale.
+        c.corrupt_shift_token(0, 0, 0, 3);
+        let err = audit_topic_counts(&c, &lens).unwrap_err();
+        assert!(err.contains("nonzero topic list"), "{err}");
+    }
+
+    #[test]
+    fn audit_flags_dimension_mismatch() {
+        let (c, mut lens) = consistent_counts(false);
+        lens.push(0);
+        let err = audit_topic_counts(&c, &lens).unwrap_err();
+        assert!(err.contains("doc-topic cells"), "{err}");
+    }
+
+    #[test]
+    fn occupancy_audit() {
+        assert_eq!(audit_occupancy(&[2, 0, 3], 5), Ok(()));
+        assert!(audit_occupancy(&[2, 0, 3], 6).is_err());
+    }
+
+    #[test]
+    fn strict_policy_aborts_on_first_trip() {
+        let mut mon = HealthMonitor::new(HealthPolicy::strict(), "lda");
+        let mut obs = VecObserver::default();
+        let err = mon
+            .tripped(4, GibbsKernel::Serial, "boom".into(), &mut obs)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Health { .. }));
+        assert!(err.to_string().contains("unrecoverable health failure"));
+        let actions: Vec<&str> = obs.health.iter().map(|e| e.action).collect();
+        assert_eq!(actions, vec!["sentinel_trip", "abort"]);
+    }
+
+    #[test]
+    fn rollback_consumes_budget_then_aborts() {
+        let policy =
+            HealthPolicy::recover().action(RecoveryAction::RollbackRetry { max_retries: 2 });
+        let mut mon = HealthMonitor::new(policy, "lda");
+        let mut obs = VecObserver::default();
+        mon.keep(lda_snap(3));
+        for _ in 0..2 {
+            let rec = mon
+                .tripped(5, GibbsKernel::Serial, "bad".into(), &mut obs)
+                .unwrap();
+            assert!(matches!(rec, Recovery::Rollback(_)));
+        }
+        let err = mon
+            .tripped(5, GibbsKernel::Serial, "bad".into(), &mut obs)
+            .unwrap_err();
+        assert!(err.to_string().contains("retries exhausted"), "{err}");
+    }
+
+    #[test]
+    fn no_recovery_point_aborts() {
+        let mut mon = HealthMonitor::new(HealthPolicy::recover(), "joint");
+        let mut obs = VecObserver::default();
+        let err = mon
+            .tripped(0, GibbsKernel::Sparse, "bad".into(), &mut obs)
+            .unwrap_err();
+        assert!(err.to_string().contains("no recovery point"), "{err}");
+    }
+
+    #[test]
+    fn sparse_degrades_after_budget_and_resets_retries() {
+        let policy = HealthPolicy::recover().max_retries(1);
+        let mut mon = HealthMonitor::new(policy, "lda");
+        let mut obs = VecObserver::default();
+        mon.keep(lda_snap(2));
+        let rec = mon
+            .tripped(5, GibbsKernel::Sparse, "drift".into(), &mut obs)
+            .unwrap();
+        assert!(matches!(rec, Recovery::Rollback(_)));
+        let rec = mon
+            .tripped(5, GibbsKernel::Sparse, "drift".into(), &mut obs)
+            .unwrap();
+        let Recovery::Degrade(snap) = rec else {
+            panic!("expected degradation")
+        };
+        assert_eq!(snap.next_sweep(), 2);
+        // Budget reset: the serial replay gets a fresh rollback…
+        let rec = mon
+            .tripped(5, GibbsKernel::Serial, "still bad".into(), &mut obs)
+            .unwrap();
+        assert!(matches!(rec, Recovery::Rollback(_)));
+        // …and exhaustion under serial aborts (nothing left to degrade).
+        let err = mon
+            .tripped(5, GibbsKernel::Serial, "still bad".into(), &mut obs)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Health { .. }));
+        let actions: Vec<&str> = obs.health.iter().map(|e| e.action).collect();
+        assert!(actions.contains(&"degrade"));
+    }
+
+    #[test]
+    fn incident_closes_only_past_trip_sweep() {
+        let mut mon = HealthMonitor::new(HealthPolicy::recover(), "lda");
+        let mut obs = VecObserver::default();
+        mon.keep(lda_snap(3));
+        let (c, lens) = consistent_counts(false);
+        let _ = mon
+            .tripped(6, GibbsKernel::Serial, "bad".into(), &mut obs)
+            .unwrap();
+        // Healthy sweeps before the trip sweep keep the incident open.
+        assert!(mon
+            .inspect_counts(4, -1.0, &c, &lens, None, &mut obs)
+            .is_none());
+        assert!(obs.health.iter().all(|e| e.action != "recovered"));
+        // Passing the trip sweep closes it and resets the budget.
+        assert!(mon
+            .inspect_counts(6, -1.0, &c, &lens, None, &mut obs)
+            .is_none());
+        assert!(obs.health.iter().any(|e| e.action == "recovered"));
+    }
+
+    #[test]
+    fn sentinels_catch_nan_total_and_drift() {
+        let mut mon = HealthMonitor::new(HealthPolicy::strict(), "lda");
+        let mut obs = VecObserver::default();
+        let (c, lens) = consistent_counts(false);
+        assert!(mon
+            .inspect_counts(0, f64::NAN, &c, &lens, None, &mut obs)
+            .is_some());
+        assert!(mon
+            .inspect_counts(0, -1.0, &c, &lens[..2], None, &mut obs)
+            .is_some());
+        assert!(mon
+            .inspect_counts(0, -1.0, &c, &lens, Some(1e-3), &mut obs)
+            .is_some());
+        assert!(mon
+            .inspect_counts(0, -1.0, &c, &lens, Some(1e-9), &mut obs)
+            .is_none());
+        // NaN drift must trip, not slip through a `<=` comparison.
+        assert!(mon
+            .inspect_counts(0, -1.0, &c, &lens, Some(f64::NAN), &mut obs)
+            .is_some());
+    }
+
+    #[test]
+    fn audit_cadence_and_events() {
+        let policy = HealthPolicy::strict().audit_every(4);
+        let mut mon = HealthMonitor::new(policy, "lda");
+        let mut obs = VecObserver::default();
+        let (c, lens) = consistent_counts(true);
+        for sweep in 0..8 {
+            assert!(mon
+                .inspect_counts(sweep, -1.0, &c, &lens, None, &mut obs)
+                .is_none());
+        }
+        let passes = obs
+            .health
+            .iter()
+            .filter(|e| e.action == "audit_pass")
+            .count();
+        assert_eq!(passes, 2); // sweeps 3 and 7
+    }
+
+    #[test]
+    fn checkpoint_retry_event() {
+        let mon = HealthMonitor::new(HealthPolicy::recover(), "gmm");
+        let mut obs = VecObserver::default();
+        mon.note_checkpoint_retry(7, 2, &mut obs);
+        assert_eq!(obs.health.len(), 1);
+        assert_eq!(obs.health[0].action, "checkpoint_retry");
+        assert_eq!(obs.health[0].retries, 2);
+    }
+
+    proptest! {
+        /// No false positives: every store reachable through the public
+        /// `inc`/`dec` API (the only mutations the kernels perform)
+        /// passes the audit, tracked or not.
+        #[test]
+        fn audit_accepts_reachable_states(
+            ops in proptest::collection::vec((0usize..4, 0usize..5, 0usize..6), 1..120),
+            tracked in proptest::bool::ANY,
+        ) {
+            let (d, v, k) = (4, 5, 6);
+            let mut c = TopicCounts::new(d, k, v);
+            if tracked {
+                c.enable_tracking();
+            }
+            let mut doc_lens = vec![0usize; d];
+            let mut placed: Vec<(usize, usize, usize)> = Vec::new();
+            for (i, &(dd, ww, tt)) in ops.iter().enumerate() {
+                c.inc(dd, ww, tt);
+                doc_lens[dd] += 1;
+                placed.push((dd, ww, tt));
+                if i % 3 == 2 {
+                    let (rd, rw, rt) = placed.remove(i / 3);
+                    c.dec(rd, rw, rt);
+                    doc_lens[rd] -= 1;
+                }
+            }
+            prop_assert_eq!(audit_topic_counts(&c, &doc_lens), Ok(()));
+        }
+
+        /// No false negatives: a single raw-cell perturbation of a
+        /// consistent store is always flagged.
+        #[test]
+        fn audit_flags_single_perturbations(
+            which in 0usize..3,
+            cell in 0usize..12,
+            bump in prop_oneof![Just(1u32), Just(3u32), Just(u32::MAX)],
+        ) {
+            let (c, lens) = consistent_counts(false);
+            let (k, v) = (c.topics(), c.vocab());
+            let (mut n_dk, mut n_kw, mut n_k) = c.into_parts();
+            match which {
+                0 => {
+                    let i = cell % n_dk.len();
+                    n_dk[i] = n_dk[i].wrapping_add(bump);
+                }
+                1 => {
+                    let i = cell % n_kw.len();
+                    n_kw[i] = n_kw[i].wrapping_add(bump);
+                }
+                _ => {
+                    let i = cell % n_k.len();
+                    n_k[i] = n_k[i].wrapping_add(bump);
+                }
+            }
+            let c = TopicCounts::from_parts(k, v, n_dk, n_kw, n_k);
+            prop_assert!(audit_topic_counts(&c, &lens).is_err());
+        }
+    }
+}

@@ -183,7 +183,9 @@ impl JointTopicModel {
     /// happen with proper priors and finite data);
     /// [`ModelError::Checkpoint`] when a due snapshot fails to save;
     /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
-    /// to this `(config, docs)` pair or is internally inconsistent.
+    /// to this `(config, docs)` pair or is internally inconsistent;
+    /// [`ModelError::Health`] when a supervised fit trips a sentinel the
+    /// policy cannot recover from.
     pub fn fit_with(
         &self,
         rng: &mut ChaCha8Rng,
@@ -205,6 +207,7 @@ impl JointTopicModel {
             Some(s) => s,
             None => &mut no_ckpt,
         };
+        let health = opts.health;
         match opts.resume {
             Some(SamplerSnapshot::Joint(snap)) => {
                 let (mut rng, mut prog, start) = self.restore(docs, snap, kernel)?;
@@ -219,6 +222,7 @@ impl JointTopicModel {
                     sink,
                     kernel,
                     pool.as_ref(),
+                    health,
                 )?;
                 self.finalize(docs, prog, &gel_prior, &emu_prior)
             }
@@ -240,6 +244,7 @@ impl JointTopicModel {
                     sink,
                     kernel,
                     pool.as_ref(),
+                    health,
                 )?;
                 self.finalize(docs, prog, &gel_prior, &emu_prior)
             }
@@ -324,6 +329,13 @@ impl JointTopicModel {
 
     /// The sweep loop shared by fresh and resumed fits, dispatching on
     /// the planned kernel class with one checkpoint decision per sweep.
+    ///
+    /// With a health policy the loop runs supervised: sentinels and the
+    /// sampled invariant auditor inspect the state after every sweep, a
+    /// trip rolls back to the last good in-memory snapshot (the RNG
+    /// position travels with it, so the replay is bit-identical to a run
+    /// that never tripped), and a sparse kernel whose retry budget is
+    /// exhausted degrades to the dense serial kernel.
     #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
@@ -337,7 +349,9 @@ impl JointTopicModel {
         sink: &mut dyn CheckpointSink,
         kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
+        health: Option<crate::health::HealthPolicy>,
     ) -> Result<()> {
+        let mut kernel = kernel;
         let mut sparse = match kernel {
             GibbsKernel::Sparse => {
                 if !prog.state.counts.tracking() {
@@ -352,27 +366,122 @@ impl JointTopicModel {
             }
             _ => None,
         };
-        for sweep in start_sweep..self.config.sweeps {
-            match kernel {
+        let mut monitor = health.map(|p| crate::health::HealthMonitor::new(p, "joint"));
+        let doc_lens: Vec<usize> = if monitor.is_some() {
+            docs.iter().map(|d| d.terms.len()).collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(mon) = monitor.as_mut() {
+            if mon.wants_snapshots() {
+                mon.keep(SamplerSnapshot::Joint(self.snapshot(
+                    rng,
+                    docs,
+                    prog,
+                    start_sweep,
+                    kernel,
+                )));
+            }
+        }
+        let mut sweep = start_sweep;
+        while sweep < self.config.sweeps {
+            let outcome = match kernel {
                 GibbsKernel::Serial => {
-                    self.sweep_once(rng, docs, prog, gel_prior, emu_prior, sweep, observer)?;
+                    self.sweep_once(rng, docs, prog, gel_prior, emu_prior, sweep, observer)
                 }
                 GibbsKernel::Parallel => {
                     let pool = pool.expect("parallel kernel runs on a pool");
                     self.sweep_once_parallel(
                         rng, pool, docs, prog, gel_prior, emu_prior, sweep, observer,
-                    )?;
+                    )
                 }
                 GibbsKernel::Sparse => {
                     let sampler = sparse.as_mut().expect("sparse kernel has a sampler");
                     self.sweep_once_sparse(
                         rng, docs, prog, sampler, gel_prior, emu_prior, sweep, observer,
+                    )
+                }
+            };
+            match monitor.as_mut() {
+                None => outcome?,
+                Some(mon) => {
+                    let trip = match outcome {
+                        Err(e) => Some(format!("sweep failed: {e}")),
+                        Ok(()) => {
+                            #[cfg(feature = "fault-inject")]
+                            mon.apply_chaos(sweep, &mut prog.state.counts);
+                            let ll = prog.ll_trace.last().copied().unwrap_or(f64::NAN);
+                            let drift = sparse.as_ref().map(|s| s.s_mass_drift(&prog.state.counts));
+                            mon.inspect_counts(
+                                sweep,
+                                ll,
+                                &prog.state.counts,
+                                &doc_lens,
+                                drift,
+                                observer,
+                            )
+                        }
+                    };
+                    if let Some(detail) = trip {
+                        let (snap, new_kernel) = match mon
+                            .tripped(sweep, kernel, detail, observer)?
+                        {
+                            crate::health::Recovery::Rollback(snap) => (snap, kernel),
+                            crate::health::Recovery::Degrade(snap) => (snap, GibbsKernel::Serial),
+                        };
+                        let SamplerSnapshot::Joint(mut snap) = *snap else {
+                            return Err(mismatch(
+                                "supervisor recovery point is not a joint snapshot",
+                            ));
+                        };
+                        snap.kernel = Some(new_kernel);
+                        let (r, p, s) = self.restore(docs, snap, new_kernel)?;
+                        *rng = r;
+                        *prog = p;
+                        sweep = s;
+                        if new_kernel != kernel {
+                            kernel = new_kernel;
+                            sparse = None;
+                        } else if kernel == GibbsKernel::Sparse {
+                            // restore() hands back an untracked store.
+                            prog.state.counts.enable_tracking();
+                        }
+                        continue;
+                    }
+                    if mon.snapshot_due(sweep) {
+                        mon.keep(SamplerSnapshot::Joint(self.snapshot(
+                            rng,
+                            docs,
+                            prog,
+                            sweep + 1,
+                            kernel,
+                        )));
+                    }
+                    let retries = crate::checkpoint::save_if_due_with_retry(
+                        sink,
+                        sweep,
+                        mon.save_retries(),
+                        || {
+                            SamplerSnapshot::Joint(self.snapshot(
+                                rng,
+                                docs,
+                                prog,
+                                sweep + 1,
+                                kernel,
+                            ))
+                        },
                     )?;
+                    if retries > 0 {
+                        mon.note_checkpoint_retry(sweep, retries, observer);
+                    }
+                    sweep += 1;
+                    continue;
                 }
             }
             crate::checkpoint::save_if_due(sink, sweep, || {
                 SamplerSnapshot::Joint(self.snapshot(rng, docs, prog, sweep + 1, kernel))
             })?;
+            sweep += 1;
         }
         Ok(())
     }
@@ -434,7 +543,9 @@ impl JointTopicModel {
         let sweep_start = observer.enabled().then(Instant::now);
         let mut timer = PhaseTimer::new(observer.enabled());
         sampler.set_profiling(observer.enabled());
-        timer.time("z", || self.sweep_z_sparse(rng, docs, &mut prog.state, sampler));
+        timer.time("z", || {
+            self.sweep_z_sparse(rng, docs, &mut prog.state, sampler)
+        });
         let profile = observer
             .enabled()
             .then(|| sampler.take_profile().into_kernel_profile());
@@ -490,8 +601,9 @@ impl JointTopicModel {
         let chunk_us = timer.time("z", || {
             self.sweep_z_parallel(pool, sweep_seed, docs, &mut prog.state, profiling)
         });
-        let label_flips =
-            timer.time("y", || self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state))?;
+        let label_flips = timer.time("y", || {
+            self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state)
+        })?;
         let jitter_retries = timer.time("params", || {
             self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
         })?;

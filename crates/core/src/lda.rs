@@ -138,7 +138,9 @@ impl LdaModel {
     /// [`crate::ModelError::InvalidData`] for malformed docs;
     /// [`ModelError::Checkpoint`] when a due snapshot fails to save;
     /// [`ModelError::ResumeMismatch`] for a snapshot that does not belong
-    /// to this `(config, docs)` pair.
+    /// to this `(config, docs)` pair;
+    /// [`ModelError::Health`] when a supervised fit trips a sentinel the
+    /// policy cannot recover from.
     pub fn fit_with(
         &self,
         rng: &mut ChaCha8Rng,
@@ -158,6 +160,7 @@ impl LdaModel {
             Some(s) => s,
             None => &mut no_ckpt,
         };
+        let health = opts.health;
         match opts.resume {
             Some(SamplerSnapshot::Lda(snap)) => {
                 let (mut rng, mut prog, start) = self.restore(docs, snap, kernel)?;
@@ -170,6 +173,7 @@ impl LdaModel {
                     sink,
                     kernel,
                     pool.as_ref(),
+                    health,
                 )?;
                 Ok(self.finalize(docs.len(), prog))
             }
@@ -179,7 +183,17 @@ impl LdaModel {
             ))),
             None => {
                 let mut prog = self.init_progress(rng, docs);
-                self.run_sweeps(rng, docs, &mut prog, 0, observer, sink, kernel, pool.as_ref())?;
+                self.run_sweeps(
+                    rng,
+                    docs,
+                    &mut prog,
+                    0,
+                    observer,
+                    sink,
+                    kernel,
+                    pool.as_ref(),
+                    health,
+                )?;
                 Ok(self.finalize(docs.len(), prog))
             }
         }
@@ -303,6 +317,12 @@ impl LdaModel {
         }
     }
 
+    /// The sweep loop shared by fresh and resumed fits. With a health
+    /// policy it runs supervised — see
+    /// [`crate::joint::JointTopicModel`]'s loop for the recovery
+    /// contract (rollback replays are bit-identical because the
+    /// in-memory snapshots carry the exact RNG position; a sparse kernel
+    /// out of retries degrades to serial).
     #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
@@ -314,7 +334,9 @@ impl LdaModel {
         sink: &mut dyn CheckpointSink,
         kernel: GibbsKernel,
         pool: Option<&rayon::ThreadPool>,
+        health: Option<crate::health::HealthPolicy>,
     ) -> Result<()> {
+        let mut kernel = kernel;
         let mut sparse = match kernel {
             GibbsKernel::Sparse => {
                 if !prog.counts.tracking() {
@@ -329,7 +351,25 @@ impl LdaModel {
             }
             _ => None,
         };
-        for sweep in start_sweep..self.config.sweeps {
+        let mut monitor = health.map(|p| crate::health::HealthMonitor::new(p, "lda"));
+        let doc_lens: Vec<usize> = if monitor.is_some() {
+            docs.iter().map(|d| d.terms.len()).collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(mon) = monitor.as_mut() {
+            if mon.wants_snapshots() {
+                mon.keep(SamplerSnapshot::Lda(self.snapshot(
+                    rng,
+                    docs,
+                    prog,
+                    start_sweep,
+                    kernel,
+                )));
+            }
+        }
+        let mut sweep = start_sweep;
+        while sweep < self.config.sweeps {
             match kernel {
                 GibbsKernel::Serial => self.sweep_once(rng, docs, prog, sweep, observer),
                 GibbsKernel::Parallel => {
@@ -341,9 +381,59 @@ impl LdaModel {
                     self.sweep_once_sparse(rng, docs, prog, sampler, sweep, observer);
                 }
             }
-            crate::checkpoint::save_if_due(sink, sweep, || {
-                SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1, kernel))
-            })?;
+            if let Some(mon) = monitor.as_mut() {
+                #[cfg(feature = "fault-inject")]
+                mon.apply_chaos(sweep, &mut prog.counts);
+                let ll = prog.ll_trace.last().copied().unwrap_or(f64::NAN);
+                let drift = sparse.as_ref().map(|s| s.s_mass_drift(&prog.counts));
+                if let Some(detail) =
+                    mon.inspect_counts(sweep, ll, &prog.counts, &doc_lens, drift, observer)
+                {
+                    let (snap, new_kernel) = match mon.tripped(sweep, kernel, detail, observer)? {
+                        crate::health::Recovery::Rollback(snap) => (snap, kernel),
+                        crate::health::Recovery::Degrade(snap) => (snap, GibbsKernel::Serial),
+                    };
+                    let SamplerSnapshot::Lda(mut snap) = *snap else {
+                        return Err(mismatch("supervisor recovery point is not an lda snapshot"));
+                    };
+                    snap.kernel = Some(new_kernel);
+                    let (r, p, s) = self.restore(docs, snap, new_kernel)?;
+                    *rng = r;
+                    *prog = p;
+                    sweep = s;
+                    if new_kernel != kernel {
+                        kernel = new_kernel;
+                        sparse = None;
+                    } else if kernel == GibbsKernel::Sparse {
+                        // restore() hands back an untracked store.
+                        prog.counts.enable_tracking();
+                    }
+                    continue;
+                }
+                if mon.snapshot_due(sweep) {
+                    mon.keep(SamplerSnapshot::Lda(self.snapshot(
+                        rng,
+                        docs,
+                        prog,
+                        sweep + 1,
+                        kernel,
+                    )));
+                }
+                let retries = crate::checkpoint::save_if_due_with_retry(
+                    sink,
+                    sweep,
+                    mon.save_retries(),
+                    || SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1, kernel)),
+                )?;
+                if retries > 0 {
+                    mon.note_checkpoint_retry(sweep, retries, observer);
+                }
+            } else {
+                crate::checkpoint::save_if_due(sink, sweep, || {
+                    SamplerSnapshot::Lda(self.snapshot(rng, docs, prog, sweep + 1, kernel))
+                })?;
+            }
+            sweep += 1;
         }
         Ok(())
     }
@@ -385,7 +475,16 @@ impl LdaModel {
             }
             ll
         });
-        self.post_sweep(docs, prog, sweep, ll, None, sweep_start, &mut timer, observer);
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            None,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
     }
 
     /// The sparse SparseLDA-style sweep: same conditional as the serial
@@ -427,7 +526,16 @@ impl LdaModel {
         let profile = observer
             .enabled()
             .then(|| sampler.take_profile().into_kernel_profile());
-        self.post_sweep(docs, prog, sweep, ll, profile, sweep_start, &mut timer, observer);
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
     }
 
     /// The deterministic chunked parallel sweep: fixed 64-doc chunks,
@@ -523,7 +631,8 @@ impl LdaModel {
         for (d, doc) in docs.iter().enumerate() {
             for (n, &w) in doc.terms.iter().enumerate() {
                 let t = prog.z[d][n];
-                ll += ((f64::from(n_kw_flat[t * v + w]) + gamma) / (f64::from(n_k_flat[t]) + gamma * vf))
+                ll += ((f64::from(n_kw_flat[t * v + w]) + gamma)
+                    / (f64::from(n_k_flat[t]) + gamma * vf))
                     .ln();
             }
         }
@@ -541,7 +650,16 @@ impl LdaModel {
                 alloc_bytes: chunks * per_chunk as u64,
             }
         });
-        self.post_sweep(docs, prog, sweep, ll, profile, sweep_start, &mut timer, observer);
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
     }
 
     /// Trace push, observer report, and post-burn-in accumulation shared

@@ -84,6 +84,7 @@ pub mod diagnostics;
 pub mod error;
 pub mod fit;
 pub mod gmm;
+pub mod health;
 pub mod init;
 pub mod joint;
 pub mod lda;
@@ -100,8 +101,15 @@ pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
 pub use fit::{FitOptions, GibbsKernel};
+#[cfg(feature = "fault-inject")]
+pub use health::CountChaos;
+pub use health::{
+    audit_occupancy, audit_topic_counts, HealthMonitor, HealthPolicy, RecoveryAction,
+};
 pub use joint::{FittedJointModel, JointTopicModel};
-pub use rheotex_obs::{NullObserver, SweepObserver, SweepStats, TraceDiagnostic, VecObserver};
+pub use rheotex_obs::{
+    HealthEvent, NullObserver, SweepObserver, SweepStats, TraceDiagnostic, VecObserver,
+};
 pub use summary::TopicSummary;
 
 /// Crate-wide result alias.

@@ -299,6 +299,20 @@ impl SparseTokenSampler {
         self.k - 1
     }
 
+    /// Relative drift between the incrementally maintained
+    /// smoothing-bucket mass and a from-scratch recomputation under the
+    /// current counts. The health supervisor samples this after sparse
+    /// sweeps: drift beyond the policy epsilon means the incremental
+    /// updates and the count store have desynchronized.
+    pub(crate) fn s_mass_drift(&self, counts: &TopicCounts) -> f64 {
+        let mut sum = 0.0;
+        for t in 0..self.k {
+            sum += 1.0 / (f64::from(counts.topic_total(t)) + self.gamma_v);
+        }
+        let fresh = self.alpha_gamma * sum;
+        (self.s_mass - fresh).abs() / fresh.abs().max(1e-300)
+    }
+
     /// The incrementally maintained `(r_mass, s_mass)` pair.
     #[cfg(test)]
     fn masses(&self) -> (f64, f64) {

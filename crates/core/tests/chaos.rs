@@ -1,0 +1,301 @@
+//! Chaos tests for the fitting supervisor (requires `--features
+//! fault-inject`).
+//!
+//! The contract under test is *deterministic recovery*: a one-shot
+//! external count corruption injected mid-fit is (a) detected by the
+//! sampled invariant auditor, (b) rolled back to the last good in-memory
+//! snapshot, and (c) replayed on the snapshot's recorded RNG stream —
+//! so the supervised faulted run produces a final model **bit-identical**
+//! to the clean, unsupervised run. This must hold for every LDA kernel
+//! class (serial, parallel, sparse) and for the joint engine.
+//!
+//! The dual no-false-positive contract rides along: a healthy fit
+//! audited every sweep under the strict (abort-on-trip) policy must
+//! finish untripped and bit-identical to the unsupervised fit on every
+//! engine and kernel.
+#![cfg(feature = "fault-inject")]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::health::{CountChaos, RecoveryAction};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{
+    FitOptions, GibbsKernel, HealthPolicy, JointConfig, JointTopicModel, ModelDoc, ModelError,
+    VecObserver,
+};
+use rheotex_linalg::Vector;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(61)
+}
+
+/// Two planted clusters: even docs use words {0, 1} and a low-gelatin
+/// profile, odd docs use words {2, 3} and a distinct one.
+fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+    let mut r = ChaCha8Rng::seed_from_u64(78);
+    (0..2 * n_per)
+        .map(|i| {
+            use rand::Rng;
+            let cluster = i % 2;
+            let terms: Vec<usize> = (0..4).map(|j| 2 * cluster + (j % 2)).collect();
+            let jitter = r.gen_range(-0.2..0.2);
+            let gel = if cluster == 0 {
+                Vector::new(vec![2.0 + jitter, 9.0, 9.0])
+            } else {
+                Vector::new(vec![9.0, 4.0 + jitter, 9.0])
+            };
+            ModelDoc::new(i as u64, terms, gel, Vector::full(6, 9.0))
+        })
+        .collect()
+}
+
+fn lda_config() -> LdaConfig {
+    LdaConfig {
+        n_topics: 4,
+        vocab_size: 4,
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: 12,
+        burn_in: 6,
+    }
+}
+
+/// Audit every sweep, snapshot every sweep, roll back on trips. The
+/// tight cadences guarantee the injected corruption is caught in the
+/// very sweep it lands, before any snapshot of the corrupted state
+/// could be kept.
+fn rollback_policy() -> HealthPolicy {
+    HealthPolicy::recover()
+        .action(RecoveryAction::RollbackRetry { max_retries: 3 })
+        .audit_every(1)
+        .snapshot_every(1)
+}
+
+fn chaos(at_sweep: usize) -> CountChaos {
+    CountChaos {
+        at_sweep,
+        doc: 1,
+        topic: 0,
+        delta: 5,
+    }
+}
+
+/// The tentpole assertion, per LDA kernel: clean unsupervised fit ==
+/// supervised fit with a mid-run count corruption, bit for bit.
+fn assert_lda_recovers_bit_identically(kernel: GibbsKernel) {
+    let docs = two_cluster_docs(30);
+    let model = LdaModel::new(lda_config()).unwrap();
+
+    let clean = model
+        .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+        .unwrap();
+
+    let mut observer = VecObserver::default();
+    let faulted = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(kernel)
+                .observer(&mut observer)
+                .health(rollback_policy().chaos(chaos(5))),
+        )
+        .unwrap();
+
+    assert_eq!(faulted.phi, clean.phi, "{kernel:?}: phi diverged");
+    assert_eq!(faulted.theta, clean.theta, "{kernel:?}: theta diverged");
+    assert_eq!(
+        faulted.ll_trace, clean.ll_trace,
+        "{kernel:?}: ll trace diverged"
+    );
+    let actions: Vec<&str> = observer.health.iter().map(|e| e.action).collect();
+    assert!(
+        actions.contains(&"sentinel_trip") || actions.contains(&"audit_fail"),
+        "{kernel:?}: corruption went undetected: {actions:?}"
+    );
+    assert!(actions.contains(&"rollback"), "{kernel:?}: {actions:?}");
+    assert!(actions.contains(&"recovered"), "{kernel:?}: {actions:?}");
+    assert!(!actions.contains(&"degrade"), "{kernel:?}: {actions:?}");
+}
+
+#[test]
+fn lda_serial_recovers_bit_identically() {
+    assert_lda_recovers_bit_identically(GibbsKernel::Serial);
+}
+
+#[test]
+fn lda_parallel_recovers_bit_identically() {
+    assert_lda_recovers_bit_identically(GibbsKernel::Parallel);
+}
+
+#[test]
+fn lda_sparse_recovers_bit_identically() {
+    assert_lda_recovers_bit_identically(GibbsKernel::Sparse);
+}
+
+#[test]
+fn joint_recovers_bit_identically_on_all_kernels() {
+    let docs = two_cluster_docs(25);
+    let config = JointConfig {
+        n_topics: 4,
+        sweeps: 10,
+        burn_in: 5,
+        ..JointConfig::quick(4, 4)
+    };
+    let model = JointTopicModel::new(config).unwrap();
+    for kernel in [
+        GibbsKernel::Serial,
+        GibbsKernel::Parallel,
+        GibbsKernel::Sparse,
+    ] {
+        let clean = model
+            .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+            .unwrap();
+        let mut observer = VecObserver::default();
+        let faulted = model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new()
+                    .kernel(kernel)
+                    .observer(&mut observer)
+                    .health(rollback_policy().chaos(chaos(4))),
+            )
+            .unwrap();
+        assert_eq!(faulted.y, clean.y, "{kernel:?}: labels diverged");
+        assert_eq!(faulted.phi, clean.phi, "{kernel:?}: phi diverged");
+        assert_eq!(
+            faulted.ll_trace, clean.ll_trace,
+            "{kernel:?}: ll trace diverged"
+        );
+        let actions: Vec<&str> = observer.health.iter().map(|e| e.action).collect();
+        assert!(actions.contains(&"rollback"), "{kernel:?}: {actions:?}");
+        assert!(actions.contains(&"recovered"), "{kernel:?}: {actions:?}");
+    }
+}
+
+#[test]
+fn snapshotted_corruption_walks_the_full_recovery_ladder() {
+    // A corruption captured by a snapshot *before* the audit catches it
+    // is persistent: every rollback restores the corrupted counts and
+    // the next audit of the same sweep trips again. The supervisor must
+    // walk the whole ladder deterministically — two sparse rollbacks,
+    // a degrade to serial, two serial rollbacks — and then abort rather
+    // than loop forever.
+    let docs = two_cluster_docs(20);
+    let model = LdaModel::new(lda_config()).unwrap();
+    let policy = HealthPolicy::recover()
+        .action(RecoveryAction::DegradeKernel { max_retries: 2 })
+        .audit_every(4) // corruption at sweep 5 is only audited at sweep 7…
+        .snapshot_every(1) // …after the sweep-5/6 snapshots captured it
+        .chaos(chaos(5));
+    let mut observer = VecObserver::default();
+    let err = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Sparse)
+                .observer(&mut observer)
+                .health(policy),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Health { .. }), "{err}");
+    let actions: Vec<&str> = observer.health.iter().map(|e| e.action).collect();
+    let pos = |a: &str| actions.iter().position(|&x| x == a);
+    let (rollback, degrade, abort) = (pos("rollback"), pos("degrade"), pos("abort"));
+    assert!(rollback.is_some(), "{actions:?}");
+    assert!(degrade.is_some(), "{actions:?}");
+    assert!(abort.is_some(), "{actions:?}");
+    assert!(rollback < degrade && degrade < abort, "{actions:?}");
+    let rollbacks = actions.iter().filter(|&&a| a == "rollback").count();
+    assert_eq!(rollbacks, 4, "two per kernel class: {actions:?}");
+    assert!(!actions.contains(&"recovered"), "{actions:?}");
+}
+
+#[test]
+fn strict_policy_aborts_with_health_error_on_first_trip() {
+    let docs = two_cluster_docs(20);
+    let model = LdaModel::new(lda_config()).unwrap();
+    let err = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().health(HealthPolicy::strict().audit_every(1).chaos(chaos(3))),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Health { .. }), "{err}");
+}
+
+#[test]
+fn strict_every_sweep_audits_pass_on_healthy_fits() {
+    // No-false-positive guarantee, end to end: audit every sweep, abort
+    // on any trip, and assert the fit completes bit-identical to the
+    // unsupervised one — on every engine/kernel combination.
+    let docs = two_cluster_docs(25);
+    let strict = HealthPolicy::strict().audit_every(1);
+
+    let lda = LdaModel::new(lda_config()).unwrap();
+    for kernel in [
+        GibbsKernel::Serial,
+        GibbsKernel::Parallel,
+        GibbsKernel::Sparse,
+    ] {
+        let clean = lda
+            .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+            .unwrap();
+        let audited = lda
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(kernel).health(strict.clone()),
+            )
+            .unwrap();
+        assert_eq!(audited.phi, clean.phi, "lda {kernel:?}");
+        assert_eq!(audited.ll_trace, clean.ll_trace, "lda {kernel:?}");
+    }
+
+    let joint = JointTopicModel::new(JointConfig {
+        sweeps: 8,
+        burn_in: 4,
+        ..JointConfig::quick(3, 4)
+    })
+    .unwrap();
+    for kernel in [
+        GibbsKernel::Serial,
+        GibbsKernel::Parallel,
+        GibbsKernel::Sparse,
+    ] {
+        let clean = joint
+            .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+            .unwrap();
+        let audited = joint
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(kernel).health(strict.clone()),
+            )
+            .unwrap();
+        assert_eq!(audited.y, clean.y, "joint {kernel:?}");
+        assert_eq!(audited.ll_trace, clean.ll_trace, "joint {kernel:?}");
+    }
+
+    let mut gmm_cfg = GmmConfig::new(2);
+    gmm_cfg.sweeps = 8;
+    let gmm = GmmModel::new(gmm_cfg).unwrap();
+    for kernel in [GibbsKernel::Serial, GibbsKernel::Parallel] {
+        let clean = gmm
+            .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+            .unwrap();
+        let audited = gmm
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(kernel).health(strict.clone()),
+            )
+            .unwrap();
+        assert_eq!(audited.assignments, clean.assignments, "gmm {kernel:?}");
+        assert_eq!(audited.ll_trace, clean.ll_trace, "gmm {kernel:?}");
+    }
+}

@@ -249,10 +249,7 @@ fn sweep_schema_continues_across_checkpoint_resume_boundary() {
         .iter()
         .map(|e| e.field_f64("ll").unwrap())
         .collect();
-    let resumed_ll: Vec<f64> = resumed
-        .iter()
-        .map(|e| e.field_f64("ll").unwrap())
-        .collect();
+    let resumed_ll: Vec<f64> = resumed.iter().map(|e| e.field_f64("ll").unwrap()).collect();
     assert_eq!(resumed_ll, tail, "resumed sweeps must match bit-for-bit");
 }
 
@@ -260,7 +257,9 @@ fn sweep_schema_continues_across_checkpoint_resume_boundary() {
 fn disabled_obs_emits_nothing_and_matches_plain_fit() {
     let docs = two_cluster_docs(10);
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
-    let plain = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+    let plain = model
+        .fit_with(&mut rng(), &docs, FitOptions::new())
+        .unwrap();
     let mut disabled = Obs::disabled();
     let observed = model
         .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut disabled))

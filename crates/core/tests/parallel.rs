@@ -125,7 +125,10 @@ fn gmm_cached_and_uncached_fits_are_bit_identical() {
                 FitOptions::new().threads(threads).predictive_cache(false),
             )
             .unwrap();
-        assert_eq!(cached.assignments, uncached.assignments, "threads={threads}");
+        assert_eq!(
+            cached.assignments, uncached.assignments,
+            "threads={threads}"
+        );
         assert_eq!(cached.ll_trace, uncached.ll_trace, "threads={threads}");
         assert_eq!(cached.counts, uncached.counts, "threads={threads}");
     }
@@ -141,7 +144,9 @@ fn serial_kernel_matches_legacy_fit() {
     let docs = banded_docs(200);
     let model = JointTopicModel::new(joint_config()).unwrap();
     let legacy = model.fit(&mut rng(), &docs).unwrap();
-    let with_opts = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+    let with_opts = model
+        .fit_with(&mut rng(), &docs, FitOptions::new())
+        .unwrap();
     assert_eq!(legacy.y, with_opts.y);
     assert_eq!(legacy.ll_trace, with_opts.ll_trace);
 }

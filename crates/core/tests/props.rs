@@ -1,13 +1,16 @@
 //! Property-based tests for the inference engines: whatever the corpus
-//! shape, fitted models must produce valid probability objects.
+//! shape, fitted models must produce valid probability objects — and
+//! the health auditor accepts exactly the states real bookkeeping can
+//! reach.
 
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::collapsed::CollapsedJointModel;
+use rheotex_core::counts::TopicCounts;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{audit_topic_counts, FitOptions, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_linalg::Vector;
 
 /// Strategy: a small random corpus with valid dimensions. Terms ∈ [0, 6),
@@ -111,5 +114,116 @@ proptest! {
         prop_assert_eq!(gmm.assignments.len(), docs.len());
         prop_assert_eq!(gmm.counts.iter().sum::<usize>(), docs.len());
         prop_assert!(gmm.assignments.iter().all(|&a| a < 3));
+    }
+}
+
+/// Strategy: a count-store shape `(docs, topics, vocab)` plus a
+/// non-empty token stream within its bounds, each token a
+/// `(doc, word, topic)` triple.
+fn store_tokens() -> impl Strategy<Value = (usize, usize, usize, Vec<(usize, usize, usize)>)> {
+    (1usize..8, 2usize..6, 1usize..8).prop_flat_map(|(d, k, v)| {
+        proptest::collection::vec((0..d, 0..v, 0..k), 1..40)
+            .prop_map(move |tokens| (d, k, v, tokens))
+    })
+}
+
+/// Replays `tokens` through the real bookkeeping; every state built
+/// this way is reachable by an actual Gibbs sweep.
+fn build_counts(
+    d: usize,
+    k: usize,
+    v: usize,
+    tokens: &[(usize, usize, usize)],
+    tracked: bool,
+) -> (TopicCounts, Vec<usize>) {
+    let mut counts = TopicCounts::new(d, k, v);
+    if tracked {
+        counts.enable_tracking();
+    }
+    let mut doc_lens = vec![0usize; d];
+    for &(doc, w, t) in tokens {
+        counts.inc(doc, w, t);
+        doc_lens[doc] += 1;
+    }
+    (counts, doc_lens)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The deep auditor has no false positives: any state reachable
+    /// through the real `inc` bookkeeping passes, with or without the
+    /// sparse kernel's nonzero-list tracking.
+    #[test]
+    fn audit_accepts_reachable_states(
+        (d, k, v, tokens) in store_tokens(),
+        tracked in any::<bool>(),
+    ) {
+        let (counts, doc_lens) = build_counts(d, k, v, &tokens, tracked);
+        prop_assert!(audit_topic_counts(&counts, &doc_lens).is_ok());
+    }
+
+    /// No false negatives on unbalanced updates: one `inc` or `dec`
+    /// with no matching token leaves the store inconsistent with the
+    /// corpus, and the audit must say so.
+    #[test]
+    fn audit_flags_unbalanced_single_updates(
+        (d, k, v, tokens) in store_tokens(),
+        idx in any::<proptest::sample::Index>(),
+        tracked in any::<bool>(),
+        extra_inc in any::<bool>(),
+    ) {
+        let (mut counts, doc_lens) = build_counts(d, k, v, &tokens, tracked);
+        let (doc, w, t) = tokens[idx.index(tokens.len())];
+        if extra_inc {
+            counts.inc(doc, w, t);
+        } else {
+            counts.dec(doc, w, t);
+        }
+        prop_assert!(audit_topic_counts(&counts, &doc_lens).is_err());
+    }
+}
+
+/// The raw-corruption direction needs the chaos doors on `TopicCounts`,
+/// which only exist under `--features fault-inject`.
+#[cfg(feature = "fault-inject")]
+mod audit_corruption {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// A single-cell write to the doc-topic table with no mirror
+        /// bookkeeping (the supervisor's fault model) always trips the
+        /// audit's row-sum check.
+        #[test]
+        fn audit_flags_doc_topic_cell_corruption(
+            (d, k, v, tokens) in store_tokens(),
+            idx in any::<proptest::sample::Index>(),
+            tracked in any::<bool>(),
+            delta in 1u32..9,
+        ) {
+            let (mut counts, doc_lens) = build_counts(d, k, v, &tokens, tracked);
+            let (doc, _, topic) = tokens[idx.index(tokens.len())];
+            counts.corrupt_doc_topic(doc, topic, delta);
+            prop_assert!(audit_topic_counts(&counts, &doc_lens).is_err());
+        }
+
+        /// A sum-preserving token shift that skips nonzero-list upkeep
+        /// is invisible to every sum invariant; whenever the shift moves
+        /// some cell across zero, the stale list must betray it.
+        #[test]
+        fn audit_flags_stale_nonzero_lists(
+            (d, k, v, tokens) in store_tokens(),
+            idx in any::<proptest::sample::Index>(),
+        ) {
+            let (mut counts, doc_lens) = build_counts(d, k, v, &tokens, true);
+            let (doc, w, from) = tokens[idx.index(tokens.len())];
+            let to = (0..k)
+                .find(|&t| t != from && (counts.dk(doc, t) == 0 || counts.kw(t, w) == 0));
+            prop_assume!(to.is_some());
+            counts.corrupt_shift_token(doc, w, from, to.unwrap());
+            prop_assert!(audit_topic_counts(&counts, &doc_lens).is_err());
+        }
     }
 }

@@ -11,9 +11,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::MemoryCheckpointSink;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{
-    FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc, ModelError,
-};
+use rheotex_core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc, ModelError};
 use rheotex_linalg::Vector;
 
 fn rng() -> ChaCha8Rng {
@@ -81,7 +79,9 @@ fn sparse_joint_fit_is_byte_identical_for_a_seed() {
 fn sparse_and_serial_kernels_agree_statistically() {
     let docs = two_cluster_docs(40);
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
-    let serial = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+    let serial = model
+        .fit_with(&mut rng(), &docs, FitOptions::new())
+        .unwrap();
     let sparse = model
         .fit_with(
             &mut rng(),

@@ -95,10 +95,18 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<(Vec<Recipe>, Vec<usize>), Corpu
 }
 
 /// One malformed JSONL line, set aside instead of aborting the read.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializes to one JSON object per line in the `quarantine.jsonl`
+/// sidecar (see [`write_quarantine_jsonl`]), so a million-recipe ingest
+/// leaves an auditable ledger of exactly which bytes were skipped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuarantinedLine {
     /// 1-based line number in the input.
     pub lineno: usize,
+    /// Byte offset of the line's first byte in the input stream —
+    /// `dd skip=OFFSET` / `seek` straight to the damage without
+    /// re-counting newlines.
+    pub byte_offset: u64,
     /// Why the line failed to parse.
     pub reason: String,
 }
@@ -175,10 +183,23 @@ pub fn read_jsonl_lenient<R: Read>(
     let mut labels = Vec::new();
     let mut all_labeled = true;
     let mut report = QuarantineReport::default();
-    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line.map_err(|e| CorpusError::InvalidConfig {
-            what: format!("read line {}: {e}", lineno + 1),
-        })?;
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut offset = 0u64;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| CorpusError::InvalidConfig {
+                what: format!("read line {}: {e}", lineno + 1),
+            })?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let byte_offset = offset;
+        offset += n as u64;
         if line.trim().is_empty() {
             continue;
         }
@@ -187,7 +208,8 @@ pub fn read_jsonl_lenient<R: Read>(
             Ok(record) => record,
             Err(e) => {
                 report.lines.push(QuarantinedLine {
-                    lineno: lineno + 1,
+                    lineno,
+                    byte_offset,
                     reason: e.to_string(),
                 });
                 continue;
@@ -234,6 +256,48 @@ pub fn load_corpus_lenient(
         what: format!("open {}: {e}", path.display()),
     })?;
     read_jsonl_lenient(file, max_bad_ratio)
+}
+
+/// Writes a quarantine ledger as JSON lines — one object per
+/// quarantined input line, carrying `lineno`, `byte_offset`, and
+/// `reason`. The sidecar is written even when the ledger is empty, so
+/// downstream tooling can distinguish "clean ingest" from "nobody
+/// checked".
+///
+/// # Errors
+/// Serialization and I/O failures as [`CorpusError::InvalidConfig`].
+pub fn write_quarantine_jsonl<W: Write>(
+    writer: W,
+    report: &QuarantineReport,
+) -> Result<(), CorpusError> {
+    let mut w = BufWriter::new(writer);
+    for line in &report.lines {
+        let json = serde_json::to_string(line).map_err(|e| CorpusError::InvalidConfig {
+            what: format!("serialize quarantined line {}: {e}", line.lineno),
+        })?;
+        writeln!(w, "{json}").map_err(|e| CorpusError::InvalidConfig {
+            what: format!("write quarantine: {e}"),
+        })?;
+    }
+    w.flush().map_err(|e| CorpusError::InvalidConfig {
+        what: format!("flush quarantine: {e}"),
+    })
+}
+
+/// Convenience: writes the quarantine sidecar to a file. See
+/// [`write_quarantine_jsonl`].
+///
+/// # Errors
+/// File-creation failures as [`CorpusError::InvalidConfig`]; otherwise
+/// as [`write_quarantine_jsonl`].
+pub fn save_quarantine(
+    path: &std::path::Path,
+    report: &QuarantineReport,
+) -> Result<(), CorpusError> {
+    let file = std::fs::File::create(path).map_err(|e| CorpusError::InvalidConfig {
+        what: format!("create {}: {e}", path.display()),
+    })?;
+    write_quarantine_jsonl(file, report)
 }
 
 /// Convenience: writes a [`SynthCorpus`] to a file.
@@ -352,6 +416,48 @@ mod tests {
         assert_eq!(read.report.lines[1].lineno, 5);
         assert!(!read.report.lines[0].reason.is_empty());
         assert!((read.report.bad_ratio() - 0.5).abs() < 1e-12);
+        // Byte offsets point at the first byte of each quarantined line.
+        assert_eq!(
+            read.report.lines[0].byte_offset,
+            lines.find("not json").unwrap() as u64
+        );
+        assert_eq!(
+            read.report.lines[1].byte_offset,
+            lines.find(r#"{"id":3"#).unwrap() as u64
+        );
+    }
+
+    #[test]
+    fn quarantine_sidecar_roundtrips() {
+        let lines = concat!(
+            "mangled\n",
+            r#"{"id":1,"title":"a","description":"d","ingredients":[]}"#,
+            "\n",
+            "also mangled\n",
+        );
+        let read = read_jsonl_lenient(lines.as_bytes(), 1.0).unwrap();
+        assert_eq!(read.report.quarantined(), 2);
+
+        let mut sidecar = Vec::new();
+        write_quarantine_jsonl(&mut sidecar, &read.report).unwrap();
+        let text = String::from_utf8(sidecar).unwrap();
+        let parsed: Vec<QuarantinedLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, read.report.lines);
+        assert_eq!(parsed[0].lineno, 1);
+        assert_eq!(parsed[0].byte_offset, 0);
+        assert_eq!(parsed[1].lineno, 3);
+        assert_eq!(
+            parsed[1].byte_offset,
+            lines.find("also mangled").unwrap() as u64
+        );
+
+        // An empty ledger still writes an (empty) sidecar.
+        let mut empty = Vec::new();
+        write_quarantine_jsonl(&mut empty, &QuarantineReport::default()).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

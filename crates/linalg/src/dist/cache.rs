@@ -198,7 +198,9 @@ mod tests {
         let mut cache = PredictiveCache::new(1);
         let fresh = predictive(&prior, &stats);
         let cached = cache
-            .get_or_try_build(0, || Ok::<_, crate::LinalgError>(predictive(&prior, &stats)))
+            .get_or_try_build(0, || {
+                Ok::<_, crate::LinalgError>(predictive(&prior, &stats))
+            })
             .unwrap()
             .clone();
         let hit = cache
@@ -333,7 +335,9 @@ mod tests {
         let stats = GaussianStats::new(2);
         let mut cache = PredictiveCache::new(1);
         cache
-            .get_or_try_build(0, || Ok::<_, crate::LinalgError>(predictive(&prior, &stats)))
+            .get_or_try_build(0, || {
+                Ok::<_, crate::LinalgError>(predictive(&prior, &stats))
+            })
             .unwrap();
         cache.reset_stats();
         assert_eq!((cache.lookups(), cache.hits()), (0, 0));

@@ -123,7 +123,11 @@ pub fn bulk_ess(chains: &[Vec<f64>]) -> Option<f64> {
         if b > max_lag {
             break;
         }
-        let p = if k == 0 { 1.0 + rho(1) } else { rho(a) + rho(b) };
+        let p = if k == 0 {
+            1.0 + rho(1)
+        } else {
+            rho(a) + rho(b)
+        };
         if p <= 0.0 {
             break;
         }
@@ -331,7 +335,9 @@ mod tests {
         // chains (a fixed LCG so the test is bit-stable).
         let mut state = 42u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
         };
         let chains: Vec<Vec<f64>> = (0..4).map(|_| (0..64).map(|_| noise()).collect()).collect();
@@ -379,7 +385,11 @@ mod tests {
         // First half wildly off, second half constant-ish: with 50%
         // warmup only the settled tail is diagnosed.
         for sweep in 0..16 {
-            let v = if sweep < 8 { -1000.0 + f64::from(sweep) } else { 5.0 };
+            let v = if sweep < 8 {
+                -1000.0 + f64::from(sweep)
+            } else {
+                5.0
+            };
             traces.push("ll", 0, v);
         }
         let diag = &traces.diagnose(0.5)[0];

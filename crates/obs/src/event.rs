@@ -119,6 +119,10 @@ pub enum EventKind {
     /// parallel chunk timings, …); carries a `kernel` discriminator
     /// plus kernel-dependent numeric fields.
     Profile,
+    /// A fitting-supervisor health event (sentinel trip, audit verdict,
+    /// rollback, kernel degradation, …); carries `engine`, `sweep`,
+    /// `retries`, and a human-readable `detail`.
+    Health,
 }
 
 impl EventKind {
@@ -134,6 +138,7 @@ impl EventKind {
             Self::Sweep => "sweep",
             Self::Convergence => "convergence",
             Self::Profile => "profile",
+            Self::Health => "health",
         }
     }
 }

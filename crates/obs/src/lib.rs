@@ -29,7 +29,7 @@
 //! bulk ESS over multi-chain scalar traces ([`ChainTraces`]), and
 //! [`report`] parses one or more metrics JSONL files (via the
 //! dependency-free [`json`] parser) back into a [`RunReport`] — a
-//! human-readable run report plus the machine `rheotex.report/1`
+//! human-readable run report plus the machine `rheotex.report/2`
 //! document.
 //!
 //! ```
@@ -67,4 +67,6 @@ pub use recorder::{Obs, Recorder, Span};
 pub use report::RunReport;
 pub use sinks::{JsonlSink, MemorySink, ProgressSink};
 pub use summary::{Summary, TimerStat};
-pub use sweep::{KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats, VecObserver};
+pub use sweep::{
+    HealthEvent, KernelProfile, NullObserver, PhaseTimer, SweepObserver, SweepStats, VecObserver,
+};

@@ -1,6 +1,6 @@
 //! Run reports: parse one or more metrics JSONL files (the
 //! [`crate::sinks::JsonlSink`] output) back into an aggregate view — a
-//! human-readable report plus the machine `rheotex.report/1` document.
+//! human-readable report plus the machine `rheotex.report/2` document.
 //!
 //! The builder is wire-driven: it only needs the stable JSONL schema
 //! (kind / name / fields), so reports work across binaries and PRs and
@@ -155,6 +155,13 @@ pub struct RunReport {
     pub convergence: Vec<TraceDiagnostic>,
     /// R̂ acceptance threshold used for verdicts (default 1.05).
     pub rhat_threshold: f64,
+    /// Fitting-supervisor health events by action name (`sentinel_trip`,
+    /// `rollback`, `recovered`, …), counted across all sources. Empty
+    /// for a run with no health monitoring or no incidents.
+    pub health: BTreeMap<String, u64>,
+    /// Details of the most consequential health events (sentinel trips,
+    /// audit failures, aborts), capped to keep reports bounded.
+    pub health_details: Vec<String>,
 }
 
 impl RunReport {
@@ -167,14 +174,17 @@ impl RunReport {
         let mut engines: BTreeMap<String, EngineAcc> = BTreeMap::new();
         let mut stages: BTreeMap<String, PhaseStat> = BTreeMap::new();
         let mut explicit: Vec<TraceDiagnostic> = Vec::new();
+        let mut health: BTreeMap<String, u64> = BTreeMap::new();
+        let mut health_details: Vec<String> = Vec::new();
+        const MAX_HEALTH_DETAILS: usize = 32;
 
         for (file_idx, (label, contents)) in sources.iter().enumerate() {
             for (line_no, line) in contents.lines().enumerate() {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let event = parse_json(line)
-                    .map_err(|e| format!("{label}:{}: {e}", line_no + 1))?;
+                let event =
+                    parse_json(line).map_err(|e| format!("{label}:{}: {e}", line_no + 1))?;
                 let Some(kind) = event.get("kind").and_then(Json::as_str) else {
                     continue;
                 };
@@ -182,7 +192,10 @@ impl RunReport {
                     continue;
                 };
                 let field = |key: &str| -> Option<f64> {
-                    event.get("fields").and_then(|f| f.get(key)).and_then(Json::as_f64)
+                    event
+                        .get("fields")
+                        .and_then(|f| f.get(key))
+                        .and_then(Json::as_f64)
                 };
                 match kind {
                     "sweep" => {
@@ -192,13 +205,12 @@ impl RunReport {
                         let acc = engines.entry(engine.to_string()).or_default();
                         let chain = field("chain").map_or(file_idx, |c| c as usize);
                         let elapsed = field("elapsed_us").unwrap_or(0.0).max(0.0) as u64;
-                        let entry =
-                            acc.chains.entry(chain).or_insert_with(|| ChainReport {
-                                chain,
-                                sweeps: 0,
-                                total_sweep_us: 0,
-                                final_ll: f64::NAN,
-                            });
+                        let entry = acc.chains.entry(chain).or_insert_with(|| ChainReport {
+                            chain,
+                            sweeps: 0,
+                            total_sweep_us: 0,
+                            final_ll: f64::NAN,
+                        });
                         entry.sweeps += 1;
                         entry.total_sweep_us += elapsed;
                         if let Some(ll) = field("ll") {
@@ -258,6 +270,27 @@ impl RunReport {
                         if name.starts_with("stage.") {
                             let us = field("duration_us").unwrap_or(0.0).max(0.0) as u64;
                             stages.entry(name.to_string()).or_default().add(us);
+                        }
+                    }
+                    "health" => {
+                        let action = name.strip_prefix("health.").unwrap_or(name);
+                        *health.entry(action.to_string()).or_default() += 1;
+                        if matches!(action, "sentinel_trip" | "audit_fail" | "abort" | "degrade")
+                            && health_details.len() < MAX_HEALTH_DETAILS
+                        {
+                            let engine = event
+                                .get("fields")
+                                .and_then(|f| f.get("engine"))
+                                .and_then(Json::as_str)
+                                .unwrap_or("?");
+                            let sweep = field("sweep").unwrap_or(-1.0);
+                            let detail = event
+                                .get("fields")
+                                .and_then(|f| f.get("detail"))
+                                .and_then(Json::as_str)
+                                .unwrap_or("");
+                            health_details
+                                .push(format!("{action} [{engine} sweep {sweep:.0}]: {detail}"));
                         }
                     }
                     "convergence" => {
@@ -323,7 +356,20 @@ impl RunReport {
             stages,
             convergence,
             rhat_threshold: 1.05,
+            health,
+            health_details,
         })
+    }
+
+    /// Health rollup: `Some(true)` when the run saw incidents and every
+    /// one was recovered (no `abort`), `Some(false)` when an `abort` was
+    /// recorded, `None` when no health events exist at all.
+    #[must_use]
+    pub fn health_ok(&self) -> Option<bool> {
+        if self.health.is_empty() {
+            return None;
+        }
+        Some(!self.health.contains_key("abort"))
     }
 
     /// Overall verdict: `Some(true)` when every diagnosed trace passes
@@ -480,6 +526,22 @@ impl RunReport {
             }
         }
 
+        if !self.health.is_empty() {
+            let verdict = match self.health_ok() {
+                Some(true) => "RECOVERED",
+                Some(false) => "ABORTED",
+                None => "n/a",
+            };
+            let total: u64 = self.health.values().sum();
+            let _ = writeln!(out, "\nhealth: {total} event(s), outcome {verdict}");
+            for (action, count) in &self.health {
+                let _ = writeln!(out, "  {action}: {count}");
+            }
+            for detail in &self.health_details {
+                let _ = writeln!(out, "  - {detail}");
+            }
+        }
+
         if !self.stages.is_empty() {
             let _ = writeln!(out, "\npipeline stages");
             let width = self.stages.keys().map(String::len).max().unwrap_or(5);
@@ -496,12 +558,12 @@ impl RunReport {
         out
     }
 
-    /// Serializes the machine report (schema `rheotex.report/1`).
+    /// Serializes the machine report (schema `rheotex.report/2`).
     #[must_use]
     #[allow(clippy::too_many_lines)]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"schema\":\"rheotex.report/1\"");
+        out.push_str("{\"schema\":\"rheotex.report/2\"");
         let _ = write!(out, ",\"rhat_threshold\":{}", self.rhat_threshold);
         out.push_str(",\"sources\":[");
         for (i, s) in self.sources.iter().enumerate() {
@@ -642,7 +704,28 @@ impl RunReport {
                 stat.total_us, stat.count
             );
         }
-        out.push_str("]}");
+        out.push_str("],\"health\":{\"ok\":");
+        match self.health_ok() {
+            Some(true) => out.push_str("true"),
+            Some(false) => out.push_str("false"),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"actions\":{");
+        for (i, (action, count)) in self.health.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, action);
+            let _ = write!(out, ":{count}");
+        }
+        out.push_str("},\"details\":[");
+        for (i, detail) in self.health_details.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, detail);
+        }
+        out.push_str("]}}");
         out
     }
 }
@@ -726,8 +809,7 @@ mod tests {
 
     #[test]
     fn aggregates_sweeps_phases_and_chains() {
-        let report =
-            RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
+        let report = RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
         assert_eq!(report.engines.len(), 1);
         let e = &report.engines[0];
         assert_eq!(e.engine, "joint");
@@ -762,8 +844,7 @@ mod tests {
                 draws: 12,
             },
         );
-        let report =
-            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        let report = RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
         assert_eq!(report.convergence.len(), 1);
         assert_eq!(report.convergence[0].metric, "ll");
         assert_eq!(report.converged(), Some(true));
@@ -814,8 +895,7 @@ mod tests {
             alloc_bytes: 2048,
         });
         p.emit_to(&obs, None);
-        let report =
-            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        let report = RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
         let lda = report.engines.iter().find(|e| e.engine == "lda").unwrap();
         assert_eq!(lda.kernel.as_deref(), Some("sparse"));
         assert!((lda.profile["q_frac"] - 0.5).abs() < 1e-12);
@@ -837,21 +917,19 @@ mod tests {
         let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
         obs.span("stage.fit").finish();
         obs.span("stage.corpus").finish();
-        let report =
-            RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        let report = RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
         assert_eq!(report.stages.len(), 2);
         assert!(report.stages.contains_key("stage.fit"));
     }
 
     #[test]
     fn machine_report_is_valid_json_with_schema() {
-        let report =
-            RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
+        let report = RunReport::from_sources(&[("m.jsonl".into(), two_chain_source())]).unwrap();
         let json = report.to_json();
         let doc = parse_json(&json).expect("report.json parses");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("rheotex.report/1")
+            Some("rheotex.report/2")
         );
         let engines = doc.get("engines").and_then(Json::as_array).unwrap();
         assert_eq!(engines.len(), 1);
@@ -866,9 +944,77 @@ mod tests {
     }
 
     #[test]
+    fn health_events_roll_up_into_report() {
+        use crate::sweep::HealthEvent;
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        for (action, detail) in [
+            ("audit_fail", "doc 3 topic-count sum mismatch"),
+            ("rollback", "restored sweep 8 snapshot"),
+            ("recovered", "sweep 9 clean after retry 1"),
+        ] {
+            HealthEvent {
+                engine: "lda",
+                sweep: 9,
+                action,
+                detail: detail.into(),
+                retries: 1,
+            }
+            .emit_to(&obs, None);
+        }
+        let report = RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        assert_eq!(report.health["audit_fail"], 1);
+        assert_eq!(report.health["rollback"], 1);
+        assert_eq!(report.health_ok(), Some(true));
+        assert_eq!(report.health_details.len(), 1);
+        assert!(report.health_details[0].contains("audit_fail [lda sweep 9]"));
+        let rendered = report.render();
+        assert!(
+            rendered.contains("health: 3 event(s), outcome RECOVERED"),
+            "{rendered}"
+        );
+        let doc = parse_json(&report.to_json()).unwrap();
+        let health = doc.get("health").unwrap();
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            health
+                .get("actions")
+                .and_then(|a| a.get("rollback"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn abort_health_event_fails_the_rollup() {
+        use crate::sweep::HealthEvent;
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        HealthEvent {
+            engine: "joint",
+            sweep: 4,
+            action: "abort",
+            detail: "retries exhausted".into(),
+            retries: 3,
+        }
+        .emit_to(&obs, None);
+        let report = RunReport::from_sources(&[("m.jsonl".into(), jsonl_of(&sink))]).unwrap();
+        assert_eq!(report.health_ok(), Some(false));
+        assert!(report.render().contains("ABORTED"));
+        // No health events at all: the rollup is undefined, and the
+        // machine report still carries an (empty) health object.
+        let empty = RunReport::from_sources(&[("e.jsonl".into(), String::new())]).unwrap();
+        assert_eq!(empty.health_ok(), None);
+        let doc = parse_json(&empty.to_json()).unwrap();
+        assert_eq!(
+            doc.get("health").and_then(|h| h.get("ok")),
+            Some(&Json::Null)
+        );
+    }
+
+    #[test]
     fn malformed_lines_are_reported_with_location() {
-        let err = RunReport::from_sources(&[("bad.jsonl".into(), "{oops".into())])
-            .unwrap_err();
+        let err = RunReport::from_sources(&[("bad.jsonl".into(), "{oops".into())]).unwrap_err();
         assert!(err.starts_with("bad.jsonl:1:"), "{err}");
     }
 

@@ -248,6 +248,54 @@ impl SweepStats {
     }
 }
 
+/// One fitting-supervisor health event: a sentinel trip, an invariant
+/// audit verdict, a recovery step (rollback / retry / kernel
+/// degradation), or a terminal abort. Emitted by the health monitor in
+/// `rheotex-core` through [`SweepObserver::on_health`] and serialized as
+/// `health.{action}` events of kind `health` (see README § Observability
+/// for the wire schema).
+///
+/// Unlike sweep statistics, health events are *always* delivered, even
+/// when [`SweepObserver::enabled`] is false: a recovery action changes
+/// the run's semantics and must not be silently droppable by a disabled
+/// metrics pipeline (the [`NullObserver`] still discards them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Engine label: `"joint"`, `"lda"`, `"gmm"`, or `"collapsed"`.
+    pub engine: &'static str,
+    /// Sweep index the event refers to (the sweep just completed or
+    /// being retried), 0-based.
+    pub sweep: usize,
+    /// Stable action name: `sentinel_trip`, `audit_pass`, `audit_fail`,
+    /// `rollback`, `degrade`, `recovered`, `checkpoint_retry`, `abort`.
+    pub action: &'static str,
+    /// Human-readable description of what tripped or what was done.
+    pub detail: String,
+    /// Recovery retries consumed so far for the current incident
+    /// (0 outside a recovery episode).
+    pub retries: usize,
+}
+
+impl HealthEvent {
+    /// Emits this event onto an [`Obs`] pipeline as a `health.{action}`
+    /// event (tagged with `chain` when given).
+    pub fn emit_to(&self, obs: &Obs, chain: Option<usize>) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let mut fields = vec![
+            Field::new("engine", self.engine),
+            Field::new("sweep", self.sweep),
+            Field::new("retries", self.retries),
+            Field::new("detail", self.detail.clone()),
+        ];
+        if let Some(c) = chain {
+            fields.push(Field::new("chain", c));
+        }
+        obs.emit(EventKind::Health, format!("health.{}", self.action), fields);
+    }
+}
+
 /// Times the named phases of one Gibbs sweep. A disabled timer (the
 /// no-observer case) runs the closure straight through — no clock reads,
 /// no allocation — so the sampler hot path keeps its disabled-recorder
@@ -281,8 +329,7 @@ impl PhaseTimer {
         }
         let start = Instant::now();
         let out = f();
-        self.phases
-            .push((name, start.elapsed().as_micros() as u64));
+        self.phases.push((name, start.elapsed().as_micros() as u64));
         out
     }
 
@@ -311,6 +358,13 @@ pub trait SweepObserver {
 
     /// Called once after every completed sweep.
     fn on_sweep(&mut self, stats: &SweepStats);
+
+    /// Called by the fitting supervisor whenever a health sentinel
+    /// trips, an invariant audit completes, or a recovery action runs.
+    /// Delivered regardless of [`SweepObserver::enabled`] — recovery
+    /// changes run semantics, so sinks that keep any record at all
+    /// should keep these. The default discards the event.
+    fn on_health(&mut self, _event: &HealthEvent) {}
 }
 
 /// The do-nothing observer used by un-instrumented `fit` entry points.
@@ -333,6 +387,10 @@ impl SweepObserver for Obs {
     fn on_sweep(&mut self, stats: &SweepStats) {
         stats.emit_to(self, None);
     }
+
+    fn on_health(&mut self, event: &HealthEvent) {
+        event.emit_to(self, None);
+    }
 }
 
 /// An observer that buffers every [`SweepStats`]; the sampler-level
@@ -341,11 +399,17 @@ impl SweepObserver for Obs {
 pub struct VecObserver {
     /// Collected statistics, one per sweep.
     pub sweeps: Vec<SweepStats>,
+    /// Collected health events, in emission order.
+    pub health: Vec<HealthEvent>,
 }
 
 impl SweepObserver for VecObserver {
     fn on_sweep(&mut self, stats: &SweepStats) {
         self.sweeps.push(stats.clone());
+    }
+
+    fn on_health(&mut self, event: &HealthEvent) {
+        self.health.push(event.clone());
     }
 }
 
@@ -523,5 +587,53 @@ mod tests {
         o.on_sweep(&stats(1));
         assert_eq!(o.sweeps.len(), 2);
         assert_eq!(o.sweeps[1].sweep, 1);
+    }
+
+    fn health_event() -> HealthEvent {
+        HealthEvent {
+            engine: "lda",
+            sweep: 7,
+            action: "rollback",
+            detail: "audit: doc 3 topic-count sum 5 != doc length 4".into(),
+            retries: 1,
+        }
+    }
+
+    #[test]
+    fn health_events_emit_with_kind_and_fields() {
+        let sink = MemorySink::default();
+        let mut obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        obs.on_health(&health_event());
+        let events = sink.events_of(EventKind::Health);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "health.rollback");
+        assert_eq!(
+            events[0].field("engine"),
+            Some(&crate::Value::Str("lda".into()))
+        );
+        assert_eq!(events[0].field_f64("sweep"), Some(7.0));
+        assert_eq!(events[0].field_f64("retries"), Some(1.0));
+        assert!(events[0].field("chain").is_none());
+        // The line is valid JSON with the stable wire kind.
+        let line = events[0].to_json_line();
+        assert!(line.contains("\"kind\":\"health\""), "{line}");
+    }
+
+    #[test]
+    fn health_chain_tag_and_vec_buffering() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        health_event().emit_to(&obs, Some(3));
+        assert_eq!(
+            sink.events_of(EventKind::Health)[0].field_f64("chain"),
+            Some(3.0)
+        );
+        let mut v = VecObserver::default();
+        v.on_health(&health_event());
+        assert_eq!(v.health.len(), 1);
+        assert_eq!(v.health[0].action, "rollback");
+        // Default trait impl discards without panicking.
+        let mut n = NullObserver;
+        n.on_health(&health_event());
     }
 }

@@ -48,6 +48,21 @@ pub enum ResilienceError {
     },
 }
 
+impl ResilienceError {
+    /// Whether retrying the same operation can plausibly succeed.
+    ///
+    /// Only [`ResilienceError::Io`] is transient: an OS read or write
+    /// can fail once (EINTR, NFS hiccup, contended rename) and work on
+    /// the next attempt. Every structural diagnosis — bad magic, version
+    /// skew, truncation, checksum or payload corruption, or a missing
+    /// file — describes the bytes on disk, which a retry will read back
+    /// unchanged; retrying those only delays the inevitable error.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Io { .. })
+    }
+}
+
 impl fmt::Display for ResilienceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -72,6 +87,27 @@ impl Error for ResilienceError {}
 #[cfg(test)]
 mod tests {
     use super::ResilienceError;
+
+    #[test]
+    fn only_io_errors_are_transient() {
+        assert!(ResilienceError::Io {
+            what: "read: EINTR".into()
+        }
+        .is_transient());
+        for permanent in [
+            ResilienceError::BadMagic,
+            ResilienceError::UnsupportedVersion { found: 99 },
+            ResilienceError::Truncated,
+            ResilienceError::CrcMismatch {
+                expected: 1,
+                found: 2,
+            },
+            ResilienceError::Corrupt { what: "x".into() },
+            ResilienceError::NoCheckpoint { path: "/p".into() },
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must be permanent");
+        }
+    }
 
     #[test]
     fn displays_are_descriptive() {

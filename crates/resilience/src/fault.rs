@@ -35,6 +35,8 @@ pub struct FaultPlan {
     writes: AtomicU64,
     fail_writes: BTreeSet<u64>,
     truncate_writes: BTreeSet<u64>,
+    reads: AtomicU64,
+    fail_reads: BTreeSet<u64>,
 }
 
 impl FaultPlan {
@@ -54,6 +56,27 @@ impl FaultPlan {
     pub fn truncate_write(mut self, n: u64) -> Self {
         self.truncate_writes.insert(n);
         self
+    }
+
+    /// Schedules the `n`-th load (0-based) to fail with a *transient*
+    /// I/O error before any bytes are read — the fault the bounded
+    /// retry in [`CheckpointStore::load_with_retry`]
+    /// (crate::CheckpointStore::load_with_retry) exists to absorb.
+    pub fn fail_read(mut self, n: u64) -> Self {
+        self.fail_reads.insert(n);
+        self
+    }
+
+    /// Consumes one read slot and reports whether it was scheduled to
+    /// fail.
+    pub fn on_read(&self) -> bool {
+        let n = self.reads.fetch_add(1, Ordering::SeqCst);
+        self.fail_reads.contains(&n)
+    }
+
+    /// Number of reads the plan has adjudicated so far.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
     }
 
     /// Consumes one write slot and reports the fault (if any) scheduled
@@ -131,6 +154,14 @@ mod tests {
                 WriteFault::None,
             ]
         );
+    }
+
+    #[test]
+    fn read_schedule_fires_on_exact_occurrences() {
+        let plan = FaultPlan::new().fail_read(0).fail_read(2);
+        let seen: Vec<bool> = (0..4).map(|_| plan.on_read()).collect();
+        assert_eq!(seen, vec![true, false, true, false]);
+        assert_eq!(plan.reads_seen(), 4);
     }
 
     #[test]

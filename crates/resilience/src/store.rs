@@ -132,6 +132,12 @@ impl CheckpointStore {
     /// [`ResilienceError::Corrupt`]) when it is present but unusable.
     pub fn load(&self) -> Result<SamplerSnapshot> {
         let path = self.checkpoint_path();
+        #[cfg(feature = "fault-inject")]
+        if self.faults.as_ref().is_some_and(FaultPlan::on_read) {
+            return Err(ResilienceError::Io {
+                what: format!("read {}: injected read failure", path.display()),
+            });
+        }
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -149,6 +155,40 @@ impl CheckpointStore {
         serde_json::from_slice(payload).map_err(|e| ResilienceError::Corrupt {
             what: format!("deserialize snapshot: {e}"),
         })
+    }
+
+    /// [`CheckpointStore::load`] with bounded retry of *transient*
+    /// failures (see [`ResilienceError::is_transient`]).
+    ///
+    /// Up to `max_retries` extra attempts are made; before each retry
+    /// the `backoff` hook is called with the 0-based index of the retry
+    /// about to run. Production callers put the sleep there; tests pass
+    /// a recording closure, which keeps the retry loop itself fully
+    /// deterministic. Permanent diagnoses (bad magic, CRC mismatch,
+    /// corrupt payload, missing file, …) return immediately — retrying
+    /// them would reread the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error when every attempt fails, or the first
+    /// permanent error encountered.
+    pub fn load_with_retry(
+        &self,
+        max_retries: usize,
+        mut backoff: impl FnMut(usize),
+    ) -> Result<SamplerSnapshot> {
+        let mut last = None;
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                backoff(attempt - 1);
+            }
+            match self.load() {
+                Ok(snapshot) => return Ok(snapshot),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("loop ran at least once"))
     }
 }
 

@@ -146,6 +146,82 @@ fn torn_write_with_no_later_save_leaves_a_typed_load_error() {
     );
 }
 
+/// A healthy early snapshot for the read-retry tests.
+fn early_snapshot() -> SamplerSnapshot {
+    let docs = two_cluster_docs(10);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let mut sink = MemoryCheckpointSink::new(5);
+    model
+        .fit_checkpointed(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            &mut NullObserver,
+            &mut sink,
+        )
+        .unwrap();
+    sink.snapshots[0].clone()
+}
+
+#[test]
+fn transient_read_failures_are_absorbed_by_bounded_retry() {
+    let snapshot = early_snapshot();
+    let store = CheckpointStore::new(scratch_dir("read-retry"));
+    store.save(&snapshot).unwrap();
+    // Re-open with the first two loads scheduled to fail transiently.
+    let store = CheckpointStore::new(store.dir().to_path_buf())
+        .with_faults(FaultPlan::new().fail_read(0).fail_read(1));
+
+    let mut backoffs = Vec::new();
+    let loaded = store
+        .load_with_retry(3, |retry| backoffs.push(retry))
+        .unwrap();
+    assert_eq!(loaded.next_sweep(), snapshot.next_sweep());
+    // Two failed attempts -> the backoff hook ran before retries 0 and 1.
+    assert_eq!(backoffs, vec![0, 1]);
+}
+
+#[test]
+fn read_retry_budget_exhaustion_surfaces_the_transient_error() {
+    let snapshot = early_snapshot();
+    let store = CheckpointStore::new(scratch_dir("read-retry-exhaust"));
+    store.save(&snapshot).unwrap();
+    let store = CheckpointStore::new(store.dir().to_path_buf())
+        .with_faults(FaultPlan::new().fail_read(0).fail_read(1).fail_read(2));
+
+    let mut backoffs = Vec::new();
+    let err = store
+        .load_with_retry(2, |retry| backoffs.push(retry))
+        .unwrap_err();
+    assert!(matches!(err, ResilienceError::Io { .. }), "{err:?}");
+    assert!(err.is_transient());
+    assert_eq!(backoffs, vec![0, 1]);
+}
+
+#[test]
+fn permanent_load_errors_are_never_retried() {
+    let snapshot = early_snapshot();
+    let store = CheckpointStore::new(scratch_dir("read-retry-permanent"));
+    store.save(&snapshot).unwrap();
+    // Tear the frame: the diagnosis is structural, not transient.
+    let path = store.checkpoint_path();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut backoffs = Vec::new();
+    let err = store
+        .load_with_retry(5, |retry| backoffs.push(retry))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ResilienceError::Truncated | ResilienceError::CrcMismatch { .. }
+        ),
+        "{err:?}"
+    );
+    assert!(!err.is_transient());
+    assert!(backoffs.is_empty(), "permanent errors must not back off");
+}
+
 #[test]
 fn corrupted_scatter_is_recovered_by_jitter_retries_on_resume() {
     let docs = two_cluster_docs(20);

@@ -43,8 +43,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::{JointSnapshot, SamplerSnapshot};
 use rheotex_core::{
-    ChainSet, FitOptions, FittedJointModel, GibbsKernel, JointConfig, JointTopicModel, ModelError,
-    TraceDiagnostic,
+    ChainSet, FitOptions, FittedJointModel, GibbsKernel, HealthPolicy, JointConfig,
+    JointTopicModel, ModelError, TraceDiagnostic,
 };
 use rheotex_corpus::synth::{generate, SynthConfig, SynthCorpus};
 use rheotex_corpus::{Dataset, DatasetFilter, IngredientDb, IngredientKind};
@@ -168,6 +168,20 @@ pub struct PipelineConfig {
     /// bit-identical to the single-chain fit. Multi-chain runs cannot
     /// be checkpointed.
     pub chains: usize,
+    /// Health supervision for the fit stage. `None` (the default) runs
+    /// unsupervised — the historical behaviour, bit-identical to every
+    /// earlier release. With a policy the fit runs per-sweep sentinels
+    /// and sampled count audits, and (policy permitting) rolls back to
+    /// the last good in-memory snapshot on a trip; see
+    /// [`rheotex_core::HealthPolicy`]. A healthy supervised run is
+    /// bit-identical to the unsupervised one.
+    pub health: Option<HealthPolicy>,
+    /// Multi-chain quorum: with [`PipelineConfig::chains`] `>= 2` and
+    /// this `>= 1`, the run survives as long as at least this many
+    /// chains fit successfully (unrecoverable chains are dropped and
+    /// reported). `0` (the default) requires every chain to succeed.
+    /// Ignored for single-chain runs.
+    pub min_chains: usize,
 }
 
 impl PipelineConfig {
@@ -200,6 +214,8 @@ impl PipelineConfig {
             threads: 0,
             kernel: None,
             chains: 1,
+            health: None,
+            min_chains: 0,
         }
     }
 
@@ -226,6 +242,8 @@ impl PipelineConfig {
             threads: 0,
             kernel: None,
             chains: 1,
+            health: None,
+            min_chains: 0,
         }
     }
 }
@@ -465,6 +483,9 @@ impl<'a> PipelineRun<'a> {
         if let Some(kernel) = config.kernel {
             span.set("kernel", kernel.to_string());
         }
+        if config.health.is_some() {
+            span.set("health", 1u64);
+        }
         if let Some(opts) = &self.checkpoint {
             span.set("checkpoint_every", opts.every as u64);
             span.set(
@@ -480,14 +501,21 @@ impl<'a> PipelineRun<'a> {
             // buffered sweeps replay onto the pipeline's Obs tagged with
             // their chain index, followed by the convergence events.
             span.set("chains", config.chains as u64);
-            let mut chain_set =
-                ChainSet::new(config.chains, fit_seed(config)).threads(config.threads);
+            let mut chain_set = ChainSet::new(config.chains, fit_seed(config))
+                .threads(config.threads)
+                .min_chains(config.min_chains);
             if let Some(kernel) = config.kernel {
                 chain_set = chain_set.kernel(kernel);
+            }
+            if let Some(policy) = &config.health {
+                chain_set = chain_set.health(policy.clone());
             }
             let chain_fit = chain_set.run(&model, &docs)?;
             chain_fit.replay(obs);
             span.set("best_chain", chain_fit.best as u64);
+            if !chain_fit.failed.is_empty() {
+                span.set("chains_dropped", chain_fit.failed.len() as u64);
+            }
             diagnostics = chain_fit.diagnostics.clone();
             chain_fit.into_best()
         } else {
@@ -497,6 +525,9 @@ impl<'a> PipelineRun<'a> {
                 .threads(config.threads);
             if let Some(kernel) = config.kernel {
                 options = options.kernel(kernel);
+            }
+            if let Some(policy) = &config.health {
+                options = options.health(policy.clone());
             }
             if let Some(s) = sink.as_mut() {
                 options = options.checkpoint(s);
@@ -881,6 +912,24 @@ mod tests {
         let multi_ll = out.model.ll_trace.last().copied().unwrap();
         assert!(multi_ll >= single_ll || out.model.y == single.model.y);
         assert!(single.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn supervised_healthy_fit_is_bit_identical_to_unsupervised() {
+        let config = PipelineConfig::small(150);
+        let plain = PipelineRun::new(&config).run().unwrap();
+        let mut supervised = config.clone();
+        supervised.health = Some(HealthPolicy::recover());
+        let out = PipelineRun::new(&supervised).run().unwrap();
+        assert_eq!(out.model.y, plain.model.y);
+        assert_eq!(out.model.ll_trace, plain.model.ll_trace);
+        // Quorum settings are inert on a healthy multi-chain run too.
+        let mut quorum = supervised;
+        quorum.chains = 2;
+        quorum.min_chains = 1;
+        quorum.sweeps = 20;
+        quorum.burn_in = 10;
+        assert!(PipelineRun::new(&quorum).run().is_ok());
     }
 
     #[test]
