@@ -1,9 +1,11 @@
 //! Gibbs sweep throughput of the joint topic model, as a function of
 //! corpus size and topic count — the cost driver of Table II(a) — plus
 //! the kernel comparison behind `BENCH_gibbs.json`: serial vs.
-//! deterministic parallel vs. sparse bucket sweeps (the latter scanned
-//! across K ∈ {8, 32, 128} on a wide-vocabulary LDA corpus), and cached
-//! vs. uncached Gaussian predictives.
+//! deterministic parallel vs. sparse bucket sweeps vs. the composed
+//! sparse-parallel kernel (the sparse rows scanned across
+//! K ∈ {8, 32, 128} on a wide-vocabulary LDA corpus, sparse-parallel
+//! additionally across threads ∈ {0, 2, 4}), and cached vs. uncached
+//! Gaussian predictives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -83,8 +85,8 @@ fn bench_fit_by_topics(c: &mut Criterion) {
 /// serial joint sweep, the deterministic chunked parallel sweep, the
 /// sparse bucket sweep, and the GMM sweep with the per-topic Student-t
 /// predictive cache on vs. off (cached and uncached fits are
-/// bit-identical; only speed differs), plus the sparse-vs-serial LDA
-/// scan over topic counts.
+/// bit-identical; only speed differs), plus the LDA scan over topic
+/// counts: dense serial vs. sparse vs. sparse-parallel across threads.
 fn bench_sweep_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_sweep_kernels");
     group.sample_size(10);
@@ -170,6 +172,27 @@ fn bench_sweep_kernels(c: &mut Criterion) {
                 .unwrap()
             });
         });
+        // The composed kernel across the thread grid (0 = one worker on
+        // a pool, exposing the chunking overhead alone).
+        for t in [0usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("lda_sparse_parallel", format!("{k}_t{t}")),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(9);
+                        lda.fit_with(
+                            &mut rng,
+                            black_box(&wide_docs),
+                            FitOptions::new()
+                                .kernel(GibbsKernel::SparseParallel)
+                                .threads(t),
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
     }
 
     let mut gmm_cfg = GmmConfig::new(8);

@@ -1,18 +1,21 @@
 //! Gibbs hot-path throughput, machine-readable: writes
-//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/4`) comparing
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/5`) comparing
 //! the serial joint kernel against the deterministic parallel and sparse
 //! kernels, the GMM sweep with the Student-t predictive cache on vs. off,
-//! a kernel scan of dense-serial vs. sparse LDA sweeps across topic
-//! counts (where the sparse kernel's `O(nnz)` per-token cost should pull
-//! ahead of the dense `O(K)` scan as `K` grows), and the overhead of the
-//! fitting supervisor's sampled invariant audit on the LDA scan shape.
+//! a kernel scan of the dense-serial, sparse, dense-parallel, and
+//! sparse-parallel LDA sweeps across topic counts and thread counts
+//! (where the sparse kernels' `O(nnz)` per-token cost should pull ahead
+//! of the dense `O(K)` scan as `K` grows, and the chunked sparse-parallel
+//! composition should beat both single-threaded sparse and dense
+//! parallel at the same thread count), and the overhead of the fitting
+//! supervisor's sampled invariant audit on the LDA scan shape.
 //!
 //! The JSON shape (stable; consumed by CI and the README's performance
 //! section):
 //!
 //! ```json
 //! {
-//!   "schema": "rheotex.bench.gibbs/4",
+//!   "schema": "rheotex.bench.gibbs/5",
 //!   "meta": { "git_describe": "v0-12-gabc1234", "cpu_model": "...",
 //!             "host_threads": 16 },
 //!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
@@ -25,8 +28,13 @@
 //!     "gmm_cached": { ... }, "gmm_uncached": { ... }
 //!   },
 //!   "kernel_scan": {
-//!     "docs": 600, "tokens": 4800, "vocab": 512, "sweeps": 8,
-//!     "k8":   { "serial": { ... }, "sparse": { ... } },
+//!     "docs": 1536, "tokens": 73728, "tokens_per_doc": 48, "vocab": 512,
+//!     "sweeps": 8,
+//!     "k8":   { "serial": { ... }, "sparse": { ... },
+//!               "parallel_t2": { ... }, "parallel_t4": { ... },
+//!               "sparse_parallel_t0": { ... },
+//!               "sparse_parallel_t2": { ... },
+//!               "sparse_parallel_t4": { ... } },
 //!     "k32":  { ... }, "k128": { ... }
 //!   },
 //!   "health": {
@@ -41,19 +49,28 @@
 //!                "gmm_cached_over_uncached": 3.4,
 //!                "sparse_over_serial_k8": 0.9,
 //!                "sparse_over_serial_k32": 1.6,
-//!                "sparse_over_serial_k128": 3.8 }
+//!                "sparse_over_serial_k128": 3.8,
+//!                "sparse_parallel_over_sparse_k128": 2.4,
+//!                "sparse_parallel_over_parallel_k128": 1.7 }
 //! }
 //! ```
 //!
 //! Runs at quick scale by default; `--paper` / `RHEOTEX_SCALE=paper`
 //! enlarges the corpus and sweep budget. `--threads N` sets the parallel
-//! variant's worker count (default 4). `--baseline FILE` compares every
-//! `tokens_per_sec` figure of this run against a previously committed
-//! report and prints a `::warning ::` line (never a failure — timing on
-//! shared CI runners is noisy) for any figure more than 20 % below the
-//! baseline. Timings are best-of-3; the correctness claims behind the
-//! comparison (thread-count invariance, cached == uncached bitwise,
-//! sparse == serial statistically) are pinned by `crates/core/tests`.
+//! variants' worker count for the joint engines and the top of the scan
+//! thread grid (default 4). `--scan-docs N` / `--scan-tokens-per-doc N`
+//! override the kernel-scan corpus shape (deterministic for a given
+//! shape; grown by default so the K=128 rows are not sub-second).
+//! `--baseline FILE` compares every `tokens_per_sec` figure of this run
+//! against a previously committed report: the single-threaded LDA scan
+//! rows (`kernel_scan.k*.serial` / `.sparse`) FAIL the run (exit 1,
+//! `::error ::`) when more than 20 % below the baseline — they are the
+//! least noisy figures — while every other figure only prints a
+//! `::warning ::` line (multi-threaded timing on shared CI runners is
+//! too noisy to gate on). Timings are best-of-3; the correctness claims
+//! behind the comparison (thread-count invariance, cached == uncached
+//! bitwise, sparse == serial statistically) are pinned by
+//! `crates/core/tests`.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -74,12 +91,18 @@ const TOPICS: usize = 8;
 const REPS: usize = 3;
 
 /// Kernel-scan corpus shape: a vocabulary wide enough that each word
-/// concentrates in few topics (the regime the sparse kernel's `q` bucket
-/// exploits) and short documents so the per-doc `r` bucket stays small.
+/// concentrates in few topics (the regime the sparse kernels' `q` bucket
+/// exploits). Doc count and tokens-per-doc are knobs (`--scan-docs`,
+/// `--scan-tokens-per-doc`) defaulting per scale, sized so the K=128
+/// rows take whole seconds — a sub-second delta drowns in timer noise.
+/// The generator is deterministic for a given shape.
 const SCAN_VOCAB: usize = 512;
-const SCAN_DOCS: usize = 600;
-const SCAN_TOKENS_PER_DOC: usize = 8;
 const SCAN_KS: [usize; 3] = [8, 32, 128];
+/// Thread grid for the scan's threaded rows: 0 (auto, one worker on a
+/// pool) plus explicit 2 and 4. The sparse-parallel kernel runs at every
+/// grid point; the dense parallel kernel only at the nonzero ones (its
+/// `threads == 0` case is the serial row already in the scan).
+const SCAN_THREADS: [usize; 3] = [0, 2, 4];
 
 fn synth_docs(n: usize) -> Vec<ModelDoc> {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -102,13 +125,13 @@ fn synth_docs(n: usize) -> Vec<ModelDoc> {
 /// Kernel-scan corpus: each document samples its tokens from a narrow
 /// 16-word window of the 512-word vocabulary, giving the topical locality
 /// real recipe text has (a texture term co-occurs with few topics).
-fn scan_docs() -> Vec<ModelDoc> {
+fn scan_docs(n_docs: usize, tokens_per_doc: usize) -> Vec<ModelDoc> {
     let mut rng = ChaCha8Rng::seed_from_u64(17);
-    (0..SCAN_DOCS)
+    (0..n_docs)
         .map(|i| {
             use rand::Rng;
             let window = (i * 37) % SCAN_VOCAB;
-            let terms: Vec<usize> = (0..SCAN_TOKENS_PER_DOC)
+            let terms: Vec<usize> = (0..tokens_per_doc)
                 .map(|_| (window + rng.gen_range(0..16)) % SCAN_VOCAB)
                 .collect();
             ModelDoc::new(
@@ -163,9 +186,21 @@ fn observed_hit_rate(f: impl FnOnce(&mut Obs)) -> Option<f64> {
     (lookups > 0.0).then(|| hits / lookups)
 }
 
-/// Times the dense-serial and sparse LDA kernels at `k` topics on the
-/// scan corpus; returns `(serial_wall, sparse_wall)`.
-fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> (f64, f64) {
+/// One topic count's worth of kernel-scan rows: serial and sparse at
+/// `threads == 0`, the dense parallel kernel over the nonzero grid
+/// points, and the sparse-parallel kernel over the whole thread grid.
+struct ScanRows {
+    serial: f64,
+    sparse: f64,
+    /// `(threads, wall_secs)` per nonzero entry of [`SCAN_THREADS`].
+    parallel: Vec<(usize, f64)>,
+    /// `(threads, wall_secs)` per entry of [`SCAN_THREADS`].
+    sparse_parallel: Vec<(usize, f64)>,
+}
+
+/// Times the four LDA kernels at `k` topics on the scan corpus across
+/// the [`SCAN_THREADS`] grid.
+fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> ScanRows {
     let cfg = LdaConfig {
         n_topics: k,
         vocab_size: SCAN_VOCAB,
@@ -188,7 +223,40 @@ fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> (f64, f64) {
         )
         .unwrap();
     });
-    (serial, sparse)
+    let mut parallel = Vec::new();
+    for t in SCAN_THREADS.into_iter().filter(|&t| t > 0) {
+        let wall = time_best(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            lda.fit_with(
+                &mut rng,
+                docs,
+                FitOptions::new().kernel(GibbsKernel::Parallel).threads(t),
+            )
+            .unwrap();
+        });
+        parallel.push((t, wall));
+    }
+    let mut sparse_parallel = Vec::new();
+    for t in SCAN_THREADS {
+        let wall = time_best(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            lda.fit_with(
+                &mut rng,
+                docs,
+                FitOptions::new()
+                    .kernel(GibbsKernel::SparseParallel)
+                    .threads(t),
+            )
+            .unwrap();
+        });
+        sparse_parallel.push((t, wall));
+    }
+    ScanRows {
+        serial,
+        sparse,
+        parallel,
+        sparse_parallel,
+    }
 }
 
 /// Times a plain vs. supervised LDA fit at `k` topics on the scan corpus
@@ -243,10 +311,13 @@ fn health_overhead_at(
 }
 
 /// Provenance stamped into every report: the commit the binary was built
-/// from, the CPU it ran on, and the host's hardware thread count. Each
-/// field degrades to `"unknown"` (or 0) rather than failing — a missing
-/// `.git` directory or a non-Linux host must not break the bench.
-fn bench_meta() -> serde_json::Value {
+/// from, the CPU it ran on, the host's hardware thread count, and the
+/// kernel-scan corpus shape (so a baseline produced from a differently
+/// sized corpus is recognisable at a glance even though the schema gate
+/// would already skip the comparison). Each environment field degrades
+/// to `"unknown"` (or 0) rather than failing — a missing `.git`
+/// directory or a non-Linux host must not break the bench.
+fn bench_meta(scan_n_docs: usize, scan_tokens_per_doc: usize) -> serde_json::Value {
     let git_describe = std::process::Command::new("git")
         .args(["describe", "--always", "--dirty", "--tags"])
         .output()
@@ -271,6 +342,11 @@ fn bench_meta() -> serde_json::Value {
         "git_describe": git_describe,
         "cpu_model": cpu_model,
         "host_threads": host_threads,
+        "scan_corpus": {
+            "docs": scan_n_docs,
+            "tokens_per_doc": scan_tokens_per_doc,
+            "vocab": SCAN_VOCAB,
+        },
     })
 }
 
@@ -295,11 +371,20 @@ fn tokens_per_sec_leaves(prefix: &str, v: &serde_json::Value, out: &mut Vec<(Str
     }
 }
 
+/// True for the throughput figures stable enough to gate a merge on:
+/// the single-threaded LDA kernel-scan rows. Multi-threaded rows and
+/// the small joint/GMM corpus are too noisy on shared CI runners.
+fn gates_the_run(leaf: &str) -> bool {
+    leaf.starts_with("kernel_scan.") && (leaf.ends_with(".serial") || leaf.ends_with(".sparse"))
+}
+
 /// Compares this run's throughput figures against a committed baseline
-/// report. Regressions beyond 20 % produce GitHub Actions `::warning ::`
-/// annotations but never a failure — CI runner timing is too noisy to
-/// gate merges on, the warning is the review signal.
-fn compare_with_baseline(report: &serde_json::Value, path: &str) {
+/// report and returns the number of *gating* regressions (the caller
+/// exits non-zero when it is positive). Regressions beyond 20 % on the
+/// `kernel_scan.k*.serial` / `.sparse` rows print a GitHub Actions
+/// `::error ::` annotation and fail the run; every other figure only
+/// prints a `::warning ::` — the warning is the review signal there.
+fn compare_with_baseline(report: &serde_json::Value, path: &str) -> usize {
     let baseline: serde_json::Value = match std::fs::read_to_string(path)
         .map_err(|e| e.to_string())
         .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
@@ -307,7 +392,7 @@ fn compare_with_baseline(report: &serde_json::Value, path: &str) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("baseline {path}: {e}; skipping the regression check");
-            return;
+            return 0;
         }
     };
     if baseline["schema"] != report["schema"] {
@@ -315,45 +400,62 @@ fn compare_with_baseline(report: &serde_json::Value, path: &str) {
             "baseline {path} has schema {}, this run wrote {}; skipping the regression check",
             baseline["schema"], report["schema"]
         );
-        return;
+        return 0;
     }
     let mut base_leaves = Vec::new();
     tokens_per_sec_leaves("", &baseline, &mut base_leaves);
     let mut cur_leaves = Vec::new();
     tokens_per_sec_leaves("", report, &mut cur_leaves);
     let mut regressions = 0usize;
+    let mut failures = 0usize;
     for (leaf, cur) in &cur_leaves {
         let Some((_, base)) = base_leaves.iter().find(|(b, _)| b == leaf) else {
             continue;
         };
         if *cur < 0.8 * base {
             regressions += 1;
-            println!(
-                "::warning ::gibbs bench regression: {leaf} at {cur:.0} tokens/sec, \
-                 {:.0}% below the committed baseline ({base:.0})",
-                (1.0 - cur / base) * 100.0
-            );
+            let pct = (1.0 - cur / base) * 100.0;
+            if gates_the_run(leaf) {
+                failures += 1;
+                println!(
+                    "::error ::gibbs bench regression: {leaf} at {cur:.0} tokens/sec, \
+                     {pct:.0}% below the committed baseline ({base:.0}); \
+                     single-threaded scan rows gate the run"
+                );
+            } else {
+                println!(
+                    "::warning ::gibbs bench regression: {leaf} at {cur:.0} tokens/sec, \
+                     {pct:.0}% below the committed baseline ({base:.0})"
+                );
+            }
         }
     }
     eprintln!(
-        "baseline check: {} figures compared, {regressions} regressed > 20%",
+        "baseline check: {} figures compared, {regressions} regressed > 20% \
+         ({failures} on gating rows)",
         cur_leaves.len()
     );
+    failures
 }
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    let (n_docs, sweeps, scan_sweeps) = match scale {
-        Scale::Paper => (3000, 100, 25),
-        Scale::Quick => (400, 20, 8),
+    // Scan-corpus defaults per scale: large enough that the K=128 rows
+    // take whole seconds, so the sparse-parallel deltas are measurable.
+    let (n_docs, sweeps, scan_sweeps, default_scan_docs, default_scan_tpd) = match scale {
+        Scale::Paper => (3000, 100, 25, 3072, 64),
+        Scale::Quick => (400, 20, 8, 1536, 48),
     };
     let args: Vec<String> = std::env::args().collect();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(4);
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let threads = flag_val("--threads").unwrap_or(4);
+    let scan_n_docs = flag_val("--scan-docs").unwrap_or(default_scan_docs);
+    let scan_tokens_per_doc = flag_val("--scan-tokens-per-doc").unwrap_or(default_scan_tpd);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
@@ -413,29 +515,66 @@ fn main() {
             .unwrap();
     });
 
-    let scan_corpus = scan_docs();
+    let scan_corpus = scan_docs(scan_n_docs, scan_tokens_per_doc);
     let scan_tokens: usize = scan_corpus.iter().map(|d| d.terms.len()).sum();
     eprintln!(
-        "kernel scan: {SCAN_DOCS} docs ({scan_tokens} tokens), vocab {SCAN_VOCAB}, \
-         {scan_sweeps} sweeps, K in {SCAN_KS:?}…"
+        "kernel scan: {scan_n_docs} docs x {scan_tokens_per_doc} tokens \
+         ({scan_tokens} total), vocab {SCAN_VOCAB}, {scan_sweeps} sweeps, \
+         K in {SCAN_KS:?}, threads in {SCAN_THREADS:?}…"
     );
     let mut kernel_scan = serde_json::json!({
-        "docs": SCAN_DOCS,
+        "docs": scan_n_docs,
         "tokens": scan_tokens,
+        "tokens_per_doc": scan_tokens_per_doc,
         "vocab": SCAN_VOCAB,
         "sweeps": scan_sweeps,
     });
+    let top_threads = *SCAN_THREADS.iter().max().expect("nonempty grid");
     let mut scan_speedups = Vec::with_capacity(SCAN_KS.len());
     for k in SCAN_KS {
-        let (scan_serial, scan_sparse) = scan_at(k, &scan_corpus, scan_sweeps);
-        kernel_scan[format!("k{k}")] = serde_json::json!({
-            "serial": engine_entry(scan_serial, scan_sweeps, scan_tokens, 0, None),
-            "sparse": engine_entry(scan_sparse, scan_sweeps, scan_tokens, 0, None),
+        let rows = scan_at(k, &scan_corpus, scan_sweeps);
+        let mut entry = serde_json::json!({
+            "serial": engine_entry(rows.serial, scan_sweeps, scan_tokens, 0, None),
+            "sparse": engine_entry(rows.sparse, scan_sweeps, scan_tokens, 0, None),
         });
-        scan_speedups.push((k, scan_serial / scan_sparse));
+        for &(t, wall) in &rows.parallel {
+            entry[format!("parallel_t{t}")] = engine_entry(wall, scan_sweeps, scan_tokens, t, None);
+        }
+        for &(t, wall) in &rows.sparse_parallel {
+            entry[format!("sparse_parallel_t{t}")] =
+                engine_entry(wall, scan_sweeps, scan_tokens, t, None);
+        }
+        kernel_scan[format!("k{k}")] = entry;
+        // Head-to-head figures at the top of the thread grid: the
+        // composed kernel against each of its two parents.
+        let par_top = rows
+            .parallel
+            .iter()
+            .find(|(t, _)| *t == top_threads)
+            .map(|(_, w)| *w)
+            .expect("parallel row at top threads");
+        let sp_top = rows
+            .sparse_parallel
+            .iter()
+            .find(|(t, _)| *t == top_threads)
+            .map(|(_, w)| *w)
+            .expect("sparse-parallel row at top threads");
+        scan_speedups.push((
+            k,
+            rows.serial / rows.sparse,
+            rows.sparse / sp_top,
+            par_top / sp_top,
+        ));
         eprintln!(
-            "  K={k:<4} serial {scan_serial:.3}s, sparse {scan_sparse:.3}s ({:.2}x)",
-            scan_serial / scan_sparse
+            "  K={k:<4} serial {:.3}s, sparse {:.3}s ({:.2}x), \
+             parallel(t{top_threads}) {par_top:.3}s, \
+             sparse-parallel(t{top_threads}) {sp_top:.3}s \
+             ({:.2}x over sparse, {:.2}x over parallel)",
+            rows.serial,
+            rows.sparse,
+            rows.serial / rows.sparse,
+            rows.sparse / sp_top,
+            par_top / sp_top
         );
     }
 
@@ -453,13 +592,16 @@ fn main() {
         "joint_sparse_over_serial": serial / sparse_joint,
         "gmm_cached_over_uncached": uncached / cached,
     });
-    for (k, s) in &scan_speedups {
+    for (k, s, sp_over_sparse, sp_over_parallel) in &scan_speedups {
         speedup[format!("sparse_over_serial_k{k}")] = serde_json::json!(s);
+        speedup[format!("sparse_parallel_over_sparse_k{k}")] = serde_json::json!(sp_over_sparse);
+        speedup[format!("sparse_parallel_over_parallel_k{k}")] =
+            serde_json::json!(sp_over_parallel);
     }
 
     let report = serde_json::json!({
-        "schema": "rheotex.bench.gibbs/4",
-        "meta": bench_meta(),
+        "schema": "rheotex.bench.gibbs/5",
+        "meta": bench_meta(scan_n_docs, scan_tokens_per_doc),
         "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
         "sweeps": sweeps,
         "engines": {
@@ -492,9 +634,7 @@ fn main() {
         }
     }
 
-    if let Some(baseline) = baseline {
-        compare_with_baseline(&report, &baseline);
-    }
+    let gating_failures = baseline.map_or(0, |b| compare_with_baseline(&report, &b));
 
     println!(
         "joint: serial {:.2}s, parallel({threads}) {:.2}s ({:.2}x), sparse {:.2}s ({:.2}x)",
@@ -511,13 +651,23 @@ fn main() {
         uncached / cached,
         gmm_hit_rate.map_or("n/a".to_string(), |r| format!("{r:.3}"))
     );
-    for (k, s) in &scan_speedups {
-        println!("lda scan K={k}: sparse over serial {s:.2}x");
+    for (k, s, sp_over_sparse, sp_over_parallel) in &scan_speedups {
+        println!(
+            "lda scan K={k}: sparse over serial {s:.2}x; sparse-parallel(t{top_threads}) \
+             {sp_over_sparse:.2}x over sparse, {sp_over_parallel:.2}x over parallel"
+        );
     }
     for (name, entry) in [("serial", &health_serial), ("sparse", &health_sparse)] {
         println!(
             "health K=32 {name}: supervision overhead {:.1}%",
             entry["overhead_frac"].as_f64().unwrap_or(f64::NAN) * 100.0
         );
+    }
+    if gating_failures > 0 {
+        eprintln!(
+            "error: {gating_failures} gating throughput figures regressed more than 20% \
+             below the committed baseline"
+        );
+        std::process::exit(1);
     }
 }

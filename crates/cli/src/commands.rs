@@ -24,7 +24,7 @@ rheotex — sensory texture topics with rheological linkage
 USAGE:
   rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
-                    [--threads N] [--kernel serial|parallel|sparse]
+                    [--threads N] [--kernel serial|parallel|sparse|sparse-parallel]
                     [--chains N] [--rhat-threshold R] [--fail-unconverged]
                     [--min-chains N]
                     --out-model model.json --out-dict dict.json
@@ -51,8 +51,11 @@ FIT PERFORMANCE:
                        bit-identical to the serial kernel
   --kernel NAME        name the Gibbs kernel explicitly: serial (dense
                        O(K) per token), parallel (chunked deterministic),
-                       or sparse (single-threaded SparseLDA-style
-                       buckets, O(nnz) per token — wins at large K).
+                       sparse (single-threaded SparseLDA-style buckets,
+                       O(nnz) per token — wins at large K), or
+                       sparse-parallel (the sparse buckets over the
+                       parallel chunk grid — any --threads N, identical
+                       across thread counts; the fast path at large K).
                        serial/sparse require --threads 0; every kernel is
                        deterministic but a checkpoint resumes only under
                        the kernel that wrote it
@@ -85,9 +88,10 @@ FIT HEALTH:
                        behaviour), strict (abort the fit on the first
                        trip), recover (roll back to the last good
                        in-memory snapshot and retry deterministically;
-                       repeated sparse-kernel failures degrade to the
-                       dense serial kernel). A healthy supervised run is
-                       bit-identical to an unsupervised one
+                       repeated sparse or sparse-parallel failures
+                       degrade to the dense serial kernel). A healthy
+                       supervised run is bit-identical to an
+                       unsupervised one
   --max-retries N      rollback budget per incident in recover mode
                        (default: 3)
   exit code 4          the supervisor declared the run unrecoverable

@@ -676,6 +676,53 @@ fn report_rejects_missing_file() {
 }
 
 #[test]
+fn fit_rejects_unknown_kernel_with_the_legal_matrix() {
+    let dir = tmpdir("bad_kernel");
+    let corpus = dir.join("corpus.jsonl");
+    let gen = bin()
+        .args([
+            "generate",
+            "--recipes",
+            "40",
+            "--seed",
+            "9",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    let out = bin()
+        .args([
+            "fit",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--kernel",
+            "turbo",
+            "--out-model",
+            dir.join("m.json").to_str().unwrap(),
+            "--out-dict",
+            dir.join("d.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown kernel"), "{err}");
+    // The error enumerates the full legal kernel x threads matrix.
+    for combo in [
+        "serial (threads == 0)",
+        "sparse (threads == 0)",
+        "parallel (any threads)",
+        "sparse-parallel (any threads)",
+    ] {
+        assert!(err.contains(combo), "missing {combo:?} in {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fit_rejects_missing_corpus() {
     let out = bin()
         .args([

@@ -18,21 +18,26 @@
 //! ablation harness compares the two engines on the same data.
 //!
 //! Like the other engines the collapsed sampler is driven through
-//! [`CollapsedJointModel::fit_with`]; it accepts the serial and sparse
-//! token kernels (the sparse bucket sweep composes with the cached
-//! Student-t `y` sweep — the Gaussian factors never enter Eq. 2) but has
-//! no parallel sweep and no snapshot format, so `threads >= 1`,
-//! checkpoint sinks, and resume snapshots are rejected up front.
+//! [`CollapsedJointModel::fit_with`]; it accepts the serial, sparse, and
+//! sparse-parallel token kernels (the sparse bucket sweep composes with
+//! the cached Student-t `y` sweep — the Gaussian factors never enter
+//! Eq. 2; under sparse-parallel only the token phase is chunked and the
+//! `y` sweep stays serial) but has no dense parallel sweep and no
+//! snapshot format, so the dense parallel kernel, checkpoint sinks, and
+//! resume snapshots are rejected up front.
 
 use crate::config::JointConfig;
 use crate::counts::TopicCounts;
 use crate::data::{validate_docs, ModelDoc};
 use crate::error::ModelError;
-use crate::fit::{FitOptions, GibbsKernel};
+use crate::fit::{FitOptions, GibbsKernel, PAR_CHUNK};
 use crate::joint::FittedJointModel;
 use crate::sparse::SparseTokenSampler;
 use crate::Result;
 use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use rheotex_linalg::dist::{
     sample_categorical, sample_categorical_log, GaussianStats, MultivariateT, NormalWishart,
     PredictiveCache,
@@ -71,16 +76,20 @@ impl CollapsedJointModel {
     /// [`FitOptions`] bundle. `FitOptions::new()` reproduces the
     /// historical plain `fit` bit for bit.
     ///
-    /// The collapsed engine supports the serial and sparse token kernels
-    /// ([`GibbsKernel`]); the sparse bucket sweep composes with the
-    /// cached Student-t `y` sweep unchanged because the Gaussian factors
-    /// never enter the token conditional. [`FitOptions::predictive_cache`]
+    /// The collapsed engine supports the serial, sparse, and
+    /// sparse-parallel token kernels ([`GibbsKernel`]); the sparse
+    /// bucket sweep composes with the cached Student-t `y` sweep
+    /// unchanged because the Gaussian factors never enter the token
+    /// conditional, and under [`GibbsKernel::SparseParallel`] only the
+    /// token phase is chunked (identical across thread counts) while
+    /// the `y` sweep stays serial. [`FitOptions::predictive_cache`]
     /// switches the per-topic predictive memoization (bit-invisible
-    /// either way). There is no parallel sweep and no snapshot format.
+    /// either way). There is no dense parallel sweep and no snapshot
+    /// format.
     ///
     /// # Errors
-    /// [`ModelError::InvalidConfig`] when the options ask for worker
-    /// threads / the parallel kernel, a checkpoint sink, or a resume
+    /// [`ModelError::InvalidConfig`] when the options ask for the dense
+    /// parallel kernel, a checkpoint sink, or a resume
     /// snapshot — none of which this engine supports;
     /// [`ModelError::InvalidData`] for malformed docs;
     /// [`ModelError::Numerical`] if a posterior update degenerates;
@@ -94,14 +103,16 @@ impl CollapsedJointModel {
         opts: FitOptions<'_>,
     ) -> Result<FittedJointModel> {
         let cfg = &self.config;
-        let (kernel, _threads) = opts.plan()?;
+        let (kernel, threads) = opts.plan()?;
         if kernel == GibbsKernel::Parallel {
             return Err(ModelError::InvalidConfig {
-                what: "the collapsed engine has no parallel sweep; \
-                       use the serial or sparse kernel with threads == 0"
+                what: "the collapsed engine has no dense parallel sweep; \
+                       use the serial or sparse kernel with threads == 0, \
+                       or kernel=sparse-parallel for a threaded token sweep"
                     .into(),
             });
         }
+        let pool = crate::fit::build_pool(threads)?;
         if opts.sink.is_some() {
             return Err(ModelError::InvalidConfig {
                 what: "the collapsed engine does not support checkpointing".into(),
@@ -175,6 +186,12 @@ impl CollapsedJointModel {
                 counts.enable_tracking();
                 Some(SparseTokenSampler::new(k, v, cfg.alpha, cfg.gamma))
             }
+            GibbsKernel::SparseParallel => {
+                // Chunk-local stores are cloned off the tracked global
+                // one each sweep (chunk_local is pure memcpy).
+                counts.enable_tracking();
+                None
+            }
             _ => None,
         };
 
@@ -216,32 +233,52 @@ impl CollapsedJointModel {
             // z sweep (identical conditional to the semi-collapsed model:
             // Gaussians do not enter Eq. 2), through the selected kernel.
             let z_start = timer.enabled().then(Instant::now);
-            match sparse.as_mut() {
-                Some(sampler) => {
-                    sampler.set_profiling(observer.enabled());
-                    sampler.begin_sweep(&counts);
-                    for (d, doc) in docs.iter().enumerate() {
-                        sampler.begin_doc(&counts, d, Some(y[d]));
-                        for (n, &w) in doc.terms.iter().enumerate() {
-                            let old = z[d][n];
-                            z[d][n] = sampler.move_token(rng, &mut counts, w, old);
+            // `(largest per-chunk s-mass drift, profile)` of a
+            // sparse-parallel token phase.
+            let mut chunk_outcome: Option<(f64, Option<KernelProfile>)> = None;
+            if kernel == GibbsKernel::SparseParallel {
+                let pool = pool
+                    .as_ref()
+                    .expect("sparse-parallel kernel runs on a pool");
+                let sweep_seed: u64 = rng.gen();
+                chunk_outcome = Some(self.sweep_z_sparse_parallel(
+                    pool,
+                    sweep_seed,
+                    docs,
+                    &mut z,
+                    &y,
+                    &mut counts,
+                    observer.enabled(),
+                ));
+            } else {
+                match sparse.as_mut() {
+                    Some(sampler) => {
+                        sampler.set_profiling(observer.enabled());
+                        sampler.begin_sweep(&counts);
+                        for (d, doc) in docs.iter().enumerate() {
+                            sampler.begin_doc(&counts, d, Some(y[d]));
+                            for (n, &w) in doc.terms.iter().enumerate() {
+                                let old = z[d][n];
+                                z[d][n] = sampler.move_token(rng, &mut counts, w, old);
+                            }
                         }
                     }
-                }
-                None => {
-                    for (d, doc) in docs.iter().enumerate() {
-                        for (n, &w) in doc.terms.iter().enumerate() {
-                            let old = z[d][n];
-                            counts.dec(d, w, old);
-                            for (kk, weight) in weights.iter_mut().enumerate() {
-                                let m_dk = u32::from(y[d] == kk);
-                                *weight = (f64::from(counts.dk(d, kk) + m_dk) + cfg.alpha)
-                                    * (f64::from(counts.kw(kk, w)) + cfg.gamma)
-                                    / (f64::from(counts.topic_total(kk)) + gamma_v);
+                    None => {
+                        for (d, doc) in docs.iter().enumerate() {
+                            for (n, &w) in doc.terms.iter().enumerate() {
+                                let old = z[d][n];
+                                counts.dec(d, w, old);
+                                for (kk, weight) in weights.iter_mut().enumerate() {
+                                    let m_dk = u32::from(y[d] == kk);
+                                    *weight = (f64::from(counts.dk(d, kk) + m_dk) + cfg.alpha)
+                                        * (f64::from(counts.kw(kk, w)) + cfg.gamma)
+                                        / (f64::from(counts.topic_total(kk)) + gamma_v);
+                                }
+                                let new =
+                                    sample_categorical(rng, &weights).expect("positive weights");
+                                z[d][n] = new;
+                                counts.inc(d, w, new);
                             }
-                            let new = sample_categorical(rng, &weights).expect("positive weights");
-                            z[d][n] = new;
-                            counts.inc(d, w, new);
                         }
                     }
                 }
@@ -253,7 +290,7 @@ impl CollapsedJointModel {
                 Some(sampler) if observer.enabled() => {
                     Some(sampler.take_profile().into_kernel_profile())
                 }
-                _ => None,
+                _ => chunk_outcome.as_mut().and_then(|o| o.1.take()),
             };
 
             // y sweep with Student-t predictives (collapsed Gaussians).
@@ -314,7 +351,10 @@ impl CollapsedJointModel {
             ll_trace.push(sweep_ll);
 
             if let Some(mon) = monitor.as_mut() {
-                let drift = sparse.as_ref().map(|s| s.s_mass_drift(&counts));
+                let drift = sparse
+                    .as_ref()
+                    .map(|s| s.s_mass_drift(&counts))
+                    .or_else(|| chunk_outcome.as_ref().map(|o| o.0));
                 if let Some(detail) =
                     mon.inspect_counts(sweep, sweep_ll, &counts, &doc_lens, drift, observer)
                 {
@@ -396,6 +436,110 @@ impl CollapsedJointModel {
             doc_ids: docs.iter().map(|d| d.id).collect(),
             ll_trace,
         })
+    }
+
+    /// The chunked sparse token phase (Eq. 2): chunk `c` copies a
+    /// tracked chunk-local store off the global one
+    /// ([`TopicCounts::chunk_local`]), runs the SparseLDA bucket walk
+    /// with `y_d` as the `M_dk` boost using RNG stream `2c` of the sweep
+    /// seed, and measures its own s-bucket mass drift. Chunk results
+    /// fold back deterministically in chunk order and the term counts
+    /// are recounted from the merged assignments, so the phase is
+    /// identical across worker-thread counts. Returns the largest
+    /// per-chunk drift plus (when profiling) the sparse-parallel kernel
+    /// profile.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_z_sparse_parallel(
+        &self,
+        pool: &rayon::ThreadPool,
+        sweep_seed: u64,
+        docs: &[ModelDoc],
+        z: &mut [Vec<usize>],
+        y: &[usize],
+        counts: &mut TopicCounts,
+        profiling: bool,
+    ) -> (f64, Option<KernelProfile>) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        struct ChunkOut {
+            counts: TopicCounts,
+            drift: f64,
+            profile: crate::sparse::SparseProfile,
+            rebuild_us: u64,
+            sample_us: u64,
+        }
+        let counts_ref = &*counts;
+        let outs: Vec<ChunkOut> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .map(|(c, z_chunk)| {
+                    let rebuild_start = profiling.then(Instant::now);
+                    let mut local = counts_ref.chunk_local(c * PAR_CHUNK, z_chunk.len());
+                    let mut sampler = SparseTokenSampler::new(k, v, cfg.alpha, cfg.gamma);
+                    sampler.set_profiling(profiling);
+                    sampler.begin_sweep(&local);
+                    let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    let sample_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        sampler.begin_doc(&local, dd, Some(y[d0 + dd]));
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            zs[n] = sampler.move_token(&mut rng, &mut local, w, old);
+                        }
+                    }
+                    ChunkOut {
+                        drift: sampler.s_mass_drift(&local),
+                        profile: sampler.take_profile(),
+                        counts: local,
+                        rebuild_us,
+                        sample_us: sample_start.map_or(0, |s| s.elapsed().as_micros() as u64),
+                    }
+                })
+                .collect()
+        });
+        // Deterministic fold, in chunk order: doc-side state per chunk,
+        // then the term-side recount from the merged assignments.
+        let mut drift: f64 = 0.0;
+        let mut merged_profile = crate::sparse::SparseProfile::default();
+        let mut fold_us = Vec::with_capacity(outs.len());
+        for (c, out) in outs.iter().enumerate() {
+            let fold_start = profiling.then(Instant::now);
+            counts.fold_chunk(c * PAR_CHUNK, &out.counts);
+            fold_us.push(fold_start.map_or(0, |s| s.elapsed().as_micros() as u64));
+            drift = drift.max(out.drift);
+            merged_profile.merge(&out.profile);
+        }
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = z[d][n];
+                n_kw[t * v + w] += 1;
+                n_k[t] += 1;
+            }
+        }
+        counts.install_term_counts(n_kw, n_k);
+        let profile = profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.sample_us).collect();
+            let rebuild_us: Vec<u64> = outs.iter().map(|o| o.rebuild_us).collect();
+            // Each chunk clones the term counts and topic totals, the
+            // word nonzero lists (items + lengths), and its own doc rows
+            // and lists.
+            let per_chunk =
+                4 * (k * v + k) + 4 * (k * v + v) + 2 * 4 * (PAR_CHUNK * k) + 4 * PAR_CHUNK;
+            merged_profile.into_sparse_parallel_profile(
+                chunk_us,
+                rebuild_us,
+                fold_us,
+                (outs.len() * per_chunk) as u64,
+            )
+        });
+        (drift, profile)
     }
 }
 
@@ -522,6 +666,33 @@ mod tests {
         let b = model.fit_with(&mut rng(), &docs, opts()).unwrap();
         assert_eq!(a.y, b.y);
         assert_eq!(a.ll_trace, b.ll_trace);
+    }
+
+    #[test]
+    fn sparse_parallel_kernel_is_thread_invariant_and_recovers() {
+        let docs = two_cluster_docs(30);
+        let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+        let opts = |t: usize| {
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(t)
+        };
+        let base = model.fit_with(&mut rng(), &docs, opts(1)).unwrap();
+        for t in [2, 4] {
+            let other = model.fit_with(&mut rng(), &docs, opts(t)).unwrap();
+            assert_eq!(base.y, other.y, "threads={t}");
+            assert_eq!(base.ll_trace, other.ll_trace, "threads={t}");
+            assert_eq!(base.phi, other.phi, "threads={t}");
+        }
+        let y0 = base.y[0];
+        let agree = (0..docs.len())
+            .filter(|&d| (base.y[d] == y0) == (d % 2 == 0))
+            .count();
+        assert!(
+            agree as f64 / docs.len() as f64 > 0.95,
+            "recovered {agree}/{}",
+            docs.len()
+        );
     }
 
     #[test]

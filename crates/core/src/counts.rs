@@ -1,7 +1,7 @@
 //! The shared structure-of-arrays count store behind every Gibbs kernel.
 //!
-//! All three token kernels (legacy serial, chunked parallel, sparse)
-//! mutate the same three count families — token-topic counts per
+//! All four token kernels (legacy serial, chunked parallel, sparse,
+//! chunked sparse-parallel) mutate the same three count families — token-topic counts per
 //! document `n_dk` (D×K), term-topic counts `n_kw` (K×V), and the topic
 //! totals `n_k` (K). [`TopicCounts`] owns them as flat `u32` arrays so
 //! the engines stop hand-plumbing three parallel `Vec<u32>`s, and
@@ -296,6 +296,80 @@ impl TopicCounts {
         }
     }
 
+    /// Clones a tracked chunk-local store covering documents
+    /// `[d0, d0 + d_len)`: the chunk's own `n_dk` rows and doc lists
+    /// plus a private copy of the term-side state (`n_kw`, `n_k`, word
+    /// lists). The sparse-parallel kernel hands one of these to each
+    /// chunk so it can run the bucket sweep against start-of-sweep
+    /// global state with live nonzero-list bookkeeping; the whole
+    /// operation is memcpy — no scanning — so the per-chunk setup cost
+    /// matches the dense parallel kernel's count clones. Document
+    /// indices inside the returned store are chunk-local (`0..d_len`).
+    /// Tracking must be enabled on `self`.
+    #[must_use]
+    pub fn chunk_local(&self, d0: usize, d_len: usize) -> TopicCounts {
+        let nz = self.nz.as_ref().expect("tracking enabled");
+        let k = self.k;
+        TopicCounts {
+            k,
+            v: self.v,
+            n_dk: self.n_dk[d0 * k..(d0 + d_len) * k].to_vec(),
+            n_kw: self.n_kw.clone(),
+            n_k: self.n_k.clone(),
+            nz: Some(NzIndex {
+                docs: NonzeroTopics {
+                    stride: k,
+                    items: nz.docs.items[d0 * k..(d0 + d_len) * k].to_vec(),
+                    len: nz.docs.len[d0..d0 + d_len].to_vec(),
+                },
+                words: nz.words.clone(),
+            }),
+        }
+    }
+
+    /// Folds a chunk-local store produced by [`TopicCounts::chunk_local`]
+    /// back into this one: the chunk's `n_dk` rows and doc lists replace
+    /// rows `[d0, d0 + chunk_rows)`. Chunks cover disjoint document
+    /// ranges, so folding them in any order yields the same store. The
+    /// chunk's term-side copies are *not* merged here — every chunk's
+    /// copy has diverged from the others' — the caller recounts them
+    /// from the merged assignments and installs the result with
+    /// [`TopicCounts::install_term_counts`].
+    pub fn fold_chunk(&mut self, d0: usize, chunk: &TopicCounts) {
+        let k = self.k;
+        let rows = chunk.n_dk.len() / k.max(1);
+        self.n_dk[d0 * k..(d0 + rows) * k].copy_from_slice(&chunk.n_dk);
+        let nz = self.nz.as_mut().expect("tracking enabled");
+        let cnz = chunk.nz.as_ref().expect("chunk tracking enabled");
+        nz.docs.items[d0 * k..(d0 + rows) * k].copy_from_slice(&cnz.docs.items);
+        nz.docs.len[d0..d0 + rows].copy_from_slice(&cnz.docs.len);
+    }
+
+    /// Replaces the term-side state (`n_kw`, `n_k`) wholesale and, when
+    /// tracking, rebuilds the word nonzero lists by scanning the new
+    /// counts — canonical sorted order, exactly what live maintenance
+    /// would have produced. This is the deterministic term-side half of
+    /// the sparse-parallel fold: doc-side state arrives per chunk via
+    /// [`TopicCounts::fold_chunk`], term-side state is recounted from
+    /// the merged assignments in document order.
+    pub fn install_term_counts(&mut self, n_kw: Vec<u32>, n_k: Vec<u32>) {
+        debug_assert_eq!(n_kw.len(), self.k * self.v);
+        debug_assert_eq!(n_k.len(), self.k);
+        self.n_kw = n_kw;
+        self.n_k = n_k;
+        if let Some(nz) = &mut self.nz {
+            let mut words = NonzeroTopics::new(self.v, self.k);
+            for w in 0..self.v {
+                for t in 0..self.k {
+                    if self.n_kw[t * self.v + w] > 0 {
+                        words.insert(w, t);
+                    }
+                }
+            }
+            nz.words = words;
+        }
+    }
+
     /// Mutable access to the three flat arrays for the dense kernels'
     /// hand-tuned loops (and the parallel kernel's chunked writes).
     /// Only valid while tracking is off — raw writes would desynchronize
@@ -415,6 +489,100 @@ mod tests {
         for w in 0..v {
             assert_eq!(live.word_topics(w), rebuilt.word_topics(w), "word {w}");
         }
+    }
+
+    #[test]
+    fn chunk_local_fold_matches_direct_updates() {
+        // Apply the same token moves through a chunk-local store + fold
+        // as directly on a reference store; every count and every list
+        // must come out identical (the sparse-parallel fold contract).
+        use rand::SeedableRng;
+        let (d, k, v) = (8, 5, 6);
+        let chunk_len = 4;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        // Seed both stores with the same random placements.
+        let mut reference = TopicCounts::new(d, k, v);
+        let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+        for _ in 0..80 {
+            let site = (
+                rng.gen_range(0..d),
+                rng.gen_range(0..v),
+                rng.gen_range(0..k),
+            );
+            reference.inc(site.0, site.1, site.2);
+            sites.push(site);
+        }
+        reference.enable_tracking();
+        let mut global = reference.clone();
+
+        // Move a handful of tokens inside the chunk's rows.
+        let moves: Vec<(usize, usize, usize, usize)> = sites
+            .iter()
+            .filter(|&&(dd, _, _)| dd < chunk_len)
+            .take(10)
+            .map(|&(dd, ww, tt)| (dd, ww, tt, (tt + 1) % k))
+            .collect();
+        for &(dd, ww, from, to) in &moves {
+            reference.dec(dd, ww, from);
+            reference.inc(dd, ww, to);
+        }
+
+        let mut local = global.chunk_local(0, chunk_len);
+        for &(dd, ww, from, to) in &moves {
+            local.dec(dd, ww, from);
+            local.inc(dd, ww, to);
+        }
+        global.fold_chunk(0, &local);
+        // Term-side state is recounted from the final placements (the
+        // "merged assignments" in a real sweep).
+        let mut placements = sites.clone();
+        for &(dd, ww, from, to) in &moves {
+            let idx = placements
+                .iter()
+                .position(|&s| s == (dd, ww, from))
+                .expect("moved token exists");
+            placements[idx] = (dd, ww, to);
+        }
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for &(_, ww, tt) in &placements {
+            n_kw[tt * v + ww] += 1;
+            n_k[tt] += 1;
+        }
+        global.install_term_counts(n_kw, n_k);
+
+        assert_eq!(global.n_dk_raw(), reference.n_dk_raw());
+        assert_eq!(global.n_kw_raw(), reference.n_kw_raw());
+        assert_eq!(global.n_k_raw(), reference.n_k_raw());
+        for dd in 0..d {
+            assert_eq!(global.doc_topics(dd), reference.doc_topics(dd), "doc {dd}");
+        }
+        for ww in 0..v {
+            assert_eq!(
+                global.word_topics(ww),
+                reference.word_topics(ww),
+                "word {ww}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_local_is_a_self_contained_tracked_store() {
+        let mut global = TopicCounts::new(6, 3, 4);
+        global.inc(2, 1, 0);
+        global.inc(3, 2, 2);
+        global.inc(5, 0, 1);
+        global.enable_tracking();
+        let local = global.chunk_local(2, 2);
+        // Chunk-local doc indices start at zero.
+        assert_eq!(local.dk(0, 0), 1);
+        assert_eq!(local.dk(1, 2), 1);
+        assert_eq!(local.doc_topics(0), &[0]);
+        assert_eq!(local.doc_topics(1), &[2]);
+        // Term-side state is the full global copy.
+        assert_eq!(local.topic_total(1), 1);
+        assert_eq!(local.word_topics(0), &[1]);
+        assert!(local.tracking());
     }
 
     #[test]

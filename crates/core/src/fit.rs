@@ -15,12 +15,14 @@
 //!   position);
 //! * a sweep kernel ([`GibbsKernel`]): the historical serial kernel,
 //!   the deterministic chunked parallel kernel (bit-identical across
-//!   *any* thread count, see the crate docs), or the sparse
+//!   *any* thread count, see the crate docs), the sparse
 //!   SparseLDA-style kernel whose per-token cost tracks the number of
-//!   topics actually active in the document and word instead of `K`.
-//!   The kernel is usually implied by the thread count (`threads == 0`
-//!   → serial, `threads >= 1` → parallel, keeping the historical
-//!   semantics) and can be named explicitly with [`FitOptions::kernel`];
+//!   topics actually active in the document and word instead of `K`,
+//!   or the sparse-parallel kernel composing the last two (chunked
+//!   sparse sweeps, bit-identical across thread counts). The kernel is
+//!   usually implied by the thread count (`threads == 0` → serial,
+//!   `threads >= 1` → parallel, keeping the historical semantics) and
+//!   can be named explicitly with [`FitOptions::kernel`];
 //! * a switch for the per-topic posterior-predictive cache used by the
 //!   collapsed Gaussian engines.
 //!
@@ -57,7 +59,7 @@ use serde::{Deserialize, Serialize};
 /// The token-sweep kernel classes a Gibbs engine can run.
 ///
 /// Every kernel is deterministic — a pure function of `(config, docs,
-/// seed)` — but the three form distinct bit-compatibility classes: a
+/// seed)` — but the four form distinct bit-compatibility classes: a
 /// snapshot written by one kernel must be resumed by the same kernel.
 ///
 /// * [`GibbsKernel::Serial`] — the historical single-threaded sweep,
@@ -67,6 +69,14 @@ use serde::{Deserialize, Serialize};
 /// * [`GibbsKernel::Sparse`] — single-threaded SparseLDA-style bucket
 ///   sampling in `O(s + r + q)` per token (see [`crate::sparse`]);
 ///   wins when `K` is large and documents/words touch few topics.
+/// * [`GibbsKernel::SparseParallel`] — the composition: the sparse
+///   bucket sweep run over the parallel kernel's fixed 64-doc chunk
+///   grid, with per-chunk bucket state folded back deterministically;
+///   identical output for every worker-thread count.
+///
+/// The legal kernel × threads matrix: `serial` and `sparse` require
+/// `threads == 0`; `parallel` and `sparse-parallel` accept any thread
+/// count (`threads == 0` runs the one-worker reproducible baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum GibbsKernel {
@@ -76,7 +86,16 @@ pub enum GibbsKernel {
     Parallel,
     /// Sparse bucket-decomposition kernel.
     Sparse,
+    /// Deterministic chunked sparse bucket kernel.
+    SparseParallel,
 }
+
+/// One-line rendering of the legal kernel × threads matrix, shared by
+/// every kernel/threads validation error so the CLI and the API agree
+/// on what the user is told.
+pub(crate) const KERNEL_MATRIX: &str = "legal kernel x threads combinations: \
+     serial (threads == 0), sparse (threads == 0), \
+     parallel (any threads), sparse-parallel (any threads)";
 
 impl std::fmt::Display for GibbsKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -84,6 +103,7 @@ impl std::fmt::Display for GibbsKernel {
             Self::Serial => "serial",
             Self::Parallel => "parallel",
             Self::Sparse => "sparse",
+            Self::SparseParallel => "sparse-parallel",
         })
     }
 }
@@ -96,8 +116,11 @@ impl std::str::FromStr for GibbsKernel {
             "serial" => Ok(Self::Serial),
             "parallel" => Ok(Self::Parallel),
             "sparse" => Ok(Self::Sparse),
+            // The snapshot JSON spelling is accepted alongside the CLI
+            // spelling so `--kernel` round-trips either form.
+            "sparse-parallel" | "sparse_parallel" => Ok(Self::SparseParallel),
             other => Err(ModelError::InvalidConfig {
-                what: format!("unknown kernel {other:?}; expected serial, parallel, or sparse"),
+                what: format!("unknown kernel {other:?}; {KERNEL_MATRIX}"),
             }),
         }
     }
@@ -202,13 +225,15 @@ impl<'a> FitOptions<'a> {
     }
 
     /// Names the sweep kernel explicitly instead of letting the thread
-    /// count imply it. `kernel(Parallel)` with `threads == 0` runs the
-    /// parallel kernel on one worker (the reproducible baseline of any
-    /// thread count); `kernel(Serial)` or `kernel(Sparse)` combined with
-    /// `threads >= 1` is a contradiction and fails `fit_with` with
-    /// `InvalidConfig` — both are single-threaded kernels. Snapshots
-    /// record the kernel that wrote them, and resuming under a different
-    /// kernel fails with `ResumeMismatch`.
+    /// count imply it. `kernel(Parallel)` or `kernel(SparseParallel)`
+    /// with `threads == 0` runs the chunked kernel on one worker (the
+    /// reproducible baseline of any thread count); `kernel(Serial)` or
+    /// `kernel(Sparse)` combined with `threads >= 1` is a contradiction
+    /// and fails `fit_with` with `InvalidConfig` — both are
+    /// single-threaded kernels (the error suggests `sparse-parallel`
+    /// for the sparse case). Snapshots record the kernel that wrote
+    /// them, and resuming under a different kernel fails with
+    /// `ResumeMismatch`.
     #[must_use]
     pub fn kernel(mut self, kernel: GibbsKernel) -> Self {
         self.kernel = Some(kernel);
@@ -223,16 +248,29 @@ impl<'a> FitOptions<'a> {
     ///
     /// # Errors
     /// [`ModelError::InvalidConfig`] when a single-threaded kernel
-    /// (serial, sparse) is combined with `threads >= 1`.
+    /// (serial, sparse) is combined with `threads >= 1`; the message
+    /// names both offending options and enumerates the legal
+    /// kernel × threads matrix.
     pub(crate) fn plan(&self) -> Result<(GibbsKernel, usize), ModelError> {
+        use GibbsKernel::{Parallel, Serial, Sparse, SparseParallel};
         match (self.kernel, self.threads) {
-            (None, 0) => Ok((GibbsKernel::Serial, 0)),
-            (None, t) => Ok((GibbsKernel::Parallel, t)),
-            (Some(GibbsKernel::Parallel), 0) => Ok((GibbsKernel::Parallel, 1)),
-            (Some(GibbsKernel::Parallel), t) => Ok((GibbsKernel::Parallel, t)),
+            (None, 0) => Ok((Serial, 0)),
+            (None, t) => Ok((Parallel, t)),
+            (Some(k @ (Parallel | SparseParallel)), 0) => Ok((k, 1)),
+            (Some(k @ (Parallel | SparseParallel)), t) => Ok((k, t)),
             (Some(k), 0) => Ok((k, 0)),
+            (Some(k @ Sparse), t) => Err(ModelError::InvalidConfig {
+                what: format!(
+                    "kernel={k} is single-threaded and cannot run with threads={t}; \
+                     use kernel=sparse-parallel to combine sparse sweeps with worker \
+                     threads ({KERNEL_MATRIX})"
+                ),
+            }),
             (Some(k), t) => Err(ModelError::InvalidConfig {
-                what: format!("the {k} kernel is single-threaded; it cannot run with threads={t}"),
+                what: format!(
+                    "kernel={k} is single-threaded and cannot run with threads={t} \
+                     ({KERNEL_MATRIX})"
+                ),
             }),
         }
     }
@@ -344,23 +382,15 @@ mod tests {
                 .unwrap(),
             (GibbsKernel::Sparse, 0)
         );
-        // An explicitly parallel kernel without a thread count runs the
+        // An explicitly chunked kernel without a thread count runs the
         // one-worker reproducible baseline.
-        assert_eq!(
-            FitOptions::new()
-                .kernel(GibbsKernel::Parallel)
-                .plan()
-                .unwrap(),
-            (GibbsKernel::Parallel, 1)
-        );
-        assert_eq!(
-            FitOptions::new()
-                .kernel(GibbsKernel::Parallel)
-                .threads(8)
-                .plan()
-                .unwrap(),
-            (GibbsKernel::Parallel, 8)
-        );
+        for k in [GibbsKernel::Parallel, GibbsKernel::SparseParallel] {
+            assert_eq!(FitOptions::new().kernel(k).plan().unwrap(), (k, 1));
+            assert_eq!(
+                FitOptions::new().kernel(k).threads(8).plan().unwrap(),
+                (k, 8)
+            );
+        }
     }
 
     #[test]
@@ -368,7 +398,29 @@ mod tests {
         for k in [GibbsKernel::Serial, GibbsKernel::Sparse] {
             let err = FitOptions::new().kernel(k).threads(2).plan().unwrap_err();
             assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+            // The message names the offending options and spells out the
+            // full legal matrix.
+            let msg = err.to_string();
+            for needle in [
+                "threads=2",
+                "serial",
+                "sparse",
+                "parallel",
+                "sparse-parallel",
+            ] {
+                assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+            }
         }
+        // The sparse rejection points at the composed kernel.
+        let err = FitOptions::new()
+            .kernel(GibbsKernel::Sparse)
+            .threads(2)
+            .plan()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("sparse-parallel"),
+            "sparse rejection should suggest sparse-parallel: {err}"
+        );
     }
 
     #[test]
@@ -377,14 +429,27 @@ mod tests {
             GibbsKernel::Serial,
             GibbsKernel::Parallel,
             GibbsKernel::Sparse,
+            GibbsKernel::SparseParallel,
         ] {
             assert_eq!(k.to_string().parse::<GibbsKernel>().unwrap(), k);
         }
         assert!("dense".parse::<GibbsKernel>().is_err());
-        // Snapshots persist the kernel as snake_case JSON.
+        // The unknown-kernel error enumerates the legal matrix.
+        let msg = "dense".parse::<GibbsKernel>().unwrap_err().to_string();
+        assert!(msg.contains("sparse-parallel"), "{msg}");
+        // Snapshots persist the kernel as snake_case JSON; the snapshot
+        // spelling parses too.
         assert_eq!(
             serde_json::to_string(&GibbsKernel::Sparse).unwrap(),
             "\"sparse\""
+        );
+        assert_eq!(
+            serde_json::to_string(&GibbsKernel::SparseParallel).unwrap(),
+            "\"sparse_parallel\""
+        );
+        assert_eq!(
+            "sparse_parallel".parse::<GibbsKernel>().unwrap(),
+            GibbsKernel::SparseParallel
         );
     }
 }

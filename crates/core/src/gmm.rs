@@ -145,11 +145,12 @@ impl GmmModel {
     ) -> Result<FittedGmm> {
         let (xs, prior) = self.features_and_prior(docs)?;
         let (kernel, threads) = opts.plan()?;
-        if kernel == GibbsKernel::Sparse {
+        if matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
             return Err(ModelError::InvalidConfig {
-                what: "the gmm engine has no token sweep, so the sparse kernel does not apply; \
-                       use serial or parallel"
-                    .into(),
+                what: format!(
+                    "the gmm engine has no token sweep, so the {kernel} kernel does not apply; \
+                     use serial or parallel"
+                ),
             });
         }
         let pool = crate::fit::build_pool(threads)?;

@@ -57,9 +57,10 @@ pub enum RecoveryAction {
         max_retries: usize,
     },
     /// Like [`RecoveryAction::RollbackRetry`], but when the budget is
-    /// exhausted under the sparse kernel the run degrades to the dense
-    /// serial kernel (resetting the budget) instead of aborting —
-    /// the escape hatch for a desynchronized sparse bucket state.
+    /// exhausted under a sparse kernel (sparse or sparse-parallel) the
+    /// run degrades to the dense serial kernel (resetting the budget)
+    /// instead of aborting — the escape hatch for a desynchronized
+    /// sparse bucket state.
     DegradeKernel {
         /// Rollback budget per incident (per kernel).
         max_retries: usize,
@@ -416,14 +417,14 @@ impl HealthMonitor {
             );
             return Ok(Recovery::Rollback(Box::new(snap)));
         }
-        if can_degrade && kernel == GibbsKernel::Sparse {
+        if can_degrade && matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
             self.retries = 0;
             self.emit(
                 observer,
                 sweep,
                 "degrade",
                 format!(
-                    "sparse kernel degraded to serial from sweep {}: {detail}",
+                    "{kernel} kernel degraded to serial from sweep {}: {detail}",
                     snap.next_sweep()
                 ),
             );
@@ -783,6 +784,38 @@ mod tests {
         assert!(matches!(err, ModelError::Health { .. }));
         let actions: Vec<&str> = obs.health.iter().map(|e| e.action).collect();
         assert!(actions.contains(&"degrade"));
+    }
+
+    #[test]
+    fn sparse_parallel_degrades_to_serial_after_budget() {
+        let policy = HealthPolicy::recover().max_retries(0);
+        let mut mon = HealthMonitor::new(policy, "lda");
+        let mut obs = VecObserver::default();
+        mon.keep(lda_snap(4));
+        let rec = mon
+            .tripped(
+                7,
+                GibbsKernel::SparseParallel,
+                "chunk drift".into(),
+                &mut obs,
+            )
+            .unwrap();
+        let Recovery::Degrade(snap) = rec else {
+            panic!("expected degradation")
+        };
+        assert_eq!(snap.next_sweep(), 4);
+        let degrade = obs
+            .health
+            .iter()
+            .find(|e| e.action == "degrade")
+            .expect("degrade event");
+        assert!(
+            degrade
+                .detail
+                .contains("sparse-parallel kernel degraded to serial"),
+            "{}",
+            degrade.detail
+        );
     }
 
     #[test]

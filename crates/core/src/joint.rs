@@ -176,6 +176,11 @@ impl JointTopicModel {
     /// identical for every thread count (see the crate docs for the
     /// RNG-splitting contract) but differs bitwise from the serial
     /// kernel, so resume a snapshot with the kernel that wrote it.
+    /// [`FitOptions::kernel`] picks a kernel class explicitly, including
+    /// the `O(nnz)`-per-token [`GibbsKernel::Sparse`] and its chunked
+    /// composition [`GibbsKernel::SparseParallel`], which pairs the
+    /// sparse bucket walk with the parallel kernel's chunk grid and is
+    /// likewise identical across thread counts.
     ///
     /// # Errors
     /// [`ModelError::InvalidData`] for malformed docs;
@@ -364,6 +369,15 @@ impl JointTopicModel {
                     self.config.gamma,
                 ))
             }
+            GibbsKernel::SparseParallel => {
+                // The chunked sparse sweep clones tracked chunk-local
+                // stores off the global one, so the global store keeps
+                // its nonzero lists too (chunk_local is pure memcpy).
+                if !prog.state.counts.tracking() {
+                    prog.state.counts.enable_tracking();
+                }
+                None
+            }
             _ => None,
         };
         let mut monitor = health.map(|p| crate::health::HealthMonitor::new(p, "joint"));
@@ -385,6 +399,10 @@ impl JointTopicModel {
         }
         let mut sweep = start_sweep;
         while sweep < self.config.sweeps {
+            // Largest per-chunk bucket-mass drift of a sparse-parallel
+            // sweep (the chunk samplers are per-sweep, so the drift is
+            // measured at each chunk's fold).
+            let mut chunk_drift = None;
             let outcome = match kernel {
                 GibbsKernel::Serial => {
                     self.sweep_once(rng, docs, prog, gel_prior, emu_prior, sweep, observer)
@@ -401,6 +419,13 @@ impl JointTopicModel {
                         rng, docs, prog, sampler, gel_prior, emu_prior, sweep, observer,
                     )
                 }
+                GibbsKernel::SparseParallel => {
+                    let pool = pool.expect("sparse-parallel kernel runs on a pool");
+                    self.sweep_once_sparse_parallel(
+                        rng, pool, docs, prog, gel_prior, emu_prior, sweep, observer,
+                    )
+                    .map(|d| chunk_drift = Some(d))
+                }
             };
             match monitor.as_mut() {
                 None => outcome?,
@@ -411,7 +436,10 @@ impl JointTopicModel {
                             #[cfg(feature = "fault-inject")]
                             mon.apply_chaos(sweep, &mut prog.state.counts);
                             let ll = prog.ll_trace.last().copied().unwrap_or(f64::NAN);
-                            let drift = sparse.as_ref().map(|s| s.s_mass_drift(&prog.state.counts));
+                            let drift = sparse
+                                .as_ref()
+                                .map(|s| s.s_mass_drift(&prog.state.counts))
+                                .or(chunk_drift);
                             mon.inspect_counts(
                                 sweep,
                                 ll,
@@ -442,7 +470,10 @@ impl JointTopicModel {
                         if new_kernel != kernel {
                             kernel = new_kernel;
                             sparse = None;
-                        } else if kernel == GibbsKernel::Sparse {
+                        } else if matches!(
+                            kernel,
+                            GibbsKernel::Sparse | GibbsKernel::SparseParallel
+                        ) {
                             // restore() hands back an untracked store.
                             prog.state.counts.enable_tracking();
                         }
@@ -637,8 +668,61 @@ impl JointTopicModel {
         Ok(())
     }
 
+    /// One full sweep of the chunked sparse kernel: Eq. (2) through the
+    /// SparseLDA three-bucket draw over the parallel kernel's fixed
+    /// 64-doc chunk grid and RNG stream discipline (`2c` of the sweep
+    /// seed for tokens, `2c + 1` for the unchanged exact Eq. (3) chunk
+    /// scoring), so its output is identical across worker-thread counts.
+    /// Each chunk samples against a tracked chunk-local copy of the
+    /// start-of-sweep counts with the recipe's observed topic `y_d` as
+    /// the `M_dk` boost; chunk results fold back in chunk order and the
+    /// term counts are recounted from the merged assignments. Returns
+    /// the largest per-chunk s-bucket mass drift for the health
+    /// sentinel.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_once_sparse_parallel(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        docs: &[ModelDoc],
+        prog: &mut Progress,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<f64> {
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
+        let (drift, profile) = timer.time("z", || {
+            self.sweep_z_sparse_parallel(pool, sweep_seed, docs, &mut prog.state, profiling)
+        });
+        let label_flips = timer.time("y", || {
+            self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state)
+        })?;
+        let jitter_retries = timer.time("params", || {
+            self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
+        })?;
+        let ll = timer.time("ll", || self.conditional_ll(docs, &prog.state));
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            label_flips,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
+        Ok(drift)
+    }
+
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by the serial, parallel, and sparse sweep kernels.
+    /// by the serial, parallel, sparse, and sparse-parallel sweep
+    /// kernels.
     #[allow(clippy::too_many_arguments)]
     fn post_sweep(
         &self,
@@ -1140,6 +1224,115 @@ impl JointTopicModel {
         } else {
             Vec::new()
         }
+    }
+
+    /// Eq. (2) through the sparse three-bucket draw over fixed 64-doc
+    /// chunks: chunk `c` copies a tracked chunk-local store off the
+    /// global one ([`TopicCounts::chunk_local`]), runs the SparseLDA
+    /// bucket walk with `y_d` as the `M_dk` boost using RNG stream `2c`
+    /// of the sweep seed, and measures its own s-bucket mass drift.
+    /// Chunk results fold back deterministically — doc rows and nonzero
+    /// lists per chunk ([`TopicCounts::fold_chunk`]), term counts
+    /// recounted from the merged assignments in document order
+    /// ([`TopicCounts::install_term_counts`]) — so the phase is a pure
+    /// function of `(state, sweep seed)` regardless of worker-thread
+    /// count. Returns the largest per-chunk drift plus (when profiling)
+    /// the sparse-parallel kernel profile.
+    fn sweep_z_sparse_parallel(
+        &self,
+        pool: &rayon::ThreadPool,
+        sweep_seed: u64,
+        docs: &[ModelDoc],
+        state: &mut State,
+        profiling: bool,
+    ) -> (f64, Option<KernelProfile>) {
+        let cfg = &self.config;
+        let k = state.k;
+        let v = state.v;
+        struct ChunkOut {
+            counts: TopicCounts,
+            drift: f64,
+            profile: crate::sparse::SparseProfile,
+            rebuild_us: u64,
+            sample_us: u64,
+        }
+        let counts_ref = &state.counts;
+        let y = &state.y;
+        let z = &mut state.z;
+        let outs: Vec<ChunkOut> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .map(|(c, z_chunk)| {
+                    let rebuild_start = profiling.then(Instant::now);
+                    let mut local = counts_ref.chunk_local(c * PAR_CHUNK, z_chunk.len());
+                    let mut sampler = SparseTokenSampler::new(k, v, cfg.alpha, cfg.gamma);
+                    sampler.set_profiling(profiling);
+                    sampler.begin_sweep(&local);
+                    let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    let sample_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        sampler.begin_doc(&local, dd, Some(y[d0 + dd]));
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            zs[n] = sampler.move_token(&mut rng, &mut local, w, old);
+                        }
+                    }
+                    ChunkOut {
+                        drift: sampler.s_mass_drift(&local),
+                        profile: sampler.take_profile(),
+                        counts: local,
+                        rebuild_us,
+                        sample_us: sample_start.map_or(0, |s| s.elapsed().as_micros() as u64),
+                    }
+                })
+                .collect()
+        });
+        // Deterministic fold, in chunk order: doc-side state per chunk,
+        // then the term-side recount from the merged assignments.
+        let mut drift: f64 = 0.0;
+        let mut merged_profile = crate::sparse::SparseProfile::default();
+        let mut fold_us = Vec::with_capacity(outs.len());
+        for (c, out) in outs.iter().enumerate() {
+            let fold_start = profiling.then(Instant::now);
+            state.counts.fold_chunk(c * PAR_CHUNK, &out.counts);
+            fold_us.push(fold_start.map_or(0, |s| s.elapsed().as_micros() as u64));
+            drift = drift.max(out.drift);
+            merged_profile.merge(&out.profile);
+        }
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = state.z[d][n];
+                n_kw[t * v + w] += 1;
+                n_k[t] += 1;
+            }
+        }
+        state.counts.install_term_counts(n_kw, n_k);
+        let profile = profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.sample_us).collect();
+            let rebuild_us: Vec<u64> = outs.iter().map(|o| o.rebuild_us).collect();
+            // Each chunk clones the term counts and topic totals, the
+            // word nonzero lists (items + lengths), its own doc rows and
+            // lists; the y phase adds log-weights and drawn labels.
+            let per_chunk = 4 * (k * v + k)
+                + 4 * (k * v + v)
+                + 2 * 4 * (PAR_CHUNK * k)
+                + 4 * PAR_CHUNK
+                + 8 * k
+                + 8 * PAR_CHUNK;
+            merged_profile.into_sparse_parallel_profile(
+                chunk_us,
+                rebuild_us,
+                fold_us,
+                (outs.len() * per_chunk) as u64,
+            )
+        });
+        (drift, profile)
     }
 
     /// Eq. (3) over fixed 64-doc chunks. At fixed Gaussian parameters the

@@ -125,14 +125,16 @@ impl LdaModel {
     /// (resume ignores `rng`; `threads >= 1` selects the deterministic
     /// chunked parallel kernel, identical across thread counts;
     /// [`FitOptions::kernel`] picks a kernel class explicitly, including
-    /// the `O(nnz)`-per-token [`GibbsKernel::Sparse`]).
+    /// the `O(nnz)`-per-token [`GibbsKernel::Sparse`] and its chunked
+    /// composition [`GibbsKernel::SparseParallel`]).
     ///
     /// Docs' concentration vectors are ignored; docs without terms get a
     /// uniform θ row. Engine-specific note: the serial and sparse
     /// kernels' log-likelihood traces are accumulated *during* the sweep
     /// (each token scored at the counts in effect when it was sampled),
-    /// while the parallel kernel scores all tokens against the merged
-    /// end-of-sweep counts — same convergence signal, different bits.
+    /// while the parallel and sparse-parallel kernels score all tokens
+    /// against the merged end-of-sweep counts — same convergence signal,
+    /// different bits.
     ///
     /// # Errors
     /// [`crate::ModelError::InvalidData`] for malformed docs;
@@ -349,6 +351,15 @@ impl LdaModel {
                     self.config.gamma,
                 ))
             }
+            GibbsKernel::SparseParallel => {
+                // The chunked sparse sweep clones tracked chunk-local
+                // stores off the global one, so the global store keeps
+                // its nonzero lists too (chunk_local is pure memcpy).
+                if !prog.counts.tracking() {
+                    prog.counts.enable_tracking();
+                }
+                None
+            }
             _ => None,
         };
         let mut monitor = health.map(|p| crate::health::HealthMonitor::new(p, "lda"));
@@ -370,6 +381,10 @@ impl LdaModel {
         }
         let mut sweep = start_sweep;
         while sweep < self.config.sweeps {
+            // Largest per-chunk bucket-mass drift of a sparse-parallel
+            // sweep (the chunk samplers are per-sweep, so the drift is
+            // measured at each chunk's fold).
+            let mut chunk_drift = None;
             match kernel {
                 GibbsKernel::Serial => self.sweep_once(rng, docs, prog, sweep, observer),
                 GibbsKernel::Parallel => {
@@ -380,12 +395,21 @@ impl LdaModel {
                     let sampler = sparse.as_mut().expect("sparse kernel has a sampler");
                     self.sweep_once_sparse(rng, docs, prog, sampler, sweep, observer);
                 }
+                GibbsKernel::SparseParallel => {
+                    let pool = pool.expect("sparse-parallel kernel runs on a pool");
+                    chunk_drift = Some(
+                        self.sweep_once_sparse_parallel(rng, pool, docs, prog, sweep, observer),
+                    );
+                }
             }
             if let Some(mon) = monitor.as_mut() {
                 #[cfg(feature = "fault-inject")]
                 mon.apply_chaos(sweep, &mut prog.counts);
                 let ll = prog.ll_trace.last().copied().unwrap_or(f64::NAN);
-                let drift = sparse.as_ref().map(|s| s.s_mass_drift(&prog.counts));
+                let drift = sparse
+                    .as_ref()
+                    .map(|s| s.s_mass_drift(&prog.counts))
+                    .or(chunk_drift);
                 if let Some(detail) =
                     mon.inspect_counts(sweep, ll, &prog.counts, &doc_lens, drift, observer)
                 {
@@ -404,7 +428,7 @@ impl LdaModel {
                     if new_kernel != kernel {
                         kernel = new_kernel;
                         sparse = None;
-                    } else if kernel == GibbsKernel::Sparse {
+                    } else if matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
                         // restore() hands back an untracked store.
                         prog.counts.enable_tracking();
                     }
@@ -662,8 +686,154 @@ impl LdaModel {
         );
     }
 
+    /// The chunked sparse sweep: the parallel kernel's fixed 64-doc
+    /// chunk grid and RNG stream discipline (`2c` of the per-sweep
+    /// seed), with each chunk running the SparseLDA bucket sweep against
+    /// a tracked chunk-local copy of the start-of-sweep counts
+    /// ([`TopicCounts::chunk_local`]). Chunk results fold back
+    /// deterministically — doc rows and nonzero lists per chunk
+    /// ([`TopicCounts::fold_chunk`]), term counts recounted from the
+    /// merged assignments in document order
+    /// ([`TopicCounts::install_term_counts`]) — so the output depends on
+    /// the chunk grid but not on the worker-thread count. Like the dense
+    /// parallel kernel, the log-likelihood entry scores every token
+    /// against the merged end-of-sweep counts.
+    ///
+    /// Returns the largest per-chunk s-bucket mass drift, measured at
+    /// each chunk's fold — the health supervisor's bucket-desync
+    /// sentinel for this kernel.
+    fn sweep_once_sparse_parallel(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> f64 {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let gamma_v = cfg.gamma * v as f64;
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
+
+        struct ChunkOut {
+            counts: TopicCounts,
+            drift: f64,
+            profile: crate::sparse::SparseProfile,
+            rebuild_us: u64,
+            sample_us: u64,
+        }
+        let counts_ref = &prog.counts;
+        let z = &mut prog.z;
+        let z_start = profiling.then(Instant::now);
+        let outs: Vec<ChunkOut> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .map(|(c, z_chunk)| {
+                    let rebuild_start = profiling.then(Instant::now);
+                    let mut local = counts_ref.chunk_local(c * PAR_CHUNK, z_chunk.len());
+                    let mut sampler = SparseTokenSampler::new(k, v, cfg.alpha, cfg.gamma);
+                    sampler.set_profiling(profiling);
+                    sampler.begin_sweep(&local);
+                    let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    let sample_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        sampler.begin_doc(&local, dd, None);
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            zs[n] = sampler.move_token(&mut rng, &mut local, w, old);
+                        }
+                    }
+                    ChunkOut {
+                        drift: sampler.s_mass_drift(&local),
+                        profile: sampler.take_profile(),
+                        counts: local,
+                        rebuild_us,
+                        sample_us: sample_start.map_or(0, |s| s.elapsed().as_micros() as u64),
+                    }
+                })
+                .collect()
+        });
+        if let Some(s) = z_start {
+            timer.record("z", s.elapsed().as_micros() as u64);
+        }
+        // Deterministic fold, in chunk order: doc-side state per chunk,
+        // then the term-side recount from the merged assignments.
+        let merge_start = profiling.then(Instant::now);
+        let mut drift: f64 = 0.0;
+        let mut merged_profile = crate::sparse::SparseProfile::default();
+        let mut fold_us = Vec::with_capacity(outs.len());
+        for (c, out) in outs.iter().enumerate() {
+            let fold_start = profiling.then(Instant::now);
+            prog.counts.fold_chunk(c * PAR_CHUNK, &out.counts);
+            fold_us.push(fold_start.map_or(0, |s| s.elapsed().as_micros() as u64));
+            drift = drift.max(out.drift);
+            merged_profile.merge(&out.profile);
+        }
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                n_kw[t * v + w] += 1;
+                n_k[t] += 1;
+            }
+        }
+        prog.counts.install_term_counts(n_kw, n_k);
+        if let Some(s) = merge_start {
+            timer.record("merge", s.elapsed().as_micros() as u64);
+        }
+        let ll_start = profiling.then(Instant::now);
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                ll += ((f64::from(prog.counts.kw(t, w)) + cfg.gamma)
+                    / (f64::from(prog.counts.topic_total(t)) + gamma_v))
+                    .ln();
+            }
+        }
+        if let Some(s) = ll_start {
+            timer.record("ll", s.elapsed().as_micros() as u64);
+        }
+        let profile = profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.sample_us).collect();
+            let rebuild_us: Vec<u64> = outs.iter().map(|o| o.rebuild_us).collect();
+            // Each chunk clones the term counts and topic totals, the
+            // word nonzero lists (items + lengths), and up to PAR_CHUNK
+            // doc rows with their lists.
+            let per_chunk =
+                4 * (k * v + k) + 4 * (k * v + v) + 2 * 4 * (PAR_CHUNK * k) + 4 * PAR_CHUNK;
+            merged_profile.into_sparse_parallel_profile(
+                chunk_us,
+                rebuild_us,
+                fold_us,
+                (outs.len() * per_chunk) as u64,
+            )
+        });
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
+        drift
+    }
+
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by all three sweep kernels.
+    /// by the four sweep kernels.
     #[allow(clippy::too_many_arguments)]
     fn post_sweep(
         &self,

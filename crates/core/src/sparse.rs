@@ -76,6 +76,49 @@ impl SparseProfile {
             doc_nnz: self.doc_nnz,
         }
     }
+
+    /// Accumulates another chunk's counters into this one — the
+    /// sparse-parallel kernel folds one profile per chunk into a
+    /// sweep-level aggregate. Draw counts and nnz walks sum; the bucket
+    /// masses sum too (they are per-token sums already, so the aggregate
+    /// keeps the same "mass seen per draw" reading as the serial sparse
+    /// profile).
+    pub(crate) fn merge(&mut self, other: &SparseProfile) {
+        self.s_draws += other.s_draws;
+        self.r_draws += other.r_draws;
+        self.q_draws += other.q_draws;
+        self.s_mass += other.s_mass;
+        self.r_mass += other.r_mass;
+        self.q_mass += other.q_mass;
+        self.word_nnz += other.word_nnz;
+        self.doc_nnz += other.doc_nnz;
+    }
+
+    /// Converts sweep-merged counters plus the per-chunk timing
+    /// observations into the sparse-parallel wire payload.
+    pub(crate) fn into_sparse_parallel_profile(
+        self,
+        chunk_us: Vec<u64>,
+        rebuild_us: Vec<u64>,
+        fold_us: Vec<u64>,
+        alloc_bytes: u64,
+    ) -> KernelProfile {
+        KernelProfile::SparseParallel {
+            s_draws: self.s_draws,
+            r_draws: self.r_draws,
+            q_draws: self.q_draws,
+            s_mass: self.s_mass,
+            r_mass: self.r_mass,
+            q_mass: self.q_mass,
+            word_nnz: self.word_nnz,
+            doc_nnz: self.doc_nnz,
+            chunks: chunk_us.len() as u64,
+            chunk_us,
+            rebuild_us,
+            fold_us,
+            alloc_bytes,
+        }
+    }
 }
 
 /// Per-sweep sampler state for the sparse kernel: the shared `1/den_k`
@@ -521,7 +564,54 @@ mod tests {
                 q_draws,
                 ..
             } => assert_eq!(s_draws + r_draws + q_draws, 32),
-            rheotex_obs::KernelProfile::Parallel { .. } => panic!("wrong variant"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merged_chunk_profiles_sum_counters() {
+        let mut a = SparseProfile {
+            s_draws: 1,
+            r_draws: 2,
+            q_draws: 3,
+            s_mass: 0.5,
+            r_mass: 1.0,
+            q_mass: 2.0,
+            word_nnz: 7,
+            doc_nnz: 9,
+        };
+        let b = SparseProfile {
+            s_draws: 10,
+            r_draws: 20,
+            q_draws: 30,
+            s_mass: 5.0,
+            r_mass: 10.0,
+            q_mass: 20.0,
+            word_nnz: 70,
+            doc_nnz: 90,
+        };
+        a.merge(&b);
+        assert_eq!((a.s_draws, a.r_draws, a.q_draws), (11, 22, 33));
+        assert_eq!((a.word_nnz, a.doc_nnz), (77, 99));
+        let kp = a.into_sparse_parallel_profile(vec![4, 5], vec![1, 1], vec![2, 2], 1024);
+        match kp {
+            rheotex_obs::KernelProfile::SparseParallel {
+                s_draws,
+                chunks,
+                chunk_us,
+                rebuild_us,
+                fold_us,
+                alloc_bytes,
+                ..
+            } => {
+                assert_eq!(s_draws, 11);
+                assert_eq!(chunks, 2);
+                assert_eq!(chunk_us, vec![4, 5]);
+                assert_eq!(rebuild_us, vec![1, 1]);
+                assert_eq!(fold_us, vec![2, 2]);
+                assert_eq!(alloc_bytes, 1024);
+            }
+            other => panic!("wrong variant: {other:?}"),
         }
     }
 

@@ -7,7 +7,9 @@
 //! snapshot, and (c) replayed on the snapshot's recorded RNG stream —
 //! so the supervised faulted run produces a final model **bit-identical**
 //! to the clean, unsupervised run. This must hold for every LDA kernel
-//! class (serial, parallel, sparse) and for the joint engine.
+//! class (serial, parallel, sparse, sparse-parallel) and for the joint
+//! engine — and when the rollback budget is exhausted under a sparse
+//! kernel, the degradation to serial must itself be deterministic.
 //!
 //! The dual no-false-positive contract rides along: a healthy fit
 //! audited every sweep under the strict (abort-on-trip) policy must
@@ -135,6 +137,11 @@ fn lda_sparse_recovers_bit_identically() {
 }
 
 #[test]
+fn lda_sparse_parallel_recovers_bit_identically() {
+    assert_lda_recovers_bit_identically(GibbsKernel::SparseParallel);
+}
+
+#[test]
 fn joint_recovers_bit_identically_on_all_kernels() {
     let docs = two_cluster_docs(25);
     let config = JointConfig {
@@ -148,6 +155,7 @@ fn joint_recovers_bit_identically_on_all_kernels() {
         GibbsKernel::Serial,
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
+        GibbsKernel::SparseParallel,
     ] {
         let clean = model
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
@@ -214,6 +222,88 @@ fn snapshotted_corruption_walks_the_full_recovery_ladder() {
     assert!(!actions.contains(&"recovered"), "{actions:?}");
 }
 
+/// The degradation ladder end to end, deterministically: a
+/// sparse-parallel fit whose rollback budget is exhausted on the first
+/// trip must degrade to the serial kernel from the last good snapshot
+/// and finish — bit-identical to a clean sparse-parallel run
+/// checkpointed at the same sweep, restamped serial, and resumed under
+/// the serial kernel.
+#[test]
+fn sparse_parallel_degrades_to_serial_and_recovers_bit_identically() {
+    use rheotex_core::checkpoint::{MemoryCheckpointSink, SamplerSnapshot};
+
+    let docs = two_cluster_docs(30);
+    let model = LdaModel::new(lda_config()).unwrap();
+
+    // The reference trajectory a degrade at sweep 5 must reproduce:
+    // sweeps 0..5 under sparse-parallel, 5.. under serial.
+    let mut sink = MemoryCheckpointSink::new(5);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let SamplerSnapshot::Lda(mut snap) = sink.snapshots[0].clone() else {
+        panic!("wrong engine")
+    };
+    assert_eq!(snap.next_sweep, 5);
+    snap.kernel = Some(GibbsKernel::Serial);
+    let reference = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new().resume(SamplerSnapshot::Lda(snap)),
+        )
+        .unwrap();
+
+    // The victim: corruption at sweep 5 with a zero rollback budget —
+    // the supervisor's only move is the sparse-parallel → serial rung.
+    let mut observer = VecObserver::default();
+    let faulted = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2)
+                .observer(&mut observer)
+                .health(
+                    HealthPolicy::recover()
+                        .action(RecoveryAction::DegradeKernel { max_retries: 0 })
+                        .audit_every(1)
+                        .snapshot_every(1)
+                        .chaos(chaos(5)),
+                ),
+        )
+        .unwrap();
+
+    assert_eq!(faulted.phi, reference.phi, "phi diverged");
+    assert_eq!(faulted.theta, reference.theta, "theta diverged");
+    assert_eq!(faulted.ll_trace, reference.ll_trace, "ll trace diverged");
+    let actions: Vec<&str> = observer.health.iter().map(|e| e.action).collect();
+    assert!(actions.contains(&"degrade"), "{actions:?}");
+    assert!(actions.contains(&"recovered"), "{actions:?}");
+    assert!(!actions.contains(&"rollback"), "{actions:?}");
+    assert!(!actions.contains(&"abort"), "{actions:?}");
+    let degrade = observer
+        .health
+        .iter()
+        .find(|e| e.action == "degrade")
+        .unwrap();
+    assert!(
+        degrade
+            .detail
+            .contains("sparse-parallel kernel degraded to serial"),
+        "{}",
+        degrade.detail
+    );
+}
+
 #[test]
 fn strict_policy_aborts_with_health_error_on_first_trip() {
     let docs = two_cluster_docs(20);
@@ -241,6 +331,7 @@ fn strict_every_sweep_audits_pass_on_healthy_fits() {
         GibbsKernel::Serial,
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
+        GibbsKernel::SparseParallel,
     ] {
         let clean = lda
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
@@ -266,6 +357,7 @@ fn strict_every_sweep_audits_pass_on_healthy_fits() {
         GibbsKernel::Serial,
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
+        GibbsKernel::SparseParallel,
     ] {
         let clean = joint
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))

@@ -10,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::MemoryCheckpointSink;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelDoc};
+use rheotex_core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc};
 use rheotex_linalg::Vector;
 
 fn rng() -> ChaCha8Rng {
@@ -181,6 +181,107 @@ fn parallel_checkpoint_resumes_bit_identically() {
                 &mut ChaCha8Rng::seed_from_u64(0),
                 &docs,
                 FitOptions::new()
+                    .threads(resume_threads)
+                    .resume(snapshot.clone()),
+            )
+            .unwrap();
+        assert_eq!(resumed.y, full.y, "resume at {resume_threads} threads");
+        assert_eq!(resumed.ll_trace, full.ll_trace);
+        assert_eq!(resumed.phi, full.phi);
+    }
+}
+
+/// The composed sparse-parallel kernel honours the same contract as the
+/// dense parallel one: the thread count never changes a bit of the fit.
+#[test]
+fn joint_sparse_parallel_fit_is_identical_across_thread_counts() {
+    let docs = banded_docs(300);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let fits: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            model
+                .fit_with(
+                    &mut rng(),
+                    &docs,
+                    FitOptions::new()
+                        .kernel(GibbsKernel::SparseParallel)
+                        .threads(t),
+                )
+                .unwrap()
+        })
+        .collect();
+    for fit in &fits[1..] {
+        assert_eq!(fit.y, fits[0].y);
+        assert_eq!(fit.ll_trace, fits[0].ll_trace);
+        assert_eq!(fit.phi, fits[0].phi);
+        assert_eq!(fit.theta, fits[0].theta);
+    }
+}
+
+#[test]
+fn lda_sparse_parallel_fit_is_identical_across_thread_counts() {
+    let docs = banded_docs(300);
+    let model = LdaModel::new(LdaConfig::from(&joint_config())).unwrap();
+    let fits: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            model
+                .fit_with(
+                    &mut rng(),
+                    &docs,
+                    FitOptions::new()
+                        .kernel(GibbsKernel::SparseParallel)
+                        .threads(t),
+                )
+                .unwrap()
+        })
+        .collect();
+    for fit in &fits[1..] {
+        assert_eq!(fit.phi, fits[0].phi);
+        assert_eq!(fit.theta, fits[0].theta);
+        assert_eq!(fit.ll_trace, fits[0].ll_trace);
+    }
+}
+
+/// Checkpoint taken mid-run under the sparse-parallel kernel, resumed
+/// under the sparse-parallel kernel: bit-identical to the uninterrupted
+/// fit, regardless of the resuming thread count.
+#[test]
+fn sparse_parallel_checkpoint_resumes_bit_identically() {
+    let docs = banded_docs(200);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let full = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2),
+        )
+        .unwrap();
+
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+    assert!(snapshot.next_sweep() < joint_config().sweeps);
+
+    for resume_threads in [2usize, 8] {
+        let resumed = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new()
+                    .kernel(GibbsKernel::SparseParallel)
                     .threads(resume_threads)
                     .resume(snapshot.clone()),
             )

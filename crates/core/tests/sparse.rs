@@ -106,6 +106,41 @@ fn sparse_and_serial_kernels_agree_statistically() {
     );
 }
 
+/// The composed sparse-parallel kernel samples the same per-token
+/// conditional as the dense serial kernel too — only the chunk grid and
+/// the RNG consumption pattern differ — so it must recover the planted
+/// partition and land on the same log-likelihood plateau.
+#[test]
+fn sparse_parallel_and_serial_kernels_agree_statistically() {
+    let docs = two_cluster_docs(40);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let serial = model
+        .fit_with(&mut rng(), &docs, FitOptions::new())
+        .unwrap();
+    let sparse_parallel = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2),
+        )
+        .unwrap();
+    let acc_serial = partition_accuracy(&serial.y);
+    let acc_sp = partition_accuracy(&sparse_parallel.y);
+    assert!(acc_serial > 0.9, "serial kernel recovered {acc_serial}");
+    assert!(acc_sp > 0.9, "sparse-parallel kernel recovered {acc_sp}");
+    let tail = |t: &[f64]| -> f64 {
+        let m = t.len() / 2;
+        t[m..].iter().sum::<f64>() / (t.len() - m) as f64
+    };
+    let (ls, lp) = (tail(&serial.ll_trace), tail(&sparse_parallel.ll_trace));
+    assert!(
+        ((ls - lp) / ls.abs()).abs() < 0.05,
+        "post-burn-in LL plateaus diverge: serial {ls}, sparse-parallel {lp}"
+    );
+}
+
 #[test]
 fn sparse_lda_recovers_the_partition_like_the_dense_kernel() {
     let docs = two_cluster_docs(40);
@@ -148,19 +183,17 @@ fn sparse_kernel_rejects_worker_threads() {
 }
 
 #[test]
-fn gmm_rejects_the_sparse_kernel() {
+fn gmm_rejects_the_sparse_kernels() {
     let docs = two_cluster_docs(4);
     let mut cfg = GmmConfig::new(2);
     cfg.sweeps = 4;
     let model = GmmModel::new(cfg).unwrap();
-    let err = model
-        .fit_with(
-            &mut rng(),
-            &docs,
-            FitOptions::new().kernel(GibbsKernel::Sparse),
-        )
-        .unwrap_err();
-    assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+    for kernel in [GibbsKernel::Sparse, GibbsKernel::SparseParallel] {
+        let err = model
+            .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+    }
 }
 
 /// Checkpoint written mid-run by the sparse kernel, resumed by the
@@ -216,6 +249,44 @@ fn resume_under_a_different_kernel_is_rejected() {
     for resume_opts in [
         FitOptions::new(),            // serial
         FitOptions::new().threads(2), // parallel
+        FitOptions::new()
+            .kernel(GibbsKernel::SparseParallel)
+            .threads(2), // the composed kernel is its own bit class too
+    ] {
+        let err = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                resume_opts.resume(snapshot.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
+    }
+}
+
+/// The mirror direction: a snapshot stamped sparse-parallel refuses to
+/// resume under any of the other three kernel classes.
+#[test]
+fn sparse_parallel_snapshot_rejects_other_kernels_on_resume() {
+    let docs = two_cluster_docs(100);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::SparseParallel)
+                .threads(2)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+
+    for resume_opts in [
+        FitOptions::new(),                             // serial
+        FitOptions::new().threads(2),                  // parallel
+        FitOptions::new().kernel(GibbsKernel::Sparse), // sparse
     ] {
         let err = model
             .fit_with(

@@ -53,6 +53,40 @@ pub enum KernelProfile {
         /// of the shared count state.
         alloc_bytes: u64,
     },
+    /// The chunked sparse kernel: the sparse bucket counters summed over
+    /// every chunk, plus the per-chunk sample / bucket-rebuild / fold
+    /// timings.
+    SparseParallel {
+        /// Tokens whose draw landed in the smoothing (`s`) bucket.
+        s_draws: u64,
+        /// Tokens whose draw landed in the document (`r`) bucket.
+        r_draws: u64,
+        /// Tokens whose draw landed in the word (`q`) bucket.
+        q_draws: u64,
+        /// Summed smoothing-bucket mass over all token draws.
+        s_mass: f64,
+        /// Summed document-bucket mass over all token draws.
+        r_mass: f64,
+        /// Summed word-bucket mass over all token draws.
+        q_mass: f64,
+        /// Summed word nonzero-topic-list length over all token draws.
+        word_nnz: u64,
+        /// Summed document nonzero-topic-list length over all documents.
+        doc_nnz: u64,
+        /// Document chunks processed this sweep.
+        chunks: u64,
+        /// Wall-clock sampling time of each chunk, µs, in chunk order.
+        chunk_us: Vec<u64>,
+        /// Per-chunk bucket-state rebuild time (chunk-local count clone
+        /// plus `begin_sweep`), µs, in chunk order.
+        rebuild_us: Vec<u64>,
+        /// Per-chunk fold time (doc rows and nonzero lists folded back
+        /// into the shared store), µs, in chunk order.
+        fold_us: Vec<u64>,
+        /// Estimated bytes allocated this sweep for chunk-local clones
+        /// of the shared count state.
+        alloc_bytes: u64,
+    },
 }
 
 /// Statistics of one Gibbs sweep. Field semantics by engine:
@@ -241,6 +275,66 @@ impl SweepStats {
                         Field::new("chunk_us_min", if chunk_us.is_empty() { 0 } else { min }),
                         Field::new("chunk_us_max", max),
                         Field::new("chunk_us_mean", mean),
+                    ],
+                );
+            }
+            Some(KernelProfile::SparseParallel {
+                s_draws,
+                r_draws,
+                q_draws,
+                s_mass,
+                r_mass,
+                q_mass,
+                word_nnz,
+                doc_nnz,
+                chunks,
+                chunk_us,
+                rebuild_us,
+                fold_us,
+                alloc_bytes,
+            }) => {
+                for &us in chunk_us {
+                    obs.observe(format!("{}.chunk_us", self.engine), us as f64);
+                }
+                for &us in rebuild_us {
+                    obs.observe(format!("{}.chunk_rebuild_us", self.engine), us as f64);
+                }
+                for &us in fold_us {
+                    obs.observe(format!("{}.chunk_fold_us", self.engine), us as f64);
+                }
+                obs.gauge(
+                    format!("{}.sweep_alloc_bytes", self.engine),
+                    *alloc_bytes as f64,
+                );
+                let tokens = s_draws + r_draws + q_draws;
+                let mass = s_mass + r_mass + q_mass;
+                let frac = |m: f64| if mass > 0.0 { m / mass } else { 0.0 };
+                let per_token = |n: u64| {
+                    if tokens > 0 {
+                        n as f64 / tokens as f64
+                    } else {
+                        0.0
+                    }
+                };
+                let sum_us = |v: &[u64]| v.iter().sum::<u64>();
+                obs.emit(
+                    EventKind::Profile,
+                    format!("{}.profile", self.engine),
+                    vec![
+                        Field::new("kernel", "sparse_parallel"),
+                        Field::new("tokens", tokens),
+                        Field::new("s_draws", *s_draws),
+                        Field::new("r_draws", *r_draws),
+                        Field::new("q_draws", *q_draws),
+                        Field::new("s_frac", frac(*s_mass)),
+                        Field::new("r_frac", frac(*r_mass)),
+                        Field::new("q_frac", frac(*q_mass)),
+                        Field::new("avg_word_nnz", per_token(*word_nnz)),
+                        Field::new("doc_nnz", *doc_nnz),
+                        Field::new("chunks", *chunks),
+                        Field::new("alloc_bytes", *alloc_bytes),
+                        Field::new("rebuild_us_total", sum_us(rebuild_us)),
+                        Field::new("fold_us_total", sum_us(fold_us)),
                     ],
                 );
             }
@@ -555,6 +649,50 @@ mod tests {
         let summary = obs.summary();
         assert_eq!(summary.histograms["joint.chunk_us"].count(), 3);
         assert_eq!(summary.gauges["joint.sweep_alloc_bytes"], 4096.0);
+    }
+
+    #[test]
+    fn sparse_parallel_profile_emits_buckets_and_chunk_timings() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut s = stats(0);
+        s.engine = "lda";
+        s.profile = Some(KernelProfile::SparseParallel {
+            s_draws: 1,
+            r_draws: 3,
+            q_draws: 6,
+            s_mass: 1.0,
+            r_mass: 1.0,
+            q_mass: 2.0,
+            word_nnz: 30,
+            doc_nnz: 12,
+            chunks: 2,
+            chunk_us: vec![40, 60],
+            rebuild_us: vec![5, 7],
+            fold_us: vec![2, 4],
+            alloc_bytes: 8192,
+        });
+        s.emit_to(&obs, None);
+        let profiles = sink.events_of(EventKind::Profile);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].name, "lda.profile");
+        assert_eq!(
+            profiles[0].field("kernel"),
+            Some(&crate::Value::Str("sparse_parallel".into()))
+        );
+        // The sparse bucket story survives the chunked fold…
+        assert_eq!(profiles[0].field_f64("tokens"), Some(10.0));
+        assert_eq!(profiles[0].field_f64("q_frac"), Some(0.5));
+        assert_eq!(profiles[0].field_f64("avg_word_nnz"), Some(3.0));
+        // …and the chunk timings ride alongside.
+        assert_eq!(profiles[0].field_f64("chunks"), Some(2.0));
+        assert_eq!(profiles[0].field_f64("rebuild_us_total"), Some(12.0));
+        assert_eq!(profiles[0].field_f64("fold_us_total"), Some(6.0));
+        let summary = obs.summary();
+        assert_eq!(summary.histograms["lda.chunk_us"].count(), 2);
+        assert_eq!(summary.histograms["lda.chunk_rebuild_us"].count(), 2);
+        assert_eq!(summary.histograms["lda.chunk_fold_us"].count(), 2);
+        assert_eq!(summary.gauges["lda.sweep_alloc_bytes"], 8192.0);
     }
 
     #[test]
