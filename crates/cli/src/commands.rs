@@ -3,13 +3,15 @@
 use crate::args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rheotex::core::{FittedJointModel, HealthPolicy, ModelError, TopicSummary};
+use rheotex::core::{FittedJointModel, GibbsKernel, HealthMode, ModelError, TopicSummary};
 use rheotex::corpus::io::{load_corpus, load_corpus_lenient, save_corpus, save_quarantine};
 use rheotex::corpus::synth::{generate as synth_generate, SynthConfig};
 use rheotex::corpus::{Dataset, DatasetFilter, IngredientDb};
 use rheotex::pipeline::{CheckpointOptions, PipelineConfig, PipelineError, PipelineRun};
+use rheotex::core::checkpoint::SamplerSnapshot;
 use rheotex::resilience::CheckpointStore;
 use rheotex::rheology::tpa::GelMechanics;
+use rheotex::serve::{FitProvenance, ModelArtifact, Server, ServerConfig, TextureService};
 use rheotex::textures::{TermId, TextureDictionary};
 use rheotex_linkage::assign::assign_setting;
 use rheotex_linkage::rules::mine_term_rules;
@@ -41,6 +43,12 @@ USAGE:
                     [--milk PCT] [--cream PCT] [--yolk PCT] [--sugar PCT]
                     [--albumen PCT] [--yogurt PCT]
   rheotex rules     --corpus corpus.jsonl [--min-support N]
+  rheotex export-model --corpus corpus.jsonl --out model.rtm [--topics K]
+                    [--sweeps N] [--seed S] [--threads N] [--kernel NAME]
+                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                    [--metrics-out metrics.jsonl] [--quiet]
+  rheotex serve     --artifact model.rtm [--addr HOST:PORT] [--workers N]
+                    [--max-batch N] [--quiet]
   rheotex help
 
 FIT PERFORMANCE:
@@ -134,6 +142,21 @@ FIT RESILIENCE:
                          object per skipped line: lineno, byte_offset,
                          reason) so bad recipes stay auditable at scale;
                          written even when empty
+
+SERVING:
+  rheotex export-model fits the joint model (or resumes a checkpoint
+  with --checkpoint-dir + --resume) and writes a versioned read-only
+  serving artifact (schema rheotex.model/1): topic-word counts,
+  Normal-Wishart posteriors, the Table I KL linkage, the texture
+  dictionary, and fit provenance, CRC-framed like a checkpoint.
+  rheotex serve loads an artifact and answers POST /v1/texture with a
+  rheotex.serve/1 prediction (texture terms, rheological coordinates,
+  spreadability controls, nearest Table I setting); GET /healthz
+  re-verifies the artifact bytes and GET /metrics reports latency
+  histograms, micro-batch sizes, and the predictive-cache hit rate.
+  Fold-in is deterministic: same artifact + request + seed yields
+  byte-identical responses (algorithm cvb0 is seed-free; gibbs uses
+  the request's seed).
 ";
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
@@ -250,22 +273,18 @@ pub fn fit(args: &Args) -> i32 {
             Err(e) => return fail(e),
         }
     }
-    match args.get("health") {
-        None | Some("off") => {}
-        Some(mode @ ("strict" | "recover")) => {
-            let mut policy = if mode == "strict" {
-                HealthPolicy::strict()
-            } else {
-                HealthPolicy::recover()
-            };
-            if args.get("max-retries").is_some() {
-                policy = policy.max_retries(args.get_parsed_or("max-retries", 3usize));
+    if let Some(mode) = args.get("health") {
+        let mode: HealthMode = match mode.parse() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: --health: {e}");
+                return 2;
             }
-            config.health = Some(policy);
-        }
-        Some(other) => {
-            eprintln!("error: --health expects strict, recover, or off (got '{other}')");
-            return 2;
+        };
+        config.health = mode.policy();
+        if args.get("max-retries").is_some() {
+            let retries = args.get_parsed_or("max-retries", 3usize);
+            config.health = config.health.map(|p| p.max_retries(retries));
         }
     }
     // Hidden test-only flag (requires building with --features
@@ -571,6 +590,207 @@ pub fn rheometer(args: &Args) -> i32 {
     println!("hardness     = {:.3} RU", attrs.hardness);
     println!("cohesiveness = {:.3}", attrs.cohesiveness);
     println!("adhesiveness = {:.3} RU.s", attrs.adhesiveness);
+    0
+}
+
+/// Best-effort git revision of the working tree, for artifact
+/// provenance. `None` when git is absent or this is not a checkout.
+fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// `export-model`: fit the joint model (or resume a checkpoint) and
+/// write the versioned `rheotex.model/1` serving artifact.
+///
+/// The artifact ships the raw sampler counts, so the fit always runs
+/// checkpointed and the final snapshot is the export source: into
+/// `--checkpoint-dir` when given (resumable across crashes), otherwise
+/// into a temporary directory that is removed afterwards.
+pub fn export_model(args: &Args) -> i32 {
+    let corpus_path = args.require("corpus");
+    let out = args.require("out");
+    let quiet = args.has("quiet");
+    let resume = args.has("resume");
+    if resume && args.get("checkpoint-dir").is_none() {
+        eprintln!("error: --resume requires --checkpoint-dir");
+        return 2;
+    }
+
+    let obs = match fit_observability(args) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let (recipes, labels) = match load_corpus(Path::new(corpus_path)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let mut config = PipelineConfig::paper_scale();
+    config.n_topics = args.get_parsed_or("topics", config.n_topics);
+    config.sweeps = args.get_parsed_or("sweeps", config.sweeps);
+    config.burn_in = config.sweeps / 2;
+    config.seed = args.get_parsed_or("seed", config.seed);
+    config.threads = args.get_parsed_or("threads", config.threads);
+    if let Some(kernel) = args.get("kernel") {
+        match kernel.parse() {
+            Ok(k) => config.kernel = Some(k),
+            Err(e) => return fail(e),
+        }
+    }
+
+    let (dir, ephemeral) = match args.get("checkpoint-dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("rheotex-export-{}", std::process::id())),
+            true,
+        ),
+    };
+    // The final snapshot only lands when the cadence divides the sweep
+    // count, so that is the default — and the invariant is re-checked
+    // against the loaded snapshot below.
+    let every = args.get_parsed_or("checkpoint-every", config.sweeps);
+    if every == 0 || config.sweeps % every != 0 {
+        eprintln!(
+            "error: --checkpoint-every {every} leaves no final snapshot to \
+             export; use a divisor of --sweeps {}",
+            config.sweeps
+        );
+        return 2;
+    }
+    let resumed = resume && CheckpointStore::new(&dir).exists();
+    let mut opts = CheckpointOptions::new(&dir, every);
+    if resume {
+        if !quiet && !resumed {
+            eprintln!("no checkpoint found in {}; starting fresh", dir.display());
+        }
+        opts = opts.resume();
+    }
+
+    if !quiet {
+        let kernel = config
+            .kernel
+            .map_or_else(String::new, |k| format!(", {k} kernel"));
+        eprintln!(
+            "fitting K={} over {} recipes for export ({} sweeps, {} threads{kernel})…",
+            config.n_topics,
+            recipes.len(),
+            config.sweeps,
+            config.threads
+        );
+    }
+    let fit = match PipelineRun::new(&config)
+        .observed(&obs)
+        .checkpointed(opts)
+        .fit_recipes(&recipes, &labels)
+    {
+        Ok(f) => f,
+        Err(e @ PipelineError::Model(ModelError::Health { .. })) => {
+            eprintln!("error: {e}");
+            return 4;
+        }
+        Err(e) => return fail(e),
+    };
+    let snapshot = match CheckpointStore::new(&dir).load() {
+        Ok(SamplerSnapshot::Joint(s)) => s,
+        Ok(_) => return fail("checkpoint is not a joint-model snapshot"),
+        Err(e) => return fail(format!("load final checkpoint: {e}")),
+    };
+    if snapshot.next_sweep < config.sweeps {
+        return fail(format!(
+            "final checkpoint covers only {}/{} sweeps; re-run with a \
+             --checkpoint-every that divides --sweeps",
+            snapshot.next_sweep, config.sweeps
+        ));
+    }
+    let provenance = FitProvenance {
+        kernel: snapshot.kernel.unwrap_or(if config.threads == 0 {
+            GibbsKernel::Serial
+        } else {
+            GibbsKernel::Parallel
+        }),
+        seed: config.seed,
+        threads: config.threads,
+        source: if resumed {
+            format!("checkpoint:{}", dir.display())
+        } else {
+            "fresh-fit".to_string()
+        },
+        git_revision: git_revision(),
+        host: std::env::var("HOSTNAME").ok().filter(|h| !h.is_empty()),
+    };
+    let artifact = match ModelArtifact::build(&fit.model, &snapshot, &fit.dict, provenance) {
+        Ok(a) => a,
+        Err(e) => return fail(format!("build artifact: {e}")),
+    };
+    if let Err(e) = artifact.save(Path::new(out)) {
+        return fail(format!("{out}: {e}"));
+    }
+    if ephemeral {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    obs.flush();
+    if !quiet {
+        println!(
+            "wrote {out} (schema {}, K={}, vocab {}, {} kernel, seed {})",
+            artifact.schema,
+            artifact.config.n_topics,
+            artifact.config.vocab_size,
+            artifact.provenance.kernel,
+            artifact.provenance.seed
+        );
+    }
+    0
+}
+
+/// `serve`: load a `rheotex.model/1` artifact and answer texture
+/// inference requests over HTTP until killed.
+pub fn serve(args: &Args) -> i32 {
+    let artifact_path = args.require("artifact");
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let workers = args.get_parsed_or("workers", ServerConfig::default().workers);
+    let max_batch = args.get_parsed_or("max-batch", ServerConfig::default().max_batch);
+    let quiet = args.has("quiet");
+    if workers == 0 || max_batch == 0 {
+        eprintln!("error: --workers and --max-batch must be >= 1");
+        return 2;
+    }
+    let service = match TextureService::open(Path::new(artifact_path)) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{artifact_path}: {e}")),
+    };
+    if !quiet {
+        let a = service.artifact();
+        eprintln!(
+            "loaded {artifact_path} (schema {}, K={}, vocab {}, {} kernel, seed {})",
+            a.schema,
+            a.config.n_topics,
+            a.config.vocab_size,
+            a.provenance.kernel,
+            a.provenance.seed
+        );
+    }
+    let server = match Server::bind(addr, std::sync::Arc::new(service), ServerConfig {
+        workers,
+        max_batch,
+    }) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("bind {addr}: {e}")),
+    };
+    if !quiet {
+        eprintln!(
+            "serving on http://{} ({workers} workers, micro-batch {max_batch}; \
+             POST /v1/texture, GET /healthz, GET /metrics)",
+            server.local_addr()
+        );
+    }
+    server.join();
     0
 }
 

@@ -11,6 +11,10 @@
 //! rheotex rheometer --gelatin 2.5 [--kanten 0] [--agar 0]
 //!                   [--milk 78.7] [--cream 0] [--yolk 0] [--sugar 0]
 //! rheotex rules     --corpus corpus.jsonl [--min-support 10]
+//! rheotex export-model --corpus corpus.jsonl --out model.rtm
+//!                   [--topics 10] [--sweeps 400] [--kernel sparse-parallel]
+//! rheotex serve     --artifact model.rtm [--addr 127.0.0.1:7878]
+//!                   [--workers 2] [--max-batch 8]
 //! ```
 
 mod args;
@@ -28,6 +32,8 @@ fn main() {
         Some("assign") => commands::assign(&args),
         Some("rheometer") => commands::rheometer(&args),
         Some("rules") => commands::rules(&args),
+        Some("export-model") => commands::export_model(&args),
+        Some("serve") => commands::serve(&args),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             0

@@ -62,16 +62,6 @@ impl CollapsedJointModel {
         Ok(Self { config })
     }
 
-    /// Fits the model; the result type is shared with the semi-collapsed
-    /// sampler so downstream linkage code is agnostic to the engine.
-    ///
-    /// # Errors
-    /// Same conditions as [`crate::JointTopicModel::fit`].
-    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
-    pub fn fit<R: Rng + ?Sized>(&self, rng: &mut R, docs: &[ModelDoc]) -> Result<FittedJointModel> {
-        self.fit_with(rng, docs, FitOptions::new())
-    }
-
     /// Fits the model with the cross-cutting concerns selected through a
     /// [`FitOptions`] bundle. `FitOptions::new()` reproduces the
     /// historical plain `fit` bit for bit.
@@ -545,10 +535,6 @@ impl CollapsedJointModel {
 
 #[cfg(test)]
 mod tests {
-    // These tests deliberately drive the deprecated `fit` wrapper: they
-    // pin the historical entry point to the `fit_with` output.
-    #![allow(deprecated)]
-
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -586,7 +572,7 @@ mod tests {
     fn collapsed_recovers_two_clusters() {
         let docs = two_cluster_docs(30);
         let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
-        let fit = model.fit(&mut rng(), &docs).unwrap();
+        let fit = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         let y0 = fit.y[0];
         let agree = (0..docs.len())
             .filter(|&d| (fit.y[d] == y0) == (d % 2 == 0))
@@ -602,7 +588,7 @@ mod tests {
     fn result_shape_matches_joint_model() {
         let docs = two_cluster_docs(10);
         let model = CollapsedJointModel::new(JointConfig::quick(3, 4)).unwrap();
-        let fit = model.fit(&mut rng(), &docs).unwrap();
+        let fit = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         assert_eq!(fit.phi.len(), 3);
         assert_eq!(fit.theta.len(), docs.len());
         assert_eq!(fit.ll_trace.len(), fit.config.sweeps);
@@ -615,8 +601,8 @@ mod tests {
     fn deterministic_given_seed() {
         let docs = two_cluster_docs(8);
         let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
-        let a = model.fit(&mut rng(), &docs).unwrap();
-        let b = model.fit(&mut rng(), &docs).unwrap();
+        let a = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
+        let b = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         assert_eq!(a.y, b.y);
     }
 
@@ -719,6 +705,6 @@ mod tests {
         cfg.alpha = 0.0;
         assert!(CollapsedJointModel::new(cfg).is_err());
         let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
-        assert!(model.fit(&mut rng(), &[]).is_err());
+        assert!(model.fit_with(&mut rng(), &[], FitOptions::new()).is_err());
     }
 }

@@ -1,5 +1,5 @@
 //! The unified fitting surface: one [`FitOptions`] bundle instead of a
-//! `fit` / `fit_observed` / `fit_checkpointed` method per concern.
+//! separate fitting method per cross-cutting concern.
 //!
 //! Every Gibbs engine (`JointTopicModel`, `LdaModel`, `GmmModel`)
 //! exposes a single `fit_with(rng, docs, options)` entry point. The

@@ -1,0 +1,689 @@
+//! Serving-time **fold-in** inference: the topic distribution of an
+//! unseen recipe under a frozen fit.
+//!
+//! A fitted model's topic–word structure is held fixed — no word-topic
+//! count is ever updated — and only the new document's own topic counts
+//! are inferred. Two algorithms, selected by [`FoldInAlgorithm`]:
+//!
+//! * **Fixed-topic collapsed Gibbs** ([`FoldInAlgorithm::Gibbs`]): the
+//!   token conditional is `p(z = k) ∝ (n_dk^{¬i} + α) · φ̂_kw`, the
+//!   document-side half of the fitting sampler with `φ̂` frozen. The
+//!   weight splits into the same smoothing/document bucket pair as the
+//!   sparse fitting kernel ([`crate::sparse`]): the smoothing mass
+//!   `α · Σ_k φ̂_kw` depends only on the word and is precomputed once
+//!   per vocabulary entry at load time, so a token costs `O(nnz_doc)`
+//!   plus a rare `O(K)` smoothing-bucket walk. Deterministic given
+//!   `(frozen topics, terms, seed)` — one `ChaCha8Rng` stream per call.
+//! * **CVB0** ([`FoldInAlgorithm::Cvb0`]): the zero-order collapsed
+//!   variational update over soft counts `γ_ik`. A deterministic fixed
+//!   point — no RNG is consumed at all, the seed argument is ignored —
+//!   which makes it the natural default for serving, where two replicas
+//!   answering the same request must agree without coordinating seeds.
+//!
+//! Both return the posterior-mean topic distribution
+//! `θ̂_k ∝ n_dk + α`, averaged over post-burn-in sweeps for Gibbs.
+//! The frozen topics themselves come from either averaged `φ` rows or
+//! raw topic–word counts (`φ̂_kw = (n_kw + γ) / (n_k + γV)`); the
+//! serving artifact ships the counts so both reconstructions agree.
+
+use crate::error::ModelError;
+use crate::Result;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The fold-in inference algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FoldInAlgorithm {
+    /// Fixed-topic collapsed Gibbs over the frozen topic–word structure.
+    /// Deterministic per `(terms, seed)`.
+    Gibbs,
+    /// Zero-order collapsed variational Bayes: a deterministic soft-count
+    /// fixed point that consumes no randomness (the seed is ignored).
+    #[default]
+    Cvb0,
+}
+
+impl std::fmt::Display for FoldInAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Gibbs => "gibbs",
+            Self::Cvb0 => "cvb0",
+        })
+    }
+}
+
+impl std::str::FromStr for FoldInAlgorithm {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "gibbs" => Ok(Self::Gibbs),
+            "cvb0" => Ok(Self::Cvb0),
+            other => Err(ModelError::InvalidConfig {
+                what: format!("unknown fold-in algorithm {other:?}; expected gibbs or cvb0"),
+            }),
+        }
+    }
+}
+
+/// Options for one fold-in inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldInConfig {
+    /// Inference algorithm.
+    pub algorithm: FoldInAlgorithm,
+    /// Maximum sweeps (Gibbs always runs all of them; CVB0 may stop
+    /// early at its fixed point).
+    pub sweeps: usize,
+    /// Gibbs sweeps discarded before `θ̂` accumulation starts. Ignored
+    /// by CVB0.
+    pub burn_in: usize,
+}
+
+impl Default for FoldInConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: FoldInAlgorithm::default(),
+            sweeps: 64,
+            burn_in: 32,
+        }
+    }
+}
+
+impl FoldInConfig {
+    /// Defaults: CVB0, 64 sweeps, 32 burn-in.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: FoldInAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the sweep budget.
+    #[must_use]
+    pub fn sweeps(mut self, sweeps: usize) -> Self {
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Sets the Gibbs burn-in.
+    #[must_use]
+    pub fn burn_in(mut self, burn_in: usize) -> Self {
+        self.burn_in = burn_in;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.sweeps == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: "fold-in needs at least one sweep".to_string(),
+            });
+        }
+        if self.burn_in >= self.sweeps {
+            return Err(ModelError::InvalidConfig {
+                what: format!(
+                    "fold-in burn_in ({}) must be below sweeps ({})",
+                    self.burn_in, self.sweeps
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The read-only topic–word structure a fold-in run conditions on:
+/// smoothed per-topic word distributions `φ̂` plus the per-word
+/// smoothing-bucket masses precomputed for the sparse token conditional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenTopics {
+    k: usize,
+    v: usize,
+    alpha: f64,
+    /// `φ̂` flattened K×V, row-major.
+    phi: Vec<f64>,
+    /// Per-word smoothing mass `α · Σ_k φ̂_kw`.
+    s_mass: Vec<f64>,
+}
+
+impl FrozenTopics {
+    /// Builds the frozen structure from raw topic–word counts:
+    /// `φ̂_kw = (n_kw + γ) / (n_k + γV)`. `n_kw` is flattened K×V
+    /// row-major, `n_k` the per-topic totals.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] for non-positive `α`/`γ` or empty
+    /// shapes; [`ModelError::InvalidData`] when the count arrays
+    /// disagree in shape or `n_k[t] ≠ Σ_w n_kw[t·V + w]`.
+    pub fn from_counts(
+        n_kw: &[u32],
+        n_k: &[u32],
+        vocab_size: usize,
+        alpha: f64,
+        gamma: f64,
+    ) -> Result<Self> {
+        if gamma <= 0.0 {
+            return Err(ModelError::InvalidConfig {
+                what: format!("fold-in gamma must be positive, got {gamma}"),
+            });
+        }
+        let k = n_k.len();
+        if k == 0 || vocab_size == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: "frozen topics need at least one topic and one word".to_string(),
+            });
+        }
+        if n_kw.len() != k * vocab_size {
+            return Err(ModelError::InvalidData {
+                what: format!(
+                    "topic-word counts have {} entries, expected K*V = {}*{}",
+                    n_kw.len(),
+                    k,
+                    vocab_size
+                ),
+            });
+        }
+        let mut phi = Vec::with_capacity(k * vocab_size);
+        for t in 0..k {
+            let row = &n_kw[t * vocab_size..(t + 1) * vocab_size];
+            let total: u64 = row.iter().map(|&c| u64::from(c)).sum();
+            if total != u64::from(n_k[t]) {
+                return Err(ModelError::InvalidData {
+                    what: format!(
+                        "topic {t} totals disagree: n_k = {} but its word counts sum to {total}",
+                        n_k[t]
+                    ),
+                });
+            }
+            let denom = f64::from(n_k[t]) + gamma * vocab_size as f64;
+            phi.extend(row.iter().map(|&c| (f64::from(c) + gamma) / denom));
+        }
+        Self::from_flat(phi, k, vocab_size, alpha)
+    }
+
+    /// Builds the frozen structure from per-topic word distributions
+    /// (e.g. a fitted model's averaged `φ` rows). Every row must be a
+    /// probability distribution over the same vocabulary.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] for non-positive `α` or empty
+    /// shapes; [`ModelError::InvalidData`] for ragged rows, negative
+    /// entries, or rows not summing to 1.
+    pub fn from_rows(rows: &[Vec<f64>], alpha: f64) -> Result<Self> {
+        let k = rows.len();
+        let v = rows.first().map_or(0, Vec::len);
+        if k == 0 || v == 0 {
+            return Err(ModelError::InvalidConfig {
+                what: "frozen topics need at least one topic and one word".to_string(),
+            });
+        }
+        let mut phi = Vec::with_capacity(k * v);
+        for (t, row) in rows.iter().enumerate() {
+            if row.len() != v {
+                return Err(ModelError::InvalidData {
+                    what: format!("phi row {t} has {} entries, expected {v}", row.len()),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&p| p.is_nan() || p < 0.0) || (sum - 1.0).abs() > 1e-6 {
+                return Err(ModelError::InvalidData {
+                    what: format!("phi row {t} is not a distribution (sum {sum})"),
+                });
+            }
+            phi.extend_from_slice(row);
+        }
+        Self::from_flat(phi, k, v, alpha)
+    }
+
+    fn from_flat(phi: Vec<f64>, k: usize, v: usize, alpha: f64) -> Result<Self> {
+        if alpha <= 0.0 {
+            return Err(ModelError::InvalidConfig {
+                what: format!("fold-in alpha must be positive, got {alpha}"),
+            });
+        }
+        let mut s_mass = vec![0.0f64; v];
+        for t in 0..k {
+            for (w, m) in s_mass.iter_mut().enumerate() {
+                *m += phi[t * v + w];
+            }
+        }
+        for m in &mut s_mass {
+            *m *= alpha;
+        }
+        Ok(Self {
+            k,
+            v,
+            alpha,
+            phi,
+            s_mass,
+        })
+    }
+
+    /// Number of topics `K`.
+    #[must_use]
+    pub fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    /// Vocabulary size `V`.
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.v
+    }
+
+    /// Document-topic Dirichlet concentration `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Frozen `φ̂_kw`.
+    #[must_use]
+    pub fn phi(&self, k: usize, w: usize) -> f64 {
+        self.phi[k * self.v + w]
+    }
+
+    fn check_terms(&self, terms: &[usize]) -> Result<()> {
+        if let Some(&w) = terms.iter().find(|&&w| w >= self.v) {
+            return Err(ModelError::InvalidData {
+                what: format!("term id {w} out of vocabulary (V = {})", self.v),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of folding one document in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldInResult {
+    /// Posterior-mean topic distribution `θ̂` (length K, sums to 1).
+    pub theta: Vec<f64>,
+    /// Final hard topic per token (Gibbs: last sweep's assignment;
+    /// CVB0: the argmax of each token's soft assignment).
+    pub z: Vec<usize>,
+    /// Sweeps actually run (CVB0 stops early at its fixed point).
+    pub sweeps_run: usize,
+}
+
+impl FoldInResult {
+    /// The highest-probability topic.
+    #[must_use]
+    pub fn top_topic(&self) -> usize {
+        self.theta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(k, _)| k)
+    }
+}
+
+/// Folds one unseen document into a frozen fit.
+///
+/// Deterministic: Gibbs is a pure function of
+/// `(frozen, terms, config, seed)`; CVB0 of `(frozen, terms, config)`.
+/// An empty document returns the prior mean (uniform `θ̂`) without
+/// consuming randomness.
+///
+/// # Errors
+/// [`ModelError::InvalidConfig`] for a bad sweep budget and
+/// [`ModelError::InvalidData`] for out-of-vocabulary term ids.
+pub fn fold_in(
+    frozen: &FrozenTopics,
+    terms: &[usize],
+    config: &FoldInConfig,
+    seed: u64,
+) -> Result<FoldInResult> {
+    config.validate()?;
+    frozen.check_terms(terms)?;
+    if terms.is_empty() {
+        return Ok(FoldInResult {
+            theta: vec![1.0 / frozen.k as f64; frozen.k],
+            z: Vec::new(),
+            sweeps_run: 0,
+        });
+    }
+    match config.algorithm {
+        FoldInAlgorithm::Gibbs => Ok(gibbs_fold_in(frozen, terms, config, seed)),
+        FoldInAlgorithm::Cvb0 => Ok(cvb0_fold_in(frozen, terms, config)),
+    }
+}
+
+/// Document-side topic counts with a sorted nonzero-topic list — the
+/// same shape the sparse fitting kernel keeps per document, here for a
+/// single folded document.
+struct DocCounts {
+    n_dk: Vec<u32>,
+    nonzero: Vec<usize>,
+}
+
+impl DocCounts {
+    fn new(k: usize) -> Self {
+        Self {
+            n_dk: vec![0; k],
+            nonzero: Vec::new(),
+        }
+    }
+
+    fn inc(&mut self, k: usize) {
+        if self.n_dk[k] == 0 {
+            let at = self.nonzero.partition_point(|&t| t < k);
+            self.nonzero.insert(at, k);
+        }
+        self.n_dk[k] += 1;
+    }
+
+    fn dec(&mut self, k: usize) {
+        self.n_dk[k] -= 1;
+        if self.n_dk[k] == 0 {
+            let at = self.nonzero.partition_point(|&t| t < k);
+            self.nonzero.remove(at);
+        }
+    }
+}
+
+fn gibbs_fold_in(
+    frozen: &FrozenTopics,
+    terms: &[usize],
+    config: &FoldInConfig,
+    seed: u64,
+) -> FoldInResult {
+    let k = frozen.k;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut counts = DocCounts::new(k);
+
+    // Initialize each token from the frozen word likelihood alone
+    // (`p(z = k) ∝ φ̂_kw`) — a data-driven start that needs no document
+    // state yet.
+    let mut z: Vec<usize> = terms
+        .iter()
+        .map(|&w| {
+            let total: f64 = (0..k).map(|t| frozen.phi(t, w)).sum();
+            let mut u = rng.gen::<f64>() * total;
+            let mut pick = k - 1;
+            for t in 0..k {
+                u -= frozen.phi(t, w);
+                if u <= 0.0 {
+                    pick = t;
+                    break;
+                }
+            }
+            pick
+        })
+        .collect();
+    for &t in &z {
+        counts.inc(t);
+    }
+
+    let mut theta_acc = vec![0.0f64; k];
+    let mut samples = 0usize;
+    for sweep in 0..config.sweeps {
+        for (i, &w) in terms.iter().enumerate() {
+            counts.dec(z[i]);
+            // Document bucket: only the topics this document touches.
+            let r_total: f64 = counts
+                .nonzero
+                .iter()
+                .map(|&t| f64::from(counts.n_dk[t]) * frozen.phi(t, w))
+                .sum();
+            let s_total = frozen.s_mass[w];
+            let mut u = rng.gen::<f64>() * (s_total + r_total);
+            let next = if u < r_total {
+                let mut pick = *counts.nonzero.last().expect("document has tokens");
+                for &t in &counts.nonzero {
+                    u -= f64::from(counts.n_dk[t]) * frozen.phi(t, w);
+                    if u <= 0.0 {
+                        pick = t;
+                        break;
+                    }
+                }
+                pick
+            } else {
+                u -= r_total;
+                let mut pick = k - 1;
+                for t in 0..k {
+                    u -= frozen.alpha * frozen.phi(t, w);
+                    if u <= 0.0 {
+                        pick = t;
+                        break;
+                    }
+                }
+                pick
+            };
+            z[i] = next;
+            counts.inc(next);
+        }
+        if sweep >= config.burn_in {
+            for t in 0..k {
+                theta_acc[t] += f64::from(counts.n_dk[t]) + frozen.alpha;
+            }
+            samples += 1;
+        }
+    }
+
+    let norm: f64 = theta_acc.iter().sum();
+    debug_assert!(samples > 0, "burn_in < sweeps is validated");
+    let theta = theta_acc.iter().map(|&a| a / norm).collect();
+    FoldInResult {
+        theta,
+        z,
+        sweeps_run: config.sweeps,
+    }
+}
+
+/// CVB0 soft-count convergence tolerance: iteration stops when no
+/// token's responsibility moves more than this between sweeps.
+const CVB0_TOL: f64 = 1e-10;
+
+fn cvb0_fold_in(frozen: &FrozenTopics, terms: &[usize], config: &FoldInConfig) -> FoldInResult {
+    let k = frozen.k;
+    let n = terms.len();
+    // Responsibilities γ_ik, initialized from the word likelihood.
+    let mut resp = vec![0.0f64; n * k];
+    let mut m = vec![0.0f64; k]; // soft counts Σ_i γ_ik
+    for (i, &w) in terms.iter().enumerate() {
+        let row = &mut resp[i * k..(i + 1) * k];
+        let mut total = 0.0;
+        for (t, r) in row.iter_mut().enumerate() {
+            *r = frozen.phi(t, w);
+            total += *r;
+        }
+        for (t, r) in row.iter_mut().enumerate() {
+            *r /= total;
+            m[t] += *r;
+        }
+    }
+
+    let mut sweeps_run = 0usize;
+    for _ in 0..config.sweeps {
+        sweeps_run += 1;
+        let mut delta = 0.0f64;
+        for (i, &w) in terms.iter().enumerate() {
+            let row = &mut resp[i * k..(i + 1) * k];
+            let mut total = 0.0;
+            let mut next = Vec::with_capacity(k);
+            for (t, r) in row.iter().enumerate() {
+                // Exclude this token's own mass: the collapsed "¬i" count.
+                let weight = (m[t] - *r + frozen.alpha) * frozen.phi(t, w);
+                next.push(weight);
+                total += weight;
+            }
+            for (t, r) in row.iter_mut().enumerate() {
+                let new = next[t] / total;
+                delta = delta.max((new - *r).abs());
+                m[t] += new - *r;
+                *r = new;
+            }
+        }
+        if delta < CVB0_TOL {
+            break;
+        }
+    }
+
+    let denom = n as f64 + frozen.alpha * k as f64;
+    let theta = m.iter().map(|&c| (c + frozen.alpha) / denom).collect();
+    let z = (0..n)
+        .map(|i| {
+            let row = &resp[i * k..(i + 1) * k];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map_or(0, |(t, _)| t)
+        })
+        .collect();
+    FoldInResult {
+        theta,
+        z,
+        sweeps_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three planted topics over a 6-word vocabulary: topic t owns words
+    /// {2t, 2t+1} with heavy counts.
+    fn planted() -> FrozenTopics {
+        let mut n_kw = vec![0u32; 3 * 6];
+        for t in 0..3 {
+            n_kw[t * 6 + 2 * t] = 40;
+            n_kw[t * 6 + 2 * t + 1] = 40;
+        }
+        let n_k = vec![80u32; 3];
+        FrozenTopics::from_counts(&n_kw, &n_k, 6, 0.5, 0.1).unwrap()
+    }
+
+    #[test]
+    fn algorithm_round_trips_and_rejects_unknown() {
+        for a in [FoldInAlgorithm::Gibbs, FoldInAlgorithm::Cvb0] {
+            assert_eq!(a.to_string().parse::<FoldInAlgorithm>().unwrap(), a);
+        }
+        assert_eq!(FoldInAlgorithm::default(), FoldInAlgorithm::Cvb0);
+        assert!("vb".parse::<FoldInAlgorithm>().is_err());
+        // The serde spelling matches the Display spelling.
+        assert_eq!(
+            serde_json::to_string(&FoldInAlgorithm::Cvb0).unwrap(),
+            "\"cvb0\""
+        );
+    }
+
+    #[test]
+    fn from_counts_validates_shapes_and_totals() {
+        assert!(FrozenTopics::from_counts(&[1, 2], &[3], 2, 0.5, 0.1).is_ok());
+        // Wrong flat length.
+        assert!(FrozenTopics::from_counts(&[1, 2, 3], &[3], 2, 0.5, 0.1).is_err());
+        // Totals disagree.
+        assert!(FrozenTopics::from_counts(&[1, 2], &[4], 2, 0.5, 0.1).is_err());
+        // Bad hyperparameters.
+        assert!(FrozenTopics::from_counts(&[1, 2], &[3], 2, 0.0, 0.1).is_err());
+        assert!(FrozenTopics::from_counts(&[1, 2], &[3], 2, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates_distributions() {
+        assert!(FrozenTopics::from_rows(&[vec![0.5, 0.5]], 0.5).is_ok());
+        assert!(FrozenTopics::from_rows(&[vec![0.5, 0.4]], 0.5).is_err());
+        assert!(FrozenTopics::from_rows(&[vec![1.5, -0.5]], 0.5).is_err());
+        assert!(FrozenTopics::from_rows(&[vec![0.5, 0.5], vec![1.0]], 0.5).is_err());
+        assert!(FrozenTopics::from_rows(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn counts_and_rows_reconstructions_agree() {
+        let from_counts = planted();
+        let rows: Vec<Vec<f64>> = (0..3)
+            .map(|t| (0..6).map(|w| from_counts.phi(t, w)).collect())
+            .collect();
+        let from_rows = FrozenTopics::from_rows(&rows, 0.5).unwrap();
+        for t in 0..3 {
+            for w in 0..6 {
+                assert!((from_counts.phi(t, w) - from_rows.phi(t, w)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn both_algorithms_recover_a_planted_topic() {
+        let frozen = planted();
+        let doc = [2usize, 3, 2, 3, 2]; // topic 1's words
+        for algorithm in [FoldInAlgorithm::Gibbs, FoldInAlgorithm::Cvb0] {
+            let cfg = FoldInConfig::new().algorithm(algorithm);
+            let out = fold_in(&frozen, &doc, &cfg, 7).unwrap();
+            assert_eq!(out.top_topic(), 1, "{algorithm}");
+            assert!(out.theta[1] > 0.7, "{algorithm}: {:?}", out.theta);
+            let sum: f64 = out.theta.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert_eq!(out.z.len(), doc.len());
+            assert!(out.z.iter().all(|&t| t == 1), "{algorithm}: {:?}", out.z);
+        }
+    }
+
+    #[test]
+    fn gibbs_is_deterministic_per_seed() {
+        let frozen = planted();
+        let doc = [0usize, 1, 2, 4, 5, 0];
+        let cfg = FoldInConfig::new().algorithm(FoldInAlgorithm::Gibbs);
+        let a = fold_in(&frozen, &doc, &cfg, 42).unwrap();
+        let b = fold_in(&frozen, &doc, &cfg, 42).unwrap();
+        assert_eq!(a, b);
+        // A different seed draws a different chain (the z path differs
+        // with overwhelming probability on a mixed document).
+        let c = fold_in(&frozen, &doc, &cfg, 43).unwrap();
+        assert!(a.z != c.z || a.theta != c.theta);
+    }
+
+    #[test]
+    fn cvb0_ignores_the_seed() {
+        let frozen = planted();
+        let doc = [0usize, 3, 4, 0];
+        let cfg = FoldInConfig::new(); // cvb0 default
+        let a = fold_in(&frozen, &doc, &cfg, 1).unwrap();
+        let b = fold_in(&frozen, &doc, &cfg, 99).unwrap();
+        assert_eq!(a, b);
+        // The fixed point is reached well inside the budget.
+        assert!(a.sweeps_run <= cfg.sweeps);
+    }
+
+    #[test]
+    fn empty_document_returns_the_prior_mean() {
+        let frozen = planted();
+        let out = fold_in(&frozen, &[], &FoldInConfig::new(), 5).unwrap();
+        assert_eq!(out.theta, vec![1.0 / 3.0; 3]);
+        assert!(out.z.is_empty());
+        assert_eq!(out.sweeps_run, 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let frozen = planted();
+        // Out-of-vocabulary term.
+        assert!(matches!(
+            fold_in(&frozen, &[6], &FoldInConfig::new(), 0),
+            Err(ModelError::InvalidData { .. })
+        ));
+        // Degenerate sweep budgets.
+        assert!(fold_in(&frozen, &[0], &FoldInConfig::new().sweeps(0), 0).is_err());
+        let cfg = FoldInConfig::new().sweeps(4).burn_in(4);
+        assert!(fold_in(&frozen, &[0], &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn theta_reflects_mixed_membership() {
+        let frozen = planted();
+        // Half topic 0's words, half topic 2's.
+        let doc = [0usize, 1, 4, 5];
+        for algorithm in [FoldInAlgorithm::Gibbs, FoldInAlgorithm::Cvb0] {
+            let cfg = FoldInConfig::new().algorithm(algorithm);
+            let out = fold_in(&frozen, &doc, &cfg, 11).unwrap();
+            assert!(out.theta[0] > 0.2, "{algorithm}: {:?}", out.theta);
+            assert!(out.theta[2] > 0.2, "{algorithm}: {:?}", out.theta);
+            assert!(out.theta[1] < 0.3, "{algorithm}: {:?}", out.theta);
+        }
+    }
+}

@@ -210,82 +210,6 @@ impl GmmModel {
         }
     }
 
-    /// Fits with all-default options.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
-    pub fn fit(&self, rng: &mut ChaCha8Rng, docs: &[ModelDoc]) -> Result<FittedGmm> {
-        self.fit_with(rng, docs, FitOptions::new())
-    }
-
-    /// [`Self::fit_with`] restricted to per-sweep instrumentation
-    /// (engine `"gmm"`, occupancy counted in documents).
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer))`"
-    )]
-    pub fn fit_observed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-    ) -> Result<FittedGmm> {
-        self.fit_with(rng, docs, FitOptions::new().observer(observer))
-    }
-
-    /// [`Self::fit_with`] restricted to observation plus checkpointing.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer).checkpoint(sink))`"
-    )]
-    pub fn fit_checkpointed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedGmm> {
-        self.fit_with(
-            rng,
-            docs,
-            FitOptions::new().observer(observer).checkpoint(sink),
-        )
-    }
-
-    /// [`Self::fit_with`] restricted to resuming a snapshot.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with` with `FitOptions::new().resume(SamplerSnapshot::Gmm(snapshot))`"
-    )]
-    pub fn resume_observed(
-        &self,
-        docs: &[ModelDoc],
-        snapshot: GmmSnapshot,
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedGmm> {
-        // The resume path never touches the passed generator; any seed works.
-        let mut unused = ChaCha8Rng::seed_from_u64(0);
-        self.fit_with(
-            &mut unused,
-            docs,
-            FitOptions::new()
-                .observer(observer)
-                .checkpoint(sink)
-                .resume(SamplerSnapshot::Gmm(snapshot)),
-        )
-    }
-
     fn features_and_prior(&self, docs: &[ModelDoc]) -> Result<(Vec<Vector>, NormalWishart)> {
         if docs.is_empty() {
             return Err(ModelError::InvalidData {
@@ -813,12 +737,9 @@ struct GmmProgress {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the deprecated wrappers on purpose: they pin
-    // the wrappers' bit-compatibility with `fit_with`. New-API coverage
-    // (parallelism, caching, resume through FitOptions) lives in
-    // `tests/parallel.rs`.
-    #![allow(deprecated)]
-
+    // Everything drives the unified `fit_with` entry point; kernel
+    // coverage (parallelism, caching, resume through FitOptions) lives
+    // in `tests/parallel.rs`.
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -848,7 +769,7 @@ mod tests {
         let docs = blob_docs(40);
         let mut cfg = GmmConfig::new(2);
         cfg.features = GmmFeatures::GelOnly;
-        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        let fit = GmmModel::new(cfg).unwrap().fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         let c0 = fit.assignments[0];
         let agree = (0..docs.len())
             .filter(|&d| (fit.assignments[d] == c0) == (d % 2 == 0))
@@ -860,7 +781,7 @@ mod tests {
     fn concatenated_features_have_right_dim() {
         let docs = blob_docs(10);
         let cfg = GmmConfig::new(2);
-        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        let fit = GmmModel::new(cfg).unwrap().fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         assert_eq!(fit.means[0].len(), 9); // 3 gel + 6 emulsion
         assert_eq!(fit.counts.iter().sum::<usize>(), docs.len());
     }
@@ -870,7 +791,7 @@ mod tests {
         let docs = blob_docs(50);
         let mut cfg = GmmConfig::new(2);
         cfg.features = GmmFeatures::GelOnly;
-        let fit = GmmModel::new(cfg).unwrap().fit(&mut rng(), &docs).unwrap();
+        let fit = GmmModel::new(cfg).unwrap().fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
         // One mean near gelatin=2, the other near gelatin=9.
         let mut g: Vec<f64> = fit.means.iter().map(|m| m[0]).collect();
         g.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -882,12 +803,12 @@ mod tests {
     fn killed_fit_resumes_bit_identically() {
         let docs = blob_docs(15);
         let model = GmmModel::new(GmmConfig::new(2)).unwrap();
-        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+        let uninterrupted = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
 
         let mut sink = crate::MemoryCheckpointSink::new(20);
         sink.fail_after = Some(1);
         let err = model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap_err();
         assert!(matches!(err, ModelError::Checkpoint { .. }));
         let crate::SamplerSnapshot::Gmm(snap) = sink.latest().unwrap().clone() else {
@@ -896,7 +817,11 @@ mod tests {
         assert_eq!(snap.next_sweep, 20);
 
         let resumed = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new().resume(SamplerSnapshot::Gmm(snap)),
+            )
             .unwrap();
         assert_eq!(resumed.assignments, uninterrupted.assignments);
         assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
@@ -909,14 +834,18 @@ mod tests {
         let model = GmmModel::new(GmmConfig::new(2)).unwrap();
         let mut sink = crate::MemoryCheckpointSink::new(40);
         model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         let crate::SamplerSnapshot::Gmm(mut snap) = sink.latest().unwrap().clone() else {
             panic!("gmm fit must write gmm snapshots");
         };
         snap.counts[0] += 1;
         let err = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new().resume(SamplerSnapshot::Gmm(snap)),
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
     }
@@ -928,6 +857,6 @@ mod tests {
         c.sweeps = 0;
         assert!(GmmModel::new(c).is_err());
         let m = GmmModel::new(GmmConfig::new(2)).unwrap();
-        assert!(m.fit(&mut rng(), &[]).is_err());
+        assert!(m.fit_with(&mut rng(), &[], FitOptions::new()).is_err());
     }
 }

@@ -201,6 +201,60 @@ impl HealthPolicy {
     }
 }
 
+/// The named supervision levels the CLI and config files select from —
+/// a typed spelling of the `--health off|strict|recover` flag. Each
+/// mode expands to the matching [`HealthPolicy`] preset (or to no
+/// policy at all for [`HealthMode::Off`]) via [`HealthMode::policy`];
+/// the string forms round-trip through `FromStr`/`Display`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthMode {
+    /// No supervision — the historical behaviour, bit-identical to every
+    /// earlier release.
+    #[default]
+    Off,
+    /// Detect-and-abort: [`HealthPolicy::strict`].
+    Strict,
+    /// Detect-and-recover: [`HealthPolicy::recover`].
+    Recover,
+}
+
+impl HealthMode {
+    /// The policy preset this mode names; `None` for [`HealthMode::Off`].
+    #[must_use]
+    pub fn policy(self) -> Option<HealthPolicy> {
+        match self {
+            Self::Off => None,
+            Self::Strict => Some(HealthPolicy::strict()),
+            Self::Recover => Some(HealthPolicy::recover()),
+        }
+    }
+}
+
+impl std::fmt::Display for HealthMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Strict => "strict",
+            Self::Recover => "recover",
+        })
+    }
+}
+
+impl std::str::FromStr for HealthMode {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, ModelError> {
+        match s {
+            "off" => Ok(Self::Off),
+            "strict" => Ok(Self::Strict),
+            "recover" => Ok(Self::Recover),
+            other => Err(ModelError::InvalidConfig {
+                what: format!("unknown health mode {other:?}; expected off, strict, or recover"),
+            }),
+        }
+    }
+}
+
 /// What [`HealthMonitor::tripped`] asks the engine to do. Both variants
 /// carry the snapshot to restore; [`Recovery::Degrade`] additionally
 /// asks the engine to continue under the dense serial kernel.
@@ -606,6 +660,25 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use rheotex_obs::VecObserver;
+
+    #[test]
+    fn health_mode_parses_displays_and_expands() {
+        for m in [HealthMode::Off, HealthMode::Strict, HealthMode::Recover] {
+            assert_eq!(m.to_string().parse::<HealthMode>().unwrap(), m);
+        }
+        assert_eq!(HealthMode::default(), HealthMode::Off);
+        assert!(HealthMode::Off.policy().is_none());
+        assert!(matches!(
+            HealthMode::Strict.policy().map(|p| p.action),
+            Some(RecoveryAction::Abort)
+        ));
+        assert!(matches!(
+            HealthMode::Recover.policy().map(|p| p.action),
+            Some(RecoveryAction::DegradeKernel { .. })
+        ));
+        let msg = "paranoid".parse::<HealthMode>().unwrap_err().to_string();
+        assert!(msg.contains("off, strict, or recover"), "{msg}");
+    }
 
     fn lda_snap(next_sweep: usize) -> SamplerSnapshot {
         SamplerSnapshot::Lda(LdaSnapshot {

@@ -256,82 +256,6 @@ impl JointTopicModel {
         }
     }
 
-    /// Fits with all-default options.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
-    pub fn fit(&self, rng: &mut ChaCha8Rng, docs: &[ModelDoc]) -> Result<FittedJointModel> {
-        self.fit_with(rng, docs, FitOptions::new())
-    }
-
-    /// [`Self::fit_with`] restricted to per-sweep instrumentation.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer))`"
-    )]
-    pub fn fit_observed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-    ) -> Result<FittedJointModel> {
-        self.fit_with(rng, docs, FitOptions::new().observer(observer))
-    }
-
-    /// [`Self::fit_with`] restricted to observation plus checkpointing.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer).checkpoint(sink))`"
-    )]
-    pub fn fit_checkpointed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedJointModel> {
-        self.fit_with(
-            rng,
-            docs,
-            FitOptions::new().observer(observer).checkpoint(sink),
-        )
-    }
-
-    /// [`Self::fit_with`] restricted to resuming a snapshot (the RNG is
-    /// restored from the snapshot, so none is taken here).
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with` with `FitOptions::new().resume(SamplerSnapshot::Joint(snapshot))`"
-    )]
-    pub fn resume_observed(
-        &self,
-        docs: &[ModelDoc],
-        snapshot: JointSnapshot,
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedJointModel> {
-        // The resume path never touches the passed generator; any seed works.
-        let mut unused = ChaCha8Rng::seed_from_u64(0);
-        self.fit_with(
-            &mut unused,
-            docs,
-            FitOptions::new()
-                .observer(observer)
-                .checkpoint(sink)
-                .resume(SamplerSnapshot::Joint(snapshot)),
-        )
-    }
-
     /// The sweep loop shared by fresh and resumed fits, dispatching on
     /// the planned kernel class with one checkpoint decision per sweep.
     ///
@@ -1588,17 +1512,36 @@ impl FittedJointModel {
 
 #[cfg(test)]
 mod tests {
-    // These tests deliberately drive the deprecated wrappers: they pin
-    // the wrappers' bit-compatibility with `fit_with`. New-API coverage
-    // (thread-count determinism, parallel resume) lives in
+    // Everything drives the unified `fit_with` entry point; kernel
+    // coverage (thread-count determinism, parallel resume) lives in
     // `tests/parallel.rs`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::config::JointConfig;
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(31)
+    }
+
+    /// Default-options fit, the shape most tests want.
+    fn fit(model: &JointTopicModel, docs: &[ModelDoc]) -> Result<FittedJointModel> {
+        model.fit_with(&mut rng(), docs, FitOptions::new())
+    }
+
+    /// Resume from a snapshot (the RNG is restored from the snapshot, so
+    /// the seed passed here is irrelevant).
+    fn resume(
+        model: &JointTopicModel,
+        docs: &[ModelDoc],
+        snapshot: JointSnapshot,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<FittedJointModel> {
+        model.fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            docs,
+            FitOptions::new()
+                .checkpoint(sink)
+                .resume(SamplerSnapshot::Joint(snapshot)),
+        )
     }
 
     /// Two well-separated synthetic clusters:
@@ -1633,7 +1576,7 @@ mod tests {
     #[test]
     fn fit_recovers_two_clusters() {
         let docs = two_cluster_docs(40);
-        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(2), &docs).unwrap();
         // Every even doc shares a topic; every odd doc shares the other.
         let t0 = fit.dominant_topic(0);
         let t1 = fit.dominant_topic(1);
@@ -1655,7 +1598,7 @@ mod tests {
     #[test]
     fn topic_terms_separate() {
         let docs = two_cluster_docs(40);
-        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(2), &docs).unwrap();
         let t0 = fit.dominant_topic(0); // cluster A topic
         let top: Vec<usize> = fit.top_terms(t0, 2).iter().map(|&(w, _)| w).collect();
         assert!(
@@ -1667,7 +1610,7 @@ mod tests {
     #[test]
     fn gel_means_land_on_cluster_centers() {
         let docs = two_cluster_docs(40);
-        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(2), &docs).unwrap();
         let t0 = fit.dominant_topic(0);
         let g = fit.gel_gaussian(t0).unwrap();
         assert!(
@@ -1683,7 +1626,7 @@ mod tests {
     #[test]
     fn ll_trace_improves_from_start() {
         let docs = two_cluster_docs(30);
-        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(2), &docs).unwrap();
         let first = fit.ll_trace[0];
         let last = *fit.ll_trace.last().unwrap();
         assert!(
@@ -1696,7 +1639,7 @@ mod tests {
     #[test]
     fn phi_and_theta_are_distributions() {
         let docs = two_cluster_docs(20);
-        let fit = quick_model(3).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(3), &docs).unwrap();
         for row in &fit.phi {
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "phi row sums to {s}");
@@ -1711,7 +1654,7 @@ mod tests {
     #[test]
     fn topic_doc_counts_total() {
         let docs = two_cluster_docs(25);
-        let fit = quick_model(4).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(4), &docs).unwrap();
         let counts = fit.topic_doc_counts();
         assert_eq!(counts.iter().sum::<usize>(), docs.len());
     }
@@ -1722,7 +1665,7 @@ mod tests {
         for d in &mut docs {
             d.terms.clear();
         }
-        let fit = quick_model(2).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(2), &docs).unwrap();
         // y assignments should still split the clusters.
         let y0 = fit.y[0];
         let agree = (0..docs.len())
@@ -1753,8 +1696,8 @@ mod tests {
     fn deterministic_given_seed() {
         let docs = two_cluster_docs(10);
         let model = quick_model(2);
-        let a = model.fit(&mut rng(), &docs).unwrap();
-        let b = model.fit(&mut rng(), &docs).unwrap();
+        let a = fit(&model, &docs).unwrap();
+        let b = fit(&model, &docs).unwrap();
         assert_eq!(a.y, b.y);
         assert_eq!(a.ll_trace, b.ll_trace);
     }
@@ -1763,10 +1706,10 @@ mod tests {
     fn observer_sees_every_sweep_without_perturbing_sampling() {
         let docs = two_cluster_docs(10);
         let model = quick_model(2);
-        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let plain = fit(&model, &docs).unwrap();
         let mut observer = rheotex_obs::VecObserver::default();
         let observed = model
-            .fit_observed(&mut rng(), &docs, &mut observer)
+            .fit_with(&mut rng(), &docs, FitOptions::new().observer(&mut observer))
             .unwrap();
         // Observation must not touch the RNG stream.
         assert_eq!(plain.y, observed.y);
@@ -1794,10 +1737,10 @@ mod tests {
     fn checkpointed_fit_matches_plain_fit() {
         let docs = two_cluster_docs(10);
         let model = quick_model(2);
-        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let plain = fit(&model, &docs).unwrap();
         let mut sink = crate::MemoryCheckpointSink::new(7);
         let checkpointed = model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         assert_eq!(plain.y, checkpointed.y);
         assert_eq!(plain.ll_trace, checkpointed.ll_trace);
@@ -1816,14 +1759,14 @@ mod tests {
     fn killed_fit_resumes_bit_identically() {
         let docs = two_cluster_docs(10);
         let model = quick_model(2);
-        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+        let uninterrupted = fit(&model, &docs).unwrap();
 
         // Crash injection: the second checkpoint write fails, killing the
         // fit at sweep 9 with the sweep-5 snapshot safely persisted.
         let mut sink = crate::MemoryCheckpointSink::new(5);
         sink.fail_after = Some(1);
         let err = model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap_err();
         assert!(matches!(err, ModelError::Checkpoint { .. }));
         let crate::SamplerSnapshot::Joint(snap) = sink.latest().unwrap().clone() else {
@@ -1832,9 +1775,7 @@ mod tests {
         assert_eq!(snap.next_sweep, 5);
 
         let mut resume_sink = crate::MemoryCheckpointSink::new(5);
-        let resumed = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut resume_sink)
-            .unwrap();
+        let resumed = resume(&model, &docs, snap, &mut resume_sink).unwrap();
         assert_eq!(resumed.y, uninterrupted.y);
         assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
         assert_eq!(resumed.phi, uninterrupted.phi);
@@ -1847,19 +1788,17 @@ mod tests {
     fn resume_from_final_snapshot_only_finalizes() {
         let docs = two_cluster_docs(8);
         let model = quick_model(2);
-        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let plain = fit(&model, &docs).unwrap();
         // Cadence 60 → exactly one snapshot, at next_sweep == sweeps.
         let mut sink = crate::MemoryCheckpointSink::new(60);
         model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         let crate::SamplerSnapshot::Joint(snap) = sink.latest().unwrap().clone() else {
             panic!("joint fit must write joint snapshots");
         };
         assert_eq!(snap.next_sweep, 60);
-        let resumed = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
-            .unwrap();
+        let resumed = resume(&model, &docs, snap, &mut crate::NoCheckpoint).unwrap();
         assert_eq!(resumed.y, plain.y);
         assert_eq!(resumed.ll_trace, plain.ll_trace);
         assert_eq!(resumed.phi, plain.phi);
@@ -1869,18 +1808,16 @@ mod tests {
     fn resume_survives_serde_roundtrip() {
         let docs = two_cluster_docs(8);
         let model = quick_model(2);
-        let plain = model.fit(&mut rng(), &docs).unwrap();
+        let plain = fit(&model, &docs).unwrap();
         let mut sink = crate::MemoryCheckpointSink::new(20);
         model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         let json = serde_json::to_string(&sink.snapshots[0]).unwrap();
         let crate::SamplerSnapshot::Joint(snap) = serde_json::from_str(&json).unwrap() else {
             panic!("snapshot kind survives serde");
         };
-        let resumed = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
-            .unwrap();
+        let resumed = resume(&model, &docs, snap, &mut crate::NoCheckpoint).unwrap();
         assert_eq!(resumed.y, plain.y);
         assert_eq!(resumed.ll_trace, plain.ll_trace);
     }
@@ -1891,15 +1828,13 @@ mod tests {
         let model = quick_model(2);
         let mut sink = crate::MemoryCheckpointSink::new(10);
         model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         let crate::SamplerSnapshot::Joint(good) = sink.snapshots[0].clone() else {
             panic!("joint fit must write joint snapshots");
         };
         let reject = |snap: crate::JointSnapshot| {
-            let err = model
-                .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
-                .unwrap_err();
+            let err = resume(&model, &docs, snap, &mut crate::NoCheckpoint).unwrap_err();
             assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
         };
 
@@ -1935,7 +1870,7 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         let model = quick_model(2);
-        assert!(model.fit(&mut rng(), &[]).is_err());
+        assert!(fit(&model, &[]).is_err());
         // OOV term.
         let bad = vec![ModelDoc::new(
             0,
@@ -1943,13 +1878,13 @@ mod tests {
             Vector::zeros(3),
             Vector::zeros(6),
         )];
-        assert!(model.fit(&mut rng(), &bad).is_err());
+        assert!(fit(&model, &bad).is_err());
     }
 
     #[test]
     fn single_topic_degenerate_case() {
         let docs = two_cluster_docs(10);
-        let fit = quick_model(1).fit(&mut rng(), &docs).unwrap();
+        let fit = fit(&quick_model(1), &docs).unwrap();
         assert!(fit.theta.iter().all(|row| (row[0] - 1.0).abs() < 1e-9));
         assert_eq!(fit.topic_doc_counts()[0], docs.len());
     }

@@ -201,82 +201,6 @@ impl LdaModel {
         }
     }
 
-    /// Fits with all-default options.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(since = "0.1.0", note = "use `fit_with(rng, docs, FitOptions::new())`")]
-    pub fn fit(&self, rng: &mut ChaCha8Rng, docs: &[ModelDoc]) -> Result<FittedLda> {
-        self.fit_with(rng, docs, FitOptions::new())
-    }
-
-    /// [`Self::fit_with`] restricted to per-sweep instrumentation
-    /// (engine `"lda"`, occupancy counted in tokens).
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer))`"
-    )]
-    pub fn fit_observed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-    ) -> Result<FittedLda> {
-        self.fit_with(rng, docs, FitOptions::new().observer(observer))
-    }
-
-    /// [`Self::fit_with`] restricted to observation plus checkpointing.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with(rng, docs, FitOptions::new().observer(observer).checkpoint(sink))`"
-    )]
-    pub fn fit_checkpointed(
-        &self,
-        rng: &mut ChaCha8Rng,
-        docs: &[ModelDoc],
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedLda> {
-        self.fit_with(
-            rng,
-            docs,
-            FitOptions::new().observer(observer).checkpoint(sink),
-        )
-    }
-
-    /// [`Self::fit_with`] restricted to resuming a snapshot.
-    ///
-    /// # Errors
-    /// As [`Self::fit_with`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `fit_with` with `FitOptions::new().resume(SamplerSnapshot::Lda(snapshot))`"
-    )]
-    pub fn resume_observed(
-        &self,
-        docs: &[ModelDoc],
-        snapshot: LdaSnapshot,
-        observer: &mut dyn SweepObserver,
-        sink: &mut dyn CheckpointSink,
-    ) -> Result<FittedLda> {
-        // The resume path never touches the passed generator; any seed works.
-        let mut unused = ChaCha8Rng::seed_from_u64(0);
-        self.fit_with(
-            &mut unused,
-            docs,
-            FitOptions::new()
-                .observer(observer)
-                .checkpoint(sink)
-                .resume(SamplerSnapshot::Lda(snapshot)),
-        )
-    }
-
     fn validate(&self, docs: &[ModelDoc]) -> Result<()> {
         // Vector dims are irrelevant here; validate terms only by passing
         // the docs' own dims through.
@@ -1020,12 +944,9 @@ impl LdaModel {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the deprecated wrappers on purpose: they pin
-    // the wrappers' bit-compatibility with `fit_with`. New-API coverage
-    // (parallelism, caching, resume through FitOptions) lives in
-    // `tests/parallel.rs`.
-    #![allow(deprecated)]
-
+    // Everything drives the unified `fit_with` entry point; kernel
+    // coverage (parallelism, caching, resume through FitOptions) lives
+    // in `tests/parallel.rs`.
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -1065,7 +986,7 @@ mod tests {
         let docs = docs_two_vocab_clusters(30);
         let fit = LdaModel::new(quick())
             .unwrap()
-            .fit(&mut rng(), &docs)
+            .fit_with(&mut rng(), &docs, FitOptions::new())
             .unwrap();
         let t0 = fit.dominant_topic(0);
         let t1 = fit.dominant_topic(1);
@@ -1081,7 +1002,7 @@ mod tests {
         let docs = docs_two_vocab_clusters(10);
         let fit = LdaModel::new(quick())
             .unwrap()
-            .fit(&mut rng(), &docs)
+            .fit_with(&mut rng(), &docs, FitOptions::new())
             .unwrap();
         for row in &fit.phi {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -1102,7 +1023,7 @@ mod tests {
     fn empty_corpus_rejected() {
         assert!(LdaModel::new(quick())
             .unwrap()
-            .fit(&mut rng(), &[])
+            .fit_with(&mut rng(), &[], FitOptions::new())
             .is_err());
     }
 
@@ -1110,12 +1031,12 @@ mod tests {
     fn killed_fit_resumes_bit_identically() {
         let docs = docs_two_vocab_clusters(10);
         let model = LdaModel::new(quick()).unwrap();
-        let uninterrupted = model.fit(&mut rng(), &docs).unwrap();
+        let uninterrupted = model.fit_with(&mut rng(), &docs, FitOptions::new()).unwrap();
 
         let mut sink = crate::MemoryCheckpointSink::new(10);
         sink.fail_after = Some(2);
         let err = model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap_err();
         assert!(matches!(err, ModelError::Checkpoint { .. }));
         let crate::SamplerSnapshot::Lda(snap) = sink.latest().unwrap().clone() else {
@@ -1124,7 +1045,11 @@ mod tests {
         assert_eq!(snap.next_sweep, 20);
 
         let resumed = model
-            .resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint)
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new().resume(SamplerSnapshot::Lda(snap)),
+            )
             .unwrap();
         assert_eq!(resumed.ll_trace, uninterrupted.ll_trace);
         assert_eq!(resumed.phi, uninterrupted.phi);
@@ -1137,14 +1062,18 @@ mod tests {
         let model = LdaModel::new(quick()).unwrap();
         let mut sink = crate::MemoryCheckpointSink::new(30);
         model
-            .fit_checkpointed(&mut rng(), &docs, &mut NullObserver, &mut sink)
+            .fit_with(&mut rng(), &docs, FitOptions::new().checkpoint(&mut sink))
             .unwrap();
         let crate::SamplerSnapshot::Lda(mut snap) = sink.latest().unwrap().clone() else {
             panic!("lda fit must write lda snapshots");
         };
         snap.doc_fingerprint ^= 0xdead;
         assert!(matches!(
-            model.resume_observed(&docs, snap, &mut NullObserver, &mut crate::NoCheckpoint),
+            model.fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new().resume(SamplerSnapshot::Lda(snap)),
+            ),
             Err(ModelError::ResumeMismatch { .. })
         ));
     }

@@ -42,10 +42,10 @@
 //! for the deterministic chunked parallel sweeps, the Gibbs kernel
 //! class ([`fit::GibbsKernel`]: `serial`, `parallel`, or the
 //! `O(nnz)`-per-token `sparse`), and the posterior-predictive cache
-//! switch. The historical method triplet (`fit`, `fit_observed`,
-//! `fit_checkpointed` / `resume_observed`) survives as thin deprecated
-//! wrappers over `fit_with`; durable snapshot storage lives in the
-//! `rheotex-resilience` crate.
+//! switch. The historical per-concern method triplet has been removed;
+//! `fit_with` is the only fitting surface. Durable snapshot storage
+//! lives in the `rheotex-resilience` crate, and the serving-time
+//! fold-in inferencer over a frozen fit lives in [`foldin`].
 //!
 //! ## Parallel determinism contract
 //!
@@ -83,6 +83,7 @@ pub mod data;
 pub mod diagnostics;
 pub mod error;
 pub mod fit;
+pub mod foldin;
 pub mod gmm;
 pub mod health;
 pub mod init;
@@ -101,10 +102,11 @@ pub use config::{JointConfig, NwHyper};
 pub use data::ModelDoc;
 pub use error::ModelError;
 pub use fit::{FitOptions, GibbsKernel};
+pub use foldin::{fold_in, FoldInAlgorithm, FoldInConfig, FoldInResult, FrozenTopics};
 #[cfg(feature = "fault-inject")]
 pub use health::CountChaos;
 pub use health::{
-    audit_occupancy, audit_topic_counts, HealthMonitor, HealthPolicy, RecoveryAction,
+    audit_occupancy, audit_topic_counts, HealthMode, HealthMonitor, HealthPolicy, RecoveryAction,
 };
 pub use joint::{FittedJointModel, JointTopicModel};
 pub use rheotex_obs::{

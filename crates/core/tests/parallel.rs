@@ -135,20 +135,21 @@ fn gmm_cached_and_uncached_fits_are_bit_identical() {
 }
 
 /// The serial kernel (`threads == 0`) is its own bit-compatibility class:
-/// it must match the historical `fit` output, while `threads >= 1` picks
-/// the chunked kernel. Both are deterministic; they just differ from
-/// each other.
+/// default options must keep reproducing it exactly, while `threads >= 1`
+/// picks the chunked kernel. Both are deterministic; they just differ
+/// from each other.
 #[test]
-#[allow(deprecated)]
-fn serial_kernel_matches_legacy_fit() {
+fn serial_kernel_is_the_default_bit_compatibility_class() {
     let docs = banded_docs(200);
     let model = JointTopicModel::new(joint_config()).unwrap();
-    let legacy = model.fit(&mut rng(), &docs).unwrap();
-    let with_opts = model
+    let serial = model
+        .fit_with(&mut rng(), &docs, FitOptions::new().threads(0))
+        .unwrap();
+    let default = model
         .fit_with(&mut rng(), &docs, FitOptions::new())
         .unwrap();
-    assert_eq!(legacy.y, with_opts.y);
-    assert_eq!(legacy.ll_trace, with_opts.ll_trace);
+    assert_eq!(serial.y, default.y);
+    assert_eq!(serial.ll_trace, default.ll_trace);
 }
 
 /// Checkpoint taken mid-run under the parallel kernel, resumed under the

@@ -10,16 +10,13 @@
 //!   the resumed fit survives through the ridge-jitter retry path and
 //!   reports how often it had to.
 #![cfg(feature = "fault-inject")]
-// These tests deliberately drive the deprecated `fit` / `fit_checkpointed`
-// / `resume_observed` wrappers: they pin the wrappers' bit-compatibility.
-#![allow(deprecated)]
 
 mod common;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::{MemoryCheckpointSink, SamplerSnapshot};
-use rheotex_core::{JointConfig, JointTopicModel, ModelError, NullObserver, VecObserver};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelError, VecObserver};
 use rheotex_obs::{MemorySink, Obs};
 use rheotex_resilience::fault::{corrupt_scatter, FaultPlan};
 use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer, ResilienceError};
@@ -31,7 +28,7 @@ fn tolerant_run_survives_injected_write_failures_and_counts_them() {
     let docs = two_cluster_docs(20);
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
     let full = model
-        .fit(&mut ChaCha8Rng::seed_from_u64(31), &docs)
+        .fit_with(&mut ChaCha8Rng::seed_from_u64(31), &docs, FitOptions::new())
         .unwrap();
 
     // The second checkpoint write (0-based write 1) fails.
@@ -42,11 +39,10 @@ fn tolerant_run_survives_injected_write_failures_and_counts_them() {
     let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant().with_obs(obs);
 
     let fit = model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut ckpt,
+            FitOptions::new().checkpoint(&mut ckpt),
         )
         .unwrap();
 
@@ -75,11 +71,10 @@ fn strict_run_aborts_on_injected_write_failure() {
         CheckpointStore::new(scratch_dir("strict")).with_faults(FaultPlan::new().fail_write(0));
     let mut ckpt = PeriodicCheckpointer::new(store, 5);
     let err = model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut ckpt,
+            FitOptions::new().checkpoint(&mut ckpt),
         )
         .unwrap_err();
     assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
@@ -97,11 +92,10 @@ fn torn_write_is_diagnosed_on_load_and_prior_checkpoint_is_preserved() {
         CheckpointStore::new(scratch_dir("torn")).with_faults(FaultPlan::new().truncate_write(1));
     let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant();
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut ckpt,
+            FitOptions::new().checkpoint(&mut ckpt),
         )
         .unwrap();
 
@@ -128,11 +122,10 @@ fn torn_write_with_no_later_save_leaves_a_typed_load_error() {
         .with_faults(FaultPlan::new().truncate_write(11));
     let mut ckpt = PeriodicCheckpointer::new(store, 5).tolerant();
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut ckpt,
+            FitOptions::new().checkpoint(&mut ckpt),
         )
         .unwrap();
 
@@ -152,11 +145,10 @@ fn early_snapshot() -> SamplerSnapshot {
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
     let mut sink = MemoryCheckpointSink::new(5);
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut sink,
+            FitOptions::new().checkpoint(&mut sink),
         )
         .unwrap();
     sink.snapshots[0].clone()
@@ -230,11 +222,10 @@ fn corrupted_scatter_is_recovered_by_jitter_retries_on_resume() {
     // Capture a healthy early snapshot in memory.
     let mut sink = MemoryCheckpointSink::new(5);
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut sink,
+            FitOptions::new().checkpoint(&mut sink),
         )
         .unwrap();
     let SamplerSnapshot::Joint(healthy) = sink.snapshots[0].clone() else {
@@ -245,11 +236,12 @@ fn corrupted_scatter_is_recovered_by_jitter_retries_on_resume() {
     // Control: resuming the healthy snapshot needs zero jitter retries.
     let mut clean_obs = VecObserver::default();
     let clean = model
-        .resume_observed(
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
             &docs,
-            healthy.clone(),
-            &mut clean_obs,
-            &mut MemoryCheckpointSink::new(0),
+            FitOptions::new()
+                .observer(&mut clean_obs)
+                .resume(SamplerSnapshot::Joint(healthy.clone())),
         )
         .unwrap();
     assert!(clean_obs.sweeps.iter().all(|s| s.jitter_retries == 0));
@@ -262,11 +254,12 @@ fn corrupted_scatter_is_recovered_by_jitter_retries_on_resume() {
 
     let mut obs = VecObserver::default();
     let fit = model
-        .resume_observed(
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
             &docs,
-            corrupted,
-            &mut obs,
-            &mut MemoryCheckpointSink::new(0),
+            FitOptions::new()
+                .observer(&mut obs)
+                .resume(SamplerSnapshot::Joint(corrupted)),
         )
         .unwrap();
 

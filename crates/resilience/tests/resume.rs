@@ -1,12 +1,6 @@
 //! End-to-end crash/recovery through the real file store: a fit killed
 //! mid-run and resumed from disk must land on exactly the state the
 //! uninterrupted run reaches — bit for bit, not approximately.
-//!
-//! Most tests drive the deprecated `fit` / `fit_checkpointed` /
-//! `resume_observed` wrappers on purpose: they pin the wrappers'
-//! bit-compatibility with the historical behaviour. The parallel-kernel
-//! test uses the `fit_with` API they delegate to.
-#![allow(deprecated)]
 
 mod common;
 
@@ -15,7 +9,7 @@ use rand_chacha::ChaCha8Rng;
 use rheotex_core::checkpoint::SamplerSnapshot;
 use rheotex_core::gmm::{GmmConfig, GmmModel};
 use rheotex_core::lda::{LdaConfig, LdaModel};
-use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelError, NullObserver};
+use rheotex_core::{FitOptions, JointConfig, JointTopicModel, ModelError};
 use rheotex_resilience::{CheckpointStore, PeriodicCheckpointer};
 
 use common::{scratch_dir, two_cluster_docs, KillingSink};
@@ -26,9 +20,9 @@ fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
     let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
 
     // The reference: one uninterrupted run. Checkpointing never touches
-    // the RNG stream, so plain `fit` is the ground truth.
+    // the RNG stream, so the plain fit is the ground truth.
     let full = model
-        .fit(&mut ChaCha8Rng::seed_from_u64(31), &docs)
+        .fit_with(&mut ChaCha8Rng::seed_from_u64(31), &docs, FitOptions::new())
         .unwrap();
 
     // The victim: same seed, checkpointing to disk every 5 sweeps,
@@ -36,11 +30,10 @@ fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
     let store = CheckpointStore::new(scratch_dir("joint-kill"));
     let mut killer = KillingSink::new(store, 5, 1);
     let err = model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(31),
             &docs,
-            &mut NullObserver,
-            &mut killer,
+            FitOptions::new().checkpoint(&mut killer),
         )
         .unwrap_err();
     assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
@@ -55,7 +48,13 @@ fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
     // Resume, checkpointing onward to the same store.
     let mut onward = PeriodicCheckpointer::new(killer.store, 5);
     let resumed = model
-        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new()
+                .checkpoint(&mut onward)
+                .resume(SamplerSnapshot::Joint(snapshot)),
+        )
         .unwrap();
 
     assert_eq!(resumed.y, full.y);
@@ -76,7 +75,13 @@ fn joint_fit_killed_and_resumed_from_disk_is_bit_identical() {
     };
     let mut sink = PeriodicCheckpointer::new(CheckpointStore::new(scratch_dir("joint-fin")), 0);
     let again = model
-        .resume_observed(&docs, last, &mut NullObserver, &mut sink)
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new()
+                .checkpoint(&mut sink)
+                .resume(SamplerSnapshot::Joint(last)),
+        )
         .unwrap();
     assert_eq!(again.y, full.y);
     assert_eq!(again.ll_trace, full.ll_trace);
@@ -258,16 +263,17 @@ fn lda_fit_killed_and_resumed_from_disk_is_bit_identical() {
         burn_in: 20,
     };
     let model = LdaModel::new(config).unwrap();
-    let full = model.fit(&mut ChaCha8Rng::seed_from_u64(8), &docs).unwrap();
+    let full = model
+        .fit_with(&mut ChaCha8Rng::seed_from_u64(8), &docs, FitOptions::new())
+        .unwrap();
 
     let store = CheckpointStore::new(scratch_dir("lda-kill"));
     let mut killer = KillingSink::new(store, 10, 1);
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(8),
             &docs,
-            &mut NullObserver,
-            &mut killer,
+            FitOptions::new().checkpoint(&mut killer),
         )
         .unwrap_err();
 
@@ -277,7 +283,13 @@ fn lda_fit_killed_and_resumed_from_disk_is_bit_identical() {
     assert_eq!(snapshot.next_sweep, 10);
     let mut onward = PeriodicCheckpointer::new(killer.store, 10);
     let resumed = model
-        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new()
+                .checkpoint(&mut onward)
+                .resume(SamplerSnapshot::Lda(snapshot)),
+        )
         .unwrap();
 
     assert_eq!(resumed.ll_trace, full.ll_trace);
@@ -289,16 +301,17 @@ fn lda_fit_killed_and_resumed_from_disk_is_bit_identical() {
 fn gmm_fit_killed_and_resumed_from_disk_is_bit_identical() {
     let docs = two_cluster_docs(15);
     let model = GmmModel::new(GmmConfig::new(2)).unwrap();
-    let full = model.fit(&mut ChaCha8Rng::seed_from_u64(4), &docs).unwrap();
+    let full = model
+        .fit_with(&mut ChaCha8Rng::seed_from_u64(4), &docs, FitOptions::new())
+        .unwrap();
 
     let store = CheckpointStore::new(scratch_dir("gmm-kill"));
     let mut killer = KillingSink::new(store, 20, 1);
     model
-        .fit_checkpointed(
+        .fit_with(
             &mut ChaCha8Rng::seed_from_u64(4),
             &docs,
-            &mut NullObserver,
-            &mut killer,
+            FitOptions::new().checkpoint(&mut killer),
         )
         .unwrap_err();
 
@@ -308,7 +321,13 @@ fn gmm_fit_killed_and_resumed_from_disk_is_bit_identical() {
     assert_eq!(snapshot.next_sweep, 20);
     let mut onward = PeriodicCheckpointer::new(killer.store, 20);
     let resumed = model
-        .resume_observed(&docs, snapshot, &mut NullObserver, &mut onward)
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new()
+                .checkpoint(&mut onward)
+                .resume(SamplerSnapshot::Gmm(snapshot)),
+        )
         .unwrap();
 
     assert_eq!(resumed.assignments, full.assignments);

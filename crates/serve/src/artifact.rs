@@ -1,0 +1,420 @@
+//! The versioned, read-only model artifact (`rheotex.model/1`).
+//!
+//! An artifact is everything a serving replica needs to answer texture
+//! queries about unseen recipes, frozen at export time:
+//!
+//! * the fit configuration and the **topic–word counts** in the engines'
+//!   structure-of-arrays layout (`n_kw` flattened K×V plus the `n_k`
+//!   totals) — the exact sufficient statistics the fold-in inferencer
+//!   smooths into `φ̂`;
+//! * the per-topic **Normal–Wishart posteriors** of the gel and emulsion
+//!   components, from which the serving layer builds (and caches)
+//!   Student-t posterior predictives for the `y_d` conditional;
+//! * the **Table I linkage**: the KL divergence of every empirical
+//!   rheology setting to every topic, precomputed with
+//!   [`rheotex_linkage::assign_settings`] so the server ranks settings
+//!   by a θ̂-weighted sum without touching the fitted model;
+//! * the **texture dictionary** of the fit, so raw recipe text
+//!   featurizes to the exact vocabulary the counts index;
+//! * **fit provenance**: kernel class, seed, thread count, and optional
+//!   git/host metadata.
+//!
+//! On disk the artifact is a JSON payload inside the same CRC-framed
+//! container the checkpoint store uses ([`rheotex_resilience::format`]):
+//! magic, version, length, CRC-32, payload. Integrity failures therefore
+//! surface through the established resilience taxonomy (bad magic,
+//! truncation, checksum mismatch), and the `/healthz` endpoint is a
+//! frame re-verification.
+
+use crate::error::ServeError;
+use rheotex_core::checkpoint::JointSnapshot;
+use rheotex_core::{FittedJointModel, FrozenTopics, GibbsKernel, JointConfig};
+use rheotex_linalg::dist::NormalWishart;
+use rheotex_linkage::{assign_settings, SettingAssignment};
+use rheotex_resilience::format::{decode_frame, encode_frame};
+use rheotex_resilience::ResilienceError;
+use rheotex_textures::TextureDictionary;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// The schema identifier this build writes and serves.
+pub const MODEL_SCHEMA: &str = "rheotex.model/1";
+
+/// Where the frozen fit came from: kernel class, seed, and optional
+/// environment metadata for auditing a served answer back to its run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FitProvenance {
+    /// Gibbs kernel class of the fit that produced the counts.
+    pub kernel: GibbsKernel,
+    /// Pipeline seed of the fit.
+    pub seed: u64,
+    /// Worker threads of the fit (0 = serial).
+    pub threads: usize,
+    /// How the export obtained the fit: `"fresh-fit"` or
+    /// `"checkpoint:<dir>"`.
+    pub source: String,
+    /// Git revision of the exporting build, when discoverable.
+    #[serde(default)]
+    pub git_revision: Option<String>,
+    /// Hostname of the exporting machine, when discoverable.
+    #[serde(default)]
+    pub host: Option<String>,
+}
+
+/// The versioned, read-only serving artifact. See the module docs for
+/// the field-by-field rationale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Always [`MODEL_SCHEMA`] for artifacts this build writes.
+    pub schema: String,
+    /// Fit configuration (topic count, vocabulary, priors, sweeps).
+    pub config: JointConfig,
+    /// Fit provenance.
+    pub provenance: FitProvenance,
+    /// Term-topic counts, flattened K×V row-major.
+    pub n_kw: Vec<u32>,
+    /// Tokens per topic (`n_k[t] = Σ_w n_kw[t·V + w]`).
+    pub n_k: Vec<u32>,
+    /// Per-topic Normal–Wishart posteriors of the gel component.
+    pub gel_posteriors: Vec<NormalWishart>,
+    /// Per-topic Normal–Wishart posteriors of the emulsion component.
+    pub emulsion_posteriors: Vec<NormalWishart>,
+    /// KL linkage of every Table I rheology setting to every topic,
+    /// in `rheotex_rheology::table1()` row order.
+    pub table1: Vec<SettingAssignment>,
+    /// The texture dictionary of the fit; its term ids index `n_kw`
+    /// columns directly.
+    pub dict: TextureDictionary,
+}
+
+impl ModelArtifact {
+    /// Assembles an artifact from a completed fit: the fitted model (for
+    /// the Gaussian posteriors), the **final** checkpoint snapshot (for
+    /// the raw topic–word counts the fold-in inferencer needs), and the
+    /// fit's dictionary. Computes the Table I linkage here so serving
+    /// never needs the fitted model.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when the snapshot is not final or
+    /// disagrees with the model's shape; [`ServeError::Model`] if the
+    /// KL linkage fails.
+    pub fn build(
+        model: &FittedJointModel,
+        snapshot: &JointSnapshot,
+        dict: &TextureDictionary,
+        provenance: FitProvenance,
+    ) -> Result<Self, ServeError> {
+        if snapshot.next_sweep < snapshot.config.sweeps {
+            return Err(ServeError::invalid(format!(
+                "snapshot covers {} of {} sweeps; export needs a completed fit",
+                snapshot.next_sweep, snapshot.config.sweeps
+            )));
+        }
+        if snapshot.config.n_topics != model.config.n_topics
+            || snapshot.config.vocab_size != model.config.vocab_size
+        {
+            return Err(ServeError::invalid(format!(
+                "snapshot shape K={} V={} disagrees with fitted model K={} V={}",
+                snapshot.config.n_topics,
+                snapshot.config.vocab_size,
+                model.config.n_topics,
+                model.config.vocab_size
+            )));
+        }
+        let settings: Vec<(u32, [f64; 3])> = rheotex_rheology::table1()
+            .iter()
+            .map(|s| (s.id, s.gels))
+            .collect();
+        let table1 = assign_settings(model, &settings)?;
+        let artifact = Self {
+            schema: MODEL_SCHEMA.to_string(),
+            config: model.config.clone(),
+            provenance,
+            n_kw: snapshot.n_kw.clone(),
+            n_k: snapshot.n_k.clone(),
+            gel_posteriors: model.gel_posteriors.clone(),
+            emulsion_posteriors: model.emulsion_posteriors.clone(),
+            table1,
+            dict: dict.clone(),
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Structural self-check: schema, count shapes, per-topic totals,
+    /// posterior dimensions, linkage lengths, dictionary size. `load`
+    /// runs this; `/healthz` re-runs it against the bytes on disk.
+    ///
+    /// # Errors
+    /// [`ServeError::Schema`] or [`ServeError::Invalid`] naming the
+    /// first inconsistency found.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.schema != MODEL_SCHEMA {
+            return Err(ServeError::Schema {
+                found: self.schema.clone(),
+            });
+        }
+        let (k, v) = (self.config.n_topics, self.config.vocab_size);
+        if self.n_k.len() != k || self.n_kw.len() != k * v {
+            return Err(ServeError::invalid(format!(
+                "count shapes (n_k {}, n_kw {}) disagree with config K={k} V={v}",
+                self.n_k.len(),
+                self.n_kw.len()
+            )));
+        }
+        for t in 0..k {
+            let sum: u64 = self.n_kw[t * v..(t + 1) * v]
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum();
+            if sum != u64::from(self.n_k[t]) {
+                return Err(ServeError::invalid(format!(
+                    "topic {t}: n_k = {} but word counts sum to {sum}",
+                    self.n_k[t]
+                )));
+            }
+        }
+        if self.gel_posteriors.len() != k || self.emulsion_posteriors.len() != k {
+            return Err(ServeError::invalid(format!(
+                "{} gel / {} emulsion posteriors for K={k}",
+                self.gel_posteriors.len(),
+                self.emulsion_posteriors.len()
+            )));
+        }
+        for (name, dim, posts) in [
+            ("gel", self.config.gel_dim, &self.gel_posteriors),
+            ("emulsion", self.config.emulsion_dim, &self.emulsion_posteriors),
+        ] {
+            if let Some(p) = posts.iter().find(|p| p.dim() != dim) {
+                return Err(ServeError::invalid(format!(
+                    "{name} posterior has dimension {}, config says {dim}",
+                    p.dim()
+                )));
+            }
+        }
+        if let Some(a) = self.table1.iter().find(|a| a.all_kl.len() != k) {
+            return Err(ServeError::invalid(format!(
+                "Table I setting {} scores {} topics, expected {k}",
+                a.setting_id,
+                a.all_kl.len()
+            )));
+        }
+        if self.dict.len() != v {
+            return Err(ServeError::invalid(format!(
+                "dictionary has {} terms but the vocabulary is {v}",
+                self.dict.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The frozen topic–word structure for fold-in inference, smoothed
+    /// with the fit's own `α`/`γ`.
+    ///
+    /// # Errors
+    /// [`ServeError::Model`] if the counts fail the fold-in layer's own
+    /// validation (cannot happen for a [`Self::validate`]d artifact).
+    pub fn frozen_topics(&self) -> Result<FrozenTopics, ServeError> {
+        Ok(FrozenTopics::from_counts(
+            &self.n_kw,
+            &self.n_k,
+            self.config.vocab_size,
+            self.config.alpha,
+            self.config.gamma,
+        )?)
+    }
+
+    /// Serializes into the CRC-framed container.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_vec(self).expect("artifact serialization is infallible");
+        encode_frame(&payload)
+    }
+
+    /// Decodes a framed artifact: frame integrity first (the resilience
+    /// taxonomy), then the schema gate, then the structural self-check.
+    /// The dictionary's surface index is rebuilt, so the returned
+    /// artifact is ready to featurize text.
+    ///
+    /// # Errors
+    /// [`ServeError::Frame`] for byte-level damage,
+    /// [`ServeError::Schema`] for foreign or future payloads,
+    /// [`ServeError::Invalid`] for structural inconsistencies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let payload = decode_frame(bytes)?;
+        // Peek at the schema before committing to the full shape, so a
+        // checkpoint (same frame, different payload) is diagnosed as a
+        // schema mismatch rather than an opaque parse failure.
+        let value: serde_json::Value =
+            serde_json::from_slice(payload).map_err(|e| ResilienceError::Corrupt {
+                what: e.to_string(),
+            })?;
+        let found = value
+            .get("schema")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        if found != MODEL_SCHEMA {
+            return Err(ServeError::Schema { found });
+        }
+        let mut artifact: Self =
+            serde_json::from_value(value).map_err(|e| ResilienceError::Corrupt {
+                what: e.to_string(),
+            })?;
+        artifact.dict.rebuild_index();
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Atomically writes the framed artifact: temp file, `sync_all`,
+    /// rename — a crash mid-write never leaves a torn artifact behind.
+    ///
+    /// # Errors
+    /// [`ServeError::Frame`] wrapping the I/O diagnosis.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        let bytes = self.to_bytes();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).map_err(|e| io_err("create artifact dir", &e))?;
+        }
+        let tmp = path.with_extension("tmp");
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create temp artifact", &e))?;
+        file.write_all(&bytes)
+            .map_err(|e| io_err("write artifact", &e))?;
+        file.sync_all().map_err(|e| io_err("sync artifact", &e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err("rename artifact", &e))?;
+        Ok(())
+    }
+
+    /// Reads and fully verifies an artifact file.
+    ///
+    /// # Errors
+    /// As [`Self::from_bytes`], plus [`ServeError::Frame`] for read
+    /// failures.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let bytes = fs::read(path).map_err(|e| io_err("read artifact", &e))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Integrity re-check of the bytes on disk — the `/healthz` probe.
+    /// Same verification as [`Self::load`], discarding the payload.
+    ///
+    /// # Errors
+    /// As [`Self::load`].
+    pub fn verify_file(path: &Path) -> Result<(), ServeError> {
+        Self::load(path).map(|_| ())
+    }
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> ServeError {
+    ServeError::Frame(ResilienceError::Io {
+        what: format!("{what}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rheotex_resilience::format::HEADER_LEN;
+
+    fn tiny_artifact() -> ModelArtifact {
+        crate::test_fixture::artifact()
+    }
+
+    #[test]
+    fn round_trips_through_the_frame() {
+        let a = tiny_artifact();
+        let bytes = a.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.schema, MODEL_SCHEMA);
+        assert_eq!(back.n_kw, a.n_kw);
+        assert_eq!(back.n_k, a.n_k);
+        assert_eq!(back.config, a.config);
+        assert_eq!(back.provenance, a.provenance);
+        // The rebuilt dictionary index works.
+        let id = back.dict.lookup("purupuru");
+        assert_eq!(id, a.dict.lookup("purupuru"));
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_partners() {
+        let dir = std::env::temp_dir().join(format!("rheotex-artifact-{}", std::process::id()));
+        let path = dir.join("model.rtm");
+        let a = tiny_artifact();
+        a.save(&path).unwrap();
+        let back = ModelArtifact::load(&path).unwrap();
+        assert_eq!(back.n_kw, a.n_kw);
+        ModelArtifact::verify_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_diagnosed_through_the_resilience_taxonomy() {
+        let a = tiny_artifact();
+        let good = a.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad_magic),
+            Err(ServeError::Frame(ResilienceError::BadMagic))
+        ));
+
+        let truncated = &good[..good.len() - 3];
+        assert!(matches!(
+            ModelArtifact::from_bytes(truncated),
+            Err(ServeError::Frame(ResilienceError::Truncated))
+        ));
+
+        let mut bit_rot = good.clone();
+        *bit_rot.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bit_rot),
+            Err(ServeError::Frame(ResilienceError::CrcMismatch { .. }))
+        ));
+
+        // An intact frame whose payload is not an artifact: schema gate.
+        let foreign = encode_frame(b"{\"schema\":\"rheotex.model/9\"}");
+        assert!(matches!(
+            ModelArtifact::from_bytes(&foreign),
+            Err(ServeError::Schema { found }) if found == "rheotex.model/9"
+        ));
+        let nameless = encode_frame(b"{\"next_sweep\":4}");
+        assert!(matches!(
+            ModelArtifact::from_bytes(&nameless),
+            Err(ServeError::Schema { found }) if found.is_empty()
+        ));
+
+        // Sanity: the frame header is where we think it is.
+        assert!(good.len() > HEADER_LEN);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_shapes() {
+        let mut a = tiny_artifact();
+        a.n_k[0] += 1;
+        assert!(matches!(a.validate(), Err(ServeError::Invalid { .. })));
+
+        let mut a = tiny_artifact();
+        a.table1[0].all_kl.pop();
+        assert!(matches!(a.validate(), Err(ServeError::Invalid { .. })));
+
+        let mut a = tiny_artifact();
+        a.gel_posteriors.pop();
+        assert!(matches!(a.validate(), Err(ServeError::Invalid { .. })));
+
+        let mut a = tiny_artifact();
+        a.schema = "rheotex.model/2".into();
+        assert!(matches!(a.validate(), Err(ServeError::Schema { .. })));
+    }
+
+    #[test]
+    fn frozen_topics_match_the_counts() {
+        let a = tiny_artifact();
+        let frozen = a.frozen_topics().unwrap();
+        assert_eq!(frozen.n_topics(), a.config.n_topics);
+        assert_eq!(frozen.vocab_size(), a.config.vocab_size);
+    }
+}

@@ -1,0 +1,215 @@
+//! Micro-batching between the connection threads and the inference
+//! workers.
+//!
+//! Connection threads [`BatchQueue::push`] one [`Job`] per request and
+//! block on the job's private reply channel. Each worker repeatedly
+//! drains **up to** `max_batch` queued jobs in one lock acquisition
+//! ([`BatchQueue::next_batch`]) and answers them against the shared
+//! [`TextureService`]. Under light load a batch is a single request
+//! (no added latency — the queue never waits to fill a batch); under
+//! concurrent load, requests that arrived while a worker was busy are
+//! drained together, amortizing the queue handoff and keeping the
+//! per-batch latency histogram honest about coalescing behaviour.
+
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::service::{InferOptions, TexturePrediction, TextureService};
+use rheotex_corpus::Recipe;
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued inference request with its private reply channel.
+pub struct Job {
+    /// The posted recipe.
+    pub recipe: Recipe,
+    /// Resolved inference options.
+    pub options: InferOptions,
+    /// Where the worker sends the outcome; the connection thread blocks
+    /// on the paired receiver.
+    pub reply: SyncSender<Result<TexturePrediction, ServeError>>,
+}
+
+/// A closable MPMC queue of [`Job`]s with batched draining.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+impl Default for BatchQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchQueue {
+    /// An open, empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job. Returns `false` (dropping the job, which closes
+    /// its reply channel) once the queue has been closed.
+    pub fn push(&self, job: Job) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.open {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until at least one job is queued, then drains up to
+    /// `max_batch` of them. Returns `None` once the queue is closed
+    /// *and* empty — the worker's exit signal.
+    pub fn next_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.jobs.is_empty() {
+                let take = state.jobs.len().min(max_batch.max(1));
+                return Some(state.jobs.drain(..take).collect());
+            }
+            if !state.open {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// workers exit once the backlog is empty.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.open = false;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued (for tests and introspection).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+/// One inference worker: drains batches until the queue closes. Every
+/// answer's latency lands in `metrics`; the reply send is best-effort
+/// (the client may have hung up).
+pub fn run_worker(
+    service: &TextureService,
+    queue: &BatchQueue,
+    metrics: &ServeMetrics,
+    max_batch: usize,
+) {
+    while let Some(batch) = queue.next_batch(max_batch) {
+        let batch_start = Instant::now();
+        let size = batch.len();
+        for job in batch {
+            let start = Instant::now();
+            let outcome = service.infer(&job.recipe, &job.options);
+            metrics.record_request(start.elapsed(), outcome.is_ok());
+            let _ = job.reply.send(outcome);
+        }
+        metrics.record_batch(batch_start.elapsed(), size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixture;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+
+    fn job(recipe: Recipe) -> (Job, std::sync::mpsc::Receiver<Result<TexturePrediction, ServeError>>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Job {
+                recipe,
+                options: InferOptions::default(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn drains_queued_jobs_as_one_batch() {
+        let queue = BatchQueue::new();
+        let (a, _ra) = job(test_fixture::recipe());
+        let (b, _rb) = job(test_fixture::recipe());
+        let (c, _rc) = job(test_fixture::recipe());
+        assert!(queue.push(a));
+        assert!(queue.push(b));
+        assert!(queue.push(c));
+        assert_eq!(queue.depth(), 3);
+        let batch = queue.next_batch(2).unwrap();
+        assert_eq!(batch.len(), 2, "capped at max_batch");
+        let batch = queue.next_batch(2).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn close_rejects_new_jobs_and_releases_workers() {
+        let queue = BatchQueue::new();
+        queue.close();
+        let (j, _r) = job(test_fixture::recipe());
+        assert!(!queue.push(j));
+        assert!(queue.next_batch(8).is_none());
+    }
+
+    #[test]
+    fn worker_answers_jobs_through_their_reply_channels() {
+        let service = Arc::new(
+            TextureService::from_artifact(test_fixture::artifact()).unwrap(),
+        );
+        let queue = Arc::new(BatchQueue::new());
+        let metrics = Arc::new(ServeMetrics::new());
+        let worker = {
+            let (service, queue, metrics) = (service.clone(), queue.clone(), metrics.clone());
+            std::thread::spawn(move || run_worker(&service, &queue, &metrics, 4))
+        };
+
+        let (j1, r1) = job(test_fixture::recipe());
+        let mut bad = test_fixture::recipe();
+        bad.ingredients.clear();
+        let (j2, r2) = job(bad);
+        assert!(queue.push(j1));
+        assert!(queue.push(j2));
+
+        let ok = r1.recv().unwrap();
+        assert!(ok.is_ok());
+        let err = r2.recv().unwrap();
+        assert_eq!(err.unwrap_err().status(), 400);
+
+        queue.close();
+        worker.join().unwrap();
+        let report = metrics.report(service.cache_stats());
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.failures, 1);
+        assert!(report.batch_size.count >= 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Typed failure modes of the serving layer.
+
+use rheotex_core::ModelError;
+use rheotex_resilience::ResilienceError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong loading an artifact or answering a
+/// request.
+///
+/// Artifact byte-level problems (bad magic, truncation, bit rot) arrive
+/// as [`ServeError::Frame`] wrapping the resilience crate's diagnosis —
+/// the artifact reuses the checkpoint frame, so it inherits the same
+/// integrity taxonomy. [`ServeError::BadRequest`] marks client mistakes
+/// (HTTP 400); every other variant is a server-side failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The artifact file failed frame-level decoding or I/O:
+    /// see [`ResilienceError`] for the exact diagnosis.
+    Frame(ResilienceError),
+    /// The frame decoded but its payload declares a schema this build
+    /// does not serve.
+    Schema {
+        /// The schema string found in the payload (empty if absent).
+        found: String,
+    },
+    /// The artifact parsed but is internally inconsistent (count shapes,
+    /// posterior dimensions, linkage lengths).
+    Invalid {
+        /// What is inconsistent.
+        what: String,
+    },
+    /// A model-layer failure (fold-in rejected the input, a predictive
+    /// distribution failed to factor, …).
+    Model(ModelError),
+    /// The client's request is malformed or describes a recipe the
+    /// featurizer must reject.
+    BadRequest {
+        /// What is wrong with the request.
+        what: String,
+    },
+    /// A socket-level failure in the HTTP front end.
+    Http {
+        /// Which operation failed.
+        what: String,
+    },
+}
+
+impl ServeError {
+    /// Shorthand for an [`ServeError::Invalid`] artifact diagnosis.
+    pub fn invalid(what: impl Into<String>) -> Self {
+        Self::Invalid { what: what.into() }
+    }
+
+    /// Shorthand for a [`ServeError::BadRequest`] diagnosis.
+    pub fn bad_request(what: impl Into<String>) -> Self {
+        Self::BadRequest { what: what.into() }
+    }
+
+    /// The HTTP status code this failure maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::BadRequest { .. } => 400,
+            Self::Frame(_) | Self::Schema { .. } | Self::Invalid { .. } => 503,
+            Self::Model(_) | Self::Http { .. } => 500,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Frame(e) => write!(f, "artifact frame error: {e}"),
+            Self::Schema { found } if found.is_empty() => {
+                write!(f, "payload declares no artifact schema")
+            }
+            Self::Schema { found } => {
+                write!(f, "unsupported artifact schema {found:?}")
+            }
+            Self::Invalid { what } => write!(f, "invalid artifact: {what}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::BadRequest { what } => write!(f, "bad request: {what}"),
+            Self::Http { what } => write!(f, "http error: {what}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Frame(e) => Some(e),
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ResilienceError> for ServeError {
+    fn from(e: ResilienceError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_separate_client_from_server_faults() {
+        assert_eq!(ServeError::bad_request("x").status(), 400);
+        assert_eq!(ServeError::invalid("x").status(), 503);
+        assert_eq!(ServeError::Frame(ResilienceError::BadMagic).status(), 503);
+        assert_eq!(
+            ServeError::Http {
+                what: "write".into()
+            }
+            .status(),
+            500
+        );
+    }
+
+    #[test]
+    fn displays_carry_the_inner_diagnosis() {
+        let e = ServeError::from(ResilienceError::Truncated);
+        assert!(e.to_string().contains("truncated"), "{e}");
+        let s = ServeError::Schema {
+            found: "rheotex.model/9".into(),
+        };
+        assert!(s.to_string().contains("rheotex.model/9"), "{s}");
+        assert!(ServeError::Schema { found: String::new() }
+            .to_string()
+            .contains("no artifact schema"));
+    }
+}

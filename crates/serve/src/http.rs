@@ -1,0 +1,389 @@
+//! A dependency-free HTTP/1.1 front end over the batching service.
+//!
+//! The workspace deliberately carries no HTTP crate, so this module
+//! speaks the minimal dialect the endpoints need: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, JSON in
+//! and out. Endpoints:
+//!
+//! | Route | Behaviour |
+//! |---|---|
+//! | `POST /v1/texture` | Body is an [`InferRequest`]; enqueues onto the micro-batching worker pool and answers with a `rheotex.serve/1` [`crate::TexturePrediction`]. |
+//! | `GET /healthz` | Re-verifies the artifact (frame CRC + structural check for file-backed services); `200` healthy, `503` otherwise. |
+//! | `GET /metrics` | Latency/batch histograms and predictive-cache counters as JSON. |
+//!
+//! Architecture: one accept thread hands each connection to a short-
+//! lived connection thread, which parses the request, pushes a [`Job`]
+//! onto the shared [`BatchQueue`], and blocks on the job's reply
+//! channel. A fixed pool of worker threads drains the queue in batches
+//! of up to `max_batch` and runs inference against the single shared
+//! [`TextureService`] (and therefore one shared predictive cache).
+
+use crate::batch::{run_worker, BatchQueue, Job};
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::service::{InferOptions, TextureService};
+use rheotex_core::foldin::FoldInAlgorithm;
+use rheotex_corpus::Recipe;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread waits for request bytes before giving
+/// up on a stalled client.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Largest accepted request body (1 MiB — recipes are small).
+const MAX_BODY: usize = 1 << 20;
+
+/// The `POST /v1/texture` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferRequest {
+    /// The recipe to analyze.
+    pub recipe: Recipe,
+    /// RNG seed for the Gibbs fold-in (default 0; ignored by CVB0).
+    #[serde(default)]
+    pub seed: u64,
+    /// Fold-in algorithm override (`"gibbs"` or `"cvb0"`); the typed
+    /// enum rejects anything else at parse time.
+    #[serde(default)]
+    pub algorithm: Option<FoldInAlgorithm>,
+    /// Fold-in sweep budget override.
+    #[serde(default)]
+    pub sweeps: Option<usize>,
+    /// Gibbs burn-in override.
+    #[serde(default)]
+    pub burn_in: Option<usize>,
+    /// How many texture terms to report.
+    #[serde(default)]
+    pub top_terms: Option<usize>,
+}
+
+impl InferRequest {
+    /// Resolves the request's overrides onto the service defaults.
+    #[must_use]
+    pub fn options(&self) -> InferOptions {
+        let mut o = InferOptions {
+            seed: self.seed,
+            ..InferOptions::default()
+        };
+        if let Some(a) = self.algorithm {
+            o.algorithm = a;
+        }
+        if let Some(s) = self.sweeps {
+            o.sweeps = s;
+        }
+        if let Some(b) = self.burn_in {
+            o.burn_in = b;
+        }
+        if let Some(t) = self.top_terms {
+            o.top_terms = t;
+        }
+        o
+    }
+}
+
+/// Front-end sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Inference worker threads.
+    pub workers: usize,
+    /// Largest micro-batch one worker drains at once.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+        }
+    }
+}
+
+/// A running server: accept loop plus worker pool. Dropping the handle
+/// does **not** stop the server; call [`Server::shutdown`] (tests) or
+/// [`Server::join`] (the CLI's serve-forever mode).
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BatchQueue>,
+    metrics: Arc<ServeMetrics>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port 0 for an ephemeral
+    /// test port) and starts the accept loop and `config.workers`
+    /// inference workers.
+    ///
+    /// # Errors
+    /// [`ServeError::Http`] if the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        service: Arc<TextureService>,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Http {
+            what: format!("bind {addr}: {e}"),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::Http {
+            what: format!("local_addr: {e}"),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BatchQueue::new());
+        let metrics = Arc::new(ServeMetrics::new());
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let (service, queue, metrics) = (service.clone(), queue.clone(), metrics.clone());
+                let max_batch = config.max_batch.max(1);
+                std::thread::spawn(move || run_worker(&service, &queue, &metrics, max_batch))
+            })
+            .collect();
+
+        let accept = {
+            let (service, queue, metrics, stop) =
+                (service, queue.clone(), metrics.clone(), stop.clone());
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let (service, queue, metrics) =
+                        (service.clone(), queue.clone(), metrics.clone());
+                    std::thread::spawn(move || {
+                        handle_connection(stream, &service, &queue, &metrics);
+                    });
+                }
+            })
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            queue,
+            metrics,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared serving metrics.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Blocks until the server stops (which only [`Server::shutdown`]
+    /// from another handle — or process death — causes).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, drains queued work, and joins every thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept.join();
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &TextureService,
+    queue: &BatchQueue,
+    metrics: &ServeMetrics,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let (status, body) = match read_request(&mut stream) {
+        Ok(req) => route(&req, service, queue, metrics),
+        Err(e) => error_body(400, &e.to_string()),
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ServeError::bad_request(format!("request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::bad_request("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::bad_request("request line has no path"))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| ServeError::bad_request(format!("header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServeError::bad_request("unparseable content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ServeError::bad_request(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ServeError::bad_request(format!("body: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+fn route(
+    req: &Request,
+    service: &TextureService,
+    queue: &BatchQueue,
+    metrics: &ServeMetrics,
+) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => match service.health() {
+            Ok(()) => (
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"schema\":{}}}",
+                    serde_json::to_string(&service.artifact().schema).expect("string to json")
+                ),
+            ),
+            Err(e) => {
+                let (_, body) = error_body(503, &e.to_string());
+                (503, body)
+            }
+        },
+        ("GET", "/metrics") => {
+            let report = metrics.report(service.cache_stats());
+            (
+                200,
+                serde_json::to_string(&report).expect("metrics serialize"),
+            )
+        }
+        ("POST", "/v1/texture") => {
+            let request: InferRequest = match serde_json::from_slice(&req.body) {
+                Ok(r) => r,
+                Err(e) => return error_body(400, &format!("invalid request body: {e}")),
+            };
+            let (tx, rx) = sync_channel(1);
+            let accepted = queue.push(Job {
+                recipe: request.recipe.clone(),
+                options: request.options(),
+                reply: tx,
+            });
+            if !accepted {
+                return error_body(503, "server is shutting down");
+            }
+            match rx.recv() {
+                Ok(Ok(prediction)) => (
+                    200,
+                    serde_json::to_string(&prediction).expect("prediction serialize"),
+                ),
+                Ok(Err(e)) => error_body(e.status(), &e.to_string()),
+                Err(_) => error_body(503, "worker pool stopped"),
+            }
+        }
+        _ => error_body(404, &format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn error_body(status: u16, message: &str) -> (u16, String) {
+    (
+        status,
+        format!(
+            "{{\"error\":{}}}",
+            serde_json::to_string(message).expect("string to json")
+        ),
+    )
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_overrides_resolve_onto_defaults() {
+        let req: InferRequest = serde_json::from_str(
+            r#"{"recipe":{"id":1,"title":"t","description":"d","ingredients":[]},
+                "seed":9,"algorithm":"gibbs","sweeps":20,"burn_in":10}"#,
+        )
+        .unwrap();
+        let o = req.options();
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.algorithm, FoldInAlgorithm::Gibbs);
+        assert_eq!(o.sweeps, 20);
+        assert_eq!(o.burn_in, 10);
+        assert_eq!(o.top_terms, InferOptions::default().top_terms);
+    }
+
+    #[test]
+    fn unknown_algorithms_fail_at_parse_time() {
+        let err = serde_json::from_str::<InferRequest>(
+            r#"{"recipe":{"id":1,"title":"t","description":"d","ingredients":[]},
+                "algorithm":"simulated-annealing"}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("algorithm") || err.is_data());
+    }
+}

@@ -1,0 +1,143 @@
+//! The texture inference **service**: everything between a finished fit
+//! and an HTTP answer about an unseen recipe.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`artifact`] — the versioned `rheotex.model/1` artifact: frozen
+//!   topic–word counts, Normal–Wishart posteriors, the Table I KL
+//!   linkage, the texture dictionary, and fit provenance, wrapped in the
+//!   resilience crate's CRC frame. `rheotex export-model` writes one;
+//!   [`ModelArtifact::load`] verifies and opens one.
+//! * [`service`] — [`TextureService`]: featurizes a posted recipe,
+//!   folds it into the frozen topics ([`rheotex_core::foldin`]),
+//!   assigns the paper's per-recipe topic `y_d` through cached
+//!   posterior predictives, and reports texture terms, rheological
+//!   coordinates, and the nearest Table I setting as a
+//!   `rheotex.serve/1` response.
+//! * [`http`] — a dependency-free HTTP/1.1 front end that micro-batches
+//!   concurrent requests onto a worker pool ([`batch`]), shares one
+//!   predictive cache across all of them, and exposes `/healthz`
+//!   (artifact integrity), `/metrics` (latency histograms, batch sizes,
+//!   cache hit rate), and `POST /v1/texture`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod artifact;
+pub mod batch;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod service;
+
+pub use artifact::{FitProvenance, ModelArtifact, MODEL_SCHEMA};
+pub use batch::{BatchQueue, Job};
+pub use error::ServeError;
+pub use http::{InferRequest, Server, ServerConfig};
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use service::{
+    InferOptions, TexturePrediction, TextureService, SERVE_SCHEMA,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Deterministic miniature fixtures shared by this crate's unit and
+/// integration tests (and nothing else — hidden from docs).
+#[doc(hidden)]
+pub mod test_fixture {
+    use crate::artifact::{FitProvenance, ModelArtifact};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rheotex_core::checkpoint::{MemoryCheckpointSink, SamplerSnapshot};
+    use rheotex_core::{FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc};
+    use rheotex_corpus::features::{emulsion_info_vector, gel_info_vector};
+    use rheotex_corpus::{IngredientLine, Recipe};
+    use rheotex_textures::TextureDictionary;
+
+    /// A tiny three-band corpus over the gel-active vocabulary: band `b`
+    /// owns words `[13b, 13b + 13)` and one gel type.
+    fn banded_docs(n: usize) -> Vec<ModelDoc> {
+        (0..n)
+            .map(|i| {
+                let band = i % 3;
+                let wobble = 1.0 + 0.03 * (i % 5) as f64;
+                let mut gels = [0.0f64; 3];
+                gels[band] = 0.01 * (band + 1) as f64 * wobble;
+                let mut emus = [0.0f64; 6];
+                emus[band] = 0.05 * wobble;
+                let terms: Vec<usize> = (0..5).map(|j| band * 13 + (i + 2 * j) % 13).collect();
+                ModelDoc::new(
+                    i as u64,
+                    terms,
+                    gel_info_vector(&gels),
+                    emulsion_info_vector(&emus),
+                )
+            })
+            .collect()
+    }
+
+    /// Fits a miniature joint model under the given kernel/thread
+    /// combination and exports it. Deterministic per combination.
+    pub fn artifact_with(kernel: GibbsKernel, threads: usize) -> ModelArtifact {
+        let dict = TextureDictionary::gel_active();
+        let config = JointConfig {
+            n_topics: 3,
+            sweeps: 12,
+            burn_in: 6,
+            ..JointConfig::quick(3, dict.len())
+        };
+        let docs = banded_docs(60);
+        let model = JointTopicModel::new(config.clone()).unwrap();
+        let mut sink = MemoryCheckpointSink::new(config.sweeps);
+        let fitted = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(23),
+                &docs,
+                FitOptions::new()
+                    .kernel(kernel)
+                    .threads(threads)
+                    .checkpoint(&mut sink),
+            )
+            .unwrap();
+        let SamplerSnapshot::Joint(snapshot) = sink.snapshots.last().expect("final checkpoint")
+        else {
+            panic!("joint fit writes joint snapshots");
+        };
+        assert_eq!(snapshot.next_sweep, config.sweeps, "snapshot must be final");
+        ModelArtifact::build(
+            &fitted,
+            snapshot,
+            &dict,
+            FitProvenance {
+                kernel,
+                seed: 23,
+                threads,
+                source: "fresh-fit".to_string(),
+                git_revision: None,
+                host: None,
+            },
+        )
+        .unwrap()
+    }
+
+    /// The default fixture artifact (serial kernel).
+    pub fn artifact() -> ModelArtifact {
+        artifact_with(GibbsKernel::Serial, 0)
+    }
+
+    /// A posted recipe with recognizable texture terms and ingredients.
+    pub fn recipe() -> Recipe {
+        Recipe {
+            id: 900,
+            title: "purupuru milk jelly".to_string(),
+            description: "totemo purupuru de fuwafuwa no miruku jelly".to_string(),
+            ingredients: vec![
+                IngredientLine::new("gelatin", "5g"),
+                IngredientLine::new("milk", "200cc"),
+                IngredientLine::new("sugar", "30g"),
+                IngredientLine::new("water", "100cc"),
+            ],
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Serving observability: request/batch latency histograms, batch-size
+//! distribution, and request counters, reported as one JSON document by
+//! `GET /metrics`.
+//!
+//! Built on [`rheotex_obs::Histogram`] — the same fixed-bucket histogram
+//! the fitting observability stack uses — so serve-time latency numbers
+//! are directly comparable with the profiler's kernel timings.
+
+use rheotex_obs::Histogram;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Batch-size histogram bucket bounds (requests per batch).
+const BATCH_SIZE_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Thread-safe serving counters. One instance is shared by every worker
+/// and connection thread of a [`crate::Server`].
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    failures: AtomicU64,
+    request_us: Mutex<Histogram>,
+    batch_us: Mutex<Histogram>,
+    batch_sizes: Mutex<Histogram>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            request_us: Mutex::new(Histogram::for_time_us()),
+            batch_us: Mutex::new(Histogram::for_time_us()),
+            batch_sizes: Mutex::new(Histogram::new(&BATCH_SIZE_BOUNDS)),
+        }
+    }
+
+    /// Records one completed request (latency plus outcome).
+    pub fn record_request(&self, elapsed: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        lock(&self.request_us).record(elapsed.as_secs_f64() * 1e6);
+    }
+
+    /// Records one drained micro-batch.
+    pub fn record_batch(&self, elapsed: Duration, size: usize) {
+        lock(&self.batch_us).record(elapsed.as_secs_f64() * 1e6);
+        lock(&self.batch_sizes).record(size as f64);
+    }
+
+    /// Snapshot for `GET /metrics`. Cache counters come from the
+    /// service's shared predictive cache as `(lookups, hits, hit_rate)`.
+    #[must_use]
+    pub fn report(&self, cache: (u64, u64, f64)) -> MetricsReport {
+        let (lookups, hits, hit_rate) = cache;
+        MetricsReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            request_latency_us: LatencySummary::of(&lock(&self.request_us)),
+            batch_latency_us: LatencySummary::of(&lock(&self.batch_us)),
+            batch_size: LatencySummary::of(&lock(&self.batch_sizes)),
+            cache: CacheReport {
+                lookups,
+                hits,
+                hit_rate,
+            },
+        }
+    }
+}
+
+fn lock(h: &Mutex<Histogram>) -> std::sync::MutexGuard<'_, Histogram> {
+    h.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Distribution summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean value (0 when empty).
+    pub mean: f64,
+    /// Median estimate (0 when empty).
+    pub p50: f64,
+    /// 99th-percentile estimate (0 when empty).
+    pub p99: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean().unwrap_or(0.0),
+            p50: h.quantile(0.5).unwrap_or(0.0),
+            p99: h.quantile(0.99).unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Predictive-cache counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Total predictive lookups.
+    pub lookups: u64,
+    /// Lookups served without rebuilding.
+    pub hits: u64,
+    /// Hits over lookups.
+    pub hit_rate: f64,
+}
+
+/// The `GET /metrics` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Requests answered (any outcome).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub failures: u64,
+    /// Per-request inference latency (microseconds).
+    pub request_latency_us: LatencySummary,
+    /// Per-batch drain latency (microseconds).
+    pub batch_latency_us: LatencySummary,
+    /// Requests per drained batch.
+    pub batch_size: LatencySummary,
+    /// Shared predictive-cache counters.
+    pub cache: CacheReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_requests_and_failures() {
+        let m = ServeMetrics::new();
+        m.record_request(Duration::from_micros(120), true);
+        m.record_request(Duration::from_micros(80), false);
+        m.record_batch(Duration::from_micros(250), 2);
+        let r = m.report((4, 2, 0.5));
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.request_latency_us.count, 2);
+        assert!(r.request_latency_us.mean > 0.0);
+        assert_eq!(r.batch_size.count, 1);
+        assert_eq!(r.cache.hits, 2);
+    }
+
+    #[test]
+    fn empty_metrics_report_zeros() {
+        let r = ServeMetrics::new().report((0, 0, 0.0));
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.request_latency_us.mean, 0.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! The inference service: recipe in, `rheotex.serve/1` prediction out.
+//!
+//! One [`TextureService`] owns a verified [`ModelArtifact`] and answers
+//! any number of concurrent requests. Per request:
+//!
+//! 1. **Featurize** — parse the posted recipe against the built-in
+//!    ingredient database and extract texture terms with the artifact's
+//!    own dictionary, exactly as the fitting pipeline did.
+//! 2. **Fold in** — infer the recipe's topic distribution `θ̂` over the
+//!    frozen topic–word counts ([`rheotex_core::foldin`]), deterministic
+//!    given the request's seed.
+//! 3. **Assign `y`** — the paper's per-recipe topic conditional
+//!    `p(y = k) ∝ θ̂_k · t_k(g) · t_k(e)` with the gel/emulsion
+//!    Normal–Wishart posteriors integrated into Student-t predictives.
+//!    The predictives are built lazily in one shared
+//!    [`PredictiveCache`] (slots `k` for gel, `K + k` for emulsion) —
+//!    the posteriors are frozen, so a slot is built once over the
+//!    server's lifetime and every later request hits.
+//! 4. **Report** — topic mixture, the assigned topic's top texture
+//!    terms, rheological coordinates and TPA-derived attributes
+//!    (plus the spreadability-control sugar: viscosity index and
+//!    spreadability), and the nearest Table I setting by θ̂-weighted
+//!    KL linkage with per-gel formula recommendations.
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+use rheotex_core::foldin::{fold_in, FoldInAlgorithm, FoldInConfig, FrozenTopics};
+use rheotex_core::ModelError;
+use rheotex_corpus::{IngredientDb, Recipe, RecipeFeatures};
+use rheotex_linalg::dist::PredictiveCache;
+use rheotex_rheology::GelMechanics;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The response schema identifier.
+pub const SERVE_SCHEMA: &str = "rheotex.serve/1";
+
+/// Gel component names in Table I column order.
+const GEL_NAMES: [&str; 3] = ["gelatin", "kanten", "agar"];
+
+/// Per-request inference options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferOptions {
+    /// Fold-in algorithm (default CVB0 — deterministic without seed
+    /// coordination).
+    pub algorithm: FoldInAlgorithm,
+    /// Fold-in sweep budget.
+    pub sweeps: usize,
+    /// Gibbs burn-in (ignored by CVB0).
+    pub burn_in: usize,
+    /// RNG seed for the Gibbs fold-in (ignored by CVB0). The response is
+    /// a pure function of `(artifact, recipe, options)` including this.
+    pub seed: u64,
+    /// How many texture terms of the assigned topic to report.
+    pub top_terms: usize,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        let f = FoldInConfig::default();
+        Self {
+            algorithm: f.algorithm,
+            sweeps: f.sweeps,
+            burn_in: f.burn_in,
+            seed: 0,
+            top_terms: 5,
+        }
+    }
+}
+
+/// One reported texture term of the assigned topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextureTerm {
+    /// Romanized surface form.
+    pub term: String,
+    /// English gloss.
+    pub gloss: String,
+    /// Frozen `φ̂` weight of the term in the assigned topic.
+    pub weight: f64,
+}
+
+/// Rheological coordinates and TPA-derived attributes of the recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RheologyReport {
+    /// Raw gel weight ratios (gelatin, kanten, agar).
+    pub gel_concentrations: [f64; 3],
+    /// Raw emulsion weight ratios.
+    pub emulsion_concentrations: [f64; 6],
+    /// Gel information-quantity coordinates (`−ln` concentration) — the
+    /// space the topic Gaussians live in.
+    pub gel_coordinates: Vec<f64>,
+    /// Emulsion information-quantity coordinates.
+    pub emulsion_coordinates: Vec<f64>,
+    /// TPA hardness (rheometer units).
+    pub hardness: f64,
+    /// TPA cohesiveness.
+    pub cohesiveness: f64,
+    /// TPA adhesiveness.
+    pub adhesiveness: f64,
+    /// Heuristic flow-resistance index: `hardness × cohesiveness`.
+    pub viscosity_index: f64,
+    /// Heuristic spreadability in `[0, 1]`:
+    /// `adhesiveness / (adhesiveness + hardness)` (0 when both vanish).
+    pub spreadability: f64,
+}
+
+/// One per-gel formula recommendation toward the nearest Table I setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GelRecommendation {
+    /// Gel component name.
+    pub gel: String,
+    /// The recipe's current weight ratio.
+    pub current: f64,
+    /// The nearest empirical setting's weight ratio.
+    pub suggested: f64,
+    /// `suggested − current`.
+    pub delta: f64,
+}
+
+/// The empirical Table I setting closest to the recipe's topic mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NearestSetting {
+    /// Table I row id.
+    pub setting_id: u32,
+    /// θ̂-weighted KL score (lower is closer).
+    pub score: f64,
+    /// The setting's gel weight ratios.
+    pub gels: [f64; 3],
+    /// The setting's measured TPA attributes.
+    pub hardness: f64,
+    /// Measured cohesiveness.
+    pub cohesiveness: f64,
+    /// Measured adhesiveness.
+    pub adhesiveness: f64,
+    /// Per-gel adjustments that would move the recipe onto the setting.
+    pub recommendations: Vec<GelRecommendation>,
+}
+
+/// How the fold-in ran (echoed so responses are self-describing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldInReport {
+    /// Algorithm used.
+    pub algorithm: FoldInAlgorithm,
+    /// Sweeps actually run.
+    pub sweeps_run: usize,
+    /// Seed used (meaningful for Gibbs only).
+    pub seed: u64,
+}
+
+/// The full `rheotex.serve/1` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TexturePrediction {
+    /// Always [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// Echo of the posted recipe id.
+    pub recipe_id: u64,
+    /// Dictionary terms matched in the description, in order.
+    pub terms_matched: Vec<String>,
+    /// Folded-in topic mixture `θ̂`.
+    pub topic_mixture: Vec<f64>,
+    /// Argmax of the topic mixture.
+    pub top_topic: usize,
+    /// The paper's per-recipe topic `y_d`: argmax of `y_posterior`.
+    pub y_topic: usize,
+    /// Posterior over `y_d` combining `θ̂` with both concentration
+    /// likelihoods.
+    pub y_posterior: Vec<f64>,
+    /// Top texture terms of `y_topic` under the frozen `φ̂`.
+    pub texture_terms: Vec<TextureTerm>,
+    /// Rheological coordinates and attributes.
+    pub rheology: RheologyReport,
+    /// Nearest empirical Table I setting.
+    pub nearest_setting: NearestSetting,
+    /// Fold-in echo.
+    pub fold_in: FoldInReport,
+}
+
+/// The serving core: one verified artifact, one shared predictive cache,
+/// any number of concurrent [`TextureService::infer`] calls.
+pub struct TextureService {
+    artifact: ModelArtifact,
+    frozen: FrozenTopics,
+    db: IngredientDb,
+    /// 2K slots: `k` holds topic `k`'s gel predictive, `K + k` its
+    /// emulsion predictive. Frozen posteriors → never invalidated.
+    cache: Mutex<PredictiveCache>,
+    path: Option<PathBuf>,
+}
+
+impl TextureService {
+    /// Wraps an already-verified artifact.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] if the artifact fails validation.
+    pub fn from_artifact(artifact: ModelArtifact) -> Result<Self, ServeError> {
+        artifact.validate()?;
+        let frozen = artifact.frozen_topics()?;
+        let k = artifact.config.n_topics;
+        Ok(Self {
+            artifact,
+            frozen,
+            db: IngredientDb::builtin(),
+            cache: Mutex::new(PredictiveCache::new(2 * k)),
+            path: None,
+        })
+    }
+
+    /// Loads, verifies, and wraps an artifact file. The path is kept so
+    /// [`TextureService::health`] re-verifies the bytes on disk.
+    ///
+    /// # Errors
+    /// As [`ModelArtifact::load`].
+    pub fn open(path: &Path) -> Result<Self, ServeError> {
+        let artifact = ModelArtifact::load(path)?;
+        let mut service = Self::from_artifact(artifact)?;
+        service.path = Some(path.to_path_buf());
+        Ok(service)
+    }
+
+    /// The artifact being served.
+    #[must_use]
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The integrity probe behind `/healthz`: for a file-backed service,
+    /// re-reads and re-verifies the artifact bytes on disk (catching
+    /// deletion or in-place corruption while serving); for an in-memory
+    /// artifact, re-runs structural validation.
+    ///
+    /// # Errors
+    /// The integrity diagnosis.
+    pub fn health(&self) -> Result<(), ServeError> {
+        match &self.path {
+            Some(p) => ModelArtifact::verify_file(p),
+            None => self.artifact.validate(),
+        }
+    }
+
+    /// Predictive-cache counters: `(lookups, hits, hit_rate)`.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64, f64) {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        (cache.lookups(), cache.hits(), cache.hit_rate())
+    }
+
+    /// Answers one recipe. Pure function of
+    /// `(artifact, recipe, options)` — byte-identical JSON for identical
+    /// inputs, which is the serving determinism contract.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for unparseable or zero-weight
+    /// recipes; [`ServeError::Model`] for numerical failures.
+    pub fn infer(
+        &self,
+        recipe: &Recipe,
+        options: &InferOptions,
+    ) -> Result<TexturePrediction, ServeError> {
+        let parsed = recipe
+            .parse(&self.db)
+            .map_err(|e| ServeError::bad_request(format!("unparseable recipe: {e}")))?;
+        let features = RecipeFeatures::from_parsed(&parsed, &self.artifact.dict)
+            .ok_or_else(|| ServeError::bad_request("recipe has zero total weight"))?;
+
+        let terms: Vec<usize> = features.terms.iter().map(|t| t.index()).collect();
+        let cfg = FoldInConfig::new()
+            .algorithm(options.algorithm)
+            .sweeps(options.sweeps)
+            .burn_in(options.burn_in);
+        let fold = fold_in(&self.frozen, &terms, &cfg, options.seed)?;
+
+        let y_posterior = self.y_posterior(&fold.theta, &features)?;
+        let y_topic = argmax(&y_posterior);
+
+        let texture_terms = self.top_terms(y_topic, options.top_terms);
+        let rheology = rheology_report(&features);
+        let nearest_setting = self.nearest_setting(&fold.theta, &features);
+
+        Ok(TexturePrediction {
+            schema: SERVE_SCHEMA.to_string(),
+            recipe_id: recipe.id,
+            terms_matched: features
+                .terms
+                .iter()
+                .map(|&t| self.artifact.dict.entry(t).surface.clone())
+                .collect(),
+            topic_mixture: fold.theta.clone(),
+            top_topic: fold.top_topic(),
+            y_topic,
+            y_posterior,
+            texture_terms,
+            rheology,
+            nearest_setting,
+            fold_in: FoldInReport {
+                algorithm: options.algorithm,
+                sweeps_run: fold.sweeps_run,
+                seed: options.seed,
+            },
+        })
+    }
+
+    /// `p(y = k) ∝ θ̂_k · t_k(gel) · t_k(emulsion)` in log space, with
+    /// the Student-t predictives served from the shared cache.
+    fn y_posterior(
+        &self,
+        theta: &[f64],
+        features: &RecipeFeatures,
+    ) -> Result<Vec<f64>, ServeError> {
+        let k = self.artifact.config.n_topics;
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut log_p = Vec::with_capacity(k);
+        for t in 0..k {
+            let gel = cache
+                .get_or_try_build(t, || self.artifact.gel_posteriors[t].posterior_predictive())
+                .map_err(ModelError::from)?;
+            let mut lp = theta[t].max(f64::MIN_POSITIVE).ln()
+                + gel.log_pdf(&features.gel).map_err(ModelError::from)?;
+            let emu = cache
+                .get_or_try_build(k + t, || {
+                    self.artifact.emulsion_posteriors[t].posterior_predictive()
+                })
+                .map_err(ModelError::from)?;
+            lp += emu.log_pdf(&features.emulsion).map_err(ModelError::from)?;
+            log_p.push(lp);
+        }
+        let max = log_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut p: Vec<f64> = log_p.iter().map(|&l| (l - max).exp()).collect();
+        let norm: f64 = p.iter().sum();
+        for x in &mut p {
+            *x /= norm;
+        }
+        Ok(p)
+    }
+
+    fn top_terms(&self, topic: usize, n: usize) -> Vec<TextureTerm> {
+        let v = self.artifact.config.vocab_size;
+        let mut weighted: Vec<(usize, f64)> =
+            (0..v).map(|w| (w, self.frozen.phi(topic, w))).collect();
+        weighted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        weighted
+            .into_iter()
+            .take(n)
+            .map(|(w, weight)| {
+                let entry = self
+                    .artifact
+                    .dict
+                    .get(rheotex_textures::TermId(w as u32))
+                    .expect("vocab index within dictionary");
+                TextureTerm {
+                    term: entry.surface.clone(),
+                    gloss: entry.gloss.clone(),
+                    weight,
+                }
+            })
+            .collect()
+    }
+
+    /// Ranks Table I settings by `Σ_k θ̂_k · KL(setting_s ‖ topic_k)`
+    /// using the linkage precomputed at export time.
+    fn nearest_setting(&self, theta: &[f64], features: &RecipeFeatures) -> NearestSetting {
+        let (best, score) = self
+            .artifact
+            .table1
+            .iter()
+            .map(|a| {
+                let s: f64 = theta
+                    .iter()
+                    .zip(&a.all_kl)
+                    .map(|(&t, &kl)| t * kl)
+                    .sum();
+                (a, s)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("artifact validation guarantees Table I linkage");
+        let setting = rheotex_rheology::table1()
+            .into_iter()
+            .find(|s| s.id == best.setting_id)
+            .expect("linkage ids come from Table I");
+        let recommendations = (0..3)
+            .map(|i| GelRecommendation {
+                gel: GEL_NAMES[i].to_string(),
+                current: features.gel_concentrations[i],
+                suggested: setting.gels[i],
+                delta: setting.gels[i] - features.gel_concentrations[i],
+            })
+            .collect();
+        NearestSetting {
+            setting_id: setting.id,
+            score,
+            gels: setting.gels,
+            hardness: setting.attributes.hardness,
+            cohesiveness: setting.attributes.cohesiveness,
+            adhesiveness: setting.attributes.adhesiveness,
+            recommendations,
+        }
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i)
+}
+
+fn rheology_report(features: &RecipeFeatures) -> RheologyReport {
+    let attrs = GelMechanics::from_composition(
+        features.gel_concentrations,
+        features.emulsion_concentrations,
+    )
+    .predicted_attributes();
+    let spreadability = if attrs.adhesiveness + attrs.hardness > 0.0 {
+        attrs.adhesiveness / (attrs.adhesiveness + attrs.hardness)
+    } else {
+        0.0
+    };
+    RheologyReport {
+        gel_concentrations: features.gel_concentrations,
+        emulsion_concentrations: features.emulsion_concentrations,
+        gel_coordinates: features.gel.iter().copied().collect(),
+        emulsion_coordinates: features.emulsion.iter().copied().collect(),
+        hardness: attrs.hardness,
+        cohesiveness: attrs.cohesiveness,
+        adhesiveness: attrs.adhesiveness,
+        viscosity_index: attrs.hardness * attrs.cohesiveness,
+        spreadability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixture;
+
+    fn service() -> TextureService {
+        TextureService::from_artifact(test_fixture::artifact()).unwrap()
+    }
+
+    #[test]
+    fn answers_a_recipe_with_the_serve_schema() {
+        let svc = service();
+        let out = svc.infer(&test_fixture::recipe(), &InferOptions::default()).unwrap();
+        assert_eq!(out.schema, SERVE_SCHEMA);
+        assert_eq!(out.recipe_id, 900);
+        assert!(out.terms_matched.contains(&"purupuru".to_string()));
+        let sum: f64 = out.topic_mixture.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let ysum: f64 = out.y_posterior.iter().sum();
+        assert!((ysum - 1.0).abs() < 1e-9);
+        assert!(!out.texture_terms.is_empty());
+        assert!(out.rheology.hardness > 0.0, "gelatin recipe has hardness");
+        assert!((0.0..=1.0).contains(&out.rheology.spreadability));
+        assert!(
+            rheotex_rheology::table1()
+                .iter()
+                .any(|s| s.id == out.nearest_setting.setting_id),
+            "nearest setting must be a Table I row"
+        );
+        assert_eq!(out.nearest_setting.recommendations.len(), 3);
+        assert_eq!(out.nearest_setting.recommendations[0].gel, "gelatin");
+    }
+
+    #[test]
+    fn identical_requests_serialize_byte_identically() {
+        let svc = service();
+        let opts = InferOptions {
+            algorithm: FoldInAlgorithm::Gibbs,
+            seed: 7,
+            ..InferOptions::default()
+        };
+        let a = svc.infer(&test_fixture::recipe(), &opts).unwrap();
+        let b = svc.infer(&test_fixture::recipe(), &opts).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_weight_recipes_are_client_errors() {
+        let svc = service();
+        let mut recipe = test_fixture::recipe();
+        recipe.ingredients.clear();
+        let err = svc.infer(&recipe, &InferOptions::default()).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn predictive_cache_is_shared_across_requests() {
+        let svc = service();
+        svc.infer(&test_fixture::recipe(), &InferOptions::default())
+            .unwrap();
+        let (lookups_1, hits_1, _) = svc.cache_stats();
+        assert_eq!(hits_1, 0, "first request builds every predictive");
+        assert_eq!(lookups_1, 2 * svc.artifact().config.n_topics as u64);
+        svc.infer(&test_fixture::recipe(), &InferOptions::default())
+            .unwrap();
+        let (lookups_2, hits_2, rate) = svc.cache_stats();
+        assert_eq!(lookups_2, 2 * lookups_1);
+        assert_eq!(hits_2, lookups_1, "second request is all hits");
+        assert!(rate > 0.49);
+    }
+
+    #[test]
+    fn health_passes_for_in_memory_artifacts() {
+        service().health().unwrap();
+    }
+}

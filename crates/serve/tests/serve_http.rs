@@ -1,0 +1,116 @@
+//! End-to-end smoke test of the HTTP front end: spawn a real server on
+//! an ephemeral port, speak HTTP/1.1 over a raw socket, and check the
+//! `rheotex.serve/1` contract, determinism, health, and metrics.
+
+use rheotex_serve::test_fixture;
+use rheotex_serve::{Server, ServerConfig, TextureService};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_artifact(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rheotex-serve-http-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.rtm"));
+    test_fixture::artifact().save(&path).unwrap();
+    path
+}
+
+/// Minimal HTTP/1.1 client: one request, one response.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_body(seed: u64) -> String {
+    let recipe = serde_json::to_string(&test_fixture::recipe()).unwrap();
+    format!("{{\"recipe\":{recipe},\"algorithm\":\"gibbs\",\"seed\":{seed}}}")
+}
+
+#[test]
+fn serves_texture_predictions_end_to_end() {
+    let path = temp_artifact("smoke");
+    let service = Arc::new(TextureService::open(&path).unwrap());
+    let server = Server::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Health first: the artifact on disk is intact.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("rheotex.model/1"), "{body}");
+
+    // A posted recipe comes back as a schema-tagged prediction.
+    let (status, body) = request(addr, "POST", "/v1/texture", &post_body(7));
+    assert_eq!(status, 200, "{body}");
+    let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(json["schema"], "rheotex.serve/1");
+    assert_eq!(json["recipe_id"], 900);
+    assert!(json["texture_terms"].as_array().is_some_and(|a| !a.is_empty()));
+    assert!(json["nearest_setting"]["setting_id"].is_u64());
+    assert!(json["rheology"]["hardness"].as_f64().unwrap() > 0.0);
+    assert_eq!(json["fold_in"]["algorithm"], "gibbs");
+
+    // Determinism over the wire: identical request ⇒ byte-identical body.
+    let (_, again) = request(addr, "POST", "/v1/texture", &post_body(7));
+    assert_eq!(body, again, "same artifact + seed must serve identical bytes");
+    // And a different seed is allowed to (and here does) differ.
+    let (_, other) = request(addr, "POST", "/v1/texture", &post_body(8));
+    assert_ne!(body, other);
+
+    // Client errors are 400s, unknown routes 404s.
+    let (status, _) = request(addr, "POST", "/v1/texture", "{\"not\":\"a request\"}");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/v1/nothing", "");
+    assert_eq!(status, 404);
+
+    // Metrics counted all of it.
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(metrics["requests"].as_u64().unwrap() >= 3);
+    assert!(metrics["cache"]["hit_rate"].as_f64().unwrap() > 0.0);
+    assert!(metrics["batch_size"]["count"].as_u64().unwrap() >= 1);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn healthz_degrades_when_the_artifact_rots_on_disk() {
+    let path = temp_artifact("rot");
+    let service = Arc::new(TextureService::open(&path).unwrap());
+    let server = Server::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    // Flip one payload byte in place: CRC catches it, health degrades.
+    let mut bytes = std::fs::read(&path).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("checksum"), "{body}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -47,6 +47,7 @@
 //! | [`linkage`] | KL topic assignment, Fig. 3 / Fig. 4 analyses, recovery metrics |
 //! | [`obs`] | structured tracing: spans, counters, sweep events, JSONL metrics |
 //! | [`resilience`] | versioned CRC-checked checkpoints, atomic stores, fault injection |
+//! | [`serve`] | versioned model artifacts, fold-in inference for unseen recipes, batched HTTP front end |
 //!
 //! ## Observability
 //!
@@ -95,6 +96,7 @@ pub use rheotex_linkage as linkage;
 pub use rheotex_obs as obs;
 pub use rheotex_resilience as resilience;
 pub use rheotex_rheology as rheology;
+pub use rheotex_serve as serve;
 pub use rheotex_textures as textures;
 
 pub mod pipeline;

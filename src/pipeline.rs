@@ -35,9 +35,10 @@
 //! additionally writes durable snapshots and can resume after a crash
 //! (see README.md § Resilience); a resumed fit is bit-identical to an
 //! uninterrupted one. [`PipelineConfig::threads`] selects the
-//! deterministic parallel sweep kernel for the fit stage. The old free
-//! functions (`run_pipeline`, `fit_recipes`, and their `_observed` /
-//! `_checkpointed` variants) survive as thin deprecated wrappers.
+//! deterministic parallel sweep kernel for the fit stage. The historical
+//! free functions (`run_pipeline`, `fit_recipes`, and their `_observed` /
+//! `_checkpointed` variants) have been removed; see README.md
+//! § Migrating to the unified fitting API.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -553,65 +554,8 @@ impl<'a> PipelineRun<'a> {
     }
 }
 
-/// Runs stages 2–4 on arbitrary recipes with all-default options.
-///
-/// # Errors
-/// [`PipelineError`] naming the failing stage.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PipelineRun::new(config).fit_recipes(recipes, labels)`"
-)]
-pub fn fit_recipes(
-    config: &PipelineConfig,
-    recipes: &[rheotex_corpus::Recipe],
-    labels: &[usize],
-) -> Result<FitOutput, PipelineError> {
-    PipelineRun::new(config).fit_recipes(recipes, labels)
-}
-
 fn dataset_tokens(dataset: &Dataset) -> u64 {
     dataset.features.iter().map(|f| f.terms.len() as u64).sum()
-}
-
-/// [`PipelineRun::fit_recipes`] restricted to observation.
-///
-/// # Errors
-/// [`PipelineError`] naming the failing stage.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PipelineRun::new(config).observed(obs).fit_recipes(recipes, labels)`"
-)]
-pub fn fit_recipes_observed(
-    config: &PipelineConfig,
-    recipes: &[rheotex_corpus::Recipe],
-    labels: &[usize],
-    obs: &Obs,
-) -> Result<FitOutput, PipelineError> {
-    PipelineRun::new(config)
-        .observed(obs)
-        .fit_recipes(recipes, labels)
-}
-
-/// [`PipelineRun::fit_recipes`] restricted to observation plus durable
-/// checkpointing.
-///
-/// # Errors
-/// As [`PipelineRun::fit_recipes`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PipelineRun::new(config).observed(obs).checkpointed(opts).fit_recipes(...)`"
-)]
-pub fn fit_recipes_checkpointed(
-    config: &PipelineConfig,
-    recipes: &[rheotex_corpus::Recipe],
-    labels: &[usize],
-    obs: &Obs,
-    opts: &CheckpointOptions,
-) -> Result<FitOutput, PipelineError> {
-    PipelineRun::new(config)
-        .observed(obs)
-        .checkpointed(opts.clone())
-        .fit_recipes(recipes, labels)
 }
 
 /// Stages 2–3, shared by the plain and the checkpointed fit paths:
@@ -685,30 +629,6 @@ fn fit_rng(config: &PipelineConfig) -> ChaCha8Rng {
 /// single-chain fit bit-for-bit.
 fn fit_seed(config: &PipelineConfig) -> u64 {
     config.seed ^ 0x10D0
-}
-
-/// Runs the full pipeline with all-default options.
-///
-/// # Errors
-/// [`PipelineError`] naming the failing stage.
-#[deprecated(since = "0.1.0", note = "use `PipelineRun::new(config).run()`")]
-pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
-    PipelineRun::new(config).run()
-}
-
-/// [`PipelineRun::run`] restricted to observation.
-///
-/// # Errors
-/// [`PipelineError`] naming the failing stage.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PipelineRun::new(config).observed(obs).run()`"
-)]
-pub fn run_pipeline_observed(
-    config: &PipelineConfig,
-    obs: &Obs,
-) -> Result<PipelineOutput, PipelineError> {
-    PipelineRun::new(config).observed(obs).run()
 }
 
 #[cfg(test)]
@@ -785,16 +705,6 @@ mod tests {
         let four = PipelineRun::new(&config).run().unwrap();
         assert_eq!(one.model.y, four.model.y);
         assert_eq!(one.model.ll_trace, four.model.ll_trace);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        let config = PipelineConfig::small(150);
-        let wrapped = run_pipeline(&config).unwrap();
-        let built = PipelineRun::new(&config).run().unwrap();
-        assert_eq!(wrapped.model.y, built.model.y);
-        assert_eq!(wrapped.model.ll_trace, built.model.ll_trace);
     }
 
     #[test]
