@@ -2,10 +2,10 @@
 //! corpus size and topic count — the cost driver of Table II(a) — plus
 //! the kernel comparison behind `BENCH_gibbs.json`: serial vs.
 //! deterministic parallel vs. sparse bucket sweeps vs. the composed
-//! sparse-parallel kernel (the sparse rows scanned across
-//! K ∈ {8, 32, 128} on a wide-vocabulary LDA corpus, sparse-parallel
-//! additionally across threads ∈ {0, 2, 4}), and cached vs. uncached
-//! Gaussian predictives.
+//! sparse-parallel kernel vs. the alias-table MH kernel (the sparse
+//! and alias rows scanned across K ∈ {8, 32, 128} on a
+//! wide-vocabulary LDA corpus, the chunked kernels additionally across
+//! threads ∈ {0, 2, 4}), and cached vs. uncached Gaussian predictives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -86,7 +86,8 @@ fn bench_fit_by_topics(c: &mut Criterion) {
 /// sparse bucket sweep, and the GMM sweep with the per-topic Student-t
 /// predictive cache on vs. off (cached and uncached fits are
 /// bit-identical; only speed differs), plus the LDA scan over topic
-/// counts: dense serial vs. sparse vs. sparse-parallel across threads.
+/// counts: dense serial vs. sparse vs. sparse-parallel vs. alias
+/// across threads.
 fn bench_sweep_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_sweep_kernels");
     group.sample_size(10);
@@ -187,6 +188,25 @@ fn bench_sweep_kernels(c: &mut Criterion) {
                             FitOptions::new()
                                 .kernel(GibbsKernel::SparseParallel)
                                 .threads(t),
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+        // The alias-table MH kernel on the same grid: the per-sweep
+        // table rebuild is the fixed cost the O(1) draws amortize.
+        for t in [0usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("lda_alias", format!("{k}_t{t}")),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(9);
+                        lda.fit_with(
+                            &mut rng,
+                            black_box(&wide_docs),
+                            FitOptions::new().kernel(GibbsKernel::Alias).threads(t),
                         )
                         .unwrap()
                     });

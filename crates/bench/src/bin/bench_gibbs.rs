@@ -1,21 +1,23 @@
 //! Gibbs hot-path throughput, machine-readable: writes
-//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/5`) comparing
+//! `results/BENCH_gibbs.json` (schema `rheotex.bench.gibbs/6`) comparing
 //! the serial joint kernel against the deterministic parallel and sparse
 //! kernels, the GMM sweep with the Student-t predictive cache on vs. off,
-//! a kernel scan of the dense-serial, sparse, dense-parallel, and
-//! sparse-parallel LDA sweeps across topic counts and thread counts
-//! (where the sparse kernels' `O(nnz)` per-token cost should pull ahead
-//! of the dense `O(K)` scan as `K` grows, and the chunked sparse-parallel
-//! composition should beat both single-threaded sparse and dense
-//! parallel at the same thread count), and the overhead of the fitting
-//! supervisor's sampled invariant audit on the LDA scan shape.
+//! a kernel scan of the dense-serial, sparse, dense-parallel,
+//! sparse-parallel, and alias-table MH LDA sweeps across topic counts
+//! and thread counts (where the sparse kernels' `O(nnz)` per-token cost
+//! should pull ahead of the dense `O(K)` scan as `K` grows, the chunked
+//! sparse-parallel composition should beat both single-threaded sparse
+//! and dense parallel at the same thread count, and the alias kernel's
+//! `O(1)`-amortized MH draws should beat single-threaded sparse at the
+//! largest `K`), and the overhead of the fitting supervisor's sampled
+//! invariant audit on the LDA scan shape.
 //!
 //! The JSON shape (stable; consumed by CI and the README's performance
 //! section):
 //!
 //! ```json
 //! {
-//!   "schema": "rheotex.bench.gibbs/5",
+//!   "schema": "rheotex.bench.gibbs/6",
 //!   "meta": { "git_describe": "v0-12-gabc1234", "cpu_model": "...",
 //!             "host_threads": 16 },
 //!   "corpus": { "docs": 400, "tokens": 1200, "vocab": 12, "topics": 8 },
@@ -34,7 +36,9 @@
 //!               "parallel_t2": { ... }, "parallel_t4": { ... },
 //!               "sparse_parallel_t0": { ... },
 //!               "sparse_parallel_t2": { ... },
-//!               "sparse_parallel_t4": { ... } },
+//!               "sparse_parallel_t4": { ... },
+//!               "alias_t0": { ... }, "alias_t2": { ... },
+//!               "alias_t4": { ... } },
 //!     "k32":  { ... }, "k128": { ... }
 //!   },
 //!   "health": {
@@ -51,7 +55,9 @@
 //!                "sparse_over_serial_k32": 1.6,
 //!                "sparse_over_serial_k128": 3.8,
 //!                "sparse_parallel_over_sparse_k128": 2.4,
-//!                "sparse_parallel_over_parallel_k128": 1.7 }
+//!                "sparse_parallel_over_parallel_k128": 1.7,
+//!                "alias_over_sparse_k128": 1.3,
+//!                "alias_over_sparse_parallel_k128": 0.9 }
 //! }
 //! ```
 //!
@@ -188,7 +194,8 @@ fn observed_hit_rate(f: impl FnOnce(&mut Obs)) -> Option<f64> {
 
 /// One topic count's worth of kernel-scan rows: serial and sparse at
 /// `threads == 0`, the dense parallel kernel over the nonzero grid
-/// points, and the sparse-parallel kernel over the whole thread grid.
+/// points, and the sparse-parallel and alias kernels over the whole
+/// thread grid.
 struct ScanRows {
     serial: f64,
     sparse: f64,
@@ -196,9 +203,11 @@ struct ScanRows {
     parallel: Vec<(usize, f64)>,
     /// `(threads, wall_secs)` per entry of [`SCAN_THREADS`].
     sparse_parallel: Vec<(usize, f64)>,
+    /// `(threads, wall_secs)` per entry of [`SCAN_THREADS`].
+    alias: Vec<(usize, f64)>,
 }
 
-/// Times the four LDA kernels at `k` topics on the scan corpus across
+/// Times the five LDA kernels at `k` topics on the scan corpus across
 /// the [`SCAN_THREADS`] grid.
 fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> ScanRows {
     let cfg = LdaConfig {
@@ -251,11 +260,25 @@ fn scan_at(k: usize, docs: &[ModelDoc], sweeps: usize) -> ScanRows {
         });
         sparse_parallel.push((t, wall));
     }
+    let mut alias = Vec::new();
+    for t in SCAN_THREADS {
+        let wall = time_best(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            lda.fit_with(
+                &mut rng,
+                docs,
+                FitOptions::new().kernel(GibbsKernel::Alias).threads(t),
+            )
+            .unwrap();
+        });
+        alias.push((t, wall));
+    }
     ScanRows {
         serial,
         sparse,
         parallel,
         sparse_parallel,
+        alias,
     }
 }
 
@@ -544,9 +567,14 @@ fn main() {
             entry[format!("sparse_parallel_t{t}")] =
                 engine_entry(wall, scan_sweeps, scan_tokens, t, None);
         }
+        for &(t, wall) in &rows.alias {
+            entry[format!("alias_t{t}")] = engine_entry(wall, scan_sweeps, scan_tokens, t, None);
+        }
         kernel_scan[format!("k{k}")] = entry;
         // Head-to-head figures at the top of the thread grid: the
-        // composed kernel against each of its two parents.
+        // composed kernels against their parents, plus the alias
+        // kernel's single-worker row against single-threaded sparse
+        // (the O(1)-amortized-draw claim).
         let par_top = rows
             .parallel
             .iter()
@@ -559,23 +587,48 @@ fn main() {
             .find(|(t, _)| *t == top_threads)
             .map(|(_, w)| *w)
             .expect("sparse-parallel row at top threads");
+        let alias_t0 = rows
+            .alias
+            .iter()
+            .find(|(t, _)| *t == 0)
+            .map(|(_, w)| *w)
+            .expect("alias row at threads 0");
+        let alias_top = rows
+            .alias
+            .iter()
+            .find(|(t, _)| *t == top_threads)
+            .map(|(_, w)| *w)
+            .expect("alias row at top threads");
         scan_speedups.push((
             k,
             rows.serial / rows.sparse,
             rows.sparse / sp_top,
             par_top / sp_top,
+            rows.sparse / alias_t0,
+            sp_top / alias_top,
         ));
         eprintln!(
             "  K={k:<4} serial {:.3}s, sparse {:.3}s ({:.2}x), \
              parallel(t{top_threads}) {par_top:.3}s, \
              sparse-parallel(t{top_threads}) {sp_top:.3}s \
-             ({:.2}x over sparse, {:.2}x over parallel)",
+             ({:.2}x over sparse, {:.2}x over parallel), \
+             alias(t0) {alias_t0:.3}s ({:.2}x over sparse), \
+             alias(t{top_threads}) {alias_top:.3}s ({:.2}x over sparse-parallel)",
             rows.serial,
             rows.sparse,
             rows.serial / rows.sparse,
             rows.sparse / sp_top,
-            par_top / sp_top
+            par_top / sp_top,
+            rows.sparse / alias_t0,
+            sp_top / alias_top
         );
+        if k == *SCAN_KS.last().expect("nonempty scan grid") && alias_t0 > rows.sparse {
+            println!(
+                "::warning ::alias kernel at {:.2}x over single-threaded sparse at K={k} \
+                 (target >= 1.0x); see the alias profile events for rebuild vs. draw time",
+                rows.sparse / alias_t0
+            );
+        }
     }
 
     eprintln!("health supervision overhead: lda K=32 scan shape, default recover cadence…");
@@ -592,15 +645,19 @@ fn main() {
         "joint_sparse_over_serial": serial / sparse_joint,
         "gmm_cached_over_uncached": uncached / cached,
     });
-    for (k, s, sp_over_sparse, sp_over_parallel) in &scan_speedups {
+    for (k, s, sp_over_sparse, sp_over_parallel, alias_over_sparse, alias_over_sp) in
+        &scan_speedups
+    {
         speedup[format!("sparse_over_serial_k{k}")] = serde_json::json!(s);
         speedup[format!("sparse_parallel_over_sparse_k{k}")] = serde_json::json!(sp_over_sparse);
         speedup[format!("sparse_parallel_over_parallel_k{k}")] =
             serde_json::json!(sp_over_parallel);
+        speedup[format!("alias_over_sparse_k{k}")] = serde_json::json!(alias_over_sparse);
+        speedup[format!("alias_over_sparse_parallel_k{k}")] = serde_json::json!(alias_over_sp);
     }
 
     let report = serde_json::json!({
-        "schema": "rheotex.bench.gibbs/5",
+        "schema": "rheotex.bench.gibbs/6",
         "meta": bench_meta(scan_n_docs, scan_tokens_per_doc),
         "corpus": { "docs": n_docs, "tokens": tokens, "vocab": VOCAB, "topics": TOPICS },
         "sweeps": sweeps,
@@ -651,10 +708,14 @@ fn main() {
         uncached / cached,
         gmm_hit_rate.map_or("n/a".to_string(), |r| format!("{r:.3}"))
     );
-    for (k, s, sp_over_sparse, sp_over_parallel) in &scan_speedups {
+    for (k, s, sp_over_sparse, sp_over_parallel, alias_over_sparse, alias_over_sp) in
+        &scan_speedups
+    {
         println!(
             "lda scan K={k}: sparse over serial {s:.2}x; sparse-parallel(t{top_threads}) \
-             {sp_over_sparse:.2}x over sparse, {sp_over_parallel:.2}x over parallel"
+             {sp_over_sparse:.2}x over sparse, {sp_over_parallel:.2}x over parallel; \
+             alias(t0) {alias_over_sparse:.2}x over sparse, \
+             alias(t{top_threads}) {alias_over_sp:.2}x over sparse-parallel"
         );
     }
     for (name, entry) in [("serial", &health_serial), ("sparse", &health_sparse)] {

@@ -26,7 +26,8 @@ rheotex — sensory texture topics with rheological linkage
 USAGE:
   rheotex generate  --recipes N [--seed S] --out corpus.jsonl [--quiet]
   rheotex fit       --corpus corpus.jsonl [--topics K] [--sweeps N] [--seed S]
-                    [--threads N] [--kernel serial|parallel|sparse|sparse-parallel]
+                    [--threads N]
+                    [--kernel serial|parallel|sparse|sparse-parallel|alias]
                     [--chains N] [--rhat-threshold R] [--fail-unconverged]
                     [--min-chains N]
                     --out-model model.json --out-dict dict.json
@@ -60,10 +61,15 @@ FIT PERFORMANCE:
   --kernel NAME        name the Gibbs kernel explicitly: serial (dense
                        O(K) per token), parallel (chunked deterministic),
                        sparse (single-threaded SparseLDA-style buckets,
-                       O(nnz) per token — wins at large K), or
+                       O(nnz) per token — wins at large K),
                        sparse-parallel (the sparse buckets over the
                        parallel chunk grid — any --threads N, identical
-                       across thread counts; the fast path at large K).
+                       across thread counts; the fast path at large K),
+                       or alias (O(1)-amortized alias-table
+                       Metropolis-Hastings draws over the chunk grid —
+                       any --threads N, identical across thread counts;
+                       wins at very large K and V, stationary-exact but
+                       not sweep-identical to the dense conditional).
                        serial/sparse require --threads 0; every kernel is
                        deterministic but a checkpoint resumes only under
                        the kernel that wrote it
@@ -96,8 +102,9 @@ FIT HEALTH:
                        behaviour), strict (abort the fit on the first
                        trip), recover (roll back to the last good
                        in-memory snapshot and retry deterministically;
-                       repeated sparse or sparse-parallel failures
-                       degrade to the dense serial kernel). A healthy
+                       a kernel that keeps failing drops one rung down
+                       the alias → sparse → serial degradation ladder,
+                       sparse-parallel straight to serial). A healthy
                        supervised run is bit-identical to an
                        unsupervised one
   --max-retries N      rollback budget per incident in recover mode
@@ -110,7 +117,8 @@ REPORT:
   rheotex report reads one or more --metrics-out JSONL files and prints
   the convergence verdict per traced metric, the pipeline stage and
   sweep-phase time breakdown, and a kernel-specific profile section
-  (sparse bucket masses, parallel chunk timings, cache hit rates);
+  (sparse bucket masses, parallel chunk timings, alias MH acceptance
+  rates, cache hit rates);
   --out additionally writes machine-readable JSON (schema
   rheotex.report/2). With --fail-unconverged the exit code is 3 when
   the run is unconverged at the R-hat threshold.

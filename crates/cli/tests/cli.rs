@@ -716,6 +716,7 @@ fn fit_rejects_unknown_kernel_with_the_legal_matrix() {
         "sparse (threads == 0)",
         "parallel (any threads)",
         "sparse-parallel (any threads)",
+        "alias (any threads)",
     ] {
         assert!(err.contains(combo), "missing {combo:?} in {err}");
     }

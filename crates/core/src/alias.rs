@@ -1,0 +1,556 @@
+//! LightLDA-style alias-table Metropolis-Hastings token sampling.
+//!
+//! The sparse kernel ([`crate::sparse`]) cuts the dense `O(K)` per-token
+//! scan to `O(s + r + q)`, but that still grows with the number of
+//! topics active in the document and word. The alias kernel goes one
+//! step further: it draws proposals in `O(1)` amortized time from
+//! precomputed [Vose/Walker alias tables](https://en.wikipedia.org/wiki/Alias_method)
+//! and corrects the staleness of those tables with a Metropolis-Hastings
+//! acceptance step against the fresh counts, so the per-token cost is a
+//! small constant independent of `K`, `V`, and the topic support.
+//!
+//! Per sweep, one alias table per word is built over the frozen
+//! start-of-sweep column `φ̂_w ∝ n_kw + γ` (an `O(KV)` build amortized
+//! over every token of the sweep). Each token then runs a cycled pair of
+//! MH proposals against the fresh counts `π(k) ∝ (n_dk^¬ + m_dk + α) ·
+//! (n_kw^¬ + γ) / (n_k^¬ + γV)`:
+//!
+//! * a **document proposal** `q_d(k) ∝ n_dk(k) + 1[k = old] + α`, drawn
+//!   by the token-pick trick — pick a uniform position in
+//!   `[0, L + αK)`; below `L` it names an existing token's topic
+//!   (the current token still counts under its old topic), above it a
+//!   uniform topic — so no document-side table is ever built;
+//! * a **word proposal** `q_w(k) ∝ n_kw_stale(k) + γ`, drawn from the
+//!   word's alias table. The stale weights enter the acceptance ratio
+//!   directly (their normalizer cancels), so staleness biases nothing:
+//!   the chain's stationary distribution is exactly `π`.
+//!
+//! # Determinism
+//!
+//! A token consumes exactly four `f64` draws — doc proposal, doc
+//! accept, word proposal, word accept — regardless of where the
+//! proposals land, and the Vose construction fills its worklists in
+//! index order, so the kernel is a pure function of `(config, docs,
+//! seed)`. The sweep itself always runs on the parallel kernel's fixed
+//! 64-doc chunk grid with counter-derived ChaCha8 streams (stream `2c`
+//! for chunk `c`), making the output bit-identical across runs *and*
+//! across worker-thread counts.
+//!
+//! # Exactness caveat
+//!
+//! MH correction makes the kernel stationary-distribution-exact, but a
+//! single sweep mixes differently from the dense Gibbs scan (a token
+//! can keep its topic because a proposal was rejected, not because the
+//! conditional favored it), so per-sweep state is *not* comparable to
+//! the dense kernels bit-for-bit or statistically sweep-by-sweep; only
+//! the post-burn-in averages agree.
+
+use rand::Rng;
+use rheotex_obs::KernelProfile;
+
+/// A Vose/Walker alias table: samples an index `i` with probability
+/// `weights[i] / Σ weights` from a single uniform draw.
+#[derive(Debug, Clone)]
+pub(crate) struct AliasTable {
+    /// Per-slot acceptance threshold, scaled to `[0, 1]`.
+    prob: Vec<f64>,
+    /// Per-slot alias target taken when the threshold test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table in `O(len)` with the two-worklist Vose
+    /// construction. Worklists fill in index order and drain from the
+    /// back, so the table layout — and therefore every draw — is a pure
+    /// function of the weights.
+    pub(crate) fn build(weights: &[f64]) -> Self {
+        let k = weights.len();
+        debug_assert!(k > 0, "alias table over an empty support");
+        let total: f64 = weights.iter().sum();
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let Some(s) = small.pop() {
+            // With exact arithmetic the lists exhaust together; under FP
+            // roundoff a small slot can outlive the large list and sits
+            // at (numerically) exactly 1.
+            let Some(l) = large.last().copied() else {
+                prob[s as usize] = 1.0;
+                continue;
+            };
+            alias[s as usize] = l;
+            // The large slot donates the deficit of the small slot.
+            let donated = 1.0 - prob[s as usize];
+            prob[l as usize] -= donated;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftover large slots likewise sit at 1.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Maps one uniform `u ∈ [0, 1)` to a slot: the integer part picks
+    /// the column, the fractional part runs the threshold test.
+    #[inline]
+    pub(crate) fn sample(&self, u: f64) -> usize {
+        let k = self.prob.len();
+        let scaled = u * k as f64;
+        let i = (scaled as usize).min(k - 1);
+        let frac = scaled - i as f64;
+        if frac < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// The per-sweep proposal state: one alias table per word over the
+/// frozen start-of-sweep `n_kw + γ` column, plus the frozen counts
+/// themselves for evaluating the stale proposal weights in the MH
+/// acceptance ratio.
+#[derive(Debug, Clone)]
+pub(crate) struct AliasTables {
+    k: usize,
+    v: usize,
+    gamma: f64,
+    /// Frozen `n_kw` (layout `k * v + w`) the tables were built from.
+    n_kw: Vec<u32>,
+    /// One table per word, over topics.
+    tables: Vec<AliasTable>,
+}
+
+impl AliasTables {
+    /// Builds every word's table from the frozen term counts — `O(KV)`
+    /// once per sweep, shared read-only by all chunks.
+    pub(crate) fn build(n_kw: &[u32], k: usize, v: usize, gamma: f64) -> Self {
+        debug_assert_eq!(n_kw.len(), k * v);
+        let mut weights = vec![0.0f64; k];
+        let tables = (0..v)
+            .map(|w| {
+                for (t, weight) in weights.iter_mut().enumerate() {
+                    *weight = f64::from(n_kw[t * v + w]) + gamma;
+                }
+                AliasTable::build(&weights)
+            })
+            .collect();
+        Self {
+            k,
+            v,
+            gamma,
+            n_kw: n_kw.to_vec(),
+            tables,
+        }
+    }
+
+    /// The stale (build-time) proposal weight `q_w(t) ∝ n_kw_stale + γ`.
+    #[inline]
+    pub(crate) fn stale_weight(&self, t: usize, w: usize) -> f64 {
+        f64::from(self.n_kw[t * self.v + w]) + self.gamma
+    }
+
+    /// Draws a word-proposal topic for `w` from one uniform.
+    #[inline]
+    pub(crate) fn propose(&self, w: usize, u: f64) -> usize {
+        self.tables[w].sample(u)
+    }
+
+    /// Heap footprint of the frozen counts plus the tables, for the
+    /// profile's allocation gauge.
+    pub(crate) fn alloc_bytes(&self) -> u64 {
+        // n_kw (u32) + per-word prob (f64) + alias (u32) entries.
+        (4 * self.n_kw.len() + (8 + 4) * self.k * self.v) as u64
+    }
+}
+
+/// Per-sweep profiling counters for the alias kernel: how many MH
+/// proposals of each flavor ran and how many were accepted. Pure
+/// observation — never an input to sampling.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AliasProfile {
+    doc_proposals: u64,
+    word_proposals: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl AliasProfile {
+    /// Accumulates another chunk's counters into this one.
+    pub(crate) fn merge(&mut self, other: &AliasProfile) {
+        self.doc_proposals += other.doc_proposals;
+        self.word_proposals += other.word_proposals;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+    }
+
+    /// Converts sweep-merged counters plus the chunk timings into the
+    /// wire-facing profile payload.
+    pub(crate) fn into_kernel_profile(
+        self,
+        chunk_us: Vec<u64>,
+        rebuild_us: u64,
+        alloc_bytes: u64,
+    ) -> KernelProfile {
+        KernelProfile::Alias {
+            doc_proposals: self.doc_proposals,
+            word_proposals: self.word_proposals,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            chunks: chunk_us.len() as u64,
+            chunk_us,
+            rebuild_us,
+            alloc_bytes,
+        }
+    }
+}
+
+/// One alias-MH token move: the token of term `w` at position `n` of a
+/// document whose topic vector is `zs` (with the token still assigned
+/// its old topic) is cycled through a document proposal and a word
+/// proposal, each accepted against the fresh local counts, and the
+/// final topic is returned.
+///
+/// The caller has already removed the token from `row` / `n_kw` /
+/// `n_k` (the `^¬` state) and reinserts it at the returned topic;
+/// `boost` is the joint model's observed-topic `m_dk`, entering the
+/// target `π` only — never the proposals. Exactly four `f64` draws are
+/// consumed on every call.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mh_move_token<R: Rng + ?Sized>(
+    rng: &mut R,
+    tables: &AliasTables,
+    zs: &[usize],
+    n: usize,
+    w: usize,
+    row: &[u32],
+    n_kw: &[u32],
+    n_k: &[u32],
+    boost: Option<usize>,
+    alpha: f64,
+    gamma: f64,
+    gamma_v: f64,
+    profiling: bool,
+    profile: &mut AliasProfile,
+) -> usize {
+    let k = tables.k;
+    let v = tables.v;
+    let old = zs[n];
+    // Unnormalized target under the fresh token-removed counts.
+    let pi = |t: usize| -> f64 {
+        let m_dk = u32::from(boost == Some(t));
+        (f64::from(row[t] + m_dk) + alpha) * (f64::from(n_kw[t * v + w]) + gamma)
+            / (f64::from(n_k[t]) + gamma_v)
+    };
+    // Stale doc proposal weight: the token-pick distribution below.
+    let q_d = |t: usize| -> f64 { f64::from(row[t] + u32::from(t == old)) + alpha };
+
+    let mut cur = old;
+
+    // Document proposal by the token-pick trick: a position below `L`
+    // names an existing token's topic (self included, still under
+    // `old`), above it the α-smoothing picks a uniform topic.
+    let l = zs.len() as f64;
+    let x = rng.gen::<f64>() * (l + alpha * k as f64);
+    let t = if x < l {
+        zs[(x as usize).min(zs.len() - 1)]
+    } else {
+        (((x - l) / alpha) as usize).min(k - 1)
+    };
+    let u = rng.gen::<f64>();
+    let moved = if t == cur {
+        true // a == 1 exactly; the uniform is still consumed above.
+    } else {
+        let a = (pi(t) * q_d(cur)) / (pi(cur) * q_d(t));
+        u < a
+    };
+    if moved {
+        cur = t;
+    }
+    if profiling {
+        profile.doc_proposals += 1;
+        if moved {
+            profile.accepted += 1;
+        } else {
+            profile.rejected += 1;
+        }
+    }
+
+    // Word proposal from the stale alias table; the stale weights enter
+    // the ratio directly (their per-word normalizer cancels).
+    let t = tables.propose(w, rng.gen::<f64>());
+    let u = rng.gen::<f64>();
+    let moved = if t == cur {
+        true
+    } else {
+        let a = (pi(t) * tables.stale_weight(cur, w)) / (pi(cur) * tables.stale_weight(t, w));
+        u < a
+    };
+    if moved {
+        cur = t;
+    }
+    if profiling {
+        profile.word_proposals += 1;
+        if moved {
+            profile.accepted += 1;
+        } else {
+            profile.rejected += 1;
+        }
+    }
+
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The exact probability the table assigns to outcome `i`: its own
+    /// threshold mass plus every donation aliased to it.
+    fn table_mass(table: &AliasTable, i: usize) -> f64 {
+        let k = table.prob.len() as f64;
+        let mut mass = table.prob[i];
+        for (j, &a) in table.alias.iter().enumerate() {
+            if a as usize == i && j != i {
+                mass += 1.0 - table.prob[j];
+            }
+        }
+        mass / k
+    }
+
+    #[test]
+    fn vose_build_reproduces_the_weights_exactly() {
+        let weights = vec![0.5, 3.0, 0.1, 1.4, 2.0, 0.0001];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::build(&weights);
+        for (i, &w) in weights.iter().enumerate() {
+            let got = table_mass(&table, i);
+            let expect = w / total;
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "outcome {i}: table mass {got} vs weight {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let weights: Vec<f64> = (0..97).map(|i| 0.1 + ((i * 37) % 11) as f64).collect();
+        let a = AliasTable::build(&weights);
+        let b = AliasTable::build(&weights);
+        assert_eq!(a.prob, b.prob);
+        assert_eq!(a.alias, b.alias);
+    }
+
+    #[test]
+    fn sampled_frequencies_match_weights() {
+        let weights = vec![1.0, 4.0, 0.5, 2.5];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::build(&weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let draws = 80_000usize;
+        let mut hist = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            hist[table.sample(rng.gen::<f64>())] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let got = hist[i] as f64 / draws as f64;
+            let expect = w / total;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "outcome {i}: got {got:.4}, expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_weights_read_the_frozen_counts() {
+        let (k, v, gamma) = (3usize, 2usize, 0.25);
+        let n_kw = vec![5u32, 0, 1, 2, 0, 7];
+        let tables = AliasTables::build(&n_kw, k, v, gamma);
+        for t in 0..k {
+            for w in 0..v {
+                assert_eq!(
+                    tables.stale_weight(t, w),
+                    f64::from(n_kw[t * v + w]) + gamma
+                );
+            }
+        }
+        assert!(tables.alloc_bytes() > 0);
+    }
+
+    /// A long single-site MH chain must converge to the dense collapsed
+    /// conditional — the stationarity contract of the MH correction.
+    #[test]
+    fn mh_chain_is_stationary_on_the_dense_conditional() {
+        let (k, v, alpha, gamma) = (4usize, 5usize, 0.5, 0.2);
+        let gamma_v = gamma * v as f64;
+        let w = 2usize;
+        // A fixed background of counts, token removed. The doc row must
+        // be the histogram of `zs` minus the resampled site, or the
+        // token-pick proposal density in the acceptance ratio would not
+        // match the actual pick distribution.
+        let row: Vec<u32> = vec![3, 0, 1, 1];
+        let mut n_kw = vec![0u32; k * v];
+        let mut n_k = vec![0u32; k];
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for t in 0..k {
+            for ww in 0..v {
+                let c = r.gen_range(0..6u32);
+                n_kw[t * v + ww] = c;
+                n_k[t] += c;
+            }
+        }
+        // The doc's token topics; position 0 is the site we resample.
+        let mut zs = vec![0usize, 0, 0, 0, 2, 3];
+
+        // Dense reference conditional over the same ^¬ state.
+        let weights: Vec<f64> = (0..k)
+            .map(|t| {
+                (f64::from(row[t]) + alpha) * (f64::from(n_kw[t * v + w]) + gamma)
+                    / (f64::from(n_k[t]) + gamma_v)
+            })
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+
+        // Build the tables from the same (stale == fresh here) counts.
+        let tables = AliasTables::build(&n_kw, k, v, gamma);
+        let mut profile = AliasProfile::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        let steps = 120_000usize;
+        let burn = 2_000usize;
+        let mut hist = vec![0usize; k];
+        for step in 0..steps {
+            let new = mh_move_token(
+                &mut rng, &tables, &zs, 0, w, &row, &n_kw, &n_k, None, alpha, gamma, gamma_v,
+                true, &mut profile,
+            );
+            zs[0] = new;
+            if step >= burn {
+                hist[new] += 1;
+            }
+        }
+        let kept = (steps - burn) as f64;
+        for t in 0..k {
+            let got = hist[t] as f64 / kept;
+            let expect = weights[t] / wsum;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "topic {t}: got {got:.4}, expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiling_counts_proposals_without_perturbing_draws() {
+        let (k, v, alpha, gamma) = (3usize, 4usize, 0.4, 0.3);
+        let gamma_v = gamma * v as f64;
+        let n_kw: Vec<u32> = (0..k * v).map(|i| ((i * 7) % 5) as u32).collect();
+        let n_k: Vec<u32> = (0..k)
+            .map(|t| (0..v).map(|ww| n_kw[t * v + ww]).sum())
+            .collect();
+        let tables = AliasTables::build(&n_kw, k, v, gamma);
+        let run = |profiling: bool| {
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            let mut profile = AliasProfile::default();
+            let mut zs = vec![1usize, 0, 2, 1];
+            let row = vec![1u32, 1, 1];
+            let mut trace = Vec::new();
+            for _ in 0..64 {
+                let new = mh_move_token(
+                    &mut rng, &tables, &zs, 0, 1, &row, &n_kw, &n_k, Some(2), alpha, gamma,
+                    gamma_v, profiling, &mut profile,
+                );
+                zs[0] = new;
+                trace.push(new);
+            }
+            (trace, profile)
+        };
+        let (on, profile) = run(true);
+        let (off, idle) = run(false);
+        assert_eq!(on, off, "profiling must not perturb draws");
+        assert_eq!(profile.doc_proposals, 64);
+        assert_eq!(profile.word_proposals, 64);
+        assert_eq!(profile.accepted + profile.rejected, 128);
+        assert_eq!(idle.doc_proposals + idle.word_proposals, 0);
+    }
+
+    #[test]
+    fn merged_chunk_profiles_sum_counters() {
+        let mut a = AliasProfile {
+            doc_proposals: 10,
+            word_proposals: 10,
+            accepted: 15,
+            rejected: 5,
+        };
+        let b = AliasProfile {
+            doc_proposals: 4,
+            word_proposals: 4,
+            accepted: 8,
+            rejected: 0,
+        };
+        a.merge(&b);
+        assert_eq!((a.doc_proposals, a.word_proposals), (14, 14));
+        assert_eq!((a.accepted, a.rejected), (23, 5));
+        let kp = a.into_kernel_profile(vec![7, 9], 13, 2048);
+        match kp {
+            KernelProfile::Alias {
+                doc_proposals,
+                accepted,
+                rejected,
+                chunks,
+                chunk_us,
+                rebuild_us,
+                alloc_bytes,
+                ..
+            } => {
+                assert_eq!(doc_proposals, 14);
+                assert_eq!((accepted, rejected), (23, 5));
+                assert_eq!(chunks, 2);
+                assert_eq!(chunk_us, vec![7, 9]);
+                assert_eq!(rebuild_us, 13);
+                assert_eq!(alloc_bytes, 2048);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Any positive weight vector round-trips through the Vose
+        /// construction: reconstructed outcome masses match the
+        /// normalized weights to FP roundoff.
+        #[test]
+        fn vose_masses_match_for_random_weights(
+            seed in 0u64..500, k in 1usize..24
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let weights: Vec<f64> =
+                (0..k).map(|_| rng.gen_range(1e-6..10.0f64)).collect();
+            let total: f64 = weights.iter().sum();
+            let table = AliasTable::build(&weights);
+            for (i, &w) in weights.iter().enumerate() {
+                let got = table_mass(&table, i);
+                prop_assert!(
+                    (got - w / total).abs() < 1e-9,
+                    "outcome {} mass {} vs {}", i, got, w / total
+                );
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! snapshot format, so the dense parallel kernel, checkpoint sinks, and
 //! resume snapshots are rejected up front.
 
+use crate::alias::{mh_move_token, AliasProfile, AliasTables};
 use crate::config::JointConfig;
 use crate::counts::TopicCounts;
 use crate::data::{validate_docs, ModelDoc};
@@ -66,13 +67,14 @@ impl CollapsedJointModel {
     /// [`FitOptions`] bundle. `FitOptions::new()` reproduces the
     /// historical plain `fit` bit for bit.
     ///
-    /// The collapsed engine supports the serial, sparse, and
-    /// sparse-parallel token kernels ([`GibbsKernel`]); the sparse
-    /// bucket sweep composes with the cached Student-t `y` sweep
-    /// unchanged because the Gaussian factors never enter the token
-    /// conditional, and under [`GibbsKernel::SparseParallel`] only the
-    /// token phase is chunked (identical across thread counts) while
-    /// the `y` sweep stays serial. [`FitOptions::predictive_cache`]
+    /// The collapsed engine supports the serial, sparse,
+    /// sparse-parallel, and alias token kernels ([`GibbsKernel`]); the
+    /// sparse bucket sweep and the alias-table MH cycle compose with
+    /// the cached Student-t `y` sweep unchanged because the Gaussian
+    /// factors never enter the token conditional, and under
+    /// [`GibbsKernel::SparseParallel`] or [`GibbsKernel::Alias`] only
+    /// the token phase is chunked (identical across thread counts)
+    /// while the `y` sweep stays serial. [`FitOptions::predictive_cache`]
     /// switches the per-topic predictive memoization (bit-invisible
     /// either way). There is no dense parallel sweep and no snapshot
     /// format.
@@ -226,6 +228,8 @@ impl CollapsedJointModel {
             // `(largest per-chunk s-mass drift, profile)` of a
             // sparse-parallel token phase.
             let mut chunk_outcome: Option<(f64, Option<KernelProfile>)> = None;
+            // Profile of an alias token phase.
+            let mut alias_profile: Option<KernelProfile> = None;
             if kernel == GibbsKernel::SparseParallel {
                 let pool = pool
                     .as_ref()
@@ -240,6 +244,18 @@ impl CollapsedJointModel {
                     &mut counts,
                     observer.enabled(),
                 ));
+            } else if kernel == GibbsKernel::Alias {
+                let pool = pool.as_ref().expect("alias kernel runs on a pool");
+                let sweep_seed: u64 = rng.gen();
+                alias_profile = self.sweep_z_alias(
+                    pool,
+                    sweep_seed,
+                    docs,
+                    &mut z,
+                    &y,
+                    &mut counts,
+                    observer.enabled(),
+                );
             } else {
                 match sparse.as_mut() {
                     Some(sampler) => {
@@ -280,7 +296,10 @@ impl CollapsedJointModel {
                 Some(sampler) if observer.enabled() => {
                     Some(sampler.take_profile().into_kernel_profile())
                 }
-                _ => chunk_outcome.as_mut().and_then(|o| o.1.take()),
+                _ => chunk_outcome
+                    .as_mut()
+                    .and_then(|o| o.1.take())
+                    .or_else(|| alias_profile.take()),
             };
 
             // y sweep with Student-t predictives (collapsed Gaussians).
@@ -530,6 +549,117 @@ impl CollapsedJointModel {
             )
         });
         (drift, profile)
+    }
+
+    /// The chunked alias-table MH token phase (Eq. 2): the per-word
+    /// Vose tables over the start-of-sweep `n_kw + γ` columns are built
+    /// once on the main thread and shared read-only across chunks, then
+    /// each chunk cycles every token through a document proposal and a
+    /// word proposal ([`crate::alias::mh_move_token`]) accepted against
+    /// a chunk-local copy of the start-of-sweep counts, with `y_d` as
+    /// the `M_dk` boost in the target only. Chunk `c` draws from RNG
+    /// stream `2c` of the sweep seed and every token consumes exactly
+    /// four `f64` draws, so the phase is identical across worker-thread
+    /// counts; the global term counts are rebuilt from the merged
+    /// assignments.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_z_alias(
+        &self,
+        pool: &rayon::ThreadPool,
+        sweep_seed: u64,
+        docs: &[ModelDoc],
+        z: &mut [Vec<usize>],
+        y: &[usize],
+        counts: &mut TopicCounts,
+        profiling: bool,
+    ) -> Option<KernelProfile> {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let alpha = cfg.alpha;
+        let gamma = cfg.gamma;
+        let gamma_v = gamma * v as f64;
+        let rebuild_start = profiling.then(Instant::now);
+        let tables = AliasTables::build(counts.n_kw_raw(), k, v, gamma);
+        let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+        let (n_dk, n_kw_flat, n_k_flat) = counts.dense_parts_mut();
+        let n_kw_start = n_kw_flat.to_vec();
+        let n_k_start = n_k_flat.to_vec();
+        let tables_ref = &tables;
+        let outs: Vec<(u64, AliasProfile)> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
+                .enumerate()
+                .map(|(c, (z_chunk, n_dk_chunk))| {
+                    let chunk_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let mut n_kw = n_kw_start.clone();
+                    let mut n_k = n_k_start.clone();
+                    let mut prof = AliasProfile::default();
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        let y_d = y[d0 + dd];
+                        let row = &mut n_dk_chunk[dd * k..(dd + 1) * k];
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            row[old] -= 1;
+                            n_kw[old * v + w] -= 1;
+                            n_k[old] -= 1;
+                            let new = mh_move_token(
+                                &mut rng,
+                                tables_ref,
+                                zs,
+                                n,
+                                w,
+                                row,
+                                &n_kw,
+                                &n_k,
+                                Some(y_d),
+                                alpha,
+                                gamma,
+                                gamma_v,
+                                profiling,
+                                &mut prof,
+                            );
+                            zs[n] = new;
+                            row[new] += 1;
+                            n_kw[new * v + w] += 1;
+                            n_k[new] += 1;
+                        }
+                    }
+                    let us = chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    (us, prof)
+                })
+                .collect()
+        });
+        // Deterministic merge: the global term counts are a pure function
+        // of the merged assignments.
+        n_kw_flat.fill(0);
+        n_k_flat.fill(0);
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = z[d][n];
+                n_kw_flat[t * v + w] += 1;
+                n_k_flat[t] += 1;
+            }
+        }
+        profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.0).collect();
+            let mut merged = AliasProfile::default();
+            for (_, p) in &outs {
+                merged.merge(p);
+            }
+            // Each chunk clones the start-of-sweep term counts; the
+            // shared alias tables are built once on the main thread.
+            let per_chunk = 4 * (k * v + k);
+            merged.into_kernel_profile(
+                chunk_us,
+                rebuild_us,
+                tables.alloc_bytes() + (outs.len() * per_chunk) as u64,
+            )
+        })
     }
 }
 

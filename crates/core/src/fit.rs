@@ -59,7 +59,7 @@ use serde::{Deserialize, Serialize};
 /// The token-sweep kernel classes a Gibbs engine can run.
 ///
 /// Every kernel is deterministic — a pure function of `(config, docs,
-/// seed)` — but the four form distinct bit-compatibility classes: a
+/// seed)` — but the five form distinct bit-compatibility classes: a
 /// snapshot written by one kernel must be resumed by the same kernel.
 ///
 /// * [`GibbsKernel::Serial`] — the historical single-threaded sweep,
@@ -73,10 +73,19 @@ use serde::{Deserialize, Serialize};
 ///   bucket sweep run over the parallel kernel's fixed 64-doc chunk
 ///   grid, with per-chunk bucket state folded back deterministically;
 ///   identical output for every worker-thread count.
+/// * [`GibbsKernel::Alias`] — the LightLDA-style alias-table
+///   Metropolis-Hastings kernel (see [`crate::alias`]): `O(1)`-amortized
+///   per-token draws from per-word Vose alias tables built over the
+///   start-of-sweep counts, corrected by a doc-proposal/word-proposal
+///   MH cycle against fresh counts. Always chunked on the parallel
+///   kernel's 64-doc grid; identical output for every worker-thread
+///   count. Stationary-distribution-exact, but not per-sweep-identical
+///   to the dense kernels.
 ///
 /// The legal kernel × threads matrix: `serial` and `sparse` require
-/// `threads == 0`; `parallel` and `sparse-parallel` accept any thread
-/// count (`threads == 0` runs the one-worker reproducible baseline).
+/// `threads == 0`; `parallel`, `sparse-parallel`, and `alias` accept
+/// any thread count (`threads == 0` runs the one-worker reproducible
+/// baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum GibbsKernel {
@@ -88,6 +97,8 @@ pub enum GibbsKernel {
     Sparse,
     /// Deterministic chunked sparse bucket kernel.
     SparseParallel,
+    /// Deterministic chunked alias-table Metropolis-Hastings kernel.
+    Alias,
 }
 
 /// One-line rendering of the legal kernel × threads matrix, shared by
@@ -95,7 +106,8 @@ pub enum GibbsKernel {
 /// on what the user is told.
 pub(crate) const KERNEL_MATRIX: &str = "legal kernel x threads combinations: \
      serial (threads == 0), sparse (threads == 0), \
-     parallel (any threads), sparse-parallel (any threads)";
+     parallel (any threads), sparse-parallel (any threads), \
+     alias (any threads)";
 
 impl std::fmt::Display for GibbsKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -104,6 +116,7 @@ impl std::fmt::Display for GibbsKernel {
             Self::Parallel => "parallel",
             Self::Sparse => "sparse",
             Self::SparseParallel => "sparse-parallel",
+            Self::Alias => "alias",
         })
     }
 }
@@ -119,6 +132,7 @@ impl std::str::FromStr for GibbsKernel {
             // The snapshot JSON spelling is accepted alongside the CLI
             // spelling so `--kernel` round-trips either form.
             "sparse-parallel" | "sparse_parallel" => Ok(Self::SparseParallel),
+            "alias" => Ok(Self::Alias),
             other => Err(ModelError::InvalidConfig {
                 what: format!("unknown kernel {other:?}; {KERNEL_MATRIX}"),
             }),
@@ -252,18 +266,19 @@ impl<'a> FitOptions<'a> {
     /// names both offending options and enumerates the legal
     /// kernel × threads matrix.
     pub(crate) fn plan(&self) -> Result<(GibbsKernel, usize), ModelError> {
-        use GibbsKernel::{Parallel, Serial, Sparse, SparseParallel};
+        use GibbsKernel::{Alias, Parallel, Serial, Sparse, SparseParallel};
         match (self.kernel, self.threads) {
             (None, 0) => Ok((Serial, 0)),
             (None, t) => Ok((Parallel, t)),
-            (Some(k @ (Parallel | SparseParallel)), 0) => Ok((k, 1)),
-            (Some(k @ (Parallel | SparseParallel)), t) => Ok((k, t)),
+            (Some(k @ (Parallel | SparseParallel | Alias)), 0) => Ok((k, 1)),
+            (Some(k @ (Parallel | SparseParallel | Alias)), t) => Ok((k, t)),
             (Some(k), 0) => Ok((k, 0)),
             (Some(k @ Sparse), t) => Err(ModelError::InvalidConfig {
                 what: format!(
                     "kernel={k} is single-threaded and cannot run with threads={t}; \
                      use kernel=sparse-parallel to combine sparse sweeps with worker \
-                     threads ({KERNEL_MATRIX})"
+                     threads, or kernel=alias for the chunked alias-table MH sweep \
+                     ({KERNEL_MATRIX})"
                 ),
             }),
             (Some(k), t) => Err(ModelError::InvalidConfig {
@@ -384,7 +399,11 @@ mod tests {
         );
         // An explicitly chunked kernel without a thread count runs the
         // one-worker reproducible baseline.
-        for k in [GibbsKernel::Parallel, GibbsKernel::SparseParallel] {
+        for k in [
+            GibbsKernel::Parallel,
+            GibbsKernel::SparseParallel,
+            GibbsKernel::Alias,
+        ] {
             assert_eq!(FitOptions::new().kernel(k).plan().unwrap(), (k, 1));
             assert_eq!(
                 FitOptions::new().kernel(k).threads(8).plan().unwrap(),
@@ -407,19 +426,21 @@ mod tests {
                 "sparse",
                 "parallel",
                 "sparse-parallel",
+                "alias",
             ] {
                 assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
             }
         }
-        // The sparse rejection points at the composed kernel.
+        // The sparse rejection points at both threaded compositions.
         let err = FitOptions::new()
             .kernel(GibbsKernel::Sparse)
             .threads(2)
             .plan()
             .unwrap_err();
+        let msg = err.to_string();
         assert!(
-            err.to_string().contains("sparse-parallel"),
-            "sparse rejection should suggest sparse-parallel: {err}"
+            msg.contains("sparse-parallel") && msg.contains("kernel=alias"),
+            "sparse rejection should suggest sparse-parallel and alias: {err}"
         );
     }
 
@@ -430,6 +451,7 @@ mod tests {
             GibbsKernel::Parallel,
             GibbsKernel::Sparse,
             GibbsKernel::SparseParallel,
+            GibbsKernel::Alias,
         ] {
             assert_eq!(k.to_string().parse::<GibbsKernel>().unwrap(), k);
         }

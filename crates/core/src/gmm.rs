@@ -145,7 +145,10 @@ impl GmmModel {
     ) -> Result<FittedGmm> {
         let (xs, prior) = self.features_and_prior(docs)?;
         let (kernel, threads) = opts.plan()?;
-        if matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
+        if matches!(
+            kernel,
+            GibbsKernel::Sparse | GibbsKernel::SparseParallel | GibbsKernel::Alias
+        ) {
             return Err(ModelError::InvalidConfig {
                 what: format!(
                     "the gmm engine has no token sweep, so the {kernel} kernel does not apply; \
@@ -308,7 +311,7 @@ impl GmmModel {
                     if let Some(detail) = trip {
                         let snap = match mon.tripped(sweep, kernel, detail, observer)? {
                             crate::health::Recovery::Rollback(snap)
-                            | crate::health::Recovery::Degrade(snap) => snap,
+                            | crate::health::Recovery::Degrade(snap, _) => snap,
                         };
                         let SamplerSnapshot::Gmm(snap) = *snap else {
                             return Err(mismatch(

@@ -26,9 +26,11 @@
 //!   [`HealthMonitor::tripped`]: under [`RecoveryAction::RollbackRetry`]
 //!   the engine restores the last good snapshot and replays (bounded by
 //!   `max_retries` per incident); under [`RecoveryAction::DegradeKernel`]
-//!   a sparse kernel whose retries are exhausted is swapped for the
-//!   dense serial kernel (same bit-class rules as a fresh fit, logged as
-//!   a `health.degrade` event) before the run is ever declared dead.
+//!   a kernel whose retries are exhausted drops one rung down the
+//!   `alias → sparse → serial` degradation ladder (sparse-parallel also
+//!   degrades straight to serial; same bit-class rules as a fresh fit,
+//!   logged as a `health.degrade` event) before the run is ever
+//!   declared dead.
 //!   [`RecoveryAction::Abort`] fails fast. Unrecoverable outcomes
 //!   surface as [`ModelError::Health`].
 //!
@@ -57,10 +59,10 @@ pub enum RecoveryAction {
         max_retries: usize,
     },
     /// Like [`RecoveryAction::RollbackRetry`], but when the budget is
-    /// exhausted under a sparse kernel (sparse or sparse-parallel) the
-    /// run degrades to the dense serial kernel (resetting the budget)
-    /// instead of aborting — the escape hatch for a desynchronized
-    /// sparse bucket state.
+    /// exhausted the run drops one rung down the degradation ladder —
+    /// alias → sparse, sparse / sparse-parallel → serial — resetting
+    /// the budget instead of aborting: the escape hatch for a
+    /// desynchronized bucket or proposal state.
     DegradeKernel {
         /// Rollback budget per incident (per kernel).
         max_retries: usize,
@@ -125,9 +127,9 @@ impl HealthPolicy {
     }
 
     /// Detect-and-recover: roll back to the last good snapshot (kept
-    /// every 8 sweeps) up to 3 times per incident, degrade a repeatedly
-    /// failing sparse kernel to serial, retry failed checkpoint saves
-    /// twice.
+    /// every 8 sweeps) up to 3 times per incident, walk a repeatedly
+    /// failing kernel down the degradation ladder, retry failed
+    /// checkpoint saves twice.
     #[must_use]
     pub fn recover() -> Self {
         Self {
@@ -257,13 +259,28 @@ impl std::str::FromStr for HealthMode {
 
 /// What [`HealthMonitor::tripped`] asks the engine to do. Both variants
 /// carry the snapshot to restore; [`Recovery::Degrade`] additionally
-/// asks the engine to continue under the dense serial kernel.
+/// asks the engine to continue under the named simpler kernel — one
+/// rung down the `alias → sparse → serial` degradation ladder (the
+/// chunked sparse kernel also degrades straight to serial).
 #[derive(Debug)]
 pub enum Recovery {
     /// Restore the snapshot and replay under the same kernel.
     Rollback(Box<SamplerSnapshot>),
-    /// Restore the snapshot and replay under [`GibbsKernel::Serial`].
-    Degrade(Box<SamplerSnapshot>),
+    /// Restore the snapshot and replay under the carried target kernel.
+    Degrade(Box<SamplerSnapshot>, GibbsKernel),
+}
+
+/// The next rung of the kernel degradation ladder: the alias-MH kernel
+/// falls back to the exact sparse kernel, both sparse kernels fall back
+/// to the dense serial kernel, and the dense kernels have nowhere
+/// simpler to go.
+#[must_use]
+pub(crate) fn degrade_target(kernel: GibbsKernel) -> Option<GibbsKernel> {
+    match kernel {
+        GibbsKernel::Alias => Some(GibbsKernel::Sparse),
+        GibbsKernel::Sparse | GibbsKernel::SparseParallel => Some(GibbsKernel::Serial),
+        GibbsKernel::Serial | GibbsKernel::Parallel => None,
+    }
 }
 
 /// Per-fit supervisor state: the last good snapshot, the retry budget of
@@ -471,18 +488,20 @@ impl HealthMonitor {
             );
             return Ok(Recovery::Rollback(Box::new(snap)));
         }
-        if can_degrade && matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
-            self.retries = 0;
-            self.emit(
-                observer,
-                sweep,
-                "degrade",
-                format!(
-                    "{kernel} kernel degraded to serial from sweep {}: {detail}",
-                    snap.next_sweep()
-                ),
-            );
-            return Ok(Recovery::Degrade(Box::new(snap)));
+        if can_degrade {
+            if let Some(target) = degrade_target(kernel) {
+                self.retries = 0;
+                self.emit(
+                    observer,
+                    sweep,
+                    "degrade",
+                    format!(
+                        "{kernel} kernel degraded to {target} from sweep {}: {detail}",
+                        snap.next_sweep()
+                    ),
+                );
+                return Ok(Recovery::Degrade(Box::new(snap), target));
+            }
         }
         Err(self.abort(
             observer,
@@ -841,10 +860,11 @@ mod tests {
         let rec = mon
             .tripped(5, GibbsKernel::Sparse, "drift".into(), &mut obs)
             .unwrap();
-        let Recovery::Degrade(snap) = rec else {
+        let Recovery::Degrade(snap, target) = rec else {
             panic!("expected degradation")
         };
         assert_eq!(snap.next_sweep(), 2);
+        assert_eq!(target, GibbsKernel::Serial);
         // Budget reset: the serial replay gets a fresh rollback…
         let rec = mon
             .tripped(5, GibbsKernel::Serial, "still bad".into(), &mut obs)
@@ -873,10 +893,11 @@ mod tests {
                 &mut obs,
             )
             .unwrap();
-        let Recovery::Degrade(snap) = rec else {
+        let Recovery::Degrade(snap, target) = rec else {
             panic!("expected degradation")
         };
         assert_eq!(snap.next_sweep(), 4);
+        assert_eq!(target, GibbsKernel::Serial);
         let degrade = obs
             .health
             .iter()
@@ -888,6 +909,52 @@ mod tests {
                 .contains("sparse-parallel kernel degraded to serial"),
             "{}",
             degrade.detail
+        );
+    }
+
+    #[test]
+    fn alias_walks_the_full_degradation_ladder_to_serial() {
+        // alias → sparse → serial → abort, with the retry budget reset
+        // at every rung.
+        let policy = HealthPolicy::recover().max_retries(0);
+        let mut mon = HealthMonitor::new(policy, "lda");
+        let mut obs = VecObserver::default();
+        mon.keep(lda_snap(6));
+        let rec = mon
+            .tripped(9, GibbsKernel::Alias, "proposal drift".into(), &mut obs)
+            .unwrap();
+        let Recovery::Degrade(snap, target) = rec else {
+            panic!("expected alias degradation")
+        };
+        assert_eq!(snap.next_sweep(), 6);
+        assert_eq!(target, GibbsKernel::Sparse);
+        let rec = mon
+            .tripped(9, GibbsKernel::Sparse, "still bad".into(), &mut obs)
+            .unwrap();
+        let Recovery::Degrade(_, target) = rec else {
+            panic!("expected sparse degradation")
+        };
+        assert_eq!(target, GibbsKernel::Serial);
+        let err = mon
+            .tripped(9, GibbsKernel::Serial, "still bad".into(), &mut obs)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Health { .. }));
+        let details: Vec<&str> = obs
+            .health
+            .iter()
+            .filter(|e| e.action == "degrade")
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert_eq!(details.len(), 2);
+        assert!(
+            details[0].contains("alias kernel degraded to sparse"),
+            "{}",
+            details[0]
+        );
+        assert!(
+            details[1].contains("sparse kernel degraded to serial"),
+            "{}",
+            details[1]
         );
     }
 

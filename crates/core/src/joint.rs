@@ -20,6 +20,7 @@
 //! paper's Eq. (5) estimators, and the Gaussian components are reported
 //! through their final Normal-Wishart posteriors (Rao-Blackwellized).
 
+use crate::alias::{mh_move_token, AliasProfile, AliasTables};
 use crate::checkpoint::{
     check_kernel, fingerprint_docs, mismatch, CheckpointSink, GaussianParamState, JointSnapshot,
     RngState, SamplerSnapshot,
@@ -263,8 +264,9 @@ impl JointTopicModel {
     /// sampled invariant auditor inspect the state after every sweep, a
     /// trip rolls back to the last good in-memory snapshot (the RNG
     /// position travels with it, so the replay is bit-identical to a run
-    /// that never tripped), and a sparse kernel whose retry budget is
-    /// exhausted degrades to the dense serial kernel.
+    /// that never tripped), and a kernel whose retry budget is exhausted
+    /// drops one rung down the `alias → sparse → serial` degradation
+    /// ladder (sparse-parallel degrades straight to serial).
     #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
@@ -350,6 +352,12 @@ impl JointTopicModel {
                     )
                     .map(|d| chunk_drift = Some(d))
                 }
+                GibbsKernel::Alias => {
+                    let pool = pool.expect("alias kernel runs on a pool");
+                    self.sweep_once_alias(
+                        rng, pool, docs, prog, gel_prior, emu_prior, sweep, observer,
+                    )
+                }
             };
             match monitor.as_mut() {
                 None => outcome?,
@@ -379,7 +387,7 @@ impl JointTopicModel {
                             .tripped(sweep, kernel, detail, observer)?
                         {
                             crate::health::Recovery::Rollback(snap) => (snap, kernel),
-                            crate::health::Recovery::Degrade(snap) => (snap, GibbsKernel::Serial),
+                            crate::health::Recovery::Degrade(snap, target) => (snap, target),
                         };
                         let SamplerSnapshot::Joint(mut snap) = *snap else {
                             return Err(mismatch(
@@ -393,7 +401,20 @@ impl JointTopicModel {
                         sweep = s;
                         if new_kernel != kernel {
                             kernel = new_kernel;
-                            sparse = None;
+                            // Degrading to sparse needs the sampler and
+                            // the tracked nonzero lists a fresh sparse
+                            // fit would have set up.
+                            sparse = if kernel == GibbsKernel::Sparse {
+                                prog.state.counts.enable_tracking();
+                                Some(SparseTokenSampler::new(
+                                    self.config.n_topics,
+                                    self.config.vocab_size,
+                                    self.config.alpha,
+                                    self.config.gamma,
+                                ))
+                            } else {
+                                None
+                            };
                         } else if matches!(
                             kernel,
                             GibbsKernel::Sparse | GibbsKernel::SparseParallel
@@ -644,8 +665,57 @@ impl JointTopicModel {
         Ok(drift)
     }
 
+    /// One full sweep of the chunked alias-table MH kernel: Eq. (2)
+    /// through the doc-proposal/word-proposal Metropolis-Hastings cycle
+    /// over the parallel kernel's fixed 64-doc chunk grid and RNG stream
+    /// discipline (`2c` of the sweep seed for tokens, `2c + 1` for the
+    /// unchanged exact Eq. (3) chunk scoring), so its output is
+    /// identical across worker-thread counts. The per-word alias tables
+    /// are rebuilt once per sweep from the start-of-sweep term counts
+    /// and shared read-only across chunks.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_once_alias(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        docs: &[ModelDoc],
+        prog: &mut Progress,
+        gel_prior: &NormalWishart,
+        emu_prior: &NormalWishart,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) -> Result<()> {
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
+        let profile = timer.time("z", || {
+            self.sweep_z_alias(pool, sweep_seed, docs, &mut prog.state, profiling)
+        });
+        let label_flips = timer.time("y", || {
+            self.sweep_y_parallel(pool, sweep_seed, docs, &mut prog.state)
+        })?;
+        let jitter_retries = timer.time("params", || {
+            self.resample_params(rng, &mut prog.state, gel_prior, emu_prior)
+        })?;
+        let ll = timer.time("ll", || self.conditional_ll(docs, &prog.state));
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            jitter_retries,
+            label_flips,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
+        Ok(())
+    }
+
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by the serial, parallel, sparse, and sparse-parallel sweep
+    /// by the serial, parallel, sparse, sparse-parallel, and alias sweep
     /// kernels.
     #[allow(clippy::too_many_arguments)]
     fn post_sweep(
@@ -1148,6 +1218,117 @@ impl JointTopicModel {
         } else {
             Vec::new()
         }
+    }
+
+    /// Eq. (2) through the alias-table MH cycle over fixed 64-doc
+    /// chunks: the per-word Vose tables over the start-of-sweep
+    /// `n_kw + γ` columns are built once on the main thread and shared
+    /// read-only across chunks, then each chunk cycles every token
+    /// through a document proposal and a word proposal
+    /// ([`crate::alias::mh_move_token`]) accepted against a chunk-local
+    /// copy of the start-of-sweep counts (kept exact for its own moves,
+    /// stale for other chunks'), with the recipe's observed topic `y_d`
+    /// as the `M_dk` boost in the target only. Chunk `c` draws from RNG
+    /// stream `2c` of the sweep seed and every token consumes exactly
+    /// four `f64` draws, so the phase is a pure function of
+    /// `(state, sweep seed)` regardless of worker-thread count; the
+    /// global term counts are rebuilt from the merged assignments.
+    fn sweep_z_alias(
+        &self,
+        pool: &rayon::ThreadPool,
+        sweep_seed: u64,
+        docs: &[ModelDoc],
+        state: &mut State,
+        profiling: bool,
+    ) -> Option<KernelProfile> {
+        let k = state.k;
+        let v = state.v;
+        let alpha = self.config.alpha;
+        let gamma = self.config.gamma;
+        let gamma_v = gamma * v as f64;
+        let rebuild_start = profiling.then(Instant::now);
+        let tables = AliasTables::build(state.counts.n_kw_raw(), k, v, gamma);
+        let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+        let (n_dk, n_kw_flat, n_k_flat) = state.counts.dense_parts_mut();
+        let n_kw_start = n_kw_flat.to_vec();
+        let n_k_start = n_k_flat.to_vec();
+        let y = &state.y;
+        let z = &mut state.z;
+        let tables_ref = &tables;
+        let outs: Vec<(u64, AliasProfile)> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
+                .enumerate()
+                .map(|(c, (z_chunk, n_dk_chunk))| {
+                    let chunk_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let mut n_kw = n_kw_start.clone();
+                    let mut n_k = n_k_start.clone();
+                    let mut prof = AliasProfile::default();
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        let y_d = y[d0 + dd];
+                        let row = &mut n_dk_chunk[dd * k..(dd + 1) * k];
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            row[old] -= 1;
+                            n_kw[old * v + w] -= 1;
+                            n_k[old] -= 1;
+                            let new = mh_move_token(
+                                &mut rng,
+                                tables_ref,
+                                zs,
+                                n,
+                                w,
+                                row,
+                                &n_kw,
+                                &n_k,
+                                Some(y_d),
+                                alpha,
+                                gamma,
+                                gamma_v,
+                                profiling,
+                                &mut prof,
+                            );
+                            zs[n] = new;
+                            row[new] += 1;
+                            n_kw[new * v + w] += 1;
+                            n_k[new] += 1;
+                        }
+                    }
+                    let us = chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    (us, prof)
+                })
+                .collect()
+        });
+        // Deterministic merge: the global term counts are a pure function
+        // of the merged assignments.
+        n_kw_flat.fill(0);
+        n_k_flat.fill(0);
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = state.z[d][n];
+                n_kw_flat[t * v + w] += 1;
+                n_k_flat[t] += 1;
+            }
+        }
+        profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.0).collect();
+            let mut merged = AliasProfile::default();
+            for (_, p) in &outs {
+                merged.merge(p);
+            }
+            // Each chunk clones the start-of-sweep term counts; the
+            // shared alias tables are built once on the main thread.
+            let per_chunk = 4 * (k * v + k);
+            merged.into_kernel_profile(
+                chunk_us,
+                rebuild_us,
+                tables.alloc_bytes() + (outs.len() * per_chunk) as u64,
+            )
+        })
     }
 
     /// Eq. (2) through the sparse three-bucket draw over fixed 64-doc

@@ -7,6 +7,7 @@
 //! space, so it cannot be linked to rheology at all and separates
 //! concentration bands only insofar as they use different words.
 
+use crate::alias::{mh_move_token, AliasProfile, AliasTables};
 use crate::checkpoint::{
     check_kernel, fingerprint_docs, mismatch, CheckpointSink, LdaSnapshot, RngState,
     SamplerSnapshot,
@@ -247,8 +248,9 @@ impl LdaModel {
     /// policy it runs supervised — see
     /// [`crate::joint::JointTopicModel`]'s loop for the recovery
     /// contract (rollback replays are bit-identical because the
-    /// in-memory snapshots carry the exact RNG position; a sparse kernel
-    /// out of retries degrades to serial).
+    /// in-memory snapshots carry the exact RNG position; a kernel out
+    /// of retries drops one rung down the `alias → sparse → serial`
+    /// degradation ladder).
     #[allow(clippy::too_many_arguments)]
     fn run_sweeps(
         &self,
@@ -325,6 +327,10 @@ impl LdaModel {
                         self.sweep_once_sparse_parallel(rng, pool, docs, prog, sweep, observer),
                     );
                 }
+                GibbsKernel::Alias => {
+                    let pool = pool.expect("alias kernel runs on a pool");
+                    self.sweep_once_alias(rng, pool, docs, prog, sweep, observer);
+                }
             }
             if let Some(mon) = monitor.as_mut() {
                 #[cfg(feature = "fault-inject")]
@@ -339,7 +345,7 @@ impl LdaModel {
                 {
                     let (snap, new_kernel) = match mon.tripped(sweep, kernel, detail, observer)? {
                         crate::health::Recovery::Rollback(snap) => (snap, kernel),
-                        crate::health::Recovery::Degrade(snap) => (snap, GibbsKernel::Serial),
+                        crate::health::Recovery::Degrade(snap, target) => (snap, target),
                     };
                     let SamplerSnapshot::Lda(mut snap) = *snap else {
                         return Err(mismatch("supervisor recovery point is not an lda snapshot"));
@@ -351,7 +357,20 @@ impl LdaModel {
                     sweep = s;
                     if new_kernel != kernel {
                         kernel = new_kernel;
-                        sparse = None;
+                        // Degrading to sparse needs the sampler and the
+                        // tracked nonzero lists a fresh sparse fit would
+                        // have set up.
+                        sparse = if kernel == GibbsKernel::Sparse {
+                            prog.counts.enable_tracking();
+                            Some(SparseTokenSampler::new(
+                                self.config.n_topics,
+                                self.config.vocab_size,
+                                self.config.alpha,
+                                self.config.gamma,
+                            ))
+                        } else {
+                            None
+                        };
                     } else if matches!(kernel, GibbsKernel::Sparse | GibbsKernel::SparseParallel) {
                         // restore() hands back an untracked store.
                         prog.counts.enable_tracking();
@@ -756,8 +775,154 @@ impl LdaModel {
         drift
     }
 
+    /// The chunked alias-table MH sweep: the parallel kernel's fixed
+    /// 64-doc chunk grid and RNG stream discipline (`2c` of the
+    /// per-sweep seed), with the per-word Vose tables over the
+    /// start-of-sweep `n_kw + γ` columns built once on the main thread
+    /// and shared read-only across chunks. Each chunk cycles every
+    /// token through a document proposal and a word proposal
+    /// ([`crate::alias::mh_move_token`]) accepted against a chunk-local
+    /// copy of the start-of-sweep counts; every token consumes exactly
+    /// four `f64` draws, so the output depends on the chunk grid but
+    /// not on the worker-thread count. Like the dense parallel kernel,
+    /// the log-likelihood entry scores every token against the merged
+    /// end-of-sweep counts.
+    fn sweep_once_alias(
+        &self,
+        rng: &mut ChaCha8Rng,
+        pool: &rayon::ThreadPool,
+        docs: &[ModelDoc],
+        prog: &mut LdaProgress,
+        sweep: usize,
+        observer: &mut dyn SweepObserver,
+    ) {
+        let cfg = &self.config;
+        let k = cfg.n_topics;
+        let v = cfg.vocab_size;
+        let alpha = cfg.alpha;
+        let gamma = cfg.gamma;
+        let gamma_v = gamma * v as f64;
+        let sweep_seed: u64 = rng.gen();
+        let sweep_start = observer.enabled().then(Instant::now);
+        let profiling = observer.enabled();
+        let mut timer = PhaseTimer::new(profiling);
+
+        let rebuild_start = profiling.then(Instant::now);
+        let tables = AliasTables::build(prog.counts.n_kw_raw(), k, v, gamma);
+        let rebuild_us = rebuild_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+        let (n_dk, n_kw_flat, n_k_flat) = prog.counts.dense_parts_mut();
+        let n_kw_start = n_kw_flat.to_vec();
+        let n_k_start = n_k_flat.to_vec();
+        let z = &mut prog.z;
+        let tables_ref = &tables;
+        let z_start = profiling.then(Instant::now);
+        let outs: Vec<(u64, AliasProfile)> = pool.install(|| {
+            z.par_chunks_mut(PAR_CHUNK)
+                .zip(n_dk.par_chunks_mut(PAR_CHUNK * k))
+                .enumerate()
+                .map(|(c, (z_chunk, n_dk_chunk))| {
+                    let chunk_start = profiling.then(Instant::now);
+                    let mut rng = ChaCha8Rng::seed_from_u64(sweep_seed);
+                    rng.set_stream(2 * c as u64);
+                    let mut n_kw = n_kw_start.clone();
+                    let mut n_k = n_k_start.clone();
+                    let mut prof = AliasProfile::default();
+                    let d0 = c * PAR_CHUNK;
+                    for (dd, zs) in z_chunk.iter_mut().enumerate() {
+                        let doc = &docs[d0 + dd];
+                        let row = &mut n_dk_chunk[dd * k..(dd + 1) * k];
+                        for (n, &w) in doc.terms.iter().enumerate() {
+                            let old = zs[n];
+                            row[old] -= 1;
+                            n_kw[old * v + w] -= 1;
+                            n_k[old] -= 1;
+                            let new = mh_move_token(
+                                &mut rng,
+                                tables_ref,
+                                zs,
+                                n,
+                                w,
+                                row,
+                                &n_kw,
+                                &n_k,
+                                None,
+                                alpha,
+                                gamma,
+                                gamma_v,
+                                profiling,
+                                &mut prof,
+                            );
+                            zs[n] = new;
+                            row[new] += 1;
+                            n_kw[new * v + w] += 1;
+                            n_k[new] += 1;
+                        }
+                    }
+                    let us = chunk_start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                    (us, prof)
+                })
+                .collect()
+        });
+        if let Some(s) = z_start {
+            timer.record("z", s.elapsed().as_micros() as u64);
+        }
+        // Deterministic merge: rebuild the term counts from the merged
+        // assignments, then score the sweep against them.
+        let merge_start = profiling.then(Instant::now);
+        n_kw_flat.fill(0);
+        n_k_flat.fill(0);
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                n_kw_flat[t * v + w] += 1;
+                n_k_flat[t] += 1;
+            }
+        }
+        if let Some(s) = merge_start {
+            timer.record("merge", s.elapsed().as_micros() as u64);
+        }
+        let ll_start = profiling.then(Instant::now);
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for (n, &w) in doc.terms.iter().enumerate() {
+                let t = prog.z[d][n];
+                ll += ((f64::from(n_kw_flat[t * v + w]) + gamma)
+                    / (f64::from(n_k_flat[t]) + gamma_v))
+                    .ln();
+            }
+        }
+        if let Some(s) = ll_start {
+            timer.record("ll", s.elapsed().as_micros() as u64);
+        }
+        let profile = profiling.then(|| {
+            let chunk_us: Vec<u64> = outs.iter().map(|o| o.0).collect();
+            let mut merged = AliasProfile::default();
+            for (_, p) in &outs {
+                merged.merge(p);
+            }
+            // Each chunk clones the start-of-sweep term counts; the
+            // shared alias tables are built once on the main thread.
+            let per_chunk = 4 * (k * v + k);
+            merged.into_kernel_profile(
+                chunk_us,
+                rebuild_us,
+                tables.alloc_bytes() + (outs.len() * per_chunk) as u64,
+            )
+        });
+        self.post_sweep(
+            docs,
+            prog,
+            sweep,
+            ll,
+            profile,
+            sweep_start,
+            &mut timer,
+            observer,
+        );
+    }
+
     /// Trace push, observer report, and post-burn-in accumulation shared
-    /// by the four sweep kernels.
+    /// by the five sweep kernels.
     #[allow(clippy::too_many_arguments)]
     fn post_sweep(
         &self,

@@ -40,9 +40,10 @@
 //! receiving periodic [`checkpoint::SamplerSnapshot`]s, a resume
 //! snapshot to continue bit-identically from, the worker-thread count
 //! for the deterministic chunked parallel sweeps, the Gibbs kernel
-//! class ([`fit::GibbsKernel`]: `serial`, `parallel`, or the
-//! `O(nnz)`-per-token `sparse`), and the posterior-predictive cache
-//! switch. The historical per-concern method triplet has been removed;
+//! class ([`fit::GibbsKernel`]: `serial`, `parallel`, the
+//! `O(nnz)`-per-token `sparse` and its chunked `sparse-parallel`
+//! composition, or the `O(1)`-amortized alias-table MH kernel
+//! [`alias`]), and the posterior-predictive cache switch. The historical per-concern method triplet has been removed;
 //! `fit_with` is the only fitting surface. Durable snapshot storage
 //! lives in the `rheotex-resilience` crate, and the serving-time
 //! fold-in inferencer over a frozen fit lives in [`foldin`].
@@ -70,10 +71,22 @@
 //! `(config, docs, seed)`: same seed → byte-identical fitted model,
 //! live or across kill-and-resume (snapshots record the kernel class
 //! and the nonzero lists rebuild in canonical sorted order).
+//!
+//! The alias kernel (`FitOptions::kernel(GibbsKernel::Alias)`) is a
+//! fifth bit-class riding the same 64-doc chunk grid at any thread
+//! count: once per sweep it freezes the word–topic counts into
+//! per-word Vose alias tables ([`alias`]) and each token cycles a
+//! document proposal and a word proposal, each corrected by a
+//! Metropolis-Hastings test against the fresh counts — exactly four
+//! uniform draws per token, so the chain is thread-count invariant and
+//! resume-exact (tables are never persisted; they are re-derived from
+//! the restored counts). The chain is stationary-exact but not
+//! sweep-for-sweep identical in distribution to the dense conditional.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alias;
 pub mod chains;
 pub mod checkpoint;
 pub mod collapsed;

@@ -1,0 +1,361 @@
+//! The alias-kernel contract, end to end: an alias fit is a pure
+//! function of `(config, docs, seed)` — byte-identical across repeated
+//! runs *and across every worker-thread count* — statistically
+//! interchangeable with the dense serial kernel on planted-structure
+//! corpora (the MH correction targets the exact per-token conditional,
+//! so the stationary distribution matches even though per-sweep draws
+//! differ), snapshot / resume-compatible with itself, rejected by
+//! engines or kernel classes it cannot serve, and honest in its
+//! profile bookkeeping (two proposals per token, acceptance rate high
+//! on an easy corpus).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rheotex_core::checkpoint::MemoryCheckpointSink;
+use rheotex_core::collapsed::CollapsedJointModel;
+use rheotex_core::gmm::{GmmConfig, GmmModel};
+use rheotex_core::lda::{LdaConfig, LdaModel};
+use rheotex_core::{
+    FitOptions, GibbsKernel, JointConfig, JointTopicModel, ModelDoc, ModelError, VecObserver,
+};
+use rheotex_linalg::Vector;
+use rheotex_obs::KernelProfile;
+
+fn rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(23)
+}
+
+/// Two planted clusters: even docs use words {0, 1} and a low-gelatin
+/// profile, odd docs use words {2, 3} and a distinct one.
+fn two_cluster_docs(n_per: usize) -> Vec<ModelDoc> {
+    let mut r = ChaCha8Rng::seed_from_u64(78);
+    (0..2 * n_per)
+        .map(|i| {
+            use rand::Rng;
+            let cluster = i % 2;
+            let terms: Vec<usize> = (0..3).map(|j| 2 * cluster + (j % 2)).collect();
+            let jitter = r.gen_range(-0.2..0.2);
+            let gel = if cluster == 0 {
+                Vector::new(vec![2.0 + jitter, 9.0, 9.0])
+            } else {
+                Vector::new(vec![9.0, 4.0 + jitter, 9.0])
+            };
+            ModelDoc::new(i as u64, terms, gel, Vector::full(6, 9.0))
+        })
+        .collect()
+}
+
+fn joint_config() -> JointConfig {
+    JointConfig {
+        n_topics: 4,
+        sweeps: 10,
+        burn_in: 5,
+        ..JointConfig::quick(4, 12)
+    }
+}
+
+/// Fraction of documents whose cluster assignment agrees with the
+/// planted even/odd partition (up to label swap).
+fn partition_accuracy(y: &[usize]) -> f64 {
+    let y0 = y[0];
+    let agree = (0..y.len())
+        .filter(|&d| (y[d] == y0) == (d % 2 == 0))
+        .count();
+    agree as f64 / y.len() as f64
+}
+
+#[test]
+fn alias_joint_fit_is_byte_identical_for_a_seed() {
+    let docs = two_cluster_docs(40);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let opts = || FitOptions::new().kernel(GibbsKernel::Alias);
+    let a = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+    let b = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+    assert_eq!(a.y, b.y);
+    assert_eq!(a.ll_trace, b.ll_trace);
+    assert_eq!(a.phi, b.phi);
+    assert_eq!(a.theta, b.theta);
+}
+
+/// The headline determinism claim: the fixed 64-doc chunk grid and the
+/// counter-derived per-chunk RNG streams make the alias fit a pure
+/// function of `(config, docs, seed)` for *every* thread count,
+/// including the implicit one-worker pool at `threads == 0`.
+#[test]
+fn alias_fit_is_bit_identical_across_thread_counts() {
+    let docs = two_cluster_docs(100); // 200 docs = 4 chunks
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let reference = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Alias),
+        )
+        .unwrap();
+    for threads in [1, 2, 4, 8] {
+        let fit = model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(GibbsKernel::Alias).threads(threads),
+            )
+            .unwrap();
+        assert_eq!(fit.y, reference.y, "y diverged at {threads} threads");
+        assert_eq!(
+            fit.ll_trace, reference.ll_trace,
+            "ll_trace diverged at {threads} threads"
+        );
+        assert_eq!(fit.phi, reference.phi, "phi diverged at {threads} threads");
+        assert_eq!(
+            fit.theta, reference.theta,
+            "theta diverged at {threads} threads"
+        );
+    }
+}
+
+/// Statistical-agreement harness (same tolerances as the sparse-kernel
+/// suite): the alias kernel's MH correction against the fresh counts
+/// makes the per-token chain stationary on the exact dense conditional,
+/// so on a corpus with planted structure it must recover the partition
+/// and land on a log-likelihood plateau of the same height as the dense
+/// serial kernel — even though no sweep is bitwise comparable.
+#[test]
+fn alias_and_serial_kernels_agree_statistically() {
+    let docs = two_cluster_docs(40);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let serial = model
+        .fit_with(&mut rng(), &docs, FitOptions::new())
+        .unwrap();
+    let alias = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Alias).threads(2),
+        )
+        .unwrap();
+    let acc_serial = partition_accuracy(&serial.y);
+    let acc_alias = partition_accuracy(&alias.y);
+    assert!(acc_serial > 0.9, "serial kernel recovered {acc_serial}");
+    assert!(acc_alias > 0.9, "alias kernel recovered {acc_alias}");
+    let tail = |t: &[f64]| -> f64 {
+        let m = t.len() / 2;
+        t[m..].iter().sum::<f64>() / (t.len() - m) as f64
+    };
+    let (ls, la) = (tail(&serial.ll_trace), tail(&alias.ll_trace));
+    assert!(
+        ((ls - la) / ls.abs()).abs() < 0.05,
+        "post-burn-in LL plateaus diverge: serial {ls}, alias {la}"
+    );
+}
+
+#[test]
+fn alias_lda_recovers_the_partition_like_the_dense_kernel() {
+    let docs = two_cluster_docs(40);
+    let model = LdaModel::new(LdaConfig {
+        n_topics: 2,
+        vocab_size: 4,
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps: 60,
+        burn_in: 30,
+    })
+    .unwrap();
+    for opts in [
+        FitOptions::new(),
+        FitOptions::new().kernel(GibbsKernel::Alias),
+    ] {
+        let fit = model.fit_with(&mut rng(), &docs, opts).unwrap();
+        let dominant: Vec<usize> = fit
+            .theta
+            .iter()
+            .map(|row| if row[0] > row[1] { 0 } else { 1 })
+            .collect();
+        let acc = partition_accuracy(&dominant);
+        assert!(acc > 0.9, "kernel recovered {acc}");
+    }
+}
+
+/// The collapsed engine composes the alias token phase with its cached
+/// Student-t `y` sweep unchanged; the fit must still recover the
+/// planted partition and stay thread-invariant.
+#[test]
+fn collapsed_alias_kernel_is_thread_invariant_and_recovers() {
+    let docs = two_cluster_docs(40);
+    let model = CollapsedJointModel::new(JointConfig::quick(2, 4)).unwrap();
+    let reference = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Alias),
+        )
+        .unwrap();
+    assert!(
+        partition_accuracy(&reference.y) > 0.9,
+        "collapsed alias kernel recovered {}",
+        partition_accuracy(&reference.y)
+    );
+    for threads in [2, 4] {
+        let fit = model
+            .fit_with(
+                &mut rng(),
+                &docs,
+                FitOptions::new().kernel(GibbsKernel::Alias).threads(threads),
+            )
+            .unwrap();
+        assert_eq!(fit.y, reference.y, "y diverged at {threads} threads");
+        assert_eq!(
+            fit.ll_trace, reference.ll_trace,
+            "ll_trace diverged at {threads} threads"
+        );
+    }
+}
+
+/// Profile bookkeeping and MH health on an easy corpus: every token
+/// contributes exactly one document proposal and one word proposal per
+/// sweep, every proposal is either accepted or rejected, and on a
+/// small well-separated corpus the acceptance rate is high (most
+/// proposals are self-proposals or moves the fresh counts agree with —
+/// a low rate would mean the stale tables are badly desynchronized).
+#[test]
+fn alias_profile_counts_proposals_and_acceptance_stays_high() {
+    let docs = two_cluster_docs(100); // 200 docs x 3 tokens
+    let sweeps = 12;
+    let model = LdaModel::new(LdaConfig {
+        n_topics: 2,
+        vocab_size: 4,
+        alpha: 0.5,
+        gamma: 0.1,
+        sweeps,
+        burn_in: sweeps / 2,
+    })
+    .unwrap();
+    let mut observer = VecObserver::default();
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Alias)
+                .threads(2)
+                .observer(&mut observer),
+        )
+        .unwrap();
+    assert_eq!(observer.sweeps.len(), sweeps);
+    let tokens: u64 = docs.iter().map(|d| d.terms.len() as u64).sum();
+    let (mut docp, mut wordp, mut acc, mut rej) = (0u64, 0u64, 0u64, 0u64);
+    for stats in &observer.sweeps {
+        match stats.profile {
+            Some(KernelProfile::Alias {
+                doc_proposals,
+                word_proposals,
+                accepted,
+                rejected,
+                chunks,
+                ref chunk_us,
+                ..
+            }) => {
+                assert_eq!(doc_proposals, tokens, "one doc proposal per token");
+                assert_eq!(word_proposals, tokens, "one word proposal per token");
+                assert_eq!(accepted + rejected, doc_proposals + word_proposals);
+                assert_eq!(chunks, 4, "200 docs on the 64-doc grid");
+                assert_eq!(chunk_us.len(), 4);
+                docp += doc_proposals;
+                wordp += word_proposals;
+                acc += accepted;
+                rej += rejected;
+            }
+            ref other => panic!("expected an alias profile, got {other:?}"),
+        }
+    }
+    let rate = acc as f64 / (docp + wordp) as f64;
+    assert!(
+        rate > 0.9,
+        "alias MH acceptance rate {rate} on the toy corpus ({acc} accepted, {rej} rejected)"
+    );
+}
+
+/// Checkpoint written mid-run by the alias kernel, resumed by the alias
+/// kernel: bit-identical to the uninterrupted alias fit. Alias tables
+/// are not persisted — they are rebuilt from the dense counts at the
+/// top of every sweep anyway, which this test proves is enough for
+/// bit-identity.
+#[test]
+fn alias_checkpoint_resumes_bit_identically() {
+    let docs = two_cluster_docs(100);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let opts = || FitOptions::new().kernel(GibbsKernel::Alias).threads(2);
+    let full = model.fit_with(&mut rng(), &docs, opts()).unwrap();
+
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(&mut rng(), &docs, opts().checkpoint(&mut sink))
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+    assert!(snapshot.next_sweep() < joint_config().sweeps);
+
+    let resumed = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            opts().resume(snapshot),
+        )
+        .unwrap();
+    assert_eq!(resumed.y, full.y);
+    assert_eq!(resumed.ll_trace, full.ll_trace);
+    assert_eq!(resumed.phi, full.phi);
+    assert_eq!(resumed.theta, full.theta);
+}
+
+/// A snapshot stamped alias refuses to resume under any of the other
+/// four kernel classes.
+#[test]
+fn alias_snapshot_rejects_other_kernels_on_resume() {
+    let docs = two_cluster_docs(100);
+    let model = JointTopicModel::new(joint_config()).unwrap();
+    let mut sink = MemoryCheckpointSink::new(4);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Alias)
+                .threads(2)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let snapshot = sink.snapshots[0].clone();
+
+    for resume_opts in [
+        FitOptions::new(),                             // serial
+        FitOptions::new().threads(2),                  // parallel
+        FitOptions::new().kernel(GibbsKernel::Sparse), // sparse
+        FitOptions::new()
+            .kernel(GibbsKernel::SparseParallel)
+            .threads(2), // sparse-parallel
+    ] {
+        let err = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                resume_opts.resume(snapshot.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
+    }
+}
+
+#[test]
+fn gmm_rejects_the_alias_kernel() {
+    let docs = two_cluster_docs(4);
+    let mut cfg = GmmConfig::new(2);
+    cfg.sweeps = 4;
+    let model = GmmModel::new(cfg).unwrap();
+    let err = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new().kernel(GibbsKernel::Alias),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::InvalidConfig { .. }), "{err}");
+}

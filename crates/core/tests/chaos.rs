@@ -7,9 +7,10 @@
 //! snapshot, and (c) replayed on the snapshot's recorded RNG stream —
 //! so the supervised faulted run produces a final model **bit-identical**
 //! to the clean, unsupervised run. This must hold for every LDA kernel
-//! class (serial, parallel, sparse, sparse-parallel) and for the joint
-//! engine — and when the rollback budget is exhausted under a sparse
-//! kernel, the degradation to serial must itself be deterministic.
+//! class (serial, parallel, sparse, sparse-parallel, alias) and for the
+//! joint engine — and when the rollback budget is exhausted, the
+//! degradation ladder (alias → sparse → serial) must itself be
+//! deterministic.
 //!
 //! The dual no-false-positive contract rides along: a healthy fit
 //! audited every sweep under the strict (abort-on-trip) policy must
@@ -142,6 +143,11 @@ fn lda_sparse_parallel_recovers_bit_identically() {
 }
 
 #[test]
+fn lda_alias_recovers_bit_identically() {
+    assert_lda_recovers_bit_identically(GibbsKernel::Alias);
+}
+
+#[test]
 fn joint_recovers_bit_identically_on_all_kernels() {
     let docs = two_cluster_docs(25);
     let config = JointConfig {
@@ -156,6 +162,7 @@ fn joint_recovers_bit_identically_on_all_kernels() {
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
         GibbsKernel::SparseParallel,
+        GibbsKernel::Alias,
     ] {
         let clean = model
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
@@ -304,6 +311,88 @@ fn sparse_parallel_degrades_to_serial_and_recovers_bit_identically() {
     );
 }
 
+/// The alias rung of the degradation ladder, deterministically: an
+/// alias-MH fit whose rollback budget is exhausted on the first trip
+/// must degrade to the *sparse* kernel (one rung down, not straight to
+/// serial) from the last good snapshot and finish — bit-identical to a
+/// clean alias run checkpointed at the same sweep, restamped sparse,
+/// and resumed under the sparse kernel.
+#[test]
+fn alias_degrades_to_sparse_and_recovers_bit_identically() {
+    use rheotex_core::checkpoint::{MemoryCheckpointSink, SamplerSnapshot};
+
+    let docs = two_cluster_docs(30);
+    let model = LdaModel::new(lda_config()).unwrap();
+
+    // The reference trajectory a degrade at sweep 5 must reproduce:
+    // sweeps 0..5 under alias, 5.. under sparse.
+    let mut sink = MemoryCheckpointSink::new(5);
+    model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Alias)
+                .threads(2)
+                .checkpoint(&mut sink),
+        )
+        .unwrap();
+    let SamplerSnapshot::Lda(mut snap) = sink.snapshots[0].clone() else {
+        panic!("wrong engine")
+    };
+    assert_eq!(snap.next_sweep, 5);
+    snap.kernel = Some(GibbsKernel::Sparse);
+    let reference = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(0),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Sparse)
+                .resume(SamplerSnapshot::Lda(snap)),
+        )
+        .unwrap();
+
+    // The victim: corruption at sweep 5 with a zero rollback budget —
+    // the supervisor's only move is the alias → sparse rung.
+    let mut observer = VecObserver::default();
+    let faulted = model
+        .fit_with(
+            &mut rng(),
+            &docs,
+            FitOptions::new()
+                .kernel(GibbsKernel::Alias)
+                .threads(2)
+                .observer(&mut observer)
+                .health(
+                    HealthPolicy::recover()
+                        .action(RecoveryAction::DegradeKernel { max_retries: 0 })
+                        .audit_every(1)
+                        .snapshot_every(1)
+                        .chaos(chaos(5)),
+                ),
+        )
+        .unwrap();
+
+    assert_eq!(faulted.phi, reference.phi, "phi diverged");
+    assert_eq!(faulted.theta, reference.theta, "theta diverged");
+    assert_eq!(faulted.ll_trace, reference.ll_trace, "ll trace diverged");
+    let actions: Vec<&str> = observer.health.iter().map(|e| e.action).collect();
+    assert!(actions.contains(&"degrade"), "{actions:?}");
+    assert!(actions.contains(&"recovered"), "{actions:?}");
+    assert!(!actions.contains(&"rollback"), "{actions:?}");
+    assert!(!actions.contains(&"abort"), "{actions:?}");
+    let degrade = observer
+        .health
+        .iter()
+        .find(|e| e.action == "degrade")
+        .unwrap();
+    assert!(
+        degrade.detail.contains("alias kernel degraded to sparse"),
+        "{}",
+        degrade.detail
+    );
+}
+
 #[test]
 fn strict_policy_aborts_with_health_error_on_first_trip() {
     let docs = two_cluster_docs(20);
@@ -332,6 +421,7 @@ fn strict_every_sweep_audits_pass_on_healthy_fits() {
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
         GibbsKernel::SparseParallel,
+        GibbsKernel::Alias,
     ] {
         let clean = lda
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
@@ -358,6 +448,7 @@ fn strict_every_sweep_audits_pass_on_healthy_fits() {
         GibbsKernel::Parallel,
         GibbsKernel::Sparse,
         GibbsKernel::SparseParallel,
+        GibbsKernel::Alias,
     ] {
         let clean = joint
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))

@@ -188,7 +188,11 @@ fn gmm_rejects_the_sparse_kernels() {
     let mut cfg = GmmConfig::new(2);
     cfg.sweeps = 4;
     let model = GmmModel::new(cfg).unwrap();
-    for kernel in [GibbsKernel::Sparse, GibbsKernel::SparseParallel] {
+    for kernel in [
+        GibbsKernel::Sparse,
+        GibbsKernel::SparseParallel,
+        GibbsKernel::Alias,
+    ] {
         let err = model
             .fit_with(&mut rng(), &docs, FitOptions::new().kernel(kernel))
             .unwrap_err();
@@ -252,6 +256,7 @@ fn resume_under_a_different_kernel_is_rejected() {
         FitOptions::new()
             .kernel(GibbsKernel::SparseParallel)
             .threads(2), // the composed kernel is its own bit class too
+        FitOptions::new().kernel(GibbsKernel::Alias), // and so is alias
     ] {
         let err = model
             .fit_with(
@@ -265,7 +270,7 @@ fn resume_under_a_different_kernel_is_rejected() {
 }
 
 /// The mirror direction: a snapshot stamped sparse-parallel refuses to
-/// resume under any of the other three kernel classes.
+/// resume under any of the other four kernel classes.
 #[test]
 fn sparse_parallel_snapshot_rejects_other_kernels_on_resume() {
     let docs = two_cluster_docs(100);
@@ -287,6 +292,7 @@ fn sparse_parallel_snapshot_rejects_other_kernels_on_resume() {
         FitOptions::new(),                             // serial
         FitOptions::new().threads(2),                  // parallel
         FitOptions::new().kernel(GibbsKernel::Sparse), // sparse
+        FitOptions::new().kernel(GibbsKernel::Alias),  // alias
     ] {
         let err = model
             .fit_with(

@@ -87,6 +87,31 @@ pub enum KernelProfile {
         /// of the shared count state.
         alloc_bytes: u64,
     },
+    /// The chunked alias-table Metropolis-Hastings kernel: the MH
+    /// proposal/acceptance counters summed over every chunk, the
+    /// per-chunk sample timings, and the per-sweep alias-table rebuild
+    /// time.
+    Alias {
+        /// Document proposals drawn (one per token).
+        doc_proposals: u64,
+        /// Word (alias-table) proposals drawn (one per token).
+        word_proposals: u64,
+        /// Proposals accepted (a self-proposal counts as accepted).
+        accepted: u64,
+        /// Proposals rejected — the token kept its topic for that half
+        /// of the MH cycle.
+        rejected: u64,
+        /// Document chunks processed this sweep.
+        chunks: u64,
+        /// Wall-clock sampling time of each chunk, µs, in chunk order.
+        chunk_us: Vec<u64>,
+        /// Per-sweep alias-table rebuild time (one build over the frozen
+        /// start-of-sweep counts, shared by all chunks), µs.
+        rebuild_us: u64,
+        /// Estimated bytes allocated this sweep: the shared alias tables
+        /// plus chunk-local clones of the term counts.
+        alloc_bytes: u64,
+    },
 }
 
 /// Statistics of one Gibbs sweep. Field semantics by engine:
@@ -335,6 +360,49 @@ impl SweepStats {
                         Field::new("alloc_bytes", *alloc_bytes),
                         Field::new("rebuild_us_total", sum_us(rebuild_us)),
                         Field::new("fold_us_total", sum_us(fold_us)),
+                    ],
+                );
+            }
+            Some(KernelProfile::Alias {
+                doc_proposals,
+                word_proposals,
+                accepted,
+                rejected,
+                chunks,
+                chunk_us,
+                rebuild_us,
+                alloc_bytes,
+            }) => {
+                for &us in chunk_us {
+                    obs.observe(format!("{}.chunk_us", self.engine), us as f64);
+                }
+                obs.observe(
+                    format!("{}.alias_rebuild_us", self.engine),
+                    *rebuild_us as f64,
+                );
+                obs.gauge(
+                    format!("{}.sweep_alloc_bytes", self.engine),
+                    *alloc_bytes as f64,
+                );
+                let proposals = doc_proposals + word_proposals;
+                let acceptance_rate = if proposals > 0 {
+                    *accepted as f64 / proposals as f64
+                } else {
+                    0.0
+                };
+                obs.emit(
+                    EventKind::Profile,
+                    format!("{}.profile", self.engine),
+                    vec![
+                        Field::new("kernel", "alias"),
+                        Field::new("doc_proposals", *doc_proposals),
+                        Field::new("word_proposals", *word_proposals),
+                        Field::new("accepted", *accepted),
+                        Field::new("rejected", *rejected),
+                        Field::new("acceptance_rate", acceptance_rate),
+                        Field::new("chunks", *chunks),
+                        Field::new("rebuild_us", *rebuild_us),
+                        Field::new("alloc_bytes", *alloc_bytes),
                     ],
                 );
             }
@@ -692,6 +760,43 @@ mod tests {
         assert_eq!(summary.histograms["lda.chunk_us"].count(), 2);
         assert_eq!(summary.histograms["lda.chunk_rebuild_us"].count(), 2);
         assert_eq!(summary.histograms["lda.chunk_fold_us"].count(), 2);
+        assert_eq!(summary.gauges["lda.sweep_alloc_bytes"], 8192.0);
+    }
+
+    #[test]
+    fn alias_profile_emits_acceptance_rate_and_rebuild_time() {
+        let sink = MemorySink::default();
+        let obs = Obs::with_sinks(vec![Box::new(sink.clone())]);
+        let mut s = stats(0);
+        s.engine = "lda";
+        s.profile = Some(KernelProfile::Alias {
+            doc_proposals: 10,
+            word_proposals: 10,
+            accepted: 18,
+            rejected: 2,
+            chunks: 2,
+            chunk_us: vec![40, 60],
+            rebuild_us: 9,
+            alloc_bytes: 8192,
+        });
+        s.emit_to(&obs, None);
+        let profiles = sink.events_of(EventKind::Profile);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].name, "lda.profile");
+        assert_eq!(
+            profiles[0].field("kernel"),
+            Some(&crate::Value::Str("alias".into()))
+        );
+        assert_eq!(profiles[0].field_f64("doc_proposals"), Some(10.0));
+        assert_eq!(profiles[0].field_f64("word_proposals"), Some(10.0));
+        assert_eq!(profiles[0].field_f64("accepted"), Some(18.0));
+        assert_eq!(profiles[0].field_f64("rejected"), Some(2.0));
+        assert_eq!(profiles[0].field_f64("acceptance_rate"), Some(0.9));
+        assert_eq!(profiles[0].field_f64("chunks"), Some(2.0));
+        assert_eq!(profiles[0].field_f64("rebuild_us"), Some(9.0));
+        let summary = obs.summary();
+        assert_eq!(summary.histograms["lda.chunk_us"].count(), 2);
+        assert_eq!(summary.histograms["lda.alias_rebuild_us"].count(), 1);
         assert_eq!(summary.gauges["lda.sweep_alloc_bytes"], 8192.0);
     }
 

@@ -251,6 +251,83 @@ fn sparse_parallel_fit_killed_and_resumed_from_disk_is_bit_identical() {
     }
 }
 
+/// The alias-table MH kernel under the same crash/recovery discipline:
+/// a fit at `threads = 2` killed mid-run and resumed from disk (the
+/// per-word alias tables are never persisted — they are rebuilt from
+/// the restored dense counts at the top of every sweep) must equal the
+/// uninterrupted fit — and since the chunk grid makes the output
+/// thread-count invariant, resuming at a different thread count must
+/// land on the same bits too.
+#[test]
+fn alias_fit_killed_and_resumed_from_disk_is_bit_identical() {
+    use rheotex_core::GibbsKernel;
+
+    let docs = two_cluster_docs(20);
+    let model = JointTopicModel::new(JointConfig::quick(2, 4)).unwrap();
+    let opts = || FitOptions::new().kernel(GibbsKernel::Alias).threads(2);
+
+    let full = model
+        .fit_with(&mut ChaCha8Rng::seed_from_u64(31), &docs, opts())
+        .unwrap();
+
+    let store = CheckpointStore::new(scratch_dir("joint-alias-kill"));
+    let mut killer = KillingSink::new(store, 5, 1);
+    let err = model
+        .fit_with(
+            &mut ChaCha8Rng::seed_from_u64(31),
+            &docs,
+            opts().checkpoint(&mut killer),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ModelError::Checkpoint { .. }), "{err:?}");
+
+    let snapshot = killer.store.load().unwrap();
+    assert_eq!(snapshot.next_sweep(), 5);
+
+    for threads in [2usize, 8] {
+        let mut onward = PeriodicCheckpointer::new(
+            CheckpointStore::new(scratch_dir(&format!("joint-alias-onward-{threads}"))),
+            5,
+        );
+        let resumed = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                FitOptions::new()
+                    .kernel(GibbsKernel::Alias)
+                    .threads(threads)
+                    .checkpoint(&mut onward)
+                    .resume(snapshot.clone()),
+            )
+            .unwrap();
+        assert_eq!(resumed.y, full.y, "threads={threads}");
+        assert_eq!(resumed.ll_trace, full.ll_trace, "threads={threads}");
+        assert_eq!(resumed.phi, full.phi, "threads={threads}");
+        assert_eq!(resumed.theta, full.theta, "threads={threads}");
+        assert_eq!(onward.written(), 11);
+    }
+
+    // Cross-class rejection through the on-disk store: the persisted
+    // alias snapshot refuses to resume under any other kernel class.
+    for resume_opts in [
+        FitOptions::new(),                             // serial
+        FitOptions::new().threads(2),                  // parallel
+        FitOptions::new().kernel(GibbsKernel::Sparse), // sparse
+        FitOptions::new()
+            .kernel(GibbsKernel::SparseParallel)
+            .threads(2), // sparse-parallel
+    ] {
+        let err = model
+            .fit_with(
+                &mut ChaCha8Rng::seed_from_u64(0),
+                &docs,
+                resume_opts.resume(snapshot.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ResumeMismatch { .. }), "{err}");
+    }
+}
+
 #[test]
 fn lda_fit_killed_and_resumed_from_disk_is_bit_identical() {
     let docs = two_cluster_docs(15);

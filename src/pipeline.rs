@@ -158,11 +158,14 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Explicit Gibbs kernel for the fit stage; `None` (the default)
     /// keeps the historical thread-count semantics above. `serial`,
-    /// `parallel`, `sparse`, and `sparse-parallel` name the kernel
-    /// directly — the sparse kernel is single-threaded (`threads == 0`);
-    /// `sparse-parallel` composes the sparse bucket sweep with the
-    /// parallel kernel's deterministic chunk grid and accepts any
-    /// thread count.
+    /// `parallel`, `sparse`, `sparse-parallel`, and `alias` name the
+    /// kernel directly — the sparse kernel is single-threaded
+    /// (`threads == 0`); `sparse-parallel` composes the sparse bucket
+    /// sweep with the parallel kernel's deterministic chunk grid and
+    /// accepts any thread count; `alias` runs the O(1)-amortized
+    /// alias-table Metropolis-Hastings sweep over the same chunk grid
+    /// (any thread count, stationary-exact but not sweep-identical to
+    /// the dense conditional).
     pub kernel: Option<GibbsKernel>,
     /// Independent Gibbs chains for the fit stage. `0` or `1` (the
     /// default) runs the historical single chain; `>= 2` fits that many
